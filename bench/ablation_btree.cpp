@@ -1,0 +1,83 @@
+// Ablation: the MapDB-style off-heap B+-tree vs. Oak (§1.2/§5.1 — the
+// comparison the paper summarizes as "at least an order-of-magnitude slower
+// than Oak" and omits from its plots).
+//
+// Under concurrency the tree's global lock serializes updates; reads share
+// the lock but still bounce its cache line.  Expect Oak to dominate and the
+// gap to widen with threads.
+#include <cstdio>
+
+#include "baselines/btree_offheap.hpp"
+#include "benchcore/adapters.hpp"
+#include "benchcore/driver.hpp"
+
+namespace oak::bench {
+
+/// Adapter over OffHeapBTree for the standard driver.
+class BTreeAdapter {
+ public:
+  explicit BTreeAdapter(const BenchConfig& cfg) {
+    const RamSplit split = splitRam(cfg, true);
+    heap_ = std::make_unique<mheap::ManagedHeap>(heapConfig(split.heapBytes));
+    pool_ = std::make_unique<mem::BlockPool>(mem::BlockPool::Config{
+        .blockBytes = 8u << 20, .budgetBytes = split.offHeapBytes});
+    tree_ = std::make_unique<bl::OffHeapBTree>(*pool_);
+  }
+
+  const char* name() const { return "MapDB-like BTree"; }
+  bool ingest(ByteSpan key, ByteSpan value) { return tree_->putIfAbsent(key, value); }
+  void put(ByteSpan key, ByteSpan value) { tree_->put(key, value); }
+  bool get(ByteSpan key, Blackhole& bh) {
+    return tree_->get(key, [&](ByteSpan s) { bh.consume(s); });
+  }
+  void compute(ByteSpan) {}  // unused in this ablation
+  std::size_t scanAsc(ByteSpan from, std::size_t n, Blackhole& bh, bool) {
+    return tree_->scanAscend(from, n, [&](ByteSpan k, ByteSpan v) {
+      bh.consume(k);
+      bh.consume(v);
+    });
+  }
+  std::size_t scanDesc(ByteSpan, std::size_t, Blackhole&, bool) { return 0; }
+  mheap::GcStats gcStats() const { return heap_->stats(); }
+  std::size_t offHeapFootprint() const { return tree_->offHeapFootprintBytes(); }
+  std::size_t finalSize() { return tree_->size(); }
+
+ private:
+  std::unique_ptr<mheap::ManagedHeap> heap_;
+  std::unique_ptr<mem::BlockPool> pool_;
+  std::unique_ptr<bl::OffHeapBTree> tree_;
+};
+
+}  // namespace oak::bench
+
+int main() {
+  using namespace oak::bench;
+  BenchConfig cfg = standardConfig();
+  const auto threads = standardThreads();
+
+  for (int wl = 0; wl < 2; ++wl) {
+    Mix mix;
+    const char* title;
+    if (wl == 0) {
+      mix.putPct = 100;
+      title = "put-only: Oak vs MapDB-like off-heap B+-tree";
+    } else {
+      title = "get-only: Oak vs MapDB-like off-heap B+-tree";
+    }
+    printHeader("Ablation (B-tree)", title);
+    printSeriesHeader("threads");
+    for (unsigned t : threads) {
+      BenchConfig c = cfg;
+      c.threads = t;
+      printRow("Oak", t, runPoint<OakAdapter>(c, mix, false));
+      std::fflush(stdout);
+    }
+    for (unsigned t : threads) {
+      BenchConfig c = cfg;
+      c.threads = t;
+      printRow("MapDB-like BTree", t, runPoint<BTreeAdapter>(c, mix));
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,197 @@
+// Ablations over Oak's own design choices (DESIGN.md §4):
+//
+//   A. chunk capacity — the locality/rebalance-cost trade-off behind the
+//      paper's 4K-entries-per-chunk default (§5.1);
+//   B. rebalance threshold — how large the unsorted bypass suffix may grow
+//      before compaction (§5.1: "whenever the unsorted linked list exceeds
+//      half of the sorted prefix");
+//   C. Set vs Stream scan APIs at several scan lengths — isolating the
+//      ephemeral-object cost of §2.2 from the locality benefit.
+#include <cstdio>
+#include <memory>
+
+#include "benchcore/adapters.hpp"
+#include "benchcore/driver.hpp"
+
+using namespace oak;
+using namespace oak::bench;
+
+namespace {
+
+/// Oak adapter with a custom OakConfig (capacity / threshold knobs).
+class TunedOakAdapter {
+ public:
+  TunedOakAdapter(const BenchConfig& cfg, std::int32_t chunkCapacity,
+                  double unsortedRatio) {
+    const RamSplit split = splitRam(cfg, true);
+    heap_ = std::make_unique<mheap::ManagedHeap>(heapConfig(split.heapBytes));
+    pool_ = std::make_unique<mem::BlockPool>(mem::BlockPool::Config{
+        .blockBytes = 8u << 20, .budgetBytes = split.offHeapBytes});
+    OakConfig ocfg;
+    ocfg.chunkCapacity = chunkCapacity;
+    ocfg.maxUnsortedRatio = unsortedRatio;
+    ocfg.metaHeap = heap_.get();
+    ocfg.pool = pool_.get();
+    map_ = std::make_unique<OakCoreMap<>>(ocfg);
+  }
+
+  bool ingest(ByteSpan key, ByteSpan value) { return map_->putIfAbsent(key, value); }
+  void put(ByteSpan key, ByteSpan value) { map_->put(key, value); }
+  bool get(ByteSpan key, Blackhole& bh) {
+    auto v = map_->get(key);
+    if (!v) return false;
+    v->read([&](ByteSpan s) { bh.consume(s); });
+    return true;
+  }
+  void compute(ByteSpan key) {
+    map_->computeIfPresent(key, [](OakWBuffer& w) { w.putU64(0, w.getU64(0) + 1); });
+  }
+  std::size_t scanAsc(ByteSpan from, std::size_t n, Blackhole& bh, bool stream) {
+    std::size_t cnt = 0;
+    std::optional<ByteVec> lo;
+    if (!from.empty()) lo = toVec(from);
+    for (auto it = map_->ascend(std::move(lo), std::nullopt, stream);
+         it.valid() && cnt < n; it.next()) {
+      auto e = it.entry();
+      bh.consume(e.key);
+      ++cnt;
+    }
+    return cnt;
+  }
+  std::size_t scanDesc(ByteSpan from, std::size_t n, Blackhole& bh, bool stream) {
+    std::size_t cnt = 0;
+    std::optional<ByteVec> hi;
+    if (!from.empty()) hi = toVec(from);
+    for (auto it = map_->descend(std::nullopt, std::move(hi), stream);
+         it.valid() && cnt < n; it.next()) {
+      auto e = it.entry();
+      bh.consume(e.key);
+      ++cnt;
+    }
+    return cnt;
+  }
+  mheap::GcStats gcStats() const { return heap_->stats(); }
+  std::size_t offHeapFootprint() const { return map_->offHeapFootprintBytes(); }
+  std::size_t finalSize() { return map_->sizeSlow(); }
+  std::uint64_t rebalances() const { return map_->rebalanceCount(); }
+
+ private:
+  std::unique_ptr<mheap::ManagedHeap> heap_;
+  std::unique_ptr<mem::BlockPool> pool_;
+  std::unique_ptr<OakCoreMap<>> map_;
+};
+
+}  // namespace
+
+int main() {
+  BenchConfig cfg = standardConfig();
+  cfg.threads = standardThreads().back();
+
+  // ---- A: chunk capacity sweep (put-heavy + get-only) --------------------
+  printHeader("Ablation A", "chunk capacity (entries) — put and get");
+  std::printf("%-10s %12s %12s %12s %12s\n", "capacity", "put-Kops", "get-Kops",
+              "rebalances", "scan-Kops");
+  for (std::int32_t cap : {256, 512, 1024, 2048, 4096, 8192}) {
+    Mix put;
+    put.putPct = 100;
+    BenchConfig c = cfg;
+    double putK, getK, scanK;
+    std::uint64_t reb;
+    {
+      TunedOakAdapter a(c, cap, 0.5);
+      ingestStage(a, c, c.keyRange / 2, nullptr);
+      putK = sustainedStage(a, c, put).kops;
+      reb = a.rebalances();
+      Mix get;  // all gets
+      getK = sustainedStage(a, c, get).kops;
+      Mix scan;
+      scan.scanAscPct = 100;
+      scan.streamScans = true;
+      scanK = sustainedStage(a, c, scan).kops;
+    }
+    std::printf("%-10d %12.1f %12.1f %12llu %12.1f\n", cap, putK, getK,
+                static_cast<unsigned long long>(reb), scanK);
+    std::fflush(stdout);
+  }
+
+  // ---- B: rebalance threshold sweep --------------------------------------
+  printHeader("Ablation B", "max unsorted-suffix ratio before rebalance");
+  std::printf("%-10s %12s %12s %12s\n", "ratio", "put-Kops", "get-Kops", "rebalances");
+  for (double ratio : {0.125, 0.25, 0.5, 1.0, 2.0}) {
+    Mix put;
+    put.putPct = 100;
+    BenchConfig c = cfg;
+    TunedOakAdapter a(c, 2048, ratio);
+    ingestStage(a, c, c.keyRange / 2, nullptr);
+    const double putK = sustainedStage(a, c, put).kops;
+    Mix get;
+    const double getK = sustainedStage(a, c, get).kops;
+    std::printf("%-10.3f %12.1f %12.1f %12llu\n", ratio, putK, getK,
+                static_cast<unsigned long long>(a.rebalances()));
+    std::fflush(stdout);
+  }
+
+  // ---- D: value-header reclamation policy (KeepHeaders vs Generational) --
+  printHeader("Ablation D", "value reclamation: KeepHeaders vs Generational");
+  std::printf("%-14s %12s %12s %16s\n", "policy", "churn-Kops", "get-Kops",
+              "offheap-live-MB");
+  for (int mode = 0; mode < 2; ++mode) {
+    BenchConfig c = cfg;
+    mheap::ManagedHeap heap(heapConfig(splitRam(c, true).heapBytes));
+    mem::BlockPool pool(mem::BlockPool::Config{
+        .blockBytes = 8u << 20, .budgetBytes = splitRam(c, true).offHeapBytes});
+    OakConfig ocfg;
+    ocfg.metaHeap = &heap;
+    ocfg.pool = &pool;
+    ocfg.reclaim = mode == 0 ? ValueReclaim::KeepHeaders : ValueReclaim::Generational;
+    OakCoreMap<> map(ocfg);
+    // put+remove churn over a small range: KeepHeaders leaks a header per
+    // remove; Generational recycles them.
+    XorShift rng(7);
+    std::vector<std::byte> key(c.keyBytes);
+    std::vector<std::byte> value(c.valueBytes, std::byte{0x33});
+    const double t0 = nowSeconds();
+    constexpr int kChurn = 200000;
+    for (int i = 0; i < kChurn; ++i) {
+      makeKey({key.data(), key.size()}, rng.nextBounded(1024));
+      if ((i & 1) == 0) {
+        map.put({key.data(), key.size()}, {value.data(), value.size()});
+      } else {
+        map.remove({key.data(), key.size()});
+      }
+    }
+    const double churnKops = kChurn / (nowSeconds() - t0) / 1e3;
+    const double t1 = nowSeconds();
+    std::uint64_t hits = 0;
+    for (int i = 0; i < 100000; ++i) {
+      makeKey({key.data(), key.size()}, rng.nextBounded(1024));
+      hits += map.containsKey({key.data(), key.size()}) ? 1 : 0;
+    }
+    const double getKops = 100000 / (nowSeconds() - t1) / 1e3;
+    std::printf("%-14s %12.1f %12.1f %16.2f\n",
+                mode == 0 ? "KeepHeaders" : "Generational", churnKops, getKops,
+                static_cast<double>(map.offHeapAllocatedBytes()) / (1 << 20));
+    std::fflush(stdout);
+  }
+
+  // ---- C: Set vs Stream across scan lengths ------------------------------
+  printHeader("Ablation C", "Set vs Stream scan APIs across scan lengths");
+  std::printf("%-10s %14s %14s %14s %14s\n", "length", "asc-Set", "asc-Stream",
+              "desc-Set", "desc-Stream");
+  for (std::size_t len : {10u, 100u, 1000u, 10000u}) {
+    BenchConfig c = cfg;
+    c.scanLength = len;
+    TunedOakAdapter a(c, 2048, 0.5);
+    ingestStage(a, c, c.keyRange / 2, nullptr);
+    auto run = [&](bool desc, bool stream) {
+      Mix m;
+      (desc ? m.scanDescPct : m.scanAscPct) = 100;
+      m.streamScans = stream;
+      return sustainedStage(a, c, m).kops;
+    };
+    std::printf("%-10zu %14.1f %14.1f %14.1f %14.1f\n", len, run(false, false),
+                run(false, true), run(true, false), run(true, true));
+    std::fflush(stdout);
+  }
+  return 0;
+}

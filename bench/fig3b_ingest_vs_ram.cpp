@@ -1,0 +1,52 @@
+// Figure 3b: single-threaded ingestion of a FIXED dataset while the RAM
+// budget varies (§5.2 "Memory efficiency").
+//
+// Paper (10M pairs = 11 GB raw, RAM 14..26 GB): the off-heap solutions run
+// (and run fast) with much less RAM than SkipList-OnHeap, which needs the
+// largest budgets and never catches up.  Scaled ~100x: 100K pairs (~110 MB
+// raw), budgets 120..280 MiB.
+#include <cstdio>
+#include <vector>
+
+#include "benchcore/adapters.hpp"
+#include "benchcore/driver.hpp"
+
+using namespace oak::bench;
+
+int main() {
+  const std::size_t pairs = envSize("OAK_BENCH_FIG3B_PAIRS", 100'000);
+  std::vector<std::size_t> ramMb{120, 140, 160, 180, 200, 220, 240, 260, 280, 300, 320};
+
+  printHeader("Figure 3b", "ingestion throughput, fixed dataset, varying RAM");
+  std::printf("dataset: %zu pairs (%.0f MiB raw), single thread\n", pairs,
+              static_cast<double>(pairs) * 1124 / (1 << 20));
+  printSeriesHeader("RAM-MB");
+
+  for (int alg = 0; alg < 3; ++alg) {
+    for (std::size_t mb : ramMb) {
+      BenchConfig cfg;
+      cfg.keyRange = pairs;
+      cfg.totalRamBytes = mb << 20;
+      cfg.seed = 1;
+      PointResult r;
+      const char* name;
+      switch (alg) {
+        case 0:
+          name = "Oak";
+          r = runIngestPoint<OakAdapter>(cfg, false);
+          break;
+        case 1:
+          name = "SkipList-OnHeap";
+          r = runIngestPoint<OnHeapAdapter>(cfg);
+          break;
+        default:
+          name = "SkipList-OffHeap";
+          r = runIngestPoint<OffHeapAdapter>(cfg);
+          break;
+      }
+      printRow(name, static_cast<double>(mb), r);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Shared harness for the Figure-4 thread-scaling benchmarks (§5.2).
+//
+// Each fig4 binary fixes a workload mix and sweeps the worker-thread count
+// for every compared solution, printing one series per solution — the same
+// rows the paper plots.  Dataset and durations are scaled for this host and
+// overridable via OAK_BENCH_* (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+
+#include "benchcore/adapters.hpp"
+#include "benchcore/driver.hpp"
+#include "benchcore/workload.hpp"
+
+namespace oak::bench {
+
+struct Series {
+  const char* label;
+  enum class Kind { OakZc, OakCopy, OakStream, OnHeap, OffHeap } kind;
+};
+
+inline PointResult runSeriesPoint(const Series& s, const BenchConfig& cfg,
+                                  Mix mix) {
+  switch (s.kind) {
+    case Series::Kind::OakZc:
+      return runPoint<OakAdapter>(cfg, mix, /*copyApi=*/false);
+    case Series::Kind::OakCopy:
+      return runPoint<OakAdapter>(cfg, mix, /*copyApi=*/true);
+    case Series::Kind::OakStream:
+      mix.streamScans = true;
+      return runPoint<OakAdapter>(cfg, mix, /*copyApi=*/false);
+    case Series::Kind::OnHeap:
+      return runPoint<OnHeapAdapter>(cfg, mix);
+    case Series::Kind::OffHeap:
+      return runPoint<OffHeapAdapter>(cfg, mix);
+  }
+  return {};
+}
+
+inline int runFig4(const char* figure, const char* title, const Mix& mix,
+                   std::initializer_list<Series> series) {
+  BenchConfig cfg = standardConfig();
+  const auto threads = standardThreads();
+  printHeader(figure, title);
+  std::printf("dataset=%zu pairs (key %zuB, value %zuB), RAM=%zu MiB, %u ms/point\n",
+              cfg.keyRange, cfg.keyBytes, cfg.valueBytes, cfg.totalRamBytes >> 20,
+              cfg.durationMs);
+  printSeriesHeader("threads");
+  for (const Series& s : series) {
+    for (unsigned t : threads) {
+      BenchConfig c = cfg;
+      c.threads = t;
+      const PointResult r = runSeriesPoint(s, c, mix);
+      printRow(s.label, static_cast<double>(t), r);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}
+
+}  // namespace oak::bench

@@ -1,0 +1,14 @@
+// Figure 4a: put-only workload, throughput vs. worker threads (§5.2).
+// Expected shape: Oak clearly ahead of SkipList-OnHeap (paper: >= 2x);
+// SkipList-OffHeap between them.
+#include "fig4_common.hpp"
+
+int main() {
+  using namespace oak::bench;
+  Mix mix;
+  mix.putPct = 100;
+  return runFig4("Figure 4a", "put-only throughput vs. threads", mix,
+                 {{"Oak", Series::Kind::OakZc},
+                  {"SkipList-OnHeap", Series::Kind::OnHeap},
+                  {"SkipList-OffHeap", Series::Kind::OffHeap}});
+}

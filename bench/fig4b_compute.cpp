@@ -1,0 +1,14 @@
+// Figure 4b: in-place incremental updates (computeIfPresent for Oak, merge
+// for the skiplists), 8-byte modification per op (§5.2).
+// Expected shape: all solutions close together, near-linear scaling.
+#include "fig4_common.hpp"
+
+int main() {
+  using namespace oak::bench;
+  Mix mix;
+  mix.computePct = 100;
+  return runFig4("Figure 4b", "computeIfPresent / merge vs. threads", mix,
+                 {{"Oak", Series::Kind::OakZc},
+                  {"SkipList-OnHeap", Series::Kind::OnHeap},
+                  {"SkipList-OffHeap", Series::Kind::OffHeap}});
+}

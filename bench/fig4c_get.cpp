@@ -1,0 +1,14 @@
+// Figure 4c: get-only workload (§5.2).  Includes the legacy-API Oak-Copy
+// series: "copying induces a significant penalty and inhibits scalability".
+// Expected shape: Oak > SkipList-OnHeap (paper: ~1.7x) > Oak-Copy.
+#include "fig4_common.hpp"
+
+int main() {
+  using namespace oak::bench;
+  Mix mix;  // 100% gets
+  return runFig4("Figure 4c", "get-only throughput vs. threads", mix,
+                 {{"Oak", Series::Kind::OakZc},
+                  {"Oak-Copy", Series::Kind::OakCopy},
+                  {"SkipList-OnHeap", Series::Kind::OnHeap},
+                  {"SkipList-OffHeap", Series::Kind::OffHeap}});
+}

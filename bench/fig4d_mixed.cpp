@@ -1,0 +1,14 @@
+// Figure 4d: 95% get / 5% put (§5.2).
+// Expected shape: Oak 1.7x-2x over SkipList-OnHeap; SkipList-OffHeap slower
+// than both.
+#include "fig4_common.hpp"
+
+int main() {
+  using namespace oak::bench;
+  Mix mix;
+  mix.putPct = 5;
+  return runFig4("Figure 4d", "95% get / 5% put vs. threads", mix,
+                 {{"Oak", Series::Kind::OakZc},
+                  {"SkipList-OnHeap", Series::Kind::OnHeap},
+                  {"SkipList-OffHeap", Series::Kind::OffHeap}});
+}

@@ -1,0 +1,16 @@
+// Figure 4e: ascending scans of 10K pairs (scaled; OAK_BENCH_SCAN_LEN).
+// Throughput counts scanned entries.  Expected shape: Oak's Set API pays
+// for per-entry ephemeral views (~2x slower than the skiplists); Oak's
+// Stream API wins on chunk locality (paper: ~8x over SkipList-OnHeap).
+#include "fig4_common.hpp"
+
+int main() {
+  using namespace oak::bench;
+  Mix mix;
+  mix.scanAscPct = 100;
+  return runFig4("Figure 4e", "ascending scans vs. threads", mix,
+                 {{"Oak", Series::Kind::OakZc},
+                  {"Oak-stream", Series::Kind::OakStream},
+                  {"SkipList-OnHeap", Series::Kind::OnHeap},
+                  {"SkipList-OffHeap", Series::Kind::OffHeap}});
+}

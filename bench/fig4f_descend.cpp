@@ -1,0 +1,15 @@
+// Figure 4f: descending scans of 10K pairs (§4.2 stack algorithm vs. the
+// skiplists' lookup-per-key).  Expected shape: Oak >= 3.5x SkipList-OnHeap
+// even with the Set API; Oak-stream roughly doubles Oak-Set.
+#include "fig4_common.hpp"
+
+int main() {
+  using namespace oak::bench;
+  Mix mix;
+  mix.scanDescPct = 100;
+  return runFig4("Figure 4f", "descending scans vs. threads", mix,
+                 {{"Oak", Series::Kind::OakZc},
+                  {"Oak-stream", Series::Kind::OakStream},
+                  {"SkipList-OnHeap", Series::Kind::OnHeap},
+                  {"SkipList-OffHeap", Series::Kind::OffHeap}});
+}

@@ -1,0 +1,146 @@
+// Shared harness for the Druid incremental-index benchmarks (Figure 5, §6).
+//
+// Workload per the paper: unique ~1.25 KB tuples whose primary dimension is
+// the current timestamp in ms (spatially-local ingestion), generated in
+// advance, fed single-threaded into a rollup index.  Scaled ~100x down.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "benchcore/driver.hpp"
+#include "benchcore/workload.hpp"
+#include "druid/incremental_index.hpp"
+
+namespace oak::bench {
+
+using druid::AggType;
+using druid::AggregatorSpec;
+using druid::MetricValue;
+using druid::TupleIn;
+
+/// Rollup spec sized so key+row ~ 1.1 KB, close to the paper's 1.25 KB
+/// tuples: counters + an HLL unique sketch + a quantile sketch.
+inline AggregatorSpec druidSpec() {
+  return AggregatorSpec({AggType::Count, AggType::LongSum, AggType::DoubleSum,
+                         AggType::HllUnique, AggType::Quantiles});
+}
+
+struct PreparedTuples {
+  std::vector<TupleIn> tuples;
+  std::vector<std::string> dimPool;  // stable backing for string_views
+};
+
+/// "In order to measure ingestion performance in isolation, all the input
+///  is generated in advance."
+inline PreparedTuples generateTuples(std::size_t n, std::uint64_t seed = 7) {
+  PreparedTuples out;
+  out.dimPool.reserve(200);
+  for (int i = 0; i < 100; ++i) out.dimPool.push_back("campaign-" + std::to_string(i));
+  for (int i = 0; i < 100; ++i) out.dimPool.push_back("channel-" + std::to_string(i));
+  XorShift rng(seed);
+  out.tuples.reserve(n);
+  std::int64_t ts = 1'700'000'000'000;  // epoch ms; advances monotonically
+  for (std::size_t i = 0; i < n; ++i) {
+    TupleIn t;
+    ts += 1;  // unique timestamps: every tuple creates a row (paper: unique)
+    t.timestamp = ts;
+    t.dims = {out.dimPool[rng.nextBounded(100)], out.dimPool[100 + rng.nextBounded(100)]};
+    t.metrics.resize(5);
+    t.metrics[1].number = static_cast<double>(rng.nextBounded(1000));
+    t.metrics[2].number = rng.nextDouble() * 100.0;
+    t.metrics[3].hash64 = rng.nextBounded(1u << 20);  // "user id" for uniques
+    t.metrics[4].number = rng.nextDouble() * 1000.0;  // latency for quantiles
+    out.tuples.push_back(std::move(t));
+  }
+  return out;
+}
+
+struct DruidPoint {
+  double ktuplesPerSec = 0;
+  bool oom = false;
+  std::size_t rows = 0;
+  std::size_t heapLiveBytes = 0;
+  std::size_t offHeapBytes = 0;
+  std::uint64_t rawBytes = 0;
+  mheap::GcStats gc{};
+};
+
+template <class Index>
+DruidPoint ingestTuples(Index& idx, const PreparedTuples& in,
+                        mheap::ManagedHeap& heap) {
+  DruidPoint p;
+  const double t0 = nowSeconds();
+  try {
+    for (const TupleIn& t : in.tuples) idx.add(t);
+  } catch (const std::bad_alloc&) {
+    p.oom = true;
+    return p;
+  }
+  const double dt = nowSeconds() - t0;
+  p.ktuplesPerSec = static_cast<double>(in.tuples.size()) / dt / 1e3;
+  p.rows = idx.rowCount();
+  p.heapLiveBytes = heap.stats().liveBytes;
+  p.offHeapBytes = idx.offHeapBytes();
+  p.rawBytes = idx.rawDataBytes();
+  p.gc = heap.stats();
+  return p;
+}
+
+/// Builds an I2-Oak with the paper's memory split and ingests.
+inline DruidPoint runOakDruid(const PreparedTuples& in, std::size_t totalRamBytes,
+                              std::size_t expectedRawBytes) {
+  std::size_t off = expectedRawBytes + expectedRawBytes / 5 + (16u << 20);
+  if (off > totalRamBytes * 7 / 8) off = totalRamBytes * 7 / 8;
+  mheap::ManagedHeap heap(
+      mheap::ManagedHeap::Config{.budgetBytes = totalRamBytes - off});
+  mem::BlockPool pool(
+      mem::BlockPool::Config{.blockBytes = 8u << 20, .budgetBytes = off});
+  OakConfig ocfg;
+  ocfg.chunkCapacity = 2048;
+  ocfg.metaHeap = &heap;
+  ocfg.pool = &pool;
+  try {
+    druid::OakIncrementalIndex idx(druidSpec(), 2, /*rollup=*/true, heap, ocfg);
+    return ingestTuples(idx, in, heap);
+  } catch (const std::bad_alloc&) {
+    DruidPoint p;
+    p.oom = true;
+    return p;
+  }
+}
+
+inline DruidPoint runLegacyDruid(const PreparedTuples& in, std::size_t totalRamBytes) {
+  mheap::ManagedHeap heap(
+      mheap::ManagedHeap::Config{.budgetBytes = totalRamBytes});
+  try {
+    druid::LegacyIncrementalIndex idx(druidSpec(), 2, /*rollup=*/true, heap, heap);
+    return ingestTuples(idx, in, heap);
+  } catch (const std::bad_alloc&) {
+    DruidPoint p;
+    p.oom = true;
+    return p;
+  }
+}
+
+inline void printDruidRow(const char* name, double x, const DruidPoint& p) {
+  if (p.oom) {
+    std::printf("%-12s %10.0f %12s %10s %12s %12s %10s\n", name, x, "OOM", "-", "-",
+                "-", "-");
+    return;
+  }
+  std::printf("%-12s %10.0f %12.1f %10zu %12.1f %12.1f %10.1f\n", name, x,
+              p.ktuplesPerSec, p.rows,
+              static_cast<double>(p.heapLiveBytes) / (1 << 20),
+              static_cast<double>(p.offHeapBytes) / (1 << 20),
+              static_cast<double>(p.gc.gcNanos) / 1e6);
+}
+
+inline void printDruidHeader(const char* xLabel) {
+  std::printf("%-12s %10s %12s %10s %12s %12s %10s\n", "index", xLabel,
+              "Ktuples/sec", "rows", "heap-MB", "offheap-MB", "GC-ms");
+}
+
+}  // namespace oak::bench

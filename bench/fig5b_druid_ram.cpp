@@ -1,0 +1,27 @@
+// Figure 5b: Druid I^2 ingestion of a fixed dataset under varying RAM (§6).
+// Paper (7M tuples): I^2-legacy cannot run below 29 GB at all; I^2-Oak runs
+// (and fast) across the whole 25..32 GB range.  Scaled ~100x: 70K tuples,
+// 220..340 MiB budgets.
+#include "fig5_common.hpp"
+
+using namespace oak::bench;
+
+int main() {
+  const std::size_t tuples = envSize("OAK_BENCH_FIG5B_TUPLES", 70'000);
+  std::vector<std::size_t> ramMb{120, 140, 160, 180, 200, 220, 240, 280, 320};
+  printHeader("Figure 5b", "Druid I^2 ingestion vs. RAM, fixed dataset");
+  std::printf("dataset: %zu tuples, single thread, rollup index\n", tuples);
+  printDruidHeader("RAM-MB");
+  PreparedTuples in = generateTuples(tuples);
+  const std::size_t raw = tuples * 1100;
+  for (int alg = 0; alg < 2; ++alg) {
+    for (std::size_t mb : ramMb) {
+      const DruidPoint p = (alg == 0) ? runOakDruid(in, mb << 20, raw)
+                                      : runLegacyDruid(in, mb << 20);
+      printDruidRow(alg == 0 ? "I^2-Oak" : "I^2-legacy",
+                    static_cast<double>(mb), p);
+      std::fflush(stdout);
+    }
+  }
+  return 0;
+}

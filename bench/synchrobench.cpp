@@ -1,0 +1,258 @@
+// synchrobench — a CLI reproducing the paper's artifact runner (Appendix A).
+//
+// The original artifact drives all experiments through a synchrobench fork:
+// scenarios like `-a 0 -u 100` (put-only) or `--buffer -c -a 100`
+// (zero-copy descending scans), competitors OakMap / JavaSkipListMap /
+// OffHeapList, and a summary.csv with the columns
+//
+//   Scenario | Bench | Heap size | Direct Mem | #Threads | Final Size | Throughput
+//
+// This binary accepts the same vocabulary (plus explicit memory knobs) and
+// prints that table; `--csv FILE` also appends machine-readable rows.
+//
+//   ./synchrobench -b OakMap -t "1 4 8" -u 5 --buffer -d 2000 -i 100000
+//   ./synchrobench --scenario 4f   # canned paper scenarios: 4a..4f
+//
+// With no arguments it runs a quick sweep of all canned scenarios over all
+// competitors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "benchcore/adapters.hpp"
+#include "benchcore/driver.hpp"
+
+using namespace oak::bench;
+
+namespace {
+
+struct Options {
+  std::vector<std::string> benches{"OakMap", "JavaSkipListMap", "OffHeapList"};
+  std::vector<unsigned> threads{1, 2, 4, 8};
+  std::size_t size = 100'000;
+  std::size_t keySize = 100;
+  std::size_t valueSize = 1024;
+  unsigned updatePct = 0;    // -u : put percentage
+  unsigned computePct = 0;   // -c with -s: in-place updates
+  unsigned scanPct = 0;      // -s : scan percentage
+  bool descending = false;   // -a 100 with scans
+  bool zeroCopy = false;     // --buffer
+  bool stream = false;       // --stream-iteration
+  std::uint32_t durationMs = 300;  // -d
+  std::size_t scanLength = 1000;
+  std::size_t ramMb = 0;     // 0 = auto (3x raw)
+  std::string scenario = "custom";
+  std::string csvPath;
+};
+
+void usage() {
+  std::puts(
+      "synchrobench (Oak-C++ artifact runner)\n"
+      "  -b  <list>   benches: OakMap JavaSkipListMap OffHeapList (quoted list)\n"
+      "  -t  <list>   thread counts, e.g. \"1 4 8\"\n"
+      "  -i  <n>      key range (warm-up fills 50%)\n"
+      "  -k/-v <n>    key/value size in bytes (default 100/1024)\n"
+      "  -u  <pct>    put percentage (rest are gets)\n"
+      "  -s  <pct>    scan percentage\n"
+      "  -c           make -s scans in-place computes instead\n"
+      "  -a  <pct>    with -s: percentage of scans that run descending\n"
+      "  -d  <ms>     duration per point\n"
+      "  -L  <n>      scan length (default 1000)\n"
+      "  -m  <MiB>    total RAM budget (default 3x raw data)\n"
+      "  --buffer             use the zero-copy API\n"
+      "  --stream-iteration   use the Stream scan API\n"
+      "  --scenario <4a..4f>  canned paper scenario\n"
+      "  --csv <file>         append rows as CSV\n");
+}
+
+void applyScenario(Options& o) {
+  // The artifact's scenario strings (Appendix A.7).
+  if (o.scenario == "4a") {            // "-a 0 -u 100"
+    o.updatePct = 100;
+  } else if (o.scenario == "4b") {     // "--buffer -u 0 -s 100 -c"
+    o.zeroCopy = true;
+    o.scanPct = 100;
+    o.computePct = 100;
+  } else if (o.scenario == "4c") {     // "--buffer" (gets) — zc vs copy is -b
+    o.zeroCopy = true;
+  } else if (o.scenario == "4c-copy") {
+    o.zeroCopy = false;
+  } else if (o.scenario == "4d") {     // "--buffer -a 0 -u 5"
+    o.zeroCopy = true;
+    o.updatePct = 5;
+  } else if (o.scenario == "4e") {     // "--buffer -c" (ascending entry scan)
+    o.zeroCopy = true;
+    o.scanPct = 100;
+  } else if (o.scenario == "4e-stream") {
+    o.zeroCopy = true;
+    o.scanPct = 100;
+    o.stream = true;
+  } else if (o.scenario == "4f") {     // "--buffer -c -a 100" (descending)
+    o.zeroCopy = true;
+    o.scanPct = 100;
+    o.descending = true;
+  } else if (o.scenario == "4f-stream") {
+    o.zeroCopy = true;
+    o.scanPct = 100;
+    o.descending = true;
+    o.stream = true;
+  }
+}
+
+Mix mixFor(const Options& o) {
+  Mix m;
+  m.putPct = o.updatePct;
+  if (o.scanPct > 0 && o.computePct > 0) {
+    m.computePct = o.computePct;  // "-s 100 -c": in-place updates
+  } else if (o.scanPct > 0) {
+    (o.descending ? m.scanDescPct : m.scanAscPct) = o.scanPct;
+  }
+  m.streamScans = o.stream;
+  return m;
+}
+
+template <class Adapter, class... Args>
+void runBench(const Options& o, const std::string& bench, Args&&... args) {
+  std::ofstream csv;
+  if (!o.csvPath.empty()) csv.open(o.csvPath, std::ios::app);
+  for (unsigned t : o.threads) {
+    BenchConfig cfg;
+    cfg.keyRange = o.size;
+    cfg.keyBytes = o.keySize;
+    cfg.valueBytes = o.valueSize;
+    cfg.threads = t;
+    cfg.durationMs = o.durationMs;
+    cfg.scanLength = o.scanLength;
+    cfg.totalRamBytes = o.ramMb != 0 ? (o.ramMb << 20) : cfg.rawDataBytes() * 3;
+    const RamSplit split = splitRam(cfg, bench != "JavaSkipListMap");
+    const PointResult r = runPoint<Adapter>(cfg, mixFor(o), std::forward<Args>(args)...);
+    // The artifact's summary.csv layout.
+    std::printf("%-14s %-18s %8zum %8zum %9u %12zu %14.6f\n", o.scenario.c_str(),
+                bench.c_str(), split.heapBytes >> 20, split.offHeapBytes >> 20, t,
+                r.finalSize, r.kops / 1e3 /* Mops, like the artifact */);
+    std::fflush(stdout);
+    if (csv.is_open()) {
+      csv << o.scenario << ',' << bench << ',' << (split.heapBytes >> 20) << "m,"
+          << (split.offHeapBytes >> 20) << "m," << t << ',' << r.finalSize << ','
+          << r.kops / 1e3 << '\n';
+    }
+  }
+}
+
+void runAll(const Options& o) {
+  std::printf("%-14s %-18s %9s %9s %9s %12s %14s\n", "Scenario", "Bench",
+              "Heap", "DirectMem", "#Threads", "Final Size", "Mops/sec");
+  for (const std::string& b : o.benches) {
+    if (b == "OakMap") {
+      runBench<OakAdapter>(o, b, /*copyApi=*/!o.zeroCopy);
+    } else if (b == "JavaSkipListMap") {
+      runBench<OnHeapAdapter>(o, b);
+    } else if (b == "OffHeapList") {
+      runBench<OffHeapAdapter>(o, b);
+    } else {
+      std::fprintf(stderr, "unknown bench: %s\n", b.c_str());
+    }
+  }
+}
+
+std::vector<std::string> splitList(const char* s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = s;; ++p) {
+    if (*p == ' ' || *p == '\0') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+      if (*p == '\0') break;
+    } else {
+      cur += *p;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  o.size = envSize("OAK_BENCH_SIZE", o.size);
+  o.durationMs = static_cast<std::uint32_t>(
+      envSize("OAK_BENCH_DURATION_MS", o.durationMs));
+
+  bool anyArg = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    anyArg = true;
+    if (a == "-b") {
+      o.benches = splitList(next());
+    } else if (a == "-t") {
+      o.threads.clear();
+      for (auto& s : splitList(next())) {
+        o.threads.push_back(static_cast<unsigned>(std::stoul(s)));
+      }
+    } else if (a == "-i") {
+      o.size = std::stoull(next());
+    } else if (a == "-k") {
+      o.keySize = std::stoull(next());
+    } else if (a == "-v") {
+      o.valueSize = std::stoull(next());
+    } else if (a == "-u") {
+      o.updatePct = static_cast<unsigned>(std::stoul(next()));
+    } else if (a == "-s") {
+      o.scanPct = static_cast<unsigned>(std::stoul(next()));
+    } else if (a == "-c") {
+      o.computePct = 100;
+    } else if (a == "-a") {
+      o.descending = std::stoul(next()) >= 50;
+    } else if (a == "-d") {
+      o.durationMs = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (a == "-L") {
+      o.scanLength = std::stoull(next());
+    } else if (a == "-m") {
+      o.ramMb = std::stoull(next());
+    } else if (a == "--buffer") {
+      o.zeroCopy = true;
+    } else if (a == "--stream-iteration") {
+      o.stream = true;
+    } else if (a == "--scenario") {
+      o.scenario = next();
+      applyScenario(o);
+    } else if (a == "--csv") {
+      o.csvPath = next();
+    } else if (a == "-h" || a == "--help") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  if (!anyArg) {
+    // Quick sweep of all canned scenarios (CI-friendly defaults).
+    Options quick = o;
+    quick.size = envSize("OAK_BENCH_SIZE", 20'000);
+    quick.durationMs = static_cast<std::uint32_t>(
+        envSize("OAK_BENCH_DURATION_MS", 120));
+    quick.threads = envThreadList("OAK_BENCH_THREADS", {1, 4});
+    for (const char* sc : {"4a", "4c", "4c-copy", "4d", "4e", "4e-stream",
+                           "4f", "4f-stream"}) {
+      Options run = quick;
+      run.scenario = sc;
+      applyScenario(run);
+      runAll(run);
+    }
+    return 0;
+  }
+  runAll(o);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: create an OakMap, use the zero-copy API (Table 1), do some
+// atomic in-place updates, and scan in both directions.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+#include <string>
+
+#include "oak/map.hpp"
+
+int main() {
+  using namespace oak;
+
+  // An ordered concurrent map from string keys to string values, stored in
+  // self-managed off-heap arenas.  Serializers translate between C++
+  // objects and Oak's internal buffers (§2.1 of the paper).
+  OakMap<std::string, std::string, StringSerializer, StringSerializer> map;
+  auto zc = map.zc();  // the zero-copy view (§2.2)
+
+  // ---- basic updates -----------------------------------------------------
+  zc.put("apple", "red");
+  zc.put("banana", "yellow");
+  zc.put("cherry", "red");
+
+  if (!zc.putIfAbsent("apple", "green")) {
+    std::printf("apple already present — putIfAbsent declined\n");
+  }
+
+  // ---- zero-copy reads ---------------------------------------------------
+  if (auto buf = zc.get("banana")) {
+    // `buf` is a view over Oak's off-heap buffer — no copy was made.
+    std::printf("banana -> %s (%zu bytes, zero-copy)\n",
+                buf->deserialize<StringSerializer, std::string>().c_str(),
+                buf->size());
+  }
+
+  // ---- atomic in-place compute (unlike JDK maps, this is atomic) ---------
+  zc.computeIfPresent("cherry", [](OakWBuffer& w) {
+    w.putByte(0, 'R');  // mutate the serialized bytes in place, off-heap
+  });
+  std::printf("cherry -> %s (after atomic in-situ compute)\n",
+              map.get("cherry")->c_str());
+
+  // upsert: insert if absent, otherwise update in place — one atomic call.
+  zc.putIfAbsentComputeIfPresent("date", "brown", [](OakWBuffer& w) {
+    w.putByte(0, 'B');
+  });
+
+  // ---- scans (non-atomic, ordered) ----------------------------------------
+  std::printf("\nascending entrySet():\n");
+  for (auto c = zc.entrySet(); c.valid(); c.next()) {
+    std::printf("  %s -> %s\n", c.key().c_str(), c.value()->c_str());
+  }
+
+  std::printf("descending, via the chunk-stack algorithm (no lookups):\n");
+  for (auto c = zc.descendingEntrySet(); c.valid(); c.next()) {
+    std::printf("  %s\n", c.key().c_str());
+  }
+
+  std::printf("range [banana, date):\n");
+  for (auto c = zc.subMap("banana", "date"); c.valid(); c.next()) {
+    std::printf("  %s\n", c.key().c_str());
+  }
+
+  // ---- legacy (copying) API — the ConcurrentNavigableMap surface ---------
+  auto old = map.put("apple", "green");  // returns the previous value
+  std::printf("\nlegacy put returned old value: %s\n",
+              old ? old->c_str() : "(none)");
+  map.remove("apple");
+
+  std::printf("\noff-heap footprint: %zu KiB across %zu chunks\n",
+              map.offHeapFootprintBytes() / 1024, map.chunkCount());
+  return 0;
+}

@@ -1,0 +1,251 @@
+// MapDB stand-in: an off-heap B+-tree behind a global reader-writer lock.
+//
+// §1.2/§5.1 of the paper: "the only off-the-shelf data structure library
+// implementation that we are aware of is within the MapDB open-source
+// package, which implements Sagiv's concurrent B*-tree ... it is also at
+// least an order-of-magnitude slower than Oak; we omit these results."
+//
+// We reproduce the comparison the paper omitted, with an honest-but-simple
+// equivalent: a classic B+-tree whose key/value payloads live in Oak's
+// off-heap arenas and whose (coarse) synchronization is a single
+// std::shared_mutex — the serialization bottleneck is what makes the
+// order-of-magnitude gap appear under concurrency, as the ablation bench
+// shows.  Used only by bench/ablation_btree.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "mem/memory_manager.hpp"
+
+namespace oak::bl {
+
+class OffHeapBTree {
+  static constexpr int kOrder = 64;  // max children per inner node
+
+  struct Node {
+    bool leaf = true;
+    std::vector<std::uint64_t> keys;  // off-heap key refs (packed bits)
+    // leaf: values[i] pairs with keys[i]; inner: children.size()==keys.size()+1
+    std::vector<std::uint64_t> values;
+    std::vector<std::unique_ptr<Node>> children;
+    Node* nextLeaf = nullptr;  // leaf chain for range scans
+  };
+
+ public:
+  explicit OffHeapBTree(mem::BlockPool& pool) : mm_(pool) {
+    root_ = std::make_unique<Node>();
+  }
+
+  /// Inserts or replaces.  Returns true if a new key was inserted.
+  bool put(ByteSpan key, ByteSpan value) {
+    std::unique_lock lk(mu_);
+    const std::uint64_t v = writeBuf(value).bits();
+    Node* r = root_.get();
+    if (static_cast<int>(r->keys.size()) == 2 * kOrder - 1) {
+      auto newRoot = std::make_unique<Node>();
+      newRoot->leaf = false;
+      newRoot->children.push_back(std::move(root_));
+      splitChild(newRoot.get(), 0);
+      root_ = std::move(newRoot);
+    }
+    return insertNonFull(root_.get(), key, v);
+  }
+
+  bool putIfAbsent(ByteSpan key, ByteSpan value) {
+    {
+      std::shared_lock lk(mu_);
+      if (findLeafValue(key) != 0) return false;
+    }
+    std::unique_lock lk(mu_);
+    if (findLeafValue(key) != 0) return false;
+    const std::uint64_t v = writeBuf(value).bits();
+    Node* r = root_.get();
+    if (static_cast<int>(r->keys.size()) == 2 * kOrder - 1) {
+      auto newRoot = std::make_unique<Node>();
+      newRoot->leaf = false;
+      newRoot->children.push_back(std::move(root_));
+      splitChild(newRoot.get(), 0);
+      root_ = std::move(newRoot);
+    }
+    insertNonFull(root_.get(), key, v);
+    return true;
+  }
+
+  template <class F>
+  bool get(ByteSpan key, F&& f) const {
+    std::shared_lock lk(mu_);
+    const std::uint64_t v = findLeafValue(key);
+    if (v == 0) return false;
+    const mem::Ref r{v};
+    f(ByteSpan{mm_.translate(r), r.length()});
+    return true;
+  }
+
+  std::optional<ByteVec> getCopy(ByteSpan key) const {
+    std::optional<ByteVec> out;
+    get(key, [&](ByteSpan s) { out.emplace(s.begin(), s.end()); });
+    return out;
+  }
+
+  /// Tombstone removal (MapDB-style lazy delete): the value ref is nulled,
+  /// the key stays until compaction (which we never run — §3.2's "deletions
+  /// are infrequent" workloads).
+  bool remove(ByteSpan key) {
+    std::unique_lock lk(mu_);
+    Node* n = root_.get();
+    while (!n->leaf) n = n->children[childIndex(n, key)].get();
+    const int i = lowerBound(n, key);
+    if (i >= static_cast<int>(n->keys.size()) || !keyEquals(n->keys[i], key)) {
+      return false;
+    }
+    if (n->values[i] == 0) return false;
+    mm_.free(mem::Ref{n->values[i]});
+    n->values[i] = 0;
+    return true;
+  }
+
+  template <class F>
+  std::size_t scanAscend(ByteSpan from, std::size_t maxEntries, F&& f) const {
+    std::shared_lock lk(mu_);
+    const Node* n = root_.get();
+    while (!n->leaf) n = n->children[childIndex(n, from)].get();
+    std::size_t count = 0;
+    int i = from.empty() ? 0 : lowerBound(n, from);
+    while (n != nullptr && count < maxEntries) {
+      for (; i < static_cast<int>(n->keys.size()) && count < maxEntries; ++i) {
+        if (n->values[i] == 0) continue;
+        const mem::Ref kr{n->keys[i]};
+        const mem::Ref vr{n->values[i]};
+        f(ByteSpan{mm_.translate(kr), kr.length()},
+          ByteSpan{mm_.translate(vr), vr.length()});
+        ++count;
+      }
+      n = n->nextLeaf;
+      i = 0;
+    }
+    return count;
+  }
+
+  std::size_t size() const {
+    std::shared_lock lk(mu_);
+    std::size_t n = 0;
+    for (const Node* leaf = leftmost(); leaf != nullptr; leaf = leaf->nextLeaf) {
+      for (std::uint64_t v : leaf->values) {
+        if (v != 0) ++n;
+      }
+    }
+    return n;
+  }
+
+  std::size_t offHeapFootprintBytes() const { return mm_.footprintBytes(); }
+
+ private:
+  ByteSpan keyBytes(std::uint64_t bits) const noexcept {
+    return mm_.keyBytes(mem::Ref{bits});
+  }
+  bool keyEquals(std::uint64_t bits, ByteSpan k) const noexcept {
+    return bytesEqual(keyBytes(bits), k);
+  }
+
+  mem::Ref writeBuf(ByteSpan bytes) {
+    mem::Ref r = mm_.allocRaw(static_cast<std::uint32_t>(bytes.size()));
+    copyBytes({mm_.translate(r), r.length()}, bytes);
+    return r;
+  }
+
+  /// First index i with keys[i] >= k.
+  int lowerBound(const Node* n, ByteSpan k) const {
+    int lo = 0, hi = static_cast<int>(n->keys.size());
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      if (compareBytes(keyBytes(n->keys[mid]), k) < 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  int childIndex(const Node* n, ByteSpan k) const {
+    int i = lowerBound(n, k);
+    if (i < static_cast<int>(n->keys.size()) && keyEquals(n->keys[i], k)) ++i;
+    return i;
+  }
+
+  std::uint64_t findLeafValue(ByteSpan key) const {
+    const Node* n = root_.get();
+    while (!n->leaf) n = n->children[childIndex(n, key)].get();
+    const int i = lowerBound(n, key);
+    if (i >= static_cast<int>(n->keys.size()) || !keyEquals(n->keys[i], key)) return 0;
+    return n->values[i];
+  }
+
+  const Node* leftmost() const {
+    const Node* n = root_.get();
+    while (!n->leaf) n = n->children.front().get();
+    return n;
+  }
+
+  void splitChild(Node* parent, int idx) {
+    Node* child = parent->children[idx].get();
+    auto right = std::make_unique<Node>();
+    right->leaf = child->leaf;
+    const int mid = kOrder - 1;
+
+    if (child->leaf) {
+      // B+: the separator key is duplicated up; the right leaf keeps it.
+      right->keys.assign(child->keys.begin() + mid, child->keys.end());
+      right->values.assign(child->values.begin() + mid, child->values.end());
+      child->keys.resize(mid);
+      child->values.resize(mid);
+      right->nextLeaf = child->nextLeaf;
+      child->nextLeaf = right.get();
+      parent->keys.insert(parent->keys.begin() + idx, right->keys.front());
+    } else {
+      right->keys.assign(child->keys.begin() + mid + 1, child->keys.end());
+      for (std::size_t c = mid + 1; c < child->children.size(); ++c) {
+        right->children.push_back(std::move(child->children[c]));
+      }
+      parent->keys.insert(parent->keys.begin() + idx, child->keys[mid]);
+      child->keys.resize(mid);
+      child->children.resize(mid + 1);
+    }
+    parent->children.insert(parent->children.begin() + idx + 1, std::move(right));
+  }
+
+  /// Returns true if a NEW key was inserted (false: replaced in place).
+  bool insertNonFull(Node* n, ByteSpan key, std::uint64_t v) {
+    while (!n->leaf) {
+      int i = childIndex(n, key);
+      Node* child = n->children[i].get();
+      if (static_cast<int>(child->keys.size()) == 2 * kOrder - 1) {
+        splitChild(n, i);
+        if (compareBytes(keyBytes(n->keys[i]), key) <= 0) ++i;
+        child = n->children[i].get();
+      }
+      n = child;
+    }
+    const int i = lowerBound(n, key);
+    if (i < static_cast<int>(n->keys.size()) && keyEquals(n->keys[i], key)) {
+      if (n->values[i] != 0) mm_.free(mem::Ref{n->values[i]});
+      n->values[i] = v;
+      return false;
+    }
+    const mem::Ref kr = mm_.allocateKey(key);
+    n->keys.insert(n->keys.begin() + i, kr.bits());
+    n->values.insert(n->values.begin() + i, v);
+    return true;
+  }
+
+  mutable std::shared_mutex mu_;
+  mutable mem::MemoryManager mm_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace oak::bl

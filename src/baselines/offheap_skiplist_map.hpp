@@ -1,0 +1,277 @@
+// SkipList-OffHeap — the paper's second baseline (§5.1):
+//
+// "Internally, Skiplist-OffHeap maintains a concurrent skiplist over an
+//  intermediate cell object.  Each cell references a key buffer and a value
+//  buffer allocated in off-heap arenas through Oak's memory manager.  This
+//  solution is inspired by off-heap support in production systems, e.g.,
+//  HBase."
+//
+// The skiplist nodes and cells are managed (Java) objects; only key/value
+// payloads live off-heap.  Value replacement swaps the cell's value
+// reference with CAS and retires the old buffer through EBR (standing in
+// for the JVM's reachability guarantee).  It exposes Oak's ZC read API but
+// not Oak's atomic in-place compute (merge is copy-and-CAS, like the JDK).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "mem/memory_manager.hpp"
+#include "mheap/managed_heap.hpp"
+#include "skiplist/skiplist.hpp"
+#include "sync/ebr.hpp"
+
+namespace oak::bl {
+
+class OffHeapSkipListMap {
+ public:
+  /// The intermediate cell: a small managed object referencing off-heap
+  /// key and value buffers.
+  struct Cell {
+    std::uint64_t keyRefBits;
+    std::atomic<std::uint64_t> valRefBits;
+  };
+
+ private:
+  struct Cmp {
+    mem::MemoryManager* mm;
+    ByteSpan keyOf(Cell* c) const noexcept {
+      return mm->keyBytes(mem::Ref{c->keyRefBits});
+    }
+    int operator()(Cell* const& a, ByteSpan b) const noexcept {
+      return compareBytes(keyOf(a), b);
+    }
+    int operator()(Cell* const& a, Cell* const& b) const noexcept {
+      return compareBytes(keyOf(a), keyOf(b));
+    }
+  };
+  using List = sl::SkipList<Cell*, Cell*, Cmp>;
+
+ public:
+  OffHeapSkipListMap(mheap::ManagedHeap& heap, mem::BlockPool& pool)
+      : heap_(heap), mm_(pool), nodeMem_(heap), list_(Cmp{&mm_}, nodeMem_) {}
+
+  ~OffHeapSkipListMap() {
+    ebr_.drainAll();
+    for (auto* n = list_.firstNode(); n != nullptr; n = list_.nextNode(n)) {
+      heap_.free(n->key);  // cells; off-heap buffers die with the arenas
+    }
+  }
+
+  OffHeapSkipListMap(const OffHeapSkipListMap&) = delete;
+  OffHeapSkipListMap& operator=(const OffHeapSkipListMap&) = delete;
+
+  /// ZC get: runs f(ByteSpan) on the off-heap value under an epoch guard.
+  template <class F>
+  bool get(ByteSpan key, F&& f) const {
+    sync::Ebr::Guard g(ebr_);
+    Cell* c = list_.get(key);
+    if (c == nullptr) return false;
+    const std::uint64_t v = c->valRefBits.load(std::memory_order_acquire);
+    if (v == 0) return false;
+    const mem::Ref r{v};
+    f(ByteSpan{mm_.translate(r), r.length()});
+    return true;
+  }
+
+  std::optional<ByteVec> getCopy(ByteSpan key) const {
+    std::optional<ByteVec> out;
+    get(key, [&](ByteSpan s) { out.emplace(s.begin(), s.end()); });
+    return out;
+  }
+
+  bool containsKey(ByteSpan key) const {
+    sync::Ebr::Guard g(ebr_);
+    return list_.get(key) != nullptr;
+  }
+
+  void put(ByteSpan key, ByteSpan value) {
+    sync::Ebr::Guard g(ebr_);
+    const mem::Ref v = writeBuf(value);
+    // Fast path: replace in an existing live cell (no new cell/key).
+    if (typename List::Node* node = list_.getNode(key)) {
+      Cell* live = node->loadValue();
+      if (live != nullptr) {
+        const std::uint64_t old =
+            live->valRefBits.exchange(v.bits(), std::memory_order_acq_rel);
+        if (old != 0) retireBuf(mem::Ref{old});
+        return;
+      }
+    }
+    Cell* cell = makeCell(key, v);
+    for (;;) {
+      typename List::Node* existing = list_.putIfAbsentNode(cell, cell);
+      if (existing == nullptr) return;
+      Cell* live = existing->loadValue();
+      if (live == nullptr) continue;  // being removed; retry insert
+      const std::uint64_t old =
+          live->valRefBits.exchange(v.bits(), std::memory_order_acq_rel);
+      disposeCellShallow(cell);
+      if (old != 0) retireBuf(mem::Ref{old});
+      return;
+    }
+  }
+
+  bool putIfAbsent(ByteSpan key, ByteSpan value) {
+    sync::Ebr::Guard g(ebr_);
+    const mem::Ref v = writeBuf(value);
+    Cell* cell = makeCell(key, v);
+    for (;;) {
+      typename List::Node* existing = list_.putIfAbsentNode(cell, cell);
+      if (existing == nullptr) return true;
+      if (existing->loadValue() != nullptr) {
+        retireBuf(v);
+        disposeCellShallow(cell);
+        return false;
+      }
+    }
+  }
+
+  bool remove(ByteSpan key) {
+    sync::Ebr::Guard g(ebr_);
+    Cell* cell = list_.erase(key);
+    if (cell == nullptr) return false;
+    const std::uint64_t old =
+        cell->valRefBits.exchange(0, std::memory_order_acq_rel);
+    if (old != 0) retireBuf(mem::Ref{old});
+    // The cell object and key buffer are retained (JVM-collected in Java).
+    return true;
+  }
+
+  /// Unsynchronized in-place mutation of the off-heap value — the
+  /// Figure-4b configuration (no new objects, no atomicity).
+  template <class F>
+  bool mutateInPlace(ByteSpan key, F&& func) {
+    sync::Ebr::Guard g(ebr_);
+    Cell* c = list_.get(key);
+    if (c == nullptr) return false;
+    const std::uint64_t v = c->valRefBits.load(std::memory_order_acquire);
+    if (v == 0) return false;
+    const mem::Ref r{v};
+    func(MutByteSpan{mm_.translate(r), r.length()});
+    return true;
+  }
+
+  /// Copy-and-CAS merge (no in-place atomicity — the contrast with Oak).
+  template <class F>
+  void merge(ByteSpan key, ByteSpan initial, F&& func) {
+    sync::Ebr::Guard g(ebr_);
+    for (;;) {
+      Cell* c = list_.get(key);
+      const std::uint64_t old =
+          (c != nullptr) ? c->valRefBits.load(std::memory_order_acquire) : 0;
+      if (c == nullptr || old == 0) {
+        if (putIfAbsent(key, initial)) return;
+        continue;
+      }
+      const mem::Ref oldRef{old};
+      const mem::Ref fresh = mm_.allocRaw(oldRef.length());
+      copyBytes({mm_.translate(fresh), fresh.length()},
+                {mm_.translate(oldRef), oldRef.length()});
+      func(MutByteSpan{mm_.translate(fresh), fresh.length()});
+      std::uint64_t expected = old;
+      if (c->valRefBits.compare_exchange_strong(expected, fresh.bits(),
+                                                std::memory_order_acq_rel)) {
+        retireBuf(oldRef);
+        return;
+      }
+      mm_.free(fresh);  // never published
+    }
+  }
+
+  struct Entry {
+    ByteSpan key;
+    ByteSpan value;
+  };
+
+  template <class F>
+  std::size_t scanAscend(ByteSpan from, std::size_t maxEntries, F&& f) const {
+    sync::Ebr::Guard g(ebr_);
+    std::size_t n = 0;
+    auto* node = from.empty() ? list_.firstNode() : list_.ceilingNode(from);
+    while (node != nullptr && n < maxEntries) {
+      Cell* c = node->loadValue();
+      if (c != nullptr) {
+        const std::uint64_t v = c->valRefBits.load(std::memory_order_acquire);
+        if (v != 0) {
+          const mem::Ref kr{c->keyRefBits};
+          const mem::Ref vr{v};
+          f(Entry{{mm_.translate(kr), kr.length()}, {mm_.translate(vr), vr.length()}});
+          ++n;
+        }
+      }
+      node = list_.nextNode(node);
+    }
+    return n;
+  }
+
+  /// Descending via per-key lookups, like the JDK (§5.1 groups this with
+  /// the skiplist family).
+  template <class F>
+  std::size_t scanDescend(ByteSpan from, std::size_t maxEntries, F&& f) const {
+    sync::Ebr::Guard g(ebr_);
+    std::size_t n = 0;
+    auto* node = from.empty() ? list_.lastNode() : list_.lowerNode(from);
+    while (node != nullptr && n < maxEntries) {
+      Cell* c = node->loadValue();
+      if (c != nullptr) {
+        const std::uint64_t v = c->valRefBits.load(std::memory_order_acquire);
+        if (v != 0) {
+          const mem::Ref kr{c->keyRefBits};
+          const mem::Ref vr{v};
+          f(Entry{{mm_.translate(kr), kr.length()}, {mm_.translate(vr), vr.length()}});
+          ++n;
+        }
+      }
+      const mem::Ref kr{node->key->keyRefBits};
+      node = list_.lowerNode(ByteSpan{mm_.translate(kr), kr.length()});
+    }
+    return n;
+  }
+
+  std::size_t sizeApprox() const { return list_.sizeApprox(); }
+  std::size_t offHeapFootprintBytes() const { return mm_.footprintBytes(); }
+
+ private:
+  mem::Ref writeBuf(ByteSpan bytes) {
+    mem::Ref r = mm_.allocRaw(static_cast<std::uint32_t>(bytes.size()));
+    copyBytes({mm_.translate(r), r.length()}, bytes);
+    return r;
+  }
+
+  Cell* makeCell(ByteSpan key, mem::Ref valueRef) {
+    auto* c = static_cast<Cell*>(heap_.alloc(sizeof(Cell)));
+    c->keyRefBits = mm_.allocateKey(key).bits();
+    new (&c->valRefBits) std::atomic<std::uint64_t>(valueRef.bits());
+    return c;
+  }
+
+  /// Disposes a cell that lost the insert race (its key buffer too; the
+  /// value buffer ownership is handled by the caller).
+  void disposeCellShallow(Cell* c) {
+    mm_.free(mem::Ref{c->keyRefBits});
+    heap_.free(c);
+  }
+
+  void retireBuf(mem::Ref r) {
+    struct Ctx {
+      OffHeapSkipListMap* self;
+    };
+    ebr_.retire(reinterpret_cast<void*>(static_cast<std::uintptr_t>(r.bits())),
+                [](void* p, void* ctx) {
+                  auto* self = static_cast<OffHeapSkipListMap*>(ctx);
+                  self->mm_.free(mem::Ref{
+                      static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(p))});
+                },
+                this);
+  }
+
+  mheap::ManagedHeap& heap_;
+  mutable mem::MemoryManager mm_;
+  sl::ManagedMem nodeMem_;
+  List list_;
+  mutable sync::Ebr ebr_;
+};
+
+}  // namespace oak::bl

@@ -1,0 +1,213 @@
+// SkipList-OnHeap — the paper's primary baseline (§5.1): JDK8
+// ConcurrentSkipListMap semantics with every key, value, and node allocated
+// as a managed ("Java") object on the simulated heap.
+//
+// Faithful behavioural properties:
+//   * get returns a reference to the existing value object — no copy, no
+//     ephemeral allocation (the JDK advantage in Figure 4c/4e).
+//   * put replaces the value pointer atomically and the old object becomes
+//     garbage for the collector.
+//   * merge / computeIfPresent are copy-and-CAS loops — each attempt
+//     allocates a fresh value object (the churn the paper contrasts with
+//     Oak's in-place compute; JDK compute is "not necessarily atomic" in
+//     the in-place sense).
+//   * descending scans issue a fresh lookup per key (§4.2: "The standard
+//     implementation of descending iterators in a skiplist calls lookUp
+//     anew after each key"), costing O(S log N).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "mheap/managed_heap.hpp"
+#include "skiplist/skiplist.hpp"
+
+namespace oak::bl {
+
+class OnHeapSkipListMap {
+  using MB = mheap::ManagedBytes;
+
+  struct Cmp {
+    int operator()(MB* const& a, ByteSpan b) const noexcept {
+      return compareBytes({a->data(), a->size()}, b);
+    }
+    int operator()(MB* const& a, MB* const& b) const noexcept {
+      return compareBytes({a->data(), a->size()}, {b->data(), b->size()});
+    }
+  };
+  using List = sl::SkipList<MB*, MB*, Cmp>;
+
+ public:
+  explicit OnHeapSkipListMap(mheap::ManagedHeap& heap)
+      : heap_(heap), nodeMem_(heap), list_(Cmp{}, nodeMem_) {}
+
+  ~OnHeapSkipListMap() {
+    // Free live key/value objects; nodes are freed by the skiplist itself.
+    for (auto* n = list_.firstNode(); n != nullptr; n = list_.nextNode(n)) {
+      MB::dispose(heap_, n->key);
+      MB::dispose(heap_, n->loadValue());
+    }
+  }
+
+  OnHeapSkipListMap(const OnHeapSkipListMap&) = delete;
+  OnHeapSkipListMap& operator=(const OnHeapSkipListMap&) = delete;
+
+  /// JDK get: a reference to the live value object (no copy).
+  const MB* getRef(ByteSpan key) const { return list_.get(key); }
+
+  std::optional<ByteVec> getCopy(ByteSpan key) const {
+    const MB* v = getRef(key);
+    if (v == nullptr) return std::nullopt;
+    return ByteVec(v->data(), v->data() + v->size());
+  }
+
+  bool containsKey(ByteSpan key) const { return getRef(key) != nullptr; }
+
+  /// JDK put: replaces; the old value object becomes garbage.
+  void put(ByteSpan key, ByteSpan value) {
+    MB* v = MB::make(heap_, value.data(), value.size());
+    MB* kObj = MB::make(heap_, key.data(), key.size());
+    for (;;) {
+      typename List::Node* existing = list_.putIfAbsentNode(kObj, v);
+      if (existing == nullptr) return;  // kObj and v now owned by the node
+      MB* old = existing->loadValue();
+      while (old != nullptr) {
+        if (existing->casValue(old, v)) {
+          MB::dispose(heap_, old);
+          MB::dispose(heap_, kObj);
+          return;
+        }
+      }
+      // node got removed under us — retry as insert
+    }
+  }
+
+  /// JDK putIfAbsent: true iff inserted.
+  bool putIfAbsent(ByteSpan key, ByteSpan value) {
+    MB* v = MB::make(heap_, value.data(), value.size());
+    MB* kObj = MB::make(heap_, key.data(), key.size());
+    for (;;) {
+      typename List::Node* existing = list_.putIfAbsentNode(kObj, v);
+      if (existing == nullptr) return true;
+      if (existing->loadValue() != nullptr) {
+        MB::dispose(heap_, v);
+        MB::dispose(heap_, kObj);
+        return false;
+      }
+    }
+  }
+
+  /// JDK remove: true iff removed; the key/value objects become garbage.
+  bool remove(ByteSpan key) {
+    MB* old = list_.erase(key);
+    if (old == nullptr) return false;
+    MB::dispose(heap_, old);
+    // NOTE: the key object and node are retained until destruction (see the
+    // skiplist's reclamation policy); a JVM would eventually collect them.
+    return true;
+  }
+
+  /// JDK merge(K, V, remapping): copy-on-write CAS loop.  Non-atomic in the
+  /// in-place sense — each attempt materializes a fresh value object.
+  /// `func` mutates the serialized value bytes in the new copy.
+  template <class F>
+  void merge(ByteSpan key, ByteSpan initial, F&& func) {
+    for (;;) {
+      typename List::Node* node = list_.getNode(key);
+      MB* old = (node != nullptr) ? node->loadValue() : nullptr;
+      if (old == nullptr) {
+        if (putIfAbsent(key, initial)) return;
+        continue;
+      }
+      MB* fresh = MB::make(heap_, old->data(), old->size());
+      func(MutByteSpan{fresh->data(), fresh->size()});
+      if (node->casValue(old, fresh)) {
+        MB::dispose(heap_, old);
+        return;
+      }
+      MB::dispose(heap_, fresh);  // lost the race; retry on the new value
+    }
+  }
+
+  /// The paper's Figure-4b configuration mutates the existing value object
+  /// in place, without synchronization — the JDK's compute "is not
+  /// necessarily atomic" (§1.1), and the in-place variant allocates no new
+  /// objects ("this workload does not increase the number of objects").
+  template <class F>
+  bool mutateInPlace(ByteSpan key, F&& func) {
+    typename List::Node* node = list_.getNode(key);
+    MB* v = (node != nullptr) ? node->loadValue() : nullptr;
+    if (v == nullptr) return false;
+    func(MutByteSpan{v->data(), v->size()});
+    return true;
+  }
+
+  /// computeIfPresent via the same copy-and-CAS discipline.
+  template <class F>
+  bool computeIfPresent(ByteSpan key, F&& func) {
+    for (;;) {
+      typename List::Node* node = list_.getNode(key);
+      MB* old = (node != nullptr) ? node->loadValue() : nullptr;
+      if (old == nullptr) return false;
+      MB* fresh = MB::make(heap_, old->data(), old->size());
+      func(MutByteSpan{fresh->data(), fresh->size()});
+      if (node->casValue(old, fresh)) {
+        MB::dispose(heap_, old);
+        return true;
+      }
+      MB::dispose(heap_, fresh);
+    }
+  }
+
+  // ------------------------------------------------------------- scans
+  struct Entry {
+    ByteSpan key;
+    ByteSpan value;
+  };
+
+  /// Ascending: plain level-0 traversal (fast in the JDK too).
+  template <class F>
+  std::size_t scanAscend(ByteSpan from, std::size_t maxEntries, F&& f) const {
+    std::size_t n = 0;
+    auto* node = from.empty() ? list_.firstNode() : list_.ceilingNode(from);
+    while (node != nullptr && n < maxEntries) {
+      MB* v = node->loadValue();
+      if (v != nullptr) {
+        f(Entry{{node->key->data(), node->key->size()}, {v->data(), v->size()}});
+        ++n;
+      }
+      node = list_.nextNode(node);
+    }
+    return n;
+  }
+
+  /// Descending: a fresh lookup per step — the JDK behaviour the paper
+  /// measures in Figure 4f.
+  template <class F>
+  std::size_t scanDescend(ByteSpan from, std::size_t maxEntries, F&& f) const {
+    std::size_t n = 0;
+    auto* node = from.empty() ? lastNode() : list_.lowerNode(from);
+    while (node != nullptr && n < maxEntries) {
+      MB* v = node->loadValue();
+      if (v != nullptr) {
+        f(Entry{{node->key->data(), node->key->size()}, {v->data(), v->size()}});
+        ++n;
+      }
+      // O(log N) search from the top for every predecessor step.
+      node = list_.lowerNode(ByteSpan{node->key->data(), node->key->size()});
+    }
+    return n;
+  }
+
+  std::size_t sizeApprox() const { return list_.sizeApprox(); }
+
+ private:
+  typename List::Node* lastNode() const { return list_.lastNode(); }
+
+  mheap::ManagedHeap& heap_;
+  sl::ManagedMem nodeMem_;
+  List list_;
+};
+
+}  // namespace oak::bl

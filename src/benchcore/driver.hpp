@@ -1,0 +1,213 @@
+// Benchmark driver: ingestion stage + sustained-rate stage (§5.1), with
+// OOM-aware capacity probing for the memory experiments (Figure 3).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "benchcore/adapters.hpp"
+#include "benchcore/workload.hpp"
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "mheap/managed_heap.hpp"
+
+namespace oak::bench {
+
+struct PointResult {
+  double kops = 0;             ///< operations (or scanned entries) per second / 1e3
+  double ingestKops = 0;       ///< ingestion-stage throughput
+  std::size_t finalSize = 0;
+  bool oom = false;            ///< the configuration did not fit in RAM
+  mheap::GcStats gc{};
+  std::size_t offHeapBytes = 0;
+};
+
+inline double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Ingestion stage: single thread, putIfAbsent of `count` unique keys in
+/// shuffled order (the paper ingests 50% of the range before measuring, and
+/// Figure 3 measures this stage itself on the full dataset).
+template <class Adapter>
+bool ingestStage(Adapter& a, const BenchConfig& cfg, std::size_t count,
+                 double* kopsOut) {
+  std::vector<std::byte> key(cfg.keyBytes);
+  std::vector<std::byte> value(cfg.valueBytes, std::byte{0x11});
+  XorShift rng(cfg.seed);
+  // Permuted ids: id += stride (mod range) with gcd(stride, range) == 1
+  // walks every id exactly once in pseudo-random order — a duplicate-free
+  // shuffle without materializing one.
+  const std::uint64_t range = cfg.keyRange;
+  std::uint64_t stride = (0x9e3779b97f4a7c15ull % range) | 1ull;
+  auto gcd = [](std::uint64_t x, std::uint64_t y) {
+    while (y != 0) {
+      const std::uint64_t t = x % y;
+      x = y;
+      y = t;
+    }
+    return x;
+  };
+  while (gcd(stride, range) != 1) stride += 2;
+  const double t0 = nowSeconds();
+  try {
+    std::uint64_t id = rng.nextBounded(range);
+    for (std::size_t i = 0; i < count; ++i) {
+      id += stride;
+      if (id >= range) id -= range;
+      makeKey({key.data(), key.size()}, id);
+      storeUnaligned<std::uint64_t>(value.data(), id);
+      a.ingest({key.data(), key.size()}, {value.data(), value.size()});
+    }
+  } catch (const std::bad_alloc&) {
+    if (kopsOut != nullptr) *kopsOut = 0;
+    return false;  // capacity exceeded: the "cap" in Figure 3
+  }
+  const double dt = nowSeconds() - t0;
+  if (kopsOut != nullptr) *kopsOut = static_cast<double>(count) / dt / 1e3;
+  return true;
+}
+
+/// Sustained-rate stage: `cfg.threads` symmetric workers for durationMs.
+template <class Adapter>
+PointResult sustainedStage(Adapter& a, const BenchConfig& cfg, const Mix& mix) {
+  PointResult res;
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> oom{false};
+  std::atomic<std::uint64_t> totalOps{0};
+
+  auto worker = [&](unsigned t) {
+    XorShift rng(cfg.seed * 7919 + t * 104729 + 1);
+    std::vector<std::byte> key(cfg.keyBytes);
+    std::vector<std::byte> value(cfg.valueBytes, std::byte{0x22});
+    Blackhole bh;
+    std::uint64_t ops = 0;
+    while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+    try {
+      while (!stop.load(std::memory_order_acquire)) {
+        const auto pct = static_cast<unsigned>(rng.nextBounded(100));
+        const std::uint64_t id = rng.nextBounded(cfg.keyRange);
+        makeKey({key.data(), key.size()}, id);
+        const ByteSpan k{key.data(), key.size()};
+        if (pct < mix.putPct) {
+          storeUnaligned<std::uint64_t>(value.data(), id);
+          a.put(k, {value.data(), value.size()});
+          ++ops;
+        } else if (pct < mix.putPct + mix.computePct) {
+          a.compute(k);
+          ++ops;
+        } else if (pct < mix.putPct + mix.computePct + mix.scanAscPct) {
+          ops += a.scanAsc(k, cfg.scanLength, bh, mix.streamScans);
+        } else if (pct <
+                   mix.putPct + mix.computePct + mix.scanAscPct + mix.scanDescPct) {
+          ops += a.scanDesc(k, cfg.scanLength, bh, mix.streamScans);
+        } else {
+          a.get(k, bh);
+          ++ops;
+        }
+      }
+    } catch (const std::bad_alloc&) {
+      oom.store(true, std::memory_order_release);
+    }
+    totalOps.fetch_add(ops, std::memory_order_relaxed);
+    if (bh.acc == 0xdeadbeefcafebabeull) std::fprintf(stderr, "!");
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.threads);
+  for (unsigned t = 0; t < cfg.threads; ++t) threads.emplace_back(worker, t);
+  const double t0 = nowSeconds();
+  start.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.durationMs));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+  const double dt = nowSeconds() - t0;
+
+  res.kops = static_cast<double>(totalOps.load()) / dt / 1e3;
+  res.oom = oom.load();
+  res.gc = a.gcStats();
+  res.offHeapBytes = a.offHeapFootprint();
+  return res;
+}
+
+/// Full experiment point: fresh adapter, 50% ingestion, sustained stage,
+/// median over cfg.repeats.
+template <class Adapter, class... Args>
+PointResult runPoint(const BenchConfig& cfg, const Mix& mix, Args&&... adapterArgs) {
+  std::vector<double> kops;
+  PointResult last;
+  for (std::uint32_t r = 0; r < cfg.repeats; ++r) {
+    BenchConfig c = cfg;
+    c.seed += r;
+    try {
+      Adapter a(c, std::forward<Args>(adapterArgs)...);
+      double ingest = 0;
+      if (!ingestStage(a, c, c.keyRange / 2, &ingest)) {
+        last.oom = true;
+        last.gc = a.gcStats();
+        return last;
+      }
+      last = sustainedStage(a, c, mix);
+      last.ingestKops = ingest;
+      last.finalSize = a.finalSize();
+      kops.push_back(last.kops);
+    } catch (const std::bad_alloc&) {
+      last.oom = true;  // not even the empty structure fits
+      return last;
+    }
+  }
+  std::sort(kops.begin(), kops.end());
+  last.kops = kops[kops.size() / 2];
+  return last;
+}
+
+/// Ingestion-only experiment point (Figures 3a/3b/5a/5b shape).
+template <class Adapter, class... Args>
+PointResult runIngestPoint(const BenchConfig& cfg, Args&&... adapterArgs) {
+  PointResult res;
+  try {
+    Adapter a(cfg, std::forward<Args>(adapterArgs)...);
+    double kops = 0;
+    const bool ok = ingestStage(a, cfg, cfg.keyRange, &kops);
+    res.oom = !ok;
+    res.ingestKops = kops;
+    res.kops = kops;
+    if (ok) res.finalSize = a.finalSize();
+    res.gc = a.gcStats();
+    res.offHeapBytes = a.offHeapFootprint();
+  } catch (const std::bad_alloc&) {
+    res.oom = true;  // not even the empty structure fits
+  }
+  return res;
+}
+
+// ----------------------------------------------------------- reporting
+inline void printHeader(const char* figure, const char* title) {
+  std::printf("\n=== %s: %s ===\n", figure, title);
+}
+
+inline void printSeriesHeader(const char* xLabel) {
+  std::printf("%-22s %12s %12s %12s %10s %12s\n", "solution", xLabel, "Kops/sec",
+              "final-size", "GC-cycles", "GC-cpu-ms");
+}
+
+inline void printRow(const char* name, double x, const PointResult& r) {
+  if (r.oom) {
+    std::printf("%-22s %12.0f %12s %12s %10s %12s\n", name, x, "OOM", "-", "-", "-");
+    return;
+  }
+  std::printf("%-22s %12.0f %12.1f %12zu %10llu %12.1f\n", name, x, r.kops,
+              r.finalSize,
+              static_cast<unsigned long long>(r.gc.fullGcCycles + r.gc.youngGcCycles),
+              static_cast<double>(r.gc.gcNanos) / 1e6);
+}
+
+}  // namespace oak::bench

@@ -1,0 +1,99 @@
+// Benchmark configuration — the synchrobench-style methodology of §5.1.
+//
+// "The exercised key and value sizes are 100B and 1KB ... Every experiment
+//  starts with an ingestion stage, which runs in a single thread and
+//  populates the KV-map with 50% of the unique keys in the range using
+//  putIfAbsent operations.  It is followed by the sustained-rate stage,
+//  which runs the target workload for 30 seconds through one or more
+//  symmetric worker threads."
+//
+// All sizes are scaled ~1000x down by default (this is a 1-core container;
+// see EXPERIMENTS.md) and overridable through OAK_BENCH_* environment
+// variables for a real multicore run.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace oak::bench {
+
+struct BenchConfig {
+  std::size_t keyRange = 100'000;     ///< unique keys in the accessed range
+  std::size_t keyBytes = 100;         ///< paper: 100 B
+  std::size_t valueBytes = 1024;      ///< paper: 1 KB
+  unsigned threads = 1;
+  std::uint32_t durationMs = 300;     ///< paper: 30 s per point
+  std::size_t scanLength = 1000;      ///< paper: 10 K pairs per scan
+  std::uint32_t repeats = 1;          ///< medians over repeats (paper: 3)
+  std::uint64_t seed = 42;
+
+  /// Total RAM budget for the run; split between the managed heap and the
+  /// off-heap pool per §5.1 ("allocating the former with just enough
+  /// resources to host the raw data").
+  std::size_t totalRamBytes = std::size_t{1} << 30;
+
+  std::size_t rawDataBytes() const {
+    return keyRange * (keyBytes + valueBytes);
+  }
+};
+
+/// Operation mix of the sustained-rate stage (percentages sum to <= 100;
+/// the remainder is gets).
+struct Mix {
+  unsigned putPct = 0;
+  unsigned computePct = 0;
+  unsigned scanAscPct = 0;
+  unsigned scanDescPct = 0;
+  bool streamScans = false;
+};
+
+// ------------------------------------------------------------ env knobs
+inline std::size_t envSize(const char* name, std::size_t def) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? static_cast<std::size_t>(std::strtoull(v, nullptr, 10)) : def;
+}
+
+inline std::vector<unsigned> envThreadList(const char* name,
+                                           std::vector<unsigned> def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return def;
+  std::vector<unsigned> out;
+  std::string s(v);
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t sp = s.find(' ', pos);
+    const std::string tok = s.substr(pos, sp == std::string::npos ? sp : sp - pos);
+    if (!tok.empty()) out.push_back(static_cast<unsigned>(std::stoul(tok)));
+    if (sp == std::string::npos) break;
+    pos = sp + 1;
+  }
+  return out.empty() ? def : out;
+}
+
+/// Standard scaled defaults shared by the Figure-4 benches.
+inline BenchConfig standardConfig() {
+  BenchConfig cfg;
+  cfg.keyRange = envSize("OAK_BENCH_SIZE", 100'000);
+  cfg.durationMs = static_cast<std::uint32_t>(envSize("OAK_BENCH_DURATION_MS", 300));
+  cfg.scanLength = envSize("OAK_BENCH_SCAN_LEN", 1000);
+  cfg.repeats = static_cast<std::uint32_t>(envSize("OAK_BENCH_REPEATS", 1));
+  // Paper Fig.4: 32 GB RAM for 11 GB raw data (~3x) — same ratio here.
+  cfg.totalRamBytes = cfg.rawDataBytes() * 3;
+  return cfg;
+}
+
+inline std::vector<unsigned> standardThreads() {
+  return envThreadList("OAK_BENCH_THREADS", {1, 2, 4, 8});
+}
+
+/// Deterministic 100-byte key: big-endian id (sortable) + fixed padding.
+inline void makeKey(MutByteSpan out, std::uint64_t id) {
+  storeU64BE(out.data(), id);
+  for (std::size_t i = 8; i < out.size(); ++i) out[i] = std::byte{0x2e};
+}
+
+}  // namespace oak::bench

@@ -1,0 +1,38 @@
+// Exception types used across the library.
+#pragma once
+
+#include <new>
+#include <stdexcept>
+#include <string>
+
+namespace oak {
+
+/// Thrown by OakRBuffer accessors when the underlying mapping was deleted
+/// concurrently — the C++ analogue of Java's ConcurrentModificationException
+/// that the paper's get() contract specifies (§2.2, footnote 1).
+class ConcurrentModification : public std::runtime_error {
+ public:
+  ConcurrentModification() : std::runtime_error("oak: value was concurrently deleted") {}
+};
+
+/// Thrown when the simulated managed heap cannot satisfy an allocation even
+/// after a full collection — the analogue of java.lang.OutOfMemoryError.
+class ManagedOutOfMemory : public std::bad_alloc {
+ public:
+  const char* what() const noexcept override { return "oak: managed heap out of memory"; }
+};
+
+/// Thrown when the off-heap block pool is exhausted (its budget models the
+/// -XX:MaxDirectMemorySize limit of the paper's experiments).
+class OffHeapOutOfMemory : public std::bad_alloc {
+ public:
+  const char* what() const noexcept override { return "oak: off-heap pool out of memory"; }
+};
+
+/// Programming errors (invalid arguments, use-after-close, ...).
+class OakUsageError : public std::logic_error {
+ public:
+  explicit OakUsageError(const std::string& msg) : std::logic_error("oak: " + msg) {}
+};
+
+}  // namespace oak

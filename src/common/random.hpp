@@ -1,0 +1,51 @@
+// Small, fast PRNGs for workload generation and skiplist level selection.
+// std::mt19937 is too heavy for the hot paths of the benchmark driver.
+#pragma once
+
+#include <cstdint>
+
+namespace oak {
+
+/// xorshift128+ — fast, decent-quality, deterministic per seed.
+class XorShift {
+ public:
+  explicit XorShift(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept {
+    // SplitMix64 seeding to avoid weak low-entropy states.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  std::uint64_t next() noexcept {
+    std::uint64_t x = s0_;
+    const std::uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t nextBounded(std::uint64_t bound) noexcept {
+    // 128-bit multiply trick (Lemire); bias is negligible for bench use.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  double nextDouble() noexcept {  // [0, 1)
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace oak

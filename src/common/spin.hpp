@@ -1,0 +1,61 @@
+// Spin-wait helpers.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace oak {
+
+inline void cpuRelax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Exponential backoff: spins briefly, then yields to the scheduler.  On the
+/// single-core CI hosts yielding early is essential — a pure spin would
+/// starve the thread holding the resource for a whole quantum.
+class Backoff {
+ public:
+  void pause() noexcept {
+    if (spins_ < kSpinLimit) {
+      for (int i = 0; i < (1 << spins_); ++i) cpuRelax();
+      ++spins_;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { spins_ = 0; }
+
+ private:
+  static constexpr int kSpinLimit = 6;
+  int spins_ = 0;
+};
+
+/// Tiny test-and-test-and-set spinlock for cold paths (free lists, pools).
+class SpinLock {
+ public:
+  void lock() noexcept {
+    Backoff b;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) b.pause();
+    }
+  }
+  bool try_lock() noexcept { return !locked_.exchange(true, std::memory_order_acquire); }
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace oak

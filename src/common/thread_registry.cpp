@@ -1,0 +1,58 @@
+#include "common/thread_registry.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace oak {
+namespace {
+
+std::atomic<bool> gUsed[kMaxThreads];
+std::atomic<std::uint32_t> gHighWater{0};
+
+std::uint32_t acquireSlot() {
+  // First try to recycle a released slot, then extend the high-water mark.
+  const std::uint32_t hw = gHighWater.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < hw; ++i) {
+    bool expected = false;
+    if (!gUsed[i].load(std::memory_order_relaxed) &&
+        gUsed[i].compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+      return i;
+    }
+  }
+  for (;;) {
+    const std::uint32_t i = gHighWater.load(std::memory_order_relaxed);
+    if (i >= kMaxThreads) break;
+    bool expected = false;
+    if (gUsed[i].compare_exchange_strong(expected, true, std::memory_order_acq_rel)) {
+      // Publish the extended range; racing extenders both succeed on
+      // different slots, so a simple max update suffices.
+      std::uint32_t cur = gHighWater.load(std::memory_order_relaxed);
+      while (cur <= i &&
+             !gHighWater.compare_exchange_weak(cur, i + 1, std::memory_order_release)) {
+      }
+      return i;
+    }
+  }
+  std::fprintf(stderr, "oak: more than %u concurrent threads\n", kMaxThreads);
+  std::abort();
+}
+
+struct SlotHolder {
+  std::uint32_t slot;
+  SlotHolder() : slot(acquireSlot()) {}
+  ~SlotHolder() { gUsed[slot].store(false, std::memory_order_release); }
+};
+
+}  // namespace
+
+std::uint32_t ThreadRegistry::id() {
+  thread_local SlotHolder holder;
+  return holder.slot;
+}
+
+std::uint32_t ThreadRegistry::highWater() {
+  return gHighWater.load(std::memory_order_acquire);
+}
+
+}  // namespace oak

@@ -1,0 +1,27 @@
+// Stable small thread ids.
+//
+// Oak's chunks keep a per-thread "published operation" slot (§4.1) and the
+// EBR substrate keeps per-thread epoch slots; both need a dense integer id
+// per live thread.  Ids are recycled when a thread exits so that benchmark
+// runs that start/stop many worker threads do not exhaust the fixed tables.
+#pragma once
+
+#include <cstdint>
+
+namespace oak {
+
+/// Upper bound on concurrently *live* registered threads.  Matches the
+/// paper's experimental maximum (32 workers) with generous headroom.
+inline constexpr std::uint32_t kMaxThreads = 128;
+
+class ThreadRegistry {
+ public:
+  /// Dense id of the calling thread in [0, kMaxThreads). First use registers;
+  /// the slot is released automatically at thread exit.
+  static std::uint32_t id();
+
+  /// Highest id ever handed out + 1 (bound for slot scans).
+  static std::uint32_t highWater();
+};
+
+}  // namespace oak

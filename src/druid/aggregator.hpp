@@ -1,0 +1,164 @@
+// Rollup aggregator columns (§6).
+//
+// In a rollup I2, values are "materialized aggregate functions": numeric
+// counters plus sketches.  An AggregatorSpec describes the flat value
+// layout; init() materializes a row from the first tuple and fold() merges
+// another tuple in place.  fold() is exactly what I2-Oak passes to
+// putIfAbsentComputeIfPresent — "atomic update of multiple aggregates
+// within a single lambda".
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "druid/sketch.hpp"
+
+namespace oak::druid {
+
+enum class AggType : std::uint8_t {
+  Count,      ///< 8 B: number of folded tuples
+  LongSum,    ///< 8 B
+  DoubleSum,  ///< 8 B
+  DoubleMin,  ///< 8 B
+  DoubleMax,  ///< 8 B
+  HllUnique,  ///< HllSketch::kBytes: approximate distinct count
+  Quantiles,  ///< QuantileSketch::kBytes: approximate quantiles
+};
+
+inline std::size_t aggBytes(AggType t) noexcept {
+  switch (t) {
+    case AggType::HllUnique:
+      return HllSketch::kBytes;
+    case AggType::Quantiles:
+      return QuantileSketch::kBytes;
+    default:
+      return 8;
+  }
+}
+
+/// One measurement column of an incoming tuple.  Numeric aggregates consume
+/// `number`; HllUnique consumes `hash64`.
+struct MetricValue {
+  double number = 0;
+  std::uint64_t hash64 = 0;
+};
+
+class AggregatorSpec {
+ public:
+  AggregatorSpec() = default;
+  explicit AggregatorSpec(std::vector<AggType> aggs) : aggs_(std::move(aggs)) {
+    offsets_.reserve(aggs_.size());
+    std::size_t off = 0;
+    for (AggType t : aggs_) {
+      offsets_.push_back(off);
+      off += aggBytes(t);
+    }
+    rowBytes_ = off;
+  }
+
+  std::size_t rowBytes() const noexcept { return rowBytes_; }
+  std::size_t columnCount() const noexcept { return aggs_.size(); }
+  AggType type(std::size_t i) const noexcept { return aggs_[i]; }
+  std::size_t offset(std::size_t i) const noexcept { return offsets_[i]; }
+
+  /// Materializes one column from the first tuple.
+  void initColumn(MutByteSpan col, std::size_t i,
+                  const MetricValue* metrics) const noexcept {
+    switch (aggs_[i]) {
+      case AggType::Count:
+        storeUnaligned<std::uint64_t>(col.data(), 1);
+        break;
+      case AggType::LongSum:
+        storeUnaligned<std::int64_t>(col.data(),
+                                     static_cast<std::int64_t>(metrics[i].number));
+        break;
+      case AggType::DoubleSum:
+      case AggType::DoubleMin:
+      case AggType::DoubleMax:
+        storeUnaligned<double>(col.data(), metrics[i].number);
+        break;
+      case AggType::HllUnique:
+        HllSketch::init(col);
+        HllSketch::update(col, metrics[i].hash64);
+        break;
+      case AggType::Quantiles:
+        QuantileSketch::init(col);
+        QuantileSketch::update(col, metrics[i].number);
+        break;
+    }
+  }
+
+  /// Folds one tuple's column into an existing column, in place.
+  void foldColumn(MutByteSpan col, std::size_t i,
+                  const MetricValue* metrics) const noexcept {
+    switch (aggs_[i]) {
+      case AggType::Count:
+        storeUnaligned<std::uint64_t>(
+            col.data(), loadUnaligned<std::uint64_t>(col.data()) + 1);
+        break;
+      case AggType::LongSum:
+        storeUnaligned<std::int64_t>(
+            col.data(), loadUnaligned<std::int64_t>(col.data()) +
+                            static_cast<std::int64_t>(metrics[i].number));
+        break;
+      case AggType::DoubleSum:
+        storeUnaligned<double>(col.data(),
+                               loadUnaligned<double>(col.data()) + metrics[i].number);
+        break;
+      case AggType::DoubleMin:
+        storeUnaligned<double>(
+            col.data(), std::min(loadUnaligned<double>(col.data()), metrics[i].number));
+        break;
+      case AggType::DoubleMax:
+        storeUnaligned<double>(
+            col.data(), std::max(loadUnaligned<double>(col.data()), metrics[i].number));
+        break;
+      case AggType::HllUnique:
+        HllSketch::update(col, metrics[i].hash64);
+        break;
+      case AggType::Quantiles:
+        QuantileSketch::update(col, metrics[i].number);
+        break;
+    }
+  }
+
+  /// Materializes a fresh (flat) row from the first tuple.
+  void init(MutByteSpan row, const MetricValue* metrics) const noexcept {
+    for (std::size_t i = 0; i < aggs_.size(); ++i) {
+      initColumn(row.subspan(offsets_[i], aggBytes(aggs_[i])), i, metrics);
+    }
+  }
+
+  /// Folds another tuple into an existing flat row, in place.
+  void fold(MutByteSpan row, const MetricValue* metrics) const noexcept {
+    for (std::size_t i = 0; i < aggs_.size(); ++i) {
+      foldColumn(row.subspan(offsets_[i], aggBytes(aggs_[i])), i, metrics);
+    }
+  }
+
+  // ------------------------------------------------------------ readers
+  std::uint64_t readCount(ByteSpan row, std::size_t i) const noexcept {
+    return loadUnaligned<std::uint64_t>(row.data() + offsets_[i]);
+  }
+  std::int64_t readLongSum(ByteSpan row, std::size_t i) const noexcept {
+    return loadUnaligned<std::int64_t>(row.data() + offsets_[i]);
+  }
+  double readDouble(ByteSpan row, std::size_t i) const noexcept {
+    return loadUnaligned<double>(row.data() + offsets_[i]);
+  }
+  double readHllEstimate(ByteSpan row, std::size_t i) const noexcept {
+    return HllSketch::estimate(row.subspan(offsets_[i], HllSketch::kBytes));
+  }
+  double readQuantile(ByteSpan row, std::size_t i, double q) const noexcept {
+    return QuantileSketch::quantile(row.subspan(offsets_[i], QuantileSketch::kBytes), q);
+  }
+
+ private:
+  std::vector<AggType> aggs_;
+  std::vector<std::size_t> offsets_;
+  std::size_t rowBytes_ = 0;
+};
+
+}  // namespace oak::druid

@@ -1,0 +1,36 @@
+#include "druid/dictionary.hpp"
+
+namespace oak::druid {
+
+Dictionary::~Dictionary() {
+  for (auto* s : strings_) mheap::ManagedBytes::dispose(heap_, s);
+}
+
+std::int32_t Dictionary::encode(std::string_view s) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = codes_.find(s);
+  if (it != codes_.end()) return it->second;
+  auto* copy = mheap::ManagedBytes::make(
+      heap_, reinterpret_cast<const std::byte*>(s.data()), s.size());
+  const auto code = static_cast<std::int32_t>(strings_.size());
+  strings_.push_back(copy);
+  // The map key views into the managed copy, which lives as long as we do.
+  codes_.emplace(
+      std::string_view(reinterpret_cast<const char*>(copy->data()), copy->size()),
+      code);
+  return code;
+}
+
+std::string_view Dictionary::decode(std::int32_t code) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (code < 0 || static_cast<std::size_t>(code) >= strings_.size()) return {};
+  const auto* s = strings_[static_cast<std::size_t>(code)];
+  return {reinterpret_cast<const char*>(s->data()), s->size()};
+}
+
+std::size_t Dictionary::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return strings_.size();
+}
+
+}  // namespace oak::druid

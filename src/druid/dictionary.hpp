@@ -1,0 +1,45 @@
+// String-dimension dictionaries (§6).
+//
+// "In order to save space, variable-size (e.g., string) dimensions are
+//  mapped to numeric codewords, through auxiliary dynamic dictionaries."
+//
+// The dictionaries are auxiliary on-heap structures in both I2 variants
+// ("the auxiliary data structures remain on-heap"), so their storage is
+// charged to the simulated managed heap.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "mheap/managed_heap.hpp"
+
+namespace oak::druid {
+
+class Dictionary {
+ public:
+  explicit Dictionary(mheap::ManagedHeap& heap) : heap_(heap) {}
+  ~Dictionary();
+
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+
+  /// Returns the code for `s`, assigning the next code on first sight.
+  std::int32_t encode(std::string_view s);
+
+  /// Code -> string; returns empty view for unknown codes.
+  std::string_view decode(std::int32_t code) const;
+
+  std::size_t size() const;
+
+ private:
+  mheap::ManagedHeap& heap_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string_view, std::int32_t> codes_;
+  std::vector<mheap::ManagedBytes*> strings_;  // managed copies, code-indexed
+};
+
+}  // namespace oak::druid

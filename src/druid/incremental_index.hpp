@@ -1,0 +1,326 @@
+// Druid's Incremental Index (I²) rebuilt over a pluggable KV backend (§6).
+//
+// "For every incoming data tuple, I2 updates its internal KV-map, creating
+//  a new pair if the tuple's key is absent, or updating in-situ otherwise."
+//
+// Keys are multi-dimensional: time is always the primary dimension,
+// followed by dictionary-encoded string dimensions — serialized big-endian
+// so plain byte comparison yields (time, dims) lexicographic order.
+//
+// Two backends reproduce the paper's comparison:
+//   * OakIndexBackend    (I2-Oak):    off-heap rows; the write path uses
+//     putIfAbsentComputeIfPresent to fold all aggregates atomically in one
+//     lambda; reads are facades over Oak buffers.
+//   * LegacyIndexBackend (I2-legacy): the JDK-skiplist design — rows are
+//     managed heap objects updated in place under a per-row lock, with all
+//     the object-count and GC consequences.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/spin.hpp"
+#include "druid/aggregator.hpp"
+#include "druid/dictionary.hpp"
+#include "mheap/managed_heap.hpp"
+#include "oak/core_map.hpp"
+#include "skiplist/skiplist.hpp"
+
+namespace oak::druid {
+
+/// One incoming tuple: timestamp, string dimensions, measurement columns
+/// (one MetricValue per aggregator column in the spec).
+struct TupleIn {
+  std::int64_t timestamp = 0;
+  std::vector<std::string_view> dims;
+  std::vector<MetricValue> metrics;
+};
+
+// ===================================================== I2-Oak backend ==
+class OakIndexBackend {
+ public:
+  OakIndexBackend(const AggregatorSpec& spec, OakConfig cfg)
+      : spec_(&spec), map_(cfg) {}
+
+  void upsert(ByteSpan key, const MetricValue* metrics) {
+    // One facade/tuple object per add on the Oak write path (§6).
+    map_.metaHeap().ephemeralObject(48);
+    thread_local ByteVec initial;
+    initial.resize(spec_->rowBytes());
+    spec_->init(MutByteSpan{initial.data(), initial.size()}, metrics);
+    map_.putIfAbsentComputeIfPresent(
+        key, asBytes(initial), [this, metrics](OakWBuffer& w) {
+          spec_->fold(w.mutableSpan(), metrics);
+        });
+  }
+
+  void insertUnique(ByteSpan key, ByteSpan row) { map_.putIfAbsent(key, row); }
+
+  /// f(ByteSpan key, ByteSpan row) over [loKey, hiKey) in time order.
+  /// Rows are read through the ZC API (facade tuples, §6 read path).
+  template <class F>
+  std::size_t scan(std::optional<ByteVec> lo, std::optional<ByteVec> hi, F&& f) {
+    std::size_t n = 0;
+    for (auto it = map_.ascend(std::move(lo), std::move(hi), /*stream=*/true);
+         it.valid(); it.next()) {
+      auto e = it.entry();
+      e.value.read([&](ByteSpan row) { f(e.key, row); });
+      ++n;
+    }
+    return n;
+  }
+
+  std::size_t rowCount() { return map_.sizeSlow(); }
+  std::size_t offHeapBytes() const { return map_.offHeapFootprintBytes(); }
+  OakCoreMap<>& map() { return map_; }
+
+  static constexpr const char* kName = "I^2-Oak";
+
+ private:
+  const AggregatorSpec* spec_;
+  OakCoreMap<> map_;
+};
+
+// ================================================== I2-legacy backend ==
+//
+// Faithful to legacy Druid's on-heap object model: every row is a Java
+// object holding one *aggregator object per column* (counters are small
+// objects; sketches are objects wrapping their own register arrays), all
+// updated in place under a per-row lock.  Each ingested tuple additionally
+// creates short-lived objects (TimeAndDims, dim arrays, boxing) — the
+// young-generation churn that, together with the large live-object
+// population, is what the paper's Figure 5 measures against I^2-Oak.
+class LegacyIndexBackend {
+  using MB = mheap::ManagedBytes;
+
+  /// A row object on the managed heap referencing per-column aggregator
+  /// objects (the flexible tail holds the column pointers).
+  struct Row {
+    SpinLock lock;
+    MB** cols() noexcept { return reinterpret_cast<MB**>(this + 1); }
+  };
+
+  struct Cmp {
+    int operator()(MB* const& a, ByteSpan b) const noexcept {
+      return compareBytes({a->data(), a->size()}, b);
+    }
+    int operator()(MB* const& a, MB* const& b) const noexcept {
+      return compareBytes({a->data(), a->size()}, {b->data(), b->size()});
+    }
+  };
+  using List = sl::SkipList<MB*, Row*, Cmp>;
+
+  /// Java objects per ingested tuple on the legacy write path
+  /// (TimeAndDims, its dims array, iterator/boxing garbage).
+  static constexpr int kEphemeralsPerAdd = 3;
+
+ public:
+  LegacyIndexBackend(const AggregatorSpec& spec, mheap::ManagedHeap& heap)
+      : spec_(&spec), heap_(heap), nodeMem_(heap), list_(Cmp{}, nodeMem_) {}
+
+  ~LegacyIndexBackend() {
+    for (auto* n = list_.firstNode(); n != nullptr; n = list_.nextNode(n)) {
+      disposeRow(n->loadValue());
+      MB::dispose(heap_, n->key);
+    }
+  }
+
+  void upsert(ByteSpan key, const MetricValue* metrics) {
+    for (int i = 0; i < kEphemeralsPerAdd; ++i) heap_.ephemeralObject(48);
+    typename List::Node* node = list_.getNode(key);
+    if (node == nullptr) {
+      Row* row = makeRow(metrics);
+      MB* kObj = MB::make(heap_, key.data(), key.size());
+      typename List::Node* existing = list_.putIfAbsentNode(kObj, row);
+      if (existing == nullptr) return;
+      // Lost the insert race: fold into the winner instead.
+      disposeRow(row);
+      MB::dispose(heap_, kObj);
+      node = existing;
+    }
+    Row* row = node->loadValue();
+    std::lock_guard<SpinLock> lk(row->lock);
+    for (std::size_t i = 0; i < spec_->columnCount(); ++i) {
+      MB* col = row->cols()[i];
+      spec_->foldColumn(MutByteSpan{col->data(), col->size()}, i, metrics);
+    }
+  }
+
+  void insertUnique(ByteSpan key, ByteSpan rowBytes) {
+    Row* row = allocRowShell();
+    for (std::size_t i = 0; i < spec_->columnCount(); ++i) {
+      const std::size_t n = aggBytes(spec_->type(i));
+      row->cols()[i] =
+          MB::make(heap_, rowBytes.data() + spec_->offset(i), n);
+    }
+    MB* kObj = MB::make(heap_, key.data(), key.size());
+    if (list_.putIfAbsentNode(kObj, row) != nullptr) {
+      disposeRow(row);
+      MB::dispose(heap_, kObj);
+    }
+  }
+
+  template <class F>
+  std::size_t scan(std::optional<ByteVec> lo, std::optional<ByteVec> hi, F&& f) {
+    // Legacy reads materialize a flat view of the per-column objects.
+    ByteVec flat(spec_->rowBytes());
+    std::size_t n = 0;
+    auto* node = lo ? list_.ceilingNode(asBytes(*lo)) : list_.firstNode();
+    while (node != nullptr) {
+      const ByteSpan k{node->key->data(), node->key->size()};
+      if (hi && compareBytes(k, asBytes(*hi)) >= 0) break;
+      Row* row = node->loadValue();
+      if (row != nullptr) {
+        std::lock_guard<SpinLock> lk(row->lock);
+        for (std::size_t i = 0; i < spec_->columnCount(); ++i) {
+          const MB* col = row->cols()[i];
+          copyBytes({flat.data() + spec_->offset(i), col->size()},
+                    {col->data(), col->size()});
+        }
+        f(k, asBytes(flat));
+        ++n;
+      }
+      node = list_.nextNode(node);
+    }
+    return n;
+  }
+
+  std::size_t rowCount() { return list_.sizeApprox(); }
+  std::size_t offHeapBytes() const { return 0; }
+
+  static constexpr const char* kName = "I^2-legacy";
+
+ private:
+  Row* allocRowShell() {
+    auto* row = static_cast<Row*>(
+        heap_.alloc(sizeof(Row) + spec_->columnCount() * sizeof(MB*)));
+    new (row) Row();
+    return row;
+  }
+
+  Row* makeRow(const MetricValue* metrics) {
+    Row* row = allocRowShell();
+    for (std::size_t i = 0; i < spec_->columnCount(); ++i) {
+      const std::size_t n = aggBytes(spec_->type(i));
+      MB* col = MB::make(heap_, nullptr, n);
+      spec_->initColumn(MutByteSpan{col->data(), n}, i, metrics);
+      row->cols()[i] = col;
+    }
+    return row;
+  }
+
+  void disposeRow(Row* row) noexcept {
+    if (row == nullptr) return;
+    for (std::size_t i = 0; i < spec_->columnCount(); ++i) {
+      MB::dispose(heap_, row->cols()[i]);
+    }
+    heap_.free(row);
+  }
+
+  const AggregatorSpec* spec_;
+  mheap::ManagedHeap& heap_;
+  sl::ManagedMem nodeMem_;
+  List list_;
+};
+
+// ================================================== the incremental index
+template <class Backend>
+class IncrementalIndex {
+ public:
+  /// `dimCount` string dimensions after the timestamp; `rollup` folds
+  /// duplicate keys (plain indexes keep every tuple as its own row).
+  template <class... BackendArgs>
+  IncrementalIndex(AggregatorSpec spec, std::size_t dimCount, bool rollup,
+                   mheap::ManagedHeap& heap, BackendArgs&&... args)
+      : spec_(std::move(spec)),
+        rollup_(rollup),
+        heap_(heap),
+        backend_(spec_, std::forward<BackendArgs>(args)...) {
+    dicts_.reserve(dimCount);
+    for (std::size_t i = 0; i < dimCount; ++i) {
+      dicts_.push_back(std::make_unique<Dictionary>(heap));
+    }
+  }
+
+  void add(const TupleIn& t) {
+    thread_local ByteVec key;
+    buildKey(t, key);
+    if (rollup_) {
+      backend_.upsert(asBytes(key), t.metrics.data());
+    } else {
+      // Plain index: every tuple is a distinct row; disambiguate with a
+      // per-index sequence number appended to the key (Druid's rowIndex).
+      const std::uint64_t seq = plainSeq_.fetch_add(1, std::memory_order_relaxed);
+      const std::size_t base = key.size();
+      key.resize(base + 8);
+      storeU64BE(key.data() + base, seq);
+      thread_local ByteVec row;
+      row.resize(spec_.rowBytes());
+      spec_.init(MutByteSpan{row.data(), row.size()}, t.metrics.data());
+      backend_.insertUnique(asBytes(key), asBytes(row));
+    }
+    tuples_.fetch_add(1, std::memory_order_relaxed);
+    rawBytes_.fetch_add(key.size() + spec_.rowBytes(), std::memory_order_relaxed);
+  }
+
+  /// Scans rows whose timestamp lies in [tsLo, tsHi).
+  template <class F>
+  std::size_t scanTimeRange(std::int64_t tsLo, std::int64_t tsHi, F&& f) {
+    ByteVec lo(8), hi(8);
+    storeU64BE(lo.data(), static_cast<std::uint64_t>(tsLo) ^ (1ull << 63));
+    storeU64BE(hi.data(), static_cast<std::uint64_t>(tsHi) ^ (1ull << 63));
+    return backend_.scan(lo, hi, std::forward<F>(f));
+  }
+
+  template <class F>
+  std::size_t scanAll(F&& f) {
+    return backend_.scan(std::nullopt, std::nullopt, std::forward<F>(f));
+  }
+
+  // ------------------------------------------------------------- stats
+  std::uint64_t tuplesAdded() const { return tuples_.load(std::memory_order_relaxed); }
+  std::uint64_t rawDataBytes() const { return rawBytes_.load(std::memory_order_relaxed); }
+  std::size_t rowCount() { return backend_.rowCount(); }
+  std::size_t offHeapBytes() const { return backend_.offHeapBytes(); }
+
+  const AggregatorSpec& spec() const { return spec_; }
+  Dictionary& dictionary(std::size_t dim) { return *dicts_[dim]; }
+  Backend& backend() { return backend_; }
+
+  /// Decodes the timestamp / a dimension code out of a serialized row key.
+  static std::int64_t keyTimestamp(ByteSpan key) {
+    return static_cast<std::int64_t>(loadU64BE(key.data()) ^ (1ull << 63));
+  }
+  static std::int32_t keyDimCode(ByteSpan key, std::size_t dim) {
+    return static_cast<std::int32_t>(loadU32BE(key.data() + 8 + dim * 4));
+  }
+
+ private:
+  void buildKey(const TupleIn& t, ByteVec& out) {
+    out.resize(8 + t.dims.size() * 4);
+    // Sign-flip keeps negative timestamps ordered under byte comparison.
+    storeU64BE(out.data(), static_cast<std::uint64_t>(t.timestamp) ^ (1ull << 63));
+    for (std::size_t d = 0; d < t.dims.size(); ++d) {
+      const std::int32_t code = dicts_[d]->encode(t.dims[d]);
+      storeU32BE(out.data() + 8 + d * 4, static_cast<std::uint32_t>(code));
+    }
+  }
+
+  AggregatorSpec spec_;
+  bool rollup_;
+  mheap::ManagedHeap& heap_;
+  std::vector<std::unique_ptr<Dictionary>> dicts_;
+  Backend backend_;
+  std::atomic<std::uint64_t> tuples_{0};
+  std::atomic<std::uint64_t> rawBytes_{0};
+  std::atomic<std::uint64_t> plainSeq_{0};
+};
+
+using OakIncrementalIndex = IncrementalIndex<OakIndexBackend>;
+using LegacyIncrementalIndex = IncrementalIndex<LegacyIndexBackend>;
+
+}  // namespace oak::druid

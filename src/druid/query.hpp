@@ -1,0 +1,160 @@
+// Druid query types over the incremental index (§6).
+//
+// Druid's native queries — timeseries, topN, groupBy — all reduce to ordered
+// scans of the I² with per-row folding; because time is the primary key
+// dimension, a time-bounded query touches exactly the relevant key range.
+// These helpers work against either backend (I²-Oak reads through zero-copy
+// facades; I²-legacy materializes flat rows).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "druid/incremental_index.hpp"
+
+namespace oak::druid {
+
+/// Equality filter on one string dimension (pre-encoded to its codeword).
+struct DimFilter {
+  std::size_t dim = 0;
+  std::int32_t code = 0;
+};
+
+/// Aggregate accumulator mirroring an AggregatorSpec row, merged across rows.
+struct Aggregates {
+  std::uint64_t rows = 0;
+  std::uint64_t count = 0;                  // sum of Count columns
+  std::vector<double> numeric;              // per-column numeric fold
+  ByteVec hllUnion;                         // union of the first HLL column
+
+  double hllEstimate() const {
+    return hllUnion.empty() ? 0.0 : HllSketch::estimate(asBytes(hllUnion));
+  }
+};
+
+namespace qdetail {
+
+inline bool matches(ByteSpan key, const std::vector<DimFilter>& filters,
+                    std::size_t dimCount) {
+  for (const DimFilter& f : filters) {
+    if (f.dim >= dimCount) return false;
+    if (loadU32BE(key.data() + 8 + f.dim * 4) != static_cast<std::uint32_t>(f.code)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+inline void foldRow(const AggregatorSpec& spec, ByteSpan row, Aggregates& into) {
+  ++into.rows;
+  if (into.numeric.size() < spec.columnCount()) into.numeric.resize(spec.columnCount());
+  for (std::size_t i = 0; i < spec.columnCount(); ++i) {
+    switch (spec.type(i)) {
+      case AggType::Count:
+        into.count += spec.readCount(row, i);
+        break;
+      case AggType::LongSum:
+        into.numeric[i] += static_cast<double>(spec.readLongSum(row, i));
+        break;
+      case AggType::DoubleSum:
+        into.numeric[i] += spec.readDouble(row, i);
+        break;
+      case AggType::DoubleMin:
+        into.numeric[i] = into.rows == 1
+                              ? spec.readDouble(row, i)
+                              : std::min(into.numeric[i], spec.readDouble(row, i));
+        break;
+      case AggType::DoubleMax:
+        into.numeric[i] = std::max(into.numeric[i], spec.readDouble(row, i));
+        break;
+      case AggType::HllUnique: {
+        if (into.hllUnion.empty()) {
+          into.hllUnion.assign(HllSketch::kBytes, std::byte{0});
+        }
+        // HLL union = register-wise max.
+        const std::byte* src = row.data() + spec.offset(i);
+        for (std::size_t r = 0; r < HllSketch::kBytes; ++r) {
+          if (src[r] > into.hllUnion[r]) into.hllUnion[r] = src[r];
+        }
+        break;
+      }
+      case AggType::Quantiles:
+        break;  // reservoirs are not union-able without weights; skip
+    }
+  }
+}
+
+}  // namespace qdetail
+
+/// One bucket of a timeseries query result.
+struct TimeBucket {
+  std::int64_t start = 0;  // bucket start timestamp (inclusive)
+  Aggregates aggs;
+};
+
+/// Druid `timeseries`: bucket [tsLo, tsHi) by `granularity` and fold each
+/// bucket's rows.  Runs as ONE ordered scan thanks to time-primary keys.
+template <class Index>
+std::vector<TimeBucket> timeseries(Index& index, std::int64_t tsLo, std::int64_t tsHi,
+                                   std::int64_t granularity,
+                                   const std::vector<DimFilter>& filters = {}) {
+  std::vector<TimeBucket> out;
+  const auto& spec = index.spec();
+  index.scanTimeRange(tsLo, tsHi, [&](ByteSpan key, ByteSpan row) {
+    const std::int64_t ts = Index::keyTimestamp(key);
+    if (!qdetail::matches(key, filters, 64)) return;
+    const std::int64_t bucket = tsLo + (ts - tsLo) / granularity * granularity;
+    if (out.empty() || out.back().start != bucket) {
+      out.push_back(TimeBucket{bucket, {}});
+    }
+    qdetail::foldRow(spec, row, out.back().aggs);
+  });
+  return out;
+}
+
+/// Druid `groupBy` on one dimension over a time range.
+template <class Index>
+std::map<std::int32_t, Aggregates> groupBy(Index& index, std::int64_t tsLo,
+                                           std::int64_t tsHi, std::size_t dim,
+                                           const std::vector<DimFilter>& filters = {}) {
+  std::map<std::int32_t, Aggregates> out;
+  const auto& spec = index.spec();
+  index.scanTimeRange(tsLo, tsHi, [&](ByteSpan key, ByteSpan row) {
+    if (!qdetail::matches(key, filters, 64)) return;
+    const std::int32_t code = Index::keyDimCode(key, dim);
+    qdetail::foldRow(spec, row, out[code]);
+  });
+  return out;
+}
+
+/// One topN result row.
+struct TopNEntry {
+  std::int32_t code = 0;
+  double metric = 0;
+};
+
+/// Druid `topN`: the N groups of `dim` with the largest folded value of
+/// numeric column `metricCol` over [tsLo, tsHi).
+template <class Index>
+std::vector<TopNEntry> topN(Index& index, std::int64_t tsLo, std::int64_t tsHi,
+                            std::size_t dim, std::size_t metricCol, std::size_t n,
+                            const std::vector<DimFilter>& filters = {}) {
+  auto groups = groupBy(index, tsLo, tsHi, dim, filters);
+  std::vector<TopNEntry> out;
+  out.reserve(groups.size());
+  for (const auto& [code, aggs] : groups) {
+    const double metric = metricCol < aggs.numeric.size() ? aggs.numeric[metricCol]
+                                                          : static_cast<double>(aggs.count);
+    out.push_back(TopNEntry{code, metric});
+  }
+  std::sort(out.begin(), out.end(), [](const TopNEntry& a, const TopNEntry& b) {
+    return a.metric > b.metric;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+}  // namespace oak::druid

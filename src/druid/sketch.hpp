@@ -1,0 +1,123 @@
+// In-buffer sketches (§6).
+//
+// "Complex aggregates (e.g., unique count and quantiles) are embodied
+//  through sketches — compact data structures for approximate statistical
+//  queries."
+//
+// Both sketches operate directly on a caller-provided byte region so they
+// can live inside an Oak value and be updated in-situ by a compute lambda —
+// that is the whole point of the I2-Oak write path.  Layouts are flat and
+// fixed-size.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace oak::druid {
+
+/// 64-bit mix (splitmix64 finalizer) used by both sketches.
+inline std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// HyperLogLog unique-count sketch: 2^P single-byte registers, flat layout.
+/// A stand-in for DataSketches' HLL with the standard bias-corrected
+/// estimator (good to a few percent at P=9).
+class HllSketch {
+ public:
+  static constexpr unsigned kP = 9;
+  static constexpr std::size_t kRegisters = 1u << kP;
+  static constexpr std::size_t kBytes = kRegisters;
+
+  static void init(MutByteSpan region) noexcept {
+    for (std::size_t i = 0; i < kBytes; ++i) region[i] = std::byte{0};
+  }
+
+  /// Folds one item (pre-hashed) into the register file.
+  static void update(MutByteSpan region, std::uint64_t hash) noexcept {
+    hash = mix64(hash);
+    const std::size_t reg = hash >> (64 - kP);
+    const std::uint64_t rest = hash << kP;
+    const auto rank = static_cast<std::uint8_t>(
+        rest == 0 ? (64 - kP + 1) : (std::countl_zero(rest) + 1));
+    auto cur = static_cast<std::uint8_t>(region[reg]);
+    if (rank > cur) region[reg] = static_cast<std::byte>(rank);
+  }
+
+  static double estimate(ByteSpan region) noexcept {
+    const double m = static_cast<double>(kRegisters);
+    double sum = 0;
+    std::size_t zeros = 0;
+    for (std::size_t i = 0; i < kRegisters; ++i) {
+      const auto r = static_cast<std::uint8_t>(region[i]);
+      sum += std::ldexp(1.0, -static_cast<int>(r));
+      if (r == 0) ++zeros;
+    }
+    const double alpha = 0.7213 / (1.0 + 1.079 / m);
+    double e = alpha * m * m / sum;
+    if (e <= 2.5 * m && zeros != 0) {
+      e = m * std::log(m / static_cast<double>(zeros));  // linear counting
+    }
+    return e;
+  }
+};
+
+/// Uniform reservoir sampler over doubles for approximate quantiles.
+/// Layout: [count u64][samples: kK doubles] — flat, fixed-size.
+class QuantileSketch {
+ public:
+  static constexpr std::size_t kK = 64;
+  static constexpr std::size_t kBytes = 8 + kK * 8;
+
+  static void init(MutByteSpan region) noexcept {
+    storeUnaligned<std::uint64_t>(region.data(), 0);
+  }
+
+  static void update(MutByteSpan region, double v) noexcept {
+    std::uint64_t n = loadUnaligned<std::uint64_t>(region.data());
+    if (n < kK) {
+      storeUnaligned(region.data() + 8 + n * 8, v);
+    } else {
+      // Vitter's algorithm R: replace a random slot with probability kK/n.
+      const std::uint64_t r =
+          mix64(n * 0x9e3779b97f4a7c15ull ^ std::bit_cast<std::uint64_t>(v)) % (n + 1);
+      if (r < kK) storeUnaligned(region.data() + 8 + r * 8, v);
+    }
+    storeUnaligned<std::uint64_t>(region.data(), n + 1);
+  }
+
+  static std::uint64_t count(ByteSpan region) noexcept {
+    return loadUnaligned<std::uint64_t>(region.data());
+  }
+
+  /// Approximate q-quantile (q in [0,1]) from the reservoir.
+  static double quantile(ByteSpan region, double q) noexcept {
+    const std::uint64_t n = count(region);
+    const std::size_t k = n < kK ? static_cast<std::size_t>(n) : kK;
+    if (k == 0) return 0.0;
+    double buf[kK];
+    for (std::size_t i = 0; i < k; ++i) {
+      buf[i] = loadUnaligned<double>(region.data() + 8 + i * 8);
+    }
+    // insertion sort: k <= 64
+    for (std::size_t i = 1; i < k; ++i) {
+      const double x = buf[i];
+      std::size_t j = i;
+      while (j > 0 && buf[j - 1] > x) {
+        buf[j] = buf[j - 1];
+        --j;
+      }
+      buf[j] = x;
+    }
+    auto idx = static_cast<std::size_t>(q * static_cast<double>(k - 1) + 0.5);
+    if (idx >= k) idx = k - 1;
+    return buf[idx];
+  }
+};
+
+}  // namespace oak::druid

@@ -1,0 +1,23 @@
+#include "mem/arena.hpp"
+
+#include <sys/mman.h>
+
+#include <cstdlib>
+#include <new>
+
+namespace oak::mem {
+
+// mmap keeps arenas out of the C heap, mirroring Java's off-heap direct
+// buffers, and lets the OS lazily back pages that the map never touches.
+Arena::Arena(std::size_t bytes) : size_(bytes) {
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) throw std::bad_alloc();
+  base_ = static_cast<std::byte*>(p);
+}
+
+Arena::~Arena() {
+  if (base_ != nullptr) ::munmap(base_, size_);
+}
+
+}  // namespace oak::mem

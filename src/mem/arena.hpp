@@ -1,0 +1,32 @@
+// A single off-heap arena: one large contiguous allocation outside the
+// simulated managed heap (the stand-in for Java's direct ByteBuffers).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.hpp"
+
+namespace oak::mem {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t bytes);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  std::size_t size() const noexcept { return size_; }
+  std::byte* base() noexcept { return base_; }
+  const std::byte* base() const noexcept { return base_; }
+
+  std::byte* at(std::size_t offset) noexcept { return base_ + offset; }
+
+ private:
+  std::byte* base_;
+  std::size_t size_;
+};
+
+}  // namespace oak::mem

@@ -1,0 +1,44 @@
+#include "mem/block_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace oak::mem {
+
+BlockPool::BlockPool(Config cfg) : cfg_(cfg) {
+  if (cfg_.blockBytes > (std::size_t{1} << Ref::kOffsetBits)) {
+    throw OakUsageError("block size exceeds Ref offset range (64 MiB)");
+  }
+}
+
+std::uint32_t BlockPool::acquire() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!freeIds_.empty()) {
+    const std::uint32_t id = freeIds_.back();
+    freeIds_.pop_back();
+    acquired_ += cfg_.blockBytes;
+    return id;
+  }
+  if (acquired_ + cfg_.blockBytes > cfg_.budgetBytes) throw OffHeapOutOfMemory();
+  if (arenas_.size() >= Ref::kMaxBlocks) throw OffHeapOutOfMemory();
+  arenas_.push_back(std::make_unique<Arena>(cfg_.blockBytes));
+  acquired_ += cfg_.blockBytes;
+  return static_cast<std::uint32_t>(arenas_.size() - 1);
+}
+
+void BlockPool::release(std::uint32_t id) {
+  std::lock_guard<std::mutex> lk(mu_);
+  freeIds_.push_back(id);
+  acquired_ -= cfg_.blockBytes;
+}
+
+std::size_t BlockPool::acquiredBytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return acquired_;
+}
+
+BlockPool& BlockPool::global() {
+  static BlockPool pool{Config{}};
+  return pool;
+}
+
+}  // namespace oak::mem

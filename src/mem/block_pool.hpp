@@ -1,0 +1,61 @@
+// Shared pool of pre-allocated off-heap arenas (§3.2).
+//
+// "Oak's allocator manages a shared pool of large (100MB by default)
+//  pre-allocated off-heap arenas. The pool supports multiple Oak instances.
+//  Each arena is associated with a single Oak instance and returns to the
+//  pool when that instance is disposed."
+//
+// The pool enforces a total byte budget, modelling the direct-memory limit
+// of the paper's experiments (Figures 3 and 5 vary this budget).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "mem/arena.hpp"
+#include "mem/ref.hpp"
+
+namespace oak::mem {
+
+class BlockPool {
+ public:
+  struct Config {
+    std::size_t blockBytes = 8u << 20;        ///< arena size (paper: 100 MB; scaled)
+    std::size_t budgetBytes = SIZE_MAX;       ///< total off-heap budget
+  };
+
+  BlockPool() : BlockPool(Config{}) {}
+  explicit BlockPool(Config cfg);
+
+  /// Takes an arena from the pool (allocating a new one if none is free).
+  /// Returns its id.  Throws OffHeapOutOfMemory when the budget is exhausted.
+  std::uint32_t acquire();
+
+  /// Returns an arena to the free list (called on Oak-instance disposal).
+  void release(std::uint32_t id);
+
+  Arena& arena(std::uint32_t id) noexcept { return *arenas_[id]; }
+  const Arena& arena(std::uint32_t id) const noexcept { return *arenas_[id]; }
+
+  std::size_t blockBytes() const noexcept { return cfg_.blockBytes; }
+  std::size_t budgetBytes() const noexcept { return cfg_.budgetBytes; }
+
+  /// Bytes currently held by live (acquired) arenas.
+  std::size_t acquiredBytes() const;
+
+  /// Process-wide default pool (unbounded budget); benchmarks construct
+  /// their own budgeted pools instead.
+  static BlockPool& global();
+
+ private:
+  Config cfg_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Arena>> arenas_;
+  std::vector<std::uint32_t> freeIds_;
+  std::size_t acquired_ = 0;
+};
+
+}  // namespace oak::mem

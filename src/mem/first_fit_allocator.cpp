@@ -1,0 +1,130 @@
+#include "mem/first_fit_allocator.hpp"
+
+#include <cassert>
+
+#include "common/error.hpp"
+
+namespace oak::mem {
+
+namespace {
+constexpr std::uint64_t packCur(std::uint32_t block, std::uint64_t offset) {
+  return (static_cast<std::uint64_t>(block + 1) << 40) | offset;
+}
+constexpr bool curValid(std::uint64_t cur) { return (cur >> 40) != 0; }
+constexpr std::uint32_t curBlock(std::uint64_t cur) {
+  return static_cast<std::uint32_t>(cur >> 40) - 1;
+}
+constexpr std::uint64_t curOffset(std::uint64_t cur) {
+  return cur & ((std::uint64_t{1} << 40) - 1);
+}
+}  // namespace
+
+FirstFitAllocator::FirstFitAllocator(BlockPool& pool) : pool_(pool) {
+  for (auto& b : bases_) b.store(nullptr, std::memory_order_relaxed);
+}
+
+FirstFitAllocator::~FirstFitAllocator() {
+  for (std::uint32_t id : owned_) pool_.release(id);
+}
+
+Ref FirstFitAllocator::alloc(std::uint32_t len) {
+  // Internal bookkeeping is 8-byte-granular, but the returned reference
+  // carries the *exact* requested length: callers (key comparisons, value
+  // sizes) must never observe alignment padding.
+  const std::uint32_t need = len < kAlign ? kAlign : ((len + kAlign - 1) & ~(kAlign - 1));
+  if (need > pool_.blockBytes() || need >= Ref::kMaxLength) {
+    throw OakUsageError("allocation larger than arena size");
+  }
+  for (;;) {
+    // §3.2: first fit from the flat free list; the bump pointer only serves
+    // virgin space.  A relaxed counter keeps the common empty-list case off
+    // the lock.
+    if (freeCount_.load(std::memory_order_relaxed) != 0) {
+      if (Ref r = tryFreeList(need)) {
+        outBytes_.fetch_add(roundUp(r.length()), std::memory_order_relaxed);
+        allocCount_.fetch_add(1, std::memory_order_relaxed);
+        return Ref::make(r.block(), r.offset(), len);
+      }
+    }
+    if (Ref r = tryBump(need)) {
+      outBytes_.fetch_add(need, std::memory_order_relaxed);
+      allocCount_.fetch_add(1, std::memory_order_relaxed);
+      return Ref::make(r.block(), r.offset(), len);
+    }
+    std::lock_guard<std::mutex> lk(growMu_);
+    // Re-check under the lock: another thread may have installed a new arena.
+    const std::uint64_t cur = cur_.load(std::memory_order_acquire);
+    if (curValid(cur) && curOffset(cur) + need <= pool_.blockBytes()) continue;
+    newBlockLocked(need);
+  }
+}
+
+Ref FirstFitAllocator::tryBump(std::uint32_t need) {
+  std::uint64_t cur = cur_.load(std::memory_order_acquire);
+  for (;;) {
+    if (!curValid(cur)) return Ref{};
+    const std::uint64_t off = curOffset(cur);
+    if (off + need > pool_.blockBytes()) return Ref{};
+    if (cur_.compare_exchange_weak(cur, packCur(curBlock(cur), off + need),
+                                   std::memory_order_acq_rel)) {
+      return Ref::make(curBlock(cur), static_cast<std::uint32_t>(off), need);
+    }
+  }
+}
+
+Ref FirstFitAllocator::tryFreeList(std::uint32_t need) {
+  std::lock_guard<SpinLock> lk(freeMu_);
+  for (std::size_t i = 0; i < freeList_.size(); ++i) {
+    Ref seg = freeList_[i];
+    if (seg.length() < need) continue;
+    const std::uint32_t rest = seg.length() - need;
+    if (rest >= kAlign) {
+      // Split: hand out the prefix, keep the remainder in place.
+      freeList_[i] = Ref::make(seg.block(), seg.offset() + need, rest);
+      return Ref::make(seg.block(), seg.offset(), need);
+    }
+    freeList_[i] = freeList_.back();
+    freeList_.pop_back();
+    freeCount_.fetch_sub(1, std::memory_order_relaxed);
+    return seg;  // exact (or nearly exact) fit — hand out the whole segment
+  }
+  return Ref{};
+}
+
+void FirstFitAllocator::newBlockLocked(std::uint32_t need) {
+  const std::uint32_t id = pool_.acquire();  // may throw OffHeapOutOfMemory
+  bases_[id].store(pool_.arena(id).base(), std::memory_order_release);
+  owned_.push_back(id);
+  nOwned_.fetch_add(1, std::memory_order_relaxed);
+
+  // Salvage the tail of the previous arena into the free list so the switch
+  // does not leak the unused suffix.
+  const std::uint64_t old = cur_.exchange(packCur(id, 0), std::memory_order_acq_rel);
+  if (curValid(old)) {
+    const std::uint64_t off = curOffset(old);
+    const std::uint64_t tail = pool_.blockBytes() - off;
+    if (tail >= kAlign && tail >= need / 8) {
+      std::lock_guard<SpinLock> lk(freeMu_);
+      freeList_.push_back(Ref::make(curBlock(old), static_cast<std::uint32_t>(off),
+                                    static_cast<std::uint32_t>(tail)));
+      freeCount_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void FirstFitAllocator::free(Ref ref) {
+  assert(!ref.isNull());
+  // Reconstitute the full (rounded) segment the allocation occupied.
+  const std::uint32_t whole = roundUp(ref.length());
+  outBytes_.fetch_sub(whole, std::memory_order_relaxed);
+  std::lock_guard<SpinLock> lk(freeMu_);
+  freeList_.push_back(Ref::make(ref.block(), ref.offset(), whole));
+  freeCount_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t FirstFitAllocator::freeListLength() const {
+  std::lock_guard<SpinLock> lk(freeMu_);
+  return freeList_.size();
+}
+
+}  // namespace oak::mem

@@ -1,0 +1,96 @@
+// First-fit flat free-list allocator over pooled arenas (§3.2).
+//
+// "Key and value buffers are allocated from the arena's flat free list using
+//  a first-fit approach; they return to the free list upon KV-pair deletion
+//  or value resize."
+//
+// Fast path: an atomic bump pointer inside the instance's current arena.
+// Slow path: first-fit scan of the free list, then acquiring a fresh arena
+// from the shared pool.  All allocations are 8-byte aligned and never span
+// arenas.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/spin.hpp"
+#include "mem/block_pool.hpp"
+#include "mem/ref.hpp"
+
+namespace oak::mem {
+
+class FirstFitAllocator {
+ public:
+  explicit FirstFitAllocator(BlockPool& pool);
+  ~FirstFitAllocator();
+
+  FirstFitAllocator(const FirstFitAllocator&) = delete;
+  FirstFitAllocator& operator=(const FirstFitAllocator&) = delete;
+
+  /// Allocates `len` bytes off-heap. Thread-safe. Throws OffHeapOutOfMemory.
+  Ref alloc(std::uint32_t len);
+
+  /// Returns a previously allocated reference to the free list. Thread-safe.
+  void free(Ref ref);
+
+  /// Pointer to the first byte of `ref`.  Safe to call concurrently with
+  /// allocation; the caller must have obtained `ref` through a properly
+  /// synchronized channel (entry CAS etc.).
+  std::byte* translate(Ref ref) const noexcept {
+    return bases_[ref.block()].load(std::memory_order_acquire) + ref.offset();
+  }
+
+  /// Total off-heap bytes this instance holds (whole arenas) — the paper's
+  /// "fast estimation of RAM footprint".
+  std::size_t footprintBytes() const noexcept {
+    return ownedBlocks() * pool_.blockBytes();
+  }
+  std::size_t ownedBlocks() const noexcept {
+    return nOwned_.load(std::memory_order_relaxed);
+  }
+  /// Bytes handed out and not yet freed (logical occupancy).
+  std::size_t allocatedBytes() const noexcept {
+    return outBytes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t allocCount() const noexcept {
+    return allocCount_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t freeListLength() const;
+
+  BlockPool& pool() noexcept { return pool_; }
+
+ private:
+  static constexpr std::uint32_t roundUp(std::uint32_t n) noexcept {
+    return n < kAlign ? kAlign : ((n + kAlign - 1) & ~(kAlign - 1));
+  }
+
+  Ref tryBump(std::uint32_t need);
+  Ref tryFreeList(std::uint32_t need);
+  void newBlockLocked(std::uint32_t need);
+
+  static constexpr std::uint32_t kAlign = 8;
+
+  BlockPool& pool_;
+
+  // Packed current-arena cursor: [block:20 | offset:40] (offset is bounded by
+  // the 26-bit Ref range anyway).
+  std::atomic<std::uint64_t> cur_{0};
+  std::mutex growMu_;
+
+  // Flat free list: vector of free segments scanned first-fit.
+  mutable SpinLock freeMu_;
+  std::vector<Ref> freeList_;
+  std::atomic<std::uint64_t> freeCount_{0};
+
+  // block id -> base pointer (written once per acquired block).
+  std::atomic<std::byte*> bases_[Ref::kMaxBlocks];
+  std::vector<std::uint32_t> owned_;
+  std::atomic<std::size_t> nOwned_{0};
+
+  std::atomic<std::size_t> outBytes_{0};
+  std::atomic<std::uint64_t> allocCount_{0};
+};
+
+}  // namespace oak::mem

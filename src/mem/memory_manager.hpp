@@ -1,0 +1,47 @@
+// Oak's memory manager (§3.2): allocate-and-initialize for keys and values,
+// footprint accounting, and pointer translation.  It is a thin composition
+// over the first-fit allocator; the value header layout lives in
+// oak/value.hpp because it carries the concurrency-control state (§3.3).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "mem/first_fit_allocator.hpp"
+
+namespace oak::mem {
+
+class MemoryManager {
+ public:
+  explicit MemoryManager(BlockPool& pool) : alloc_(pool) {}
+
+  /// allocateKey(key): copies the serialized key off-heap.  Keys are
+  /// immutable (§2.1), so the returned reference is never rewritten.
+  Ref allocateKey(ByteSpan serializedKey) {
+    Ref r = alloc_.alloc(static_cast<std::uint32_t>(serializedKey.size()));
+    copyBytes({alloc_.translate(r), r.length()}, serializedKey);
+    return r;
+  }
+
+  /// Raw allocation (value headers/payloads, baseline cells).
+  Ref allocRaw(std::uint32_t len) { return alloc_.alloc(len); }
+
+  void free(Ref r) { alloc_.free(r); }
+
+  std::byte* translate(Ref r) const noexcept { return alloc_.translate(r); }
+
+  ByteSpan keyBytes(Ref keyRef) const noexcept {
+    return {alloc_.translate(keyRef), keyRef.length()};
+  }
+
+  std::size_t footprintBytes() const noexcept { return alloc_.footprintBytes(); }
+  std::size_t allocatedBytes() const noexcept { return alloc_.allocatedBytes(); }
+  std::uint64_t allocCount() const noexcept { return alloc_.allocCount(); }
+
+  FirstFitAllocator& allocator() noexcept { return alloc_; }
+
+ private:
+  FirstFitAllocator alloc_;
+};
+
+}  // namespace oak::mem

@@ -1,0 +1,66 @@
+// Packed off-heap references (§3.2 of the paper).
+//
+// The memory manager hands out references consisting of an arena (block) id,
+// an offset, and a length.  Oak stores value references in chunk entries and
+// manipulates them with CAS, so the whole triple is packed into one 64-bit
+// word:
+//
+//   [ block:12 | offset:26 | length:26 ]
+//
+// 12 block bits x 26 offset bits = 4096 blocks of up to 64 MiB each
+// (256 GiB addressable); lengths up to 64 MiB.  Reference value 0 is the
+// paper's ⊥ (null).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace oak::mem {
+
+class Ref {
+ public:
+  static constexpr unsigned kBlockBits = 12;
+  static constexpr unsigned kOffsetBits = 26;
+  static constexpr unsigned kLengthBits = 26;
+  // One block id is sacrificed so that the all-zero word stays the null
+  // reference (the stored block field is id + 1).
+  static constexpr std::uint32_t kMaxBlocks = (1u << kBlockBits) - 1;
+  static constexpr std::uint32_t kMaxOffset = 1u << kOffsetBits;
+  static constexpr std::uint32_t kMaxLength = 1u << kLengthBits;
+
+  constexpr Ref() noexcept : bits_(0) {}
+  constexpr explicit Ref(std::uint64_t bits) noexcept : bits_(bits) {}
+
+  static Ref make(std::uint32_t block, std::uint32_t offset, std::uint32_t length) noexcept {
+    assert(block < kMaxBlocks && offset < kMaxOffset && length < kMaxLength);
+    // +1 on the block so that block 0 / offset 0 / length 0 is distinguishable
+    // from the null reference.
+    return Ref((static_cast<std::uint64_t>(block + 1) << (kOffsetBits + kLengthBits)) |
+               (static_cast<std::uint64_t>(offset) << kLengthBits) |
+               static_cast<std::uint64_t>(length));
+  }
+
+  constexpr bool isNull() const noexcept { return bits_ == 0; }
+  constexpr explicit operator bool() const noexcept { return bits_ != 0; }
+
+  std::uint32_t block() const noexcept {
+    assert(!isNull());
+    return static_cast<std::uint32_t>(bits_ >> (kOffsetBits + kLengthBits)) - 1;
+  }
+  std::uint32_t offset() const noexcept {
+    return static_cast<std::uint32_t>(bits_ >> kLengthBits) & (kMaxOffset - 1);
+  }
+  std::uint32_t length() const noexcept {
+    return static_cast<std::uint32_t>(bits_) & (kMaxLength - 1);
+  }
+
+  constexpr std::uint64_t bits() const noexcept { return bits_; }
+
+  friend constexpr bool operator==(Ref a, Ref b) noexcept { return a.bits_ == b.bits_; }
+  friend constexpr bool operator!=(Ref a, Ref b) noexcept { return a.bits_ != b.bits_; }
+
+ private:
+  std::uint64_t bits_;
+};
+
+}  // namespace oak::mem

@@ -1,0 +1,320 @@
+// Chunk objects (§3.1, §4.1).
+//
+// A chunk covers a contiguous key range [minKey, next->minKey).  It holds a
+// fixed-capacity array of entries; a prefix of the array is sorted (filled
+// by the rebalancer at chunk creation) and supports binary search, while
+// later insertions take cells from the free suffix and are spliced into the
+// intra-chunk sorted linked list via "bypasses" (Figure 2).
+//
+// Entries refer to off-heap keys and values through packed mem::Refs; the
+// value reference is the CAS target of Algorithms 2 and 3.
+//
+// Synchronization with the rebalancer follows the paper's publish/freeze
+// protocol: updaters publish an intent, re-check the frozen flag, CAS, and
+// unpublish; the rebalancer freezes the chunk and drains published intents
+// before copying entries.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/spin.hpp"
+#include "common/thread_registry.hpp"
+#include "mem/memory_manager.hpp"
+#include "mheap/managed_heap.hpp"
+#include "oak/value.hpp"
+
+namespace oak::detail {
+
+template <class Compare>
+class Chunk {
+ public:
+  static constexpr std::int32_t kNone = -1;    ///< ⊥ entry index
+  static constexpr std::int32_t kFrozen = -2;  ///< chunk is being rebalanced
+  static constexpr std::int32_t kFull = -3;    ///< no free entry cells
+
+  enum class State : std::uint32_t { Normal = 0, Frozen = 1 };
+
+  struct Entry {
+    std::atomic<std::uint64_t> valRef{0};   // mem::Ref to the value header, or ⊥
+    std::atomic<std::uint64_t> keyRef{0};   // mem::Ref to the immutable key
+    std::atomic<std::int32_t> next{kNone};  // intra-chunk sorted list
+  };
+
+  /// Chunks live on the simulated managed heap (they are Java metadata
+  /// objects in the original); the entries array is allocated inline.
+  static Chunk* make(mheap::ManagedHeap& heap, mem::MemoryManager& mm, Compare cmp,
+                     ByteVec minKey, std::int32_t capacity) {
+    void* raw = heap.alloc(sizeof(Chunk) +
+                           static_cast<std::size_t>(capacity) * sizeof(Entry));
+    return new (raw) Chunk(mm, cmp, std::move(minKey), capacity);
+  }
+
+  static void dispose(mheap::ManagedHeap& heap, Chunk* c) noexcept {
+    c->~Chunk();
+    heap.free(c);
+  }
+
+  // ---------------------------------------------------------------- basics
+  ByteSpan minKey() const noexcept { return asBytes(minKey_); }
+  std::int32_t capacity() const noexcept { return capacity_; }
+  std::int32_t sortedCount() const noexcept { return sortedCount_; }
+  std::int32_t allocatedCount() const noexcept {
+    const std::int32_t a = allocIdx_.load(std::memory_order_acquire);
+    return a < capacity_ ? a : capacity_;
+  }
+  std::int32_t unsortedCount() const noexcept { return allocatedCount() - sortedCount_; }
+
+  Entry& entry(std::int32_t i) noexcept { return entries()[i]; }
+  const Entry& entry(std::int32_t i) const noexcept { return entries()[i]; }
+
+  ByteSpan keyAt(std::int32_t i) const noexcept {
+    const mem::Ref r{entries()[i].keyRef.load(std::memory_order_acquire)};
+    return mm_->keyBytes(r);
+  }
+
+  bool isFrozen() const noexcept {
+    return state_.load(std::memory_order_acquire) != State::Normal;
+  }
+
+  std::atomic<Chunk*>& nextChunk() noexcept { return next_; }
+  std::atomic<Chunk*>& rebalancedTo() noexcept { return rebalancedTo_; }
+
+  std::int32_t headEntry() const noexcept { return head_.load(std::memory_order_acquire); }
+
+  // ---------------------------------------------------------------- search
+  /// Greatest sorted-prefix index whose key is <= probe, or kNone.
+  std::int32_t prefixFloor(ByteSpan probe) const noexcept {
+    std::int32_t lo = 0;
+    std::int32_t hi = sortedCount_;  // exclusive
+    std::int32_t ans = kNone;
+    while (lo < hi) {
+      const std::int32_t mid = lo + (hi - lo) / 2;
+      if (cmp_(keyAt(mid), probe) <= 0) {
+        ans = mid;
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return ans;
+  }
+
+  /// Best linked starting point with key <= probe: the sorted-prefix floor,
+  /// upgraded by the tail hint (the greatest-key entry seen so far) when the
+  /// probe lies beyond it.  The hint turns append-heavy ingestion — e.g.
+  /// Druid's time-ordered tuples (§6) — from an O(bypass-run) walk into
+  /// O(1), and is only ever a shortcut: stale hints just mean more walking.
+  std::int32_t searchStart(ByteSpan probe) const noexcept {
+    const std::int32_t pos = prefixFloor(probe);
+    const std::int32_t th = tailHint_.load(std::memory_order_acquire);
+    if (th != kNone && th != pos && cmp_(keyAt(th), probe) <= 0) return th;
+    return pos;
+  }
+
+  /// lookUp(k) (§4.1): binary search on the sorted prefix, then walk the
+  /// entries linked list.  Returns the unique entry holding k, or kNone.
+  /// Proceeds concurrently with rebalance without aborting.
+  std::int32_t lookUp(ByteSpan probe) const noexcept {
+    const std::int32_t pos = searchStart(probe);
+    std::int32_t cur;
+    if (pos == kNone) {
+      cur = head_.load(std::memory_order_acquire);
+    } else {
+      if (cmp_(keyAt(pos), probe) == 0) return pos;
+      cur = entries()[pos].next.load(std::memory_order_acquire);
+    }
+    while (cur != kNone) {
+      const int c = cmp_(keyAt(cur), probe);
+      if (c == 0) return cur;
+      if (c > 0) return kNone;
+      cur = entries()[cur].next.load(std::memory_order_acquire);
+    }
+    return kNone;
+  }
+
+  /// First entry with key >= probe (for iterators), or kNone.
+  std::int32_t lowerBound(ByteSpan probe) const noexcept {
+    const std::int32_t pos = prefixFloor(probe);
+    std::int32_t cur;
+    if (pos == kNone) {
+      cur = head_.load(std::memory_order_acquire);
+    } else {
+      if (cmp_(keyAt(pos), probe) == 0) return pos;
+      cur = entries()[pos].next.load(std::memory_order_acquire);
+    }
+    while (cur != kNone && cmp_(keyAt(cur), probe) < 0) {
+      cur = entries()[cur].next.load(std::memory_order_acquire);
+    }
+    return cur;
+  }
+
+  // ------------------------------------------------------------- insertion
+  /// allocateEntry(keyRef) (§4.1): grabs a free cell with F&A and stores the
+  /// key reference.  Returns kFull when the chunk is exhausted (the caller
+  /// triggers a rebalance and retries).
+  std::int32_t allocateEntry(mem::Ref keyRef) noexcept {
+    const std::int32_t i = allocIdx_.fetch_add(1, std::memory_order_acq_rel);
+    if (i >= capacity_) {
+      allocIdx_.store(capacity_, std::memory_order_relaxed);  // clamp
+      return kFull;
+    }
+    Entry& e = entries()[i];
+    e.valRef.store(0, std::memory_order_relaxed);
+    e.next.store(kNone, std::memory_order_relaxed);
+    e.keyRef.store(keyRef.bits(), std::memory_order_release);
+    return i;
+  }
+
+  /// entriesLLputIfAbsent(ei) (§4.1): links an allocated entry into the
+  /// sorted list with CAS, preserving key uniqueness.  Returns:
+  ///   * ei            — linked successfully;
+  ///   * another index — an entry with the same key already exists;
+  ///   * kFrozen       — the chunk is being rebalanced (caller retries).
+  std::int32_t entriesLLPutIfAbsent(std::int32_t ei) noexcept {
+    if (ei == kNone) return kNone;
+    const ByteSpan key = keyAt(ei);
+    for (;;) {
+      if (isFrozen()) return kFrozen;
+      std::int32_t pred = kNone;
+      std::int32_t cur;
+      const std::int32_t pos = searchStart(key);
+      if (pos != kNone) {
+        if (cmp_(keyAt(pos), key) == 0) return pos;
+        pred = pos;
+        cur = entries()[pos].next.load(std::memory_order_acquire);
+      } else {
+        cur = head_.load(std::memory_order_acquire);
+      }
+      while (cur != kNone) {
+        const int c = cmp_(keyAt(cur), key);
+        if (c == 0) return cur;
+        if (c > 0) break;
+        pred = cur;
+        cur = entries()[cur].next.load(std::memory_order_acquire);
+      }
+      entries()[ei].next.store(cur, std::memory_order_relaxed);
+      std::atomic<std::int32_t>& link = (pred == kNone) ? head_ : entries()[pred].next;
+      std::int32_t expected = cur;
+      if (link.compare_exchange_strong(expected, ei, std::memory_order_acq_rel)) {
+        if (cur == kNone) advanceTailHint(ei, key);
+        return ei;
+      }
+      // Lost the race; recompute the insertion position.
+    }
+  }
+
+  /// Monotonically advances the tail hint to `ei` (key must exceed the
+  /// current hint's key; only called for entries linked at the list tail).
+  void advanceTailHint(std::int32_t ei, ByteSpan key) noexcept {
+    std::int32_t cur = tailHint_.load(std::memory_order_acquire);
+    for (;;) {
+      if (cur != kNone && cmp_(keyAt(cur), key) >= 0) return;
+      if (tailHint_.compare_exchange_weak(cur, ei, std::memory_order_acq_rel)) return;
+    }
+  }
+
+  // ------------------------------------------------- publish/freeze (§4.1)
+  /// Announces an impending entry update.  Fails (returns false) if the
+  /// chunk is frozen — the caller must retry the whole operation.
+  bool publish() noexcept {
+    const std::uint32_t tid = ThreadRegistry::id();
+    if (isFrozen()) return false;
+    pending_[tid].store(1, std::memory_order_seq_cst);
+    if (state_.load(std::memory_order_seq_cst) != State::Normal) {
+      pending_[tid].store(0, std::memory_order_release);
+      return false;
+    }
+    return true;
+  }
+
+  void unpublish() noexcept {
+    pending_[ThreadRegistry::id()].store(0, std::memory_order_release);
+  }
+
+  /// Rebalancer side: freezes the chunk and waits until every published
+  /// update drains.  After freeze() returns, no entry field changes.
+  void freeze() noexcept {
+    state_.store(State::Frozen, std::memory_order_seq_cst);
+    const std::uint32_t hw = ThreadRegistry::highWater();
+    for (std::uint32_t t = 0; t < hw; ++t) {
+      Backoff b;
+      while (pending_[t].load(std::memory_order_seq_cst) != 0) b.pause();
+    }
+  }
+
+  // ------------------------------------------------------------- rebalance
+  struct LiveEntry {
+    std::uint64_t keyRefBits;
+    std::uint64_t valRefBits;
+  };
+
+  /// Collects live (non-⊥, non-deleted value) entries in ascending key
+  /// order.  Must run after freeze(); entry fields are then stable.
+  template <class Out>
+  void collectLive(mem::MemoryManager& mm, Out& out) const {
+    std::int32_t cur = head_.load(std::memory_order_acquire);
+    while (cur != kNone) {
+      const Entry& e = entries()[cur];
+      const std::uint64_t v = e.valRef.load(std::memory_order_acquire);
+      if (v != 0) {
+        ValueCell cell(mm, VRef{v});
+        if (!cell.isDeleted()) {
+          out.push_back(LiveEntry{e.keyRef.load(std::memory_order_acquire), v});
+        }
+      }
+      cur = e.next.load(std::memory_order_acquire);
+    }
+  }
+
+  /// Fills a freshly created chunk with a sorted run of live entries
+  /// (rebalancer only; no concurrency).
+  void fillSorted(const LiveEntry* src, std::int32_t count) noexcept {
+    for (std::int32_t i = 0; i < count; ++i) {
+      Entry& e = entries()[i];
+      e.keyRef.store(src[i].keyRefBits, std::memory_order_relaxed);
+      e.valRef.store(src[i].valRefBits, std::memory_order_relaxed);
+      e.next.store(i + 1 < count ? i + 1 : kNone, std::memory_order_relaxed);
+    }
+    sortedCount_ = count;
+    allocIdx_.store(count, std::memory_order_relaxed);
+    tailHint_.store(count > 0 ? count - 1 : kNone, std::memory_order_relaxed);
+    head_.store(count > 0 ? 0 : kNone, std::memory_order_release);
+  }
+
+  std::size_t footprintBytes() const noexcept {
+    return sizeof(Chunk) + static_cast<std::size_t>(capacity_) * sizeof(Entry);
+  }
+
+ private:
+  Chunk(mem::MemoryManager& mm, Compare cmp, ByteVec minKey, std::int32_t capacity)
+      : mm_(&mm), cmp_(cmp), minKey_(std::move(minKey)), capacity_(capacity) {
+    for (std::int32_t i = 0; i < capacity_; ++i) new (&entries()[i]) Entry();
+    for (auto& p : pending_) p.store(0, std::memory_order_relaxed);
+  }
+
+  ~Chunk() = default;
+
+  Entry* entries() noexcept { return reinterpret_cast<Entry*>(this + 1); }
+  const Entry* entries() const noexcept {
+    return reinterpret_cast<const Entry*>(this + 1);
+  }
+
+  mem::MemoryManager* mm_;
+  Compare cmp_;
+  ByteVec minKey_;
+  const std::int32_t capacity_;
+  std::int32_t sortedCount_ = 0;
+
+  std::atomic<std::int32_t> allocIdx_{0};
+  std::atomic<std::int32_t> head_{kNone};
+  std::atomic<std::int32_t> tailHint_{kNone};
+  std::atomic<State> state_{State::Normal};
+  std::atomic<Chunk*> next_{nullptr};
+  std::atomic<Chunk*> rebalancedTo_{nullptr};
+
+  std::atomic<std::uint32_t> pending_[kMaxThreads];
+};
+
+}  // namespace oak::detail

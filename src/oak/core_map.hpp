@@ -1,0 +1,813 @@
+// OakCoreMap — the concurrent algorithm of §4, over serialized (byte) keys
+// and values.  The typed zero-copy / legacy views in oak/map.hpp are thin
+// wrappers; Druid (§6) and the benchmarks drive this core directly.
+//
+// Metadata layout (§3.1, Figure 1):
+//   * a lazy skiplist index: minKey -> chunk (on the simulated managed heap)
+//   * a linked list of chunks; each chunk holds entries referring to
+//     off-heap keys and value cells
+//   * retired chunks forward through rebalancedTo and are reclaimed via EBR
+//
+// Operations implement Algorithms 1-3 with the paper's linearization points
+// (§4.5); scans provide the paper's non-atomic guarantees (§4.2).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "mem/memory_manager.hpp"
+#include "mheap/managed_heap.hpp"
+#include "oak/buffer.hpp"
+#include "oak/chunk.hpp"
+#include "oak/serializer.hpp"
+#include "oak/value.hpp"
+#include "skiplist/skiplist.hpp"
+#include "sync/ebr.hpp"
+
+namespace oak {
+
+struct OakConfig {
+  std::int32_t chunkCapacity = 2048;    ///< paper: 4K entries per chunk
+  double maxUnsortedRatio = 0.5;        ///< rebalance when bypasses exceed this
+  mheap::ManagedHeap* metaHeap = nullptr;  ///< for on-heap metadata; default: unlimited
+  mem::BlockPool* pool = nullptr;          ///< off-heap arena pool; default: global
+  std::size_t ephemeralViewBytes = 48;  ///< modelled size of a Java buffer view
+  /// Value-header reclamation (§3.3): the paper's evaluated default keeps
+  /// headers immortal; Generational recycles them through a versioned pool.
+  ValueReclaim reclaim = ValueReclaim::KeepHeaders;
+};
+
+template <class Compare = BytesComparator>
+class OakCoreMap {
+  using ChunkT = detail::Chunk<Compare>;
+
+  struct IndexCmp {
+    Compare c;
+    int operator()(const ByteVec& a, ByteSpan b) const noexcept {
+      return c(asBytes(a), b);
+    }
+    int operator()(const ByteVec& a, const ByteVec& b) const noexcept {
+      return c(asBytes(a), asBytes(b));
+    }
+  };
+  using Index = sl::SkipList<ByteVec, ChunkT*, IndexCmp>;
+
+ public:
+  explicit OakCoreMap(OakConfig cfg = OakConfig{}, Compare cmp = Compare{})
+      : cfg_(cfg),
+        cmp_(cmp),
+        metaHeap_(cfg.metaHeap != nullptr ? *cfg.metaHeap : mheap::ManagedHeap::unlimited()),
+        pool_(cfg.pool != nullptr ? *cfg.pool : mem::BlockPool::global()),
+        mm_(pool_),
+        indexMem_(metaHeap_),
+        index_(IndexCmp{cmp}, indexMem_) {
+    if (cfg_.reclaim == ValueReclaim::Generational) headerPool_.emplace(mm_);
+    ChunkT* head = ChunkT::make(metaHeap_, mm_, cmp_, ByteVec{}, cfg_.chunkCapacity);
+    head_.store(head, std::memory_order_release);
+    index_.put(ByteVec{}, head);
+    chunkCount_.store(1, std::memory_order_relaxed);
+  }
+
+  ~OakCoreMap() {
+    // Quiescent teardown: reclaim chunks (live chain + retired) directly.
+    ebr_.drainAll();
+    ChunkT* c = head_.load(std::memory_order_relaxed);
+    while (c != nullptr) {
+      ChunkT* n = c->nextChunk().load(std::memory_order_relaxed);
+      ChunkT::dispose(metaHeap_, c);
+      c = n;
+    }
+  }
+
+  OakCoreMap(const OakCoreMap&) = delete;
+  OakCoreMap& operator=(const OakCoreMap&) = delete;
+
+  // ============================================================== queries
+  /// Algorithm 1.  Returns a zero-copy read view, or nullopt.
+  std::optional<OakRBuffer> get(ByteSpan key) {
+    sync::Ebr::Guard g(ebr_);
+    const std::uint64_t v = findValueRef(key);
+    if (v == 0) return std::nullopt;
+    detail::ValueCell cell(mm_, detail::VRef{v});
+    if (cell.isDeleted()) return std::nullopt;
+    metaHeap_.ephemeralObject(cfg_.ephemeralViewBytes);
+    return OakRBuffer::forValue(cell);
+  }
+
+  /// Legacy-API get: deserializing copy (Oak-Copy in §5).  The copy itself
+  /// is charged to the managed heap like the Java object it stands for.
+  std::optional<ByteVec> getCopy(ByteSpan key) {
+    sync::Ebr::Guard g(ebr_);
+    const std::uint64_t v = findValueRef(key);
+    if (v == 0) return std::nullopt;
+    detail::ValueCell cell(mm_, detail::VRef{v});
+    std::optional<ByteVec> out;
+    const bool ok = cell.read([&](ByteSpan s) {
+      metaHeap_.ephemeralObject(s.size() + cfg_.ephemeralViewBytes);
+      out.emplace(s.begin(), s.end());
+    });
+    if (!ok) return std::nullopt;
+    return out;
+  }
+
+  bool containsKey(ByteSpan key) {
+    sync::Ebr::Guard g(ebr_);
+    const std::uint64_t v = findValueRef(key);
+    if (v == 0) return false;
+    return !detail::ValueCell(mm_, detail::VRef{v}).isDeleted();
+  }
+
+  // ==================================================== navigation queries
+  // ConcurrentNavigableMap-style ordered lookups.  Each returns the entry's
+  // key (copied — it identifies the entry) and a zero-copy value view.
+  struct KeyedEntry {
+    ByteVec key;
+    OakRBuffer value;
+  };
+
+  std::optional<KeyedEntry> firstEntry() {
+    AscendIter it = ascend();
+    return takeFirst(it);
+  }
+  std::optional<KeyedEntry> lastEntry() {
+    DescendIter it = descend();
+    return takeFirst(it);
+  }
+
+  /// Least entry with key >= probe.
+  std::optional<KeyedEntry> ceilingEntry(ByteSpan key) {
+    AscendIter it = ascend(toVec(key));
+    return takeFirst(it);
+  }
+  /// Least entry with key > probe.
+  std::optional<KeyedEntry> higherEntry(ByteSpan key) {
+    AscendIter it = ascend(toVec(key));
+    if (it.valid() && bytesEqual(it.entry().key, key)) it.next();
+    return takeFirst(it);
+  }
+  /// Greatest entry with key <= probe (probe + 0x00 is its exclusive
+  /// successor in byte order).
+  std::optional<KeyedEntry> floorEntry(ByteSpan key) {
+    ByteVec hi = toVec(key);
+    hi.push_back(std::byte{0});
+    DescendIter it = descend(std::nullopt, std::move(hi));
+    return takeFirst(it);
+  }
+  /// Greatest entry with key < probe.
+  std::optional<KeyedEntry> lowerEntry(ByteSpan key) {
+    DescendIter it = descend(std::nullopt, toVec(key));
+    return takeFirst(it);
+  }
+
+  /// JDK replace(K,V): rewrites the value iff the key is present.  Atomic.
+  bool replace(ByteSpan key, ByteSpan value) {
+    return computeIfPresent(key, [&](OakWBuffer& w) {
+      w.resize(value.size());
+      w.write(0, value);
+    });
+  }
+
+  /// JDK replace(K,expected,new): conditional atomic swap on value bytes.
+  bool replaceIf(ByteSpan key, ByteSpan expected, ByteSpan desired) {
+    bool swapped = false;
+    computeIfPresent(key, [&](OakWBuffer& w) {
+      if (!bytesEqual(w.span(), expected)) return;
+      w.resize(desired.size());
+      w.write(0, desired);
+      swapped = true;
+    });
+    return swapped;
+  }
+
+  // ============================================================== updates
+  /// put (§4.3): unconditional; optionally copies the replaced value into
+  /// *old (legacy-API semantics) — the copy happens atomically with the
+  /// overwrite, under the value's write lock.  Returns true iff an existing
+  /// live value was replaced (vs. a fresh insert).
+  bool put(ByteSpan key, ByteSpan value, ByteVec* old = nullptr) {
+    bool replaced = false;
+    doPut(key, value, nullptr, PutOp::Put, old, &replaced);
+    return replaced;
+  }
+
+  /// putIfAbsent (§4.3): true iff the key was absent and the value inserted.
+  bool putIfAbsent(ByteSpan key, ByteSpan value) {
+    return doPut(key, value, nullptr, PutOp::PutIfAbsent, nullptr, nullptr);
+  }
+
+  /// putIfAbsentComputeIfPresent (§4.3): inserts `value` if absent,
+  /// otherwise runs `func` on the existing value, atomically.
+  template <class F>
+  void putIfAbsentComputeIfPresent(ByteSpan key, ByteSpan value, F&& func) {
+    ComputeFn fn = makeComputeFn(func);
+    doPut(key, value, &fn, PutOp::PutIfAbsentComputeIfPresent, nullptr, nullptr);
+  }
+
+  /// computeIfPresent (§4.4): true iff a live value existed and `func` ran.
+  template <class F>
+  bool computeIfPresent(ByteSpan key, F&& func) {
+    ComputeFn fn = makeComputeFn(func);
+    return doIfPresent(key, &fn, IfPresentOp::Compute, nullptr);
+  }
+
+  /// remove (§4.4); optionally copies the removed value.  Returns true iff
+  /// this call removed a live mapping.
+  bool remove(ByteSpan key, ByteVec* old = nullptr) {
+    return doIfPresent(key, nullptr, IfPresentOp::Remove, old);
+  }
+
+  // ========================================================== scan support
+  struct EntryView {
+    ByteSpan key;  ///< valid while the iterator's epoch guard is held
+    detail::ValueCell value;
+  };
+
+  /// Ascending iterator (§4.2).  Non-atomic; guarantees (1)-(3) of §4.2.
+  /// `stream` mode reuses the caller-visible view object (paper's Stream
+  /// API) — the difference is modelled by ephemeral-churn charging.
+  class AscendIter {
+   public:
+    AscendIter(OakCoreMap& m, std::optional<ByteVec> lo, std::optional<ByteVec> hi,
+               bool stream)
+        : map_(&m), guard_(m.ebr_), hi_(std::move(hi)), stream_(stream) {
+      if (stream_) m.metaHeap_.ephemeralObject(m.cfg_.ephemeralViewBytes);
+      chunk_ = lo ? m.locateChunk(asBytes(*lo)) : m.firstChunk();
+      cur_ = lo ? chunk_->lowerBound(asBytes(*lo)) : chunk_->headEntry();
+      advanceToLive();
+    }
+
+    bool valid() const noexcept { return chunk_ != nullptr; }
+
+    /// Current entry; call only while valid().
+    EntryView entry() const {
+      return EntryView{chunk_->keyAt(cur_),
+                       detail::ValueCell(map_->mm_, detail::VRef{curVal_})};
+    }
+
+    void next() {
+      cur_ = chunk_->entry(cur_).next.load(std::memory_order_acquire);
+      advanceToLive();
+    }
+
+   private:
+    void advanceToLive() {
+      for (;;) {
+        while (cur_ == ChunkT::kNone) {
+          chunk_ = chunk_->nextChunk().load(std::memory_order_acquire);
+          if (chunk_ == nullptr) return;
+          cur_ = chunk_->headEntry();
+        }
+        if (hi_ && map_->cmp_(chunk_->keyAt(cur_), asBytes(*hi_)) >= 0) {
+          chunk_ = nullptr;  // passed the range end
+          return;
+        }
+        const std::uint64_t v =
+            chunk_->entry(cur_).valRef.load(std::memory_order_acquire);
+        if (v != 0 && !detail::ValueCell(map_->mm_, detail::VRef{v}).isDeleted()) {
+          curVal_ = v;
+          // Set-style scans create a fresh ephemeral view per entry (§2.2).
+          if (!stream_) map_->metaHeap_.ephemeralObject(map_->cfg_.ephemeralViewBytes);
+          return;
+        }
+        cur_ = chunk_->entry(cur_).next.load(std::memory_order_acquire);
+      }
+    }
+
+    OakCoreMap* map_;
+    sync::Ebr::Guard guard_;
+    ChunkT* chunk_ = nullptr;
+    std::int32_t cur_ = ChunkT::kNone;
+    std::uint64_t curVal_ = 0;
+    std::optional<ByteVec> hi_;
+    bool stream_;
+  };
+
+  /// Descending iterator (§4.2, Figure 2): walks each chunk's sorted prefix
+  /// backwards, re-collecting the bypass runs onto a stack — no
+  /// doubly-linked list and no per-key lookup.
+  class DescendIter {
+   public:
+    DescendIter(OakCoreMap& m, std::optional<ByteVec> lo, std::optional<ByteVec> hi,
+                bool stream)
+        : map_(&m), guard_(m.ebr_), lo_(std::move(lo)), stream_(stream) {
+      if (stream_) m.metaHeap_.ephemeralObject(m.cfg_.ephemeralViewBytes);
+      if (hi) {
+        // hi is exclusive: start from the chunk containing keys < hi.
+        chunk_ = m.locateChunk(asBytes(*hi));
+        initChunk(asBytes(*hi), /*boundedAbove=*/true);
+      } else {
+        chunk_ = m.lastChunk();
+        initChunk(ByteSpan{}, /*boundedAbove=*/false);
+      }
+      advanceToLive();
+    }
+
+    bool valid() const noexcept { return chunk_ != nullptr; }
+
+    EntryView entry() const {
+      return EntryView{chunk_->keyAt(cur_),
+                       detail::ValueCell(map_->mm_, detail::VRef{curVal_})};
+    }
+
+    void next() { advanceToLive(); }
+
+   private:
+    /// Prepares the per-chunk descending state.
+    void initChunk(ByteSpan upper, bool boundedAbove) {
+      stack_.clear();
+      boundary_ = ChunkT::kNone;
+      if (chunk_ == nullptr) return;
+      upper_.clear();
+      bounded_ = boundedAbove;
+      if (boundedAbove) upper_.assign(upper.begin(), upper.end());
+      pp_ = boundedAbove ? prefixLower(upper) : (chunk_->sortedCount() - 1);
+      fillBatch();
+    }
+
+    /// Greatest sorted-prefix index with key < probe, or kNone.
+    std::int32_t prefixLower(ByteSpan probe) const noexcept {
+      std::int32_t lo = 0, hi = chunk_->sortedCount(), ans = ChunkT::kNone;
+      while (lo < hi) {
+        const std::int32_t mid = lo + (hi - lo) / 2;
+        if (map_->cmp_(chunk_->keyAt(mid), probe) < 0) {
+          ans = mid;
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      return ans;
+    }
+
+    /// Collects one bypass run [start .. boundary) onto the stack, bounded
+    /// above by upper_ (when bounded_).  Then the boundary moves down.
+    void fillBatch() {
+      const std::int32_t start =
+          (pp_ == ChunkT::kNone) ? chunk_->headEntry() : pp_;
+      for (std::int32_t cur = start;
+           cur != ChunkT::kNone && cur != boundary_;
+           cur = chunk_->entry(cur).next.load(std::memory_order_acquire)) {
+        if (bounded_ && map_->cmp_(chunk_->keyAt(cur), asBytes(upper_)) >= 0) break;
+        stack_.push_back(cur);
+      }
+      // Only the first (topmost) batch can straddle the upper bound: every
+      // later batch lies strictly below this batch's start key.
+      bounded_ = false;
+      boundary_ = start;
+      exhausted_ = (pp_ == ChunkT::kNone);
+      if (pp_ != ChunkT::kNone) --pp_;
+    }
+
+    void advanceToLive() {
+      for (;;) {
+        while (stack_.empty()) {
+          if (exhausted_) {
+            // Move to the chunk with the greatest minKey strictly below ours.
+            chunk_ = map_->locatePrevChunk(chunk_->minKey());
+            if (chunk_ == nullptr) return;
+            initChunk(ByteSpan{}, /*boundedAbove=*/false);
+            continue;
+          }
+          fillBatch();
+        }
+        const std::int32_t e = stack_.back();
+        stack_.pop_back();
+        if (lo_ && map_->cmp_(chunk_->keyAt(e), asBytes(*lo_)) < 0) {
+          chunk_ = nullptr;  // passed the range start
+          return;
+        }
+        const std::uint64_t v = chunk_->entry(e).valRef.load(std::memory_order_acquire);
+        if (v == 0 || detail::ValueCell(map_->mm_, detail::VRef{v}).isDeleted()) continue;
+        cur_ = e;
+        curVal_ = v;
+        if (!stream_) map_->metaHeap_.ephemeralObject(map_->cfg_.ephemeralViewBytes);
+        return;
+      }
+    }
+
+    OakCoreMap* map_;
+    sync::Ebr::Guard guard_;
+    ChunkT* chunk_ = nullptr;
+    std::vector<std::int32_t> stack_;
+    std::int32_t pp_ = ChunkT::kNone;        // sorted-prefix cursor
+    std::int32_t boundary_ = ChunkT::kNone;  // start of the previous batch
+    bool exhausted_ = false;
+    bool bounded_ = false;
+    ByteVec upper_;
+    std::int32_t cur_ = ChunkT::kNone;
+    std::uint64_t curVal_ = 0;
+    std::optional<ByteVec> lo_;
+    bool stream_;
+  };
+
+  // GCC 12 falsely flags the moved-from optionals below as
+  // maybe-uninitialized when these calls are inlined (GCC bug 105562-style
+  // std::optional false positive); the moves are well-defined.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+  AscendIter ascend(std::optional<ByteVec> lo = std::nullopt,
+                    std::optional<ByteVec> hi = std::nullopt, bool stream = false) {
+    return AscendIter(*this, std::move(lo), std::move(hi), stream);
+  }
+  DescendIter descend(std::optional<ByteVec> lo = std::nullopt,
+                      std::optional<ByteVec> hi = std::nullopt, bool stream = false) {
+    return DescendIter(*this, std::move(lo), std::move(hi), stream);
+  }
+#pragma GCC diagnostic pop
+
+  // =============================================================== stats
+  std::size_t sizeSlow() {
+    std::size_t n = 0;
+    for (auto it = ascend(); it.valid(); it.next()) ++n;
+    return n;
+  }
+  std::size_t offHeapFootprintBytes() const noexcept { return mm_.footprintBytes(); }
+  std::size_t offHeapAllocatedBytes() const noexcept { return mm_.allocatedBytes(); }
+  std::size_t chunkCount() const noexcept {
+    return chunkCount_.load(std::memory_order_relaxed);
+  }
+  std::size_t onHeapMetadataBytes() const noexcept {
+    // chunks + (approximate) index nodes
+    std::size_t chunks = 0;
+    for (ChunkT* c = head_.load(std::memory_order_acquire); c != nullptr;
+         c = c->nextChunk().load(std::memory_order_acquire)) {
+      chunks += c->footprintBytes();
+    }
+    return chunks + index_.sizeApprox() * 64;
+  }
+  std::uint64_t rebalanceCount() const noexcept {
+    return rebalances_.load(std::memory_order_relaxed);
+  }
+  /// Drains deferred reclamation (retired chunks) — call from a quiescent
+  /// state when precise footprint numbers matter (§3.2 footprint API).
+  void quiesce() {
+    for (int i = 0; i < 4; ++i) ebr_.tryAdvanceAndReclaim();
+  }
+  mheap::ManagedHeap& metaHeap() noexcept { return metaHeap_; }
+  mem::MemoryManager& memoryManager() noexcept { return mm_; }
+  const Compare& comparator() const noexcept { return cmp_; }
+
+ private:
+  std::optional<KeyedEntry> takeFirst(AscendIter& it) {
+    if (!it.valid()) return std::nullopt;
+    auto e = it.entry();
+    metaHeap_.ephemeralObject(cfg_.ephemeralViewBytes);
+    return KeyedEntry{toVec(e.key), OakRBuffer::forValue(e.value)};
+  }
+  std::optional<KeyedEntry> takeFirst(DescendIter& it) {
+    if (!it.valid()) return std::nullopt;
+    auto e = it.entry();
+    metaHeap_.ephemeralObject(cfg_.ephemeralViewBytes);
+    return KeyedEntry{toVec(e.key), OakRBuffer::forValue(e.value)};
+  }
+
+  enum class PutOp { Put, PutIfAbsent, PutIfAbsentComputeIfPresent };
+  enum class IfPresentOp { Compute, Remove };
+
+  // Type-erased compute body to keep doPut/doIfPresent out-of-line-able.
+  struct ComputeFn {
+    void* ctx;
+    void (*fn)(void*, OakWBuffer&);
+    void operator()(OakWBuffer& w) const { fn(ctx, w); }
+  };
+  template <class F>
+  static ComputeFn makeComputeFn(F& f) {
+    return ComputeFn{&f, [](void* ctx, OakWBuffer& w) { (*static_cast<F*>(ctx))(w); }};
+  }
+
+  ChunkT* firstChunk() const noexcept {
+    return skipRedirectConst(head_.load(std::memory_order_acquire));
+  }
+  ChunkT* skipRedirectConst(ChunkT* c) const noexcept {
+    for (;;) {
+      ChunkT* r = c->rebalancedTo().load(std::memory_order_acquire);
+      if (r == nullptr) return c;
+      c = r;
+    }
+  }
+
+  /// locateChunk (§3.1): index floor query plus a (normally short) walk of
+  /// the chunk list, following rebalance redirects.
+  ChunkT* locateChunk(ByteSpan key) const {
+    typename Index::Node* n = index_.floorNode(key);
+    ChunkT* c = (n != nullptr) ? n->loadValue() : nullptr;
+    if (c == nullptr) c = head_.load(std::memory_order_acquire);
+    c = skipRedirectConst(c);
+    for (;;) {
+      ChunkT* nx = c->nextChunk().load(std::memory_order_acquire);
+      if (nx == nullptr || cmp_(nx->minKey(), key) > 0) return c;
+      c = skipRedirectConst(nx);
+    }
+  }
+
+  /// Chunk with the greatest minKey strictly smaller than `key` (descending
+  /// scans' inter-chunk step), or nullptr.
+  ChunkT* locatePrevChunk(ByteSpan key) const {
+    if (key.empty()) return nullptr;  // head's minKey is the -inf sentinel
+    typename Index::Node* n = index_.lowerNode(key);
+    ChunkT* c = (n != nullptr) ? n->loadValue() : head_.load(std::memory_order_acquire);
+    c = skipRedirectConst(c);
+    if (cmp_(c->minKey(), key) >= 0) return nullptr;
+    for (;;) {
+      ChunkT* nx = c->nextChunk().load(std::memory_order_acquire);
+      if (nx == nullptr || cmp_(nx->minKey(), key) >= 0) return c;
+      c = skipRedirectConst(nx);
+    }
+  }
+
+  ChunkT* lastChunk() const {
+    ChunkT* c = firstChunk();
+    for (;;) {
+      ChunkT* nx = c->nextChunk().load(std::memory_order_acquire);
+      if (nx == nullptr) return c;
+      c = skipRedirectConst(nx);
+    }
+  }
+
+  std::uint64_t findValueRef(ByteSpan key) const {
+    ChunkT* c = locateChunk(key);
+    const std::int32_t ei = c->lookUp(key);
+    if (ei == ChunkT::kNone) return 0;
+    return c->entry(ei).valRef.load(std::memory_order_acquire);
+  }
+
+  /// Algorithm 2 (doPut), iteratively.
+  bool doPut(ByteSpan key, ByteSpan value, const ComputeFn* func, PutOp op,
+             ByteVec* old, bool* replaced) {
+    if (key.empty()) throw OakUsageError("empty keys are reserved");
+    sync::Ebr::Guard g(ebr_);
+    for (;;) {
+      ChunkT* c = locateChunk(key);
+      std::int32_t ei = c->lookUp(key);
+      std::uint64_t v =
+          (ei != ChunkT::kNone) ? c->entry(ei).valRef.load(std::memory_order_acquire) : 0;
+
+      if (v != 0) {
+        detail::ValueCell cell(mm_, detail::VRef{v});
+        if (!cell.isDeleted()) {
+          // ---- Case 1: key present ----
+          if (op == PutOp::PutIfAbsent) return false;
+          bool succ;
+          if (op == PutOp::Put) {
+            succ = (old != nullptr) ? cell.exchange(value, old) : cell.put(value);
+          } else {  // PutIfAbsentComputeIfPresent
+            succ = cell.compute([&](detail::ValueCell& vc) {
+              OakWBuffer w(vc);
+              (*func)(w);
+            });
+          }
+          if (!succ) continue;  // deleted underneath us — retry
+          if (replaced != nullptr) *replaced = true;
+          return true;
+        }
+      }
+
+      // ---- Case 2: key absent (no entry, ⊥ reference, or deleted value) --
+      if (ei == ChunkT::kNone) {
+        mem::Ref keyRef = mm_.allocateKey(key);
+        const std::int32_t cell = c->allocateEntry(keyRef);
+        if (cell == ChunkT::kFull) {
+          mm_.free(keyRef);
+          rebalance(c);
+          continue;
+        }
+        ei = c->entriesLLPutIfAbsent(cell);
+        if (ei == ChunkT::kFrozen) {
+          mm_.free(keyRef);  // the cell is unreachable; reclaim the key bytes
+          rebalance(c);
+          continue;
+        }
+        if (ei != cell) mm_.free(keyRef);  // lost to an equal-key entry
+        // Re-read the (possibly pre-existing) entry's value reference.
+        v = c->entry(ei).valRef.load(std::memory_order_acquire);
+        if (v != 0 && !detail::ValueCell(mm_, detail::VRef{v}).isDeleted()) {
+          continue;  // raced with an insert — handle as case 1 on retry
+        }
+      }
+
+      const detail::VRef newV = detail::ValueCell::allocate(mm_, value, headerPool());
+      if (!c->publish()) {
+        detail::ValueCell::disposeUnpublished(mm_, newV, headerPool());
+        rebalance(c);
+        continue;
+      }
+      std::uint64_t expected = v;
+      bool casOk = false;
+      if (expected == 0 ||
+          detail::ValueCell(mm_, detail::VRef{expected}).isDeleted()) {
+        casOk = c->entry(ei).valRef.compare_exchange_strong(
+            expected, newV.bits(), std::memory_order_acq_rel);
+      }
+      c->unpublish();
+      if (!casOk) {
+        detail::ValueCell::disposeUnpublished(mm_, newV, headerPool());
+        continue;  // §4.3: retry — cannot linearize before the racing update
+      }
+      maybeRebalanceAfterInsert(c);
+      return true;
+    }
+  }
+
+  /// Algorithm 3 (doIfPresent), iteratively.
+  bool doIfPresent(ByteSpan key, const ComputeFn* func, IfPresentOp op, ByteVec* old) {
+    sync::Ebr::Guard g(ebr_);
+    for (;;) {
+      ChunkT* c = locateChunk(key);
+      const std::int32_t ei = c->lookUp(key);
+      const std::uint64_t v =
+          (ei != ChunkT::kNone) ? c->entry(ei).valRef.load(std::memory_order_acquire) : 0;
+      if (v == 0) return false;  // key not found (l.p.: this read)
+
+      detail::ValueCell cell(mm_, detail::VRef{v});
+      if (!cell.isDeleted()) {
+        // ---- Case 1: live value ----
+        if (op == IfPresentOp::Compute) {
+          const bool ok = cell.compute([&](detail::ValueCell& vc) {
+            OakWBuffer w(vc);
+            (*func)(w);
+          });
+          if (ok) return true;
+          // fall through to case 2: the value was deleted meanwhile
+        } else {  // Remove
+          if (cell.remove(old, headerPool())) {
+            finalizeRemove(key, v);
+            return true;
+          }
+          // fall through to case 2
+        }
+      }
+
+      // ---- Case 2: deleted value — make sure the entry is cleared ----
+      if (!c->publish()) {
+        rebalance(c);
+        continue;
+      }
+      std::uint64_t expected = v;
+      const bool ok = c->entry(ei).valRef.compare_exchange_strong(
+          expected, 0, std::memory_order_acq_rel);
+      c->unpublish();
+      if (!ok) continue;
+      return false;  // l.p.: the successful CAS to ⊥ (§4.5)
+    }
+  }
+
+  /// §4.4: after a successful remove, opportunistically clear the entry's
+  /// value reference (GC + fast-path aid; needs no retry on CAS failure).
+  void finalizeRemove(ByteSpan key, std::uint64_t prev) {
+    for (;;) {
+      ChunkT* c = locateChunk(key);
+      const std::int32_t ei = c->lookUp(key);
+      const std::uint64_t v =
+          (ei != ChunkT::kNone) ? c->entry(ei).valRef.load(std::memory_order_acquire) : 0;
+      if (v != prev) return;  // entry reused or already cleared
+      if (!c->publish()) {
+        // The chunk is being rebalanced; the rebalancer drops deleted values
+        // anyway, so the optimization is moot here.
+        return;
+      }
+      std::uint64_t expected = v;
+      c->entry(ei).valRef.compare_exchange_strong(expected, 0,
+                                                  std::memory_order_acq_rel);
+      c->unpublish();
+      return;
+    }
+  }
+
+  void maybeRebalanceAfterInsert(ChunkT* c) {
+    const std::int32_t sorted = c->sortedCount();
+    const std::int32_t unsorted = c->unsortedCount();
+    // Floor of capacity/8 keeps append-heavy chunks (fresh tails with a tiny
+    // sorted prefix) from compacting after every handful of inserts.
+    const double base = std::max<double>(sorted, cfg_.chunkCapacity / 8.0);
+    if (unsorted > 8 && static_cast<double>(unsorted) > cfg_.maxUnsortedRatio * base) {
+      rebalance(c);
+    }
+  }
+
+  // ------------------------------------------------------------ rebalance
+  /// Split / compact / merge-with-next (§4.1).  Rebalances are serialized
+  /// by a mutex (mutators stay concurrent; see DESIGN.md §4.2) which keeps
+  /// the chunk-list surgery single-writer.
+  void rebalance(ChunkT* c) {
+    std::lock_guard<std::mutex> lk(rebalanceMu_);
+    if (c->rebalancedTo().load(std::memory_order_acquire) != nullptr) return;
+    rebalances_.fetch_add(1, std::memory_order_relaxed);
+
+    c->freeze();
+    std::vector<typename ChunkT::LiveEntry> live;
+    live.reserve(static_cast<std::size_t>(c->allocatedCount()));
+    c->collectLive(mm_, live);
+
+    std::vector<ChunkT*> engaged{c};
+    ChunkT* last = c;
+    // Merge policy: engage the successor when this chunk is under-utilized
+    // and the combined load still fits comfortably.
+    ChunkT* next = c->nextChunk().load(std::memory_order_acquire);
+    if (next != nullptr &&
+        static_cast<std::int32_t>(live.size()) < cfg_.chunkCapacity / 4 &&
+        next->allocatedCount() + static_cast<std::int32_t>(live.size()) <
+            cfg_.chunkCapacity / 2) {
+      next->freeze();
+      next->collectLive(mm_, live);  // adjacent range: stays sorted
+      engaged.push_back(next);
+      last = next;
+    }
+
+    // Build replacement chunks, each at most half full so inserts have room.
+    const std::int32_t per = cfg_.chunkCapacity / 2;
+    std::vector<ChunkT*> fresh;
+    std::size_t off = 0;
+    do {
+      const auto n = static_cast<std::int32_t>(
+          std::min<std::size_t>(per, live.size() - off));
+      ByteVec minKey = (off == 0)
+                           ? toVec(c->minKey())
+                           : toVec(mm_.keyBytes(mem::Ref{live[off].keyRefBits}));
+      ChunkT* nc = ChunkT::make(metaHeap_, mm_, cmp_, std::move(minKey),
+                                cfg_.chunkCapacity);
+      nc->fillSorted(live.data() + off, n);
+      fresh.push_back(nc);
+      off += static_cast<std::size_t>(n);
+    } while (off < live.size());
+
+    // Wire the new chain, then publish redirects, then relink the list.
+    ChunkT* tail = last->nextChunk().load(std::memory_order_acquire);
+    for (std::size_t i = 0; i + 1 < fresh.size(); ++i) {
+      fresh[i]->nextChunk().store(fresh[i + 1], std::memory_order_relaxed);
+    }
+    fresh.back()->nextChunk().store(tail, std::memory_order_release);
+    for (ChunkT* old : engaged) {
+      old->rebalancedTo().store(fresh.front(), std::memory_order_release);
+    }
+    if (head_.load(std::memory_order_acquire) == c) {
+      head_.store(fresh.front(), std::memory_order_release);
+    } else {
+      ChunkT* pred = head_.load(std::memory_order_acquire);
+      while (true) {
+        ChunkT* nx = pred->nextChunk().load(std::memory_order_acquire);
+        if (nx == c) break;
+        assert(nx != nullptr && "engaged chunk must be reachable");
+        pred = nx;
+      }
+      pred->nextChunk().store(fresh.front(), std::memory_order_release);
+    }
+
+    // Index maintenance: map new minKeys, then drop stale ones.
+    for (ChunkT* nc : fresh) index_.put(toVec(nc->minKey()), nc);
+    for (ChunkT* old : engaged) {
+      bool stillUsed = false;
+      for (ChunkT* nc : fresh) {
+        if (cmp_(old->minKey(), nc->minKey()) == 0) {
+          stillUsed = true;
+          break;
+        }
+      }
+      if (!stillUsed) index_.erase(toVec(old->minKey()));
+    }
+
+    chunkCount_.fetch_add(static_cast<std::int64_t>(fresh.size()) -
+                              static_cast<std::int64_t>(engaged.size()),
+                          std::memory_order_relaxed);
+
+    // Old chunks stay navigable (redirects) until every concurrent reader
+    // leaves its epoch; then they return to the managed heap.
+    for (ChunkT* old : engaged) {
+      ebr_.retire(
+          old,
+          [](void* p, void* ctx) {
+            auto* self = static_cast<OakCoreMap*>(ctx);
+            ChunkT::dispose(self->metaHeap_, static_cast<ChunkT*>(p));
+          },
+          this);
+    }
+  }
+
+  detail::HeaderPool* headerPool() noexcept {
+    return headerPool_ ? &*headerPool_ : nullptr;
+  }
+
+  OakConfig cfg_;
+  Compare cmp_;
+  mheap::ManagedHeap& metaHeap_;
+  mem::BlockPool& pool_;
+  mem::MemoryManager mm_;
+  std::optional<detail::HeaderPool> headerPool_;
+  mutable sync::Ebr ebr_;
+  sl::ManagedMem indexMem_;
+  Index index_;
+  std::atomic<ChunkT*> head_{nullptr};
+  std::mutex rebalanceMu_;
+  std::atomic<std::int64_t> chunkCount_{0};
+  std::atomic<std::uint64_t> rebalances_{0};
+
+  friend class AscendIter;
+  friend class DescendIter;
+};
+
+}  // namespace oak

@@ -1,0 +1,240 @@
+// OakMap<K, V, KSer, VSer, Compare> — the typed public API.
+//
+// Mirrors Table 1 of the paper:
+//
+//   * map.zc()   — ZeroCopyConcurrentNavigableMap: get and scans return
+//                  OakRBuffers; updates return void/bool and never copy the
+//                  old value.
+//   * map itself — the legacy ConcurrentNavigableMap surface: object-typed
+//                  parameters and returns (each query deserializes a copy;
+//                  updates return the previous value).
+//
+// Both views share one OakCoreMap instance, exactly as in the paper ("the
+// ZC and legacy API implementations share most of it", §4).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <utility>
+
+#include "oak/core_map.hpp"
+
+namespace oak {
+
+template <class K, class V, class KSer, class VSer, class Compare = BytesComparator>
+  requires SerializerFor<KSer, K> && SerializerFor<VSer, V>
+class OakMap {
+  using Core = OakCoreMap<Compare>;
+
+ public:
+  explicit OakMap(OakConfig cfg = OakConfig{}, Compare cmp = Compare{})
+      : core_(cfg, cmp) {}
+
+  // ===================================================== zero-copy view ==
+  class ZeroCopyView {
+   public:
+    explicit ZeroCopyView(Core& core) : core_(&core) {}
+
+    /// OakRBuffer get(K) — a view, not a copy (§2.2).
+    std::optional<OakRBuffer> get(const K& key) {
+      ScratchSerialized<KSer, K> k(key);
+      return core_->get(k.span());
+    }
+
+    /// void put(K, V) — does not return the old value.
+    void put(const K& key, const V& value) {
+      ScratchSerialized<KSer, K> k(key);
+      ScratchSerialized<VSer, V> v(value);
+      core_->put(k.span(), v.span());
+    }
+
+    /// boolean putIfAbsent(K, V).
+    bool putIfAbsent(const K& key, const V& value) {
+      ScratchSerialized<KSer, K> k(key);
+      ScratchSerialized<VSer, V> v(value);
+      return core_->putIfAbsent(k.span(), v.span());
+    }
+
+    /// void remove(K).
+    void remove(const K& key) {
+      ScratchSerialized<KSer, K> k(key);
+      core_->remove(k.span());
+    }
+
+    /// boolean computeIfPresent(K, Function(OakWBuffer)) — atomic in-place.
+    template <class F>
+    bool computeIfPresent(const K& key, F&& func) {
+      ScratchSerialized<KSer, K> k(key);
+      return core_->computeIfPresent(k.span(), std::forward<F>(func));
+    }
+
+    /// boolean putIfAbsentComputeIfPresent(K, V, Function(OakWBuffer)).
+    template <class F>
+    void putIfAbsentComputeIfPresent(const K& key, const V& value, F&& func) {
+      ScratchSerialized<KSer, K> k(key);
+      ScratchSerialized<VSer, V> v(value);
+      core_->putIfAbsentComputeIfPresent(k.span(), v.span(), std::forward<F>(func));
+    }
+
+    bool containsKey(const K& key) {
+      ScratchSerialized<KSer, K> k(key);
+      return core_->containsKey(k.span());
+    }
+
+    // --------------------------------------------------------- scan views
+    /// Zero-copy entry cursor: keySet/valueSet/entrySet are projections of
+    /// this (the C++ rendering of the Set<OakRBuffer,...> APIs).
+    class EntryCursor {
+     public:
+      EntryCursor(Core& core, std::optional<ByteVec> lo, std::optional<ByteVec> hi,
+                  bool descending, bool stream)
+          : descending_(descending) {
+        if (descending_) {
+          desc_.emplace(core, std::move(lo), std::move(hi), stream);
+        } else {
+          asc_.emplace(core, std::move(lo), std::move(hi), stream);
+        }
+      }
+
+      bool valid() const {
+        return descending_ ? desc_->valid() : asc_->valid();
+      }
+      void next() { descending_ ? desc_->next() : asc_->next(); }
+
+      /// Key view (immutable; lock-free).
+      OakRBuffer keyBuffer() const {
+        return OakRBuffer::forKey(rawEntry().key);
+      }
+      /// Value view (read-locked; may throw ConcurrentModification later).
+      OakRBuffer valueBuffer() const {
+        return OakRBuffer::forValue(rawEntry().value);
+      }
+      K key() const { return KSer::deserialize(rawEntry().key); }
+      /// Deserializing convenience (copies — prefer valueBuffer()).
+      std::optional<V> value() const {
+        std::optional<V> out;
+        rawEntry().value.read([&](ByteSpan s) { out.emplace(VSer::deserialize(s)); });
+        return out;
+      }
+
+      // ---- range-for support: `for (auto& e : map.zc().entrySet())` ----
+      struct EndSentinel {};
+      class Iterator {
+       public:
+        explicit Iterator(EntryCursor* c) : c_(c) {}
+        const EntryCursor& operator*() const { return *c_; }
+        const EntryCursor* operator->() const { return c_; }
+        Iterator& operator++() {
+          c_->next();
+          return *this;
+        }
+        bool operator!=(EndSentinel) const { return c_->valid(); }
+        bool operator==(EndSentinel) const { return !c_->valid(); }
+
+       private:
+        EntryCursor* c_;
+      };
+      Iterator begin() { return Iterator(this); }
+      EndSentinel end() const { return {}; }
+
+     private:
+      typename Core::EntryView rawEntry() const {
+        return descending_ ? desc_->entry() : asc_->entry();
+      }
+      bool descending_;
+      std::optional<typename Core::AscendIter> asc_;
+      std::optional<typename Core::DescendIter> desc_;
+    };
+
+    EntryCursor entrySet() { return cursor({}, {}, false, false); }
+    EntryCursor entryStreamSet() { return cursor({}, {}, false, true); }
+    EntryCursor descendingEntrySet() { return cursor({}, {}, true, false); }
+    EntryCursor descendingEntryStreamSet() { return cursor({}, {}, true, true); }
+
+    /// subMap [fromKey, toKey) — ascending or descending, Set or Stream.
+    EntryCursor subMap(const K& fromKey, const K& toKey, bool descending = false,
+                       bool stream = false) {
+      ScratchSerialized<KSer, K> lo(fromKey);
+      ScratchSerialized<KSer, K> hi(toKey);
+      return cursor(toVec(lo.span()), toVec(hi.span()), descending, stream);
+    }
+    EntryCursor tailMap(const K& fromKey, bool descending = false,
+                        bool stream = false) {
+      ScratchSerialized<KSer, K> lo(fromKey);
+      return cursor(toVec(lo.span()), {}, descending, stream);
+    }
+    EntryCursor headMap(const K& toKey, bool descending = false,
+                        bool stream = false) {
+      ScratchSerialized<KSer, K> hi(toKey);
+      return cursor({}, toVec(hi.span()), descending, stream);
+    }
+
+   private:
+    EntryCursor cursor(std::optional<ByteVec> lo, std::optional<ByteVec> hi,
+                       bool descending, bool stream) {
+      return EntryCursor(*core_, std::move(lo), std::move(hi), descending, stream);
+    }
+    Core* core_;
+  };
+
+  ZeroCopyView zc() { return ZeroCopyView(core_); }
+
+  // ======================================================= legacy view ==
+  // ConcurrentNavigableMap-style object API (right column of Table 1).
+
+  /// V get(K) — deserializing copy (the paper's Oak-Copy configuration).
+  std::optional<V> get(const K& key) {
+    ScratchSerialized<KSer, K> k(key);
+    auto bytes = core_.getCopy(k.span());
+    if (!bytes) return std::nullopt;
+    return VSer::deserialize(asBytes(*bytes));
+  }
+
+  /// V put(K, V) — returns the previous value (copied atomically).
+  std::optional<V> put(const K& key, const V& value) {
+    ScratchSerialized<KSer, K> k(key);
+    ScratchSerialized<VSer, V> v(value);
+    ByteVec old;
+    if (!core_.put(k.span(), v.span(), &old)) return std::nullopt;
+    return VSer::deserialize(asBytes(old));
+  }
+
+  /// V putIfAbsent(K, V) — returns the existing value if present.
+  std::optional<V> putIfAbsent(const K& key, const V& value) {
+    ScratchSerialized<KSer, K> k(key);
+    ScratchSerialized<VSer, V> v(value);
+    if (core_.putIfAbsent(k.span(), v.span())) return std::nullopt;
+    return get(key);
+  }
+
+  /// V remove(K) — returns the removed value.
+  std::optional<V> remove(const K& key) {
+    ScratchSerialized<KSer, K> k(key);
+    ByteVec old;
+    if (!core_.remove(k.span(), &old)) return std::nullopt;
+    return VSer::deserialize(asBytes(old));
+  }
+
+  bool containsKey(const K& key) {
+    ScratchSerialized<KSer, K> k(key);
+    return core_.containsKey(k.span());
+  }
+
+  std::size_t size() { return core_.sizeSlow(); }
+
+  // ---------------------------------------------------------- statistics
+  std::size_t offHeapFootprintBytes() const { return core_.offHeapFootprintBytes(); }
+  std::size_t offHeapAllocatedBytes() const { return core_.offHeapAllocatedBytes(); }
+  std::size_t chunkCount() const { return core_.chunkCount(); }
+  std::uint64_t rebalanceCount() const { return core_.rebalanceCount(); }
+
+  Core& core() { return core_; }
+
+ private:
+  Core core_;
+};
+
+/// Convenience alias matching the benchmarks: string keys, ByteVec values.
+using OakStringMap = OakMap<std::string, ByteVec, StringSerializer, BytesSerializer>;
+
+}  // namespace oak

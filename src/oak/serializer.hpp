@@ -1,0 +1,123 @@
+// Serialization contracts (§2.1).
+//
+// "To convert objects (both keys and values) to and from their serialized
+//  forms, the user must implement a (1) serializer, (2) deserializer, and
+//  (3) serialized size calculator.  To allow efficient search over
+//  buffer-resident keys, the user is further required to provide a
+//  comparator."
+#pragma once
+
+#include <concepts>
+#include <cstring>
+#include <string>
+#include <type_traits>
+
+#include "common/bytes.hpp"
+
+namespace oak {
+
+/// A serializer binds a C++ type T to its off-heap byte representation.
+template <class S, class T>
+concept SerializerFor = requires(const T& t, ByteSpan in, MutByteSpan out) {
+  { S::serializedSize(t) } -> std::convertible_to<std::size_t>;
+  { S::serialize(t, out) };
+  { S::deserialize(in) } -> std::convertible_to<T>;
+};
+
+/// Comparator over serialized keys; must be consistent with the serializer.
+template <class C>
+concept ByteComparator = requires(const C& c, ByteSpan a, ByteSpan b) {
+  { c(a, b) } -> std::convertible_to<int>;
+};
+
+/// Default comparator: lexicographic byte order.
+struct BytesComparator {
+  int operator()(ByteSpan a, ByteSpan b) const noexcept { return compareBytes(a, b); }
+};
+
+/// std::string <-> raw bytes.
+struct StringSerializer {
+  static std::size_t serializedSize(const std::string& s) noexcept { return s.size(); }
+  static void serialize(const std::string& s, MutByteSpan out) noexcept {
+    if (!s.empty()) std::memcpy(out.data(), s.data(), s.size());
+  }
+  static std::string deserialize(ByteSpan in) {
+    return std::string(reinterpret_cast<const char*>(in.data()), in.size());
+  }
+};
+
+/// ByteVec identity serializer.
+struct BytesSerializer {
+  static std::size_t serializedSize(const ByteVec& v) noexcept { return v.size(); }
+  static void serialize(const ByteVec& v, MutByteSpan out) noexcept {
+    if (!v.empty()) std::memcpy(out.data(), v.data(), v.size());
+  }
+  static ByteVec deserialize(ByteSpan in) { return toVec(in); }
+};
+
+/// uint64 in big-endian so lexicographic byte order == numeric order.
+struct U64Serializer {
+  static std::size_t serializedSize(std::uint64_t) noexcept { return 8; }
+  static void serialize(std::uint64_t v, MutByteSpan out) noexcept {
+    storeU64BE(out.data(), v);
+  }
+  static std::uint64_t deserialize(ByteSpan in) noexcept { return loadU64BE(in.data()); }
+};
+
+/// int64 with sign-flip so byte order == numeric order over negatives too.
+struct I64Serializer {
+  static std::size_t serializedSize(std::int64_t) noexcept { return 8; }
+  static void serialize(std::int64_t v, MutByteSpan out) noexcept {
+    storeU64BE(out.data(), static_cast<std::uint64_t>(v) ^ (1ull << 63));
+  }
+  static std::int64_t deserialize(ByteSpan in) noexcept {
+    return static_cast<std::int64_t>(loadU64BE(in.data()) ^ (1ull << 63));
+  }
+};
+
+/// Trivially-copyable structs, verbatim.  NOTE: byte order of the raw layout
+/// is generally NOT a meaningful sort order; pair with a custom comparator.
+template <class T>
+  requires std::is_trivially_copyable_v<T>
+struct PodSerializer {
+  static std::size_t serializedSize(const T&) noexcept { return sizeof(T); }
+  static void serialize(const T& t, MutByteSpan out) noexcept {
+    std::memcpy(out.data(), &t, sizeof(T));
+  }
+  static T deserialize(ByteSpan in) noexcept {
+    T t;
+    std::memcpy(&t, in.data(), sizeof(T));
+    return t;
+  }
+};
+
+static_assert(SerializerFor<StringSerializer, std::string>);
+static_assert(SerializerFor<BytesSerializer, ByteVec>);
+static_assert(SerializerFor<U64Serializer, std::uint64_t>);
+static_assert(SerializerFor<I64Serializer, std::int64_t>);
+
+/// Helper that serializes a key onto the stack (heap fallback for big keys)
+/// exactly once per operation.
+template <class Ser, class T>
+class ScratchSerialized {
+ public:
+  explicit ScratchSerialized(const T& t) {
+    size_ = Ser::serializedSize(t);
+    std::byte* dst = size_ <= sizeof(inline_) ? inline_ : (heap_ = new std::byte[size_]);
+    Ser::serialize(t, MutByteSpan{dst, size_});
+    data_ = dst;
+  }
+  ~ScratchSerialized() { delete[] heap_; }
+  ScratchSerialized(const ScratchSerialized&) = delete;
+  ScratchSerialized& operator=(const ScratchSerialized&) = delete;
+
+  ByteSpan span() const noexcept { return {data_, size_}; }
+
+ private:
+  std::byte inline_[192];
+  std::byte* heap_ = nullptr;
+  const std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace oak

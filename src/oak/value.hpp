@@ -1,0 +1,353 @@
+// Off-heap value cells (§3.3: "Value access and concurrency control").
+//
+// A value is   [ ValueHeader (24 B) | payload bytes ... ]   with the header
+// carrying the read-write lock + deleted bit, a version (generation), the
+// logical size, and an indirected payload reference.  The payload initially
+// sits right behind the header; in-situ updates that outgrow it swing the
+// payload reference to a fresh segment under the write lock ("extends the
+// value's memory allocation if its code so requires", §2.2).
+//
+// Entries address values through packed, versioned references:
+//
+//     VRef = [ block:12 | offset/8:23 | version:29 ]
+//
+// (headers are 8-byte aligned; the header length is a constant, so the
+// reference needs no length field — which frees bits for the version.)
+//
+// Two reclamation policies (§3.3):
+//
+//  * KeepHeaders (default; the configuration the paper evaluates): on
+//    remove/resize only the *payload* returns to the free list; headers are
+//    never reclaimed while the map lives.  References are then trivially
+//    ABA-free (§4.4).
+//
+//  * Generational (the "more elaborate solution that uses generations
+//    (epochs) in order to reclaim headers as well" that the paper mentions
+//    but scopes out): headers live in a type-stable pool and are recycled.
+//    Every (re)allocation stamps the header — and the reference — with a
+//    fresh generation from a monotonic counter; all accessors re-validate
+//    the generation after taking the lock, so a stale reference behaves
+//    exactly like a deleted value, and the valRef CAS in finalizeRemove
+//    cannot ABA because the 64-bit reference embeds the generation.
+//    Freed headers keep their deleted bit set (readers fail fast without
+//    writing), and the pool's intrusive free-list link occupies the
+//    payload-reference field, which is only ever read under the lock —
+//    type-stability is what makes immediate reuse safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/spin.hpp"
+#include "mem/memory_manager.hpp"
+#include "sync/word_rwlock.hpp"
+
+namespace oak {
+
+/// Value-header reclamation policy (§3.3).
+enum class ValueReclaim : std::uint8_t {
+  KeepHeaders,   ///< paper's evaluated default: headers are immortal
+  Generational,  ///< headers recycled through a versioned, type-stable pool
+};
+
+namespace detail {
+
+struct ValueHeader {
+  sync::WordRwLock lock;                  // readers/writer/deleted (§3.3)
+  std::atomic<std::uint32_t> version;     // generation stamp
+  std::uint32_t size;                     // logical value size; lock-guarded
+  std::uint32_t pad_;
+  std::atomic<std::uint64_t> payloadRef;  // mem::Ref bits; lock-guarded writes
+                                          // (free-list link while pooled)
+};
+static_assert(sizeof(ValueHeader) == 24);
+
+constexpr std::uint32_t kValueHeaderBytes = sizeof(ValueHeader);
+
+/// Packed versioned value reference (never 0 — block is stored +1).
+class VRef {
+ public:
+  static constexpr unsigned kBlockBits = 12;
+  static constexpr unsigned kOffsetBits = 23;  // in 8-byte units
+  static constexpr unsigned kVersionBits = 29;
+
+  constexpr VRef() noexcept : bits_(0) {}
+  constexpr explicit VRef(std::uint64_t bits) noexcept : bits_(bits) {}
+
+  static VRef make(std::uint32_t block, std::uint32_t byteOffset,
+                   std::uint32_t version) noexcept {
+    return VRef(
+        (static_cast<std::uint64_t>(block + 1) << (kOffsetBits + kVersionBits)) |
+        (static_cast<std::uint64_t>(byteOffset >> 3) << kVersionBits) |
+        (version & ((1u << kVersionBits) - 1)));
+  }
+
+  constexpr bool isNull() const noexcept { return bits_ == 0; }
+  std::uint32_t block() const noexcept {
+    return static_cast<std::uint32_t>(bits_ >> (kOffsetBits + kVersionBits)) - 1;
+  }
+  std::uint32_t byteOffset() const noexcept {
+    return (static_cast<std::uint32_t>(bits_ >> kVersionBits) &
+            ((1u << kOffsetBits) - 1))
+           << 3;
+  }
+  std::uint32_t version() const noexcept {
+    return static_cast<std::uint32_t>(bits_) & ((1u << kVersionBits) - 1);
+  }
+  constexpr std::uint64_t bits() const noexcept { return bits_; }
+
+ private:
+  std::uint64_t bits_;
+};
+
+/// Monotonic generation source (global: collisions would additionally
+/// require identical header addresses, so cross-map sharing is harmless).
+inline std::uint32_t nextGeneration() noexcept {
+  static std::atomic<std::uint32_t> gen{1};
+  std::uint32_t g = gen.fetch_add(1, std::memory_order_relaxed);
+  g &= (1u << VRef::kVersionBits) - 1;
+  return g == 0 ? nextGeneration() : g;
+}
+
+/// Type-stable pool of 24-byte value headers (Generational mode).  Freed
+/// headers keep the deleted bit set so stale readers fail fast; the free
+/// list links through the payloadRef field (never touched without the
+/// lock).
+class HeaderPool {
+ public:
+  explicit HeaderPool(mem::MemoryManager& mm) : mm_(&mm) {}
+
+  /// Returns a header with a fresh generation, lock word reset, marked
+  /// not-deleted.  The caller must fully initialize size/payload before
+  /// publishing the reference.
+  mem::Ref acquire(std::uint32_t* versionOut) {
+    mem::Ref ref;
+    {
+      std::lock_guard<SpinLock> lk(mu_);
+      if (!free_.empty()) {
+        ref = free_.back();
+        free_.pop_back();
+      }
+    }
+    if (ref.isNull()) {
+      ref = mm_->allocRaw(kValueHeaderBytes);
+      new (mm_->translate(ref)) ValueHeader();
+    }
+    auto* hdr = reinterpret_cast<ValueHeader*>(mm_->translate(ref));
+    const std::uint32_t v = nextGeneration();
+    // Order: stamp the new generation first, then open the lock word.  A
+    // stale reader that sneaks through the fresh lock word fails the
+    // generation check it performs under the lock.
+    hdr->version.store(v, std::memory_order_release);
+    hdr->lock.resetOpen();
+    if (versionOut != nullptr) *versionOut = v;
+    return ref;
+  }
+
+  /// Recycles a header whose value was removed.  Caller guarantees the
+  /// deleted bit is set and no writer/readers remain inside.
+  void release(mem::Ref headerRef) {
+    std::lock_guard<SpinLock> lk(mu_);
+    free_.push_back(headerRef);
+  }
+
+  std::size_t freeCount() const {
+    std::lock_guard<SpinLock> lk(mu_);
+    return free_.size();
+  }
+
+ private:
+  mem::MemoryManager* mm_;
+  mutable SpinLock mu_;
+  std::vector<mem::Ref> free_;
+};
+
+/// A handle pairing a (versioned) value reference with the memory manager
+/// that owns it.  Cheap to construct; all methods are O(1) + user work.
+class ValueCell {
+ public:
+  ValueCell(mem::MemoryManager& mm, VRef ref) noexcept
+      : mm_(&mm),
+        hdr_(reinterpret_cast<ValueHeader*>(mm.translate(
+            mem::Ref::make(ref.block(), ref.byteOffset(), kValueHeaderBytes)))),
+        ref_(ref) {}
+
+  /// Allocates and initializes a value holding `bytes`.  Header and payload
+  /// are separate segments: on remove the payload hole can then host a
+  /// future payload of the same size (§3.2's "reuse of the space taken up
+  /// by the deleted value" — a contiguous [header|payload] layout would
+  /// leave every hole one header too small for an equal-sized reinsert).
+  /// With a pool (Generational mode) the header is recycled, type-stable
+  /// storage.  Fully initialized *before* it becomes reachable.
+  static VRef allocate(mem::MemoryManager& mm, ByteSpan bytes,
+                       HeaderPool* pool = nullptr) {
+    const auto len = static_cast<std::uint32_t>(bytes.size());
+    mem::Ref h;
+    std::uint32_t version = 0;
+    if (pool != nullptr) {
+      h = pool->acquire(&version);
+    } else {
+      h = mm.allocRaw(kValueHeaderBytes);
+      new (mm.translate(h)) ValueHeader();
+      version = nextGeneration();
+      reinterpret_cast<ValueHeader*>(mm.translate(h))
+          ->version.store(version, std::memory_order_relaxed);
+    }
+    auto* hdr = reinterpret_cast<ValueHeader*>(mm.translate(h));
+    const mem::Ref payload = mm.allocRaw(len);
+    hdr->size = len;
+    hdr->payloadRef.store(payload.bits(), std::memory_order_relaxed);
+    copyBytes({mm.translate(payload), len}, bytes);
+    return VRef::make(h.block(), h.offset(), version);
+  }
+
+  /// Frees a value that never became reachable (lost CAS).  Nothing can
+  /// reference it, so both header and payload are returned.
+  static void disposeUnpublished(mem::MemoryManager& mm, VRef ref,
+                                 HeaderPool* pool = nullptr) {
+    const mem::Ref headerRef =
+        mem::Ref::make(ref.block(), ref.byteOffset(), kValueHeaderBytes);
+    auto* hdr = reinterpret_cast<ValueHeader*>(mm.translate(headerRef));
+    const mem::Ref payload{hdr->payloadRef.load(std::memory_order_relaxed)};
+    if (payload.length() != 0) mm.free(payload);
+    if (pool != nullptr) {
+      // Mark deleted so stale probes fail fast, then recycle.
+      hdr->lock.markDeletedRaw();
+      pool->release(headerRef);
+    } else {
+      mm.free(headerRef);
+    }
+  }
+
+  /// v.put(val): overwrite in place (resizing if needed).  Returns false if
+  /// the value is deleted or the reference is stale (§4.3 case 1 retries).
+  bool put(ByteSpan bytes) noexcept {
+    sync::WriteGuard g(hdr_->lock);
+    if (!g.acquired() || stale()) return false;
+    writeLocked(bytes);
+    return true;
+  }
+
+  /// Like put, but first copies the previous contents into *old — gives the
+  /// legacy API its atomic "put returns the old value" semantics.
+  bool exchange(ByteSpan bytes, ByteVec* old) noexcept {
+    sync::WriteGuard g(hdr_->lock);
+    if (!g.acquired() || stale()) return false;
+    if (old != nullptr) {
+      const ByteSpan cur = payloadLocked();
+      old->assign(cur.begin(), cur.end());
+    }
+    writeLocked(bytes);
+    return true;
+  }
+
+  /// v.compute(func): runs the user lambda atomically, exactly once (§2.2).
+  template <class F>
+  bool compute(F&& f) {
+    sync::WriteGuard g(hdr_->lock);
+    if (!g.acquired() || stale()) return false;
+    f(*this);
+    return true;
+  }
+
+  /// v.remove(): marks deleted, releases the payload, and (Generational
+  /// mode) recycles the header.  Returns false if already deleted/stale.
+  bool remove(ByteVec* old = nullptr, HeaderPool* pool = nullptr) noexcept {
+    {
+      sync::WriteGuard g(hdr_->lock);
+      if (!g.acquired() || stale()) return false;
+      if (old != nullptr) {
+        const ByteSpan cur = payloadLocked();
+        old->assign(cur.begin(), cur.end());
+      }
+      hdr_->lock.setDeleted();
+      const mem::Ref payload{hdr_->payloadRef.load(std::memory_order_relaxed)};
+      if (payload.length() != 0) mm_->free(payload);
+      hdr_->payloadRef.store(0, std::memory_order_relaxed);
+      hdr_->size = 0;
+    }
+    // Past this point every accessor fails on the deleted bit; with a pool
+    // the header storage is immediately reusable (type-stable + versioned).
+    if (pool != nullptr) {
+      pool->release(
+          mem::Ref::make(ref_.block(), ref_.byteOffset(), kValueHeaderBytes));
+    }
+    return true;
+  }
+
+  /// Lock-free liveness probe: deleted bit or generation mismatch.
+  bool isDeleted() const noexcept {
+    return hdr_->lock.isDeleted() ||
+           hdr_->version.load(std::memory_order_acquire) != ref_.version();
+  }
+
+  /// Runs `f(ByteSpan)` under the read lock.  Returns false (without
+  /// running f) if the value is deleted or the reference is stale.
+  template <class F>
+  bool read(F&& f) const {
+    sync::ReadGuard g(hdr_->lock);
+    if (!g.acquired() || stale()) return false;
+    f(payloadLocked());
+    return true;
+  }
+
+  // ---- Accessors valid only while the write lock is held (compute body) --
+  ByteSpan payloadLocked() const noexcept {
+    const mem::Ref payload{hdr_->payloadRef.load(std::memory_order_relaxed)};
+    return {mm_->translate(payload), hdr_->size};
+  }
+  MutByteSpan mutablePayloadLocked() noexcept {
+    const mem::Ref payload{hdr_->payloadRef.load(std::memory_order_relaxed)};
+    return {mm_->translate(payload), hdr_->size};
+  }
+
+  /// Grows/shrinks the logical size; may move the payload.  Contents are
+  /// preserved up to min(old, new) size.  Write lock must be held.
+  void resizeLocked(std::uint32_t newSize) {
+    const mem::Ref payload{hdr_->payloadRef.load(std::memory_order_relaxed)};
+    if (newSize <= payload.length()) {
+      hdr_->size = newSize;
+      return;
+    }
+    mem::Ref fresh = mm_->allocRaw(newSize);
+    copyBytes({mm_->translate(fresh), hdr_->size},
+              {mm_->translate(payload), hdr_->size});
+    hdr_->payloadRef.store(fresh.bits(), std::memory_order_relaxed);
+    if (payload.length() != 0) mm_->free(payload);
+    hdr_->size = newSize;
+  }
+
+  ValueHeader* header() noexcept { return hdr_; }
+  VRef vref() const noexcept { return ref_; }
+  mem::MemoryManager& mm() noexcept { return *mm_; }
+
+ private:
+  /// Generation re-validation; call with the lock held.
+  bool stale() const noexcept {
+    return hdr_->version.load(std::memory_order_acquire) != ref_.version();
+  }
+
+  void writeLocked(ByteSpan bytes) noexcept {
+    const auto len = static_cast<std::uint32_t>(bytes.size());
+    mem::Ref payload{hdr_->payloadRef.load(std::memory_order_relaxed)};
+    if (len > payload.length()) {
+      mem::Ref fresh = mm_->allocRaw(len);
+      hdr_->payloadRef.store(fresh.bits(), std::memory_order_relaxed);
+      if (payload.length() != 0) mm_->free(payload);
+      payload = fresh;
+    }
+    copyBytes({mm_->translate(payload), len}, bytes);
+    hdr_->size = len;
+  }
+
+  mem::MemoryManager* mm_;
+  ValueHeader* hdr_;
+  VRef ref_;
+};
+
+}  // namespace detail
+}  // namespace oak

@@ -1,0 +1,466 @@
+// A lock-free concurrent skiplist (Herlihy–Shavit / Fraser style).
+//
+// Two roles in this repository:
+//   * Oak's on-heap chunk index (minKey -> chunk, §3.1): lazily maintained,
+//     needs floor()/lower() queries.
+//   * The ConcurrentSkipListMap stand-in for the paper's SkipList-OnHeap and
+//     SkipList-OffHeap baselines (§5.1), which needs JDK-compatible
+//     semantics: atomic putIfAbsent / put-returning-old via a value slot
+//     that is null when the node is logically deleted, plus ascending
+//     iteration and (slow, lookup-per-key) descending iteration.
+//
+// Deleted nodes are unlinked with marked next-pointers.  Physical node
+// memory is *retained until the skiplist is destroyed* (spliced nodes move
+// to a zombie list).  Rationale: freeing a node while an upper-level link
+// can still reach it is the classic lock-free-skiplist reclamation hazard;
+// the paper's target workloads remove rarely (§3.2: "deletions are
+// infrequent"), so bounded retention is the honest, safe choice.  The
+// ManagedHeap accounting consequently keeps removed nodes committed, just
+// like a JVM would keep them until proven unreachable.
+//
+// Node memory comes from a pluggable MetaMem so the baselines can charge
+// node allocations to the simulated managed heap.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "common/random.hpp"
+#include "mheap/managed_heap.hpp"
+#include "sync/ebr.hpp"
+
+namespace oak::sl {
+
+/// Node-memory source.  Virtual dispatch happens once per insert/reclaim —
+/// negligible next to the allocation itself.
+class MetaMem {
+ public:
+  virtual ~MetaMem() = default;
+  virtual void* alloc(std::size_t bytes) = 0;
+  virtual void dealloc(void* p, std::size_t bytes) noexcept = 0;
+};
+
+class MallocMem final : public MetaMem {
+ public:
+  void* alloc(std::size_t bytes) override {
+    void* p = std::malloc(bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return p;
+  }
+  void dealloc(void* p, std::size_t) noexcept override { std::free(p); }
+  static MallocMem& instance() {
+    static MallocMem m;
+    return m;
+  }
+};
+
+/// Charges node allocations to a ManagedHeap (Java object costs).
+class ManagedMem final : public MetaMem {
+ public:
+  explicit ManagedMem(mheap::ManagedHeap& heap) : heap_(heap) {}
+  void* alloc(std::size_t bytes) override { return heap_.alloc(bytes); }
+  void dealloc(void* p, std::size_t) noexcept override { heap_.free(p); }
+
+ private:
+  mheap::ManagedHeap& heap_;
+};
+
+/// K: key stored inline in the node (destroyed on teardown).
+/// V: value; must be a pointer-like type where V{} (null) means
+///    "logically deleted" for map semantics.
+/// Compare: int operator()(const K&, const Q&) for K and any probe type Q
+///    used by callers.
+template <class K, class V, class Compare>
+class SkipList {
+ public:
+  static constexpr int kMaxLevel = 20;
+
+  struct Node {
+    K key;
+    std::atomic<V> value;
+    std::int32_t topLevel;
+    Node* zombieNext;  // intrusive link for the retained-node list
+
+    std::atomic<Node*>* nexts() noexcept {
+      return reinterpret_cast<std::atomic<Node*>*>(this + 1);
+    }
+    const std::atomic<Node*>* nexts() const noexcept {
+      return reinterpret_cast<const std::atomic<Node*>*>(this + 1);
+    }
+    V loadValue() const noexcept { return value.load(std::memory_order_acquire); }
+    void storeValue(V v) noexcept { value.store(v, std::memory_order_release); }
+    bool casValue(V& expected, V desired) noexcept {
+      return value.compare_exchange_strong(expected, desired,
+                                           std::memory_order_acq_rel);
+    }
+  };
+
+  explicit SkipList(Compare cmp = Compare{}, MetaMem& mem = MallocMem::instance())
+      : cmp_(cmp), mem_(mem) {
+    head_ = allocNode<K>(kMaxLevel, nullptr);
+  }
+
+  ~SkipList() {
+    Node* n = clean(head_->nexts()[0].load(std::memory_order_relaxed));
+    while (n != nullptr) {
+      Node* next = clean(n->nexts()[0].load(std::memory_order_relaxed));
+      destroyNode(n);
+      n = next;
+    }
+    Node* z = zombies_.load(std::memory_order_relaxed);
+    while (z != nullptr) {
+      Node* next = z->zombieNext;
+      destroyNode(z);
+      z = next;
+    }
+    freeNodeMemory(head_);
+  }
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Inserts (key, val) if no live mapping exists.  On success returns
+  /// nullptr; otherwise returns the existing live node (val not installed).
+  template <class KeyArg>
+  Node* putIfAbsentNode(const KeyArg& key, V val) {
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    for (;;) {
+      Node* found = find(key, preds, succs);
+      if (found != nullptr) {
+        if (found->loadValue() != V{}) return found;  // live mapping wins
+        helpRemove(found);  // logically deleted: finish its removal, retry
+        continue;
+      }
+      const int level = randomLevel();
+      Node* node = allocNode(level, &key);
+      node->value.store(val, std::memory_order_relaxed);
+      for (int i = 0; i < level; ++i) {
+        node->nexts()[i].store(succs[i], std::memory_order_relaxed);
+      }
+      Node* expected = succs[0];
+      if (!preds[0]->nexts()[0].compare_exchange_strong(
+              expected, node, std::memory_order_acq_rel)) {
+        destroyNode(node);  // never published
+        continue;
+      }
+      count_.fetch_add(1, std::memory_order_relaxed);
+      linkUpperLevels(node, level, preds, succs, key);
+      return nullptr;
+    }
+  }
+
+  /// JDK-style put: returns the previous value (V{} if none).
+  template <class KeyArg>
+  V put(const KeyArg& key, V val) {
+    for (;;) {
+      Node* existing = putIfAbsentNode(key, val);
+      if (existing == nullptr) return V{};
+      V cur = existing->loadValue();
+      while (cur != V{}) {
+        if (existing->casValue(cur, val)) return cur;
+      }
+      // Lost to a concurrent remove — retry as a fresh insert.
+    }
+  }
+
+  /// JDK-style putIfAbsent: returns V{} on success, the existing value else.
+  template <class KeyArg>
+  V putIfAbsent(const KeyArg& key, V val) {
+    for (;;) {
+      Node* existing = putIfAbsentNode(key, val);
+      if (existing == nullptr) return V{};
+      const V cur = existing->loadValue();
+      if (cur != V{}) return cur;
+    }
+  }
+
+  /// Removes the mapping; returns the removed value (V{} if absent).
+  template <class KeyArg>
+  V erase(const KeyArg& key) {
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    Node* found = find(key, preds, succs);
+    if (found == nullptr) return V{};
+    // Logical removal: null the value slot first (JDK order).
+    V cur = found->loadValue();
+    for (;;) {
+      if (cur == V{}) return V{};  // another remover got here first
+      if (found->casValue(cur, V{})) break;
+    }
+    count_.fetch_sub(1, std::memory_order_relaxed);
+    markAllLevels(found);
+    find(key, preds, succs);  // physically unlink (find prunes marked nodes)
+    return cur;
+  }
+
+  /// Live node with exactly this key, or nullptr.  Wait-free traversal.
+  template <class KeyArg>
+  Node* getNode(const KeyArg& key) const {
+    Node* n = searchGE(key);
+    if (n == nullptr || cmp_(n->key, key) != 0) return nullptr;
+    return n;
+  }
+
+  template <class KeyArg>
+  V get(const KeyArg& key) const {
+    Node* n = getNode(key);
+    return n != nullptr ? n->loadValue() : V{};
+  }
+
+  /// Greatest live node with key <= probe (floor), or nullptr.
+  template <class KeyArg>
+  Node* floorNode(const KeyArg& key) const {
+    return searchBelow(key, /*inclusive=*/true);
+  }
+
+  /// Greatest live node with key < probe (lower), or nullptr.
+  template <class KeyArg>
+  Node* lowerNode(const KeyArg& key) const {
+    return searchBelow(key, /*inclusive=*/false);
+  }
+
+  /// Least live node with key >= probe, or nullptr.
+  template <class KeyArg>
+  Node* ceilingNode(const KeyArg& key) const {
+    return searchGE(key);
+  }
+
+  Node* firstNode() const {
+    Node* n = clean(head_->nexts()[0].load(std::memory_order_acquire));
+    while (n != nullptr && nextIsMarked(n)) {
+      n = clean(n->nexts()[0].load(std::memory_order_acquire));
+    }
+    return n;
+  }
+
+  /// Greatest live node (JDK lastEntry-style rightmost descent, O(log N)).
+  Node* lastNode() const {
+    const Node* pred = head_;
+    Node* best = nullptr;
+    for (int level = kMaxLevel - 1; level >= 0; --level) {
+      Node* curr = clean(pred->nexts()[level].load(std::memory_order_acquire));
+      while (curr != nullptr) {
+        if (!nextIsMarked(curr)) best = curr;
+        pred = curr;
+        curr = clean(curr->nexts()[level].load(std::memory_order_acquire));
+      }
+    }
+    return best;
+  }
+
+  /// Successor of `n` at level 0, skipping logically deleted nodes.
+  Node* nextNode(const Node* n) const {
+    Node* cur = clean(n->nexts()[0].load(std::memory_order_acquire));
+    while (cur != nullptr && nextIsMarked(cur)) {
+      cur = clean(cur->nexts()[0].load(std::memory_order_acquire));
+    }
+    return cur;
+  }
+
+  std::size_t sizeApprox() const noexcept {
+    const auto c = count_.load(std::memory_order_relaxed);
+    return c > 0 ? static_cast<std::size_t>(c) : 0;
+  }
+
+ private:
+  static bool isMarked(Node* p) noexcept {
+    return (reinterpret_cast<std::uintptr_t>(p) & 1u) != 0;
+  }
+  static Node* mark(Node* p) noexcept {
+    return reinterpret_cast<Node*>(reinterpret_cast<std::uintptr_t>(p) | 1u);
+  }
+  static Node* clean(Node* p) noexcept {
+    return reinterpret_cast<Node*>(reinterpret_cast<std::uintptr_t>(p) & ~std::uintptr_t{1});
+  }
+  bool nextIsMarked(const Node* n) const noexcept {
+    return isMarked(n->nexts()[0].load(std::memory_order_acquire));
+  }
+
+  static std::size_t nodeBytes(int level) noexcept {
+    return sizeof(Node) + static_cast<std::size_t>(level) * sizeof(std::atomic<Node*>);
+  }
+
+  template <class KeyArg>
+  Node* allocNode(int level, const KeyArg* key) {
+    void* p = mem_.alloc(nodeBytes(level));
+    Node* n = static_cast<Node*>(p);
+    if (key != nullptr) {
+      new (&n->key) K(*key);
+    } else {
+      new (&n->key) K();
+    }
+    new (&n->value) std::atomic<V>(V{});
+    n->topLevel = level;
+    n->zombieNext = nullptr;
+    for (int i = 0; i < level; ++i) {
+      new (&n->nexts()[i]) std::atomic<Node*>(nullptr);
+    }
+    return n;
+  }
+
+  void destroyNode(Node* n) noexcept {
+    n->key.~K();
+    freeNodeMemory(n);
+  }
+
+  void freeNodeMemory(Node* n) noexcept { mem_.dealloc(n, nodeBytes(n->topLevel)); }
+
+  /// Called exactly once per node, when its level-0 link is spliced out.
+  void addZombie(Node* n) noexcept {
+    Node* head = zombies_.load(std::memory_order_relaxed);
+    do {
+      n->zombieNext = head;
+    } while (!zombies_.compare_exchange_weak(head, n, std::memory_order_acq_rel));
+  }
+
+  void markAllLevels(Node* n) noexcept {
+    for (int i = n->topLevel - 1; i >= 0; --i) {
+      Node* next = n->nexts()[i].load(std::memory_order_acquire);
+      while (!isMarked(next)) {
+        if (n->nexts()[i].compare_exchange_weak(next, mark(next),
+                                                std::memory_order_acq_rel)) {
+          break;
+        }
+      }
+    }
+  }
+
+  /// Finishes the removal of a node whose value slot is already null.
+  void helpRemove(Node* n) {
+    markAllLevels(n);
+    Node* preds[kMaxLevel];
+    Node* succs[kMaxLevel];
+    find(n->key, preds, succs);
+  }
+
+  int randomLevel() noexcept {
+    thread_local XorShift rng{0xabcdef12345ull ^
+                              reinterpret_cast<std::uintptr_t>(&rng)};
+    int level = 1;
+    std::uint64_t r = rng.next();
+    while ((r & 1u) != 0 && level < kMaxLevel) {
+      ++level;
+      r >>= 1;
+    }
+    return level;
+  }
+
+  /// Core search with physical pruning of marked nodes (Herlihy–Shavit).
+  /// Fills preds/succs for all levels; returns the level-0 node with key
+  /// equal to probe, or nullptr.
+  template <class KeyArg>
+  Node* find(const KeyArg& key, Node** preds, Node** succs) {
+  retry:
+    Node* pred = head_;
+    for (int level = kMaxLevel - 1; level >= 0; --level) {
+      Node* curr = clean(pred->nexts()[level].load(std::memory_order_acquire));
+      for (;;) {
+        if (curr == nullptr) break;
+        Node* succ = curr->nexts()[level].load(std::memory_order_acquire);
+        while (isMarked(succ)) {
+          // curr is logically deleted at this level: splice it out.
+          Node* expected = curr;
+          if (!pred->nexts()[level].compare_exchange_strong(
+                  expected, clean(succ), std::memory_order_acq_rel)) {
+            goto retry;
+          }
+          if (level == 0) addZombie(curr);  // fully off the base list now
+          curr = clean(succ);
+          if (curr == nullptr) break;
+          succ = curr->nexts()[level].load(std::memory_order_acquire);
+        }
+        if (curr == nullptr) break;
+        if (cmp_(curr->key, key) < 0) {
+          pred = curr;
+          curr = clean(succ);
+        } else {
+          break;
+        }
+      }
+      preds[level] = pred;
+      succs[level] = curr;
+    }
+    Node* cand = succs[0];
+    if (cand != nullptr && cmp_(cand->key, key) == 0) return cand;
+    return nullptr;
+  }
+
+  template <class KeyArg>
+  void linkUpperLevels(Node* node, int level, Node** preds, Node** succs,
+                       const KeyArg& key) {
+    for (int i = 1; i < level; ++i) {
+      for (;;) {
+        Node* expectedSucc = node->nexts()[i].load(std::memory_order_acquire);
+        if (isMarked(expectedSucc)) return;  // node was removed concurrently
+        if (succs[i] != clean(expectedSucc)) {
+          if (!node->nexts()[i].compare_exchange_strong(
+                  expectedSucc, succs[i], std::memory_order_acq_rel)) {
+            return;  // marked underneath us
+          }
+        }
+        Node* expected = succs[i];
+        if (preds[i]->nexts()[i].compare_exchange_strong(
+                expected, node, std::memory_order_acq_rel)) {
+          break;
+        }
+        if (find(key, preds, succs) == nullptr) return;  // node got removed
+      }
+    }
+    // If a racing remover marked us while we were raising levels, help the
+    // unlink so the node does not linger in upper lists.
+    if (nextIsMarked(node)) {
+      Node* preds2[kMaxLevel];
+      Node* succs2[kMaxLevel];
+      find(key, preds2, succs2);
+    }
+  }
+
+  /// Wait-free search for the least live node with key >= probe.
+  template <class KeyArg>
+  Node* searchGE(const KeyArg& key) const {
+    const Node* pred = head_;
+    for (int level = kMaxLevel - 1; level >= 0; --level) {
+      Node* curr = clean(pred->nexts()[level].load(std::memory_order_acquire));
+      while (curr != nullptr && cmp_(curr->key, key) < 0) {
+        pred = curr;
+        curr = clean(curr->nexts()[level].load(std::memory_order_acquire));
+      }
+    }
+    Node* curr = clean(pred->nexts()[0].load(std::memory_order_acquire));
+    while (curr != nullptr && (cmp_(curr->key, key) < 0 || nextIsMarked(curr))) {
+      curr = clean(curr->nexts()[0].load(std::memory_order_acquire));
+    }
+    return curr;
+  }
+
+  /// Wait-free search for the greatest live node with key < probe (or <= if
+  /// inclusive).
+  template <class KeyArg>
+  Node* searchBelow(const KeyArg& key, bool inclusive) const {
+    const Node* pred = head_;
+    Node* best = nullptr;
+    for (int level = kMaxLevel - 1; level >= 0; --level) {
+      Node* curr = clean(pred->nexts()[level].load(std::memory_order_acquire));
+      while (curr != nullptr) {
+        const int c = cmp_(curr->key, key);
+        const bool below = inclusive ? (c <= 0) : (c < 0);
+        if (!below) break;
+        if (!nextIsMarked(curr)) best = curr;
+        pred = curr;
+        curr = clean(curr->nexts()[level].load(std::memory_order_acquire));
+      }
+    }
+    return best;
+  }
+
+  Compare cmp_;
+  MetaMem& mem_;
+  Node* head_;
+  std::atomic<Node*> zombies_{nullptr};
+  std::atomic<std::int64_t> count_{0};
+};
+
+}  // namespace oak::sl

@@ -1,0 +1,87 @@
+#include "sync/ebr.hpp"
+
+namespace oak::sync {
+
+Ebr::Ebr() = default;
+
+Ebr::~Ebr() { drainAll(); }
+
+void Ebr::enter(std::uint32_t tid) noexcept {
+  Slot& s = slots_[tid];
+  const std::uint32_t depth = s.depth.load(std::memory_order_relaxed);
+  if (depth == 0) {
+    // seq_cst: the epoch pin must be visible before any shared read the
+    // critical section performs.
+    s.epoch.store(globalEpoch_.load(std::memory_order_seq_cst),
+                  std::memory_order_seq_cst);
+  }
+  s.depth.store(depth + 1, std::memory_order_relaxed);
+}
+
+void Ebr::exit(std::uint32_t tid) noexcept {
+  Slot& s = slots_[tid];
+  const std::uint32_t depth = s.depth.load(std::memory_order_relaxed);
+  if (depth == 1) {
+    s.epoch.store(kInactive, std::memory_order_release);
+  }
+  s.depth.store(depth - 1, std::memory_order_relaxed);
+}
+
+void Ebr::retire(void* ptr, void (*deleter)(void*, void*), void* ctx) {
+  const std::uint64_t epoch = globalEpoch_.load(std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lk(retMu_);
+    retired_.push_back(Retired{ptr, deleter, ctx, epoch});
+  }
+  pendingRetired_.fetch_add(1, std::memory_order_relaxed);
+  // Amortize epoch advancement: every few retirements, try to advance.
+  if (retireTicks_.fetch_add(1, std::memory_order_relaxed) % 64 == 0) {
+    tryAdvanceAndReclaim();
+  }
+}
+
+void Ebr::tryAdvanceAndReclaim() {
+  const std::uint64_t e = globalEpoch_.load(std::memory_order_seq_cst);
+  const std::uint32_t hw = ThreadRegistry::highWater();
+  for (std::uint32_t i = 0; i < hw; ++i) {
+    const std::uint64_t se = slots_[i].epoch.load(std::memory_order_seq_cst);
+    if (se != kInactive && se < e) return;  // a straggler pins an old epoch
+  }
+  std::uint64_t expected = e;
+  globalEpoch_.compare_exchange_strong(expected, e + 1, std::memory_order_seq_cst);
+
+  // Reclaim everything retired at least two epochs before the current one:
+  // no active thread can still observe those nodes.
+  const std::uint64_t cur = globalEpoch_.load(std::memory_order_seq_cst);
+  std::vector<Retired> ready;
+  {
+    std::lock_guard<std::mutex> lk(retMu_);
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < retired_.size(); ++r) {
+      if (retired_[r].epoch + 2 <= cur) {
+        ready.push_back(retired_[r]);
+      } else {
+        retired_[w++] = retired_[r];
+      }
+    }
+    retired_.resize(w);
+  }
+  if (!ready.empty()) {
+    pendingRetired_.fetch_sub(ready.size(), std::memory_order_relaxed);
+    for (const Retired& r : ready) r.deleter(r.ptr, r.ctx);
+  }
+}
+
+void Ebr::drainAll() {
+  std::vector<Retired> all;
+  {
+    std::lock_guard<std::mutex> lk(retMu_);
+    all.swap(retired_);
+  }
+  if (!all.empty()) {
+    pendingRetired_.fetch_sub(all.size(), std::memory_order_relaxed);
+    for (const Retired& r : all) r.deleter(r.ptr, r.ctx);
+  }
+}
+
+}  // namespace oak::sync

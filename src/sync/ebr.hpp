@@ -1,0 +1,98 @@
+// Epoch-based reclamation (EBR).
+//
+// In the Java original, unlinked metadata (retired chunks, skiplist nodes)
+// is collected by the JVM once unreachable.  In C++ we must defer physical
+// reclamation until no thread can still hold a reference obtained before the
+// unlink; classic 3-epoch EBR provides exactly that guarantee and stands in
+// for the JVM's safety net (DESIGN.md §4.3).
+//
+// Usage:
+//   Ebr::Guard g(ebr);          // pin the current epoch around an operation
+//   ebr.retire(ptr, deleter);   // defer deletion until 2 epochs pass
+//
+// Threads identify themselves through ThreadRegistry; a thread that is not
+// inside a Guard never blocks epoch advancement.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_registry.hpp"
+
+namespace oak::sync {
+
+class Ebr {
+ public:
+  Ebr();
+  ~Ebr();
+
+  Ebr(const Ebr&) = delete;
+  Ebr& operator=(const Ebr&) = delete;
+
+  class Guard {
+   public:
+    explicit Guard(Ebr& e) noexcept : ebr_(&e), tid_(ThreadRegistry::id()) {
+      ebr_->enter(tid_);
+    }
+    ~Guard() { ebr_->exit(tid_); }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    Ebr* ebr_;
+    std::uint32_t tid_;
+  };
+
+  /// Defers `deleter(ptr)` until every thread active at the time of the call
+  /// has left its critical section.
+  void retire(void* ptr, void (*deleter)(void*, void*), void* ctx);
+
+  /// Convenience: retire with a typed destructor through the unlimited
+  /// managed heap is handled by callers; this helper covers plain deletes.
+  template <class T>
+  void retireDelete(T* ptr) {
+    retire(ptr, [](void* p, void*) { delete static_cast<T*>(p); }, nullptr);
+  }
+
+  /// Attempts to advance the epoch and drain retired nodes.  Called
+  /// internally on a cadence; exposed for tests and shutdown.
+  void tryAdvanceAndReclaim();
+
+  /// Reclaims everything regardless of epochs.  Only safe when no other
+  /// thread is inside a Guard (e.g., destructor paths, tests).
+  void drainAll();
+
+  std::uint64_t retiredCount() const noexcept {
+    return pendingRetired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*, void*);
+    void* ctx;
+    std::uint64_t epoch;
+  };
+
+  void enter(std::uint32_t tid) noexcept;
+  void exit(std::uint32_t tid) noexcept;
+
+  static constexpr std::uint64_t kInactive = ~std::uint64_t{0};
+
+  std::atomic<std::uint64_t> globalEpoch_{1};
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> epoch{kInactive};
+    std::atomic<std::uint32_t> depth{0};
+  };
+  Slot slots_[kMaxThreads];
+
+  std::mutex retMu_;
+  std::vector<Retired> retired_;
+  std::atomic<std::uint64_t> pendingRetired_{0};
+  std::atomic<std::uint64_t> retireTicks_{0};
+};
+
+}  // namespace oak::sync

@@ -1,0 +1,128 @@
+// WordRwLock — the value-header concurrency control of §3.3.
+//
+// "Oak allocates headers to all values at the beginning of their buffers.
+//  Oak's default concurrency control mechanism uses a read-write lock (in
+//  the header) to ensure that these methods execute atomically ... The
+//  header also includes a bit indicating whether the value is deleted."
+//
+// One 32-bit word:  [ readers:30 | writer:1 | deleted:1 ]
+//
+// The deleted bit is set exactly once, while holding the write lock, and is
+// never cleared (headers are not recycled under the default reclamation
+// policy), so lock acquisition can fail-fast with Deleted.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/spin.hpp"
+
+namespace oak::sync {
+
+enum class LockResult : std::uint8_t { Acquired, Deleted };
+
+class WordRwLock {
+ public:
+  static constexpr std::uint32_t kDeleted = 1u;
+  static constexpr std::uint32_t kWriter = 2u;
+  static constexpr std::uint32_t kReader = 4u;  // reader count increment
+
+  /// Blocks while a writer holds the lock; fails if the value is deleted.
+  LockResult acquireRead() noexcept {
+    Backoff b;
+    std::uint32_t w = word_.load(std::memory_order_acquire);
+    for (;;) {
+      if (w & kDeleted) return LockResult::Deleted;
+      if (w & kWriter) {
+        b.pause();
+        w = word_.load(std::memory_order_acquire);
+        continue;
+      }
+      if (word_.compare_exchange_weak(w, w + kReader, std::memory_order_acquire,
+                                      std::memory_order_acquire)) {
+        return LockResult::Acquired;
+      }
+    }
+  }
+
+  void releaseRead() noexcept { word_.fetch_sub(kReader, std::memory_order_release); }
+
+  /// Blocks while readers or another writer are inside; fails if deleted.
+  LockResult acquireWrite() noexcept {
+    Backoff b;
+    std::uint32_t w = word_.load(std::memory_order_acquire);
+    for (;;) {
+      if (w & kDeleted) return LockResult::Deleted;
+      if (w != 0) {  // readers or writer present
+        b.pause();
+        w = word_.load(std::memory_order_acquire);
+        continue;
+      }
+      if (word_.compare_exchange_weak(w, kWriter, std::memory_order_acquire,
+                                      std::memory_order_acquire)) {
+        return LockResult::Acquired;
+      }
+    }
+  }
+
+  void releaseWrite() noexcept { word_.fetch_and(~kWriter, std::memory_order_release); }
+
+  /// Marks the value deleted.  Caller must hold the write lock; the bit is
+  /// released together with the write lock by the subsequent releaseWrite().
+  void setDeleted() noexcept { word_.fetch_or(kDeleted, std::memory_order_release); }
+
+  /// Lock-free observation of the deleted flag (v.isDeleted() in the paper).
+  bool isDeleted() const noexcept {
+    return (word_.load(std::memory_order_acquire) & kDeleted) != 0;
+  }
+
+  /// Raw word for diagnostics/tests.
+  std::uint32_t raw() const noexcept { return word_.load(std::memory_order_relaxed); }
+
+  /// Reopens a recycled lock (header pool only; callers guarantee no thread
+  /// legitimately holds it — stale probes fail their generation check).
+  void resetOpen() noexcept { word_.store(0, std::memory_order_release); }
+
+  /// Marks deleted without holding the lock (never-published headers only).
+  void markDeletedRaw() noexcept { word_.store(kDeleted, std::memory_order_release); }
+
+ private:
+  std::atomic<std::uint32_t> word_{0};
+};
+
+/// RAII guards.
+class ReadGuard {
+ public:
+  explicit ReadGuard(WordRwLock& l) noexcept : lock_(&l) {
+    ok_ = (l.acquireRead() == LockResult::Acquired);
+  }
+  ~ReadGuard() {
+    if (ok_) lock_->releaseRead();
+  }
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+  bool acquired() const noexcept { return ok_; }
+
+ private:
+  WordRwLock* lock_;
+  bool ok_;
+};
+
+class WriteGuard {
+ public:
+  explicit WriteGuard(WordRwLock& l) noexcept : lock_(&l) {
+    ok_ = (l.acquireWrite() == LockResult::Acquired);
+  }
+  ~WriteGuard() {
+    if (ok_) lock_->releaseWrite();
+  }
+  WriteGuard(const WriteGuard&) = delete;
+  WriteGuard& operator=(const WriteGuard&) = delete;
+  bool acquired() const noexcept { return ok_; }
+
+ private:
+  WordRwLock* lock_;
+  bool ok_;
+};
+
+}  // namespace oak::sync

@@ -1,0 +1,198 @@
+// SkipList-OnHeap / SkipList-OffHeap baselines: JDK-style semantics,
+// managed-heap accounting, and concurrency smoke.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "baselines/offheap_skiplist_map.hpp"
+#include "baselines/onheap_skiplist_map.hpp"
+#include "common/random.hpp"
+
+namespace oak::bl {
+namespace {
+
+ByteVec keyOf(std::uint64_t i) {
+  ByteVec k(8);
+  storeU64BE(k.data(), i);
+  return k;
+}
+ByteVec valOf(std::uint64_t x) {
+  ByteVec v(8);
+  storeUnaligned(v.data(), x);
+  return v;
+}
+
+class OnHeapTest : public ::testing::Test {
+ protected:
+  mheap::ManagedHeap& heap_ = mheap::ManagedHeap::unlimited();
+};
+
+TEST_F(OnHeapTest, PutGetRemove) {
+  OnHeapSkipListMap m(heap_);
+  m.put(asBytes(keyOf(1)), asBytes(valOf(10)));
+  m.put(asBytes(keyOf(2)), asBytes(valOf(20)));
+  auto v = m.getCopy(asBytes(keyOf(1)));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(loadUnaligned<std::uint64_t>(v->data()), 10u);
+  EXPECT_TRUE(m.remove(asBytes(keyOf(1))));
+  EXPECT_FALSE(m.remove(asBytes(keyOf(1))));
+  EXPECT_FALSE(m.getCopy(asBytes(keyOf(1))).has_value());
+  EXPECT_TRUE(m.containsKey(asBytes(keyOf(2))));
+}
+
+TEST_F(OnHeapTest, PutIfAbsent) {
+  OnHeapSkipListMap m(heap_);
+  EXPECT_TRUE(m.putIfAbsent(asBytes(keyOf(1)), asBytes(valOf(1))));
+  EXPECT_FALSE(m.putIfAbsent(asBytes(keyOf(1)), asBytes(valOf(2))));
+  EXPECT_EQ(loadUnaligned<std::uint64_t>(m.getCopy(asBytes(keyOf(1)))->data()), 1u);
+}
+
+TEST_F(OnHeapTest, OrderedScans) {
+  OnHeapSkipListMap m(heap_);
+  XorShift rng(3);
+  std::map<ByteVec, std::uint64_t> ref;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t k = rng.nextBounded(5000);
+    m.put(asBytes(keyOf(k)), asBytes(valOf(k)));
+    ref[keyOf(k)] = k;
+  }
+  std::vector<ByteVec> asc;
+  m.scanAscend({}, SIZE_MAX, [&](OnHeapSkipListMap::Entry e) {
+    asc.push_back(toVec(e.key));
+  });
+  ASSERT_EQ(asc.size(), ref.size());
+  auto it = ref.begin();
+  for (auto& k : asc) EXPECT_EQ(k, (it++)->first);
+
+  std::vector<ByteVec> desc;
+  m.scanDescend({}, SIZE_MAX, [&](OnHeapSkipListMap::Entry e) {
+    desc.push_back(toVec(e.key));
+  });
+  std::reverse(desc.begin(), desc.end());
+  EXPECT_EQ(desc, asc);
+}
+
+TEST_F(OnHeapTest, BoundedScans) {
+  OnHeapSkipListMap m(heap_);
+  for (int i = 0; i < 100; ++i) m.put(asBytes(keyOf(i)), asBytes(valOf(i)));
+  std::size_t n = m.scanAscend(asBytes(keyOf(50)), 10, [](auto) {});
+  EXPECT_EQ(n, 10u);
+  n = m.scanDescend(asBytes(keyOf(50)), 10, [](auto) {});
+  EXPECT_EQ(n, 10u);
+}
+
+TEST_F(OnHeapTest, MergeAggregates) {
+  OnHeapSkipListMap m(heap_);
+  for (int i = 0; i < 100; ++i) {
+    m.merge(asBytes(keyOf(i % 10)), asBytes(valOf(1)), [](MutByteSpan v) {
+      storeUnaligned(v.data(), loadUnaligned<std::uint64_t>(v.data()) + 1);
+    });
+  }
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_EQ(loadUnaligned<std::uint64_t>(m.getCopy(asBytes(keyOf(k)))->data()), 10u);
+  }
+}
+
+TEST_F(OnHeapTest, ConcurrentPutIfAbsentUnique) {
+  OnHeapSkipListMap m(heap_);
+  constexpr int kKeys = 1000;
+  std::atomic<int> wins{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 8; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kKeys; ++i) {
+        if (m.putIfAbsent(asBytes(keyOf(i)), asBytes(valOf(t)))) {
+          wins.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(wins.load(), kKeys);
+  EXPECT_EQ(m.sizeApprox(), static_cast<std::size_t>(kKeys));
+}
+
+TEST_F(OnHeapTest, HeapAccountingGrowsAndShrinks) {
+  mheap::ManagedHeap heap(mheap::ManagedHeap::Config{
+      .budgetBytes = 64u << 20,
+      .headerBytes = 16,
+      .gcTriggerFraction = 0.75,
+      .youngGenBytes = 8u << 20,
+      .youngGcCostIters = 1024,
+      .enabled = true});
+  {
+    OnHeapSkipListMap m(heap);
+    const auto before = heap.stats().liveBytes;
+    for (int i = 0; i < 1000; ++i) m.put(asBytes(keyOf(i)), asBytes(valOf(i)));
+    const auto after = heap.stats().liveBytes;
+    EXPECT_GT(after, before + 1000 * 16);  // >= key+value+node overheads
+  }
+}
+
+class OffHeapTest : public ::testing::Test {
+ protected:
+  mheap::ManagedHeap& heap_ = mheap::ManagedHeap::unlimited();
+  mem::BlockPool pool_{mem::BlockPool::Config{.blockBytes = 1u << 20,
+                                              .budgetBytes = SIZE_MAX}};
+};
+
+TEST_F(OffHeapTest, PutGetRemove) {
+  OffHeapSkipListMap m(heap_, pool_);
+  m.put(asBytes(keyOf(1)), asBytes(valOf(10)));
+  auto v = m.getCopy(asBytes(keyOf(1)));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(loadUnaligned<std::uint64_t>(v->data()), 10u);
+  m.put(asBytes(keyOf(1)), asBytes(valOf(11)));
+  EXPECT_EQ(loadUnaligned<std::uint64_t>(m.getCopy(asBytes(keyOf(1)))->data()), 11u);
+  EXPECT_TRUE(m.remove(asBytes(keyOf(1))));
+  EXPECT_FALSE(m.getCopy(asBytes(keyOf(1))).has_value());
+}
+
+TEST_F(OffHeapTest, DataLivesOffHeap) {
+  OffHeapSkipListMap m(heap_, pool_);
+  for (int i = 0; i < 500; ++i) {
+    ByteVec big(2048, std::byte{0x5a});
+    m.put(asBytes(keyOf(i)), asBytes(big));
+  }
+  EXPECT_GE(m.offHeapFootprintBytes(), 500u * 2048u);
+}
+
+TEST_F(OffHeapTest, ScansAndMerge) {
+  OffHeapSkipListMap m(heap_, pool_);
+  for (int i = 0; i < 300; ++i) m.put(asBytes(keyOf(i)), asBytes(valOf(i)));
+  std::size_t n = m.scanAscend({}, SIZE_MAX, [](auto) {});
+  EXPECT_EQ(n, 300u);
+  n = m.scanDescend({}, SIZE_MAX, [](auto) {});
+  EXPECT_EQ(n, 300u);
+  m.merge(asBytes(keyOf(0)), asBytes(valOf(1)), [](MutByteSpan v) {
+    storeUnaligned(v.data(), loadUnaligned<std::uint64_t>(v.data()) + 5);
+  });
+  EXPECT_EQ(loadUnaligned<std::uint64_t>(m.getCopy(asBytes(keyOf(0)))->data()), 5u);
+}
+
+TEST_F(OffHeapTest, ConcurrentMixedOps) {
+  OffHeapSkipListMap m(heap_, pool_);
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 6; ++t) {
+    ts.emplace_back([&, t] {
+      XorShift rng(t * 7 + 1);
+      for (int i = 0; i < 5000; ++i) {
+        const auto k = keyOf(rng.nextBounded(256));
+        switch (rng.nextBounded(4)) {
+          case 0: m.put(asBytes(k), asBytes(valOf(i))); break;
+          case 1: m.putIfAbsent(asBytes(k), asBytes(valOf(i))); break;
+          case 2: m.remove(asBytes(k)); break;
+          default: m.getCopy(asBytes(k)); break;
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace oak::bl

@@ -1,0 +1,134 @@
+// Off-heap B+-tree (MapDB stand-in) tests: correctness vs std::map, splits,
+// leaf-chain scans, tombstone removal, concurrency smoke.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "baselines/btree_offheap.hpp"
+#include "common/random.hpp"
+
+namespace oak::bl {
+namespace {
+
+ByteVec keyOf(std::uint64_t i) {
+  ByteVec k(8);
+  storeU64BE(k.data(), i);
+  return k;
+}
+ByteVec valOf(std::uint64_t x) {
+  ByteVec v(8);
+  storeUnaligned(v.data(), x);
+  return v;
+}
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  mem::BlockPool pool_{{.blockBytes = 4u << 20, .budgetBytes = SIZE_MAX}};
+  OffHeapBTree t_{pool_};
+};
+
+TEST_F(BTreeTest, PutGetReplace) {
+  EXPECT_TRUE(t_.put(asBytes(keyOf(1)), asBytes(valOf(10))));
+  EXPECT_FALSE(t_.put(asBytes(keyOf(1)), asBytes(valOf(11))));  // replace
+  auto v = t_.getCopy(asBytes(keyOf(1)));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(loadUnaligned<std::uint64_t>(v->data()), 11u);
+  EXPECT_FALSE(t_.getCopy(asBytes(keyOf(2))).has_value());
+}
+
+TEST_F(BTreeTest, PutIfAbsent) {
+  EXPECT_TRUE(t_.putIfAbsent(asBytes(keyOf(1)), asBytes(valOf(1))));
+  EXPECT_FALSE(t_.putIfAbsent(asBytes(keyOf(1)), asBytes(valOf(2))));
+  EXPECT_EQ(loadUnaligned<std::uint64_t>(t_.getCopy(asBytes(keyOf(1)))->data()), 1u);
+}
+
+TEST_F(BTreeTest, RemoveTombstones) {
+  t_.put(asBytes(keyOf(5)), asBytes(valOf(5)));
+  EXPECT_TRUE(t_.remove(asBytes(keyOf(5))));
+  EXPECT_FALSE(t_.remove(asBytes(keyOf(5))));
+  EXPECT_FALSE(t_.getCopy(asBytes(keyOf(5))).has_value());
+  // Reinsert over the tombstone.
+  t_.put(asBytes(keyOf(5)), asBytes(valOf(6)));
+  EXPECT_EQ(loadUnaligned<std::uint64_t>(t_.getCopy(asBytes(keyOf(5)))->data()), 6u);
+}
+
+TEST_F(BTreeTest, ManySplitsStaySorted) {
+  XorShift rng(3);
+  std::map<ByteVec, std::uint64_t> ref;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t k = rng.nextBounded(50000);
+    t_.put(asBytes(keyOf(k)), asBytes(valOf(k)));
+    ref[keyOf(k)] = k;
+  }
+  EXPECT_EQ(t_.size(), ref.size());
+  std::vector<ByteVec> scanned;
+  t_.scanAscend({}, SIZE_MAX, [&](ByteSpan k, ByteSpan v) {
+    scanned.push_back(toVec(k));
+    EXPECT_EQ(loadUnaligned<std::uint64_t>(v.data()), loadU64BE(k.data()));
+  });
+  ASSERT_EQ(scanned.size(), ref.size());
+  auto it = ref.begin();
+  for (auto& k : scanned) EXPECT_EQ(k, (it++)->first);
+}
+
+TEST_F(BTreeTest, BoundedScanFromKey) {
+  for (int i = 0; i < 1000; ++i) t_.put(asBytes(keyOf(i)), asBytes(valOf(i)));
+  std::vector<std::uint64_t> got;
+  t_.scanAscend(asBytes(keyOf(500)), 10, [&](ByteSpan k, ByteSpan) {
+    got.push_back(loadU64BE(k.data()));
+  });
+  ASSERT_EQ(got.size(), 10u);
+  EXPECT_EQ(got.front(), 500u);
+  EXPECT_EQ(got.back(), 509u);
+}
+
+TEST_F(BTreeTest, RandomOpsDifferential) {
+  XorShift rng(17);
+  std::map<ByteVec, std::uint64_t> ref;
+  for (int i = 0; i < 30000; ++i) {
+    const std::uint64_t k = rng.nextBounded(300);
+    switch (rng.nextBounded(3)) {
+      case 0:
+        t_.put(asBytes(keyOf(k)), asBytes(valOf(i)));
+        ref[keyOf(k)] = static_cast<std::uint64_t>(i);
+        break;
+      case 1:
+        t_.remove(asBytes(keyOf(k)));
+        ref.erase(keyOf(k));
+        break;
+      default: {
+        auto v = t_.getCopy(asBytes(keyOf(k)));
+        auto it = ref.find(keyOf(k));
+        ASSERT_EQ(v.has_value(), it != ref.end());
+        if (v) {
+          ASSERT_EQ(loadUnaligned<std::uint64_t>(v->data()), it->second);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(t_.size(), ref.size());
+}
+
+TEST_F(BTreeTest, ConcurrentMixSmoke) {
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 6; ++t) {
+    ts.emplace_back([&, t] {
+      XorShift rng(t + 1);
+      for (int i = 0; i < 3000; ++i) {
+        const auto k = keyOf(rng.nextBounded(500));
+        switch (rng.nextBounded(3)) {
+          case 0: t_.put(asBytes(k), asBytes(valOf(i))); break;
+          case 1: t_.getCopy(asBytes(k)); break;
+          default: t_.scanAscend(asBytes(k), 20, [](ByteSpan, ByteSpan) {}); break;
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace oak::bl

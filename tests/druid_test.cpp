@@ -1,0 +1,226 @@
+// Druid case-study tests (§6): dictionaries, sketches, aggregators, and the
+// incremental index over both backends.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.hpp"
+#include "druid/incremental_index.hpp"
+
+namespace oak::druid {
+namespace {
+
+TEST(Dictionary, EncodeDecodeStable) {
+  Dictionary d(mheap::ManagedHeap::unlimited());
+  EXPECT_EQ(d.encode("alpha"), 0);
+  EXPECT_EQ(d.encode("beta"), 1);
+  EXPECT_EQ(d.encode("alpha"), 0);
+  EXPECT_EQ(d.decode(0), "alpha");
+  EXPECT_EQ(d.decode(1), "beta");
+  EXPECT_EQ(d.decode(99), "");
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(Dictionary, ConcurrentEncodeConsistent) {
+  Dictionary d(mheap::ManagedHeap::unlimited());
+  std::vector<std::thread> ts;
+  std::vector<std::vector<std::int32_t>> codes(4);
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < 500; ++i) {
+        codes[t].push_back(d.encode("dim" + std::to_string(i % 100)));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(d.size(), 100u);
+  for (int t = 1; t < 4; ++t) EXPECT_EQ(codes[t], codes[0]);
+}
+
+TEST(HllSketch, EstimatesWithinTolerance) {
+  ByteVec buf(HllSketch::kBytes);
+  MutByteSpan region{buf.data(), buf.size()};
+  HllSketch::init(region);
+  constexpr std::uint64_t kDistinct = 50000;
+  for (std::uint64_t i = 0; i < kDistinct; ++i) {
+    HllSketch::update(region, i * 2654435761u + 12345);
+    HllSketch::update(region, i * 2654435761u + 12345);  // duplicates ignored
+  }
+  const double est = HllSketch::estimate(asBytes(buf));
+  EXPECT_NEAR(est, static_cast<double>(kDistinct), kDistinct * 0.12);
+}
+
+TEST(HllSketch, SmallCardinalitiesExact) {
+  ByteVec buf(HllSketch::kBytes);
+  MutByteSpan region{buf.data(), buf.size()};
+  HllSketch::init(region);
+  for (std::uint64_t i = 0; i < 20; ++i) HllSketch::update(region, i ^ 0xdeadbeef);
+  EXPECT_NEAR(HllSketch::estimate(asBytes(buf)), 20.0, 3.0);
+}
+
+TEST(QuantileSketch, MedianOfUniform) {
+  ByteVec buf(QuantileSketch::kBytes);
+  MutByteSpan region{buf.data(), buf.size()};
+  QuantileSketch::init(region);
+  XorShift rng(42);
+  for (int i = 0; i < 100000; ++i) {
+    QuantileSketch::update(region, rng.nextDouble() * 100.0);
+  }
+  EXPECT_EQ(QuantileSketch::count(asBytes(buf)), 100000u);
+  EXPECT_NEAR(QuantileSketch::quantile(asBytes(buf), 0.5), 50.0, 15.0);
+  EXPECT_LT(QuantileSketch::quantile(asBytes(buf), 0.05),
+            QuantileSketch::quantile(asBytes(buf), 0.95));
+}
+
+TEST(AggregatorSpec, InitAndFold) {
+  AggregatorSpec spec({AggType::Count, AggType::LongSum, AggType::DoubleMin,
+                       AggType::DoubleMax, AggType::HllUnique});
+  ByteVec row(spec.rowBytes());
+  MetricValue m[5];
+  m[1].number = 10;
+  m[2].number = 5;
+  m[3].number = 5;
+  m[4].hash64 = 111;
+  spec.init({row.data(), row.size()}, m);
+  m[1].number = -3;
+  m[2].number = 7;
+  m[3].number = 7;
+  m[4].hash64 = 222;
+  spec.fold({row.data(), row.size()}, m);
+  EXPECT_EQ(spec.readCount(asBytes(row), 0), 2u);
+  EXPECT_EQ(spec.readLongSum(asBytes(row), 1), 7);
+  EXPECT_EQ(spec.readDouble(asBytes(row), 2), 5.0);
+  EXPECT_EQ(spec.readDouble(asBytes(row), 3), 7.0);
+  EXPECT_NEAR(spec.readHllEstimate(asBytes(row), 4), 2.0, 1.0);
+}
+
+AggregatorSpec basicSpec() {
+  return AggregatorSpec({AggType::Count, AggType::DoubleSum, AggType::HllUnique});
+}
+
+TupleIn tupleOf(std::int64_t ts, std::string_view d0, std::string_view d1,
+                double x, std::uint64_t user) {
+  TupleIn t;
+  t.timestamp = ts;
+  t.dims = {d0, d1};
+  t.metrics.resize(3);
+  t.metrics[1].number = x;
+  t.metrics[2].hash64 = user;
+  return t;
+}
+
+template <class Index>
+void exerciseRollup(Index& idx) {
+  // Two distinct keys at ts=100, one at ts=200.
+  idx.add(tupleOf(100, "us", "web", 1.0, 1));
+  idx.add(tupleOf(100, "us", "web", 2.0, 2));
+  idx.add(tupleOf(100, "eu", "web", 4.0, 3));
+  idx.add(tupleOf(200, "us", "app", 8.0, 4));
+  EXPECT_EQ(idx.tuplesAdded(), 4u);
+  EXPECT_EQ(idx.rowCount(), 3u);
+
+  double sum = 0;
+  std::uint64_t count = 0;
+  const auto& spec = idx.spec();
+  idx.scanAll([&](ByteSpan, ByteSpan row) {
+    count += spec.readCount(row, 0);
+    sum += spec.readDouble(row, 1);
+  });
+  EXPECT_EQ(count, 4u);
+  EXPECT_DOUBLE_EQ(sum, 15.0);
+
+  // Time-range scan hits only ts=100 rows.
+  std::size_t n = idx.scanTimeRange(100, 101, [&](ByteSpan key, ByteSpan) {
+    EXPECT_EQ(Index::keyTimestamp(key), 100);
+  });
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(IncrementalIndex, OakRollup) {
+  OakConfig cfg;
+  cfg.chunkCapacity = 64;
+  OakIncrementalIndex idx(basicSpec(), 2, /*rollup=*/true,
+                          mheap::ManagedHeap::unlimited(), cfg);
+  exerciseRollup(idx);
+}
+
+TEST(IncrementalIndex, LegacyRollup) {
+  auto& heap = mheap::ManagedHeap::unlimited();
+  LegacyIncrementalIndex idx(basicSpec(), 2, /*rollup=*/true, heap, heap);
+  exerciseRollup(idx);
+}
+
+TEST(IncrementalIndex, PlainModeKeepsEveryTuple) {
+  OakConfig cfg;
+  cfg.chunkCapacity = 64;
+  OakIncrementalIndex idx(basicSpec(), 2, /*rollup=*/false,
+                          mheap::ManagedHeap::unlimited(), cfg);
+  for (int i = 0; i < 100; ++i) idx.add(tupleOf(100, "us", "web", 1.0, 7));
+  EXPECT_EQ(idx.rowCount(), 100u);
+}
+
+TEST(IncrementalIndex, BothBackendsAgreeOnAggregates) {
+  OakConfig cfg;
+  cfg.chunkCapacity = 128;
+  auto& heap = mheap::ManagedHeap::unlimited();
+  OakIncrementalIndex oakIdx(basicSpec(), 2, true, heap, cfg);
+  LegacyIncrementalIndex legIdx(basicSpec(), 2, true, heap, heap);
+
+  XorShift rng(9);
+  const char* regions[] = {"us", "eu", "ap", "sa"};
+  const char* apps[] = {"web", "app", "tv"};
+  for (int i = 0; i < 5000; ++i) {
+    auto t = tupleOf(static_cast<std::int64_t>(rng.nextBounded(50)),
+                     regions[rng.nextBounded(4)], apps[rng.nextBounded(3)],
+                     static_cast<double>(rng.nextBounded(100)), rng.nextBounded(500));
+    oakIdx.add(t);
+    legIdx.add(t);
+  }
+  EXPECT_EQ(oakIdx.rowCount(), legIdx.rowCount());
+
+  auto collect = [](auto& idx) {
+    double sum = 0;
+    std::uint64_t count = 0;
+    const auto& spec = idx.spec();
+    idx.scanAll([&](ByteSpan, ByteSpan row) {
+      count += spec.readCount(row, 0);
+      sum += spec.readDouble(row, 1);
+    });
+    return std::pair(count, sum);
+  };
+  auto [oc, os] = collect(oakIdx);
+  auto [lc, ls] = collect(legIdx);
+  EXPECT_EQ(oc, 5000u);
+  EXPECT_EQ(lc, 5000u);
+  EXPECT_DOUBLE_EQ(os, ls);
+}
+
+TEST(IncrementalIndex, ConcurrentIngestCountsEverything) {
+  OakConfig cfg;
+  cfg.chunkCapacity = 128;
+  OakIncrementalIndex idx(basicSpec(), 2, true, mheap::ManagedHeap::unlimited(), cfg);
+  std::vector<std::thread> ts;
+  constexpr int kThreads = 6, kPer = 4000;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      XorShift rng(t * 131 + 5);
+      std::string d0 = "r" + std::to_string(t);
+      for (int i = 0; i < kPer; ++i) {
+        idx.add(tupleOf(static_cast<std::int64_t>(rng.nextBounded(100)), d0, "x",
+                        1.0, rng.next()));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  std::uint64_t count = 0;
+  const auto& spec = idx.spec();
+  idx.scanAll([&](ByteSpan, ByteSpan row) { count += spec.readCount(row, 0); });
+  EXPECT_EQ(count, static_cast<std::uint64_t>(kThreads) * kPer);
+}
+
+}  // namespace
+}  // namespace oak::druid

@@ -1,0 +1,165 @@
+// A Wing & Gong-style linearizability checker for map histories.
+//
+// The paper proves Oak's point operations linearizable (§4.5 lists the
+// linearization points; the full proof is in the companion report).  Here we
+// *test* that claim: concurrent workers record invocation/response-stamped
+// operation histories against tiny key spaces, and the checker searches for
+// a legal sequential witness consistent with real-time order.
+//
+// The search is exponential in the worst case, so histories are kept small
+// (a few hundred events over 2-4 keys) — which is also where interleavings
+// are densest.  Memoization over (completed-set, map-state) keeps practical
+// runtimes in milliseconds.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace oak::lin {
+
+enum class OpType : std::uint8_t {
+  Get,          // out: value or absent
+  Put,          // in: value
+  PutIfAbsent,  // in: value; out: success
+  Remove,       // out: success (removed a live mapping)
+  Compute,      // in: addend; out: success (applied to a live value)
+};
+
+struct Operation {
+  OpType type{};
+  std::uint64_t key = 0;
+  std::uint64_t arg = 0;            // put/putIfAbsent value, compute addend
+  std::optional<std::uint64_t> out; // get result (nullopt = absent)
+  bool ok = false;                  // putIfAbsent/remove/compute success
+  std::uint64_t invokeNs = 0;
+  std::uint64_t responseNs = 0;
+};
+
+inline std::uint64_t nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Sequential specification of the map (per key; values are uint64).
+struct SeqMap {
+  std::map<std::uint64_t, std::uint64_t> m;
+
+  bool step(const Operation& op) {
+    auto it = m.find(op.key);
+    const bool present = it != m.end();
+    switch (op.type) {
+      case OpType::Get:
+        if (op.out.has_value()) return present && it->second == *op.out;
+        return !present;
+      case OpType::Put:
+        m[op.key] = op.arg;
+        return true;
+      case OpType::PutIfAbsent:
+        if (op.ok) {
+          if (present) return false;
+          m[op.key] = op.arg;
+          return true;
+        }
+        return present;
+      case OpType::Remove:
+        if (op.ok) {
+          if (!present) return false;
+          m.erase(it);
+          return true;
+        }
+        return !present;
+      case OpType::Compute:
+        if (op.ok) {
+          if (!present) return false;
+          it->second += op.arg;
+          return true;
+        }
+        return !present;
+    }
+    return false;
+  }
+
+  std::string encode() const {
+    std::string s;
+    for (const auto& [k, v] : m) {
+      s += std::to_string(k);
+      s += ':';
+      s += std::to_string(v);
+      s += ';';
+    }
+    return s;
+  }
+};
+
+/// Returns true iff `history` (complete operations only) is linearizable
+/// w.r.t. the sequential map specification.
+inline bool isLinearizable(std::vector<Operation> history) {
+  const std::size_t n = history.size();
+  if (n == 0) return true;
+  if (n > 64) return false;  // caller should keep histories small
+
+  // DFS over "next operation to linearize": an op is eligible if every
+  // still-pending op's invocation is not strictly after this op's response
+  // (i.e., no completed-before op remains unlinearized).
+  std::vector<bool> done(n, false);
+  std::set<std::pair<std::uint64_t, std::string>> visited;  // (doneMask, state)
+
+  struct Frame {
+    SeqMap state;
+    std::uint64_t mask;
+  };
+
+  // Iterative DFS with explicit stack of (state, mask, next candidate idx).
+  struct StackEntry {
+    SeqMap state;
+    std::uint64_t mask;
+    std::size_t next;
+  };
+  std::vector<StackEntry> stack;
+  stack.push_back({SeqMap{}, 0, 0});
+
+  auto minPendingResponse = [&](std::uint64_t mask) {
+    std::uint64_t lo = UINT64_MAX;
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((mask >> i) & 1) continue;
+      lo = std::min(lo, history[i].responseNs);
+    }
+    return lo;
+  };
+
+  while (!stack.empty()) {
+    StackEntry& top = stack.back();
+    if (top.mask == ((n == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1))) {
+      return true;  // all operations linearized
+    }
+    const std::uint64_t frontier = minPendingResponse(top.mask);
+    bool descended = false;
+    for (std::size_t i = top.next; i < n; ++i) {
+      if ((top.mask >> i) & 1) continue;
+      // Real-time constraint: `i` may linearize next only if it was invoked
+      // before every pending operation's response.
+      if (history[i].invokeNs > frontier) continue;
+      SeqMap nextState = top.state;
+      if (!nextState.step(history[i])) continue;
+      const std::uint64_t nextMask = top.mask | (std::uint64_t{1} << i);
+      const auto key = std::make_pair(nextMask, nextState.encode());
+      if (!visited.insert(key).second) continue;
+      top.next = i + 1;  // resume after i when we backtrack
+      stack.push_back({std::move(nextState), nextMask, 0});
+      descended = true;
+      break;
+    }
+    if (!descended) stack.pop_back();
+  }
+  return false;
+}
+
+}  // namespace oak::lin

@@ -1,0 +1,171 @@
+// Off-heap substrate tests: packed refs, arenas, block pool, first-fit
+// allocator (§3.2 behaviours: first fit, reuse on free, footprint).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "mem/first_fit_allocator.hpp"
+#include "mem/memory_manager.hpp"
+
+namespace oak::mem {
+namespace {
+
+TEST(Ref, PackUnpackRoundTrip) {
+  const Ref r = Ref::make(17, 123456, 789);
+  EXPECT_EQ(r.block(), 17u);
+  EXPECT_EQ(r.offset(), 123456u);
+  EXPECT_EQ(r.length(), 789u);
+  EXPECT_FALSE(r.isNull());
+}
+
+TEST(Ref, NullIsDistinct) {
+  EXPECT_TRUE(Ref{}.isNull());
+  EXPECT_FALSE(Ref::make(0, 0, 0).isNull());  // block 0/offset 0/len 0 != null
+}
+
+TEST(Ref, Extremes) {
+  const Ref r = Ref::make(Ref::kMaxBlocks - 1, Ref::kMaxOffset - 1, Ref::kMaxLength - 1);
+  EXPECT_EQ(r.block(), Ref::kMaxBlocks - 1);  // 4094: one id reserved for null
+  EXPECT_EQ(r.offset(), Ref::kMaxOffset - 1);
+  EXPECT_EQ(r.length(), Ref::kMaxLength - 1);
+}
+
+TEST(BlockPool, AcquireReleaseRecycles) {
+  BlockPool pool(BlockPool::Config{.blockBytes = 1u << 20, .budgetBytes = 4u << 20});
+  const auto a = pool.acquire();
+  const auto b = pool.acquire();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.acquiredBytes(), 2u << 20);
+  pool.release(a);
+  EXPECT_EQ(pool.acquiredBytes(), 1u << 20);
+  const auto c = pool.acquire();
+  EXPECT_EQ(c, a);  // recycled, not newly allocated
+}
+
+TEST(BlockPool, BudgetEnforced) {
+  BlockPool pool(BlockPool::Config{.blockBytes = 1u << 20, .budgetBytes = 2u << 20});
+  pool.acquire();
+  pool.acquire();
+  EXPECT_THROW(pool.acquire(), OffHeapOutOfMemory);
+}
+
+class AllocatorTest : public ::testing::Test {
+ protected:
+  BlockPool pool_{BlockPool::Config{.blockBytes = 1u << 20, .budgetBytes = SIZE_MAX}};
+  FirstFitAllocator alloc_{pool_};
+};
+
+TEST_F(AllocatorTest, ExactLengthPreserved) {
+  const Ref r = alloc_.alloc(13);
+  EXPECT_EQ(r.length(), 13u);  // no visible alignment padding
+}
+
+TEST_F(AllocatorTest, NoOverlapAmongAllocations) {
+  XorShift rng(1);
+  std::vector<Ref> refs;
+  for (int i = 0; i < 2000; ++i) {
+    refs.push_back(alloc_.alloc(static_cast<std::uint32_t>(1 + rng.nextBounded(300))));
+  }
+  // Check pairwise disjointness via sorted (block, offset, roundedLen).
+  std::vector<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> spans;
+  for (Ref r : refs) spans.emplace_back(r.block(), r.offset(), (r.length() + 7) & ~7u);
+  std::sort(spans.begin(), spans.end());
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    auto [b0, o0, l0] = spans[i - 1];
+    auto [b1, o1, l1] = spans[i];
+    if (b0 == b1) {
+      EXPECT_GE(o1, o0 + l0) << "overlap at " << i;
+    }
+  }
+}
+
+TEST_F(AllocatorTest, FreeEnablesReuse) {
+  const Ref a = alloc_.alloc(512);
+  const auto before = alloc_.allocatedBytes();
+  alloc_.free(a);
+  EXPECT_LT(alloc_.allocatedBytes(), before);
+  const Ref b = alloc_.alloc(512);
+  // First-fit must find the freed segment before bumping new space.
+  EXPECT_EQ(b.block(), a.block());
+  EXPECT_EQ(b.offset(), a.offset());
+}
+
+TEST_F(AllocatorTest, FirstFitSplitsLargerSegment) {
+  const Ref big = alloc_.alloc(1024);
+  alloc_.free(big);
+  const Ref small = alloc_.alloc(100);
+  EXPECT_EQ(small.offset(), big.offset());  // prefix of the freed segment
+  const Ref rest = alloc_.alloc(900);
+  EXPECT_EQ(rest.offset(), big.offset() + 104);  // rounded prefix split
+}
+
+TEST_F(AllocatorTest, GrowsAcrossBlocks) {
+  // 1 MiB blocks; allocate 3 MiB total.
+  for (int i = 0; i < 12; ++i) alloc_.alloc(256 * 1024);
+  EXPECT_GE(alloc_.ownedBlocks(), 3u);
+  EXPECT_GE(alloc_.footprintBytes(), 3u << 20);
+}
+
+TEST_F(AllocatorTest, RejectsOversizedAllocation) {
+  EXPECT_THROW(alloc_.alloc(2u << 20), OakUsageError);
+}
+
+TEST_F(AllocatorTest, WriteReadThroughTranslate) {
+  MemoryManager mm(pool_);
+  const std::string s = "hello off-heap world";
+  const Ref r = mm.allocateKey(asBytes(std::string_view(s)));
+  EXPECT_EQ(asString(mm.keyBytes(r)), s);
+}
+
+TEST_F(AllocatorTest, ConcurrentAllocFreeNoOverlap) {
+  std::vector<std::thread> ts;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < 6; ++t) {
+    ts.emplace_back([&, t] {
+      XorShift rng(t + 100);
+      std::vector<Ref> mine;
+      for (int i = 0; i < 3000; ++i) {
+        const auto len = static_cast<std::uint32_t>(8 + rng.nextBounded(256));
+        Ref r = alloc_.alloc(len);
+        // Stamp the whole allocation with the thread id and verify it is
+        // untouched by others before freeing — detects overlap handouts.
+        std::byte* p = alloc_.translate(r);
+        std::memset(p, t + 1, len);
+        mine.push_back(r);
+        if (mine.size() > 32) {
+          Ref victim = mine[rng.nextBounded(mine.size())];
+          std::byte* vp = alloc_.translate(victim);
+          for (std::uint32_t j = 0; j < victim.length(); ++j) {
+            if (vp[j] != std::byte(t + 1)) {
+              failed.store(true);
+              break;
+            }
+          }
+          mine.erase(std::find_if(mine.begin(), mine.end(),
+                                  [&](Ref x) { return x == victim; }));
+          alloc_.free(victim);
+        }
+      }
+      for (Ref r : mine) alloc_.free(r);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST_F(AllocatorTest, FootprintAccounting) {
+  MemoryManager mm(pool_);
+  EXPECT_EQ(mm.allocatedBytes(), 0u);
+  const Ref r = mm.allocRaw(1000);
+  EXPECT_GE(mm.allocatedBytes(), 1000u);
+  mm.free(r);
+  EXPECT_EQ(mm.allocatedBytes(), 0u);
+  EXPECT_GT(mm.footprintBytes(), 0u);  // arenas stay with the instance
+}
+
+}  // namespace
+}  // namespace oak::mem

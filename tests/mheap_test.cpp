@@ -1,0 +1,156 @@
+// ManagedHeap (JVM simulation) substrate: accounting, garbage-until-GC
+// semantics, OOM behaviour, headroom, safepoints, ephemeral modelling.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "mheap/managed_heap.hpp"
+
+namespace oak::mheap {
+namespace {
+
+ManagedHeap::Config cfg(std::size_t budget) {
+  ManagedHeap::Config c;
+  c.budgetBytes = budget;
+  return c;
+}
+
+TEST(ManagedHeap, ChargesHeaderOverhead) {
+  ManagedHeap h(cfg(64u << 20));
+  const auto before = h.stats().liveBytes;
+  void* p = h.alloc(100);
+  const auto after = h.stats().liveBytes;
+  EXPECT_GE(after - before, 100u + 16u);  // payload + Java-object header
+  h.free(p);
+}
+
+TEST(ManagedHeap, FreeMakesGarbageNotSpace) {
+  ManagedHeap h(cfg(64u << 20));
+  void* p = h.alloc(1000);
+  const auto committedBefore = h.stats().committedBytes;
+  h.free(p);
+  // Bytes stay committed until a collection sweeps them.
+  EXPECT_EQ(h.stats().committedBytes, committedBefore);
+  EXPECT_LT(h.stats().liveBytes, committedBefore);
+  h.collectNow();
+  EXPECT_LT(h.stats().committedBytes, committedBefore);
+}
+
+TEST(ManagedHeap, OomWhenLiveSetExceedsEffectiveBudget) {
+  ManagedHeap::Config c = cfg(8u << 20);
+  ManagedHeap h(c);
+  std::vector<void*> objs;
+  bool oom = false;
+  try {
+    for (int i = 0; i < 10000; ++i) objs.push_back(h.alloc(4096));
+  } catch (const ManagedOutOfMemory&) {
+    oom = true;
+  }
+  EXPECT_TRUE(oom);
+  // Effective capacity = budget / headroomFactor (copying-collector reserve).
+  const auto expected = static_cast<std::size_t>(
+      static_cast<double>(c.budgetBytes) / c.headroomFactor / (4096 + 16));
+  EXPECT_GT(objs.size(), expected * 9 / 10);
+  EXPECT_LT(objs.size(), expected * 11 / 10 + 16);
+  EXPECT_GE(h.stats().oomThrows, 1u);
+  for (void* p : objs) h.free(p);
+}
+
+TEST(ManagedHeap, GarbageIsReclaimedSoChurnRunsForever) {
+  ManagedHeap h(cfg(8u << 20));
+  // Allocate and free far more than the budget in total: collections must
+  // recycle the garbage.
+  for (int i = 0; i < 20000; ++i) {
+    void* p = h.alloc(4096);
+    h.free(p);
+  }
+  EXPECT_GT(h.stats().fullGcCycles, 0u);
+  EXPECT_EQ(h.stats().oomThrows, 0u);
+}
+
+TEST(ManagedHeap, GcCostScalesWithLivePopulation) {
+  ManagedHeap small(cfg(512u << 20));
+  ManagedHeap big(cfg(512u << 20));
+  std::vector<void*> a, b;
+  for (int i = 0; i < 1000; ++i) a.push_back(small.alloc(64));
+  for (int i = 0; i < 100000; ++i) b.push_back(big.alloc(64));
+  small.collectNow();
+  big.collectNow();
+  const auto t1 = small.stats().gcNanos;
+  const auto t2 = big.stats().gcNanos;
+  EXPECT_GT(t2, t1);  // 100x live objects -> strictly more mark work
+  for (void* p : a) small.free(p);
+  for (void* p : b) big.free(p);
+}
+
+TEST(ManagedHeap, CreateDestroyTyped) {
+  struct Obj {
+    int x;
+    explicit Obj(int v) : x(v) {}
+  };
+  ManagedHeap h(cfg(16u << 20));
+  Obj* o = h.create<Obj>(42);
+  EXPECT_EQ(o->x, 42);
+  const auto live = h.stats().liveObjects;
+  h.destroy(o);
+  EXPECT_EQ(h.stats().liveObjects, live - 1);
+}
+
+TEST(ManagedHeap, EphemeralObjectNeverThrows) {
+  ManagedHeap h(cfg(4u << 20));
+  // Far more ephemeral churn than the budget; must never throw.
+  for (int i = 0; i < 200000; ++i) h.ephemeralObject(48);
+  EXPECT_GT(h.stats().fullGcCycles + h.stats().youngGcCycles, 0u);
+}
+
+TEST(ManagedHeap, ChargeEphemeralTriggersYoungGc) {
+  ManagedHeap::Config c = cfg(64u << 20);
+  c.youngGenBytes = 1u << 20;
+  ManagedHeap h(c);
+  for (int i = 0; i < 100000; ++i) h.chargeEphemeral(64);
+  EXPECT_GT(h.stats().youngGcCycles, 0u);
+}
+
+TEST(ManagedHeap, ConcurrentAllocFreeStress) {
+  ManagedHeap h(cfg(32u << 20));
+  std::vector<std::thread> ts;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < 6; ++t) {
+    ts.emplace_back([&, t] {
+      std::vector<void*> mine;
+      for (int i = 0; i < 5000; ++i) {
+        try {
+          void* p = h.alloc(64 + (i * 13 + t) % 512);
+          std::memset(p, t, 16);
+          mine.push_back(p);
+          if (mine.size() > 64) {
+            h.free(mine.back());
+            mine.pop_back();
+            h.free(mine.front());
+            mine.erase(mine.begin());
+          }
+        } catch (const ManagedOutOfMemory&) {
+          failed.store(true);
+        }
+      }
+      for (void* p : mine) h.free(p);
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(failed.load());  // working set fits comfortably
+}
+
+TEST(ManagedBytes, RoundTrip) {
+  ManagedHeap h(cfg(16u << 20));
+  const char* s = "managed bytes payload";
+  auto* mb = ManagedBytes::make(h, reinterpret_cast<const std::byte*>(s), 21);
+  EXPECT_EQ(mb->size(), 21u);
+  EXPECT_EQ(std::memcmp(mb->data(), s, 21), 0);
+  ManagedBytes::dispose(h, mb);
+}
+
+}  // namespace
+}  // namespace oak::mheap

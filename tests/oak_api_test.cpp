@@ -1,0 +1,160 @@
+// Table-1 API-contract tests: the ZC view and the legacy
+// ConcurrentNavigableMap view must differ exactly where the paper says they
+// do — returns, copying, and atomicity — while sharing one map state.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "oak/map.hpp"
+
+namespace oak {
+namespace {
+
+using Map = OakMap<std::string, std::string, StringSerializer, StringSerializer>;
+
+OakConfig smallChunks() {
+  OakConfig cfg;
+  cfg.chunkCapacity = 64;
+  return cfg;
+}
+
+TEST(OakApi, ZcAndLegacyShareOneMap) {
+  Map m(smallChunks());
+  m.zc().put("k", "via-zc");
+  EXPECT_EQ(*m.get("k"), "via-zc");  // legacy sees zc writes
+  m.put("k", "via-legacy");
+  EXPECT_EQ((m.zc().get("k")->deserialize<StringSerializer, std::string>()),
+            "via-legacy");
+}
+
+TEST(OakApi, ZcUpdatesReturnNoOldValue) {
+  // Table 1: "Updates do not return the old value in order to avoid
+  // copying" — the ZC signatures are void/bool.
+  Map m(smallChunks());
+  static_assert(std::is_void_v<decltype(m.zc().put("a", "b"))>);
+  static_assert(std::is_same_v<decltype(m.zc().putIfAbsent("a", "b")), bool>);
+  static_assert(std::is_void_v<decltype(m.zc().remove("a"))>);
+  // Legacy returns the old value.
+  static_assert(
+      std::is_same_v<decltype(m.put("a", "b")), std::optional<std::string>>);
+  static_assert(
+      std::is_same_v<decltype(m.remove("a")), std::optional<std::string>>);
+}
+
+TEST(OakApi, ZcGetReturnsBufferLegacyReturnsObject) {
+  Map m(smallChunks());
+  m.zc().put("k", "value");
+  auto buf = m.zc().get("k");  // OakRBuffer
+  ASSERT_TRUE(buf.has_value());
+  EXPECT_TRUE(buf->isValueView());
+  auto obj = m.get("k");  // deserialized copy
+  ASSERT_TRUE(obj.has_value());
+  // Mutating through compute changes what the *buffer* reads, not the copy.
+  m.zc().computeIfPresent("k", [](OakWBuffer& w) { w.putByte(0, 'V'); });
+  EXPECT_EQ(buf->getByte(0), 'V');
+  EXPECT_EQ((*obj)[0], 'v');
+}
+
+TEST(OakApi, RangeForOverEntrySet) {
+  Map m(smallChunks());
+  for (int i = 0; i < 10; ++i) {
+    m.zc().put("k" + std::to_string(i), "v" + std::to_string(i));
+  }
+  int n = 0;
+  std::string prev;
+  for (const auto& e : m.zc().entrySet()) {
+    const std::string k = e.key();
+    EXPECT_GT(k, prev);
+    prev = k;
+    ++n;
+  }
+  EXPECT_EQ(n, 10);
+  n = 0;
+  for (const auto& e : m.zc().descendingEntryStreamSet()) {
+    (void)e;
+    ++n;
+  }
+  EXPECT_EQ(n, 10);
+}
+
+TEST(OakApi, RangeForOverSubMap) {
+  Map m(smallChunks());
+  for (int i = 0; i < 30; ++i) {
+    char buf[8];
+    std::snprintf(buf, sizeof buf, "k%02d", i);
+    m.zc().put(buf, "v");
+  }
+  std::vector<std::string> got;
+  for (const auto& e : m.zc().subMap("k10", "k15")) got.push_back(e.key());
+  ASSERT_EQ(got.size(), 5u);
+  EXPECT_EQ(got.front(), "k10");
+  EXPECT_EQ(got.back(), "k14");
+}
+
+TEST(OakApi, StreamSetSemanticsDocumentedReuse) {
+  // §2.2: the stream API reuses the ephemeral view; contents are only valid
+  // until the next advance.  Our C++ rendering reads through the cursor, so
+  // values fetched *before* next() are correct.
+  Map m(smallChunks());
+  m.zc().put("a", "1");
+  m.zc().put("b", "2");
+  auto c = m.zc().entryStreamSet();
+  ASSERT_TRUE(c.valid());
+  EXPECT_EQ(c.key(), "a");
+  EXPECT_EQ(*c.value(), "1");
+  c.next();
+  EXPECT_EQ(c.key(), "b");
+  EXPECT_EQ(*c.value(), "2");
+}
+
+TEST(OakApi, LegacyPutIfAbsentReturnsExisting) {
+  Map m(smallChunks());
+  EXPECT_FALSE(m.putIfAbsent("k", "first").has_value());
+  auto existing = m.putIfAbsent("k", "second");
+  ASSERT_TRUE(existing.has_value());
+  EXPECT_EQ(*existing, "first");
+}
+
+TEST(OakApi, ComputeIsAtomicWithRespectToReaders) {
+  // A compute that rewrites the whole value must never expose a half-state
+  // to a concurrent zero-copy reader (value lock, §3.3).
+  Map m(smallChunks());
+  m.zc().put("k", std::string(64, 'a'));
+  auto buf = m.zc().get("k");
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+  std::thread writer([&] {
+    int i = 0;
+    while (!stop.load()) {
+      const char c = "xyz"[i++ % 3];
+      m.zc().computeIfPresent("k", [&](OakWBuffer& w) {
+        for (std::size_t j = 0; j < w.size(); ++j) w.putByte(j, c);
+      });
+    }
+  });
+  for (int i = 0; i < 20000; ++i) {
+    buf->read([&](ByteSpan s) {
+      for (std::byte b : s) {
+        if (b != s[0]) torn.store(true);
+      }
+    });
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_FALSE(torn.load());
+}
+
+TEST(OakApi, SizeAndContains) {
+  Map m(smallChunks());
+  EXPECT_EQ(m.size(), 0u);
+  m.zc().put("a", "1");
+  m.zc().put("b", "2");
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_TRUE(m.containsKey("a"));
+  EXPECT_TRUE(m.zc().containsKey("b"));
+  EXPECT_FALSE(m.containsKey("c"));
+}
+
+}  // namespace
+}  // namespace oak

@@ -1,0 +1,199 @@
+// Ascending / descending scans, subMap ranges, stream variants (§4.2).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.hpp"
+#include "oak/map.hpp"
+
+namespace oak {
+namespace {
+
+using Map = OakMap<std::string, std::string, StringSerializer, StringSerializer>;
+
+OakConfig smallChunks(std::int32_t cap = 64) {
+  OakConfig cfg;
+  cfg.chunkCapacity = cap;
+  return cfg;
+}
+
+std::string key4(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "k%05d", i);
+  return buf;
+}
+
+std::vector<std::string> collectAsc(Map& m) {
+  std::vector<std::string> out;
+  for (auto c = m.zc().entrySet(); c.valid(); c.next()) out.push_back(c.key());
+  return out;
+}
+
+std::vector<std::string> collectDesc(Map& m, bool stream = false) {
+  std::vector<std::string> out;
+  auto c = stream ? m.zc().descendingEntryStreamSet() : m.zc().descendingEntrySet();
+  for (; c.valid(); c.next()) out.push_back(c.key());
+  return out;
+}
+
+TEST(OakIterator, AscendingSortedOrder) {
+  Map m(smallChunks());
+  XorShift rng(7);
+  std::map<std::string, std::string> ref;
+  for (int i = 0; i < 1000; ++i) {
+    const int k = static_cast<int>(rng.nextBounded(5000));
+    m.zc().put(key4(k), "v");
+    ref[key4(k)] = "v";
+  }
+  std::vector<std::string> expect;
+  for (auto& [k, v] : ref) expect.push_back(k);
+  EXPECT_EQ(collectAsc(m), expect);
+}
+
+TEST(OakIterator, DescendingIsReverseOfAscending) {
+  Map m(smallChunks());
+  XorShift rng(13);
+  for (int i = 0; i < 1500; ++i) {
+    m.zc().put(key4(static_cast<int>(rng.nextBounded(8000))), "v");
+  }
+  auto asc = collectAsc(m);
+  auto desc = collectDesc(m);
+  std::reverse(desc.begin(), desc.end());
+  EXPECT_EQ(asc, desc);
+}
+
+TEST(OakIterator, DescendingStreamMatchesSet) {
+  Map m(smallChunks());
+  XorShift rng(17);
+  for (int i = 0; i < 700; ++i) {
+    m.zc().put(key4(static_cast<int>(rng.nextBounded(3000))), "v");
+  }
+  EXPECT_EQ(collectDesc(m, false), collectDesc(m, true));
+}
+
+TEST(OakIterator, DescendingExercisesBypasses) {
+  // Insert strictly ascending first (creates sorted prefixes via rebalance),
+  // then interleave keys that land in bypasses; the descending stack walk
+  // (Figure 2) must interleave them correctly.
+  Map m(smallChunks(32));
+  for (int i = 0; i < 400; i += 2) m.zc().put(key4(i), "v");
+  for (int i = 1; i < 400; i += 2) m.zc().put(key4(i), "v");
+  auto desc = collectDesc(m);
+  ASSERT_EQ(desc.size(), 400u);
+  for (int i = 0; i < 400; ++i) EXPECT_EQ(desc[i], key4(399 - i));
+}
+
+TEST(OakIterator, SubMapAscending) {
+  Map m(smallChunks());
+  for (int i = 0; i < 300; ++i) m.zc().put(key4(i), "v");
+  std::vector<std::string> got;
+  for (auto c = m.zc().subMap(key4(100), key4(110)); c.valid(); c.next()) {
+    got.push_back(c.key());
+  }
+  ASSERT_EQ(got.size(), 10u);
+  EXPECT_EQ(got.front(), key4(100));
+  EXPECT_EQ(got.back(), key4(109));  // hi is exclusive
+}
+
+TEST(OakIterator, SubMapDescending) {
+  Map m(smallChunks());
+  for (int i = 0; i < 300; ++i) m.zc().put(key4(i), "v");
+  std::vector<std::string> got;
+  for (auto c = m.zc().subMap(key4(100), key4(110), /*descending=*/true); c.valid();
+       c.next()) {
+    got.push_back(c.key());
+  }
+  ASSERT_EQ(got.size(), 10u);
+  EXPECT_EQ(got.front(), key4(109));
+  EXPECT_EQ(got.back(), key4(100));
+}
+
+TEST(OakIterator, TailAndHeadMap) {
+  Map m(smallChunks());
+  for (int i = 0; i < 100; ++i) m.zc().put(key4(i), "v");
+  int n = 0;
+  for (auto c = m.zc().tailMap(key4(90)); c.valid(); c.next()) ++n;
+  EXPECT_EQ(n, 10);
+  n = 0;
+  for (auto c = m.zc().headMap(key4(10)); c.valid(); c.next()) ++n;
+  EXPECT_EQ(n, 10);
+}
+
+TEST(OakIterator, SkipsRemovedKeys) {
+  Map m(smallChunks());
+  for (int i = 0; i < 200; ++i) m.zc().put(key4(i), "v");
+  for (int i = 0; i < 200; i += 2) m.zc().remove(key4(i));
+  auto asc = collectAsc(m);
+  ASSERT_EQ(asc.size(), 100u);
+  for (auto& k : asc) {
+    const int i = std::stoi(k.substr(1));
+    EXPECT_EQ(i % 2, 1) << k;
+  }
+  auto desc = collectDesc(m);
+  std::reverse(desc.begin(), desc.end());
+  EXPECT_EQ(asc, desc);
+}
+
+TEST(OakIterator, EmptyMapIterators) {
+  Map m(smallChunks());
+  EXPECT_FALSE(m.zc().entrySet().valid());
+  EXPECT_FALSE(m.zc().descendingEntrySet().valid());
+  EXPECT_FALSE(m.zc().subMap(key4(1), key4(2)).valid());
+}
+
+TEST(OakIterator, EmptyRange) {
+  Map m(smallChunks());
+  for (int i = 0; i < 50; ++i) m.zc().put(key4(i * 10), "v");
+  EXPECT_FALSE(m.zc().subMap(key4(11), key4(19)).valid());
+  EXPECT_FALSE(m.zc().subMap(key4(11), key4(19), true).valid());
+}
+
+TEST(OakIterator, ValueBuffersReadable) {
+  Map m(smallChunks());
+  for (int i = 0; i < 64; ++i) m.zc().put(key4(i), "val" + std::to_string(i));
+  int i = 0;
+  for (auto c = m.zc().entrySet(); c.valid(); c.next(), ++i) {
+    auto v = c.value();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, "val" + std::to_string(i));
+    EXPECT_EQ(c.valueBuffer().size(), v->size());
+    EXPECT_EQ((c.keyBuffer().deserialize<StringSerializer, std::string>()), key4(i));
+  }
+  EXPECT_EQ(i, 64);
+}
+
+// Parameterized sweep: scan correctness across chunk capacities (property:
+// ascending == sorted reference; descending == reverse) with mixed
+// insert/remove workloads.
+class ScanSweep : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(ScanSweep, MatchesReferenceModel) {
+  Map m(smallChunks(GetParam()));
+  XorShift rng(GetParam() * 1000003ull + 17);
+  std::map<std::string, std::string> ref;
+  for (int i = 0; i < 3000; ++i) {
+    const auto k = key4(static_cast<int>(rng.nextBounded(2000)));
+    if (rng.nextBounded(100) < 70) {
+      const auto v = "v" + std::to_string(i);
+      m.zc().put(k, v);
+      ref[k] = v;
+    } else {
+      m.zc().remove(k);
+      ref.erase(k);
+    }
+  }
+  std::vector<std::string> expect;
+  for (auto& [k, v] : ref) expect.push_back(k);
+  EXPECT_EQ(collectAsc(m), expect);
+  auto desc = collectDesc(m);
+  std::reverse(desc.begin(), desc.end());
+  EXPECT_EQ(desc, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, ScanSweep,
+                         ::testing::Values(16, 32, 64, 128, 512, 2048));
+
+}  // namespace
+}  // namespace oak

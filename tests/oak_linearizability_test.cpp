@@ -1,0 +1,183 @@
+// Linearizability testing of Oak's point operations (§4.5).
+//
+// Workers hammer a tiny key space recording invocation/response-stamped
+// histories; a Wing&Gong-style checker then searches for a sequential
+// witness.  Run many small rounds: small histories keep the check cheap
+// while a 1-core host's preemption still yields adversarial interleavings.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/random.hpp"
+#include "linearizability.hpp"
+#include "oak/core_map.hpp"
+
+namespace oak {
+namespace {
+
+using lin::Operation;
+using lin::OpType;
+
+ByteVec keyOf(std::uint64_t i) {
+  ByteVec k(8);
+  storeU64BE(k.data(), i);
+  return k;
+}
+ByteVec valOf(std::uint64_t x) {
+  ByteVec v(8);
+  storeUnaligned(v.data(), x);
+  return v;
+}
+
+// ---- checker self-tests (it must reject bad histories) -------------------
+TEST(LinChecker, AcceptsSequentialHistory) {
+  std::vector<Operation> h;
+  Operation put{OpType::Put, 1, 5, std::nullopt, true, 0, 1};
+  Operation get{OpType::Get, 1, 0, 5, true, 2, 3};
+  h.push_back(put);
+  h.push_back(get);
+  EXPECT_TRUE(lin::isLinearizable(h));
+}
+
+TEST(LinChecker, RejectsStaleRead) {
+  std::vector<Operation> h;
+  h.push_back({OpType::Put, 1, 5, std::nullopt, true, 0, 1});
+  h.push_back({OpType::Get, 1, 0, std::nullopt, true, 2, 3});  // absent?! no.
+  EXPECT_FALSE(lin::isLinearizable(h));
+}
+
+TEST(LinChecker, RejectsDoublePutIfAbsentWin) {
+  std::vector<Operation> h;
+  h.push_back({OpType::PutIfAbsent, 1, 5, std::nullopt, true, 0, 10});
+  h.push_back({OpType::PutIfAbsent, 1, 6, std::nullopt, true, 0, 10});
+  EXPECT_FALSE(lin::isLinearizable(h));
+}
+
+TEST(LinChecker, AcceptsConcurrentOverlap) {
+  // put(1,5) overlaps get(1): the get may see either state.
+  std::vector<Operation> h;
+  h.push_back({OpType::Put, 1, 5, std::nullopt, true, 0, 10});
+  h.push_back({OpType::Get, 1, 0, std::nullopt, true, 1, 9});  // absent: OK
+  EXPECT_TRUE(lin::isLinearizable(h));
+  h[1].out = 5;  // seen: also OK
+  EXPECT_TRUE(lin::isLinearizable(h));
+}
+
+TEST(LinChecker, RejectsLostCompute) {
+  // Two successful computes (+1 each) on value 0, then a read of 1.
+  std::vector<Operation> h;
+  h.push_back({OpType::Put, 1, 0, std::nullopt, true, 0, 1});
+  h.push_back({OpType::Compute, 1, 1, std::nullopt, true, 2, 3});
+  h.push_back({OpType::Compute, 1, 1, std::nullopt, true, 4, 5});
+  h.push_back({OpType::Get, 1, 0, 1, true, 6, 7});  // must be 2
+  EXPECT_FALSE(lin::isLinearizable(h));
+  h[3].out = 2;
+  EXPECT_TRUE(lin::isLinearizable(h));
+}
+
+// ---- recording Oak histories ---------------------------------------------
+class Recorder {
+ public:
+  explicit Recorder(OakCoreMap<>& m) : m_(&m) {}
+
+  void get(std::uint64_t k) {
+    Operation op{OpType::Get, k, 0, std::nullopt, true, lin::nowNs(), 0};
+    auto v = m_->getCopy(asBytes(keyOf(k)));
+    op.responseNs = lin::nowNs();
+    if (v) op.out = loadUnaligned<std::uint64_t>(v->data());
+    ops_.push_back(op);
+  }
+  void put(std::uint64_t k, std::uint64_t v) {
+    Operation op{OpType::Put, k, v, std::nullopt, true, lin::nowNs(), 0};
+    m_->put(asBytes(keyOf(k)), asBytes(valOf(v)));
+    op.responseNs = lin::nowNs();
+    ops_.push_back(op);
+  }
+  void putIfAbsent(std::uint64_t k, std::uint64_t v) {
+    Operation op{OpType::PutIfAbsent, k, v, std::nullopt, false, lin::nowNs(), 0};
+    op.ok = m_->putIfAbsent(asBytes(keyOf(k)), asBytes(valOf(v)));
+    op.responseNs = lin::nowNs();
+    ops_.push_back(op);
+  }
+  void remove(std::uint64_t k) {
+    Operation op{OpType::Remove, k, 0, std::nullopt, false, lin::nowNs(), 0};
+    op.ok = m_->remove(asBytes(keyOf(k)));
+    op.responseNs = lin::nowNs();
+    ops_.push_back(op);
+  }
+  void compute(std::uint64_t k, std::uint64_t add) {
+    Operation op{OpType::Compute, k, add, std::nullopt, false, lin::nowNs(), 0};
+    op.ok = m_->computeIfPresent(asBytes(keyOf(k)), [add](OakWBuffer& w) {
+      w.putU64(0, w.getU64(0) + add);
+    });
+    op.responseNs = lin::nowNs();
+    ops_.push_back(op);
+  }
+
+  std::vector<Operation> ops_;
+
+ private:
+  OakCoreMap<>* m_;
+};
+
+/// One recorded round: `threads` workers, `opsPer` ops each over `keys`.
+std::vector<Operation> recordRound(unsigned threads, int opsPer, int keys,
+                                   std::uint64_t seed, ValueReclaim reclaim) {
+  OakConfig cfg;
+  cfg.chunkCapacity = 16;  // tiny chunks: rebalances join the party
+  cfg.reclaim = reclaim;
+  OakCoreMap<> map(cfg);
+  std::vector<Recorder> recs;
+  recs.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) recs.emplace_back(map);
+  std::barrier gate(static_cast<std::ptrdiff_t>(threads));
+  std::vector<std::thread> ts;
+  for (unsigned t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      XorShift rng(seed * 1000 + t);
+      gate.arrive_and_wait();
+      for (int i = 0; i < opsPer; ++i) {
+        const std::uint64_t k = rng.nextBounded(keys);
+        switch (rng.nextBounded(5)) {
+          case 0: recs[t].get(k); break;
+          case 1: recs[t].put(k, rng.nextBounded(100)); break;
+          case 2: recs[t].putIfAbsent(k, rng.nextBounded(100)); break;
+          case 3: recs[t].remove(k); break;
+          default: recs[t].compute(k, 1 + rng.nextBounded(3)); break;
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  std::vector<Operation> all;
+  for (auto& r : recs) all.insert(all.end(), r.ops_.begin(), r.ops_.end());
+  return all;
+}
+
+TEST(OakLinearizability, PointOpsKeepHeaders) {
+  for (std::uint64_t round = 0; round < 120; ++round) {
+    auto h = recordRound(3, 6, 2, round, ValueReclaim::KeepHeaders);
+    ASSERT_TRUE(lin::isLinearizable(std::move(h))) << "round " << round;
+  }
+}
+
+TEST(OakLinearizability, PointOpsGenerational) {
+  for (std::uint64_t round = 0; round < 120; ++round) {
+    auto h = recordRound(3, 6, 2, round + 1000, ValueReclaim::Generational);
+    ASSERT_TRUE(lin::isLinearizable(std::move(h))) << "round " << round;
+  }
+}
+
+TEST(OakLinearizability, WiderKeySpace) {
+  for (std::uint64_t round = 0; round < 60; ++round) {
+    auto h = recordRound(4, 5, 4, round + 2000, ValueReclaim::KeepHeaders);
+    ASSERT_TRUE(lin::isLinearizable(std::move(h))) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace oak

@@ -1,0 +1,176 @@
+// Single-threaded semantics of the full OakMap API surface (Table 1).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "oak/map.hpp"
+
+namespace oak {
+namespace {
+
+using Map = OakMap<std::string, std::string, StringSerializer, StringSerializer>;
+
+OakConfig smallChunks() {
+  OakConfig cfg;
+  cfg.chunkCapacity = 64;  // force frequent rebalances in unit tests
+  return cfg;
+}
+
+TEST(OakMapBasic, PutGetRoundTrip) {
+  Map m(smallChunks());
+  m.zc().put("alpha", "1");
+  m.zc().put("beta", "2");
+  auto v = m.zc().get("alpha");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ((v->deserialize<StringSerializer, std::string>()), "1");
+  EXPECT_FALSE(m.zc().get("gamma").has_value());
+}
+
+TEST(OakMapBasic, PutOverwrites) {
+  Map m(smallChunks());
+  m.zc().put("k", "v1");
+  m.zc().put("k", "v2");
+  EXPECT_EQ((m.zc().get("k")->deserialize<StringSerializer, std::string>()), "v2");
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(OakMapBasic, PutIfAbsent) {
+  Map m(smallChunks());
+  EXPECT_TRUE(m.zc().putIfAbsent("k", "v1"));
+  EXPECT_FALSE(m.zc().putIfAbsent("k", "v2"));
+  EXPECT_EQ((m.zc().get("k")->deserialize<StringSerializer, std::string>()), "v1");
+}
+
+TEST(OakMapBasic, RemoveThenAbsent) {
+  Map m(smallChunks());
+  m.zc().put("k", "v");
+  m.zc().remove("k");
+  EXPECT_FALSE(m.zc().get("k").has_value());
+  EXPECT_FALSE(m.containsKey("k"));
+  m.zc().remove("k");  // idempotent
+  EXPECT_FALSE(m.containsKey("k"));
+}
+
+TEST(OakMapBasic, ReinsertAfterRemove) {
+  Map m(smallChunks());
+  m.zc().put("k", "v1");
+  m.zc().remove("k");
+  m.zc().put("k", "v2");
+  EXPECT_EQ((m.zc().get("k")->deserialize<StringSerializer, std::string>()), "v2");
+}
+
+TEST(OakMapBasic, ComputeIfPresent) {
+  Map m(smallChunks());
+  EXPECT_FALSE(m.zc().computeIfPresent("k", [](OakWBuffer&) { FAIL(); }));
+  m.zc().put("k", "aaaa");
+  EXPECT_TRUE(m.zc().computeIfPresent("k", [](OakWBuffer& w) {
+    w.putByte(0, 'z');
+  }));
+  EXPECT_EQ((m.zc().get("k")->deserialize<StringSerializer, std::string>()), "zaaa");
+}
+
+TEST(OakMapBasic, ComputeCanResizeValue) {
+  Map m(smallChunks());
+  m.zc().put("k", "ab");
+  EXPECT_TRUE(m.zc().computeIfPresent("k", [](OakWBuffer& w) {
+    w.resize(4);
+    w.putByte(2, 'c');
+    w.putByte(3, 'd');
+  }));
+  EXPECT_EQ((m.zc().get("k")->deserialize<StringSerializer, std::string>()), "abcd");
+  EXPECT_TRUE(m.zc().computeIfPresent("k", [](OakWBuffer& w) { w.resize(1); }));
+  EXPECT_EQ((m.zc().get("k")->deserialize<StringSerializer, std::string>()), "a");
+}
+
+TEST(OakMapBasic, PutIfAbsentComputeIfPresent) {
+  Map m(smallChunks());
+  int computeRuns = 0;
+  m.zc().putIfAbsentComputeIfPresent("k", "init", [&](OakWBuffer&) { ++computeRuns; });
+  EXPECT_EQ(computeRuns, 0);
+  EXPECT_EQ((m.zc().get("k")->deserialize<StringSerializer, std::string>()), "init");
+  m.zc().putIfAbsentComputeIfPresent("k", "other", [&](OakWBuffer& w) {
+    ++computeRuns;
+    w.putByte(0, 'X');
+  });
+  EXPECT_EQ(computeRuns, 1);
+  EXPECT_EQ((m.zc().get("k")->deserialize<StringSerializer, std::string>()), "Xnit");
+}
+
+TEST(OakMapBasic, LegacyPutReturnsOldValue) {
+  Map m(smallChunks());
+  EXPECT_FALSE(m.put("k", "v1").has_value());
+  auto old = m.put("k", "v2");
+  ASSERT_TRUE(old.has_value());
+  EXPECT_EQ(*old, "v1");
+}
+
+TEST(OakMapBasic, LegacyGetCopies) {
+  Map m(smallChunks());
+  m.zc().put("k", "value");
+  auto v = m.get("k");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "value");
+}
+
+TEST(OakMapBasic, LegacyRemoveReturnsOldValue) {
+  Map m(smallChunks());
+  m.zc().put("k", "gone");
+  auto old = m.remove("k");
+  ASSERT_TRUE(old.has_value());
+  EXPECT_EQ(*old, "gone");
+  EXPECT_FALSE(m.remove("k").has_value());
+}
+
+TEST(OakMapBasic, ManyKeysAcrossChunkSplits) {
+  Map m(smallChunks());
+  std::map<std::string, std::string> ref;
+  for (int i = 0; i < 2000; ++i) {
+    std::string k = "key" + std::to_string(i * 7919 % 10000);
+    std::string v = "val" + std::to_string(i);
+    m.zc().put(k, v);
+    ref[k] = v;
+  }
+  EXPECT_GT(m.rebalanceCount(), 0u);
+  EXPECT_EQ(m.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    auto got = m.zc().get(k);
+    ASSERT_TRUE(got.has_value()) << k;
+    EXPECT_EQ((got->deserialize<StringSerializer, std::string>()), v) << k;
+  }
+}
+
+TEST(OakMapBasic, EmptyKeyRejected) {
+  Map m(smallChunks());
+  EXPECT_THROW(m.zc().put("", "v"), OakUsageError);
+}
+
+TEST(OakMapBasic, ZeroLengthValueAllowed) {
+  Map m(smallChunks());
+  m.zc().put("k", "");
+  auto v = m.zc().get("k");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->size(), 0u);
+}
+
+TEST(OakMapBasic, GetReturnsLiveView) {
+  Map m(smallChunks());
+  m.zc().put("k", "aaaa");
+  auto view = m.zc().get("k");
+  ASSERT_TRUE(view.has_value());
+  m.zc().computeIfPresent("k", [](OakWBuffer& w) { w.putByte(0, 'z'); });
+  // The view observes in-place updates (zero-copy semantics, §2.2).
+  EXPECT_EQ(view->getByte(0), 'z');
+}
+
+TEST(OakMapBasic, DeletedViewThrowsConcurrentModification) {
+  Map m(smallChunks());
+  m.zc().put("k", "aaaa");
+  auto view = m.zc().get("k");
+  ASSERT_TRUE(view.has_value());
+  m.zc().remove("k");
+  EXPECT_THROW(view->getByte(0), ConcurrentModification);
+}
+
+}  // namespace
+}  // namespace oak

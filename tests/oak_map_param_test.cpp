@@ -1,0 +1,189 @@
+// Cross-configuration property tests: the full map contract must hold for
+// every (chunk capacity x reclamation policy x value size) combination —
+// chunk boundaries, rebalance cadence, and header recycling all shift, the
+// observable semantics must not.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/random.hpp"
+#include "oak/core_map.hpp"
+
+namespace oak {
+namespace {
+
+struct ParamCase {
+  std::int32_t chunkCapacity;
+  ValueReclaim reclaim;
+  std::size_t valueBytes;
+};
+
+std::string caseName(const ::testing::TestParamInfo<ParamCase>& info) {
+  return "cap" + std::to_string(info.param.chunkCapacity) +
+         (info.param.reclaim == ValueReclaim::KeepHeaders ? "_keep" : "_gen") +
+         "_v" + std::to_string(info.param.valueBytes);
+}
+
+class MapSweep : public ::testing::TestWithParam<ParamCase> {
+ protected:
+  MapSweep() {
+    OakConfig cfg;
+    cfg.chunkCapacity = GetParam().chunkCapacity;
+    cfg.reclaim = GetParam().reclaim;
+    map_ = std::make_unique<OakCoreMap<>>(cfg);
+  }
+
+  ByteVec keyOf(std::uint64_t i) {
+    ByteVec k(8);
+    storeU64BE(k.data(), i);
+    return k;
+  }
+
+  /// Values carry a stamp in the first 8 bytes and a derived fill pattern,
+  /// so torn or mixed reads are detectable.
+  ByteVec valOf(std::uint64_t stamp) {
+    ByteVec v(GetParam().valueBytes, std::byte(stamp & 0xff));
+    storeUnaligned(v.data(), stamp);
+    return v;
+  }
+
+  void verifyValue(const ByteVec& got, std::uint64_t stamp) {
+    ASSERT_EQ(got.size(), GetParam().valueBytes);
+    ASSERT_EQ(loadUnaligned<std::uint64_t>(got.data()), stamp);
+    for (std::size_t i = 8; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], std::byte(stamp & 0xff)) << "byte " << i;
+    }
+  }
+
+  std::unique_ptr<OakCoreMap<>> map_;
+};
+
+TEST_P(MapSweep, RandomOpsMatchReferenceModel) {
+  std::map<std::uint64_t, std::uint64_t> ref;
+  XorShift rng(static_cast<std::uint64_t>(GetParam().chunkCapacity) * 31 +
+               GetParam().valueBytes);
+  for (int i = 0; i < 6000; ++i) {
+    const std::uint64_t k = rng.nextBounded(700);
+    const auto kb = keyOf(k);
+    switch (rng.nextBounded(6)) {
+      case 0: {
+        map_->put(asBytes(kb), asBytes(valOf(i)));
+        ref[k] = static_cast<std::uint64_t>(i);
+        break;
+      }
+      case 1: {
+        const bool inserted = map_->putIfAbsent(asBytes(kb), asBytes(valOf(i)));
+        ASSERT_EQ(inserted, ref.find(k) == ref.end()) << "key " << k;
+        if (inserted) ref[k] = static_cast<std::uint64_t>(i);
+        break;
+      }
+      case 2: {
+        const bool removed = map_->remove(asBytes(kb));
+        ASSERT_EQ(removed, ref.erase(k) == 1) << "key " << k;
+        break;
+      }
+      case 3: {
+        // In-place stamp bump: value contents change but size must not.
+        const bool applied = map_->computeIfPresent(asBytes(kb), [&](OakWBuffer& w) {
+          const std::uint64_t stamp = w.getU64(0) + 1000000;
+          w.putU64(0, stamp);
+          for (std::size_t j = 8; j < w.size(); ++j) {
+            w.putByte(j, static_cast<std::uint8_t>(stamp & 0xff));
+          }
+        });
+        auto it = ref.find(k);
+        ASSERT_EQ(applied, it != ref.end());
+        if (applied) it->second += 1000000;
+        break;
+      }
+      case 4: {
+        const bool present = map_->containsKey(asBytes(kb));
+        ASSERT_EQ(present, ref.count(k) == 1);
+        break;
+      }
+      default: {
+        auto v = map_->getCopy(asBytes(kb));
+        auto it = ref.find(k);
+        ASSERT_EQ(v.has_value(), it != ref.end()) << "key " << k;
+        if (v) {
+          verifyValue(*v, it->second);
+        }
+        break;
+      }
+    }
+  }
+  // Final sweep: everything in the reference must be present and intact.
+  EXPECT_EQ(map_->sizeSlow(), ref.size());
+  for (const auto& [k, stamp] : ref) {
+    auto v = map_->getCopy(asBytes(keyOf(k)));
+    ASSERT_TRUE(v.has_value()) << k;
+    verifyValue(*v, stamp);
+  }
+  // Scans agree with the reference model in order and content.
+  auto it = ref.begin();
+  for (auto cur = map_->ascend(); cur.valid(); cur.next(), ++it) {
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(loadU64BE(cur.entry().key.data()), it->first);
+  }
+  EXPECT_EQ(it, ref.end());
+}
+
+TEST_P(MapSweep, UpsertAggregationIsExact) {
+  constexpr int kOps = 3000, kKeys = 37;
+  XorShift rng(99);
+  std::uint64_t expected = 0;
+  for (int i = 0; i < kOps; ++i) {
+    const auto kb = keyOf(rng.nextBounded(kKeys));
+    map_->putIfAbsentComputeIfPresent(asBytes(kb), asBytes(valOf(1)),
+                                      [](OakWBuffer& w) {
+                                        w.putU64(0, w.getU64(0) + 1);
+                                      });
+    ++expected;
+  }
+  std::uint64_t total = 0;
+  for (int k = 0; k < kKeys; ++k) {
+    auto v = map_->getCopy(asBytes(keyOf(k)));
+    if (v) total += loadUnaligned<std::uint64_t>(v->data());
+  }
+  EXPECT_EQ(total, expected);
+}
+
+TEST_P(MapSweep, ChurnThenFullScanConsistent) {
+  XorShift rng(5);
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 500; ++i) {
+      map_->put(asBytes(keyOf(rng.nextBounded(300))), asBytes(valOf(i)));
+    }
+    for (int i = 0; i < 250; ++i) {
+      map_->remove(asBytes(keyOf(rng.nextBounded(300))));
+    }
+    // Every scan must be duplicate-free and sorted regardless of churn state.
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (auto cur = map_->ascend(); cur.valid(); cur.next()) {
+      const std::uint64_t k = loadU64BE(cur.entry().key.data());
+      if (!first) {
+        ASSERT_GT(k, prev);
+      }
+      prev = k;
+      first = false;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MapSweep,
+    ::testing::Values(ParamCase{16, ValueReclaim::KeepHeaders, 16},
+                      ParamCase{16, ValueReclaim::Generational, 16},
+                      ParamCase{64, ValueReclaim::KeepHeaders, 128},
+                      ParamCase{64, ValueReclaim::Generational, 128},
+                      ParamCase{512, ValueReclaim::KeepHeaders, 24},
+                      ParamCase{512, ValueReclaim::Generational, 1024},
+                      ParamCase{2048, ValueReclaim::KeepHeaders, 1024}),
+    caseName);
+
+}  // namespace
+}  // namespace oak

@@ -1,0 +1,206 @@
+// Deep scan-semantics tests (§4.2): behaviour across rebalances, chunk
+// boundaries, and concurrent structural change — beyond the basic ordering
+// tests in oak_iterator_test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/random.hpp"
+#include "oak/core_map.hpp"
+
+namespace oak {
+namespace {
+
+ByteVec keyOf(std::uint64_t i) {
+  ByteVec k(8);
+  storeU64BE(k.data(), i);
+  return k;
+}
+ByteVec valOf(std::uint64_t x) {
+  ByteVec v(8);
+  storeUnaligned(v.data(), x);
+  return v;
+}
+
+OakConfig tinyChunks() {
+  OakConfig cfg;
+  cfg.chunkCapacity = 16;  // constant splitting
+  return cfg;
+}
+
+TEST(OakScanSemantics, ScanSurvivesConcurrentRebalanceStorm) {
+  // Pre-existing keys must all be returned even while the chunk list is
+  // being rewritten underneath the iterator (RB1 via retired-chunk
+  // navigability).
+  OakCoreMap<> m(tinyChunks());
+  constexpr int kStable = 1000;
+  for (int i = 0; i < kStable; ++i) {
+    m.put(asBytes(keyOf(i * 10)), asBytes(valOf(i)));
+  }
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    XorShift rng(5);
+    while (!stop.load(std::memory_order_acquire)) {
+      // Inserts BETWEEN the stable keys force splits of every chunk the
+      // scanner is walking through.
+      m.put(asBytes(keyOf(rng.nextBounded(kStable) * 10 + 1 + rng.nextBounded(9))),
+            asBytes(valOf(1)));
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    std::size_t stable = 0;
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (auto it = m.ascend(); it.valid(); it.next()) {
+      const std::uint64_t k = loadU64BE(it.entry().key.data());
+      if (!first) {
+        ASSERT_GT(k, prev) << "ordering violated during rebalance";
+      }
+      prev = k;
+      first = false;
+      if (k % 10 == 0) ++stable;
+    }
+    ASSERT_EQ(stable, static_cast<std::size_t>(kStable)) << "round " << round;
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+}
+
+TEST(OakScanSemantics, DescendingSurvivesConcurrentRebalanceStorm) {
+  OakCoreMap<> m(tinyChunks());
+  constexpr int kStable = 600;
+  for (int i = 0; i < kStable; ++i) {
+    m.put(asBytes(keyOf(i * 10)), asBytes(valOf(i)));
+  }
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    XorShift rng(7);
+    while (!stop.load(std::memory_order_acquire)) {
+      m.put(asBytes(keyOf(rng.nextBounded(kStable) * 10 + 1 + rng.nextBounded(9))),
+            asBytes(valOf(1)));
+    }
+  });
+  for (int round = 0; round < 12; ++round) {
+    std::size_t stable = 0;
+    std::uint64_t prev = UINT64_MAX;
+    for (auto it = m.descend(); it.valid(); it.next()) {
+      const std::uint64_t k = loadU64BE(it.entry().key.data());
+      ASSERT_LT(k, prev) << "descending order violated";
+      prev = k;
+      if (k % 10 == 0) ++stable;
+    }
+    ASSERT_EQ(stable, static_cast<std::size_t>(kStable)) << "round " << round;
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+}
+
+TEST(OakScanSemantics, BoundsAreExactAcrossChunkBoundaries) {
+  // Sweep ranges whose endpoints land on/off chunk minKeys.
+  OakCoreMap<> m(tinyChunks());
+  constexpr int kKeys = 500;
+  for (int i = 0; i < kKeys; ++i) m.put(asBytes(keyOf(i)), asBytes(valOf(i)));
+  XorShift rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t lo = rng.nextBounded(kKeys);
+    const std::uint64_t hi = lo + rng.nextBounded(kKeys - lo + 1);
+    std::size_t n = 0;
+    for (auto it = m.ascend(toVec(asBytes(keyOf(lo))), toVec(asBytes(keyOf(hi))));
+         it.valid(); it.next()) {
+      const std::uint64_t k = loadU64BE(it.entry().key.data());
+      ASSERT_GE(k, lo);
+      ASSERT_LT(k, hi);
+      ++n;
+    }
+    ASSERT_EQ(n, hi - lo) << "[" << lo << "," << hi << ")";
+    // Same range, descending.
+    n = 0;
+    for (auto it = m.descend(toVec(asBytes(keyOf(lo))), toVec(asBytes(keyOf(hi))));
+         it.valid(); it.next()) {
+      ++n;
+    }
+    ASSERT_EQ(n, hi - lo) << "desc [" << lo << "," << hi << ")";
+  }
+}
+
+TEST(OakScanSemantics, IteratorSeesInPlaceUpdates) {
+  // §2.2: buffers are views; a value updated after the iterator positioned
+  // on it reads the NEW bytes (single-read atomicity via the header lock).
+  OakCoreMap<> m(tinyChunks());
+  m.put(asBytes(keyOf(1)), asBytes(valOf(10)));
+  m.put(asBytes(keyOf(2)), asBytes(valOf(20)));
+  auto it = m.ascend();
+  ASSERT_TRUE(it.valid());
+  m.computeIfPresent(asBytes(keyOf(1)), [](OakWBuffer& w) { w.putU64(0, 99); });
+  std::uint64_t seen = 0;
+  it.entry().value.read([&](ByteSpan s) { seen = loadUnaligned<std::uint64_t>(s.data()); });
+  EXPECT_EQ(seen, 99u);
+}
+
+TEST(OakScanSemantics, IteratorSkipsEntryDeletedAfterPositioning) {
+  // The paper's iterators return an entry only if its value is live at
+  // visit time; a value deleted after the iterator positioned on it makes
+  // the buffer read fail rather than return stale bytes.
+  OakCoreMap<> m(tinyChunks());
+  m.put(asBytes(keyOf(1)), asBytes(valOf(10)));
+  m.put(asBytes(keyOf(2)), asBytes(valOf(20)));
+  auto it = m.ascend();
+  ASSERT_TRUE(it.valid());
+  m.remove(asBytes(keyOf(1)));
+  bool read = it.entry().value.read([](ByteSpan) {});
+  EXPECT_FALSE(read);  // deleted underneath the cursor
+  it.next();           // the next live entry is unaffected
+  ASSERT_TRUE(it.valid());
+  EXPECT_EQ(loadU64BE(it.entry().key.data()), 2u);
+}
+
+TEST(OakScanSemantics, ManyConcurrentScannersAndWriters) {
+  OakCoreMap<> m(tinyChunks());
+  constexpr int kStable = 800;
+  for (int i = 0; i < kStable; ++i) m.put(asBytes(keyOf(i * 4)), asBytes(valOf(i)));
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> scanners;
+  for (int s = 0; s < 3; ++s) {
+    scanners.emplace_back([&, s] {
+      while (!stop.load(std::memory_order_acquire)) {
+        std::size_t stable = 0;
+        if (s % 2 == 0) {
+          for (auto it = m.ascend(); it.valid(); it.next()) {
+            if (loadU64BE(it.entry().key.data()) % 4 == 0) ++stable;
+          }
+        } else {
+          for (auto it = m.descend(); it.valid(); it.next()) {
+            if (loadU64BE(it.entry().key.data()) % 4 == 0) ++stable;
+          }
+        }
+        if (stable != kStable) failed.store(true);
+      }
+    });
+  }
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      XorShift rng(w * 11 + 1);
+      for (int i = 0; i < 30000 && !stop.load(); ++i) {
+        const std::uint64_t k = rng.nextBounded(kStable) * 4 + 1 + rng.nextBounded(3);
+        if (rng.nextBounded(2) == 0) {
+          m.put(asBytes(keyOf(k)), asBytes(valOf(i)));
+        } else {
+          m.remove(asBytes(keyOf(k)));
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  for (auto& t : scanners) t.join();
+  EXPECT_FALSE(failed.load());
+}
+
+}  // namespace
+}  // namespace oak

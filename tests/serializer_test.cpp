@@ -1,0 +1,113 @@
+// Serializer contracts (§2.1): round trips, order preservation, scratch
+// serialization, comparator consistency.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "common/random.hpp"
+#include "oak/serializer.hpp"
+
+namespace oak {
+namespace {
+
+TEST(Serializer, StringRoundTrip) {
+  const std::string s = "serialize me \0 with nulls";
+  ByteVec buf(StringSerializer::serializedSize(s));
+  StringSerializer::serialize(s, {buf.data(), buf.size()});
+  EXPECT_EQ(StringSerializer::deserialize(asBytes(buf)), s);
+}
+
+TEST(Serializer, EmptyString) {
+  const std::string s;
+  EXPECT_EQ(StringSerializer::serializedSize(s), 0u);
+  EXPECT_EQ(StringSerializer::deserialize(ByteSpan{}), "");
+}
+
+TEST(Serializer, U64OrderPreserved) {
+  XorShift rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t a = rng.next();
+    const std::uint64_t b = rng.next();
+    ByteVec ba(8), bb(8);
+    U64Serializer::serialize(a, {ba.data(), 8});
+    U64Serializer::serialize(b, {bb.data(), 8});
+    const int byteCmp = compareBytes(asBytes(ba), asBytes(bb));
+    const int numCmp = a < b ? -1 : (a > b ? 1 : 0);
+    ASSERT_EQ(byteCmp < 0, numCmp < 0) << a << " vs " << b;
+    ASSERT_EQ(byteCmp == 0, numCmp == 0);
+    ASSERT_EQ(U64Serializer::deserialize(asBytes(ba)), a);
+  }
+}
+
+TEST(Serializer, I64OrderPreservedAcrossSign) {
+  const std::int64_t vals[] = {std::numeric_limits<std::int64_t>::min(),
+                               -1000000,
+                               -1,
+                               0,
+                               1,
+                               1000000,
+                               std::numeric_limits<std::int64_t>::max()};
+  for (std::size_t i = 0; i + 1 < std::size(vals); ++i) {
+    ByteVec a(8), b(8);
+    I64Serializer::serialize(vals[i], {a.data(), 8});
+    I64Serializer::serialize(vals[i + 1], {b.data(), 8});
+    EXPECT_LT(compareBytes(asBytes(a), asBytes(b)), 0)
+        << vals[i] << " vs " << vals[i + 1];
+    EXPECT_EQ(I64Serializer::deserialize(asBytes(a)), vals[i]);
+  }
+}
+
+TEST(Serializer, PodRoundTrip) {
+  struct P {
+    int a;
+    double b;
+    char c[6];
+  };
+  P p{7, 2.5, "hello"};
+  using S = PodSerializer<P>;
+  ByteVec buf(S::serializedSize(p));
+  S::serialize(p, {buf.data(), buf.size()});
+  const P q = S::deserialize(asBytes(buf));
+  EXPECT_EQ(q.a, 7);
+  EXPECT_EQ(q.b, 2.5);
+  EXPECT_STREQ(q.c, "hello");
+}
+
+TEST(Serializer, ScratchStaysInlineForSmallKeys) {
+  const std::string small(100, 'k');
+  ScratchSerialized<StringSerializer, std::string> s(small);
+  EXPECT_EQ(s.span().size(), 100u);
+  EXPECT_EQ(asString(s.span()), small);
+}
+
+TEST(Serializer, ScratchHeapFallbackForBigKeys) {
+  const std::string big(5000, 'K');
+  ScratchSerialized<StringSerializer, std::string> s(big);
+  EXPECT_EQ(s.span().size(), 5000u);
+  EXPECT_EQ(asString(s.span()), big);
+}
+
+TEST(Bytes, CompareSemantics) {
+  EXPECT_EQ(compareBytes(asBytes(std::string_view("abc")),
+                         asBytes(std::string_view("abc"))), 0);
+  EXPECT_LT(compareBytes(asBytes(std::string_view("ab")),
+                         asBytes(std::string_view("abc"))), 0);  // prefix first
+  EXPECT_LT(compareBytes(ByteSpan{}, asBytes(std::string_view("a"))), 0);
+  EXPECT_GT(compareBytes(asBytes(std::string_view("b")),
+                         asBytes(std::string_view("ab"))), 0);
+}
+
+TEST(Bytes, BigEndianHelpers) {
+  ByteVec b(8);
+  storeU64BE(b.data(), 0x0102030405060708ull);
+  EXPECT_EQ(static_cast<unsigned>(b[0]), 1u);
+  EXPECT_EQ(static_cast<unsigned>(b[7]), 8u);
+  EXPECT_EQ(loadU64BE(b.data()), 0x0102030405060708ull);
+  ByteVec c(4);
+  storeU32BE(c.data(), 0xa1b2c3d4u);
+  EXPECT_EQ(loadU32BE(c.data()), 0xa1b2c3d4u);
+}
+
+}  // namespace
+}  // namespace oak

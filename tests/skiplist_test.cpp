@@ -1,0 +1,241 @@
+// Lock-free skiplist substrate: JDK-style semantics, ordered navigation
+// (floor/lower/ceiling/last), and randomized differential testing against
+// std::map.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/random.hpp"
+#include "skiplist/skiplist.hpp"
+
+namespace oak::sl {
+namespace {
+
+struct U64Cmp {
+  int operator()(const std::uint64_t& a, const std::uint64_t& b) const noexcept {
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+};
+
+// Values are pointers per the skiplist contract (null == absent).
+using List = SkipList<std::uint64_t, std::uint64_t*, U64Cmp>;
+
+std::uint64_t* val(std::uint64_t x) {
+  // Values must outlive the skiplists; the pool is shared across the
+  // concurrent tests, so guard it.
+  static std::mutex mu;
+  static std::vector<std::unique_ptr<std::uint64_t>> pool;
+  std::lock_guard<std::mutex> lk(mu);
+  pool.push_back(std::make_unique<std::uint64_t>(x));
+  return pool.back().get();
+}
+
+TEST(SkipList, PutGetErase) {
+  List l;
+  EXPECT_EQ(l.get(5), nullptr);
+  EXPECT_EQ(l.put(5, val(50)), nullptr);
+  ASSERT_NE(l.get(5), nullptr);
+  EXPECT_EQ(*l.get(5), 50u);
+  auto* old = l.put(5, val(51));
+  ASSERT_NE(old, nullptr);
+  EXPECT_EQ(*old, 50u);
+  auto* erased = l.erase(5);
+  ASSERT_NE(erased, nullptr);
+  EXPECT_EQ(*erased, 51u);
+  EXPECT_EQ(l.get(5), nullptr);
+  EXPECT_EQ(l.erase(5), nullptr);
+}
+
+TEST(SkipList, PutIfAbsent) {
+  List l;
+  EXPECT_EQ(l.putIfAbsent(1, val(10)), nullptr);
+  auto* existing = l.putIfAbsent(1, val(11));
+  ASSERT_NE(existing, nullptr);
+  EXPECT_EQ(*existing, 10u);
+}
+
+TEST(SkipList, NavigationQueries) {
+  List l;
+  for (std::uint64_t k : {10u, 20u, 30u, 40u}) l.put(k, val(k));
+  EXPECT_EQ(l.floorNode(25)->key, 20u);
+  EXPECT_EQ(l.floorNode(20)->key, 20u);
+  EXPECT_EQ(l.lowerNode(20)->key, 10u);
+  EXPECT_EQ(l.lowerNode(10), nullptr);
+  EXPECT_EQ(l.ceilingNode(25)->key, 30u);
+  EXPECT_EQ(l.ceilingNode(41), nullptr);
+  EXPECT_EQ(l.firstNode()->key, 10u);
+  EXPECT_EQ(l.lastNode()->key, 40u);
+  EXPECT_EQ(l.floorNode(5), nullptr);
+}
+
+TEST(SkipList, NavigationSkipsErased) {
+  List l;
+  for (std::uint64_t k : {10u, 20u, 30u}) l.put(k, val(k));
+  l.erase(20);
+  EXPECT_EQ(l.floorNode(25)->key, 10u);
+  EXPECT_EQ(l.ceilingNode(15)->key, 30u);
+  EXPECT_EQ(l.lowerNode(30)->key, 10u);
+  l.erase(30);
+  EXPECT_EQ(l.lastNode()->key, 10u);
+}
+
+TEST(SkipList, AscendingIterationSorted) {
+  List l;
+  XorShift rng(5);
+  std::set<std::uint64_t> ref;
+  for (int i = 0; i < 3000; ++i) {
+    const std::uint64_t k = rng.nextBounded(10000);
+    l.put(k, val(k));
+    ref.insert(k);
+  }
+  std::vector<std::uint64_t> got;
+  for (auto* n = l.firstNode(); n != nullptr; n = l.nextNode(n)) got.push_back(n->key);
+  EXPECT_EQ(got.size(), ref.size());
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), ref.begin()));
+}
+
+TEST(SkipList, DifferentialVsStdMap) {
+  List l;
+  std::map<std::uint64_t, std::uint64_t> ref;
+  XorShift rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t k = rng.nextBounded(500);
+    switch (rng.nextBounded(3)) {
+      case 0: {
+        l.put(k, val(i));
+        ref[k] = static_cast<std::uint64_t>(i);
+        break;
+      }
+      case 1: {
+        l.erase(k);
+        ref.erase(k);
+        break;
+      }
+      default: {
+        auto* v = l.get(k);
+        auto it = ref.find(k);
+        ASSERT_EQ(v != nullptr, it != ref.end()) << "key " << k;
+        if (v != nullptr) {
+          ASSERT_EQ(*v, it->second);
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(l.sizeApprox(), ref.size());
+}
+
+TEST(SkipList, ConcurrentInsertDisjointRanges) {
+  List l;
+  constexpr int kThreads = 8, kPer = 4000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kPer; ++i) {
+        const std::uint64_t k = static_cast<std::uint64_t>(t) * kPer + i;
+        l.put(k, val(k));
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  std::size_t n = 0;
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (auto* node = l.firstNode(); node != nullptr; node = l.nextNode(node)) {
+    if (!first) {
+      ASSERT_GT(node->key, prev);
+    }
+    prev = node->key;
+    first = false;
+    ++n;
+  }
+  EXPECT_EQ(n, static_cast<std::size_t>(kThreads) * kPer);
+}
+
+TEST(SkipList, ConcurrentPutIfAbsentSingleWinner) {
+  List l;
+  constexpr int kKeys = 2000;
+  std::atomic<int> wins{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 8; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kKeys; ++i) {
+        if (l.putIfAbsent(i, val(i)) == nullptr) wins.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(wins.load(), kKeys);
+}
+
+TEST(SkipList, ConcurrentInsertEraseChurn) {
+  List l;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 8; ++t) {
+    ts.emplace_back([&, t] {
+      XorShift rng(t * 13 + 1);
+      for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t k = rng.nextBounded(64);
+        if (rng.nextBounded(2) == 0) {
+          l.put(k, val(k));
+        } else {
+          l.erase(k);
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  // Structure must stay navigable and sorted.
+  std::uint64_t prev = 0;
+  bool first = true;
+  for (auto* n = l.firstNode(); n != nullptr; n = l.nextNode(n)) {
+    if (!first) {
+      ASSERT_GT(n->key, prev);
+    }
+    prev = n->key;
+    first = false;
+  }
+}
+
+// Property sweep over key-space density: floor/ceiling consistency against
+// the reference model.
+class SkipListNav : public ::testing::TestWithParam<int> {};
+
+TEST_P(SkipListNav, FloorCeilingMatchReference) {
+  List l;
+  std::set<std::uint64_t> ref;
+  XorShift rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t k = rng.nextBounded(1000) * 2;  // even keys
+    l.put(k, val(k));
+    ref.insert(k);
+  }
+  for (std::uint64_t probe = 0; probe < 2000; probe += 7) {
+    auto* f = l.floorNode(probe);
+    auto it = ref.upper_bound(probe);
+    const bool hasFloor = it != ref.begin();
+    ASSERT_EQ(f != nullptr, hasFloor) << probe;
+    if (f != nullptr) {
+      ASSERT_EQ(f->key, *std::prev(it)) << probe;
+    }
+
+    auto* c = l.ceilingNode(probe);
+    auto cit = ref.lower_bound(probe);
+    ASSERT_EQ(c != nullptr, cit != ref.end()) << probe;
+    if (c != nullptr) {
+      ASSERT_EQ(c->key, *cit) << probe;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SkipListNav, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace oak::sl

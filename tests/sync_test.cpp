@@ -1,0 +1,170 @@
+// Sync substrate: the value-header read-write lock (§3.3) and EBR.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "sync/ebr.hpp"
+#include "sync/word_rwlock.hpp"
+
+namespace oak::sync {
+namespace {
+
+TEST(WordRwLock, ReadersShareWritersExclude) {
+  WordRwLock l;
+  ASSERT_EQ(l.acquireRead(), LockResult::Acquired);
+  ASSERT_EQ(l.acquireRead(), LockResult::Acquired);  // shared
+  l.releaseRead();
+  l.releaseRead();
+  ASSERT_EQ(l.acquireWrite(), LockResult::Acquired);
+  l.releaseWrite();
+}
+
+TEST(WordRwLock, DeletedFailsFast) {
+  WordRwLock l;
+  ASSERT_EQ(l.acquireWrite(), LockResult::Acquired);
+  l.setDeleted();
+  l.releaseWrite();
+  EXPECT_TRUE(l.isDeleted());
+  EXPECT_EQ(l.acquireRead(), LockResult::Deleted);
+  EXPECT_EQ(l.acquireWrite(), LockResult::Deleted);
+}
+
+TEST(WordRwLock, WriterExcludesEverything) {
+  WordRwLock l;
+  ASSERT_EQ(l.acquireWrite(), LockResult::Acquired);
+  std::atomic<int> got{0};
+  std::thread reader([&] {
+    if (l.acquireRead() == LockResult::Acquired) {
+      got.fetch_add(1);
+      l.releaseRead();
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(got.load(), 0);  // blocked
+  l.releaseWrite();
+  reader.join();
+  EXPECT_EQ(got.load(), 1);
+}
+
+TEST(WordRwLock, MutualExclusionCounter) {
+  WordRwLock l;
+  std::uint64_t counter = 0;  // protected only by the lock
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        ASSERT_EQ(l.acquireWrite(), LockResult::Acquired);
+        ++counter;
+        l.releaseWrite();
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter, static_cast<std::uint64_t>(kThreads) * kIters);
+}
+
+TEST(WordRwLock, ReadersSeeConsistentSnapshots) {
+  // A writer flips two words together under the write lock; readers under
+  // the read lock must never observe them out of sync.
+  WordRwLock l;
+  std::uint64_t a = 0, b = 0;
+  std::atomic<bool> stop{false};
+  std::atomic<bool> torn{false};
+  std::thread writer([&] {
+    for (int i = 1; i < 20000; ++i) {
+      l.acquireWrite();
+      a = i;
+      b = i;
+      l.releaseWrite();
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        l.acquireRead();
+        if (a != b) torn.store(true);
+        l.releaseRead();
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(torn.load());
+}
+
+TEST(Ebr, RetireDefersUntilGuardsExit) {
+  Ebr ebr;
+  std::atomic<int> freed{0};
+  auto deleter = [](void* p, void* ctx) {
+    (void)p;
+    static_cast<std::atomic<int>*>(ctx)->fetch_add(1);
+  };
+  {
+    Ebr::Guard g(ebr);
+    ebr.retire(reinterpret_cast<void*>(1), deleter, &freed);
+    for (int i = 0; i < 10; ++i) ebr.tryAdvanceAndReclaim();
+    EXPECT_EQ(freed.load(), 0) << "freed while a guard was active";
+  }
+  for (int i = 0; i < 10; ++i) ebr.tryAdvanceAndReclaim();
+  EXPECT_EQ(freed.load(), 1);
+}
+
+TEST(Ebr, GuardsAreReentrant) {
+  Ebr ebr;
+  Ebr::Guard outer(ebr);
+  {
+    Ebr::Guard inner(ebr);
+  }
+  // Exiting the inner guard must not unpin the outer critical section.
+  std::atomic<int> freed{0};
+  ebr.retire(reinterpret_cast<void*>(2),
+             [](void*, void* ctx) { static_cast<std::atomic<int>*>(ctx)->fetch_add(1); },
+             &freed);
+  for (int i = 0; i < 10; ++i) ebr.tryAdvanceAndReclaim();
+  EXPECT_EQ(freed.load(), 0);
+}
+
+TEST(Ebr, DrainAllReclaimsEverything) {
+  Ebr ebr;
+  std::atomic<int> freed{0};
+  for (int i = 0; i < 100; ++i) {
+    ebr.retire(reinterpret_cast<void*>(static_cast<std::uintptr_t>(i + 1)),
+               [](void*, void* ctx) { static_cast<std::atomic<int>*>(ctx)->fetch_add(1); },
+               &freed);
+  }
+  ebr.drainAll();
+  EXPECT_EQ(freed.load(), 100);
+  EXPECT_EQ(ebr.retiredCount(), 0u);
+}
+
+TEST(Ebr, ConcurrentUseSmoke) {
+  Ebr ebr;
+  std::atomic<std::uint64_t> freed{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 6; ++t) {
+    ts.emplace_back([&] {
+      for (int i = 0; i < 2000; ++i) {
+        Ebr::Guard g(ebr);
+        auto* p = new int(i);
+        ebr.retire(p,
+                   [](void* q, void* ctx) {
+                     delete static_cast<int*>(q);
+                     static_cast<std::atomic<std::uint64_t>*>(ctx)->fetch_add(1);
+                   },
+                   &freed);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  ebr.drainAll();
+  EXPECT_EQ(freed.load(), 6u * 2000u);
+}
+
+}  // namespace
+}  // namespace oak::sync
