@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_oak.dir/ablation_oak.cpp.o"
+  "CMakeFiles/ablation_oak.dir/ablation_oak.cpp.o.d"
+  "ablation_oak"
+  "ablation_oak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_oak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

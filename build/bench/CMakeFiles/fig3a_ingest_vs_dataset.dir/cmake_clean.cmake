@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3a_ingest_vs_dataset.dir/fig3a_ingest_vs_dataset.cpp.o"
+  "CMakeFiles/fig3a_ingest_vs_dataset.dir/fig3a_ingest_vs_dataset.cpp.o.d"
+  "fig3a_ingest_vs_dataset"
+  "fig3a_ingest_vs_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_ingest_vs_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

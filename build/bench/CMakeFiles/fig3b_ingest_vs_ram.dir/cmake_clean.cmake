@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3b_ingest_vs_ram.dir/fig3b_ingest_vs_ram.cpp.o"
+  "CMakeFiles/fig3b_ingest_vs_ram.dir/fig3b_ingest_vs_ram.cpp.o.d"
+  "fig3b_ingest_vs_ram"
+  "fig3b_ingest_vs_ram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_ingest_vs_ram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3b_ingest_vs_ram.
+# This may be replaced when dependencies are built.

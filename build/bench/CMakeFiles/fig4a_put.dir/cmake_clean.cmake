@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4a_put.dir/fig4a_put.cpp.o"
+  "CMakeFiles/fig4a_put.dir/fig4a_put.cpp.o.d"
+  "fig4a_put"
+  "fig4a_put.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4a_put.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

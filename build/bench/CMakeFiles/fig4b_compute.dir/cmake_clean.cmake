@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_compute.dir/fig4b_compute.cpp.o"
+  "CMakeFiles/fig4b_compute.dir/fig4b_compute.cpp.o.d"
+  "fig4b_compute"
+  "fig4b_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4c_get.dir/fig4c_get.cpp.o"
+  "CMakeFiles/fig4c_get.dir/fig4c_get.cpp.o.d"
+  "fig4c_get"
+  "fig4c_get.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4c_get.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4d_mixed.dir/fig4d_mixed.cpp.o"
+  "CMakeFiles/fig4d_mixed.dir/fig4d_mixed.cpp.o.d"
+  "fig4d_mixed"
+  "fig4d_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4d_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4e_ascend.dir/fig4e_ascend.cpp.o"
+  "CMakeFiles/fig4e_ascend.dir/fig4e_ascend.cpp.o.d"
+  "fig4e_ascend"
+  "fig4e_ascend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4e_ascend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4f_descend.dir/fig4f_descend.cpp.o"
+  "CMakeFiles/fig4f_descend.dir/fig4f_descend.cpp.o.d"
+  "fig4f_descend"
+  "fig4f_descend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4f_descend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_druid_ingest.dir/fig5a_druid_ingest.cpp.o"
+  "CMakeFiles/fig5a_druid_ingest.dir/fig5a_druid_ingest.cpp.o.d"
+  "fig5a_druid_ingest"
+  "fig5a_druid_ingest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_druid_ingest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

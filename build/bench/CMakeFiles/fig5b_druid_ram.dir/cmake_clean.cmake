@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_druid_ram.dir/fig5b_druid_ram.cpp.o"
+  "CMakeFiles/fig5b_druid_ram.dir/fig5b_druid_ram.cpp.o.d"
+  "fig5b_druid_ram"
+  "fig5b_druid_ram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_druid_ram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

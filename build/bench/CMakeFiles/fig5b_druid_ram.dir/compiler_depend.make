@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig5b_druid_ram.
+# This may be replaced when dependencies are built.

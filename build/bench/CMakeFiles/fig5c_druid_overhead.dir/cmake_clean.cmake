@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_druid_overhead.dir/fig5c_druid_overhead.cpp.o"
+  "CMakeFiles/fig5c_druid_overhead.dir/fig5c_druid_overhead.cpp.o.d"
+  "fig5c_druid_overhead"
+  "fig5c_druid_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_druid_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

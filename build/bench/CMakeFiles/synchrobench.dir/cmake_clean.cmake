@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synchrobench.dir/synchrobench.cpp.o"
+  "CMakeFiles/synchrobench.dir/synchrobench.cpp.o.d"
+  "synchrobench"
+  "synchrobench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synchrobench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

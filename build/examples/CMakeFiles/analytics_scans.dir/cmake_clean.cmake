@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_scans.dir/analytics_scans.cpp.o"
+  "CMakeFiles/analytics_scans.dir/analytics_scans.cpp.o.d"
+  "analytics_scans"
+  "analytics_scans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_scans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/druid_queries.dir/druid_queries.cpp.o"
+  "CMakeFiles/druid_queries.dir/druid_queries.cpp.o.d"
+  "druid_queries"
+  "druid_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/druid_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

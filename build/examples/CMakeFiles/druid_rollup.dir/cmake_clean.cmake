@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/druid_rollup.dir/druid_rollup.cpp.o"
+  "CMakeFiles/druid_rollup.dir/druid_rollup.cpp.o.d"
+  "druid_rollup"
+  "druid_rollup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/druid_rollup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/thread_registry.cpp" "src/CMakeFiles/oakcpp.dir/common/thread_registry.cpp.o" "gcc" "src/CMakeFiles/oakcpp.dir/common/thread_registry.cpp.o.d"
+  "/root/repo/src/druid/dictionary.cpp" "src/CMakeFiles/oakcpp.dir/druid/dictionary.cpp.o" "gcc" "src/CMakeFiles/oakcpp.dir/druid/dictionary.cpp.o.d"
+  "/root/repo/src/mem/arena.cpp" "src/CMakeFiles/oakcpp.dir/mem/arena.cpp.o" "gcc" "src/CMakeFiles/oakcpp.dir/mem/arena.cpp.o.d"
+  "/root/repo/src/mem/block_pool.cpp" "src/CMakeFiles/oakcpp.dir/mem/block_pool.cpp.o" "gcc" "src/CMakeFiles/oakcpp.dir/mem/block_pool.cpp.o.d"
+  "/root/repo/src/mem/first_fit_allocator.cpp" "src/CMakeFiles/oakcpp.dir/mem/first_fit_allocator.cpp.o" "gcc" "src/CMakeFiles/oakcpp.dir/mem/first_fit_allocator.cpp.o.d"
+  "/root/repo/src/mheap/managed_heap.cpp" "src/CMakeFiles/oakcpp.dir/mheap/managed_heap.cpp.o" "gcc" "src/CMakeFiles/oakcpp.dir/mheap/managed_heap.cpp.o.d"
+  "/root/repo/src/sync/ebr.cpp" "src/CMakeFiles/oakcpp.dir/sync/ebr.cpp.o" "gcc" "src/CMakeFiles/oakcpp.dir/sync/ebr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

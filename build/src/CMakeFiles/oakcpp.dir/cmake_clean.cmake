@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oakcpp.dir/common/thread_registry.cpp.o"
+  "CMakeFiles/oakcpp.dir/common/thread_registry.cpp.o.d"
+  "CMakeFiles/oakcpp.dir/druid/dictionary.cpp.o"
+  "CMakeFiles/oakcpp.dir/druid/dictionary.cpp.o.d"
+  "CMakeFiles/oakcpp.dir/mem/arena.cpp.o"
+  "CMakeFiles/oakcpp.dir/mem/arena.cpp.o.d"
+  "CMakeFiles/oakcpp.dir/mem/block_pool.cpp.o"
+  "CMakeFiles/oakcpp.dir/mem/block_pool.cpp.o.d"
+  "CMakeFiles/oakcpp.dir/mem/first_fit_allocator.cpp.o"
+  "CMakeFiles/oakcpp.dir/mem/first_fit_allocator.cpp.o.d"
+  "CMakeFiles/oakcpp.dir/mheap/managed_heap.cpp.o"
+  "CMakeFiles/oakcpp.dir/mheap/managed_heap.cpp.o.d"
+  "CMakeFiles/oakcpp.dir/sync/ebr.cpp.o"
+  "CMakeFiles/oakcpp.dir/sync/ebr.cpp.o.d"
+  "liboakcpp.a"
+  "liboakcpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oakcpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchcore_test.dir/benchcore_test.cpp.o"
+  "CMakeFiles/benchcore_test.dir/benchcore_test.cpp.o.d"
+  "benchcore_test"
+  "benchcore_test.pdb"
+  "benchcore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchcore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/druid_query_test.dir/druid_query_test.cpp.o"
+  "CMakeFiles/druid_query_test.dir/druid_query_test.cpp.o.d"
+  "druid_query_test"
+  "druid_query_test.pdb"
+  "druid_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/druid_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

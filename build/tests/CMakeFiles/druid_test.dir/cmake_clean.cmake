@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/druid_test.dir/druid_test.cpp.o"
+  "CMakeFiles/druid_test.dir/druid_test.cpp.o.d"
+  "druid_test"
+  "druid_test.pdb"
+  "druid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/druid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_fragmentation_test.dir/mem_fragmentation_test.cpp.o"
+  "CMakeFiles/mem_fragmentation_test.dir/mem_fragmentation_test.cpp.o.d"
+  "mem_fragmentation_test"
+  "mem_fragmentation_test.pdb"
+  "mem_fragmentation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_fragmentation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mheap_test.dir/mheap_test.cpp.o"
+  "CMakeFiles/mheap_test.dir/mheap_test.cpp.o.d"
+  "mheap_test"
+  "mheap_test.pdb"
+  "mheap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mheap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

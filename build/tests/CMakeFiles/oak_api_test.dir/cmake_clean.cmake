@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oak_api_test.dir/oak_api_test.cpp.o"
+  "CMakeFiles/oak_api_test.dir/oak_api_test.cpp.o.d"
+  "oak_api_test"
+  "oak_api_test.pdb"
+  "oak_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oak_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oak_concurrency_test.dir/oak_concurrency_test.cpp.o"
+  "CMakeFiles/oak_concurrency_test.dir/oak_concurrency_test.cpp.o.d"
+  "oak_concurrency_test"
+  "oak_concurrency_test.pdb"
+  "oak_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oak_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oak_footprint_test.dir/oak_footprint_test.cpp.o"
+  "CMakeFiles/oak_footprint_test.dir/oak_footprint_test.cpp.o.d"
+  "oak_footprint_test"
+  "oak_footprint_test.pdb"
+  "oak_footprint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oak_footprint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oak_generational_test.dir/oak_generational_test.cpp.o"
+  "CMakeFiles/oak_generational_test.dir/oak_generational_test.cpp.o.d"
+  "oak_generational_test"
+  "oak_generational_test.pdb"
+  "oak_generational_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oak_generational_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

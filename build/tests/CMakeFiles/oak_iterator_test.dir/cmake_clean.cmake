@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oak_iterator_test.dir/oak_iterator_test.cpp.o"
+  "CMakeFiles/oak_iterator_test.dir/oak_iterator_test.cpp.o.d"
+  "oak_iterator_test"
+  "oak_iterator_test.pdb"
+  "oak_iterator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oak_iterator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

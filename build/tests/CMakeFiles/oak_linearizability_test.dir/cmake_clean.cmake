@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oak_linearizability_test.dir/oak_linearizability_test.cpp.o"
+  "CMakeFiles/oak_linearizability_test.dir/oak_linearizability_test.cpp.o.d"
+  "oak_linearizability_test"
+  "oak_linearizability_test.pdb"
+  "oak_linearizability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oak_linearizability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oak_map_param_test.dir/oak_map_param_test.cpp.o"
+  "CMakeFiles/oak_map_param_test.dir/oak_map_param_test.cpp.o.d"
+  "oak_map_param_test"
+  "oak_map_param_test.pdb"
+  "oak_map_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oak_map_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

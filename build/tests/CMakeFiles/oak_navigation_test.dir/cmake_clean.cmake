@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oak_navigation_test.dir/oak_navigation_test.cpp.o"
+  "CMakeFiles/oak_navigation_test.dir/oak_navigation_test.cpp.o.d"
+  "oak_navigation_test"
+  "oak_navigation_test.pdb"
+  "oak_navigation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oak_navigation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

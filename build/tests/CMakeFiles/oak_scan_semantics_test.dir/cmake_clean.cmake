@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oak_scan_semantics_test.dir/oak_scan_semantics_test.cpp.o"
+  "CMakeFiles/oak_scan_semantics_test.dir/oak_scan_semantics_test.cpp.o.d"
+  "oak_scan_semantics_test"
+  "oak_scan_semantics_test.pdb"
+  "oak_scan_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oak_scan_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

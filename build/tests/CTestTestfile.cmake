@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/oak_map_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/oak_iterator_test[1]_include.cmake")
+include("/root/repo/build/tests/oak_concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/druid_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/sync_test[1]_include.cmake")
+include("/root/repo/build/tests/skiplist_test[1]_include.cmake")
+include("/root/repo/build/tests/mheap_test[1]_include.cmake")
+include("/root/repo/build/tests/chunk_test[1]_include.cmake")
+include("/root/repo/build/tests/value_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_test[1]_include.cmake")
+include("/root/repo/build/tests/oak_navigation_test[1]_include.cmake")
+include("/root/repo/build/tests/oak_generational_test[1]_include.cmake")
+include("/root/repo/build/tests/benchcore_test[1]_include.cmake")
+include("/root/repo/build/tests/oak_linearizability_test[1]_include.cmake")
+include("/root/repo/build/tests/druid_query_test[1]_include.cmake")
+include("/root/repo/build/tests/oak_map_param_test[1]_include.cmake")
+include("/root/repo/build/tests/oak_api_test[1]_include.cmake")
+include("/root/repo/build/tests/oak_footprint_test[1]_include.cmake")
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/oak_scan_semantics_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_fragmentation_test[1]_include.cmake")
