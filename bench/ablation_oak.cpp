@@ -50,7 +50,7 @@ class TunedOakAdapter {
     std::size_t cnt = 0;
     std::optional<ByteVec> lo;
     if (!from.empty()) lo = toVec(from);
-    for (auto it = map_->ascend(std::move(lo), std::nullopt, stream);
+    for (auto it = map_->ascend(std::move(lo), std::nullopt, ScanOptions::ascending(stream));
          it.valid() && cnt < n; it.next()) {
       auto e = it.entry();
       bh.consume(e.key);
@@ -62,7 +62,7 @@ class TunedOakAdapter {
     std::size_t cnt = 0;
     std::optional<ByteVec> hi;
     if (!from.empty()) hi = toVec(from);
-    for (auto it = map_->descend(std::nullopt, std::move(hi), stream);
+    for (auto it = map_->descend(std::nullopt, std::move(hi), ScanOptions::descending(stream));
          it.valid() && cnt < n; it.next()) {
       auto e = it.entry();
       bh.consume(e.key);

@@ -164,7 +164,7 @@ void BM_OakAscendStream(benchmark::State& state) {
   for (auto _ : state) {
     storeU64BE(key, rng.nextBounded(90000));
     std::size_t n = 0;
-    for (auto it = map.ascend(toVec(ByteSpan{key, 100}), std::nullopt, true);
+    for (auto it = map.ascend(toVec(ByteSpan{key, 100}), std::nullopt, ScanOptions::streaming());
          it.valid() && n < 100; it.next()) {
       ++n;
     }
@@ -186,7 +186,7 @@ void BM_OakDescendStream(benchmark::State& state) {
     storeU64BE(key, 10000 + rng.nextBounded(90000));
     std::size_t n = 0;
     std::optional<ByteVec> hi = toVec(ByteSpan{key, 100});
-    for (auto it = map.descend(std::nullopt, std::move(hi), true);
+    for (auto it = map.descend(std::nullopt, std::move(hi), ScanOptions::descending(true));
          it.valid() && n < 100; it.next()) {
       ++n;
     }

@@ -132,6 +132,7 @@ void runBench(const Options& o, const std::string& bench, Args&&... args) {
     std::printf("%-14s %-18s %8zum %8zum %9u %12zu %14.6f\n", o.scenario.c_str(),
                 bench.c_str(), split.heapBytes >> 20, split.offHeapBytes >> 20, t,
                 r.finalSize, r.kops / 1e3 /* Mops, like the artifact */);
+    printMetricsLine(bench.c_str(), static_cast<double>(t), r);
     std::fflush(stdout);
     if (csv.is_open()) {
       csv << o.scenario << ',' << bench << ',' << (split.heapBytes >> 20) << "m,"

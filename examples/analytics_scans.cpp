@@ -58,7 +58,7 @@ int main() {
   // ---- Query 1: the 10 most recent events (descending scan) -------------
   std::printf("10 most recent events (descending Stream scan):\n");
   int shown = 0;
-  for (auto it = events.descend(std::nullopt, std::nullopt, /*stream=*/true);
+  for (auto it = events.descend(std::nullopt, std::nullopt, ScanOptions::descending(true));
        it.valid() && shown < 10; it.next(), ++shown) {
     auto e = it.entry();
     const std::uint64_t ts = loadU64BE(e.key.data());
@@ -74,7 +74,7 @@ int main() {
   double totals[4] = {0, 0, 0, 0};
   std::size_t n = 0;
   const auto t0 = std::chrono::steady_clock::now();
-  for (auto it = events.ascend(lo, hi, /*stream=*/true); it.valid(); it.next()) {
+  for (auto it = events.ascend(lo, hi, ScanOptions::streaming()); it.valid(); it.next()) {
     auto e = it.entry();
     e.value.read([&](ByteSpan v) {
       totals[loadUnaligned<std::uint32_t>(v.data() + 8)] +=
@@ -90,7 +90,7 @@ int main() {
 
   // ---- Query 3: descending over the same window (top-of-window first) ----
   std::size_t m = 0;
-  for (auto it = events.descend(lo, hi, /*stream=*/true); it.valid(); it.next()) ++m;
+  for (auto it = events.descend(lo, hi, ScanOptions::descending(true)); it.valid(); it.next()) ++m;
   std::printf("\ndescending scan over the same window: %zu events (must match %zu)\n",
               m, n);
   return m == n ? 0 : 1;

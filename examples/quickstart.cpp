@@ -61,6 +61,14 @@ int main() {
     std::printf("  %s\n", c.key().c_str());
   }
 
+  // ---- navigation + typed replace ----------------------------------------
+  if (auto first = zc.firstEntry()) {
+    std::printf("\nfirstEntry: %s\n", first->key.c_str());
+  }
+  zc.replaceIf("banana", "yellow", "ripe");  // CAS on the serialized value
+  std::printf("ceilingEntry(\"b\"): %s -> %s\n",
+              zc.ceilingEntry("b")->key.c_str(), map.get("banana")->c_str());
+
   // ---- legacy (copying) API — the ConcurrentNavigableMap surface ---------
   auto old = map.put("apple", "green");  // returns the previous value
   std::printf("\nlegacy put returned old value: %s\n",
@@ -69,5 +77,8 @@ int main() {
 
   std::printf("\noff-heap footprint: %zu KiB across %zu chunks\n",
               map.offHeapFootprintBytes() / 1024, map.chunkCount());
+
+  // ---- built-in metrics (src/obs): counts, latency, allocator gauges -----
+  std::printf("\n%s", map.stats().toText().c_str());
   return 0;
 }

@@ -232,6 +232,7 @@ class OffHeapSkipListMap {
 
   std::size_t sizeApprox() const { return list_.sizeApprox(); }
   std::size_t offHeapFootprintBytes() const { return mm_.footprintBytes(); }
+  obs::AllocStats allocStats() const { return mm_.stats(); }
 
  private:
   mem::Ref writeBuf(ByteSpan bytes) {

@@ -17,6 +17,7 @@
 #include "benchcore/workload.hpp"
 #include "mheap/managed_heap.hpp"
 #include "oak/core_map.hpp"
+#include "obs/metrics.hpp"
 
 namespace oak::bench {
 
@@ -102,7 +103,7 @@ class OakAdapter {
     std::size_t cnt = 0;
     std::optional<ByteVec> lo;
     if (!from.empty()) lo = toVec(from);
-    for (auto it = map_->ascend(std::move(lo), std::nullopt, stream);
+    for (auto it = map_->ascend(std::move(lo), std::nullopt, ScanOptions::ascending(stream));
          it.valid() && cnt < n; it.next()) {
       auto e = it.entry();
       bh.consume(e.key);
@@ -116,7 +117,7 @@ class OakAdapter {
     std::size_t cnt = 0;
     std::optional<ByteVec> hi;
     if (!from.empty()) hi = toVec(from);
-    for (auto it = map_->descend(std::nullopt, std::move(hi), stream);
+    for (auto it = map_->descend(std::nullopt, std::move(hi), ScanOptions::descending(stream));
          it.valid() && cnt < n; it.next()) {
       auto e = it.entry();
       bh.consume(e.key);
@@ -127,6 +128,8 @@ class OakAdapter {
   }
 
   mheap::GcStats gcStats() const { return heap_->stats(); }
+  /// Full internal-counter snapshot for the metrics line the driver emits.
+  obs::Metrics metrics() const { return map_->stats(); }
   std::size_t offHeapFootprint() const { return map_->offHeapFootprintBytes(); }
   std::size_t finalSize() { return map_->sizeSlow(); }
 
@@ -183,6 +186,11 @@ class OnHeapAdapter {
   }
 
   mheap::GcStats gcStats() const { return heap_->stats(); }
+  obs::Metrics metrics() const {
+    obs::Metrics m;
+    m.gc = heap_->stats();
+    return m;
+  }
   std::size_t offHeapFootprint() const { return 0; }
   std::size_t finalSize() { return map_->sizeApprox(); }
 
@@ -235,6 +243,12 @@ class OffHeapAdapter {
   }
 
   mheap::GcStats gcStats() const { return heap_->stats(); }
+  obs::Metrics metrics() const {
+    obs::Metrics m;
+    m.gc = heap_->stats();
+    m.alloc = map_->allocStats();
+    return m;
+  }
   std::size_t offHeapFootprint() const { return map_->offHeapFootprintBytes(); }
   std::size_t finalSize() { return map_->sizeApprox(); }
 

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <concepts>
 #include <cstdio>
 #include <thread>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "common/error.hpp"
 #include "common/random.hpp"
 #include "mheap/managed_heap.hpp"
+#include "obs/metrics.hpp"
 
 namespace oak::bench {
 
@@ -25,7 +27,24 @@ struct PointResult {
   bool oom = false;            ///< the configuration did not fit in RAM
   mheap::GcStats gc{};
   std::size_t offHeapBytes = 0;
+  obs::Metrics metrics{};      ///< internal-counter snapshot (obs layer)
 };
+
+/// Adapters may expose a `metrics()` snapshot (the oak/offheap ones do);
+/// adapters without one simply leave PointResult::metrics empty.
+template <class Adapter>
+concept HasMetrics = requires(Adapter& a) {
+  { a.metrics() } -> std::convertible_to<obs::Metrics>;
+};
+
+template <class Adapter>
+obs::Metrics snapshotMetrics(Adapter& a) {
+  if constexpr (HasMetrics<Adapter>) {
+    return a.metrics();
+  } else {
+    return obs::Metrics{};
+  }
+}
 
 inline double nowSeconds() {
   return std::chrono::duration<double>(
@@ -135,6 +154,7 @@ PointResult sustainedStage(Adapter& a, const BenchConfig& cfg, const Mix& mix) {
   res.oom = oom.load();
   res.gc = a.gcStats();
   res.offHeapBytes = a.offHeapFootprint();
+  res.metrics = snapshotMetrics(a);
   return res;
 }
 
@@ -153,6 +173,7 @@ PointResult runPoint(const BenchConfig& cfg, const Mix& mix, Args&&... adapterAr
       if (!ingestStage(a, c, c.keyRange / 2, &ingest)) {
         last.oom = true;
         last.gc = a.gcStats();
+        last.metrics = snapshotMetrics(a);
         return last;
       }
       last = sustainedStage(a, c, mix);
@@ -183,6 +204,7 @@ PointResult runIngestPoint(const BenchConfig& cfg, Args&&... adapterArgs) {
     if (ok) res.finalSize = a.finalSize();
     res.gc = a.gcStats();
     res.offHeapBytes = a.offHeapFootprint();
+    res.metrics = snapshotMetrics(a);
   } catch (const std::bad_alloc&) {
     res.oom = true;  // not even the empty structure fits
   }
@@ -199,15 +221,38 @@ inline void printSeriesHeader(const char* xLabel) {
               "final-size", "GC-cycles", "GC-cpu-ms");
 }
 
+/// Emit one machine-readable metrics line per experiment point.  On by
+/// default so every BENCH_*.json run carries the internal counters; set
+/// OAK_BENCH_METRICS=0 to silence.  The "METRICS " prefix keeps the human
+/// tables greppable; everything after it is one JSON object.
+inline bool metricsLinesEnabled() {
+  static const bool on = [] {
+    const char* v = std::getenv("OAK_BENCH_METRICS");
+    return v == nullptr || (v[0] != '0' && v[0] != '\0');
+  }();
+  return on;
+}
+
+inline void printMetricsLine(const char* name, double x, const PointResult& r) {
+  if (!metricsLinesEnabled()) return;
+  std::printf("METRICS {\"solution\":\"%s\",\"x\":%g,\"kops\":%.1f,"
+              "\"ingest_kops\":%.1f,\"oom\":%s,\"final_size\":%zu,"
+              "\"offheap_bytes\":%zu,\"metrics\":%s}\n",
+              name, x, r.kops, r.ingestKops, r.oom ? "true" : "false",
+              r.finalSize, r.offHeapBytes, r.metrics.toJson().c_str());
+}
+
 inline void printRow(const char* name, double x, const PointResult& r) {
   if (r.oom) {
     std::printf("%-22s %12.0f %12s %12s %10s %12s\n", name, x, "OOM", "-", "-", "-");
+    printMetricsLine(name, x, r);
     return;
   }
   std::printf("%-22s %12.0f %12.1f %12zu %10llu %12.1f\n", name, x, r.kops,
               r.finalSize,
               static_cast<unsigned long long>(r.gc.fullGcCycles + r.gc.youngGcCycles),
               static_cast<double>(r.gc.gcNanos) / 1e6);
+  printMetricsLine(name, x, r);
 }
 
 }  // namespace oak::bench

@@ -65,7 +65,7 @@ class OakIndexBackend {
   template <class F>
   std::size_t scan(std::optional<ByteVec> lo, std::optional<ByteVec> hi, F&& f) {
     std::size_t n = 0;
-    for (auto it = map_.ascend(std::move(lo), std::move(hi), /*stream=*/true);
+    for (auto it = map_.ascend(std::move(lo), std::move(hi), ScanOptions::streaming());
          it.valid(); it.next()) {
       auto e = it.entry();
       e.value.read([&](ByteSpan row) { f(e.key, row); });

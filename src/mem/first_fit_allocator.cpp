@@ -117,6 +117,8 @@ void FirstFitAllocator::free(Ref ref) {
   // Reconstitute the full (rounded) segment the allocation occupied.
   const std::uint32_t whole = roundUp(ref.length());
   outBytes_.fetch_sub(whole, std::memory_order_relaxed);
+  freeOps_.fetch_add(1, std::memory_order_relaxed);
+  freedBytes_.fetch_add(whole, std::memory_order_relaxed);
   std::lock_guard<SpinLock> lk(freeMu_);
   freeList_.push_back(Ref::make(ref.block(), ref.offset(), whole));
   freeCount_.fetch_add(1, std::memory_order_relaxed);

@@ -57,6 +57,13 @@ class FirstFitAllocator {
   std::uint64_t allocCount() const noexcept {
     return allocCount_.load(std::memory_order_relaxed);
   }
+  /// Cumulative frees / bytes returned to the free list (obs gauges).
+  std::uint64_t freeOpCount() const noexcept {
+    return freeOps_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t freedBytes() const noexcept {
+    return freedBytes_.load(std::memory_order_relaxed);
+  }
   std::uint64_t freeListLength() const;
 
   BlockPool& pool() noexcept { return pool_; }
@@ -91,6 +98,8 @@ class FirstFitAllocator {
 
   std::atomic<std::size_t> outBytes_{0};
   std::atomic<std::uint64_t> allocCount_{0};
+  std::atomic<std::uint64_t> freeOps_{0};
+  std::atomic<std::uint64_t> freedBytes_{0};
 };
 
 }  // namespace oak::mem

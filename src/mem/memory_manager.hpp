@@ -8,6 +8,7 @@
 
 #include "common/bytes.hpp"
 #include "mem/first_fit_allocator.hpp"
+#include "obs/stats.hpp"
 
 namespace oak::mem {
 
@@ -37,6 +38,20 @@ class MemoryManager {
   std::size_t footprintBytes() const noexcept { return alloc_.footprintBytes(); }
   std::size_t allocatedBytes() const noexcept { return alloc_.allocatedBytes(); }
   std::uint64_t allocCount() const noexcept { return alloc_.allocCount(); }
+
+  /// Allocator gauge snapshot for the obs layer (§3.2 footprint API).
+  obs::AllocStats stats() const {
+    obs::AllocStats s;
+    s.footprintBytes = alloc_.footprintBytes();
+    s.allocatedBytes = alloc_.allocatedBytes();
+    s.fragmentedBytes =
+        s.footprintBytes > s.allocatedBytes ? s.footprintBytes - s.allocatedBytes : 0;
+    s.allocCount = alloc_.allocCount();
+    s.freeCount = alloc_.freeOpCount();
+    s.freedBytes = alloc_.freedBytes();
+    s.freeListLength = alloc_.freeListLength();
+    return s;
+  }
 
   FirstFitAllocator& allocator() noexcept { return alloc_; }
 

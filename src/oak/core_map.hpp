@@ -25,8 +25,10 @@
 #include "mheap/managed_heap.hpp"
 #include "oak/buffer.hpp"
 #include "oak/chunk.hpp"
+#include "oak/scan_options.hpp"
 #include "oak/serializer.hpp"
 #include "oak/value.hpp"
+#include "obs/metrics.hpp"
 #include "skiplist/skiplist.hpp"
 #include "sync/ebr.hpp"
 
@@ -91,6 +93,7 @@ class OakCoreMap {
   // ============================================================== queries
   /// Algorithm 1.  Returns a zero-copy read view, or nullopt.
   std::optional<OakRBuffer> get(ByteSpan key) {
+    obs::OpTimer t(stats_, obs::Op::Get);
     sync::Ebr::Guard g(ebr_);
     const std::uint64_t v = findValueRef(key);
     if (v == 0) return std::nullopt;
@@ -103,6 +106,7 @@ class OakCoreMap {
   /// Legacy-API get: deserializing copy (Oak-Copy in §5).  The copy itself
   /// is charged to the managed heap like the Java object it stands for.
   std::optional<ByteVec> getCopy(ByteSpan key) {
+    obs::OpTimer t(stats_, obs::Op::GetCopy);
     sync::Ebr::Guard g(ebr_);
     const std::uint64_t v = findValueRef(key);
     if (v == 0) return std::nullopt;
@@ -166,8 +170,15 @@ class OakCoreMap {
   }
 
   /// JDK replace(K,V): rewrites the value iff the key is present.  Atomic.
-  bool replace(ByteSpan key, ByteSpan value) {
+  /// Optionally copies the replaced bytes into *old (legacy-API semantics);
+  /// the copy happens under the value's write lock, atomically with the
+  /// overwrite.
+  bool replace(ByteSpan key, ByteSpan value, ByteVec* old = nullptr) {
     return computeIfPresent(key, [&](OakWBuffer& w) {
+      if (old != nullptr) {
+        const ByteSpan s = w.span();
+        old->assign(s.begin(), s.end());
+      }
       w.resize(value.size());
       w.write(0, value);
     });
@@ -191,6 +202,7 @@ class OakCoreMap {
   /// overwrite, under the value's write lock.  Returns true iff an existing
   /// live value was replaced (vs. a fresh insert).
   bool put(ByteSpan key, ByteSpan value, ByteVec* old = nullptr) {
+    obs::OpTimer t(stats_, obs::Op::Put);
     bool replaced = false;
     doPut(key, value, nullptr, PutOp::Put, old, &replaced);
     return replaced;
@@ -198,6 +210,7 @@ class OakCoreMap {
 
   /// putIfAbsent (§4.3): true iff the key was absent and the value inserted.
   bool putIfAbsent(ByteSpan key, ByteSpan value) {
+    obs::OpTimer t(stats_, obs::Op::PutIfAbsent);
     return doPut(key, value, nullptr, PutOp::PutIfAbsent, nullptr, nullptr);
   }
 
@@ -205,6 +218,7 @@ class OakCoreMap {
   /// otherwise runs `func` on the existing value, atomically.
   template <class F>
   void putIfAbsentComputeIfPresent(ByteSpan key, ByteSpan value, F&& func) {
+    obs::OpTimer t(stats_, obs::Op::PutIfAbsentCompute);
     ComputeFn fn = makeComputeFn(func);
     doPut(key, value, &fn, PutOp::PutIfAbsentComputeIfPresent, nullptr, nullptr);
   }
@@ -212,6 +226,7 @@ class OakCoreMap {
   /// computeIfPresent (§4.4): true iff a live value existed and `func` ran.
   template <class F>
   bool computeIfPresent(ByteSpan key, F&& func) {
+    obs::OpTimer t(stats_, obs::Op::Compute);
     ComputeFn fn = makeComputeFn(func);
     return doIfPresent(key, &fn, IfPresentOp::Compute, nullptr);
   }
@@ -219,6 +234,7 @@ class OakCoreMap {
   /// remove (§4.4); optionally copies the removed value.  Returns true iff
   /// this call removed a live mapping.
   bool remove(ByteSpan key, ByteVec* old = nullptr) {
+    obs::OpTimer t(stats_, obs::Op::Remove);
     return doIfPresent(key, nullptr, IfPresentOp::Remove, old);
   }
 
@@ -229,13 +245,14 @@ class OakCoreMap {
   };
 
   /// Ascending iterator (§4.2).  Non-atomic; guarantees (1)-(3) of §4.2.
-  /// `stream` mode reuses the caller-visible view object (paper's Stream
+  /// opts.stream reuses the caller-visible view object (paper's Stream
   /// API) — the difference is modelled by ephemeral-churn charging.
+  /// opts.direction is ignored: the direction is this type.
   class AscendIter {
    public:
     AscendIter(OakCoreMap& m, std::optional<ByteVec> lo, std::optional<ByteVec> hi,
-               bool stream)
-        : map_(&m), guard_(m.ebr_), hi_(std::move(hi)), stream_(stream) {
+               ScanOptions opts)
+        : map_(&m), guard_(m.ebr_), hi_(std::move(hi)), stream_(opts.stream) {
       if (stream_) m.metaHeap_.ephemeralObject(m.cfg_.ephemeralViewBytes);
       chunk_ = lo ? m.locateChunk(asBytes(*lo)) : m.firstChunk();
       cur_ = lo ? chunk_->lowerBound(asBytes(*lo)) : chunk_->headEntry();
@@ -251,6 +268,7 @@ class OakCoreMap {
     }
 
     void next() {
+      map_->stats_.add(obs::Op::ScanNext);
       cur_ = chunk_->entry(cur_).next.load(std::memory_order_acquire);
       advanceToLive();
     }
@@ -294,8 +312,8 @@ class OakCoreMap {
   class DescendIter {
    public:
     DescendIter(OakCoreMap& m, std::optional<ByteVec> lo, std::optional<ByteVec> hi,
-                bool stream)
-        : map_(&m), guard_(m.ebr_), lo_(std::move(lo)), stream_(stream) {
+                ScanOptions opts)
+        : map_(&m), guard_(m.ebr_), lo_(std::move(lo)), stream_(opts.stream) {
       if (stream_) m.metaHeap_.ephemeralObject(m.cfg_.ephemeralViewBytes);
       if (hi) {
         // hi is exclusive: start from the chunk containing keys < hi.
@@ -315,7 +333,10 @@ class OakCoreMap {
                        detail::ValueCell(map_->mm_, detail::VRef{curVal_})};
     }
 
-    void next() { advanceToLive(); }
+    void next() {
+      map_->stats_.add(obs::Op::ScanNext);
+      advanceToLive();
+    }
 
    private:
     /// Prepares the per-chunk descending state.
@@ -412,12 +433,14 @@ class OakCoreMap {
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
   AscendIter ascend(std::optional<ByteVec> lo = std::nullopt,
-                    std::optional<ByteVec> hi = std::nullopt, bool stream = false) {
-    return AscendIter(*this, std::move(lo), std::move(hi), stream);
+                    std::optional<ByteVec> hi = std::nullopt,
+                    ScanOptions opts = {}) {
+    return AscendIter(*this, std::move(lo), std::move(hi), opts);
   }
   DescendIter descend(std::optional<ByteVec> lo = std::nullopt,
-                      std::optional<ByteVec> hi = std::nullopt, bool stream = false) {
-    return DescendIter(*this, std::move(lo), std::move(hi), stream);
+                      std::optional<ByteVec> hi = std::nullopt,
+                      ScanOptions opts = {}) {
+    return DescendIter(*this, std::move(lo), std::move(hi), opts);
   }
 #pragma GCC diagnostic pop
 
@@ -444,6 +467,20 @@ class OakCoreMap {
   std::uint64_t rebalanceCount() const noexcept {
     return rebalances_.load(std::memory_order_relaxed);
   }
+
+  /// Full observability snapshot (obs layer): op counters/latencies,
+  /// structure counters, allocator and EBR gauges, GC statistics.
+  obs::Metrics stats() const {
+    obs::Metrics m;
+    m.registry = stats_.snapshot();
+    m.rebalances = rebalanceCount();
+    m.chunkCount = chunkCount();
+    m.alloc = mm_.stats();
+    m.ebr = obs::EbrStats{ebr_.epochLag(), ebr_.retiredCount()};
+    m.gc = metaHeap_.stats();
+    return m;
+  }
+  obs::StatsRegistry& statsRegistry() noexcept { return stats_; }
   /// Drains deferred reclamation (retired chunks) — call from a quiescent
   /// state when precise footprint numbers matter (§3.2 footprint API).
   void quiesce() {
@@ -774,6 +811,8 @@ class OakCoreMap {
     chunkCount_.fetch_add(static_cast<std::int64_t>(fresh.size()) -
                               static_cast<std::int64_t>(engaged.size()),
                           std::memory_order_relaxed);
+    if (fresh.size() > engaged.size()) stats_.incCounter(obs::Counter::ChunkSplit);
+    if (engaged.size() > 1) stats_.incCounter(obs::Counter::ChunkMerge);
 
     // Old chunks stay navigable (redirects) until every concurrent reader
     // leaves its epoch; then they return to the managed heap.
@@ -805,6 +844,7 @@ class OakCoreMap {
   std::mutex rebalanceMu_;
   std::atomic<std::int64_t> chunkCount_{0};
   std::atomic<std::uint64_t> rebalances_{0};
+  mutable obs::StatsRegistry stats_;
 
   friend class AscendIter;
   friend class DescendIter;

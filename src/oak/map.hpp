@@ -10,7 +10,9 @@
 //                  updates return the previous value).
 //
 // Both views share one OakCoreMap instance, exactly as in the paper ("the
-// ZC and legacy API implementations share most of it", §4).
+// ZC and legacy API implementations share most of it", §4).  Scans are
+// configured through a typed ScanOptions (direction + stream) used
+// uniformly by entrySet/keySet/valueSet and the core iterators.
 #pragma once
 
 #include <functional>
@@ -18,6 +20,7 @@
 #include <utility>
 
 #include "oak/core_map.hpp"
+#include "oak/scan_options.hpp"
 
 namespace oak {
 
@@ -30,6 +33,13 @@ class OakMap {
   explicit OakMap(OakConfig cfg = OakConfig{}, Compare cmp = Compare{})
       : core_(cfg, cmp) {}
 
+  /// Typed navigation result: the entry's key (deserialized — it identifies
+  /// the entry) plus a zero-copy view of its value.
+  struct KeyedEntry {
+    K key;
+    OakRBuffer value;
+  };
+
   // ===================================================== zero-copy view ==
   class ZeroCopyView {
    public:
@@ -39,6 +49,13 @@ class OakMap {
     std::optional<OakRBuffer> get(const K& key) {
       ScratchSerialized<KSer, K> k(key);
       return core_->get(k.span());
+    }
+
+    /// Serialized-bytes copy of the value (no deserialization) — the raw
+    /// rendering of the legacy get for callers that want bytes.
+    std::optional<ByteVec> getCopy(const K& key) {
+      ScratchSerialized<KSer, K> k(key);
+      return core_->getCopy(k.span());
     }
 
     /// void put(K, V) — does not return the old value.
@@ -53,6 +70,22 @@ class OakMap {
       ScratchSerialized<KSer, K> k(key);
       ScratchSerialized<VSer, V> v(value);
       return core_->putIfAbsent(k.span(), v.span());
+    }
+
+    /// boolean replace(K, V): rewrite iff present; no old value returned.
+    bool replace(const K& key, const V& value) {
+      ScratchSerialized<KSer, K> k(key);
+      ScratchSerialized<VSer, V> v(value);
+      return core_->replace(k.span(), v.span());
+    }
+
+    /// boolean replace(K, expected, desired): atomic CAS on the serialized
+    /// value bytes under the value's write lock.
+    bool replaceIf(const K& key, const V& expected, const V& desired) {
+      ScratchSerialized<KSer, K> k(key);
+      ScratchSerialized<VSer, V> e(expected);
+      ScratchSerialized<VSer, V> d(desired);
+      return core_->replaceIf(k.span(), e.span(), d.span());
     }
 
     /// void remove(K).
@@ -81,18 +114,39 @@ class OakMap {
       return core_->containsKey(k.span());
     }
 
+    // ------------------------------------------------ navigation queries
+    /// ConcurrentNavigableMap ordered lookups; values stay zero-copy.
+    std::optional<KeyedEntry> firstEntry() { return typed(core_->firstEntry()); }
+    std::optional<KeyedEntry> lastEntry() { return typed(core_->lastEntry()); }
+    std::optional<KeyedEntry> ceilingEntry(const K& key) {
+      ScratchSerialized<KSer, K> k(key);
+      return typed(core_->ceilingEntry(k.span()));
+    }
+    std::optional<KeyedEntry> higherEntry(const K& key) {
+      ScratchSerialized<KSer, K> k(key);
+      return typed(core_->higherEntry(k.span()));
+    }
+    std::optional<KeyedEntry> floorEntry(const K& key) {
+      ScratchSerialized<KSer, K> k(key);
+      return typed(core_->floorEntry(k.span()));
+    }
+    std::optional<KeyedEntry> lowerEntry(const K& key) {
+      ScratchSerialized<KSer, K> k(key);
+      return typed(core_->lowerEntry(k.span()));
+    }
+
     // --------------------------------------------------------- scan views
     /// Zero-copy entry cursor: keySet/valueSet/entrySet are projections of
     /// this (the C++ rendering of the Set<OakRBuffer,...> APIs).
     class EntryCursor {
      public:
       EntryCursor(Core& core, std::optional<ByteVec> lo, std::optional<ByteVec> hi,
-                  bool descending, bool stream)
-          : descending_(descending) {
+                  ScanOptions opts)
+          : descending_(opts.isDescending()) {
         if (descending_) {
-          desc_.emplace(core, std::move(lo), std::move(hi), stream);
+          desc_.emplace(core, std::move(lo), std::move(hi), opts);
         } else {
-          asc_.emplace(core, std::move(lo), std::move(hi), stream);
+          asc_.emplace(core, std::move(lo), std::move(hi), opts);
         }
       }
 
@@ -146,33 +200,110 @@ class OakMap {
       std::optional<typename Core::DescendIter> desc_;
     };
 
-    EntryCursor entrySet() { return cursor({}, {}, false, false); }
-    EntryCursor entryStreamSet() { return cursor({}, {}, false, true); }
-    EntryCursor descendingEntrySet() { return cursor({}, {}, true, false); }
-    EntryCursor descendingEntryStreamSet() { return cursor({}, {}, true, true); }
+    /// keySet projection: yields deserialized keys.
+    class KeyCursor {
+     public:
+      KeyCursor(Core& core, std::optional<ByteVec> lo, std::optional<ByteVec> hi,
+                ScanOptions opts)
+          : c_(core, std::move(lo), std::move(hi), opts) {}
 
-    /// subMap [fromKey, toKey) — ascending or descending, Set or Stream.
-    EntryCursor subMap(const K& fromKey, const K& toKey, bool descending = false,
-                       bool stream = false) {
+      bool valid() const { return c_.valid(); }
+      void next() { c_.next(); }
+      K key() const { return c_.key(); }
+      OakRBuffer keyBuffer() const { return c_.keyBuffer(); }
+
+      struct EndSentinel {};
+      class Iterator {
+       public:
+        explicit Iterator(KeyCursor* c) : c_(c) {}
+        K operator*() const { return c_->key(); }
+        Iterator& operator++() {
+          c_->next();
+          return *this;
+        }
+        bool operator!=(EndSentinel) const { return c_->valid(); }
+        bool operator==(EndSentinel) const { return !c_->valid(); }
+
+       private:
+        KeyCursor* c_;
+      };
+      Iterator begin() { return Iterator(this); }
+      EndSentinel end() const { return {}; }
+
+     private:
+      EntryCursor c_;
+    };
+
+    /// valueSet projection: yields zero-copy value views.
+    class ValueCursor {
+     public:
+      ValueCursor(Core& core, std::optional<ByteVec> lo, std::optional<ByteVec> hi,
+                  ScanOptions opts)
+          : c_(core, std::move(lo), std::move(hi), opts) {}
+
+      bool valid() const { return c_.valid(); }
+      void next() { c_.next(); }
+      OakRBuffer valueBuffer() const { return c_.valueBuffer(); }
+      std::optional<V> value() const { return c_.value(); }
+
+      struct EndSentinel {};
+      class Iterator {
+       public:
+        explicit Iterator(ValueCursor* c) : c_(c) {}
+        OakRBuffer operator*() const { return c_->valueBuffer(); }
+        Iterator& operator++() {
+          c_->next();
+          return *this;
+        }
+        bool operator!=(EndSentinel) const { return c_->valid(); }
+        bool operator==(EndSentinel) const { return !c_->valid(); }
+
+       private:
+        ValueCursor* c_;
+      };
+      Iterator begin() { return Iterator(this); }
+      EndSentinel end() const { return {}; }
+
+     private:
+      EntryCursor c_;
+    };
+
+    EntryCursor entrySet(ScanOptions opts = {}) {
+      return EntryCursor(*core_, {}, {}, opts);
+    }
+    KeyCursor keySet(ScanOptions opts = {}) {
+      return KeyCursor(*core_, {}, {}, opts);
+    }
+    ValueCursor valueSet(ScanOptions opts = {}) {
+      return ValueCursor(*core_, {}, {}, opts);
+    }
+
+    // JDK-flavored conveniences over entrySet(ScanOptions).
+    EntryCursor entryStreamSet() { return entrySet(ScanOptions::ascending(true)); }
+    EntryCursor descendingEntrySet() { return entrySet(ScanOptions::descending()); }
+    EntryCursor descendingEntryStreamSet() {
+      return entrySet(ScanOptions::descending(true));
+    }
+
+    /// subMap [fromKey, toKey) — direction and stream mode via ScanOptions.
+    EntryCursor subMap(const K& fromKey, const K& toKey, ScanOptions opts = {}) {
       ScratchSerialized<KSer, K> lo(fromKey);
       ScratchSerialized<KSer, K> hi(toKey);
-      return cursor(toVec(lo.span()), toVec(hi.span()), descending, stream);
+      return EntryCursor(*core_, toVec(lo.span()), toVec(hi.span()), opts);
     }
-    EntryCursor tailMap(const K& fromKey, bool descending = false,
-                        bool stream = false) {
+    EntryCursor tailMap(const K& fromKey, ScanOptions opts = {}) {
       ScratchSerialized<KSer, K> lo(fromKey);
-      return cursor(toVec(lo.span()), {}, descending, stream);
+      return EntryCursor(*core_, toVec(lo.span()), {}, opts);
     }
-    EntryCursor headMap(const K& toKey, bool descending = false,
-                        bool stream = false) {
+    EntryCursor headMap(const K& toKey, ScanOptions opts = {}) {
       ScratchSerialized<KSer, K> hi(toKey);
-      return cursor({}, toVec(hi.span()), descending, stream);
+      return EntryCursor(*core_, {}, toVec(hi.span()), opts);
     }
 
    private:
-    EntryCursor cursor(std::optional<ByteVec> lo, std::optional<ByteVec> hi,
-                       bool descending, bool stream) {
-      return EntryCursor(*core_, std::move(lo), std::move(hi), descending, stream);
+    std::optional<KeyedEntry> typed(std::optional<typename Core::KeyedEntry> e) {
+      if (!e) return std::nullopt;
+      return KeyedEntry{KSer::deserialize(asBytes(e->key)), e->value};
     }
     Core* core_;
   };
@@ -207,6 +338,24 @@ class OakMap {
     return get(key);
   }
 
+  /// V replace(K, V) — rewrites iff present; returns the previous value
+  /// (copied atomically with the overwrite, under the value's write lock).
+  std::optional<V> replace(const K& key, const V& value) {
+    ScratchSerialized<KSer, K> k(key);
+    ScratchSerialized<VSer, V> v(value);
+    ByteVec old;
+    if (!core_.replace(k.span(), v.span(), &old)) return std::nullopt;
+    return VSer::deserialize(asBytes(old));
+  }
+
+  /// boolean replace(K, expected, desired) — atomic CAS on serialized bytes.
+  bool replaceIf(const K& key, const V& expected, const V& desired) {
+    ScratchSerialized<KSer, K> k(key);
+    ScratchSerialized<VSer, V> e(expected);
+    ScratchSerialized<VSer, V> d(desired);
+    return core_.replaceIf(k.span(), e.span(), d.span());
+  }
+
   /// V remove(K) — returns the removed value.
   std::optional<V> remove(const K& key) {
     ScratchSerialized<KSer, K> k(key);
@@ -220,9 +369,44 @@ class OakMap {
     return core_.containsKey(k.span());
   }
 
+  // ------------------------------------------------ navigation queries
+  /// Deserializing navigation (legacy view): typed key *and* value copies.
+  std::optional<std::pair<K, V>> firstEntry() { return copyOut(core_.firstEntry()); }
+  std::optional<std::pair<K, V>> lastEntry() { return copyOut(core_.lastEntry()); }
+  std::optional<std::pair<K, V>> ceilingEntry(const K& key) {
+    ScratchSerialized<KSer, K> k(key);
+    return copyOut(core_.ceilingEntry(k.span()));
+  }
+  std::optional<std::pair<K, V>> higherEntry(const K& key) {
+    ScratchSerialized<KSer, K> k(key);
+    return copyOut(core_.higherEntry(k.span()));
+  }
+  std::optional<std::pair<K, V>> floorEntry(const K& key) {
+    ScratchSerialized<KSer, K> k(key);
+    return copyOut(core_.floorEntry(k.span()));
+  }
+  std::optional<std::pair<K, V>> lowerEntry(const K& key) {
+    ScratchSerialized<KSer, K> k(key);
+    return copyOut(core_.lowerEntry(k.span()));
+  }
+  std::optional<K> firstKey() {
+    auto e = firstEntry();
+    if (!e) return std::nullopt;
+    return std::move(e->first);
+  }
+  std::optional<K> lastKey() {
+    auto e = lastEntry();
+    if (!e) return std::nullopt;
+    return std::move(e->first);
+  }
+
   std::size_t size() { return core_.sizeSlow(); }
 
   // ---------------------------------------------------------- statistics
+  /// Observability snapshot (obs layer): op counters + latency percentiles,
+  /// rebalance/chunk structure, allocator gauges, EBR lag, GC stats.
+  Metrics stats() const { return core_.stats(); }
+
   std::size_t offHeapFootprintBytes() const { return core_.offHeapFootprintBytes(); }
   std::size_t offHeapAllocatedBytes() const { return core_.offHeapAllocatedBytes(); }
   std::size_t chunkCount() const { return core_.chunkCount(); }
@@ -231,6 +415,20 @@ class OakMap {
   Core& core() { return core_; }
 
  private:
+  std::optional<std::pair<K, V>> copyOut(std::optional<typename Core::KeyedEntry> e) {
+    if (!e) return std::nullopt;
+    // The value view may be deleted concurrently between the lookup and the
+    // read; the legacy contract is a copy-or-absent answer, so treat that
+    // race as absence of this entry.
+    try {
+      std::optional<V> v;
+      e->value.read([&](ByteSpan s) { v.emplace(VSer::deserialize(s)); });
+      return std::make_pair(KSer::deserialize(asBytes(e->key)), std::move(*v));
+    } catch (const ConcurrentModification&) {
+      return std::nullopt;
+    }
+  }
+
   Core core_;
 };
 

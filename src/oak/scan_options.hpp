@@ -1,0 +1,37 @@
+// ScanOptions — typed scan configuration shared by the core iterators and
+// the typed views' cursors, replacing the old (descending, stream) bool
+// pair.
+//
+//   * direction: Ascending walks the entry list; Descending uses the
+//     stack-of-bypass-runs algorithm (§4.2, Figure 2).
+//   * stream: the paper's Stream API — reuse one ephemeral view object per
+//     scan instead of one per entry (§2.2).
+#pragma once
+
+#include <cstdint>
+
+namespace oak {
+
+struct ScanOptions {
+  enum class Direction : std::uint8_t { Ascending, Descending };
+
+  Direction direction = Direction::Ascending;
+  bool stream = false;
+
+  constexpr bool isDescending() const noexcept {
+    return direction == Direction::Descending;
+  }
+
+  static constexpr ScanOptions ascending(bool stream = false) noexcept {
+    return ScanOptions{Direction::Ascending, stream};
+  }
+  static constexpr ScanOptions descending(bool stream = false) noexcept {
+    return ScanOptions{Direction::Descending, stream};
+  }
+  /// Ascending stream scan (the common Druid ingestion shape).
+  static constexpr ScanOptions streaming() noexcept {
+    return ScanOptions{Direction::Ascending, true};
+  }
+};
+
+}  // namespace oak

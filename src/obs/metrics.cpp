@@ -1,0 +1,108 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace oak::obs {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+}  // namespace
+
+std::string Metrics::toJson() const {
+  std::string j;
+  j.reserve(1024);
+  j += '{';
+  appendf(j, "\"stats_compiled\":%s,", statsCompiled ? "true" : "false");
+
+  j += "\"ops\":{";
+  bool first = true;
+  for (std::size_t o = 0; o < kOpCount; ++o) {
+    const OpSnapshot& s = registry.ops[o];
+    if (s.count == 0) continue;  // keep the line compact for unused ops
+    if (!first) j += ',';
+    first = false;
+    appendf(j,
+            "\"%s\":{\"count\":%" PRIu64 ",\"sampled\":%" PRIu64
+            ",\"p50_ns\":%.0f,\"p90_ns\":%.0f,\"p99_ns\":%.0f,\"max_ns\":%.0f}",
+            opName(static_cast<Op>(o)), s.count, s.sampled,
+            s.percentileNanos(0.50), s.percentileNanos(0.90),
+            s.percentileNanos(0.99), s.maxNanos());
+  }
+  j += "},";
+
+  appendf(j,
+          "\"counters\":{\"rebalance\":%" PRIu64 ",\"chunk_split\":%" PRIu64
+          ",\"chunk_merge\":%" PRIu64 "},\"chunks\":%" PRIu64 ",",
+          rebalances, registry.counter(Counter::ChunkSplit),
+          registry.counter(Counter::ChunkMerge), chunkCount);
+
+  appendf(j,
+          "\"alloc\":{\"footprint_bytes\":%zu,\"allocated_bytes\":%zu,"
+          "\"fragmented_bytes\":%zu,\"alloc_count\":%" PRIu64
+          ",\"free_count\":%" PRIu64 ",\"freed_bytes\":%" PRIu64
+          ",\"free_list_len\":%" PRIu64 "},",
+          alloc.footprintBytes, alloc.allocatedBytes, alloc.fragmentedBytes,
+          alloc.allocCount, alloc.freeCount, alloc.freedBytes,
+          alloc.freeListLength);
+
+  appendf(j, "\"ebr\":{\"epoch_lag\":%" PRIu64 ",\"retired\":%" PRIu64 "},",
+          ebr.epochLag, ebr.retired);
+
+  appendf(j,
+          "\"gc\":{\"full_cycles\":%" PRIu64 ",\"young_cycles\":%" PRIu64
+          ",\"pause_ns_total\":%" PRIu64 ",\"allocations\":%" PRIu64
+          ",\"oom_throws\":%" PRIu64
+          ",\"live_bytes\":%zu,\"committed_bytes\":%zu,\"live_objects\":%zu}",
+          gc.fullGcCycles, gc.youngGcCycles, gc.gcNanos, gc.allocations,
+          gc.oomThrows, gc.liveBytes, gc.committedBytes, gc.liveObjects);
+  j += '}';
+  return j;
+}
+
+std::string Metrics::toText() const {
+  std::string t;
+  t.reserve(1024);
+  appendf(t, "oak metrics (instrumentation %s)\n",
+          statsCompiled ? "on" : "compiled out");
+  appendf(t, "  %-22s %12s %10s %10s %10s\n", "op", "count", "p50_us", "p99_us",
+          "max_us");
+  for (std::size_t o = 0; o < kOpCount; ++o) {
+    const OpSnapshot& s = registry.ops[o];
+    if (s.count == 0) continue;
+    appendf(t, "  %-22s %12" PRIu64 " %10.2f %10.2f %10.2f\n",
+            opName(static_cast<Op>(o)), s.count, s.percentileNanos(0.50) / 1e3,
+            s.percentileNanos(0.99) / 1e3, s.maxNanos() / 1e3);
+  }
+  appendf(t,
+          "  structure: chunks=%" PRIu64 " rebalances=%" PRIu64
+          " splits=%" PRIu64 " merges=%" PRIu64 "\n",
+          chunkCount, rebalances, registry.counter(Counter::ChunkSplit),
+          registry.counter(Counter::ChunkMerge));
+  appendf(t,
+          "  off-heap: footprint=%zuB in-use=%zuB fragmented=%zuB "
+          "allocs=%" PRIu64 " frees=%" PRIu64 " free-list=%" PRIu64 "\n",
+          alloc.footprintBytes, alloc.allocatedBytes, alloc.fragmentedBytes,
+          alloc.allocCount, alloc.freeCount, alloc.freeListLength);
+  appendf(t, "  ebr: epoch-lag=%" PRIu64 " retired=%" PRIu64 "\n", ebr.epochLag,
+          ebr.retired);
+  appendf(t,
+          "  gc: full=%" PRIu64 " young=%" PRIu64 " pause-total=%.2fms "
+          "live=%zuB committed=%zuB\n",
+          gc.fullGcCycles, gc.youngGcCycles,
+          static_cast<double>(gc.gcNanos) / 1e6, gc.liveBytes,
+          gc.committedBytes);
+  return t;
+}
+
+}  // namespace oak::obs

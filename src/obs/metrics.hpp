@@ -1,0 +1,41 @@
+// oak::Metrics — one self-describing snapshot of everything the map knows
+// about itself: op counters + latency percentiles (StatsRegistry), chunk
+// and rebalance structure, allocator gauges, EBR lag, and the managed
+// heap's GC statistics.  Produced by OakCoreMap::stats() / OakMap::stats();
+// exported as compact single-line JSON (for BENCH_*.json pipelines) or as
+// a human-readable text block.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mheap/managed_heap.hpp"
+#include "obs/stats.hpp"
+
+namespace oak::obs {
+
+struct Metrics {
+  RegistrySnapshot registry;
+
+  // Structure gauges (always-on atomics in OakCoreMap, valid even with
+  // OAK_STATS=0).
+  std::uint64_t rebalances = 0;
+  std::uint64_t chunkCount = 0;
+
+  AllocStats alloc;
+  EbrStats ebr;
+  mheap::GcStats gc;
+
+  bool statsCompiled = StatsRegistry::compiled();
+
+  /// Compact single-line JSON object (stable key set; see DESIGN.md).
+  std::string toJson() const;
+  /// Multi-line human-readable rendering of the same data.
+  std::string toText() const;
+};
+
+}  // namespace oak::obs
+
+namespace oak {
+using Metrics = obs::Metrics;
+}  // namespace oak

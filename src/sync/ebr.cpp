@@ -72,6 +72,18 @@ void Ebr::tryAdvanceAndReclaim() {
   }
 }
 
+std::uint64_t Ebr::epochLag() const noexcept {
+  const std::uint64_t e = globalEpoch_.load(std::memory_order_seq_cst);
+  std::uint64_t oldest = kInactive;
+  const std::uint32_t hw = ThreadRegistry::highWater();
+  for (std::uint32_t i = 0; i < hw; ++i) {
+    const std::uint64_t se = slots_[i].epoch.load(std::memory_order_relaxed);
+    if (se != kInactive && se < oldest) oldest = se;
+  }
+  if (oldest == kInactive || oldest >= e) return 0;
+  return e - oldest;
+}
+
 void Ebr::drainAll() {
   std::vector<Retired> all;
   {

@@ -69,6 +69,11 @@ class Ebr {
     return pendingRetired_.load(std::memory_order_relaxed);
   }
 
+  /// Observability gauge: how far the oldest pinned thread trails the global
+  /// epoch (0 when no thread is inside a Guard).  A persistently large lag
+  /// means a straggler is blocking reclamation.
+  std::uint64_t epochLag() const noexcept;
+
  private:
   struct Retired {
     void* ptr;

@@ -101,7 +101,7 @@ TEST(OakIterator, SubMapDescending) {
   Map m(smallChunks());
   for (int i = 0; i < 300; ++i) m.zc().put(key4(i), "v");
   std::vector<std::string> got;
-  for (auto c = m.zc().subMap(key4(100), key4(110), /*descending=*/true); c.valid();
+  for (auto c = m.zc().subMap(key4(100), key4(110), ScanOptions::descending()); c.valid();
        c.next()) {
     got.push_back(c.key());
   }
@@ -147,7 +147,7 @@ TEST(OakIterator, EmptyRange) {
   Map m(smallChunks());
   for (int i = 0; i < 50; ++i) m.zc().put(key4(i * 10), "v");
   EXPECT_FALSE(m.zc().subMap(key4(11), key4(19)).valid());
-  EXPECT_FALSE(m.zc().subMap(key4(11), key4(19), true).valid());
+  EXPECT_FALSE(m.zc().subMap(key4(11), key4(19), ScanOptions::descending()).valid());
 }
 
 TEST(OakIterator, ValueBuffersReadable) {

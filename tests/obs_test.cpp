@@ -1,0 +1,216 @@
+// Observability-layer tests: sharded counter/histogram correctness under
+// concurrent writers, snapshot aggregation, gauge plumbing, and the
+// exporter's key set.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mem/block_pool.hpp"
+#include "mem/memory_manager.hpp"
+#include "oak/core_map.hpp"
+#include "oak/map.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stats.hpp"
+#include "sync/ebr.hpp"
+
+namespace oak {
+namespace {
+
+bool statsOn() { return obs::StatsRegistry::compiled(); }
+
+TEST(ObsRegistry, CountersAggregateAcrossConcurrentWriters) {
+  if (!statsOn()) GTEST_SKIP() << "built with OAK_STATS=0";
+  obs::StatsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&reg] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        reg.add(obs::Op::Put);
+        if (i % 4 == 0) reg.add(obs::Op::Get);
+        if (i % 100 == 0) reg.incCounter(obs::Counter::ChunkSplit);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  const obs::RegistrySnapshot s = reg.snapshot();
+  EXPECT_EQ(s.op(obs::Op::Put).count, kThreads * kPerThread);
+  EXPECT_EQ(s.op(obs::Op::Get).count, kThreads * (kPerThread / 4));
+  EXPECT_EQ(s.counter(obs::Counter::ChunkSplit), kThreads * (kPerThread / 100));
+}
+
+TEST(ObsRegistry, SnapshotDuringConcurrentWritesIsMonotone) {
+  if (!statsOn()) GTEST_SKIP() << "built with OAK_STATS=0";
+  obs::StatsRegistry reg;
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < 4; ++t) {
+    ts.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) reg.add(obs::Op::Remove);
+    });
+  }
+  std::uint64_t prev = 0;
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t now = reg.snapshot().op(obs::Op::Remove).count;
+    EXPECT_GE(now, prev);  // counters only grow
+    prev = now;
+  }
+  stop.store(true);
+  for (auto& t : ts) t.join();
+}
+
+TEST(ObsRegistry, HistogramBucketsAndPercentiles) {
+  if (!statsOn()) GTEST_SKIP() << "built with OAK_STATS=0";
+  obs::StatsRegistry reg;
+  // 90 samples around 1us, 10 around 1ms: p50 ~= 1us, p99 ~= 1ms.
+  for (int i = 0; i < 90; ++i) reg.recordLatency(obs::Op::Get, 1000);
+  for (int i = 0; i < 10; ++i) reg.recordLatency(obs::Op::Get, 1'000'000);
+  const obs::OpSnapshot s = reg.snapshot().op(obs::Op::Get);
+  EXPECT_EQ(s.sampled, 100u);
+  // log2 buckets: estimates are within 2x of the true value.
+  EXPECT_GE(s.percentileNanos(0.50), 500.0);
+  EXPECT_LE(s.percentileNanos(0.50), 2000.0);
+  EXPECT_GE(s.percentileNanos(0.99), 500'000.0);
+  EXPECT_LE(s.percentileNanos(0.99), 2'000'000.0);
+  EXPECT_GE(s.maxNanos(), 500'000.0);
+}
+
+TEST(ObsRegistry, OpTimerSamplesOneInSixteen) {
+  if (!statsOn()) GTEST_SKIP() << "built with OAK_STATS=0";
+  obs::StatsRegistry reg;
+  constexpr std::uint64_t kOps = 1600;
+  for (std::uint64_t i = 0; i < kOps; ++i) {
+    obs::OpTimer t(reg, obs::Op::Compute);
+  }
+  const obs::OpSnapshot s = reg.snapshot().op(obs::Op::Compute);
+  EXPECT_EQ(s.count, kOps);
+  EXPECT_EQ(s.sampled, kOps / obs::kSampleEvery);
+}
+
+TEST(ObsCoreMap, OpCountsMatchAndStructureCountersMove) {
+  OakCoreMap<> m([] {
+    OakConfig cfg;
+    cfg.chunkCapacity = 64;
+    return cfg;
+  }());
+  std::vector<std::byte> key(16), val(32, std::byte{1});
+  auto k = [&](int i) {
+    storeU64BE(key.data(), static_cast<std::uint64_t>(i + 1));
+    return ByteSpan{key.data(), key.size()};
+  };
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i) m.putIfAbsent(k(i), {val.data(), val.size()});
+  for (int i = 0; i < 500; ++i) (void)m.get(k(i));
+  for (int i = 0; i < 100; ++i) {
+    m.computeIfPresent(k(i), [](OakWBuffer& w) { w.putU64(0, 7); });
+  }
+  for (int i = 0; i < 50; ++i) m.remove(k(i));
+  std::size_t scanned = 0;
+  for (auto it = m.ascend(); it.valid(); it.next()) ++scanned;
+  EXPECT_EQ(scanned, static_cast<std::size_t>(kN - 50));
+
+  const Metrics s = m.stats();
+  EXPECT_GT(s.rebalances, 0u);         // 2000 inserts into 64-entry chunks
+  EXPECT_GT(s.chunkCount, 1u);
+  EXPECT_GT(s.alloc.allocatedBytes, 0u);
+  EXPECT_GT(s.alloc.freeCount, 0u);    // removes freed value cells
+  if (statsOn()) {
+    EXPECT_EQ(s.registry.op(obs::Op::PutIfAbsent).count, static_cast<std::uint64_t>(kN));
+    EXPECT_EQ(s.registry.op(obs::Op::Get).count, 500u);
+    EXPECT_EQ(s.registry.op(obs::Op::Compute).count, 100u);
+    EXPECT_EQ(s.registry.op(obs::Op::Remove).count, 50u);
+    EXPECT_GE(s.registry.op(obs::Op::ScanNext).count, scanned);
+    EXPECT_GT(s.registry.counter(obs::Counter::ChunkSplit), 0u);
+  }
+}
+
+TEST(ObsCoreMap, SnapshotAggregatesConcurrentWorkers) {
+  OakCoreMap<> m;
+  constexpr int kThreads = 8;
+  constexpr int kPer = 3000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&m, t] {
+      std::vector<std::byte> key(16), val(24, std::byte{2});
+      for (int i = 0; i < kPer; ++i) {
+        storeU64BE(key.data(), static_cast<std::uint64_t>(t * kPer + i + 1));
+        m.put({key.data(), key.size()}, {val.data(), val.size()});
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  const Metrics s = m.stats();
+  if (statsOn()) {
+    EXPECT_EQ(s.registry.op(obs::Op::Put).count,
+              static_cast<std::uint64_t>(kThreads) * kPer);
+    EXPECT_GT(s.registry.op(obs::Op::Put).sampled, 0u);
+  }
+  EXPECT_EQ(m.sizeSlow(), static_cast<std::size_t>(kThreads) * kPer);
+}
+
+TEST(ObsExport, JsonCarriesTheContractedKeys) {
+  OakMap<std::string, std::string, StringSerializer, StringSerializer> m;
+  for (int i = 0; i < 100; ++i) m.zc().put("k" + std::to_string(i), "v");
+  for (int i = 0; i < 100; ++i) (void)m.zc().get("k" + std::to_string(i));
+  const std::string j = m.stats().toJson();
+  // Acceptance contract: per-op counts, p50/p99, rebalances, GC pause
+  // total, allocator bytes-in-use.
+  for (const char* k :
+       {"\"ops\"", "\"counters\"", "\"rebalance\"", "\"alloc\"",
+        "\"allocated_bytes\"", "\"gc\"", "\"pause_ns_total\"", "\"ebr\"",
+        "\"epoch_lag\"", "\"stats_compiled\""}) {
+    EXPECT_NE(j.find(k), std::string::npos) << "missing " << k << " in " << j;
+  }
+  if (statsOn()) {
+    for (const char* k : {"\"put\"", "\"get\"", "\"p50_ns\"", "\"p99_ns\""}) {
+      EXPECT_NE(j.find(k), std::string::npos) << "missing " << k << " in " << j;
+    }
+  }
+  EXPECT_FALSE(m.stats().toText().empty());
+}
+
+TEST(ObsGauges, MemoryManagerStats) {
+  mem::BlockPool pool(mem::BlockPool::Config{.blockBytes = 1u << 20,
+                                             .budgetBytes = 8u << 20});
+  mem::MemoryManager mm(pool);
+  std::vector<std::byte> bytes(100, std::byte{3});
+  std::vector<mem::Ref> refs;
+  for (int i = 0; i < 50; ++i) refs.push_back(mm.allocateKey({bytes.data(), bytes.size()}));
+  obs::AllocStats s = mm.stats();
+  EXPECT_EQ(s.allocCount, 50u);
+  EXPECT_EQ(s.freeCount, 0u);
+  EXPECT_GE(s.allocatedBytes, 50u * 100u);
+  EXPECT_GE(s.footprintBytes, s.allocatedBytes);
+  EXPECT_EQ(s.fragmentedBytes, s.footprintBytes - s.allocatedBytes);
+  for (mem::Ref r : refs) mm.free(r);
+  s = mm.stats();
+  EXPECT_EQ(s.freeCount, 50u);
+  EXPECT_EQ(s.allocatedBytes, 0u);
+  EXPECT_GE(s.freedBytes, 50u * 100u);
+  EXPECT_GT(s.freeListLength, 0u);
+}
+
+TEST(ObsGauges, EbrEpochLag) {
+  sync::Ebr ebr;
+  EXPECT_EQ(ebr.epochLag(), 0u);
+  std::atomic<bool> pinned{false};
+  std::atomic<bool> release{false};
+  std::thread straggler([&] {
+    sync::Ebr::Guard g(ebr);
+    pinned.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!pinned.load()) std::this_thread::yield();
+  // The straggler pins the pre-advance epoch; advancing leaves it lagging.
+  ebr.tryAdvanceAndReclaim();
+  EXPECT_GE(ebr.epochLag(), 1u);
+  release.store(true);
+  straggler.join();
+  EXPECT_EQ(ebr.epochLag(), 0u);
+}
+
+}  // namespace
+}  // namespace oak
