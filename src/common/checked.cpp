@@ -1,0 +1,20 @@
+#include "common/checked.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace oak {
+
+void oakCheckFail(const char* file, int line, const char* fmt, ...) {
+  std::fputs("OakSan: ", stderr);
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fprintf(stderr, "\n  at %s:%d\n", file, line);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace oak

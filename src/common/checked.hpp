@@ -1,0 +1,98 @@
+// OakSan — the off-heap race & lifetime checking substrate.
+//
+// Oak's custom arena allocator makes every off-heap access invisible to
+// AddressSanitizer: arenas are one big mmap, so a use-after-free through a
+// stale mem::Ref silently reads recycled bytes instead of trapping.  This
+// header provides the two gates the rest of the library builds on:
+//
+//  * Sanitizer interop (always available, zero-cost when the sanitizer is
+//    absent): OAK_ASAN_POISON/UNPOISON teach AddressSanitizer the
+//    allocator's slice lifetimes, so the plain `asan` preset catches
+//    off-heap use-after-free and out-of-bounds; OAK_TSAN_ACQUIRE/RELEASE
+//    annotate the EBR protocol's happens-before edges for ThreadSanitizer.
+//
+//  * OAK_CHECKED (compile-time option, default off): per-slice generation
+//    headers, EBR guard assertions, and the chunk invariant walker.  Every
+//    check compiles to nothing when OAK_CHECKED=0, mirroring the OAK_STATS
+//    gate, so release builds pay zero cost.
+//
+// Failed checks abort through oakCheckFail(), which prints an "OakSan:"
+// diagnostic to stderr first — death tests match on that prefix.
+#pragma once
+
+#include <cstdint>
+
+#ifndef OAK_CHECKED
+#define OAK_CHECKED 0
+#endif
+
+// ---------------------------------------------------------- sanitizer probes
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define OAK_ASAN 1
+#endif
+#if __has_feature(thread_sanitizer)
+#define OAK_TSAN 1
+#endif
+#endif
+#if !defined(OAK_ASAN) && defined(__SANITIZE_ADDRESS__)
+#define OAK_ASAN 1
+#endif
+#if !defined(OAK_TSAN) && defined(__SANITIZE_THREAD__)
+#define OAK_TSAN 1
+#endif
+#ifndef OAK_ASAN
+#define OAK_ASAN 0
+#endif
+#ifndef OAK_TSAN
+#define OAK_TSAN 0
+#endif
+
+// ------------------------------------------------------------- ASan interop
+// Poison granularity is 8 bytes — the allocator's kAlign — so slice
+// boundaries map exactly onto shadow granules.  Callers must keep region
+// bounds 8-aligned.
+#if OAK_ASAN
+#include <sanitizer/asan_interface.h>
+#define OAK_ASAN_POISON(addr, size) __asan_poison_memory_region((addr), (size))
+#define OAK_ASAN_UNPOISON(addr, size) __asan_unpoison_memory_region((addr), (size))
+#else
+#define OAK_ASAN_POISON(addr, size) ((void)0)
+#define OAK_ASAN_UNPOISON(addr, size) ((void)0)
+#endif
+
+// ------------------------------------------------------------- TSan interop
+// The EBR grace-period argument ("no thread active at retire time can still
+// hold the pointer once two epochs pass") is expressed through per-slot
+// epoch atomics that TSan can only partially stitch into happens-before.
+// Explicit acquire/release annotations on the Ebr instance make the
+// retire -> reclaim edge visible, so the `tsan` preset neither over-reports
+// the deferred frees nor misses real races around them.
+#if OAK_TSAN
+#include <sanitizer/tsan_interface.h>
+#define OAK_TSAN_ACQUIRE(addr) __tsan_acquire(addr)
+#define OAK_TSAN_RELEASE(addr) __tsan_release(addr)
+#else
+#define OAK_TSAN_ACQUIRE(addr) ((void)0)
+#define OAK_TSAN_RELEASE(addr) ((void)0)
+#endif
+
+namespace oak {
+
+/// Prints "OakSan: <message>" plus the failing location to stderr and
+/// aborts.  printf-style; never returns.
+[[noreturn]] void oakCheckFail(const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace oak
+
+// OAK_CHECK(cond, fmt, ...) — an invariant with a diagnostic.  Compiled to
+// nothing when OAK_CHECKED=0; aborts through oakCheckFail otherwise.
+#if OAK_CHECKED
+#define OAK_CHECK(cond, ...)                                     \
+  (__builtin_expect(static_cast<bool>(cond), 1)                  \
+       ? static_cast<void>(0)                                    \
+       : ::oak::oakCheckFail(__FILE__, __LINE__, __VA_ARGS__))
+#else
+#define OAK_CHECK(cond, ...) static_cast<void>(0)
+#endif

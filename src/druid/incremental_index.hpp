@@ -98,8 +98,10 @@ class LegacyIndexBackend {
   using MB = mheap::ManagedBytes;
 
   /// A row object on the managed heap referencing per-column aggregator
-  /// objects (the flexible tail holds the column pointers).
-  struct Row {
+  /// objects (the flexible tail holds the column pointers).  The alignas
+  /// keeps sizeof(Row) a multiple of the pointer size so the tail that
+  /// cols() hands out is suitably aligned for MB* stores.
+  struct alignas(alignof(MB*)) Row {
     SpinLock lock;
     MB** cols() noexcept { return reinterpret_cast<MB**>(this + 1); }
   };

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "common/checked.hpp"
+
 namespace oak::mem {
 
 // mmap keeps arenas out of the C heap, mirroring Java's off-heap direct
@@ -17,7 +19,12 @@ Arena::Arena(std::size_t bytes) : size_(bytes) {
 }
 
 Arena::~Arena() {
-  if (base_ != nullptr) ::munmap(base_, size_);
+  if (base_ != nullptr) {
+    // The allocator poisons arena slack under ASan; clear the shadow before
+    // unmapping so a later mmap at the same address starts addressable.
+    OAK_ASAN_UNPOISON(base_, size_);
+    ::munmap(base_, size_);
+  }
 }
 
 }  // namespace oak::mem

@@ -17,21 +17,34 @@ constexpr std::uint32_t curBlock(std::uint64_t cur) {
 constexpr std::uint64_t curOffset(std::uint64_t cur) {
   return cur & ((std::uint64_t{1} << 40) - 1);
 }
+
+#if OAK_CHECKED
+std::uint32_t loadU32(const std::uint32_t& w) noexcept {
+  return std::atomic_ref<const std::uint32_t>(w).load(std::memory_order_acquire);
+}
+void storeU32(std::uint32_t& w, std::uint32_t v) noexcept {
+  std::atomic_ref<std::uint32_t>(w).store(v, std::memory_order_release);
+}
+#endif
 }  // namespace
 
 FirstFitAllocator::FirstFitAllocator(BlockPool& pool) : pool_(pool) {
   for (auto& b : bases_) b.store(nullptr, std::memory_order_relaxed);
+  for (auto& m : allocMap_) m.store(nullptr, std::memory_order_relaxed);
 }
 
 FirstFitAllocator::~FirstFitAllocator() {
-  for (std::uint32_t id : owned_) pool_.release(id);
+  for (std::uint32_t id : owned_) {
+    delete[] allocMap_[id].load(std::memory_order_relaxed);
+    pool_.release(id);
+  }
 }
 
 Ref FirstFitAllocator::alloc(std::uint32_t len) {
   // Internal bookkeeping is 8-byte-granular, but the returned reference
   // carries the *exact* requested length: callers (key comparisons, value
   // sizes) must never observe alignment padding.
-  const std::uint32_t need = len < kAlign ? kAlign : ((len + kAlign - 1) & ~(kAlign - 1));
+  const std::uint32_t need = roundUp(len) + kSliceHeaderBytes;
   if (need > pool_.blockBytes() || need >= Ref::kMaxLength) {
     throw OakUsageError("allocation larger than arena size");
   }
@@ -40,23 +53,42 @@ Ref FirstFitAllocator::alloc(std::uint32_t len) {
     // virgin space.  A relaxed counter keeps the common empty-list case off
     // the lock.
     if (freeCount_.load(std::memory_order_relaxed) != 0) {
-      if (Ref r = tryFreeList(need)) {
-        outBytes_.fetch_add(roundUp(r.length()), std::memory_order_relaxed);
-        allocCount_.fetch_add(1, std::memory_order_relaxed);
-        return Ref::make(r.block(), r.offset(), len);
-      }
+      if (Ref seg = tryFreeList(need)) return finishAlloc(seg, len, need);
     }
-    if (Ref r = tryBump(need)) {
-      outBytes_.fetch_add(need, std::memory_order_relaxed);
-      allocCount_.fetch_add(1, std::memory_order_relaxed);
-      return Ref::make(r.block(), r.offset(), len);
-    }
+    if (Ref seg = tryBump(need)) return finishAlloc(seg, len, need);
     std::lock_guard<std::mutex> lk(growMu_);
     // Re-check under the lock: another thread may have installed a new arena.
     const std::uint64_t cur = cur_.load(std::memory_order_acquire);
     if (curValid(cur) && curOffset(cur) + need <= pool_.blockBytes()) continue;
     newBlockLocked(need);
   }
+}
+
+Ref FirstFitAllocator::finishAlloc(Ref seg, std::uint32_t len, std::uint32_t need) {
+  const std::uint32_t block = seg.block();
+  std::byte* base = bases_[block].load(std::memory_order_acquire);
+  // The whole segment (header + rounded payload) becomes addressable; the
+  // alignment slack past roundUp(len) stays inside the segment, while
+  // everything beyond it remains poisoned arena slack.
+  OAK_ASAN_UNPOISON(base + seg.offset(), need);
+#if OAK_CHECKED
+  auto* h = reinterpret_cast<SliceHeader*>(base + seg.offset());
+  h->length = len;
+  storeU32(h->generation, sliceGen_.fetch_add(1, std::memory_order_relaxed));
+  storeU32(h->state, kLiveMagic);
+#endif
+  const std::uint32_t userOff = seg.offset() + kSliceHeaderBytes;
+  std::atomic<std::uint64_t>* map = allocMap_[block].load(std::memory_order_acquire);
+  const std::uint32_t g = userOff / kAlign;
+  const std::uint64_t prev =
+      map[g >> 6].fetch_or(std::uint64_t{1} << (g & 63), std::memory_order_relaxed);
+  OAK_CHECK(((prev >> (g & 63)) & 1) == 0,
+            "allocator handed out an already-live slice {block=%u off=%u len=%u}",
+            block, userOff, len);
+  (void)prev;
+  outBytes_.fetch_add(need, std::memory_order_relaxed);
+  allocCount_.fetch_add(1, std::memory_order_relaxed);
+  return Ref::make(block, userOff, len);
 }
 
 Ref FirstFitAllocator::tryBump(std::uint32_t need) {
@@ -93,6 +125,12 @@ Ref FirstFitAllocator::tryFreeList(std::uint32_t need) {
 
 void FirstFitAllocator::newBlockLocked(std::uint32_t need) {
   const std::uint32_t id = pool_.acquire();  // may throw OffHeapOutOfMemory
+  // Fresh (or recycled) arenas are all slack: poison everything and let
+  // finishAlloc unpoison the slices it hands out.
+  OAK_ASAN_POISON(pool_.arena(id).base(), pool_.blockBytes());
+  const std::size_t granules = pool_.blockBytes() / kAlign;
+  allocMap_[id].store(new std::atomic<std::uint64_t>[(granules + 63) / 64](),
+                      std::memory_order_release);
   bases_[id].store(pool_.arena(id).base(), std::memory_order_release);
   owned_.push_back(id);
   nOwned_.fetch_add(1, std::memory_order_relaxed);
@@ -112,17 +150,114 @@ void FirstFitAllocator::newBlockLocked(std::uint32_t need) {
   }
 }
 
-void FirstFitAllocator::free(Ref ref) {
-  assert(!ref.isNull());
+bool FirstFitAllocator::free(Ref ref) {
+  if (ref.isNull()) {
+    OAK_CHECK(false, "free of the null off-heap reference");
+    return false;
+  }
+  const std::uint32_t block = ref.block();
+  std::atomic<std::uint64_t>* map =
+      block < Ref::kMaxBlocks ? allocMap_[block].load(std::memory_order_acquire)
+                              : nullptr;
+  if (map == nullptr || ref.offset() < kSliceHeaderBytes) {
+    OAK_CHECK(false, "free of foreign ref {block=%u off=%u len=%u}", block,
+              ref.offset(), ref.length());
+    return false;
+  }
+  // Claim the allocation-start bit; losing it means this slice is already
+  // free (or a racing free won) — reject without touching the free list.
+  const std::uint32_t g = ref.offset() / kAlign;
+  const std::uint64_t bit = std::uint64_t{1} << (g & 63);
+  const std::uint64_t prev = map[g >> 6].fetch_and(~bit, std::memory_order_relaxed);
+  if ((prev & bit) == 0) {
+    OAK_CHECK(false, "double-free of off-heap slice {block=%u off=%u len=%u}",
+              block, ref.offset(), ref.length());
+    return false;
+  }
+#if OAK_CHECKED
+  SliceHeader* h = sliceHeader(ref);
+  const std::uint32_t state = loadU32(h->state);
+  OAK_CHECK(state == kLiveMagic,
+            "free of slice with corrupt header {block=%u off=%u len=%u state=%#x}",
+            block, ref.offset(), ref.length(), state);
+  OAK_CHECK(h->length == ref.length(),
+            "free with mismatched length {block=%u off=%u}: allocated %u, freeing %u "
+            "(stale or forged reference, generation=%u)",
+            block, ref.offset(), h->length, ref.length(), loadU32(h->generation));
+  storeU32(h->state, kFreeMagic);
+#endif
   // Reconstitute the full (rounded) segment the allocation occupied.
   const std::uint32_t whole = roundUp(ref.length());
-  outBytes_.fetch_sub(whole, std::memory_order_relaxed);
+  OAK_ASAN_POISON(bases_[block].load(std::memory_order_acquire) + ref.offset(),
+                  whole);
+  outBytes_.fetch_sub(whole + kSliceHeaderBytes, std::memory_order_relaxed);
   freeOps_.fetch_add(1, std::memory_order_relaxed);
-  freedBytes_.fetch_add(whole, std::memory_order_relaxed);
+  freedBytes_.fetch_add(whole + kSliceHeaderBytes, std::memory_order_relaxed);
   std::lock_guard<SpinLock> lk(freeMu_);
-  freeList_.push_back(Ref::make(ref.block(), ref.offset(), whole));
+  freeList_.push_back(Ref::make(block, ref.offset() - kSliceHeaderBytes,
+                                whole + kSliceHeaderBytes));
   freeCount_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
+
+#if OAK_CHECKED
+void FirstFitAllocator::validateLive(Ref ref, const char* what) const noexcept {
+  if (ref.isNull()) {
+    oakCheckFail(__FILE__, __LINE__, "%s of the null off-heap reference", what);
+  }
+  const std::uint32_t block = ref.block();
+  const std::byte* base = block < Ref::kMaxBlocks
+                              ? bases_[block].load(std::memory_order_acquire)
+                              : nullptr;
+  if (base == nullptr || ref.offset() < kSliceHeaderBytes) {
+    oakCheckFail(__FILE__, __LINE__,
+                 "%s of foreign ref {block=%u off=%u len=%u}: arena not owned "
+                 "by this allocator",
+                 what, block, ref.offset(), ref.length());
+  }
+  const SliceHeader* h = sliceHeader(ref);
+  const std::uint32_t state = loadU32(h->state);
+  if (state == kFreeMagic) {
+    oakCheckFail(__FILE__, __LINE__,
+                 "use-after-free: %s of freed slice {block=%u off=%u len=%u} "
+                 "(freed generation=%u, arena base=%p)",
+                 what, block, ref.offset(), ref.length(), loadU32(h->generation),
+                 static_cast<const void*>(base));
+  }
+  if (state != kLiveMagic) {
+    oakCheckFail(__FILE__, __LINE__,
+                 "wild reference: %s of {block=%u off=%u len=%u} which is not an "
+                 "allocation start (header state=%#x, arena base=%p)",
+                 what, block, ref.offset(), ref.length(), state,
+                 static_cast<const void*>(base));
+  }
+  if (ref.length() > h->length) {
+    oakCheckFail(__FILE__, __LINE__,
+                 "stale handle: %s of {block=%u off=%u len=%u} but the live slice "
+                 "here is only %u bytes (generation=%u — the slice was recycled)",
+                 what, block, ref.offset(), ref.length(), h->length,
+                 loadU32(h->generation));
+  }
+}
+
+std::uint32_t FirstFitAllocator::generationOf(Ref ref) const noexcept {
+  validateLive(ref, "generationOf");
+  return loadU32(sliceHeader(ref)->generation);
+}
+
+void FirstFitAllocator::assertLiveGeneration(Ref ref,
+                                             std::uint32_t expectedGen) const noexcept {
+  validateLive(ref, "assertLiveGeneration");
+  const std::uint32_t actual = loadU32(sliceHeader(ref)->generation);
+  if (actual != expectedGen) {
+    oakCheckFail(__FILE__, __LINE__,
+                 "ABA/stale handle: {block=%u off=%u len=%u} expected generation %u "
+                 "but the slice now carries generation %u (recycled underneath the "
+                 "holder)",
+                 ref.block(), ref.offset(), ref.length(), expectedGen, actual);
+  }
+}
+#endif
 
 std::uint64_t FirstFitAllocator::freeListLength() const {
   std::lock_guard<SpinLock> lk(freeMu_);

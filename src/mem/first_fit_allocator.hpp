@@ -8,6 +8,18 @@
 // Slow path: first-fit scan of the free list, then acquiring a fresh arena
 // from the shared pool.  All allocations are 8-byte aligned and never span
 // arenas.
+//
+// OakSan hooks (common/checked.hpp):
+//  * An allocation-start bitmap (one bit per 8-byte granule, every build)
+//    records which slices are live; free() uses it to reject double-free —
+//    aborting in checked builds, error-returning otherwise — and the
+//    ChunkWalker uses it to prove no live entry points at a freed slice.
+//  * Under AddressSanitizer, whole arenas are poisoned on acquisition and
+//    slices are unpoisoned on alloc / re-poisoned on free, so off-heap
+//    use-after-free and out-of-bounds trap like heap bugs do.
+//  * In OAK_CHECKED builds every slice carries a 16-byte header with a
+//    magic state word and a generation tag; translate() validates it on
+//    every dereference and aborts with a diagnostic on stale handles.
 #pragma once
 
 #include <atomic>
@@ -15,6 +27,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/checked.hpp"
 #include "common/spin.hpp"
 #include "mem/block_pool.hpp"
 #include "mem/ref.hpp"
@@ -33,14 +46,40 @@ class FirstFitAllocator {
   Ref alloc(std::uint32_t len);
 
   /// Returns a previously allocated reference to the free list. Thread-safe.
-  void free(Ref ref);
+  /// Returns false (checked builds: aborts) when `ref` is null, not owned by
+  /// this allocator, or already free — the free list is left untouched, so a
+  /// double-free cannot corrupt it.
+  bool free(Ref ref);
 
   /// Pointer to the first byte of `ref`.  Safe to call concurrently with
   /// allocation; the caller must have obtained `ref` through a properly
-  /// synchronized channel (entry CAS etc.).
+  /// synchronized channel (entry CAS etc.).  Checked builds validate the
+  /// slice header and abort on use-after-free / stale handles.
   std::byte* translate(Ref ref) const noexcept {
+#if OAK_CHECKED
+    validateLive(ref, "translate");
+#endif
     return bases_[ref.block()].load(std::memory_order_acquire) + ref.offset();
   }
+
+  /// True when `ref` addresses a currently-live allocation start (bitmap
+  /// probe; available in every build).  Used by debug validators.
+  bool isLive(Ref ref) const noexcept {
+    if (ref.isNull() || ref.block() >= Ref::kMaxBlocks) return false;
+    const std::atomic<std::uint64_t>* map =
+        allocMap_[ref.block()].load(std::memory_order_acquire);
+    if (map == nullptr) return false;
+    const std::uint32_t g = ref.offset() / kAlign;
+    return ((map[g >> 6].load(std::memory_order_relaxed) >> (g & 63)) & 1) != 0;
+  }
+
+#if OAK_CHECKED
+  /// Generation stamped into the slice header when `ref` was allocated.
+  std::uint32_t generationOf(Ref ref) const noexcept;
+  /// Aborts unless `ref` is live and still carries `expectedGen` — the
+  /// exact-ABA probe (a recycled slice passes isLive but fails this).
+  void assertLiveGeneration(Ref ref, std::uint32_t expectedGen) const noexcept;
+#endif
 
   /// Total off-heap bytes this instance holds (whole arenas) — the paper's
   /// "fast estimation of RAM footprint".
@@ -69,6 +108,32 @@ class FirstFitAllocator {
   BlockPool& pool() noexcept { return pool_; }
 
  private:
+  static constexpr std::uint32_t kAlign = 8;
+
+  // Every allocation is padded with a leading slice header in checked
+  // builds; segment arithmetic uses the constant so both modes share one
+  // code path (it is 0 — and the header vanishes — when unchecked).
+#if OAK_CHECKED
+  static constexpr std::uint32_t kSliceHeaderBytes = 16;
+  static constexpr std::uint32_t kLiveMagic = 0xA110CA7Eu;
+  static constexpr std::uint32_t kFreeMagic = 0xF4EEF4EEu;
+  struct SliceHeader {
+    std::uint32_t state;       // kLiveMagic / kFreeMagic
+    std::uint32_t generation;  // stamped at alloc; survives the free
+    std::uint32_t length;      // user-visible length at allocation
+    std::uint32_t pad_;
+  };
+  static_assert(sizeof(SliceHeader) == kSliceHeaderBytes);
+  SliceHeader* sliceHeader(Ref ref) const noexcept {
+    return reinterpret_cast<SliceHeader*>(
+        bases_[ref.block()].load(std::memory_order_acquire) + ref.offset() -
+        kSliceHeaderBytes);
+  }
+  void validateLive(Ref ref, const char* what) const noexcept;
+#else
+  static constexpr std::uint32_t kSliceHeaderBytes = 0;
+#endif
+
   static constexpr std::uint32_t roundUp(std::uint32_t n) noexcept {
     return n < kAlign ? kAlign : ((n + kAlign - 1) & ~(kAlign - 1));
   }
@@ -76,8 +141,9 @@ class FirstFitAllocator {
   Ref tryBump(std::uint32_t need);
   Ref tryFreeList(std::uint32_t need);
   void newBlockLocked(std::uint32_t need);
-
-  static constexpr std::uint32_t kAlign = 8;
+  /// Stamps the slice header, flips the bitmap bit, unpoisons, accounts.
+  /// `seg` is a raw segment of exactly `need` = roundUp(len) + header bytes.
+  Ref finishAlloc(Ref seg, std::uint32_t len, std::uint32_t need);
 
   BlockPool& pool_;
 
@@ -93,6 +159,8 @@ class FirstFitAllocator {
 
   // block id -> base pointer (written once per acquired block).
   std::atomic<std::byte*> bases_[Ref::kMaxBlocks];
+  // block id -> allocation-start bitmap (one bit per kAlign granule).
+  std::atomic<std::atomic<std::uint64_t>*> allocMap_[Ref::kMaxBlocks];
   std::vector<std::uint32_t> owned_;
   std::atomic<std::size_t> nOwned_{0};
 
@@ -100,6 +168,9 @@ class FirstFitAllocator {
   std::atomic<std::uint64_t> allocCount_{0};
   std::atomic<std::uint64_t> freeOps_{0};
   std::atomic<std::uint64_t> freedBytes_{0};
+#if OAK_CHECKED
+  std::atomic<std::uint32_t> sliceGen_{1};
+#endif
 };
 
 }  // namespace oak::mem

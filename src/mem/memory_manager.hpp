@@ -7,14 +7,30 @@
 #include <cstdint>
 
 #include "common/bytes.hpp"
+#include "common/checked.hpp"
 #include "mem/first_fit_allocator.hpp"
 #include "obs/stats.hpp"
+#include "sync/ebr.hpp"
 
 namespace oak::mem {
 
 class MemoryManager {
  public:
   explicit MemoryManager(BlockPool& pool) : alloc_(pool) {}
+
+  /// OakSan: ties this manager's chunk-metadata accesses (off-heap key
+  /// reads) to an EBR domain.  Checked builds abort when keyBytes() runs on
+  /// a thread that is not inside a Guard on that domain — the stale-chunk
+  /// hazard the epoch protocol exists to prevent.  Value payload access is
+  /// deliberately exempt: it is protected by the header lock + generation,
+  /// not by epochs.
+  void bindGuardDomain(const sync::Ebr* ebr) noexcept {
+#if OAK_CHECKED
+    guardDomain_ = ebr;
+#else
+    (void)ebr;
+#endif
+  }
 
   /// allocateKey(key): copies the serialized key off-heap.  Keys are
   /// immutable (§2.1), so the returned reference is never rewritten.
@@ -27,11 +43,22 @@ class MemoryManager {
   /// Raw allocation (value headers/payloads, baseline cells).
   Ref allocRaw(std::uint32_t len) { return alloc_.alloc(len); }
 
-  void free(Ref r) { alloc_.free(r); }
+  /// Returns false (or aborts in checked builds) when `r` was already freed
+  /// or never allocated — see FirstFitAllocator::free.
+  bool free(Ref r) { return alloc_.free(r); }
 
   std::byte* translate(Ref r) const noexcept { return alloc_.translate(r); }
 
   ByteSpan keyBytes(Ref keyRef) const noexcept {
+#if OAK_CHECKED
+    // Off-heap keys live in chunk metadata reclaimed through EBR; reading
+    // one outside a guard races reclamation.  (Bound lazily by the map —
+    // standalone managers, e.g. in allocator unit tests, stay unchecked.)
+    OAK_CHECK(guardDomain_ == nullptr || guardDomain_->currentThreadGuarded(),
+              "off-heap key read {block=%u off=%u len=%u} outside an active "
+              "epoch guard",
+              keyRef.block(), keyRef.offset(), keyRef.length());
+#endif
     return {alloc_.translate(keyRef), keyRef.length()};
   }
 
@@ -57,6 +84,9 @@ class MemoryManager {
 
  private:
   FirstFitAllocator alloc_;
+#if OAK_CHECKED
+  const sync::Ebr* guardDomain_ = nullptr;
+#endif
 };
 
 }  // namespace oak::mem

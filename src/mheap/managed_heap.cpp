@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/checked.hpp"
 #include "common/spin.hpp"
 
 namespace oak::mheap {
@@ -160,11 +161,20 @@ void ManagedHeap::free(void* p) noexcept {
     return;
   }
   safepoint();
+  // Claim the live->garbage transition atomically: a double-free (e.g. a
+  // chunk disposed twice through racing retire paths) would otherwise
+  // double-count garbageBytes_ and corrupt liveObjects_.  Checked builds
+  // abort; release builds ignore the second free.
+  const std::uint8_t prev =
+      slots_[h->slot].state.exchange(kGarbage, std::memory_order_acq_rel);
+  OAK_CHECK(prev == kLive,
+            "managed-heap double-free of %p (slot %u already state=%u)", p,
+            h->slot, prev);
+  if (prev != kLive) return;
   // The object becomes garbage; its bytes stay committed until the next
   // collection sweeps it — this is what creates the GC-headroom requirement.
   garbageBytes_.fetch_add(h->charged, std::memory_order_relaxed);
   liveObjects_.fetch_sub(1, std::memory_order_relaxed);
-  slots_[h->slot].state.store(kGarbage, std::memory_order_release);
 }
 
 void ManagedHeap::fullGc() {

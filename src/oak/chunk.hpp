@@ -83,6 +83,12 @@ class Chunk {
 
   std::int32_t headEntry() const noexcept { return head_.load(std::memory_order_acquire); }
 
+  /// OakSan: raw tail hint for the invariant walker (hints may be stale but
+  /// must always index an allocated entry or be kNone).
+  std::int32_t tailHintDebug() const noexcept {
+    return tailHint_.load(std::memory_order_acquire);
+  }
+
   // ---------------------------------------------------------------- search
   /// Greatest sorted-prefix index whose key is <= probe, or kNone.
   std::int32_t prefixFloor(ByteSpan probe) const noexcept {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/checked.hpp"
 #include "common/error.hpp"
 #include "mem/memory_manager.hpp"
 #include "mheap/managed_heap.hpp"
@@ -69,6 +70,9 @@ class OakCoreMap {
         mm_(pool_),
         indexMem_(metaHeap_),
         index_(IndexCmp{cmp}, indexMem_) {
+    // OakSan: chunk metadata (and the off-heap keys it references) is
+    // reclaimed through ebr_, so key reads must happen under its guards.
+    mm_.bindGuardDomain(&ebr_);
     if (cfg_.reclaim == ValueReclaim::Generational) headerPool_.emplace(mm_);
     ChunkT* head = ChunkT::make(metaHeap_, mm_, cmp_, ByteVec{}, cfg_.chunkCapacity);
     head_.store(head, std::memory_order_release);
@@ -456,7 +460,10 @@ class OakCoreMap {
     return chunkCount_.load(std::memory_order_relaxed);
   }
   std::size_t onHeapMetadataBytes() const noexcept {
-    // chunks + (approximate) index nodes
+    // chunks + (approximate) index nodes.  The chain walk must be guarded:
+    // a concurrent rebalance may retire chunks out from under it (found by
+    // the OakSan guard-domain assertion).
+    sync::Ebr::Guard g(ebr_);
     std::size_t chunks = 0;
     for (ChunkT* c = head_.load(std::memory_order_acquire); c != nullptr;
          c = c->nextChunk().load(std::memory_order_acquire)) {
@@ -532,6 +539,8 @@ class OakCoreMap {
   /// locateChunk (§3.1): index floor query plus a (normally short) walk of
   /// the chunk list, following rebalance redirects.
   ChunkT* locateChunk(ByteSpan key) const {
+    OAK_CHECK(ebr_.currentThreadGuarded(),
+              "chunk-list navigation (locateChunk) outside an epoch guard");
     typename Index::Node* n = index_.floorNode(key);
     ChunkT* c = (n != nullptr) ? n->loadValue() : nullptr;
     if (c == nullptr) c = head_.load(std::memory_order_acquire);
@@ -546,6 +555,8 @@ class OakCoreMap {
   /// Chunk with the greatest minKey strictly smaller than `key` (descending
   /// scans' inter-chunk step), or nullptr.
   ChunkT* locatePrevChunk(ByteSpan key) const {
+    OAK_CHECK(ebr_.currentThreadGuarded(),
+              "chunk-list navigation (locatePrevChunk) outside an epoch guard");
     if (key.empty()) return nullptr;  // head's minKey is the -inf sentinel
     typename Index::Node* n = index_.lowerNode(key);
     ChunkT* c = (n != nullptr) ? n->loadValue() : head_.load(std::memory_order_acquire);
@@ -559,6 +570,8 @@ class OakCoreMap {
   }
 
   ChunkT* lastChunk() const {
+    OAK_CHECK(ebr_.currentThreadGuarded(),
+              "chunk-list navigation (lastChunk) outside an epoch guard");
     ChunkT* c = firstChunk();
     for (;;) {
       ChunkT* nx = c->nextChunk().load(std::memory_order_acquire);
@@ -848,6 +861,8 @@ class OakCoreMap {
 
   friend class AscendIter;
   friend class DescendIter;
+  template <class>
+  friend class ChunkWalker;  // OakSan invariant validator (oak/chunk_walker.hpp)
 };
 
 }  // namespace oak

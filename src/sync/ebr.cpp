@@ -21,16 +21,35 @@ void Ebr::enter(std::uint32_t tid) noexcept {
 void Ebr::exit(std::uint32_t tid) noexcept {
   Slot& s = slots_[tid];
   const std::uint32_t depth = s.depth.load(std::memory_order_relaxed);
+  OAK_CHECK(depth != 0, "epoch guard exit without a matching enter (tid=%u)", tid);
   if (depth == 1) {
+    // Everything this critical section read or wrote happens-before any
+    // reclamation that observes the unpin; make the edge explicit for TSan
+    // (the deleter side pairs with an acquire on `this`).
+    OAK_TSAN_RELEASE(this);
     s.epoch.store(kInactive, std::memory_order_release);
   }
   s.depth.store(depth - 1, std::memory_order_relaxed);
 }
 
 void Ebr::retire(void* ptr, void (*deleter)(void*, void*), void* ctx) {
+  // Protocol: a node may only be retired after it was unlinked inside the
+  // retiring thread's own critical section — otherwise a freshly arriving
+  // reader could still find it and the two-epoch argument collapses.
+  OAK_CHECK(currentThreadGuarded(),
+            "retire(%p) outside an active epoch guard (the unlink is not "
+            "protected)",
+            ptr);
+  // The unlink happens-before the deferred deleter run (paired with the
+  // acquire in tryAdvanceAndReclaim/drainAll).
+  OAK_TSAN_RELEASE(this);
   const std::uint64_t epoch = globalEpoch_.load(std::memory_order_seq_cst);
   {
     std::lock_guard<std::mutex> lk(retMu_);
+#if OAK_CHECKED
+    const bool fresh = pendingSet_.insert(ptr).second;
+    OAK_CHECK(fresh, "double-retire of %p (already pending reclamation)", ptr);
+#endif
     retired_.push_back(Retired{ptr, deleter, ctx, epoch});
   }
   pendingRetired_.fetch_add(1, std::memory_order_relaxed);
@@ -60,6 +79,9 @@ void Ebr::tryAdvanceAndReclaim() {
     for (std::size_t r = 0; r < retired_.size(); ++r) {
       if (retired_[r].epoch + 2 <= cur) {
         ready.push_back(retired_[r]);
+#if OAK_CHECKED
+        pendingSet_.erase(retired_[r].ptr);
+#endif
       } else {
         retired_[w++] = retired_[r];
       }
@@ -67,6 +89,9 @@ void Ebr::tryAdvanceAndReclaim() {
     retired_.resize(w);
   }
   if (!ready.empty()) {
+    // Pair with the releases in exit()/retire(): every critical section that
+    // could have touched these nodes happens-before their destruction.
+    OAK_TSAN_ACQUIRE(this);
     pendingRetired_.fetch_sub(ready.size(), std::memory_order_relaxed);
     for (const Retired& r : ready) r.deleter(r.ptr, r.ctx);
   }
@@ -89,8 +114,12 @@ void Ebr::drainAll() {
   {
     std::lock_guard<std::mutex> lk(retMu_);
     all.swap(retired_);
+#if OAK_CHECKED
+    pendingSet_.clear();
+#endif
   }
   if (!all.empty()) {
+    OAK_TSAN_ACQUIRE(this);
     pendingRetired_.fetch_sub(all.size(), std::memory_order_relaxed);
     for (const Retired& r : all) r.deleter(r.ptr, r.ctx);
   }

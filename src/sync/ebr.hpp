@@ -20,7 +20,12 @@
 #include <mutex>
 #include <vector>
 
+#include "common/checked.hpp"
 #include "common/thread_registry.hpp"
+
+#if OAK_CHECKED
+#include <unordered_set>
+#endif
 
 namespace oak::sync {
 
@@ -74,6 +79,14 @@ class Ebr {
   /// means a straggler is blocking reclamation.
   std::uint64_t epochLag() const noexcept;
 
+  /// True when the calling thread is inside a Guard on this instance.  The
+  /// OakSan protocol assertions (retire-under-guard, guarded metadata
+  /// dereference) are built on this probe; the slot depth is only ever
+  /// written by its own thread, so a relaxed read is exact.
+  bool currentThreadGuarded() const noexcept {
+    return slots_[ThreadRegistry::id()].depth.load(std::memory_order_relaxed) > 0;
+  }
+
  private:
   struct Retired {
     void* ptr;
@@ -98,6 +111,9 @@ class Ebr {
   std::vector<Retired> retired_;
   std::atomic<std::uint64_t> pendingRetired_{0};
   std::atomic<std::uint64_t> retireTicks_{0};
+#if OAK_CHECKED
+  std::unordered_set<void*> pendingSet_;  // guarded by retMu_; double-retire trap
+#endif
 };
 
 }  // namespace oak::sync

@@ -100,7 +100,43 @@ TEST_F(AllocatorTest, FirstFitSplitsLargerSegment) {
   const Ref small = alloc_.alloc(100);
   EXPECT_EQ(small.offset(), big.offset());  // prefix of the freed segment
   const Ref rest = alloc_.alloc(900);
-  EXPECT_EQ(rest.offset(), big.offset() + 104);  // rounded prefix split
+  // Rounded prefix split; checked builds interpose a 16-byte slice header
+  // between neighbouring allocations.
+  const std::uint32_t header = OAK_CHECKED ? 16u : 0u;
+  EXPECT_EQ(rest.offset(), big.offset() + 104 + header);
+}
+
+TEST_F(AllocatorTest, DoubleFreeIsRejected) {
+  const Ref r = alloc_.alloc(64);
+  EXPECT_TRUE(alloc_.free(r));
+#if OAK_CHECKED
+  EXPECT_DEATH(alloc_.free(r), "OakSan: double-free");
+#else
+  // Release builds refuse the second free (error return) instead of
+  // corrupting the free list — and the slice must stay reusable.
+  EXPECT_FALSE(alloc_.free(r));
+  const auto allocated = alloc_.allocatedBytes();
+  const Ref again = alloc_.alloc(64);
+  EXPECT_EQ(again.offset(), r.offset());  // single-entry free list reused once
+  EXPECT_GT(alloc_.allocatedBytes(), allocated);
+#endif
+}
+
+TEST_F(AllocatorTest, FreeingForeignRefIsRejected) {
+  // A reference into a block this allocator never owned must be refused.
+  const Ref forged = Ref::make(Ref::kMaxBlocks - 2, 128, 64);
+#if OAK_CHECKED
+  EXPECT_DEATH(alloc_.free(forged), "OakSan: free of foreign ref");
+#else
+  EXPECT_FALSE(alloc_.free(forged));
+#endif
+}
+
+TEST_F(AllocatorTest, LivenessProbe) {
+  const Ref r = alloc_.alloc(40);
+  EXPECT_TRUE(alloc_.isLive(r));
+  alloc_.free(r);
+  EXPECT_FALSE(alloc_.isLive(r));
 }
 
 TEST_F(AllocatorTest, GrowsAcrossBlocks) {

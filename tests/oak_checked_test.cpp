@@ -1,0 +1,254 @@
+// OakSan end-to-end tests: checked-build death tests for lifetime and
+// protocol violations, plus the ChunkWalker structural validator (which
+// works — and aborts via validateOrDie — in every build).
+//
+// The death tests assert on the "OakSan:" diagnostic prefix so a crash for
+// any other reason (segfault, plain assert) fails the test instead of
+// passing by accident.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/checked.hpp"
+#include "mem/first_fit_allocator.hpp"
+#include "mem/memory_manager.hpp"
+#include "mheap/managed_heap.hpp"
+#include "oak/chunk_walker.hpp"
+#include "oak/core_map.hpp"
+#include "sync/ebr.hpp"
+
+namespace oak {
+namespace {
+
+ByteSpan bytes(const std::string& s) { return asBytes(std::string_view(s)); }
+
+std::string padKey(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "key-%06d", i);
+  return buf;
+}
+
+class ChunkWalkerTest : public ::testing::Test {
+ protected:
+  ChunkWalkerTest() {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+// ----------------------------------------------------------- death tests
+#if OAK_CHECKED
+
+TEST(OakSanDeath, UseAfterFreeOnTranslate) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  mem::BlockPool pool(
+      mem::BlockPool::Config{.blockBytes = 1u << 20, .budgetBytes = SIZE_MAX});
+  mem::FirstFitAllocator alloc(pool);
+  const mem::Ref r = alloc.alloc(32);
+  alloc.free(r);
+  EXPECT_DEATH((void)alloc.translate(r), "OakSan: use-after-free");
+}
+
+TEST(OakSanDeath, DoubleFree) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  mem::BlockPool pool(
+      mem::BlockPool::Config{.blockBytes = 1u << 20, .budgetBytes = SIZE_MAX});
+  mem::FirstFitAllocator alloc(pool);
+  const mem::Ref r = alloc.alloc(48);
+  ASSERT_TRUE(alloc.free(r));
+  EXPECT_DEATH(alloc.free(r), "OakSan: double-free");
+}
+
+TEST(OakSanDeath, GenerationTagCatchesRecycledSlice) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  mem::BlockPool pool(
+      mem::BlockPool::Config{.blockBytes = 1u << 20, .budgetBytes = SIZE_MAX});
+  mem::FirstFitAllocator alloc(pool);
+  const mem::Ref a = alloc.alloc(64);
+  const std::uint32_t gen = alloc.generationOf(a);
+  alloc.assertLiveGeneration(a, gen);  // live slice, matching tag: fine
+  alloc.free(a);
+  const mem::Ref b = alloc.alloc(64);  // first fit recycles the same slice
+  ASSERT_EQ(b.offset(), a.offset());
+  ASSERT_EQ(b.block(), a.block());
+  // The stale handle still passes the liveness bitmap — only the generation
+  // tag can tell the recycled slice from the original (exact ABA).
+  EXPECT_DEATH(alloc.assertLiveGeneration(a, gen), "OakSan: ABA/stale handle");
+}
+
+TEST(OakSanDeath, ManagedHeapDoubleFree) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  mheap::ManagedHeap heap;
+  void* p = heap.alloc(32);
+  heap.free(p);
+  EXPECT_DEATH(heap.free(p), "OakSan: managed-heap double-free");
+}
+
+TEST(OakSanDeath, UnguardedKeyReadInBoundDomain) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  mem::BlockPool pool(
+      mem::BlockPool::Config{.blockBytes = 1u << 20, .budgetBytes = SIZE_MAX});
+  mem::MemoryManager mm(pool);
+  sync::Ebr ebr;
+  mm.bindGuardDomain(&ebr);
+  const std::string key = "epoch-protected";
+  const mem::Ref r = mm.allocateKey(bytes(key));
+  {
+    sync::Ebr::Guard g(ebr);
+    EXPECT_EQ(asString(mm.keyBytes(r)), key);  // guarded: legal
+  }
+  EXPECT_DEATH((void)mm.keyBytes(r), "OakSan: .*outside an active epoch guard");
+}
+
+TEST(OakSanDeath, RetireOutsideGuard) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  sync::Ebr ebr;
+  int x = 0;
+  EXPECT_DEATH(ebr.retire(&x, [](void*, void*) {}, nullptr),
+               "OakSan: retire.*outside an active epoch guard");
+}
+
+TEST(OakSanDeath, DoubleRetire) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  sync::Ebr ebr;
+  int x = 0;
+  sync::Ebr::Guard g(ebr);
+  ebr.retire(&x, [](void*, void*) {}, nullptr);
+  EXPECT_DEATH(ebr.retire(&x, [](void*, void*) {}, nullptr),
+               "OakSan: double-retire");
+}
+
+#else  // !OAK_CHECKED
+
+TEST(OakSanDeath, ChecksCompileToNothingWhenOff) {
+  // In unchecked builds the protocol violations must NOT abort: free()
+  // error-returns and the liveness probes stay available.
+  mem::BlockPool pool(
+      mem::BlockPool::Config{.blockBytes = 1u << 20, .budgetBytes = SIZE_MAX});
+  mem::FirstFitAllocator alloc(pool);
+  const mem::Ref r = alloc.alloc(32);
+  ASSERT_TRUE(alloc.free(r));
+  EXPECT_FALSE(alloc.free(r));  // rejected, not fatal
+  EXPECT_FALSE(alloc.isLive(r));
+}
+
+#endif  // OAK_CHECKED
+
+TEST(OakSan, GuardProbeTracksDepth) {
+  sync::Ebr ebr;
+  EXPECT_FALSE(ebr.currentThreadGuarded());
+  {
+    sync::Ebr::Guard outer(ebr);
+    EXPECT_TRUE(ebr.currentThreadGuarded());
+    {
+      sync::Ebr::Guard inner(ebr);
+      EXPECT_TRUE(ebr.currentThreadGuarded());
+    }
+    EXPECT_TRUE(ebr.currentThreadGuarded());  // reentrant: outer still pins
+  }
+  EXPECT_FALSE(ebr.currentThreadGuarded());
+}
+
+// ------------------------------------------------------------ ChunkWalker
+TEST_F(ChunkWalkerTest, CleanMapValidates) {
+  OakConfig cfg;
+  cfg.chunkCapacity = 64;  // force splits so the walker sees a real chain
+  OakCoreMap<> map(cfg);
+  constexpr int kN = 2000;
+  for (int i = 0; i < kN; ++i) {
+    map.put(bytes(padKey(i)), bytes("value-" + std::to_string(i)));
+  }
+  for (int i = 0; i < kN; i += 3) map.remove(bytes(padKey(i)));
+  map.quiesce();
+
+  auto rep = ChunkWalker<BytesComparator>::validate(map);
+  for (const auto& p : rep.problems) ADD_FAILURE() << p;
+  EXPECT_TRUE(rep.ok);
+  EXPECT_GT(rep.chunks, 1u);
+  EXPECT_GE(rep.linkedEntries, rep.liveValues);
+  EXPECT_EQ(rep.liveValues, map.sizeSlow());
+  ChunkWalker<BytesComparator>::validateOrDie(map);  // must not abort
+}
+
+TEST_F(ChunkWalkerTest, DetectsEntryPointingAtFreedKeySlice) {
+  OakConfig cfg;
+  cfg.chunkCapacity = 128;
+  OakCoreMap<> map(cfg);
+  for (int i = 0; i < 200; ++i) {
+    map.put(bytes(padKey(i)), bytes("v"));
+  }
+  ASSERT_TRUE(ChunkWalker<BytesComparator>::validate(map).ok);
+
+  // Fault injection: free one entry's key slice out from under the chunk —
+  // the bug class EBR exists to prevent (premature reclamation).
+  mem::Ref victim;
+  ChunkWalker<BytesComparator>::forEachEntry(
+      map, [&](mem::Ref keyRef, std::uint64_t) {
+        if (victim.isNull()) victim = keyRef;
+      });
+  ASSERT_FALSE(victim.isNull());
+  ASSERT_TRUE(map.memoryManager().allocator().free(victim));
+
+  auto rep = ChunkWalker<BytesComparator>::validate(map);
+  EXPECT_FALSE(rep.ok);
+  ASSERT_FALSE(rep.problems.empty());
+  EXPECT_NE(rep.problems.front().find("freed slice"), std::string::npos)
+      << rep.problems.front();
+  EXPECT_DEATH(ChunkWalker<BytesComparator>::validateOrDie(map),
+               "OakSan: ChunkWalker found");
+}
+
+TEST_F(ChunkWalkerTest, ValidatesAfterConcurrentChurn) {
+  OakConfig cfg;
+  cfg.chunkCapacity = 64;
+  OakCoreMap<> map(cfg);
+  constexpr int kThreads = 4;
+  constexpr int kOps = 3000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::string k = padKey((t * kOps + i * 7) % 997);
+        switch (i % 4) {
+          case 0:
+          case 1:
+            map.put(bytes(k), bytes("v" + std::to_string(i)));
+            break;
+          case 2:
+            (void)map.get(bytes(k));
+            break;
+          default:
+            map.remove(bytes(k));
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  map.quiesce();
+
+  auto rep = ChunkWalker<BytesComparator>::validate(map);
+  for (const auto& p : rep.problems) ADD_FAILURE() << p;
+  EXPECT_TRUE(rep.ok);
+  EXPECT_GT(map.rebalanceCount(), 0u);  // the churn exercised the protocol
+}
+
+TEST_F(ChunkWalkerTest, GenerationalModeValidates) {
+  OakConfig cfg;
+  cfg.chunkCapacity = 64;
+  cfg.reclaim = ValueReclaim::Generational;
+  OakCoreMap<> map(cfg);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 400; ++i) map.put(bytes(padKey(i)), bytes("r"));
+    for (int i = 0; i < 400; i += 2) map.remove(bytes(padKey(i)));
+  }
+  map.quiesce();
+  auto rep = ChunkWalker<BytesComparator>::validate(map);
+  for (const auto& p : rep.problems) ADD_FAILURE() << p;
+  EXPECT_TRUE(rep.ok);
+}
+
+}  // namespace
+}  // namespace oak

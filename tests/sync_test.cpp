@@ -133,10 +133,15 @@ TEST(Ebr, GuardsAreReentrant) {
 TEST(Ebr, DrainAllReclaimsEverything) {
   Ebr ebr;
   std::atomic<int> freed{0};
-  for (int i = 0; i < 100; ++i) {
-    ebr.retire(reinterpret_cast<void*>(static_cast<std::uintptr_t>(i + 1)),
-               [](void*, void* ctx) { static_cast<std::atomic<int>*>(ctx)->fetch_add(1); },
-               &freed);
+  {
+    // Retiring is only legal inside a guard (OakSan asserts it in checked
+    // builds): the unlink a retire publishes must itself be protected.
+    Ebr::Guard g(ebr);
+    for (int i = 0; i < 100; ++i) {
+      ebr.retire(reinterpret_cast<void*>(static_cast<std::uintptr_t>(i + 1)),
+                 [](void*, void* ctx) { static_cast<std::atomic<int>*>(ctx)->fetch_add(1); },
+                 &freed);
+    }
   }
   ebr.drainAll();
   EXPECT_EQ(freed.load(), 100);
