@@ -42,9 +42,11 @@ inline int runFig4(const char* figure, const char* title, const Mix& mix,
   BenchConfig cfg = standardConfig();
   const auto threads = standardThreads();
   printHeader(figure, title);
-  std::printf("dataset=%zu pairs (key %zuB, value %zuB), RAM=%zu MiB, %u ms/point\n",
-              cfg.keyRange, cfg.keyBytes, cfg.valueBytes, cfg.totalRamBytes >> 20,
-              cfg.durationMs);
+  std::printf(
+      "dataset=%zu pairs (key %zuB, value %zuB), RAM=%zu MiB, %u ms/point, "
+      "shards=%zu\n",
+      cfg.keyRange, cfg.keyBytes, cfg.valueBytes, cfg.totalRamBytes >> 20,
+      cfg.durationMs, cfg.shards);
   printSeriesHeader("threads");
   for (const Series& s : series) {
     for (unsigned t : threads) {

@@ -43,6 +43,7 @@ struct Options {
   std::uint32_t durationMs = 300;  // -d
   std::size_t scanLength = 1000;
   std::size_t ramMb = 0;     // 0 = auto (3x raw)
+  std::vector<std::size_t> shards{1};  // --shards: Oak range-partition sweep
   std::string scenario = "custom";
   std::string csvPath;
 };
@@ -61,6 +62,7 @@ void usage() {
       "  -d  <ms>     duration per point\n"
       "  -L  <n>      scan length (default 1000)\n"
       "  -m  <MiB>    total RAM budget (default 3x raw data)\n"
+      "  --shards <list>      Oak shard counts to sweep, e.g. \"1 4 8\" (default 1)\n"
       "  --buffer             use the zero-copy API\n"
       "  --stream-iteration   use the Stream scan API\n"
       "  --scenario <4a..4f>  canned paper scenario\n"
@@ -114,30 +116,37 @@ Mix mixFor(const Options& o) {
 }
 
 template <class Adapter, class... Args>
-void runBench(const Options& o, const std::string& bench, Args&&... args) {
+void runBench(const Options& o, const std::string& bench,
+              const std::vector<std::size_t>& shards, Args&&... args) {
   std::ofstream csv;
   if (!o.csvPath.empty()) csv.open(o.csvPath, std::ios::app);
-  for (unsigned t : o.threads) {
-    BenchConfig cfg;
-    cfg.keyRange = o.size;
-    cfg.keyBytes = o.keySize;
-    cfg.valueBytes = o.valueSize;
-    cfg.threads = t;
-    cfg.durationMs = o.durationMs;
-    cfg.scanLength = o.scanLength;
-    cfg.totalRamBytes = o.ramMb != 0 ? (o.ramMb << 20) : cfg.rawDataBytes() * 3;
-    const RamSplit split = splitRam(cfg, bench != "JavaSkipListMap");
-    const PointResult r = runPoint<Adapter>(cfg, mixFor(o), std::forward<Args>(args)...);
-    // The artifact's summary.csv layout.
-    std::printf("%-14s %-18s %8zum %8zum %9u %12zu %14.6f\n", o.scenario.c_str(),
-                bench.c_str(), split.heapBytes >> 20, split.offHeapBytes >> 20, t,
-                r.finalSize, r.kops / 1e3 /* Mops, like the artifact */);
-    printMetricsLine(bench.c_str(), static_cast<double>(t), r);
-    std::fflush(stdout);
-    if (csv.is_open()) {
-      csv << o.scenario << ',' << bench << ',' << (split.heapBytes >> 20) << "m,"
-          << (split.offHeapBytes >> 20) << "m," << t << ',' << r.finalSize << ','
-          << r.kops / 1e3 << '\n';
+  for (std::size_t sh : shards) {
+    for (unsigned t : o.threads) {
+      BenchConfig cfg;
+      cfg.keyRange = o.size;
+      cfg.keyBytes = o.keySize;
+      cfg.valueBytes = o.valueSize;
+      cfg.threads = t;
+      cfg.durationMs = o.durationMs;
+      cfg.scanLength = o.scanLength;
+      cfg.shards = sh;
+      cfg.totalRamBytes = o.ramMb != 0 ? (o.ramMb << 20) : cfg.rawDataBytes() * 3;
+      const RamSplit split = splitRam(cfg, bench != "JavaSkipListMap");
+      std::string label = bench;
+      if (sh > 1) label += "-x" + std::to_string(sh);
+      const PointResult r =
+          runPoint<Adapter>(cfg, mixFor(o), std::forward<Args>(args)...);
+      // The artifact's summary.csv layout.
+      std::printf("%-14s %-18s %8zum %8zum %9u %12zu %14.6f\n", o.scenario.c_str(),
+                  label.c_str(), split.heapBytes >> 20, split.offHeapBytes >> 20, t,
+                  r.finalSize, r.kops / 1e3 /* Mops, like the artifact */);
+      printMetricsLine(label.c_str(), static_cast<double>(t), r);
+      std::fflush(stdout);
+      if (csv.is_open()) {
+        csv << o.scenario << ',' << label << ',' << (split.heapBytes >> 20)
+            << "m," << (split.offHeapBytes >> 20) << "m," << t << ','
+            << r.finalSize << ',' << r.kops / 1e3 << '\n';
+      }
     }
   }
 }
@@ -145,13 +154,15 @@ void runBench(const Options& o, const std::string& bench, Args&&... args) {
 void runAll(const Options& o) {
   std::printf("%-14s %-18s %9s %9s %9s %12s %14s\n", "Scenario", "Bench",
               "Heap", "DirectMem", "#Threads", "Final Size", "Mops/sec");
+  const std::vector<std::size_t> one{1};
   for (const std::string& b : o.benches) {
     if (b == "OakMap") {
-      runBench<OakAdapter>(o, b, /*copyApi=*/!o.zeroCopy);
+      // Only Oak understands sharding; the baselines run once.
+      runBench<OakAdapter>(o, b, o.shards, /*copyApi=*/!o.zeroCopy);
     } else if (b == "JavaSkipListMap") {
-      runBench<OnHeapAdapter>(o, b);
+      runBench<OnHeapAdapter>(o, b, one);
     } else if (b == "OffHeapList") {
-      runBench<OffHeapAdapter>(o, b);
+      runBench<OffHeapAdapter>(o, b, one);
     } else {
       std::fprintf(stderr, "unknown bench: %s\n", b.c_str());
     }
@@ -219,6 +230,10 @@ int main(int argc, char** argv) {
       o.scanLength = std::stoull(next());
     } else if (a == "-m") {
       o.ramMb = std::stoull(next());
+    } else if (a == "--shards") {
+      o.shards.clear();
+      for (auto& s : splitList(next())) o.shards.push_back(std::stoull(s));
+      if (o.shards.empty()) o.shards.push_back(1);
     } else if (a == "--buffer") {
       o.zeroCopy = true;
     } else if (a == "--stream-iteration") {

@@ -17,6 +17,7 @@
 #include "benchcore/workload.hpp"
 #include "mheap/managed_heap.hpp"
 #include "oak/core_map.hpp"
+#include "oak/sharded_map.hpp"
 #include "obs/metrics.hpp"
 
 namespace oak::bench {
@@ -53,6 +54,8 @@ inline RamSplit splitRam(const BenchConfig& cfg, bool offHeapSolution) {
 }
 
 // ------------------------------------------------------------------ Oak
+// Always drives the sharded front-end; cfg.shards == 1 (the default) is a
+// single-shard map whose router adds one empty binary search per op.
 class OakAdapter {
  public:
   static constexpr const char* kName = "Oak";
@@ -63,11 +66,15 @@ class OakAdapter {
     heap_ = std::make_unique<mheap::ManagedHeap>(heapConfig(split.heapBytes));
     pool_ = std::make_unique<mem::BlockPool>(mem::BlockPool::Config{
         .blockBytes = 8u << 20, .budgetBytes = split.offHeapBytes});
-    OakConfig ocfg;
-    ocfg.chunkCapacity = 2048;
-    ocfg.metaHeap = heap_.get();
-    ocfg.pool = pool_.get();
-    map_ = std::make_unique<OakCoreMap<>>(ocfg);
+    ShardedOakConfig scfg;
+    scfg.shards = cfg.shards < 1 ? 1 : cfg.shards;
+    scfg.shard.chunkCapacity = 2048;
+    scfg.shard.metaHeap = heap_.get();
+    scfg.shard.pool = pool_.get();
+    // Bench ids are dense in [0, keyRange) behind an 8-byte BE prefix —
+    // split that range, not the full u64 space.
+    scfg.layout = ShardLayout::uniformRange(scfg.shards, cfg.keyRange);
+    map_ = std::make_unique<ShardedOakCoreMap<>>(std::move(scfg));
   }
 
   const char* name() const { return copyApi_ ? "Oak-Copy" : "Oak"; }
@@ -137,7 +144,7 @@ class OakAdapter {
   bool copyApi_;
   std::unique_ptr<mheap::ManagedHeap> heap_;
   std::unique_ptr<mem::BlockPool> pool_;
-  std::unique_ptr<OakCoreMap<>> map_;
+  std::unique_ptr<ShardedOakCoreMap<>> map_;
 };
 
 // -------------------------------------------------------- SkipList-OnHeap

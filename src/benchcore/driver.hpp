@@ -235,10 +235,11 @@ inline bool metricsLinesEnabled() {
 
 inline void printMetricsLine(const char* name, double x, const PointResult& r) {
   if (!metricsLinesEnabled()) return;
-  std::printf("METRICS {\"solution\":\"%s\",\"x\":%g,\"kops\":%.1f,"
-              "\"ingest_kops\":%.1f,\"oom\":%s,\"final_size\":%zu,"
+  std::printf("METRICS {\"solution\":\"%s\",\"x\":%g,\"shards\":%llu,"
+              "\"kops\":%.1f,\"ingest_kops\":%.1f,\"oom\":%s,\"final_size\":%zu,"
               "\"offheap_bytes\":%zu,\"metrics\":%s}\n",
-              name, x, r.kops, r.ingestKops, r.oom ? "true" : "false",
+              name, x, static_cast<unsigned long long>(r.metrics.shards),
+              r.kops, r.ingestKops, r.oom ? "true" : "false",
               r.finalSize, r.offHeapBytes, r.metrics.toJson().c_str());
 }
 

@@ -30,6 +30,7 @@ struct BenchConfig {
   std::size_t scanLength = 1000;      ///< paper: 10 K pairs per scan
   std::uint32_t repeats = 1;          ///< medians over repeats (paper: 3)
   std::uint64_t seed = 42;
+  std::size_t shards = 1;             ///< Oak range-partition count (--shards)
 
   /// Total RAM budget for the run; split between the managed heap and the
   /// off-heap pool per §5.1 ("allocating the former with just enough
@@ -81,6 +82,7 @@ inline BenchConfig standardConfig() {
   cfg.durationMs = static_cast<std::uint32_t>(envSize("OAK_BENCH_DURATION_MS", 300));
   cfg.scanLength = envSize("OAK_BENCH_SCAN_LEN", 1000);
   cfg.repeats = static_cast<std::uint32_t>(envSize("OAK_BENCH_REPEATS", 1));
+  cfg.shards = envSize("OAK_BENCH_SHARDS", 1);
   // Paper Fig.4: 32 GB RAM for 11 GB raw data (~3x) — same ratio here.
   cfg.totalRamBytes = cfg.rawDataBytes() * 3;
   return cfg;

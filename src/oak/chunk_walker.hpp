@@ -29,12 +29,14 @@
 
 #include "common/checked.hpp"
 #include "oak/core_map.hpp"
+#include "oak/sharded_map.hpp"
 
 namespace oak {
 
 template <class Compare>
 class ChunkWalker {
   using Map = OakCoreMap<Compare>;
+  using Sharded = ShardedOakCoreMap<Compare>;
   using ChunkT = detail::Chunk<Compare>;
 
  public:
@@ -106,6 +108,78 @@ class ChunkWalker {
     oakCheckFail(__FILE__, __LINE__,
                  "ChunkWalker found %zu structural violation(s):%s",
                  rep.problems.size(), all.c_str());
+  }
+
+  // ------------------------------------------------------ sharded maps
+  /// Validates one shard's chain, plus the router invariant that every
+  /// entry the shard yields lies inside its boundary range — a fault in
+  /// one shard must never implicate its neighbors.
+  static Report validateShard(Sharded& m, std::size_t i) {
+    Report rep = validate(m.shard(i));
+    // Boundary containment via the shard's own ordered extremes — but only
+    // on a structurally sound chain: firstEntry()/lastEntry() copy key
+    // bytes, and if the chain check above flagged a freed slice that copy
+    // would fault (checked builds abort) instead of reporting.
+    if (!rep.ok) return rep;
+    const auto& router = m.router();
+    if (auto first = m.shard(i).firstEntry(); first && i > 0) {
+      if (m.shard(i).comparator()(asBytes(first->key), router.boundary(i - 1)) < 0) {
+        rep.fail(format("shard %zu holds a key below its lower boundary", i));
+      }
+    }
+    if (auto last = m.shard(i).lastEntry(); last && i + 1 < m.shardCount()) {
+      if (m.shard(i).comparator()(asBytes(last->key), router.boundary(i)) >= 0) {
+        rep.fail(format("shard %zu holds a key at or above its upper boundary", i));
+      }
+    }
+    return rep;
+  }
+
+  /// Per-shard reports, validated independently (a corrupted shard yields
+  /// exactly one failing report; healthy shards stay clean).
+  static std::vector<Report> validateShards(Sharded& m) {
+    std::vector<Report> reps;
+    reps.reserve(m.shardCount());
+    for (std::size_t i = 0; i < m.shardCount(); ++i) {
+      reps.push_back(validateShard(m, i));
+    }
+    return reps;
+  }
+
+  /// Whole-map rollup: every shard's problems, each prefixed "shard i:".
+  static Report validate(Sharded& m) {
+    Report all;
+    const std::vector<Report> reps = validateShards(m);
+    for (std::size_t i = 0; i < reps.size(); ++i) {
+      all.chunks += reps[i].chunks;
+      all.linkedEntries += reps[i].linkedEntries;
+      all.liveValues += reps[i].liveValues;
+      for (const std::string& p : reps[i].problems) {
+        all.fail(format("shard %zu: ", i) + p);
+      }
+    }
+    return all;
+  }
+
+  /// Aborts (in every build) when any shard fails validation.
+  static void validateOrDie(Sharded& m) {
+    Report rep = validate(m);
+    if (rep.ok) return;
+    std::string all;
+    for (const std::string& p : rep.problems) {
+      all += "\n    ";
+      all += p;
+    }
+    oakCheckFail(__FILE__, __LINE__,
+                 "ChunkWalker found %zu structural violation(s):%s",
+                 rep.problems.size(), all.c_str());
+  }
+
+  /// forEachEntry over one shard (fault-injection tests pick their victim
+  /// shard explicitly; the plain overload serves single-core maps).
+  template <class F>
+  static void forEachEntry(Sharded& m, std::size_t shard, F&& f) {
+    forEachEntry(m.shard(shard), std::forward<F>(f));
   }
 
  private:

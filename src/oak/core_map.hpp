@@ -62,6 +62,10 @@ class OakCoreMap {
   using Index = sl::SkipList<ByteVec, ChunkT*, IndexCmp>;
 
  public:
+  /// Config type consumed by the constructor (the typed BasicOakMap wrapper
+  /// forwards `CoreT::Config`, so sharded and plain cores interchange).
+  using Config = OakConfig;
+
   explicit OakCoreMap(OakConfig cfg = OakConfig{}, Compare cmp = Compare{})
       : cfg_(cfg),
         cmp_(cmp),
@@ -483,6 +487,7 @@ class OakCoreMap {
     m.rebalances = rebalanceCount();
     m.chunkCount = chunkCount();
     m.alloc = mm_.stats();
+    m.arenas = {m.alloc};  // one arena region per core map
     m.ebr = obs::EbrStats{ebr_.epochLag(), ebr_.retiredCount()};
     m.gc = metaHeap_.stats();
     return m;

@@ -9,10 +9,18 @@
 //                  parameters and returns (each query deserializes a copy;
 //                  updates return the previous value).
 //
-// Both views share one OakCoreMap instance, exactly as in the paper ("the
-// ZC and legacy API implementations share most of it", §4).  Scans are
-// configured through a typed ScanOptions (direction + stream) used
-// uniformly by entrySet/keySet/valueSet and the core iterators.
+// Both views share one core instance, exactly as in the paper ("the ZC and
+// legacy API implementations share most of it", §4).  Scans are configured
+// through a typed ScanOptions (direction + stream) used uniformly by
+// entrySet/keySet/valueSet and the core iterators.
+//
+// The body is BasicOakMap<..., CoreT>: every method is written against the
+// core's byte-level surface (point ops, navigation, AscendIter/DescendIter),
+// so the same typed facade serves both cores:
+//
+//   * OakMap        — CoreT = OakCoreMap<Compare>        (one chunk list)
+//   * ShardedOakMap — CoreT = ShardedOakCoreMap<Compare> (range-partitioned
+//                     shards + k-way merged scans; oak/sharded_map.hpp)
 #pragma once
 
 #include <functional>
@@ -21,17 +29,19 @@
 
 #include "oak/core_map.hpp"
 #include "oak/scan_options.hpp"
+#include "oak/sharded_map.hpp"
 
 namespace oak {
 
-template <class K, class V, class KSer, class VSer, class Compare = BytesComparator>
+template <class K, class V, class KSer, class VSer, class Compare = BytesComparator,
+          class CoreT = OakCoreMap<Compare>>
   requires SerializerFor<KSer, K> && SerializerFor<VSer, V>
-class OakMap {
-  using Core = OakCoreMap<Compare>;
+class BasicOakMap {
+  using Core = CoreT;
 
  public:
-  explicit OakMap(OakConfig cfg = OakConfig{}, Compare cmp = Compare{})
-      : core_(cfg, cmp) {}
+  explicit BasicOakMap(typename Core::Config cfg = {}, Compare cmp = Compare{})
+      : core_(std::move(cfg), cmp) {}
 
   /// Typed navigation result: the entry's key (deserialized — it identifies
   /// the entry) plus a zero-copy view of its value.
@@ -431,6 +441,17 @@ class OakMap {
 
   Core core_;
 };
+
+/// The paper's map: one OakCoreMap chunk list behind the typed facade.
+template <class K, class V, class KSer, class VSer, class Compare = BytesComparator>
+using OakMap = BasicOakMap<K, V, KSer, VSer, Compare, OakCoreMap<Compare>>;
+
+/// Range-partitioned front-end: N independent shards (own chunk list,
+/// arena region, EBR domain) behind the same typed facade; full-map scans
+/// are k-way merged and stay globally sorted.  Construct with a
+/// ShardedOakConfig ({.shards = N} or an explicit ShardLayout).
+template <class K, class V, class KSer, class VSer, class Compare = BytesComparator>
+using ShardedOakMap = BasicOakMap<K, V, KSer, VSer, Compare, ShardedOakCoreMap<Compare>>;
 
 /// Convenience alias matching the benchmarks: string keys, ByteVec values.
 using OakStringMap = OakMap<std::string, ByteVec, StringSerializer, BytesSerializer>;

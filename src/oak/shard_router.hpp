@@ -1,0 +1,131 @@
+// ShardRouter — static range partitioning for ShardedOakMap.
+//
+// A sharded map is a front-end over N independent OakCoreMap instances.
+// Shard i owns the half-open key range [b_{i-1}, b_i) where b_0..b_{N-2}
+// are the boundary keys produced by a splitter policy (b_{-1} = -inf,
+// b_{N-1} = +inf).  Point operations route through one binary search over
+// the boundary vector; scans ask the router which contiguous shard span a
+// [lo, hi) range intersects.
+//
+// Boundaries are chosen once at construction (static splitting): rebalance,
+// allocator pressure, and lock-free contention stay local to a shard, and
+// no cross-shard coordination is ever needed on the data path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "oak/serializer.hpp"
+
+namespace oak {
+
+/// Splitter policy output: N-1 strictly ascending boundary keys for N
+/// shards.  Construct through one of the factories (or hand-roll the
+/// vector for domain-specific splits).
+struct ShardLayout {
+  std::vector<ByteVec> boundaries;
+
+  std::size_t shards() const noexcept { return boundaries.size() + 1; }
+
+  /// Uniform split of the id space [0, range) for 8-byte big-endian key
+  /// prefixes: the policy for U64Serializer keys and the benchmark's
+  /// BE-prefixed keys whose ids are dense in a known range.
+  static ShardLayout uniformRange(std::size_t shards, std::uint64_t range) {
+    ShardLayout l;
+    if (shards < 2 || range == 0) return l;
+    const std::uint64_t step = range / shards;
+    if (step == 0) return l;  // fewer ids than shards: degenerate to 1
+    for (std::size_t i = 1; i < shards; ++i) {
+      ByteVec b(8);
+      storeU64BE(b.data(), step * i);
+      l.boundaries.push_back(std::move(b));
+    }
+    return l;
+  }
+
+  /// Uniform split of the full 64-bit big-endian key prefix space.  For
+  /// arbitrary byte keys it still yields a correct (if possibly skewed)
+  /// partition by the first 8 bytes.
+  static ShardLayout uniformU64(std::size_t shards) {
+    return uniformRange(shards, ~std::uint64_t{0});
+  }
+
+  /// Uniform split of the first key byte — a generic lexicographic policy
+  /// for string-ish key spaces.
+  static ShardLayout uniformBytes(std::size_t shards) {
+    ShardLayout l;
+    if (shards < 2) return l;
+    for (std::size_t i = 1; i < shards; ++i) {
+      l.boundaries.push_back(ByteVec{static_cast<std::byte>(i * 256 / shards)});
+    }
+    return l;
+  }
+
+  /// Explicit boundary keys (must be strictly ascending under the map's
+  /// comparator; the router verifies).
+  static ShardLayout at(std::vector<ByteVec> bounds) {
+    ShardLayout l;
+    l.boundaries = std::move(bounds);
+    return l;
+  }
+};
+
+/// Routes serialized keys and key ranges to shard indices.
+template <class Compare = BytesComparator>
+class ShardRouter {
+ public:
+  ShardRouter(ShardLayout layout, Compare cmp = Compare{})
+      : boundaries_(std::move(layout.boundaries)), cmp_(cmp) {
+    for (std::size_t i = 0; i + 1 < boundaries_.size(); ++i) {
+      if (cmp_(asBytes(boundaries_[i]), asBytes(boundaries_[i + 1])) >= 0) {
+        throw OakUsageError("shard boundaries must be strictly ascending");
+      }
+    }
+    for (const ByteVec& b : boundaries_) {
+      if (b.empty()) throw OakUsageError("empty shard boundary is reserved");
+    }
+  }
+
+  std::size_t shards() const noexcept { return boundaries_.size() + 1; }
+
+  /// Shard owning `key`: the number of boundaries <= key.
+  std::size_t shardFor(ByteSpan key) const noexcept {
+    std::size_t lo = 0, hi = boundaries_.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (cmp_(asBytes(boundaries_[mid]), key) <= 0) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  /// First shard a scan bounded below by `lo` (inclusive) can touch.
+  std::size_t lowerShard(const std::optional<ByteVec>& lo) const noexcept {
+    return lo ? shardFor(asBytes(*lo)) : 0;
+  }
+  /// Last shard (inclusive) a scan bounded above by `hi` (exclusive) can
+  /// touch.  An empty range still maps to a valid shard; the per-shard
+  /// iterators simply come up invalid.
+  std::size_t upperShard(const std::optional<ByteVec>& hi) const noexcept {
+    if (!hi) return shards() - 1;
+    const std::size_t s = shardFor(asBytes(*hi));
+    // hi is exclusive: a boundary-equal hi never reads its own shard.
+    if (s > 0 && cmp_(asBytes(boundaries_[s - 1]), asBytes(*hi)) == 0) return s - 1;
+    return s;
+  }
+
+  /// Boundary key i (the inclusive lower bound of shard i+1).
+  ByteSpan boundary(std::size_t i) const noexcept { return asBytes(boundaries_[i]); }
+
+ private:
+  std::vector<ByteVec> boundaries_;
+  Compare cmp_;
+};
+
+}  // namespace oak

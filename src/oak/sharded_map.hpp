@@ -1,0 +1,312 @@
+// ShardedOakCoreMap — a range-partitioned front-end over N independent
+// OakCoreMap instances.
+//
+// Each shard is a full Oak core: its own chunk list, skiplist index, its
+// own MemoryManager arena region (carved from the shared BlockPool), and
+// its own EBR domain.  Rebalance serialization, allocator free lists, and
+// epoch advancement therefore stay local to a shard — contention and GC
+// pressure do not cross shard boundaries, which is the structural step the
+// ROADMAP's scaling trajectory (per-shard rebalance throttling, NUMA
+// pinning, async batching) builds on.
+//
+//   * Point operations route by key through a ShardRouter binary search
+//     and keep the exact single-map linearization points (§4.5): one op
+//     touches exactly one shard, so per-shard linearizability composes to
+//     whole-map linearizability for point ops.
+//   * Ordered scans run a k-way merge over per-shard iterators: every
+//     intersecting shard contributes its stream, and the merge yields the
+//     globally smallest (resp. greatest) key next, zero-copy.  Each merged
+//     step's linearization point is the underlying shard iterator's entry
+//     read; the scan as a whole keeps the paper's non-atomic §4.2
+//     guarantees, exactly as a single-shard scan does.
+//   * stats() aggregates per-shard oak::Metrics into one whole-map
+//     snapshot that still carries the per-arena gauge vector.
+//
+// The typed facade is oak::ShardedOakMap<K, V, ...> (oak/map.hpp), the
+// same BasicOakMap body the plain OakMap uses — only the core differs.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "oak/core_map.hpp"
+#include "oak/shard_router.hpp"
+
+namespace oak {
+
+struct ShardedOakConfig {
+  /// Shard count used with the default splitter.  Ignored when `layout`
+  /// carries explicit boundaries (then layout.shards() wins).
+  std::size_t shards = 1;
+  /// Per-shard core configuration (every shard gets an identical copy; the
+  /// BlockPool inside is shared, the arena regions are not).
+  OakConfig shard;
+  /// Boundary keys; empty => ShardLayout::uniformU64(shards).
+  ShardLayout layout;
+};
+
+template <class Compare = BytesComparator>
+class ShardedOakCoreMap {
+  using Core = OakCoreMap<Compare>;
+
+ public:
+  using Config = ShardedOakConfig;
+  using KeyedEntry = typename Core::KeyedEntry;
+  using EntryView = typename Core::EntryView;
+
+  explicit ShardedOakCoreMap(ShardedOakConfig cfg = ShardedOakConfig{},
+                             Compare cmp = Compare{})
+      : router_(cfg.layout.boundaries.empty()
+                    ? ShardLayout::uniformU64(cfg.shards < 1 ? 1 : cfg.shards)
+                    : std::move(cfg.layout),
+                cmp),
+        cmp_(cmp) {
+    shards_.reserve(router_.shards());
+    for (std::size_t i = 0; i < router_.shards(); ++i) {
+      shards_.push_back(std::make_unique<Core>(cfg.shard, cmp));
+    }
+  }
+
+  ShardedOakCoreMap(const ShardedOakCoreMap&) = delete;
+  ShardedOakCoreMap& operator=(const ShardedOakCoreMap&) = delete;
+
+  std::size_t shardCount() const noexcept { return shards_.size(); }
+  Core& shard(std::size_t i) noexcept { return *shards_[i]; }
+  const Core& shard(std::size_t i) const noexcept { return *shards_[i]; }
+  const ShardRouter<Compare>& router() const noexcept { return router_; }
+  const Compare& comparator() const noexcept { return cmp_; }
+
+  /// Shard a key routes to (exposed for tests and placement-aware callers).
+  std::size_t shardFor(ByteSpan key) const noexcept {
+    return router_.shardFor(key);
+  }
+
+  // ====================================================== point ops ==
+  // Exactly the OakCoreMap surface; each call touches one shard.
+  std::optional<OakRBuffer> get(ByteSpan key) { return route(key).get(key); }
+  std::optional<ByteVec> getCopy(ByteSpan key) { return route(key).getCopy(key); }
+  bool containsKey(ByteSpan key) { return route(key).containsKey(key); }
+
+  bool put(ByteSpan key, ByteSpan value, ByteVec* old = nullptr) {
+    return route(key).put(key, value, old);
+  }
+  bool putIfAbsent(ByteSpan key, ByteSpan value) {
+    return route(key).putIfAbsent(key, value);
+  }
+  template <class F>
+  void putIfAbsentComputeIfPresent(ByteSpan key, ByteSpan value, F&& func) {
+    route(key).putIfAbsentComputeIfPresent(key, value, std::forward<F>(func));
+  }
+  template <class F>
+  bool computeIfPresent(ByteSpan key, F&& func) {
+    return route(key).computeIfPresent(key, std::forward<F>(func));
+  }
+  bool remove(ByteSpan key, ByteVec* old = nullptr) {
+    return route(key).remove(key, old);
+  }
+  bool replace(ByteSpan key, ByteSpan value, ByteVec* old = nullptr) {
+    return route(key).replace(key, value, old);
+  }
+  bool replaceIf(ByteSpan key, ByteSpan expected, ByteSpan desired) {
+    return route(key).replaceIf(key, expected, desired);
+  }
+
+  // ==================================================== navigation ==
+  // Range partitioning makes navigation a shard-local query plus a walk
+  // towards the neighbors until one answers.
+  std::optional<KeyedEntry> firstEntry() {
+    for (auto& s : shards_) {
+      if (auto e = s->firstEntry()) return e;
+    }
+    return std::nullopt;
+  }
+  std::optional<KeyedEntry> lastEntry() {
+    for (std::size_t i = shards_.size(); i-- > 0;) {
+      if (auto e = shards_[i]->lastEntry()) return e;
+    }
+    return std::nullopt;
+  }
+  std::optional<KeyedEntry> ceilingEntry(ByteSpan key) {
+    for (std::size_t i = router_.shardFor(key); i < shards_.size(); ++i) {
+      if (auto e = shards_[i]->ceilingEntry(key)) return e;
+    }
+    return std::nullopt;
+  }
+  std::optional<KeyedEntry> higherEntry(ByteSpan key) {
+    for (std::size_t i = router_.shardFor(key); i < shards_.size(); ++i) {
+      if (auto e = shards_[i]->higherEntry(key)) return e;
+    }
+    return std::nullopt;
+  }
+  std::optional<KeyedEntry> floorEntry(ByteSpan key) {
+    for (std::size_t i = router_.shardFor(key) + 1; i-- > 0;) {
+      if (auto e = shards_[i]->floorEntry(key)) return e;
+    }
+    return std::nullopt;
+  }
+  std::optional<KeyedEntry> lowerEntry(ByteSpan key) {
+    for (std::size_t i = router_.shardFor(key) + 1; i-- > 0;) {
+      if (auto e = shards_[i]->lowerEntry(key)) return e;
+    }
+    return std::nullopt;
+  }
+
+  // =================================================== merged scans ==
+  /// Ascending k-way merge over per-shard stream iterators.  Each shard
+  /// iterator pins its own shard's epoch; the merge picks the globally
+  /// least key next, so cross-shard output is totally ordered without any
+  /// shard-to-shard synchronization.
+  class AscendIter {
+   public:
+    AscendIter(ShardedOakCoreMap& m, std::optional<ByteVec> lo,
+               std::optional<ByteVec> hi, ScanOptions opts)
+        : map_(&m) {
+      const std::size_t first = m.router_.lowerShard(lo);
+      const std::size_t last = m.router_.upperShard(hi);
+      for (std::size_t i = first; i <= last && i < m.shards_.size(); ++i) {
+        iters_.push_back(std::make_unique<typename Core::AscendIter>(
+            *m.shards_[i], lo, hi, opts));
+      }
+      pick();
+    }
+
+    bool valid() const noexcept { return cur_ != kNoneIdx; }
+    EntryView entry() const { return iters_[cur_]->entry(); }
+    void next() {
+      iters_[cur_]->next();
+      pick();
+    }
+
+   private:
+    static constexpr std::size_t kNoneIdx = ~std::size_t{0};
+
+    void pick() noexcept {
+      cur_ = kNoneIdx;
+      for (std::size_t i = 0; i < iters_.size(); ++i) {
+        if (!iters_[i]->valid()) continue;
+        if (cur_ == kNoneIdx ||
+            map_->cmp_(iters_[i]->entry().key, iters_[cur_]->entry().key) < 0) {
+          cur_ = i;
+        }
+      }
+    }
+
+    ShardedOakCoreMap* map_;
+    std::vector<std::unique_ptr<typename Core::AscendIter>> iters_;
+    std::size_t cur_ = kNoneIdx;
+  };
+
+  /// Descending k-way merge: picks the globally greatest key next.
+  class DescendIter {
+   public:
+    DescendIter(ShardedOakCoreMap& m, std::optional<ByteVec> lo,
+                std::optional<ByteVec> hi, ScanOptions opts)
+        : map_(&m) {
+      const std::size_t first = m.router_.lowerShard(lo);
+      const std::size_t last = m.router_.upperShard(hi);
+      for (std::size_t i = first; i <= last && i < m.shards_.size(); ++i) {
+        iters_.push_back(std::make_unique<typename Core::DescendIter>(
+            *m.shards_[i], lo, hi, opts));
+      }
+      pick();
+    }
+
+    bool valid() const noexcept { return cur_ != kNoneIdx; }
+    EntryView entry() const { return iters_[cur_]->entry(); }
+    void next() {
+      iters_[cur_]->next();
+      pick();
+    }
+
+   private:
+    static constexpr std::size_t kNoneIdx = ~std::size_t{0};
+
+    void pick() noexcept {
+      cur_ = kNoneIdx;
+      for (std::size_t i = 0; i < iters_.size(); ++i) {
+        if (!iters_[i]->valid()) continue;
+        if (cur_ == kNoneIdx ||
+            map_->cmp_(iters_[i]->entry().key, iters_[cur_]->entry().key) > 0) {
+          cur_ = i;
+        }
+      }
+    }
+
+    ShardedOakCoreMap* map_;
+    std::vector<std::unique_ptr<typename Core::DescendIter>> iters_;
+    std::size_t cur_ = kNoneIdx;
+  };
+
+  AscendIter ascend(std::optional<ByteVec> lo = std::nullopt,
+                    std::optional<ByteVec> hi = std::nullopt,
+                    ScanOptions opts = {}) {
+    return AscendIter(*this, std::move(lo), std::move(hi), opts);
+  }
+  DescendIter descend(std::optional<ByteVec> lo = std::nullopt,
+                      std::optional<ByteVec> hi = std::nullopt,
+                      ScanOptions opts = {}) {
+    return DescendIter(*this, std::move(lo), std::move(hi), opts);
+  }
+
+  // ========================================================= stats ==
+  std::size_t sizeSlow() {
+    std::size_t n = 0;
+    for (auto& s : shards_) n += s->sizeSlow();
+    return n;
+  }
+  std::size_t offHeapFootprintBytes() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : shards_) n += s->offHeapFootprintBytes();
+    return n;
+  }
+  std::size_t offHeapAllocatedBytes() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : shards_) n += s->offHeapAllocatedBytes();
+    return n;
+  }
+  std::size_t chunkCount() const noexcept {
+    std::size_t n = 0;
+    for (const auto& s : shards_) n += s->chunkCount();
+    return n;
+  }
+  std::uint64_t rebalanceCount() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& s : shards_) n += s->rebalanceCount();
+    return n;
+  }
+
+  /// Whole-map observability snapshot: per-shard Metrics folded into one
+  /// (counter/gauge sums, max EBR lag) that keeps the per-arena vector so
+  /// the obs layer reports both per-shard and whole-map views.
+  obs::Metrics stats() const {
+    std::vector<obs::Metrics> per;
+    per.reserve(shards_.size());
+    for (const auto& s : shards_) per.push_back(s->stats());
+    return obs::Metrics::aggregate(per);
+  }
+  /// Per-shard snapshots (one oak::Metrics per shard, unaggregated).
+  std::vector<obs::Metrics> shardStats() const {
+    std::vector<obs::Metrics> per;
+    per.reserve(shards_.size());
+    for (const auto& s : shards_) per.push_back(s->stats());
+    return per;
+  }
+
+  /// Drains deferred reclamation in every shard's EBR domain.
+  void quiesce() {
+    for (auto& s : shards_) s->quiesce();
+  }
+
+ private:
+  Core& route(ByteSpan key) noexcept {
+    return *shards_[router_.shardFor(key)];
+  }
+
+  ShardRouter<Compare> router_;
+  Compare cmp_;
+  std::vector<std::unique_ptr<Core>> shards_;
+};
+
+}  // namespace oak

@@ -43,9 +43,10 @@ std::string Metrics::toJson() const {
 
   appendf(j,
           "\"counters\":{\"rebalance\":%" PRIu64 ",\"chunk_split\":%" PRIu64
-          ",\"chunk_merge\":%" PRIu64 "},\"chunks\":%" PRIu64 ",",
+          ",\"chunk_merge\":%" PRIu64 "},\"chunks\":%" PRIu64
+          ",\"shards\":%" PRIu64 ",",
           rebalances, registry.counter(Counter::ChunkSplit),
-          registry.counter(Counter::ChunkMerge), chunkCount);
+          registry.counter(Counter::ChunkMerge), chunkCount, shards);
 
   appendf(j,
           "\"alloc\":{\"footprint_bytes\":%zu,\"allocated_bytes\":%zu,"
@@ -55,6 +56,19 @@ std::string Metrics::toJson() const {
           alloc.footprintBytes, alloc.allocatedBytes, alloc.fragmentedBytes,
           alloc.allocCount, alloc.freeCount, alloc.freedBytes,
           alloc.freeListLength);
+
+  j += "\"arenas\":[";
+  for (std::size_t i = 0; i < arenas.size(); ++i) {
+    const AllocStats& a = arenas[i];
+    if (i != 0) j += ',';
+    appendf(j,
+            "{\"footprint_bytes\":%zu,\"allocated_bytes\":%zu,"
+            "\"fragmented_bytes\":%zu,\"alloc_count\":%" PRIu64
+            ",\"free_count\":%" PRIu64 "}",
+            a.footprintBytes, a.allocatedBytes, a.fragmentedBytes,
+            a.allocCount, a.freeCount);
+  }
+  j += "],";
 
   appendf(j, "\"ebr\":{\"epoch_lag\":%" PRIu64 ",\"retired\":%" PRIu64 "},",
           ebr.epochLag, ebr.retired);
@@ -85,15 +99,25 @@ std::string Metrics::toText() const {
             s.percentileNanos(0.99) / 1e3, s.maxNanos() / 1e3);
   }
   appendf(t,
-          "  structure: chunks=%" PRIu64 " rebalances=%" PRIu64
-          " splits=%" PRIu64 " merges=%" PRIu64 "\n",
-          chunkCount, rebalances, registry.counter(Counter::ChunkSplit),
+          "  structure: shards=%" PRIu64 " chunks=%" PRIu64
+          " rebalances=%" PRIu64 " splits=%" PRIu64 " merges=%" PRIu64 "\n",
+          shards, chunkCount, rebalances, registry.counter(Counter::ChunkSplit),
           registry.counter(Counter::ChunkMerge));
   appendf(t,
           "  off-heap: footprint=%zuB in-use=%zuB fragmented=%zuB "
           "allocs=%" PRIu64 " frees=%" PRIu64 " free-list=%" PRIu64 "\n",
           alloc.footprintBytes, alloc.allocatedBytes, alloc.fragmentedBytes,
           alloc.allocCount, alloc.freeCount, alloc.freeListLength);
+  if (arenas.size() > 1) {
+    for (std::size_t i = 0; i < arenas.size(); ++i) {
+      appendf(t,
+              "    arena[%zu]: footprint=%zuB in-use=%zuB fragmented=%zuB "
+              "allocs=%" PRIu64 " frees=%" PRIu64 "\n",
+              i, arenas[i].footprintBytes, arenas[i].allocatedBytes,
+              arenas[i].fragmentedBytes, arenas[i].allocCount,
+              arenas[i].freeCount);
+    }
+  }
   appendf(t, "  ebr: epoch-lag=%" PRIu64 " retired=%" PRIu64 "\n", ebr.epochLag,
           ebr.retired);
   appendf(t,

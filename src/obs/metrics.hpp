@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "mheap/managed_heap.hpp"
 #include "obs/stats.hpp"
@@ -22,11 +23,43 @@ struct Metrics {
   std::uint64_t rebalances = 0;
   std::uint64_t chunkCount = 0;
 
+  /// Number of shards this snapshot covers (1 for a plain OakCoreMap).
+  std::uint64_t shards = 1;
+
+  /// Aggregated allocator gauges: the sum over `arenas`.
   AllocStats alloc;
+  /// Per-arena gauges, one entry per MemoryManager arena region.  A plain
+  /// map has exactly one; a ShardedOakMap has one per shard, so footprint
+  /// and fragmentation stay attributable even when shards own separate
+  /// arena regions.
+  std::vector<AllocStats> arenas;
+
   EbrStats ebr;
   mheap::GcStats gc;
 
   bool statsCompiled = StatsRegistry::compiled();
+
+  /// Folds a shard's snapshot into this whole-map view: counters and
+  /// gauges sum (EBR lag takes the max), `arenas` concatenates, and the GC
+  /// stats are taken from the first shard — shards share one managed heap.
+  void absorbShard(const Metrics& s) {
+    registry.merge(s.registry);
+    rebalances += s.rebalances;
+    chunkCount += s.chunkCount;
+    alloc.merge(s.alloc);
+    arenas.insert(arenas.end(), s.arenas.begin(), s.arenas.end());
+    ebr.merge(s.ebr);
+    if (shards == 0) gc = s.gc;
+    shards += s.shards;
+  }
+
+  /// Whole-map aggregate over per-shard snapshots.
+  static Metrics aggregate(const std::vector<Metrics>& perShard) {
+    Metrics m;
+    m.shards = 0;
+    for (const Metrics& s : perShard) m.absorbShard(s);
+    return m;
+  }
 
   /// Compact single-line JSON object (stable key set; see DESIGN.md).
   std::string toJson() const;

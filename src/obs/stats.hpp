@@ -133,6 +133,18 @@ struct RegistrySnapshot {
   std::uint64_t counter(Counter c) const noexcept {
     return counters[static_cast<std::size_t>(c)];
   }
+
+  /// Accumulates another snapshot (whole-map view over per-shard registries).
+  void merge(const RegistrySnapshot& o) noexcept {
+    for (std::size_t i = 0; i < kOpCount; ++i) {
+      ops[i].count += o.ops[i].count;
+      ops[i].sampled += o.ops[i].sampled;
+      for (std::size_t b = 0; b < kHistBuckets; ++b) {
+        ops[i].buckets[b] += o.ops[i].buckets[b];
+      }
+    }
+    for (std::size_t c = 0; c < kCounterCount; ++c) counters[c] += o.counters[c];
+  }
 };
 
 /// Allocator gauges (MemoryManager::stats()).  Lives here rather than in
@@ -146,12 +158,30 @@ struct AllocStats {
   std::uint64_t freeCount = 0;      ///< cumulative frees
   std::uint64_t freedBytes = 0;     ///< cumulative bytes returned
   std::uint64_t freeListLength = 0; ///< current free-list segments
+
+  /// Accumulates another arena's gauges (whole-map view over shard arenas).
+  void merge(const AllocStats& o) noexcept {
+    footprintBytes += o.footprintBytes;
+    allocatedBytes += o.allocatedBytes;
+    fragmentedBytes += o.fragmentedBytes;
+    allocCount += o.allocCount;
+    freeCount += o.freeCount;
+    freedBytes += o.freedBytes;
+    freeListLength += o.freeListLength;
+  }
 };
 
 /// EBR gauges.
 struct EbrStats {
   std::uint64_t epochLag = 0;  ///< global epoch minus oldest pinned epoch
   std::uint64_t retired = 0;   ///< nodes awaiting reclamation
+
+  /// Whole-map view over per-shard EBR domains: the worst straggler lag,
+  /// the total retired backlog.
+  void merge(const EbrStats& o) noexcept {
+    if (o.epochLag > epochLag) epochLag = o.epochLag;
+    retired += o.retired;
+  }
 };
 
 // ======================================================= enabled build ==

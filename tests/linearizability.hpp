@@ -162,4 +162,116 @@ inline bool isLinearizable(std::vector<Operation> history) {
   return false;
 }
 
+// ---------------------------------------------------------------- scans --
+// Scans are deliberately NOT linearizable in Oak (§4.2: "Oak iterators do
+// not guarantee a consistent snapshot").  What the paper does guarantee is
+// that a scan observes a sorted view where every key's presence is
+// explainable by real-time order.  We check sound necessary conditions
+// derived from that contract:
+//
+//   1. Output is strictly sorted (ascending or descending) — the merged
+//      cross-shard order must be total.
+//   2. No duplicate keys.
+//   3. A key MUST appear if some successful insert of it completed before
+//      the scan was invoked and every successful remove of it completed
+//      before that insert was invoked (the mapping was stably present for
+//      the scan's whole duration).
+//   4. A key MUST NOT appear unless some successful insert of it was
+//      invoked before the scan responded.
+//   5. An observed value must be one some insert of that key actually
+//      wrote before the scan responded (valid only for histories without
+//      in-place computes).
+struct ScanObservation {
+  bool descending = false;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;  // key, value
+  std::uint64_t invokeNs = 0;
+  std::uint64_t responseNs = 0;
+};
+
+inline bool isInsert(const Operation& op) {
+  return op.type == OpType::Put || (op.type == OpType::PutIfAbsent && op.ok);
+}
+
+/// Checks a scan against the point-op history per the rules above.  On
+/// failure, appends a human-readable reason to `*why` (if non-null).
+inline bool checkScanConsistency(const ScanObservation& scan,
+                                 const std::vector<Operation>& history,
+                                 std::string* why = nullptr) {
+  auto fail = [&](std::string msg) {
+    if (why != nullptr) *why += std::move(msg);
+    return false;
+  };
+  // 1 + 2: strict global order.
+  for (std::size_t i = 1; i < scan.entries.size(); ++i) {
+    const std::uint64_t prev = scan.entries[i - 1].first;
+    const std::uint64_t curr = scan.entries[i].first;
+    if (scan.descending ? curr >= prev : curr <= prev) {
+      return fail("unsorted/duplicate at position " + std::to_string(i) +
+                  ": key " + std::to_string(prev) + " then " +
+                  std::to_string(curr));
+    }
+  }
+  std::set<std::uint64_t> seen;
+  for (const auto& [k, v] : scan.entries) seen.insert(k);
+
+  std::set<std::uint64_t> keys;
+  for (const Operation& op : history) keys.insert(op.key);
+  for (const auto& [k, v] : scan.entries) keys.insert(k);
+
+  for (const std::uint64_t k : keys) {
+    // 3: stably-present keys must appear.
+    bool mustAppear = false;
+    for (const Operation& ins : history) {
+      if (!isInsert(ins) || ins.key != k) continue;
+      if (ins.responseNs >= scan.invokeNs) continue;
+      bool removable = false;
+      for (const Operation& rem : history) {
+        if (rem.type != OpType::Remove || !rem.ok || rem.key != k) continue;
+        if (rem.responseNs >= ins.invokeNs) removable = true;
+      }
+      if (!removable) mustAppear = true;
+    }
+    if (mustAppear && seen.count(k) == 0) {
+      return fail("key " + std::to_string(k) +
+                  " stably present before the scan but not observed");
+    }
+    // 4: keys never inserted must not appear.
+    if (seen.count(k) != 0) {
+      bool couldExist = false;
+      for (const Operation& ins : history) {
+        if (isInsert(ins) && ins.key == k && ins.invokeNs < scan.responseNs) {
+          couldExist = true;
+          break;
+        }
+      }
+      if (!couldExist) {
+        return fail("key " + std::to_string(k) +
+                    " observed but never successfully inserted");
+      }
+    }
+  }
+  // 5: observed values must have been written (histories without computes).
+  bool hasCompute = false;
+  for (const Operation& op : history) {
+    if (op.type == OpType::Compute) hasCompute = true;
+  }
+  if (!hasCompute) {
+    for (const auto& [k, v] : scan.entries) {
+      bool written = false;
+      for (const Operation& ins : history) {
+        if (isInsert(ins) && ins.key == k && ins.arg == v &&
+            ins.invokeNs < scan.responseNs) {
+          written = true;
+          break;
+        }
+      }
+      if (!written) {
+        return fail("key " + std::to_string(k) + " observed with value " +
+                    std::to_string(v) + " that no insert wrote");
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace oak::lin

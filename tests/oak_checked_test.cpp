@@ -18,6 +18,7 @@
 #include "mheap/managed_heap.hpp"
 #include "oak/chunk_walker.hpp"
 #include "oak/core_map.hpp"
+#include "oak/sharded_map.hpp"
 #include "sync/ebr.hpp"
 
 namespace oak {
@@ -120,6 +121,36 @@ TEST(OakSanDeath, DoubleRetire) {
                "OakSan: double-retire");
 }
 
+TEST(OakSanDeath, CrossShardForeignRefFree) {
+  // Each shard's allocator owns its own arena blocks even when the shards
+  // share one BlockPool.  Releasing shard A's key slice through shard B's
+  // allocator is a lifetime/ownership violation OakSan must catch — the
+  // sharded front-end never mixes arenas on any legal path.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  mem::BlockPool pool(
+      mem::BlockPool::Config{.blockBytes = 1u << 20, .budgetBytes = SIZE_MAX});
+  ShardedOakConfig cfg;
+  cfg.shard.pool = &pool;
+  cfg.layout = ShardLayout::uniformBytes(2);  // split at first byte 0x80
+  ShardedOakCoreMap<> map(std::move(cfg));
+  map.put(bytes("key-000001"), bytes("v"));   // 'k' < 0x80: shard 0
+  map.put(bytes("\xF0zzz"), bytes("w"));      // 0xF0 >= 0x80: shard 1
+  ASSERT_EQ(map.shard(0).sizeSlow(), 1u);
+  ASSERT_EQ(map.shard(1).sizeSlow(), 1u);
+
+  mem::Ref victim;
+  ChunkWalker<BytesComparator>::forEachEntry(
+      map, 0, [&](mem::Ref keyRef, std::uint64_t) {
+        if (victim.isNull()) victim = keyRef;
+      });
+  ASSERT_FALSE(victim.isNull());
+  // Shard 0's slice is live and freeable through its own allocator...
+  ASSERT_TRUE(map.shard(0).memoryManager().allocator().isLive(victim));
+  // ...but shard 1's allocator never registered that arena block.
+  EXPECT_DEATH(map.shard(1).memoryManager().allocator().free(victim),
+               "OakSan: free of foreign ref");
+}
+
 #else  // !OAK_CHECKED
 
 TEST(OakSanDeath, ChecksCompileToNothingWhenOff) {
@@ -196,6 +227,54 @@ TEST_F(ChunkWalkerTest, DetectsEntryPointingAtFreedKeySlice) {
   ASSERT_FALSE(rep.problems.empty());
   EXPECT_NE(rep.problems.front().find("freed slice"), std::string::npos)
       << rep.problems.front();
+  EXPECT_DEATH(ChunkWalker<BytesComparator>::validateOrDie(map),
+               "OakSan: ChunkWalker found");
+}
+
+TEST_F(ChunkWalkerTest, ShardedFaultLocalizesToFaultyShard) {
+  // Corrupt exactly one shard; per-shard validation must implicate that
+  // shard alone, and the whole-map rollup must name it.
+  ShardedOakConfig cfg;
+  cfg.shard.chunkCapacity = 32;
+  cfg.layout = ShardLayout::at({toVec(bytes(padKey(50))), toVec(bytes(padKey(100))),
+                                toVec(bytes(padKey(150)))});
+  ShardedOakCoreMap<> map(std::move(cfg));
+  for (int i = 0; i < 200; ++i) {
+    map.put(bytes(padKey(i)), bytes("v"));
+  }
+  for (std::size_t s = 0; s < 4; ++s) {
+    ASSERT_EQ(map.shard(s).sizeSlow(), 50u) << "shard " << s;
+  }
+  ASSERT_TRUE(ChunkWalker<BytesComparator>::validate(map).ok);
+
+  constexpr std::size_t kVictimShard = 2;
+  mem::Ref victim;
+  ChunkWalker<BytesComparator>::forEachEntry(
+      map, kVictimShard, [&](mem::Ref keyRef, std::uint64_t) {
+        if (victim.isNull()) victim = keyRef;
+      });
+  ASSERT_FALSE(victim.isNull());
+  ASSERT_TRUE(map.shard(kVictimShard).memoryManager().allocator().free(victim));
+
+  const auto reports = ChunkWalker<BytesComparator>::validateShards(map);
+  ASSERT_EQ(reports.size(), 4u);
+  for (std::size_t s = 0; s < reports.size(); ++s) {
+    if (s == kVictimShard) {
+      EXPECT_FALSE(reports[s].ok) << "victim shard must fail validation";
+    } else {
+      EXPECT_TRUE(reports[s].ok) << "healthy shard " << s << " implicated: "
+                                 << (reports[s].problems.empty()
+                                         ? ""
+                                         : reports[s].problems.front());
+    }
+  }
+  auto whole = ChunkWalker<BytesComparator>::validate(map);
+  EXPECT_FALSE(whole.ok);
+  ASSERT_FALSE(whole.problems.empty());
+  EXPECT_NE(whole.problems.front().find("shard 2:"), std::string::npos)
+      << whole.problems.front();
+  EXPECT_NE(whole.problems.front().find("freed slice"), std::string::npos)
+      << whole.problems.front();
   EXPECT_DEATH(ChunkWalker<BytesComparator>::validateOrDie(map),
                "OakSan: ChunkWalker found");
 }

@@ -8,6 +8,8 @@
 
 #include <atomic>
 #include <barrier>
+#include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -15,6 +17,7 @@
 #include "common/random.hpp"
 #include "linearizability.hpp"
 #include "oak/core_map.hpp"
+#include "oak/sharded_map.hpp"
 
 namespace oak {
 namespace {
@@ -80,9 +83,12 @@ TEST(LinChecker, RejectsLostCompute) {
 }
 
 // ---- recording Oak histories ---------------------------------------------
+// Works against any map exposing the OakCoreMap byte surface — the plain
+// core and the sharded front-end record through the same code.
+template <class Map>
 class Recorder {
  public:
-  explicit Recorder(OakCoreMap<>& m) : m_(&m) {}
+  explicit Recorder(Map& m) : m_(&m) {}
 
   void get(std::uint64_t k) {
     Operation op{OpType::Get, k, 0, std::nullopt, true, lin::nowNs(), 0};
@@ -121,20 +127,80 @@ class Recorder {
   std::vector<Operation> ops_;
 
  private:
-  OakCoreMap<>* m_;
+  Map* m_;
 };
 
-/// One recorded round: `threads` workers, `opsPer` ops each over `keys`.
-std::vector<Operation> recordRound(unsigned threads, int opsPer, int keys,
-                                   std::uint64_t seed, ValueReclaim reclaim) {
-  OakConfig cfg;
-  cfg.chunkCapacity = 16;  // tiny chunks: rebalances join the party
-  cfg.reclaim = reclaim;
-  OakCoreMap<> map(cfg);
-  std::vector<Recorder> recs;
+/// Records ascending/descending whole-map scans concurrent with point ops.
+template <class Map>
+class ScanRecorder {
+ public:
+  explicit ScanRecorder(Map& m) : m_(&m) {}
+
+  void scan(bool descending) {
+    lin::ScanObservation obs;
+    obs.descending = descending;
+    obs.invokeNs = lin::nowNs();
+    if (descending) {
+      for (auto it = m_->descend(); it.valid(); it.next()) record(obs, it);
+    } else {
+      for (auto it = m_->ascend(); it.valid(); it.next()) record(obs, it);
+    }
+    obs.responseNs = lin::nowNs();
+    scans_.push_back(std::move(obs));
+  }
+
+  std::vector<lin::ScanObservation> scans_;
+
+ private:
+  template <class It>
+  void record(lin::ScanObservation& obs, It& it) {
+    auto e = it.entry();
+    const std::uint64_t k = loadU64BE(e.key.data());
+    std::uint64_t v = 0;
+    try {
+      e.value.read([&](ByteSpan s) { v = loadUnaligned<std::uint64_t>(s.data()); });
+    } catch (const ConcurrentModification&) {
+      return;  // entry vanished mid-read; §4.2 allows skipping it
+    }
+    obs.entries.emplace_back(k, v);
+  }
+
+  Map* m_;
+};
+
+/// Shard layouts whose boundaries land INSIDE the tiny test key space, so
+/// point ops and scans constantly straddle shard edges.  Shard counts
+/// beyond the key space leave trailing shards empty — also worth testing.
+ShardLayout straddlingLayout(std::size_t shards, int keys) {
+  std::vector<ByteVec> bounds;
+  for (std::size_t i = 1; i < shards; ++i) {
+    // First boundaries inside [1, keys); the rest beyond the key space.
+    bounds.push_back(keyOf(i < static_cast<std::size_t>(keys)
+                               ? i
+                               : static_cast<std::uint64_t>(keys) + i));
+  }
+  return ShardLayout::at(std::move(bounds));
+}
+
+struct RoundResult {
+  std::vector<Operation> ops;
+  std::vector<lin::ScanObservation> scans;
+};
+
+/// One recorded round against an already-built map: `threads` point-op
+/// workers (`opsPer` ops each over `keys`), plus `scanThreads` workers
+/// interleaving whole-map ascending/descending scans.
+template <class Map>
+RoundResult recordRoundOn(Map& map, unsigned threads, int opsPer, int keys,
+                          std::uint64_t seed, unsigned scanThreads,
+                          bool withCompute) {
+  std::vector<Recorder<Map>> recs;
   recs.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) recs.emplace_back(map);
-  std::barrier gate(static_cast<std::ptrdiff_t>(threads));
+  std::vector<ScanRecorder<Map>> scanRecs;
+  scanRecs.reserve(scanThreads);
+  for (unsigned t = 0; t < scanThreads; ++t) scanRecs.emplace_back(map);
+  std::barrier gate(static_cast<std::ptrdiff_t>(threads + scanThreads));
   std::vector<std::thread> ts;
   for (unsigned t = 0; t < threads; ++t) {
     ts.emplace_back([&, t] {
@@ -142,7 +208,7 @@ std::vector<Operation> recordRound(unsigned threads, int opsPer, int keys,
       gate.arrive_and_wait();
       for (int i = 0; i < opsPer; ++i) {
         const std::uint64_t k = rng.nextBounded(keys);
-        switch (rng.nextBounded(5)) {
+        switch (rng.nextBounded(withCompute ? 5 : 4)) {
           case 0: recs[t].get(k); break;
           case 1: recs[t].put(k, rng.nextBounded(100)); break;
           case 2: recs[t].putIfAbsent(k, rng.nextBounded(100)); break;
@@ -152,10 +218,53 @@ std::vector<Operation> recordRound(unsigned threads, int opsPer, int keys,
       }
     });
   }
+  for (unsigned t = 0; t < scanThreads; ++t) {
+    ts.emplace_back([&, t] {
+      XorShift rng(seed * 7000 + t);
+      gate.arrive_and_wait();
+      for (int i = 0; i < 3; ++i) scanRecs[t].scan(rng.nextBounded(2) == 1);
+    });
+  }
   for (auto& t : ts) t.join();
-  std::vector<Operation> all;
-  for (auto& r : recs) all.insert(all.end(), r.ops_.begin(), r.ops_.end());
-  return all;
+  RoundResult out;
+  for (auto& r : recs) out.ops.insert(out.ops.end(), r.ops_.begin(), r.ops_.end());
+  for (auto& r : scanRecs) {
+    out.scans.insert(out.scans.end(), r.scans_.begin(), r.scans_.end());
+  }
+  return out;
+}
+
+/// One recorded round against a fresh single-core map.
+std::vector<Operation> recordRound(unsigned threads, int opsPer, int keys,
+                                   std::uint64_t seed, ValueReclaim reclaim) {
+  OakConfig cfg;
+  cfg.chunkCapacity = 16;  // tiny chunks: rebalances join the party
+  cfg.reclaim = reclaim;
+  OakCoreMap<> map(cfg);
+  return recordRoundOn(map, threads, opsPer, keys, seed, /*scanThreads=*/0,
+                       /*withCompute=*/true)
+      .ops;
+}
+
+/// One recorded round against a fresh sharded map with straddling layout.
+RoundResult recordShardedRound(std::size_t shards, unsigned threads, int opsPer,
+                               int keys, std::uint64_t seed,
+                               unsigned scanThreads, bool withCompute) {
+  ShardedOakConfig cfg;
+  cfg.shard.chunkCapacity = 16;
+  cfg.layout = straddlingLayout(shards, keys);
+  ShardedOakCoreMap<> map(std::move(cfg));
+  return recordRoundOn(map, threads, opsPer, keys, seed, scanThreads,
+                       withCompute);
+}
+
+/// Shard counts under test: OAK_SHARDS pins one (the CI sanitizer legs use
+/// this); default sweeps 1, 4 and 7.
+std::vector<std::size_t> shardCounts() {
+  if (const char* v = std::getenv("OAK_SHARDS")) {
+    return {static_cast<std::size_t>(std::strtoull(v, nullptr, 10))};
+  }
+  return {1, 4, 7};
 }
 
 TEST(OakLinearizability, PointOpsKeepHeaders) {
@@ -176,6 +285,104 @@ TEST(OakLinearizability, WiderKeySpace) {
   for (std::uint64_t round = 0; round < 60; ++round) {
     auto h = recordRound(4, 5, 4, round + 2000, ValueReclaim::KeepHeaders);
     ASSERT_TRUE(lin::isLinearizable(std::move(h))) << "round " << round;
+  }
+}
+
+// ---- scan-checker self-tests ---------------------------------------------
+TEST(ScanChecker, AcceptsEmptyAndSorted) {
+  std::vector<Operation> h;
+  h.push_back({OpType::Put, 1, 5, std::nullopt, true, 0, 1});
+  h.push_back({OpType::Put, 3, 7, std::nullopt, true, 2, 3});
+  lin::ScanObservation s;
+  s.invokeNs = 10;
+  s.responseNs = 20;
+  s.entries = {{1, 5}, {3, 7}};
+  EXPECT_TRUE(lin::checkScanConsistency(s, h));
+  s.descending = true;
+  s.entries = {{3, 7}, {1, 5}};
+  EXPECT_TRUE(lin::checkScanConsistency(s, h));
+}
+
+TEST(ScanChecker, RejectsUnsortedOutput) {
+  std::vector<Operation> h;
+  h.push_back({OpType::Put, 1, 5, std::nullopt, true, 0, 1});
+  h.push_back({OpType::Put, 3, 7, std::nullopt, true, 2, 3});
+  lin::ScanObservation s;
+  s.invokeNs = 10;
+  s.responseNs = 20;
+  s.entries = {{3, 7}, {1, 5}};  // descending order from an ascending scan
+  std::string why;
+  EXPECT_FALSE(lin::checkScanConsistency(s, h, &why));
+  EXPECT_NE(why.find("unsorted"), std::string::npos);
+}
+
+TEST(ScanChecker, RejectsMissingStableKey) {
+  std::vector<Operation> h;
+  h.push_back({OpType::Put, 2, 9, std::nullopt, true, 0, 1});  // stable: no remove
+  lin::ScanObservation s;
+  s.invokeNs = 10;
+  s.responseNs = 20;  // scan starts after the put responded
+  std::string why;
+  EXPECT_FALSE(lin::checkScanConsistency(s, h, &why));
+  EXPECT_NE(why.find("stably present"), std::string::npos);
+}
+
+TEST(ScanChecker, AcceptsMissingKeyWhenRemoveOverlapsInsert) {
+  std::vector<Operation> h;
+  h.push_back({OpType::Put, 2, 9, std::nullopt, true, 5, 8});
+  h.push_back({OpType::Remove, 2, 0, std::nullopt, true, 6, 9});  // overlaps
+  lin::ScanObservation s;
+  s.invokeNs = 10;
+  s.responseNs = 20;
+  EXPECT_TRUE(lin::checkScanConsistency(s, h));
+}
+
+TEST(ScanChecker, RejectsPhantomKeyAndPhantomValue) {
+  std::vector<Operation> h;
+  h.push_back({OpType::Put, 1, 5, std::nullopt, true, 0, 1});
+  lin::ScanObservation s;
+  s.invokeNs = 10;
+  s.responseNs = 20;
+  s.entries = {{1, 5}, {9, 1}};  // key 9 was never inserted
+  std::string why;
+  EXPECT_FALSE(lin::checkScanConsistency(s, h, &why));
+  EXPECT_NE(why.find("never successfully inserted"), std::string::npos);
+  s.entries = {{1, 6}};  // value 6 was never written to key 1
+  why.clear();
+  EXPECT_FALSE(lin::checkScanConsistency(s, h, &why));
+  EXPECT_NE(why.find("no insert wrote"), std::string::npos);
+}
+
+// ---- sharded rounds -------------------------------------------------------
+// Point ops touch exactly one shard, so per-shard linearizability must
+// compose to whole-map linearizability — same checker, sharded map, with
+// keys straddling shard boundaries (layout puts boundaries at 1, 2, 3...).
+TEST(ShardedLinearizability, PointOpsAcrossBoundaries) {
+  for (std::size_t shards : shardCounts()) {
+    for (std::uint64_t round = 0; round < 60; ++round) {
+      auto r = recordShardedRound(shards, 3, 6, 4, round + 3000,
+                                  /*scanThreads=*/0, /*withCompute=*/true);
+      ASSERT_TRUE(lin::isLinearizable(std::move(r.ops)))
+          << "shards " << shards << " round " << round;
+    }
+  }
+}
+
+// Concurrent whole-map scans must stay globally sorted across the k-way
+// merge and observe / omit keys only as the §4.2 contract allows.
+TEST(ShardedLinearizability, CrossShardScansConsistent) {
+  for (std::size_t shards : shardCounts()) {
+    for (std::uint64_t round = 0; round < 40; ++round) {
+      auto r = recordShardedRound(shards, 2, 6, 4, round + 4000,
+                                  /*scanThreads=*/2, /*withCompute=*/false);
+      ASSERT_TRUE(lin::isLinearizable(r.ops))
+          << "shards " << shards << " round " << round;
+      for (const auto& scan : r.scans) {
+        std::string why;
+        ASSERT_TRUE(lin::checkScanConsistency(scan, r.ops, &why))
+            << "shards " << shards << " round " << round << ": " << why;
+      }
+    }
   }
 }
 

@@ -1,0 +1,284 @@
+// Property-based oracle test: ShardedOakCoreMap vs std::map.
+//
+// A single thread drives a long random op sequence through the sharded map
+// and a std::map oracle side by side, checking every return value, old-value
+// copy, navigation query, and (periodically) full ascending/descending and
+// range scans.  Runs at shard counts 1, 4 and 7 so the same sequence is
+// exercised unsharded, across populated boundaries, and with empty shards.
+//
+// Deterministic and replayable: every failure message carries the seed;
+// set OAK_MODEL_SEED=<n> to run exactly that sequence (and only it).
+// OAK_SHARDS=<n> likewise pins the shard count (the CI sanitizer legs do).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iterator>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/random.hpp"
+#include "oak/sharded_map.hpp"
+
+namespace oak {
+namespace {
+
+constexpr std::uint64_t kKeySpace = 48;  // dense ids; boundaries land inside
+
+ByteVec keyOf(std::uint64_t i) {
+  ByteVec k(8);
+  storeU64BE(k.data(), i);
+  return k;
+}
+ByteVec valOf(std::uint64_t x) {
+  ByteVec v(8);
+  storeUnaligned(v.data(), x);
+  return v;
+}
+std::uint64_t valFrom(ByteSpan s) { return loadUnaligned<std::uint64_t>(s.data()); }
+
+using Oracle = std::map<std::uint64_t, std::uint64_t>;
+
+/// Full-map and range scans must agree with the oracle exactly — the map is
+/// quiescent here, so §4.2's concurrency slack does not apply.
+void checkScans(ShardedOakCoreMap<>& map, const Oracle& oracle,
+                std::optional<std::uint64_t> lo, std::optional<std::uint64_t> hi) {
+  std::optional<ByteVec> loB, hiB;
+  if (lo) loB = keyOf(*lo);
+  if (hi) hiB = keyOf(*hi);
+  auto first = lo ? oracle.lower_bound(*lo) : oracle.begin();
+  auto last = hi ? oracle.lower_bound(*hi) : oracle.end();
+
+  auto expect = std::vector<std::pair<std::uint64_t, std::uint64_t>>(first, last);
+  std::size_t i = 0;
+  for (auto it = map.ascend(loB, hiB); it.valid(); it.next(), ++i) {
+    ASSERT_LT(i, expect.size()) << "ascend yielded extra entries";
+    auto e = it.entry();
+    EXPECT_EQ(loadU64BE(e.key.data()), expect[i].first) << "ascend pos " << i;
+    std::uint64_t v = 0;
+    e.value.read([&](ByteSpan s) { v = valFrom(s); });
+    EXPECT_EQ(v, expect[i].second) << "ascend pos " << i;
+  }
+  EXPECT_EQ(i, expect.size()) << "ascend ended early";
+
+  i = expect.size();
+  for (auto it = map.descend(loB, hiB); it.valid(); it.next()) {
+    ASSERT_GT(i, 0u) << "descend yielded extra entries";
+    --i;
+    auto e = it.entry();
+    EXPECT_EQ(loadU64BE(e.key.data()), expect[i].first) << "descend pos " << i;
+    std::uint64_t v = 0;
+    e.value.read([&](ByteSpan s) { v = valFrom(s); });
+    EXPECT_EQ(v, expect[i].second) << "descend pos " << i;
+  }
+  EXPECT_EQ(i, 0u) << "descend ended early";
+}
+
+void checkNavigation(ShardedOakCoreMap<>& map, const Oracle& oracle,
+                     std::uint64_t probe) {
+  auto keyAt = [](Oracle::const_iterator it) { return it->first; };
+  const ByteVec probeB = keyOf(probe);
+
+  auto fe = map.firstEntry();
+  ASSERT_EQ(fe.has_value(), !oracle.empty());
+  if (fe) {
+    EXPECT_EQ(loadU64BE(fe->key.data()), keyAt(oracle.begin()));
+  }
+
+  auto le = map.lastEntry();
+  ASSERT_EQ(le.has_value(), !oracle.empty());
+  if (le) {
+    EXPECT_EQ(loadU64BE(le->key.data()), keyAt(std::prev(oracle.end())));
+  }
+
+  auto ce = map.ceilingEntry(asBytes(probeB));
+  auto oc = oracle.lower_bound(probe);
+  ASSERT_EQ(ce.has_value(), oc != oracle.end()) << "ceiling(" << probe << ")";
+  if (ce) {
+    EXPECT_EQ(loadU64BE(ce->key.data()), keyAt(oc));
+  }
+
+  auto he = map.higherEntry(asBytes(probeB));
+  auto oh = oracle.upper_bound(probe);
+  ASSERT_EQ(he.has_value(), oh != oracle.end()) << "higher(" << probe << ")";
+  if (he) {
+    EXPECT_EQ(loadU64BE(he->key.data()), keyAt(oh));
+  }
+
+  auto flr = map.floorEntry(asBytes(probeB));
+  auto of = oracle.upper_bound(probe);
+  ASSERT_EQ(flr.has_value(), of != oracle.begin()) << "floor(" << probe << ")";
+  if (flr) {
+    EXPECT_EQ(loadU64BE(flr->key.data()), keyAt(std::prev(of)));
+  }
+
+  auto lw = map.lowerEntry(asBytes(probeB));
+  auto ol = oracle.lower_bound(probe);
+  ASSERT_EQ(lw.has_value(), ol != oracle.begin()) << "lower(" << probe << ")";
+  if (lw) {
+    EXPECT_EQ(loadU64BE(lw->key.data()), keyAt(std::prev(ol)));
+  }
+}
+
+void runModel(std::size_t shards, std::uint64_t seed, int ops) {
+  SCOPED_TRACE("shards=" + std::to_string(shards) + " seed=" +
+               std::to_string(seed) + " (replay: OAK_MODEL_SEED=" +
+               std::to_string(seed) + ")");
+  ShardedOakConfig cfg;
+  cfg.shards = shards;
+  cfg.shard.chunkCapacity = 16;  // tiny chunks keep rebalance in play
+  cfg.layout = ShardLayout::uniformRange(shards, kKeySpace);
+  ShardedOakCoreMap<> map(std::move(cfg));
+  Oracle oracle;
+  XorShift rng(seed);
+
+  for (int i = 0; i < ops; ++i) {
+    SCOPED_TRACE("op=" + std::to_string(i));
+    const std::uint64_t k = rng.nextBounded(kKeySpace);
+    const std::uint64_t v = rng.nextBounded(1000);
+    const bool present = oracle.count(k) != 0;
+    switch (rng.nextBounded(10)) {
+      case 0: {  // put + old-value copy
+        ByteVec old;
+        const bool replaced = map.put(asBytes(keyOf(k)), asBytes(valOf(v)), &old);
+        EXPECT_EQ(replaced, present) << "put(" << k << ")";
+        if (present) {
+          EXPECT_EQ(valFrom(asBytes(old)), oracle[k]);
+        }
+        oracle[k] = v;
+        break;
+      }
+      case 1: {
+        const bool ok = map.putIfAbsent(asBytes(keyOf(k)), asBytes(valOf(v)));
+        EXPECT_EQ(ok, !present) << "putIfAbsent(" << k << ")";
+        if (!present) oracle[k] = v;
+        break;
+      }
+      case 2: {  // remove + old-value copy
+        ByteVec old;
+        const bool ok = map.remove(asBytes(keyOf(k)), &old);
+        EXPECT_EQ(ok, present) << "remove(" << k << ")";
+        if (present) {
+          EXPECT_EQ(valFrom(asBytes(old)), oracle[k]);
+          oracle.erase(k);
+        }
+        break;
+      }
+      case 3: {
+        const bool ok = map.replace(asBytes(keyOf(k)), asBytes(valOf(v)));
+        EXPECT_EQ(ok, present) << "replace(" << k << ")";
+        if (present) oracle[k] = v;
+        break;
+      }
+      case 4: {  // replaceIf with the right or a wrong witness
+        const std::uint64_t expect =
+            (present && rng.nextBounded(2) == 0) ? oracle[k] : v + 10'000;
+        const bool ok = map.replaceIf(asBytes(keyOf(k)), asBytes(valOf(expect)),
+                                      asBytes(valOf(v)));
+        const bool should = present && oracle[k] == expect;
+        EXPECT_EQ(ok, should) << "replaceIf(" << k << ")";
+        if (should) oracle[k] = v;
+        break;
+      }
+      case 5: {
+        const std::uint64_t add = 1 + rng.nextBounded(7);
+        const bool ok = map.computeIfPresent(
+            asBytes(keyOf(k)),
+            [add](OakWBuffer& w) { w.putU64(0, w.getU64(0) + add); });
+        EXPECT_EQ(ok, present) << "computeIfPresent(" << k << ")";
+        if (present) oracle[k] += add;
+        break;
+      }
+      case 6: {
+        auto got = map.getCopy(asBytes(keyOf(k)));
+        ASSERT_EQ(got.has_value(), present) << "get(" << k << ")";
+        if (present) {
+          EXPECT_EQ(valFrom(asBytes(*got)), oracle[k]);
+        }
+        EXPECT_EQ(map.containsKey(asBytes(keyOf(k))), present);
+        break;
+      }
+      case 7:
+        checkNavigation(map, oracle, k);
+        break;
+      case 8: {  // range scan over a random window
+        std::uint64_t lo = rng.nextBounded(kKeySpace);
+        std::uint64_t hi = rng.nextBounded(kKeySpace);
+        if (lo > hi) std::swap(lo, hi);
+        checkScans(map, oracle, lo, hi);
+        break;
+      }
+      default:
+        checkScans(map, oracle, std::nullopt, std::nullopt);
+        break;
+    }
+  }
+  checkScans(map, oracle, std::nullopt, std::nullopt);
+  EXPECT_EQ(map.sizeSlow(), oracle.size());
+}
+
+std::vector<std::size_t> shardCounts() {
+  if (const char* v = std::getenv("OAK_SHARDS")) {
+    return {static_cast<std::size_t>(std::strtoull(v, nullptr, 10))};
+  }
+  return {1, 4, 7};
+}
+
+std::vector<std::uint64_t> modelSeeds() {
+  if (const char* v = std::getenv("OAK_MODEL_SEED")) {
+    return {std::strtoull(v, nullptr, 10)};
+  }
+  return {1, 2026, 0xDEADBEEF};
+}
+
+TEST(OakModel, MatchesStdMapOracle) {
+  for (std::size_t shards : shardCounts()) {
+    for (std::uint64_t seed : modelSeeds()) {
+      runModel(shards, seed, 1200);
+    }
+  }
+}
+
+// Keys straddling the exact boundary values: the first id of every shard,
+// the last id of the previous one, and removal/reinsert churn on both.
+TEST(OakModel, BoundaryKeysRouteAndSurvive) {
+  for (std::size_t shards : shardCounts()) {
+    if (shards < 2) continue;
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ShardedOakConfig cfg;
+    cfg.shards = shards;
+    cfg.shard.chunkCapacity = 16;
+    cfg.layout = ShardLayout::uniformRange(shards, kKeySpace);
+    ShardedOakCoreMap<> map(std::move(cfg));
+    const std::uint64_t step = kKeySpace / shards;
+    for (std::size_t s = 1; s < shards; ++s) {
+      const std::uint64_t b = step * s;
+      EXPECT_EQ(map.shardFor(asBytes(keyOf(b))), s) << "boundary " << b;
+      EXPECT_EQ(map.shardFor(asBytes(keyOf(b - 1))), s - 1);
+      ASSERT_TRUE(map.putIfAbsent(asBytes(keyOf(b)), asBytes(valOf(b))));
+      ASSERT_TRUE(map.putIfAbsent(asBytes(keyOf(b - 1)), asBytes(valOf(b - 1))));
+    }
+    // The straddling pairs must merge into one sorted stream.
+    std::uint64_t prev = 0;
+    bool any = false;
+    for (auto it = map.ascend(); it.valid(); it.next()) {
+      const std::uint64_t k = loadU64BE(it.entry().key.data());
+      if (any) {
+        EXPECT_GT(k, prev);
+      }
+      prev = k;
+      any = true;
+    }
+    for (std::size_t s = 1; s < shards; ++s) {
+      const std::uint64_t b = step * s;
+      ASSERT_TRUE(map.remove(asBytes(keyOf(b))));
+      EXPECT_FALSE(map.containsKey(asBytes(keyOf(b))));
+      EXPECT_TRUE(map.containsKey(asBytes(keyOf(b - 1))));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace oak

@@ -172,6 +172,75 @@ TEST(ObsExport, JsonCarriesTheContractedKeys) {
   EXPECT_FALSE(m.stats().toText().empty());
 }
 
+TEST(ObsExport, PerArenaGaugesAndShardedAggregation) {
+  // Single-core stats carry exactly one arena entry mirroring the top-level
+  // allocator gauges...
+  OakMap<std::string, std::string, StringSerializer, StringSerializer> m;
+  for (int i = 0; i < 100; ++i) m.zc().put("k" + std::to_string(i), "v");
+  obs::Metrics single = m.stats();
+  ASSERT_EQ(single.arenas.size(), 1u);
+  EXPECT_EQ(single.shards, 1u);
+  EXPECT_EQ(single.arenas[0].footprintBytes, single.alloc.footprintBytes);
+  EXPECT_EQ(single.arenas[0].allocatedBytes, single.alloc.allocatedBytes);
+
+  // ...and the sharded map folds per-shard snapshots: sums for counters and
+  // gauges, concatenated arena vector, max for EBR lag.
+  ShardedOakMap<std::string, std::string, StringSerializer, StringSerializer>
+      sharded([] {
+        ShardedOakConfig cfg;
+        cfg.shards = 4;
+        cfg.layout = ShardLayout::uniformBytes(4);
+        return cfg;
+      }());
+  for (int i = 0; i < 100; ++i) {
+    sharded.zc().put("k" + std::to_string(i), "v");
+    (void)sharded.zc().get("k" + std::to_string(i));
+  }
+  const obs::Metrics agg = sharded.stats();
+  EXPECT_EQ(agg.shards, 4u);
+  ASSERT_EQ(agg.arenas.size(), 4u);
+  std::size_t allocated = 0;
+  for (const obs::AllocStats& a : agg.arenas) allocated += a.allocatedBytes;
+  EXPECT_EQ(allocated, agg.alloc.allocatedBytes);
+  EXPECT_EQ(agg.alloc.allocatedBytes, sharded.offHeapAllocatedBytes());
+  if (statsOn()) {
+    EXPECT_EQ(agg.registry.op(obs::Op::Put).count, 100u);
+    EXPECT_EQ(agg.registry.op(obs::Op::Get).count, 100u);
+  }
+  const std::string j = agg.toJson();
+  for (const char* k : {"\"shards\":4", "\"arenas\":[", "\"footprint_bytes\""}) {
+    EXPECT_NE(j.find(k), std::string::npos) << "missing " << k << " in " << j;
+  }
+  // The text rendering lists one arena line per shard.
+  const std::string t = agg.toText();
+  EXPECT_NE(t.find("arena[3]"), std::string::npos) << t;
+}
+
+TEST(ObsAggregate, MergeSemantics) {
+  obs::Metrics a;
+  a.registry.ops[0].count = 5;
+  a.rebalances = 2;
+  a.chunkCount = 3;
+  a.alloc.footprintBytes = 100;
+  a.arenas = {a.alloc};
+  a.ebr.epochLag = 1;
+  obs::Metrics b;
+  b.registry.ops[0].count = 7;
+  b.rebalances = 1;
+  b.chunkCount = 4;
+  b.alloc.footprintBytes = 50;
+  b.arenas = {b.alloc};
+  b.ebr.epochLag = 3;
+  const obs::Metrics m = obs::Metrics::aggregate({a, b});
+  EXPECT_EQ(m.shards, 2u);
+  EXPECT_EQ(m.registry.ops[0].count, 12u);
+  EXPECT_EQ(m.rebalances, 3u);
+  EXPECT_EQ(m.chunkCount, 7u);
+  EXPECT_EQ(m.alloc.footprintBytes, 150u);
+  ASSERT_EQ(m.arenas.size(), 2u);
+  EXPECT_EQ(m.ebr.epochLag, 3u);  // lag is a max, not a sum
+}
+
 TEST(ObsGauges, MemoryManagerStats) {
   mem::BlockPool pool(mem::BlockPool::Config{.blockBytes = 1u << 20,
                                              .budgetBytes = 8u << 20});
