@@ -20,11 +20,28 @@
 
 namespace oak::bench {
 
+/// Which resource ran out when an experiment point hit its capacity cap.
+/// Distinguishing managed-heap from off-heap exhaustion matters for the
+/// Figure 3 analysis: Oak caps on the arena budget, the on-heap baselines
+/// cap on the managed heap.
+enum class OomKind : std::uint8_t { None = 0, Managed, OffHeap, Host };
+
+inline const char* oomKindName(OomKind k) noexcept {
+  switch (k) {
+    case OomKind::None: return "none";
+    case OomKind::Managed: return "managed";
+    case OomKind::OffHeap: return "offheap";
+    case OomKind::Host: return "host";
+  }
+  return "?";
+}
+
 struct PointResult {
   double kops = 0;             ///< operations (or scanned entries) per second / 1e3
   double ingestKops = 0;       ///< ingestion-stage throughput
   std::size_t finalSize = 0;
   bool oom = false;            ///< the configuration did not fit in RAM
+  OomKind oomKind = OomKind::None;  ///< which resource capped the point
   mheap::GcStats gc{};
   std::size_t offHeapBytes = 0;
   obs::Metrics metrics{};      ///< internal-counter snapshot (obs layer)
@@ -57,7 +74,7 @@ inline double nowSeconds() {
 /// Figure 3 measures this stage itself on the full dataset).
 template <class Adapter>
 bool ingestStage(Adapter& a, const BenchConfig& cfg, std::size_t count,
-                 double* kopsOut) {
+                 double* kopsOut, OomKind* kindOut = nullptr) {
   std::vector<std::byte> key(cfg.keyBytes);
   std::vector<std::byte> value(cfg.valueBytes, std::byte{0x11});
   XorShift rng(cfg.seed);
@@ -85,9 +102,18 @@ bool ingestStage(Adapter& a, const BenchConfig& cfg, std::size_t count,
       storeUnaligned<std::uint64_t>(value.data(), id);
       a.ingest({key.data(), key.size()}, {value.data(), value.size()});
     }
+  } catch (const ManagedOutOfMemory&) {
+    if (kopsOut != nullptr) *kopsOut = 0;
+    if (kindOut != nullptr) *kindOut = OomKind::Managed;
+    return false;  // capacity exceeded: the "cap" in Figure 3
+  } catch (const OffHeapOutOfMemory&) {
+    if (kopsOut != nullptr) *kopsOut = 0;
+    if (kindOut != nullptr) *kindOut = OomKind::OffHeap;
+    return false;
   } catch (const std::bad_alloc&) {
     if (kopsOut != nullptr) *kopsOut = 0;
-    return false;  // capacity exceeded: the "cap" in Figure 3
+    if (kindOut != nullptr) *kindOut = OomKind::Host;
+    return false;
   }
   const double dt = nowSeconds() - t0;
   if (kopsOut != nullptr) *kopsOut = static_cast<double>(count) / dt / 1e3;
@@ -101,6 +127,7 @@ PointResult sustainedStage(Adapter& a, const BenchConfig& cfg, const Mix& mix) {
   std::atomic<bool> start{false};
   std::atomic<bool> stop{false};
   std::atomic<bool> oom{false};
+  std::atomic<std::uint8_t> oomKind{0};  // first worker's OomKind wins
   std::atomic<std::uint64_t> totalOps{0};
 
   auto worker = [&](unsigned t) {
@@ -133,7 +160,17 @@ PointResult sustainedStage(Adapter& a, const BenchConfig& cfg, const Mix& mix) {
           ++ops;
         }
       }
+    } catch (const ManagedOutOfMemory&) {
+      oomKind.store(static_cast<std::uint8_t>(OomKind::Managed),
+                    std::memory_order_relaxed);
+      oom.store(true, std::memory_order_release);
+    } catch (const OffHeapOutOfMemory&) {
+      oomKind.store(static_cast<std::uint8_t>(OomKind::OffHeap),
+                    std::memory_order_relaxed);
+      oom.store(true, std::memory_order_release);
     } catch (const std::bad_alloc&) {
+      oomKind.store(static_cast<std::uint8_t>(OomKind::Host),
+                    std::memory_order_relaxed);
       oom.store(true, std::memory_order_release);
     }
     totalOps.fetch_add(ops, std::memory_order_relaxed);
@@ -152,6 +189,7 @@ PointResult sustainedStage(Adapter& a, const BenchConfig& cfg, const Mix& mix) {
 
   res.kops = static_cast<double>(totalOps.load()) / dt / 1e3;
   res.oom = oom.load();
+  res.oomKind = static_cast<OomKind>(oomKind.load(std::memory_order_relaxed));
   res.gc = a.gcStats();
   res.offHeapBytes = a.offHeapFootprint();
   res.metrics = snapshotMetrics(a);
@@ -170,8 +208,10 @@ PointResult runPoint(const BenchConfig& cfg, const Mix& mix, Args&&... adapterAr
     try {
       Adapter a(c, std::forward<Args>(adapterArgs)...);
       double ingest = 0;
-      if (!ingestStage(a, c, c.keyRange / 2, &ingest)) {
+      OomKind kind = OomKind::None;
+      if (!ingestStage(a, c, c.keyRange / 2, &ingest, &kind)) {
         last.oom = true;
+        last.oomKind = kind;
         last.gc = a.gcStats();
         last.metrics = snapshotMetrics(a);
         return last;
@@ -180,8 +220,17 @@ PointResult runPoint(const BenchConfig& cfg, const Mix& mix, Args&&... adapterAr
       last.ingestKops = ingest;
       last.finalSize = a.finalSize();
       kops.push_back(last.kops);
-    } catch (const std::bad_alloc&) {
+    } catch (const ManagedOutOfMemory&) {
       last.oom = true;  // not even the empty structure fits
+      last.oomKind = OomKind::Managed;
+      return last;
+    } catch (const OffHeapOutOfMemory&) {
+      last.oom = true;
+      last.oomKind = OomKind::OffHeap;
+      return last;
+    } catch (const std::bad_alloc&) {
+      last.oom = true;
+      last.oomKind = OomKind::Host;
       return last;
     }
   }
@@ -197,16 +246,25 @@ PointResult runIngestPoint(const BenchConfig& cfg, Args&&... adapterArgs) {
   try {
     Adapter a(cfg, std::forward<Args>(adapterArgs)...);
     double kops = 0;
-    const bool ok = ingestStage(a, cfg, cfg.keyRange, &kops);
+    OomKind kind = OomKind::None;
+    const bool ok = ingestStage(a, cfg, cfg.keyRange, &kops, &kind);
     res.oom = !ok;
+    res.oomKind = kind;
     res.ingestKops = kops;
     res.kops = kops;
     if (ok) res.finalSize = a.finalSize();
     res.gc = a.gcStats();
     res.offHeapBytes = a.offHeapFootprint();
     res.metrics = snapshotMetrics(a);
-  } catch (const std::bad_alloc&) {
+  } catch (const ManagedOutOfMemory&) {
     res.oom = true;  // not even the empty structure fits
+    res.oomKind = OomKind::Managed;
+  } catch (const OffHeapOutOfMemory&) {
+    res.oom = true;
+    res.oomKind = OomKind::OffHeap;
+  } catch (const std::bad_alloc&) {
+    res.oom = true;
+    res.oomKind = OomKind::Host;
   }
   return res;
 }
@@ -236,10 +294,12 @@ inline bool metricsLinesEnabled() {
 inline void printMetricsLine(const char* name, double x, const PointResult& r) {
   if (!metricsLinesEnabled()) return;
   std::printf("METRICS {\"solution\":\"%s\",\"x\":%g,\"shards\":%llu,"
-              "\"kops\":%.1f,\"ingest_kops\":%.1f,\"oom\":%s,\"final_size\":%zu,"
+              "\"kops\":%.1f,\"ingest_kops\":%.1f,\"oom\":%s,\"oom_kind\":\"%s\","
+              "\"final_size\":%zu,"
               "\"offheap_bytes\":%zu,\"metrics\":%s}\n",
               name, x, static_cast<unsigned long long>(r.metrics.shards),
               r.kops, r.ingestKops, r.oom ? "true" : "false",
+              oomKindName(r.oomKind),
               r.finalSize, r.offHeapBytes, r.metrics.toJson().c_str());
 }
 

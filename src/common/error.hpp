@@ -1,6 +1,7 @@
 // Exception types used across the library.
 #pragma once
 
+#include <cstdint>
 #include <new>
 #include <stdexcept>
 #include <string>
@@ -34,5 +35,26 @@ class OakUsageError : public std::logic_error {
  public:
   explicit OakUsageError(const std::string& msg) : std::logic_error("oak: " + msg) {}
 };
+
+/// Outcome of the non-throwing degraded mutation path (tryPut/tryCompute).
+/// The throwing API signals exhaustion with the exceptions above; the try-
+/// API reports it as a value so callers under memory pressure can shed load
+/// without unwinding.
+enum class Status : std::uint8_t {
+  Ok = 0,            ///< the operation took effect
+  ResourceExhausted, ///< memory is gone and no reclamation is pending — retrying
+                     ///< without freeing something else will not succeed
+  Retry,             ///< transient: reclamation (EBR backlog, GC) is still
+                     ///< pending, so a later retry may find room
+};
+
+inline const char* statusName(Status s) noexcept {
+  switch (s) {
+    case Status::Ok: return "ok";
+    case Status::ResourceExhausted: return "resource_exhausted";
+    case Status::Retry: return "retry";
+  }
+  return "?";
+}
 
 }  // namespace oak

@@ -1,0 +1,232 @@
+#include "common/fault.hpp"
+
+#if OAK_CHECKED
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace oak::fault {
+namespace {
+
+std::uint64_t xorshift(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+
+/// Uniform in [0, 1) from one xorshift step (53 mantissa bits).
+double nextUnit(std::uint64_t& s) {
+  return static_cast<double>(xorshift(s) >> 11) * 0x1.0p-53;
+}
+
+struct Site {
+  std::string name;
+  Schedule sched{};
+  std::uint64_t hits = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t rng = 1;
+  bool armed = false;
+};
+
+class Registry {
+ public:
+  static Registry& instance() {
+    static Registry r;
+    return r;
+  }
+
+  Registry() {
+    // Environment arming happens exactly once, before any site can fire,
+    // because every public entry point routes through instance().
+    const char* spec = std::getenv("OAK_FAULT_SPEC");
+    if (spec != nullptr && spec[0] != '\0' && !armFromSpecLocked(spec)) {
+      std::fprintf(stderr, "oak: malformed OAK_FAULT_SPEC: \"%s\"\n", spec);
+    }
+  }
+
+  bool shouldInject(const char* site) noexcept {
+    if (armedCount_.load(std::memory_order_relaxed) == 0) return false;
+    std::lock_guard<std::mutex> g(mu_);
+    Site* s = find(site);
+    if (s == nullptr || !s->armed) return false;
+    ++s->hits;
+    bool fire = false;
+    switch (s->sched.mode) {
+      case Schedule::Mode::Off:
+        break;
+      case Schedule::Mode::Nth:
+        if (s->hits == s->sched.n) {
+          fire = true;
+          disarmLocked(*s);
+        }
+        break;
+      case Schedule::Mode::Once:
+        fire = true;
+        disarmLocked(*s);
+        break;
+      case Schedule::Mode::Prob:
+        fire = nextUnit(s->rng) < s->sched.p;
+        break;
+    }
+    if (fire) {
+      ++s->injected;
+      injectedTotal_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return fire;
+  }
+
+  void arm(const char* site, Schedule sched) {
+    std::lock_guard<std::mutex> g(mu_);
+    armLocked(site, sched);
+  }
+
+  void disarm(const char* site) {
+    std::lock_guard<std::mutex> g(mu_);
+    Site* s = find(site);
+    if (s != nullptr && s->armed) disarmLocked(*s);
+  }
+
+  void disarmAll() {
+    std::lock_guard<std::mutex> g(mu_);
+    for (Site& s : sites_) {
+      if (s.armed) disarmLocked(s);
+    }
+  }
+
+  std::uint64_t injectedTotal() const noexcept {
+    return injectedTotal_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t injectedAt(const char* site) {
+    std::lock_guard<std::mutex> g(mu_);
+    const Site* s = find(site);
+    return s == nullptr ? 0 : s->injected;
+  }
+
+  std::uint64_t hitsAt(const char* site) {
+    std::lock_guard<std::mutex> g(mu_);
+    const Site* s = find(site);
+    return s == nullptr ? 0 : s->hits;
+  }
+
+  bool armFromSpec(const char* spec) {
+    std::lock_guard<std::mutex> g(mu_);
+    return armFromSpecLocked(spec);
+  }
+
+ private:
+  Site* find(const char* name) {
+    for (Site& s : sites_) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+
+  void armLocked(const char* site, Schedule sched) {
+    Site* s = find(site);
+    if (s == nullptr) {
+      sites_.emplace_back();
+      s = &sites_.back();
+      s->name = site;
+    }
+    if (!s->armed && sched.mode != Schedule::Mode::Off) {
+      armedCount_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (s->armed && sched.mode == Schedule::Mode::Off) {
+      armedCount_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    s->sched = sched;
+    s->armed = sched.mode != Schedule::Mode::Off;
+    s->hits = 0;
+    s->injected = 0;
+    s->rng = sched.seed == 0 ? 1 : sched.seed;
+  }
+
+  void disarmLocked(Site& s) {
+    s.armed = false;
+    s.sched.mode = Schedule::Mode::Off;
+    armedCount_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // One `site=clause` at a time; clauses separated by ';' (or ',').
+  bool armFromSpecLocked(const char* spec) {
+    const char* p = spec;
+    while (*p != '\0') {
+      const char* end = p;
+      while (*end != '\0' && *end != ';' && *end != ',') ++end;
+      if (end != p && !armClause(std::string(p, end))) return false;
+      p = (*end == '\0') ? end : end + 1;
+    }
+    return true;
+  }
+
+  bool armClause(const std::string& clause) {
+    const std::size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    const std::string site = clause.substr(0, eq);
+    const std::string rest = clause.substr(eq + 1);
+    Schedule sched;
+    if (rest == "once") {
+      sched = Schedule::once();
+    } else if (rest.rfind("nth:", 0) == 0) {
+      char* stop = nullptr;
+      const unsigned long long n = std::strtoull(rest.c_str() + 4, &stop, 10);
+      if (stop == rest.c_str() + 4 || *stop != '\0' || n == 0) return false;
+      sched = Schedule::nth(n);
+    } else if (rest.rfind("prob:", 0) == 0) {
+      char* stop = nullptr;
+      const double p = std::strtod(rest.c_str() + 5, &stop);
+      if (stop == rest.c_str() + 5 || p < 0.0 || p > 1.0) return false;
+      std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+      if (*stop == ':') {
+        char* sstop = nullptr;
+        seed = std::strtoull(stop + 1, &sstop, 10);
+        if (sstop == stop + 1 || *sstop != '\0') return false;
+      } else if (*stop != '\0') {
+        return false;
+      }
+      sched = Schedule::probability(p, seed);
+    } else {
+      return false;
+    }
+    armLocked(site.c_str(), sched);
+    return true;
+  }
+
+  std::mutex mu_;
+  std::vector<Site> sites_;
+  std::atomic<std::uint32_t> armedCount_{0};
+  std::atomic<std::uint64_t> injectedTotal_{0};
+};
+
+}  // namespace
+
+bool shouldInject(const char* site) noexcept {
+  return Registry::instance().shouldInject(site);
+}
+
+void arm(const char* site, Schedule sched) { Registry::instance().arm(site, sched); }
+
+void disarm(const char* site) { Registry::instance().disarm(site); }
+
+void disarmAll() { Registry::instance().disarmAll(); }
+
+std::uint64_t injectedCount() noexcept { return Registry::instance().injectedTotal(); }
+
+std::uint64_t injectedCount(const char* site) {
+  return Registry::instance().injectedAt(site);
+}
+
+std::uint64_t hitCount(const char* site) { return Registry::instance().hitsAt(site); }
+
+bool armFromSpec(const char* spec) { return Registry::instance().armFromSpec(spec); }
+
+}  // namespace oak::fault
+
+#endif  // OAK_CHECKED

@@ -1,0 +1,121 @@
+// OakChaos: deterministic fault injection for checked builds.
+//
+// A fault *site* is a named branch compiled into allocation / protocol hot
+// spots ("arena.alloc", "mheap.alloc", "rebalance.split", ...).  Tests arm a
+// site with a Schedule — fail the Nth hit, fail with probability p under a
+// fixed seed, or trip exactly once — and the next time execution reaches the
+// site the injected failure fires (an OOM throw via OAK_FAULT_POINT, or a
+// plain taken-branch via OAK_FAULT_BRANCH).  Schedules are fully
+// deterministic: the same seed and the same operation sequence replay the
+// same faults, which is what makes the chaos suite debuggable.
+//
+// Arming is per-process, via arm()/disarm() from tests or the OAK_FAULT_SPEC
+// environment variable (parsed once, on first use):
+//
+//   OAK_FAULT_SPEC="mheap.alloc=nth:40;alloc.offheap=prob:0.01:1234;ebr.advance=once"
+//
+// When OAK_CHECKED is off every macro compiles to nothing and the functions
+// collapse to constant no-ops — production builds carry zero overhead.  In
+// checked builds an unarmed process pays one relaxed atomic load per site
+// hit.
+#pragma once
+
+#include <cstdint>
+
+#ifndef OAK_CHECKED
+#define OAK_CHECKED 0
+#endif
+
+namespace oak::fault {
+
+/// When and how an armed site fires.
+struct Schedule {
+  enum class Mode : std::uint8_t {
+    Off,   ///< never fires (disarmed)
+    Nth,   ///< fires exactly on the n-th hit after arming, then disarms
+    Prob,  ///< fires each hit with probability p (seeded, deterministic)
+    Once,  ///< fires on the first hit after arming, then disarms
+  };
+
+  Mode mode = Mode::Off;
+  std::uint64_t n = 1;     ///< Nth: 1-based hit index that fails
+  double p = 0.0;          ///< Prob: per-hit failure probability in [0, 1]
+  std::uint64_t seed = 1;  ///< Prob: xorshift seed (never 0)
+
+  static Schedule nth(std::uint64_t hit) {
+    Schedule s;
+    s.mode = Mode::Nth;
+    s.n = hit == 0 ? 1 : hit;
+    return s;
+  }
+  static Schedule probability(double prob, std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    Schedule s;
+    s.mode = Mode::Prob;
+    s.p = prob;
+    s.seed = seed == 0 ? 1 : seed;
+    return s;
+  }
+  static Schedule once() {
+    Schedule s;
+    s.mode = Mode::Once;
+    return s;
+  }
+};
+
+#if OAK_CHECKED
+
+/// True iff `site` is armed and its schedule says this hit fails.  The hot
+/// path for unarmed processes is a single relaxed atomic load.
+bool shouldInject(const char* site) noexcept;
+
+/// Arm (or re-arm) a site; resets its hit counter and RNG state.
+void arm(const char* site, Schedule sched);
+
+/// Disarm one site / every site.  Counters survive until the next arm().
+void disarm(const char* site);
+void disarmAll();
+
+/// Process-wide number of injected faults (all sites).
+std::uint64_t injectedCount() noexcept;
+/// Injected faults / schedule hits at one site since it was last armed.
+std::uint64_t injectedCount(const char* site);
+std::uint64_t hitCount(const char* site);
+
+/// Parse an OAK_FAULT_SPEC-syntax string and arm every site it names:
+/// `site=nth:N;site=prob:P[:seed];site=once`.  Returns false (arming any
+/// well-formed prefix) on the first malformed clause.
+bool armFromSpec(const char* spec);
+
+#else  // !OAK_CHECKED — constant no-ops, dead-code-eliminated at the caller.
+
+inline bool shouldInject(const char*) noexcept { return false; }
+inline void arm(const char*, Schedule) {}
+inline void disarm(const char*) {}
+inline void disarmAll() {}
+inline std::uint64_t injectedCount() noexcept { return 0; }
+inline std::uint64_t injectedCount(const char*) { return 0; }
+inline std::uint64_t hitCount(const char*) { return 0; }
+inline bool armFromSpec(const char*) { return false; }
+
+#endif  // OAK_CHECKED
+
+}  // namespace oak::fault
+
+// Throwing site: `OAK_FAULT_POINT("mheap.alloc", ManagedOutOfMemory);`
+// injects the given exception when the site's schedule fires.  Place it
+// where the real failure it models would be raised, so the unwind path the
+// test exercises is the production one.
+#if OAK_CHECKED
+#define OAK_FAULT_POINT(site, Exception)                \
+  do {                                                  \
+    if (::oak::fault::shouldInject(site)) {             \
+      throw Exception{};                                \
+    }                                                   \
+  } while (0)
+// Branching site for non-throwing degradation (e.g. "ebr.advance" stalls
+// reclamation instead of raising): `if (OAK_FAULT_BRANCH("x")) return;`
+#define OAK_FAULT_BRANCH(site) (::oak::fault::shouldInject(site))
+#else
+#define OAK_FAULT_POINT(site, Exception) static_cast<void>(0)
+#define OAK_FAULT_BRANCH(site) false
+#endif

@@ -6,15 +6,18 @@
 #include <new>
 
 #include "common/checked.hpp"
+#include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace oak::mem {
 
 // mmap keeps arenas out of the C heap, mirroring Java's off-heap direct
 // buffers, and lets the OS lazily back pages that the map never touches.
 Arena::Arena(std::size_t bytes) : size_(bytes) {
+  OAK_FAULT_POINT("arena.alloc", OffHeapOutOfMemory);
   void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
-  if (p == MAP_FAILED) throw std::bad_alloc();
+  if (p == MAP_FAILED) throw OffHeapOutOfMemory();
   base_ = static_cast<std::byte*>(p);
 }
 

@@ -1,6 +1,7 @@
 #include "mem/block_pool.hpp"
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace oak::mem {
 
@@ -11,6 +12,7 @@ BlockPool::BlockPool(Config cfg) : cfg_(cfg) {
 }
 
 std::uint32_t BlockPool::acquire() {
+  OAK_FAULT_POINT("pool.acquire", OffHeapOutOfMemory);
   std::lock_guard<std::mutex> lk(mu_);
   if (!freeIds_.empty()) {
     const std::uint32_t id = freeIds_.back();

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/error.hpp"
+#include "common/fault.hpp"
 
 namespace oak::mem {
 
@@ -28,7 +29,12 @@ void storeU32(std::uint32_t& w, std::uint32_t v) noexcept {
 #endif
 }  // namespace
 
-FirstFitAllocator::FirstFitAllocator(BlockPool& pool) : pool_(pool) {
+FirstFitAllocator::FirstFitAllocator(BlockPool& pool,
+                                     std::uint32_t emergencyReserveBytes)
+    : pool_(pool),
+      reserveBytes_(emergencyReserveBytes == 0
+                        ? 0
+                        : roundUp(emergencyReserveBytes) + kSliceHeaderBytes) {
   for (auto& b : bases_) b.store(nullptr, std::memory_order_relaxed);
   for (auto& m : allocMap_) m.store(nullptr, std::memory_order_relaxed);
 }
@@ -41,6 +47,7 @@ FirstFitAllocator::~FirstFitAllocator() {
 }
 
 Ref FirstFitAllocator::alloc(std::uint32_t len) {
+  OAK_FAULT_POINT("alloc.offheap", OffHeapOutOfMemory);
   // Internal bookkeeping is 8-byte-granular, but the returned reference
   // carries the *exact* requested length: callers (key comparisons, value
   // sizes) must never observe alignment padding.
@@ -148,6 +155,33 @@ void FirstFitAllocator::newBlockLocked(std::uint32_t need) {
       freeCount_.fetch_add(1, std::memory_order_relaxed);
     }
   }
+
+  // Carve the emergency reserve out of the first arena that can host it
+  // alongside the triggering allocation.  The segment stays raw (the same
+  // format the free list holds) and invisible to alloc() until
+  // releaseEmergencyReserve() posts it.
+  if (reserveBytes_ != 0 && !reserveCarved_ &&
+      reserveBytes_ + need <= pool_.blockBytes()) {
+    if (Ref seg = tryBump(reserveBytes_)) {
+      std::lock_guard<SpinLock> lk(freeMu_);
+      reserveSeg_ = seg;
+      reserveCarved_ = true;
+    }
+  }
+}
+
+bool FirstFitAllocator::releaseEmergencyReserve() {
+  std::lock_guard<SpinLock> lk(freeMu_);
+  if (reserveSeg_.isNull()) return false;
+  freeList_.push_back(reserveSeg_);
+  freeCount_.fetch_add(1, std::memory_order_relaxed);
+  reserveSeg_ = Ref{};
+  return true;
+}
+
+bool FirstFitAllocator::emergencyReserveAvailable() const {
+  std::lock_guard<SpinLock> lk(freeMu_);
+  return !reserveSeg_.isNull();
 }
 
 bool FirstFitAllocator::free(Ref ref) {

@@ -36,7 +36,11 @@ namespace oak::mem {
 
 class FirstFitAllocator {
  public:
-  explicit FirstFitAllocator(BlockPool& pool);
+  /// `emergencyReserveBytes` > 0 carves a segment of that size out of the
+  /// first arena and keeps it off the free list; releaseEmergencyReserve()
+  /// makes it allocatable.  The degraded tryPut path uses it as a last
+  /// tranche before reporting Status::ResourceExhausted.
+  explicit FirstFitAllocator(BlockPool& pool, std::uint32_t emergencyReserveBytes = 0);
   ~FirstFitAllocator();
 
   FirstFitAllocator(const FirstFitAllocator&) = delete;
@@ -105,6 +109,13 @@ class FirstFitAllocator {
   }
   std::uint64_t freeListLength() const;
 
+  /// Hands the carved emergency reserve to the free list.  Returns false
+  /// when no reserve is held (never configured, not yet carved, or already
+  /// released).  The reserve is released at most once.
+  bool releaseEmergencyReserve();
+  /// True while a carved reserve is still being held back.
+  bool emergencyReserveAvailable() const;
+
   BlockPool& pool() noexcept { return pool_; }
 
  private:
@@ -156,6 +167,13 @@ class FirstFitAllocator {
   mutable SpinLock freeMu_;
   std::vector<Ref> freeList_;
   std::atomic<std::uint64_t> freeCount_{0};
+
+  // Emergency reserve: a raw segment (same format as free-list entries)
+  // withheld from allocation until releaseEmergencyReserve().  reserveSeg_
+  // is guarded by freeMu_; the carve itself happens under growMu_.
+  const std::uint32_t reserveBytes_;
+  bool reserveCarved_ = false;
+  Ref reserveSeg_{};
 
   // block id -> base pointer (written once per acquired block).
   std::atomic<std::byte*> bases_[Ref::kMaxBlocks];

@@ -16,7 +16,8 @@ namespace oak::mem {
 
 class MemoryManager {
  public:
-  explicit MemoryManager(BlockPool& pool) : alloc_(pool) {}
+  explicit MemoryManager(BlockPool& pool, std::uint32_t emergencyReserveBytes = 0)
+      : alloc_(pool, emergencyReserveBytes) {}
 
   /// OakSan: ties this manager's chunk-metadata accesses (off-heap key
   /// reads) to an EBR domain.  Checked builds abort when keyBytes() runs on
@@ -79,6 +80,11 @@ class MemoryManager {
     s.freeListLength = alloc_.freeListLength();
     return s;
   }
+
+  /// Degraded-path escape hatch: posts the withheld emergency-reserve
+  /// segment (if any) to the free list.  See FirstFitAllocator.
+  bool releaseEmergencyReserve() { return alloc_.releaseEmergencyReserve(); }
+  bool emergencyReserveAvailable() const { return alloc_.emergencyReserveAvailable(); }
 
   FirstFitAllocator& allocator() noexcept { return alloc_; }
 

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/checked.hpp"
+#include "common/fault.hpp"
 #include "common/spin.hpp"
 
 namespace oak::mheap {
@@ -105,41 +106,64 @@ bool ManagedHeap::tryReserve(std::size_t charge) {
     fullGc();
   }
   if (committed_.load(std::memory_order_acquire) <= effBudget) return true;
-  fullGc();  // last-ditch full collection before declaring OOM
+  // Last-ditch full collection before declaring OOM.
+  gcLastDitch_.fetch_add(1, std::memory_order_relaxed);
+  fullGc();
   if (committed_.load(std::memory_order_acquire) <= effBudget) return true;
   committed_.fetch_sub(charge, std::memory_order_acq_rel);
   return false;
 }
 
+void ManagedHeap::releaseSlot(std::uint32_t idx) noexcept {
+  std::uint64_t head = freeHead_.load(std::memory_order_acquire);
+  for (;;) {
+    nextFree_[idx].store(static_cast<std::uint32_t>(head & 0xffffffffu),
+                         std::memory_order_relaxed);
+    const std::uint64_t newHead =
+        ((head >> 32) + 1) << 32 | static_cast<std::uint64_t>(idx + 1);
+    if (freeHead_.compare_exchange_weak(head, newHead, std::memory_order_acq_rel)) {
+      break;
+    }
+  }
+}
+
+void ManagedHeap::throwOom() {
+  oomThrows_.fetch_add(1, std::memory_order_relaxed);
+  throw ManagedOutOfMemory();
+}
+
 void* ManagedHeap::alloc(std::size_t bytes) {
   if (!cfg_.enabled) {
     void* raw = std::malloc(sizeof(ObjHeader) + bytes);
-    if (raw == nullptr) throw std::bad_alloc();
+    if (raw == nullptr) throw ManagedOutOfMemory();
     auto* h = static_cast<ObjHeader*>(raw);
     h->slot = UINT32_MAX;
     h->charged = 0;
     return h + 1;
   }
   safepoint();
+  if (OAK_FAULT_BRANCH("mheap.alloc")) throwOom();
   const std::size_t charge = chargeFor(bytes);
-  if (!tryReserve(charge)) {
-    oomThrows_.fetch_add(1, std::memory_order_relaxed);
-    throw ManagedOutOfMemory();
-  }
+  if (!tryReserve(charge)) throwOom();
   std::uint32_t slot = grabSlot();
   if (slot == UINT32_MAX) {
-    fullGc();  // sweeping garbage recycles slots
+    // Sweeping garbage recycles slots — the slot-registry flavour of the
+    // last-ditch collection.
+    gcLastDitch_.fetch_add(1, std::memory_order_relaxed);
+    fullGc();
     slot = grabSlot();
     if (slot == UINT32_MAX) {
       committed_.fetch_sub(charge, std::memory_order_acq_rel);
-      oomThrows_.fetch_add(1, std::memory_order_relaxed);
-      throw ManagedOutOfMemory();
+      throwOom();
     }
   }
   void* raw = std::malloc(sizeof(ObjHeader) + bytes);
   if (raw == nullptr) {
+    // Unwind fully: the reservation and the grabbed slot both return, so a
+    // host-malloc failure leaks neither budget nor registry slots.
+    releaseSlot(slot);
     committed_.fetch_sub(charge, std::memory_order_acq_rel);
-    throw std::bad_alloc();
+    throwOom();
   }
   auto* h = static_cast<ObjHeader*>(raw);
   h->slot = slot;
@@ -308,6 +332,7 @@ GcStats ManagedHeap::stats() const {
   out.gcNanos = gcNanos_.load(std::memory_order_relaxed);
   out.allocations = allocations_.load(std::memory_order_relaxed);
   out.oomThrows = oomThrows_.load(std::memory_order_relaxed);
+  out.gcLastDitch = gcLastDitch_.load(std::memory_order_relaxed);
   out.committedBytes = committed_.load(std::memory_order_relaxed);
   const std::size_t garbage = garbageBytes_.load(std::memory_order_relaxed);
   out.liveBytes = out.committedBytes > garbage ? out.committedBytes - garbage : 0;

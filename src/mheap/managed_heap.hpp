@@ -56,6 +56,7 @@ struct GcStats {
   std::uint64_t gcNanos = 0;         ///< CPU time spent in collection work
   std::uint64_t allocations = 0;
   std::uint64_t oomThrows = 0;
+  std::uint64_t gcLastDitch = 0;     ///< emergency full GCs on the OOM edge
   std::size_t liveBytes = 0;         ///< live (reachable) charged bytes
   std::size_t committedBytes = 0;    ///< live + not-yet-collected garbage
   std::size_t liveObjects = 0;
@@ -152,6 +153,11 @@ class ManagedHeap {
   void fullGc();
   bool tryReserve(std::size_t charge);
   std::uint32_t grabSlot();
+  /// Returns a grabbed-but-unused slot to the free stack (failure unwind).
+  void releaseSlot(std::uint32_t idx) noexcept;
+  /// The single funnel for allocation failure: every OOM exit increments
+  /// oomThrows_ exactly once and raises the typed exception.
+  [[noreturn]] void throwOom();
 
   Config cfg_;
 
@@ -176,6 +182,7 @@ class ManagedHeap {
   std::atomic<std::uint64_t> gcNanos_{0};
   std::atomic<std::uint64_t> allocations_{0};
   std::atomic<std::uint64_t> oomThrows_{0};
+  std::atomic<std::uint64_t> gcLastDitch_{0};
 };
 
 /// RAII handle for a managed byte array (used by baselines for key/value

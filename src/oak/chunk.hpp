@@ -250,6 +250,15 @@ class Chunk {
     }
   }
 
+  /// Rebalance rollback: re-opens a chunk frozen by a rebalance that failed
+  /// before publishing any redirect.  Safe only while rebalancedTo() is
+  /// still null and the caller holds the rebalance lock: updaters that
+  /// observed Frozen retreat into rebalance(), serialize behind that lock,
+  /// and re-examine the chunk state afterwards.
+  void unfreeze() noexcept {
+    state_.store(State::Normal, std::memory_order_seq_cst);
+  }
+
   // ------------------------------------------------------------- rebalance
   struct LiveEntry {
     std::uint64_t keyRefBits;

@@ -22,6 +22,8 @@
 #include "common/bytes.hpp"
 #include "common/checked.hpp"
 #include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/spin.hpp"
 #include "mem/memory_manager.hpp"
 #include "mheap/managed_heap.hpp"
 #include "oak/buffer.hpp"
@@ -44,6 +46,10 @@ struct OakConfig {
   /// Value-header reclamation (§3.3): the paper's evaluated default keeps
   /// headers immortal; Generational recycles them through a versioned pool.
   ValueReclaim reclaim = ValueReclaim::KeepHeaders;
+  /// Bytes withheld from the arena as an emergency reserve for the
+  /// non-throwing tryPut/tryCompute degraded path (0 = no reserve).  See
+  /// DESIGN.md "Failure model & degraded operation" for sizing guidance.
+  std::size_t emergencyReserveBytes = 0;
 };
 
 template <class Compare = BytesComparator>
@@ -71,7 +77,7 @@ class OakCoreMap {
         cmp_(cmp),
         metaHeap_(cfg.metaHeap != nullptr ? *cfg.metaHeap : mheap::ManagedHeap::unlimited()),
         pool_(cfg.pool != nullptr ? *cfg.pool : mem::BlockPool::global()),
-        mm_(pool_),
+        mm_(pool_, static_cast<std::uint32_t>(cfg.emergencyReserveBytes)),
         indexMem_(metaHeap_),
         index_(IndexCmp{cmp}, indexMem_) {
     // OakSan: chunk metadata (and the off-heap keys it references) is
@@ -244,6 +250,27 @@ class OakCoreMap {
   bool remove(ByteSpan key, ByteVec* old = nullptr) {
     obs::OpTimer t(stats_, obs::Op::Remove);
     return doIfPresent(key, nullptr, IfPresentOp::Remove, old);
+  }
+
+  // ================================================== degraded operation
+  /// Non-throwing put for callers that prefer a Status over OOM exceptions
+  /// (DESIGN.md "Failure model & degraded operation").  Retries with an
+  /// escalating reclamation ladder — epoch advancement, managed-heap
+  /// collection, and finally the arena emergency reserve — before giving
+  /// up.  Resource exhaustion is reported, never thrown; usage errors
+  /// (empty key) still throw.
+  Status tryPut(ByteSpan key, ByteSpan value) {
+    return tryOp([&] { put(key, value); });
+  }
+
+  /// Non-throwing computeIfPresent.  `*computed` (if given) reports whether
+  /// a live value existed and `func` ran.
+  template <class F>
+  Status tryCompute(ByteSpan key, F&& func, bool* computed = nullptr) {
+    return tryOp([&] {
+      const bool did = computeIfPresent(key, func);
+      if (computed != nullptr) *computed = did;
+    });
   }
 
   // ========================================================== scan support
@@ -490,6 +517,7 @@ class OakCoreMap {
     m.arenas = {m.alloc};  // one arena region per core map
     m.ebr = obs::EbrStats{ebr_.epochLag(), ebr_.retiredCount()};
     m.gc = metaHeap_.stats();
+    m.faultInjected = fault::injectedCount();
     return m;
   }
   obs::StatsRegistry& statsRegistry() noexcept { return stats_; }
@@ -626,7 +654,16 @@ class OakCoreMap {
       // ---- Case 2: key absent (no entry, ⊥ reference, or deleted value) --
       if (ei == ChunkT::kNone) {
         mem::Ref keyRef = mm_.allocateKey(key);
-        const std::int32_t cell = c->allocateEntry(keyRef);
+        std::int32_t cell;
+        try {
+          // Chaos site: a failure between key allocation and entry linkage
+          // is the window where a naive implementation leaks the key slice.
+          OAK_FAULT_POINT("chunk.link", ManagedOutOfMemory);
+          cell = c->allocateEntry(keyRef);
+        } catch (...) {
+          mm_.free(keyRef);
+          throw;
+        }
         if (cell == ChunkT::kFull) {
           mm_.free(keyRef);
           rebalance(c);
@@ -664,7 +701,14 @@ class OakCoreMap {
         detail::ValueCell::disposeUnpublished(mm_, newV, headerPool());
         continue;  // §4.3: retry — cannot linearize before the racing update
       }
-      maybeRebalanceAfterInsert(c);
+      // The CAS above is this put's linearization point; the compaction that
+      // follows is opportunistic maintenance.  If it fails on OOM (rebalance
+      // rolled itself back), the put still succeeded — reporting the failure
+      // would claim an update that in fact happened did not.
+      try {
+        maybeRebalanceAfterInsert(c);
+      } catch (const std::bad_alloc&) {
+      }
       return true;
     }
   }
@@ -754,42 +798,61 @@ class OakCoreMap {
     if (c->rebalancedTo().load(std::memory_order_acquire) != nullptr) return;
     rebalances_.fetch_add(1, std::memory_order_relaxed);
 
-    c->freeze();
-    std::vector<typename ChunkT::LiveEntry> live;
-    live.reserve(static_cast<std::size_t>(c->allocatedCount()));
-    c->collectLive(mm_, live);
-
-    std::vector<ChunkT*> engaged{c};
-    ChunkT* last = c;
-    // Merge policy: engage the successor when this chunk is under-utilized
-    // and the combined load still fits comfortably.
-    ChunkT* next = c->nextChunk().load(std::memory_order_acquire);
-    if (next != nullptr &&
-        static_cast<std::int32_t>(live.size()) < cfg_.chunkCapacity / 4 &&
-        next->allocatedCount() + static_cast<std::int32_t>(live.size()) <
-            cfg_.chunkCapacity / 2) {
-      next->freeze();
-      next->collectLive(mm_, live);  // adjacent range: stays sorted
-      engaged.push_back(next);
-      last = next;
-    }
-
-    // Build replacement chunks, each at most half full so inserts have room.
-    const std::int32_t per = cfg_.chunkCapacity / 2;
+    // Everything from freeze() to the fresh-chunk build can fail (chunk
+    // metadata lives on the managed heap; minKey copies live on the host
+    // heap).  Until the redirects are published nothing is visible to other
+    // threads, so a failure rolls back: dispose the half-built replacements
+    // (dispose frees chunk metadata only, never the key/value slices the
+    // live entries still own) and thaw the engaged chunks in reverse engage
+    // order.  The map is left exactly as before the rebalance started.
+    std::vector<ChunkT*> engaged;
     std::vector<ChunkT*> fresh;
-    std::size_t off = 0;
-    do {
-      const auto n = static_cast<std::int32_t>(
-          std::min<std::size_t>(per, live.size() - off));
-      ByteVec minKey = (off == 0)
-                           ? toVec(c->minKey())
-                           : toVec(mm_.keyBytes(mem::Ref{live[off].keyRefBits}));
-      ChunkT* nc = ChunkT::make(metaHeap_, mm_, cmp_, std::move(minKey),
-                                cfg_.chunkCapacity);
-      nc->fillSorted(live.data() + off, n);
-      fresh.push_back(nc);
-      off += static_cast<std::size_t>(n);
-    } while (off < live.size());
+    ChunkT* last = c;
+    engaged.reserve(2);
+    try {
+      OAK_FAULT_POINT("rebalance.split", ManagedOutOfMemory);
+      c->freeze();
+      engaged.push_back(c);
+      std::vector<typename ChunkT::LiveEntry> live;
+      live.reserve(static_cast<std::size_t>(c->allocatedCount()));
+      c->collectLive(mm_, live);
+
+      // Merge policy: engage the successor when this chunk is under-utilized
+      // and the combined load still fits comfortably.
+      ChunkT* next = c->nextChunk().load(std::memory_order_acquire);
+      if (next != nullptr &&
+          static_cast<std::int32_t>(live.size()) < cfg_.chunkCapacity / 4 &&
+          next->allocatedCount() + static_cast<std::int32_t>(live.size()) <
+              cfg_.chunkCapacity / 2) {
+        next->freeze();
+        engaged.push_back(next);
+        next->collectLive(mm_, live);  // adjacent range: stays sorted
+        last = next;
+      }
+
+      // Build replacement chunks, each at most half full so inserts have
+      // room.
+      const std::int32_t per = cfg_.chunkCapacity / 2;
+      std::size_t off = 0;
+      do {
+        const auto n = static_cast<std::int32_t>(
+            std::min<std::size_t>(per, live.size() - off));
+        ByteVec minKey = (off == 0)
+                             ? toVec(c->minKey())
+                             : toVec(mm_.keyBytes(mem::Ref{live[off].keyRefBits}));
+        ChunkT* nc = ChunkT::make(metaHeap_, mm_, cmp_, std::move(minKey),
+                                  cfg_.chunkCapacity);
+        fresh.push_back(nc);
+        nc->fillSorted(live.data() + off, n);
+        off += static_cast<std::size_t>(n);
+      } while (off < live.size());
+    } catch (...) {
+      for (ChunkT* nc : fresh) ChunkT::dispose(metaHeap_, nc);
+      for (auto it = engaged.rbegin(); it != engaged.rend(); ++it) {
+        (*it)->unfreeze();
+      }
+      throw;
+    }
 
     // Wire the new chain, then publish redirects, then relink the list.
     ChunkT* tail = last->nextChunk().load(std::memory_order_acquire);
@@ -813,17 +876,24 @@ class OakCoreMap {
       pred->nextChunk().store(fresh.front(), std::memory_order_release);
     }
 
-    // Index maintenance: map new minKeys, then drop stale ones.
-    for (ChunkT* nc : fresh) index_.put(toVec(nc->minKey()), nc);
-    for (ChunkT* old : engaged) {
-      bool stillUsed = false;
-      for (ChunkT* nc : fresh) {
-        if (cmp_(old->minKey(), nc->minKey()) == 0) {
-          stillUsed = true;
-          break;
+    // Index maintenance: map new minKeys, then drop stale ones.  The index
+    // is a lazy accelerator (§3.1): a missing or stale entry only lengthens
+    // locateChunk's list walk, so under memory pressure we skip maintenance
+    // rather than fail a rebalance whose redirects are already live.
+    try {
+      for (ChunkT* nc : fresh) index_.put(toVec(nc->minKey()), nc);
+      for (ChunkT* old : engaged) {
+        bool stillUsed = false;
+        for (ChunkT* nc : fresh) {
+          if (cmp_(old->minKey(), nc->minKey()) == 0) {
+            stillUsed = true;
+            break;
+          }
         }
+        if (!stillUsed) index_.erase(toVec(old->minKey()));
       }
-      if (!stillUsed) index_.erase(toVec(old->minKey()));
+    } catch (const std::bad_alloc&) {
+      // Deliberately swallowed — see above.
     }
 
     chunkCount_.fetch_add(static_cast<std::int64_t>(fresh.size()) -
@@ -843,6 +913,49 @@ class OakCoreMap {
           },
           this);
     }
+  }
+
+  /// Degraded-path driver: run `body`, absorbing OOM exceptions into a
+  /// retry loop.  Each failed attempt climbs a reclamation ladder — advance
+  /// epochs (retired chunks return both arena space and heap metadata),
+  /// collect the managed heap, and on the penultimate attempt post the
+  /// arena's emergency reserve.  When all attempts fail, report Retry if
+  /// reclamation is still pending (the caller backing off has a chance),
+  /// ResourceExhausted if the map is genuinely full.
+  template <class Body>
+  Status tryOp(Body&& body) {
+    constexpr int kAttempts = 4;
+    Backoff backoff;
+    bool offHeap = false;
+    for (int attempt = 0; attempt < kAttempts; ++attempt) {
+      try {
+        body();
+        return Status::Ok;
+      } catch (const OffHeapOutOfMemory&) {
+        offHeap = true;
+      } catch (const ManagedOutOfMemory&) {
+        offHeap = false;
+      } catch (const std::bad_alloc&) {
+        offHeap = false;  // host-heap pressure behaves like managed pressure
+      }
+      stats_.incCounter(obs::Counter::OpRetries);
+      // The OOM unwound past our Ebr::Guard, so this thread no longer pins
+      // an epoch and advancement can actually reclaim.
+      quiesce();
+      metaHeap_.collectNow();
+      if (attempt == kAttempts - 2) mm_.releaseEmergencyReserve();
+      backoff.pause();
+    }
+    const bool reclaimPending =
+        offHeap ? (ebr_.retiredCount() != 0) : managedGarbagePending();
+    if (reclaimPending) return Status::Retry;
+    stats_.incCounter(obs::Counter::ResourceExhausted);
+    return Status::ResourceExhausted;
+  }
+
+  bool managedGarbagePending() const {
+    const mheap::GcStats gs = metaHeap_.stats();
+    return gs.committedBytes > gs.liveBytes;
   }
 
   detail::HeaderPool* headerPool() noexcept {

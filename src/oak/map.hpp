@@ -379,6 +379,24 @@ class BasicOakMap {
     return core_.containsKey(k.span());
   }
 
+  // ------------------------------------------------- degraded operation
+  /// Status tryPut(K, V) — never throws on resource exhaustion; returns
+  /// Ok, Retry (reclamation pending, back off and call again) or
+  /// ResourceExhausted (the map is genuinely full).
+  Status tryPut(const K& key, const V& value) {
+    ScratchSerialized<KSer, K> k(key);
+    ScratchSerialized<VSer, V> v(value);
+    return core_.tryPut(k.span(), v.span());
+  }
+
+  /// Status tryCompute(K, Function(OakWBuffer)) — non-throwing in-place
+  /// update; `*computed` reports whether the key was present.
+  template <class F>
+  Status tryCompute(const K& key, F&& func, bool* computed = nullptr) {
+    ScratchSerialized<KSer, K> k(key);
+    return core_.tryCompute(k.span(), std::forward<F>(func), computed);
+  }
+
   // ------------------------------------------------ navigation queries
   /// Deserializing navigation (legacy view): typed key *and* value copies.
   std::optional<std::pair<K, V>> firstEntry() { return copyOut(core_.firstEntry()); }

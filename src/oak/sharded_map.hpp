@@ -113,6 +113,16 @@ class ShardedOakCoreMap {
     return route(key).replaceIf(key, expected, desired);
   }
 
+  /// Degraded-path ops (Status instead of OOM exceptions); one shard each,
+  /// so the retry ladder and emergency reserve are the owning shard's.
+  Status tryPut(ByteSpan key, ByteSpan value) {
+    return route(key).tryPut(key, value);
+  }
+  template <class F>
+  Status tryCompute(ByteSpan key, F&& func, bool* computed = nullptr) {
+    return route(key).tryCompute(key, std::forward<F>(func), computed);
+  }
+
   // ==================================================== navigation ==
   // Range partitioning makes navigation a shard-local query plus a walk
   // towards the neighbors until one answers.

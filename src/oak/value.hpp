@@ -198,7 +198,20 @@ class ValueCell {
           ->version.store(version, std::memory_order_relaxed);
     }
     auto* hdr = reinterpret_cast<ValueHeader*>(mm.translate(h));
-    const mem::Ref payload = mm.allocRaw(len);
+    mem::Ref payload;
+    try {
+      payload = mm.allocRaw(len);
+    } catch (...) {
+      // Nothing references the header yet; return it so an OOM between the
+      // two allocations leaks neither the header nor a pooled slot.
+      if (pool != nullptr) {
+        hdr->lock.markDeletedRaw();
+        pool->release(h);
+      } else {
+        mm.free(h);
+      }
+      throw;
+    }
     hdr->size = len;
     hdr->payloadRef.store(payload.bits(), std::memory_order_relaxed);
     copyBytes({mm.translate(payload), len}, bytes);
@@ -225,7 +238,9 @@ class ValueCell {
 
   /// v.put(val): overwrite in place (resizing if needed).  Returns false if
   /// the value is deleted or the reference is stale (§4.3 case 1 retries).
-  bool put(ByteSpan bytes) noexcept {
+  /// May throw OffHeapOutOfMemory when the value grows; the old contents
+  /// stay intact (the fresh payload is allocated before anything mutates).
+  bool put(ByteSpan bytes) {
     sync::WriteGuard g(hdr_->lock);
     if (!g.acquired() || stale()) return false;
     writeLocked(bytes);
@@ -234,7 +249,7 @@ class ValueCell {
 
   /// Like put, but first copies the previous contents into *old — gives the
   /// legacy API its atomic "put returns the old value" semantics.
-  bool exchange(ByteSpan bytes, ByteVec* old) noexcept {
+  bool exchange(ByteSpan bytes, ByteVec* old) {
     sync::WriteGuard g(hdr_->lock);
     if (!g.acquired() || stale()) return false;
     if (old != nullptr) {
@@ -331,7 +346,10 @@ class ValueCell {
     return hdr_->version.load(std::memory_order_acquire) != ref_.version();
   }
 
-  void writeLocked(ByteSpan bytes) noexcept {
+  // Not noexcept: growing the payload allocates and may throw.  The alloc
+  // happens before any header mutation, so a throw leaves the old value
+  // fully intact (strong guarantee).
+  void writeLocked(ByteSpan bytes) {
     const auto len = static_cast<std::uint32_t>(bytes.size());
     mem::Ref payload{hdr_->payloadRef.load(std::memory_order_relaxed)};
     if (len > payload.length()) {

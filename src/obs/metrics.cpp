@@ -43,10 +43,14 @@ std::string Metrics::toJson() const {
 
   appendf(j,
           "\"counters\":{\"rebalance\":%" PRIu64 ",\"chunk_split\":%" PRIu64
-          ",\"chunk_merge\":%" PRIu64 "},\"chunks\":%" PRIu64
-          ",\"shards\":%" PRIu64 ",",
+          ",\"chunk_merge\":%" PRIu64 ",\"op_retries\":%" PRIu64
+          ",\"resource_exhausted\":%" PRIu64 ",\"fault_injected\":%" PRIu64
+          "},\"chunks\":%" PRIu64 ",\"shards\":%" PRIu64 ",",
           rebalances, registry.counter(Counter::ChunkSplit),
-          registry.counter(Counter::ChunkMerge), chunkCount, shards);
+          registry.counter(Counter::ChunkMerge),
+          registry.counter(Counter::OpRetries),
+          registry.counter(Counter::ResourceExhausted), faultInjected,
+          chunkCount, shards);
 
   appendf(j,
           "\"alloc\":{\"footprint_bytes\":%zu,\"allocated_bytes\":%zu,"
@@ -76,10 +80,11 @@ std::string Metrics::toJson() const {
   appendf(j,
           "\"gc\":{\"full_cycles\":%" PRIu64 ",\"young_cycles\":%" PRIu64
           ",\"pause_ns_total\":%" PRIu64 ",\"allocations\":%" PRIu64
-          ",\"oom_throws\":%" PRIu64
+          ",\"oom_throws\":%" PRIu64 ",\"gc_last_ditch\":%" PRIu64
           ",\"live_bytes\":%zu,\"committed_bytes\":%zu,\"live_objects\":%zu}",
           gc.fullGcCycles, gc.youngGcCycles, gc.gcNanos, gc.allocations,
-          gc.oomThrows, gc.liveBytes, gc.committedBytes, gc.liveObjects);
+          gc.oomThrows, gc.gcLastDitch, gc.liveBytes, gc.committedBytes,
+          gc.liveObjects);
   j += '}';
   return j;
 }
@@ -104,6 +109,11 @@ std::string Metrics::toText() const {
           shards, chunkCount, rebalances, registry.counter(Counter::ChunkSplit),
           registry.counter(Counter::ChunkMerge));
   appendf(t,
+          "  pressure: retries=%" PRIu64 " exhausted=%" PRIu64
+          " faults-injected=%" PRIu64 "\n",
+          registry.counter(Counter::OpRetries),
+          registry.counter(Counter::ResourceExhausted), faultInjected);
+  appendf(t,
           "  off-heap: footprint=%zuB in-use=%zuB fragmented=%zuB "
           "allocs=%" PRIu64 " frees=%" PRIu64 " free-list=%" PRIu64 "\n",
           alloc.footprintBytes, alloc.allocatedBytes, alloc.fragmentedBytes,
@@ -121,9 +131,9 @@ std::string Metrics::toText() const {
   appendf(t, "  ebr: epoch-lag=%" PRIu64 " retired=%" PRIu64 "\n", ebr.epochLag,
           ebr.retired);
   appendf(t,
-          "  gc: full=%" PRIu64 " young=%" PRIu64 " pause-total=%.2fms "
-          "live=%zuB committed=%zuB\n",
-          gc.fullGcCycles, gc.youngGcCycles,
+          "  gc: full=%" PRIu64 " young=%" PRIu64 " last-ditch=%" PRIu64
+          " pause-total=%.2fms live=%zuB committed=%zuB\n",
+          gc.fullGcCycles, gc.youngGcCycles, gc.gcLastDitch,
           static_cast<double>(gc.gcNanos) / 1e6, gc.liveBytes,
           gc.committedBytes);
   return t;

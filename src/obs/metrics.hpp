@@ -26,6 +26,11 @@ struct Metrics {
   /// Number of shards this snapshot covers (1 for a plain OakCoreMap).
   std::uint64_t shards = 1;
 
+  /// Faults injected by the OakChaos engine (process-wide; 0 unless a
+  /// checked build armed a schedule).  Absorbed with max, not sum, because
+  /// the underlying counter is global rather than per-shard.
+  std::uint64_t faultInjected = 0;
+
   /// Aggregated allocator gauges: the sum over `arenas`.
   AllocStats alloc;
   /// Per-arena gauges, one entry per MemoryManager arena region.  A plain
@@ -49,6 +54,7 @@ struct Metrics {
     alloc.merge(s.alloc);
     arenas.insert(arenas.end(), s.arenas.begin(), s.arenas.end());
     ebr.merge(s.ebr);
+    if (s.faultInjected > faultInjected) faultInjected = s.faultInjected;
     if (shards == 0) gc = s.gc;
     shards += s.shards;
   }

@@ -64,8 +64,10 @@ inline const char* opName(Op op) noexcept {
 
 /// Structural event counters (not latency-tracked).
 enum class Counter : std::uint32_t {
-  ChunkSplit = 0,  ///< rebalance produced more chunks than it engaged
-  ChunkMerge,      ///< rebalance engaged the successor chunk
+  ChunkSplit = 0,     ///< rebalance produced more chunks than it engaged
+  ChunkMerge,         ///< rebalance engaged the successor chunk
+  OpRetries,          ///< tryPut/tryCompute attempts retried after an OOM
+  ResourceExhausted,  ///< tryPut/tryCompute gave up: Status::ResourceExhausted
   kCount
 };
 inline constexpr std::size_t kCounterCount = static_cast<std::size_t>(Counter::kCount);
@@ -74,6 +76,8 @@ inline const char* counterName(Counter c) noexcept {
   switch (c) {
     case Counter::ChunkSplit: return "chunk_split";
     case Counter::ChunkMerge: return "chunk_merge";
+    case Counter::OpRetries: return "op_retries";
+    case Counter::ResourceExhausted: return "resource_exhausted";
     case Counter::kCount: break;
   }
   return "?";

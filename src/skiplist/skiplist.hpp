@@ -46,7 +46,8 @@ class MallocMem final : public MetaMem {
  public:
   void* alloc(std::size_t bytes) override {
     void* p = std::malloc(bytes);
-    if (p == nullptr) throw std::bad_alloc();
+    // Nodes model on-heap metadata, so exhaustion is the managed flavour.
+    if (p == nullptr) throw ManagedOutOfMemory();
     return p;
   }
   void dealloc(void* p, std::size_t) noexcept override { std::free(p); }

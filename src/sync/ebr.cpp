@@ -1,5 +1,7 @@
 #include "sync/ebr.hpp"
 
+#include "common/fault.hpp"
+
 namespace oak::sync {
 
 Ebr::Ebr() = default;
@@ -60,6 +62,10 @@ void Ebr::retire(void* ptr, void (*deleter)(void*, void*), void* ctx) {
 }
 
 void Ebr::tryAdvanceAndReclaim() {
+  // Chaos site: a firing schedule models a stalled reclaimer (straggler
+  // thread, preempted advance) — retirement keeps accumulating while the
+  // epoch stays put, which is exactly how EBR degrades in production.
+  if (OAK_FAULT_BRANCH("ebr.advance")) return;
   const std::uint64_t e = globalEpoch_.load(std::memory_order_seq_cst);
   const std::uint32_t hw = ThreadRegistry::highWater();
   for (std::uint32_t i = 0; i < hw; ++i) {

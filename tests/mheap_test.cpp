@@ -59,6 +59,33 @@ TEST(ManagedHeap, OomWhenLiveSetExceedsEffectiveBudget) {
   for (void* p : objs) h.free(p);
 }
 
+TEST(ManagedHeap, OomThrowCountedExactlyOncePerFailure) {
+  // Regression: the last-ditch "fullGc then retry" path used to bump
+  // oomThrows on the failed first try *and* on the throw, and the raw
+  // malloc-failure path threw std::bad_alloc without counting at all.
+  ManagedHeap h(cfg(4u << 20));
+  std::vector<void*> objs;
+  try {
+    for (;;) objs.push_back(h.alloc(4096));
+  } catch (const ManagedOutOfMemory&) {
+  }
+  const auto afterFill = h.stats();
+  EXPECT_EQ(afterFill.oomThrows, 1u);
+  EXPECT_GE(afterFill.gcLastDitch, 1u) << "the throw must come after a full GC";
+
+  // Each further failing allocation adds exactly one throw.
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    EXPECT_THROW((void)h.alloc(4096), ManagedOutOfMemory);
+    EXPECT_EQ(h.stats().oomThrows, 1u + i);
+  }
+  // A failure is not sticky: freeing restores service with no extra count.
+  for (void* p : objs) h.free(p);
+  h.collectNow();
+  void* p = h.alloc(4096);
+  EXPECT_EQ(h.stats().oomThrows, 4u);
+  h.free(p);
+}
+
 TEST(ManagedHeap, GarbageIsReclaimedSoChurnRunsForever) {
   ManagedHeap h(cfg(8u << 20));
   // Allocate and free far more than the budget in total: collections must

@@ -1,0 +1,432 @@
+// OakChaos suite: deterministic fault injection against the full map stack.
+//
+// Every injection test follows the same drill: run a seeded operation
+// sequence with a fault site armed, catch the injected OOMs, disarm, and
+// then prove three things —
+//   1. structure: ChunkWalker finds a fully consistent chunk chain,
+//   2. contents: the map agrees with a std::map oracle that was updated
+//      only on operations that reported success,
+//   3. liveness: the map still accepts new operations.
+// Together these are the strong-exception-safety contract: an injected
+// failure may abort one operation but must never corrupt the map or leak
+// its effect halfway.
+//
+// Injection requires a checked build (OAK_CHECKED); those tests GTEST_SKIP
+// otherwise.  The tryPut/tryCompute degraded-path tests exercise *real*
+// resource exhaustion against a budget-capped BlockPool and run in every
+// build.  OAK_CHAOS_SEED varies the seeded schedules (CI sweeps several).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/fault.hpp"
+#include "common/random.hpp"
+#include "mem/block_pool.hpp"
+#include "oak/chunk_walker.hpp"
+#include "oak/core_map.hpp"
+#include "oak/sharded_map.hpp"
+
+namespace oak {
+namespace {
+
+ByteSpan bytes(const std::string& s) { return asBytes(std::string_view(s)); }
+
+std::string padKey(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "key-%06d", i);
+  return buf;
+}
+
+std::string valueFor(int i, char tag) {
+  return std::string("value-") + tag + "-" + std::to_string(i);
+}
+
+std::uint64_t chaosSeed() {
+  if (const char* v = std::getenv("OAK_CHAOS_SEED")) {
+    char* end = nullptr;
+    const unsigned long long s = std::strtoull(v, &end, 10);
+    if (end != v && s != 0) return s;
+  }
+  return 7;
+}
+
+#define SKIP_UNLESS_CHECKED()                                       \
+  do {                                                              \
+    if (!OAK_CHECKED) {                                             \
+      GTEST_SKIP() << "fault injection needs a checked build";      \
+    }                                                               \
+  } while (0)
+
+// Sites wired through the allocation stack that OAK_FAULT_POINT can trip
+// with a typed OOM during map operations.
+const char* const kThrowingSites[] = {
+    "mheap.alloc",      // chunk metadata / index nodes (ManagedOutOfMemory)
+    "alloc.offheap",    // key/value slices (OffHeapOutOfMemory)
+    "chunk.link",       // between key allocation and entry linkage
+    "rebalance.split",  // start of the freeze/collect/build protocol
+};
+
+// ------------------------------------------------------- schedule engine
+TEST(FaultSchedule, NthFiresExactlyOnce) {
+  SKIP_UNLESS_CHECKED();
+  fault::disarmAll();
+  fault::arm("test.site", fault::Schedule::nth(3));
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(fault::shouldInject("test.site"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, false}));
+  EXPECT_EQ(fault::injectedCount("test.site"), 1u);
+  fault::disarmAll();
+}
+
+TEST(FaultSchedule, OnceFiresOnFirstHitThenDisarms) {
+  SKIP_UNLESS_CHECKED();
+  fault::disarmAll();
+  fault::arm("test.site", fault::Schedule::once());
+  EXPECT_TRUE(fault::shouldInject("test.site"));
+  EXPECT_FALSE(fault::shouldInject("test.site"));
+  EXPECT_FALSE(fault::shouldInject("test.site"));
+  EXPECT_EQ(fault::injectedCount("test.site"), 1u);
+  fault::disarmAll();
+}
+
+TEST(FaultSchedule, ProbIsDeterministicUnderSeed) {
+  SKIP_UNLESS_CHECKED();
+  fault::disarmAll();
+  const std::uint64_t seed = chaosSeed();
+  auto run = [&] {
+    fault::arm("test.site", fault::Schedule::probability(0.3, seed));
+    std::vector<bool> pattern;
+    for (int i = 0; i < 300; ++i) pattern.push_back(fault::shouldInject("test.site"));
+    return pattern;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b) << "same seed must replay the same schedule";
+  const auto fires = static_cast<std::size_t>(std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 0u);
+  EXPECT_LT(fires, a.size());
+  fault::disarmAll();
+}
+
+TEST(FaultSchedule, SpecStringArmsSites) {
+  SKIP_UNLESS_CHECKED();
+  fault::disarmAll();
+  ASSERT_TRUE(fault::armFromSpec(
+      "spec.a=nth:2;spec.b=once,spec.c=prob:0.5:42"));
+  EXPECT_FALSE(fault::shouldInject("spec.a"));
+  EXPECT_TRUE(fault::shouldInject("spec.a"));  // nth:2
+  EXPECT_TRUE(fault::shouldInject("spec.b"));  // once
+  EXPECT_FALSE(fault::shouldInject("spec.b"));
+  fault::disarmAll();
+}
+
+TEST(FaultSchedule, MalformedSpecIsRejected) {
+  SKIP_UNLESS_CHECKED();
+  fault::disarmAll();
+  EXPECT_FALSE(fault::armFromSpec("bogus"));
+  EXPECT_FALSE(fault::armFromSpec("site=wat:1"));
+  EXPECT_FALSE(fault::armFromSpec("site=prob:notanumber"));
+  fault::disarmAll();
+}
+
+// ----------------------------------------------- single-shard chaos drill
+// Runs `opCount` seeded put/remove operations with the given sites armed,
+// mirroring successful operations into a std::map oracle, then validates
+// structure, contents, and liveness.  Arming happens after the preload and
+// every armed site is disarmed before validation, so only the chaos phase
+// sees injected faults.
+struct ArmedSite {
+  const char* site;
+  fault::Schedule sched;
+};
+
+template <class MapT>
+void chaosDrill(MapT& map, const std::vector<ArmedSite>& sites,
+                int opCount, std::uint64_t seed, int keyRange) {
+  std::map<std::string, std::string> oracle;
+  // Preload with injection off so every drill starts from a real structure.
+  for (int i = 0; i < keyRange / 2; ++i) {
+    const std::string k = padKey(i);
+    const std::string v = valueFor(i, 'p');
+    map.put(bytes(k), bytes(v));
+    oracle[k] = v;
+  }
+
+  for (const ArmedSite& s : sites) fault::arm(s.site, s.sched);
+  XorShift rng(seed);
+  int injected = 0;
+  for (int op = 0; op < opCount; ++op) {
+    const int id = static_cast<int>(rng.nextBounded(static_cast<std::uint64_t>(keyRange)));
+    const std::string k = padKey(id);
+    if (rng.nextBounded(4) == 0) {
+      try {
+        if (map.remove(bytes(k))) oracle.erase(k);
+      } catch (const std::bad_alloc&) {
+        ++injected;  // op aborted; oracle untouched
+      }
+    } else {
+      const std::string v = valueFor(op, 'c');
+      try {
+        map.put(bytes(k), bytes(v));
+        oracle[k] = v;
+      } catch (const std::bad_alloc&) {
+        ++injected;
+      }
+    }
+  }
+  for (const ArmedSite& s : sites) fault::disarm(s.site);
+  const char* site = sites.front().site;  // trace tag for failure output
+
+  // 1. Structure: the chunk chain, entry lists, and slice liveness all hold.
+  map.quiesce();
+  auto rep = ChunkWalker<BytesComparator>::validate(map);
+  for (const auto& p : rep.problems) ADD_FAILURE() << site << ": " << p;
+  EXPECT_TRUE(rep.ok) << site;
+
+  // 2. Contents: exact agreement with the oracle, both directions.
+  EXPECT_EQ(map.sizeSlow(), oracle.size()) << site;
+  for (const auto& [k, v] : oracle) {
+    auto got = map.getCopy(bytes(k));
+    ASSERT_TRUE(got.has_value()) << site << " lost key " << k;
+    EXPECT_EQ(asString(ByteSpan{got->data(), got->size()}), v) << site;
+  }
+
+  // 3. Liveness: the map keeps accepting work after the chaos stops.
+  const std::string fresh = padKey(keyRange + 1);
+  map.put(bytes(fresh), bytes("post-chaos"));
+  EXPECT_TRUE(map.containsKey(bytes(fresh))) << site;
+  EXPECT_TRUE(ChunkWalker<BytesComparator>::validate(map).ok) << site;
+}
+
+TEST(OakChaos, PointOpsSurviveInjectedOomEverySite) {
+  SKIP_UNLESS_CHECKED();
+  fault::disarmAll();
+  const std::uint64_t seed = chaosSeed();
+  const std::uint64_t before = fault::injectedCount();
+  for (const char* site : kThrowingSites) {
+    for (const std::uint64_t nth : {1ull, 7ull, 40ull}) {
+      SCOPED_TRACE(std::string(site) + " nth:" + std::to_string(nth));
+      OakConfig cfg;
+      cfg.chunkCapacity = 64;  // small chunks force frequent rebalances
+      OakCoreMap<> map(cfg);
+      chaosDrill(map, {{site, fault::Schedule::nth(nth)}}, 600, seed, 400);
+    }
+  }
+  // The schedules must actually have fired — a drill that never injects
+  // proves nothing (e.g. a renamed site would silently pass).
+  EXPECT_GT(fault::injectedCount(), before);
+  fault::disarmAll();
+}
+
+TEST(OakChaos, ProbabilisticMultiSiteStorm) {
+  SKIP_UNLESS_CHECKED();
+  fault::disarmAll();
+  const std::uint64_t seed = chaosSeed();
+  OakConfig cfg;
+  cfg.chunkCapacity = 64;
+  OakCoreMap<> map(cfg);
+  // Arm several sites at once at low probability: faults land at arbitrary
+  // protocol depths, in arbitrary combinations.
+  chaosDrill(map,
+             {{"mheap.alloc", fault::Schedule::probability(0.01, seed)},
+              {"alloc.offheap", fault::Schedule::probability(0.01, seed + 1)},
+              {"rebalance.split", fault::Schedule::probability(0.10, seed + 2)},
+              {"chunk.link", fault::Schedule::probability(0.02, seed + 3)}},
+             2000, seed, 600);
+  fault::disarmAll();
+}
+
+TEST(OakChaos, ShardedMapSurvivesInjectedOom) {
+  SKIP_UNLESS_CHECKED();
+  fault::disarmAll();
+  const std::uint64_t seed = chaosSeed();
+  ShardedOakConfig cfg;
+  cfg.shard.chunkCapacity = 64;
+  cfg.layout = ShardLayout::at({toVec(bytes(padKey(150))), toVec(bytes(padKey(300))),
+                                toVec(bytes(padKey(450)))});
+  ShardedOakCoreMap<> map(std::move(cfg));
+  chaosDrill(map,
+             {{"mheap.alloc", fault::Schedule::probability(0.01, seed)},
+              {"alloc.offheap", fault::Schedule::probability(0.01, seed + 1)},
+              {"rebalance.split", fault::Schedule::probability(0.10, seed + 2)}},
+             2000, seed, 600);
+
+  // Cross-shard structural report: every shard must be clean.
+  const auto reports = ChunkWalker<BytesComparator>::validateShards(map);
+  ASSERT_EQ(reports.size(), 4u);
+  for (std::size_t s = 0; s < reports.size(); ++s) {
+    EXPECT_TRUE(reports[s].ok) << "shard " << s << ": "
+                               << (reports[s].problems.empty()
+                                       ? ""
+                                       : reports[s].problems.front());
+  }
+  fault::disarmAll();
+}
+
+TEST(OakChaos, StalledEbrDegradesThenRecovers) {
+  SKIP_UNLESS_CHECKED();
+  fault::disarmAll();
+  OakConfig cfg;
+  cfg.chunkCapacity = 32;
+  OakCoreMap<> map(cfg);
+
+  // A permanently failing advance models a stalled reclaimer: retirement
+  // backlog grows, but operations keep succeeding (graceful degradation).
+  fault::arm("ebr.advance", fault::Schedule::probability(1.0, 1));
+  for (int i = 0; i < 800; ++i) {
+    map.put(bytes(padKey(i)), bytes(valueFor(i, 's')));
+  }
+  const obs::Metrics during = map.stats();
+  EXPECT_GT(during.ebr.retired, 0u) << "rebalanced chunks must pile up";
+  EXPECT_EQ(map.sizeSlow(), 800u);
+
+  // Un-stall: the backlog drains and the structure is intact.
+  fault::disarm("ebr.advance");
+  map.quiesce();
+  const obs::Metrics after = map.stats();
+  EXPECT_EQ(after.ebr.retired, 0u);
+  EXPECT_TRUE(ChunkWalker<BytesComparator>::validate(map).ok);
+  fault::disarmAll();
+}
+
+TEST(OakChaos, MetricsReportInjectedFaults) {
+  SKIP_UNLESS_CHECKED();
+  fault::disarmAll();
+  OakConfig cfg;
+  OakCoreMap<> map(cfg);
+  const std::uint64_t before = map.stats().faultInjected;
+  fault::arm("alloc.offheap", fault::Schedule::once());
+  EXPECT_THROW(map.put(bytes(padKey(0)), bytes("v")), OffHeapOutOfMemory);
+  const obs::Metrics m = map.stats();
+  EXPECT_GT(m.faultInjected, before);
+  EXPECT_NE(m.toJson().find("\"fault_injected\""), std::string::npos);
+  fault::disarmAll();
+}
+
+// ------------------------------------------------- degraded path (Status)
+// Real exhaustion against a budget-capped pool — no injection, every build.
+TEST(OakDegraded, TryPutReportsExhaustionWithoutThrowing) {
+  fault::disarmAll();
+  mem::BlockPool pool({.blockBytes = 1u << 16, .budgetBytes = 1u << 16});
+  OakConfig cfg;
+  cfg.chunkCapacity = 64;
+  cfg.pool = &pool;
+  cfg.emergencyReserveBytes = 2048;
+  OakCoreMap<> map(cfg);
+
+  const std::string value(120, 'x');
+  Status st = Status::Ok;
+  int inserted = 0;
+  // Fill until the arena (including the emergency reserve the retry ladder
+  // posts) is exhausted.  No OOM may escape as an exception.
+  ASSERT_NO_THROW({
+    for (int i = 0; i < 4000; ++i) {
+      st = map.tryPut(bytes(padKey(i)), bytes(value));
+      if (st != Status::Ok) break;
+      ++inserted;
+    }
+  });
+  ASSERT_NE(st, Status::Ok) << "a 64 KiB arena cannot hold 4000 x 120 B";
+  ASSERT_GT(inserted, 0);
+  // Retry means "reclamation pending" — single-threaded, after the ladder
+  // drained everything, repeated calls must settle on ResourceExhausted.
+  for (int i = 0; i < 10 && st == Status::Retry; ++i) {
+    ASSERT_NO_THROW(st = map.tryPut(bytes(padKey(inserted)), bytes(value)));
+  }
+  EXPECT_EQ(st, Status::ResourceExhausted);
+
+  // The failed operations left no trace: structure clean, contents intact.
+  map.quiesce();
+  auto rep = ChunkWalker<BytesComparator>::validate(map);
+  for (const auto& p : rep.problems) ADD_FAILURE() << p;
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(map.sizeSlow(), static_cast<std::size_t>(inserted));
+  auto got = map.getCopy(bytes(padKey(0)));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->size(), value.size());
+
+  // Pressure is observable: retries and the terminal exhaustion counted.
+  const obs::Metrics m = map.stats();
+  EXPECT_GT(m.registry.counter(obs::Counter::OpRetries), 0u);
+  EXPECT_GT(m.registry.counter(obs::Counter::ResourceExhausted), 0u);
+
+  // Freeing space restores service: remove a batch, then the same keys
+  // (and sizes) go back in through the degraded path with Status::Ok.
+  for (int i = 0; i < 40; ++i) EXPECT_TRUE(map.remove(bytes(padKey(i))));
+  map.quiesce();
+  EXPECT_EQ(map.tryPut(bytes(padKey(0)), bytes(value)), Status::Ok);
+  EXPECT_TRUE(ChunkWalker<BytesComparator>::validate(map).ok);
+}
+
+TEST(OakDegraded, TryComputeNeverThrowsOnExhaustion) {
+  fault::disarmAll();
+  mem::BlockPool pool({.blockBytes = 1u << 16, .budgetBytes = 1u << 16});
+  OakConfig cfg;
+  cfg.chunkCapacity = 64;
+  cfg.pool = &pool;
+  OakCoreMap<> map(cfg);
+
+  ASSERT_EQ(map.tryPut(bytes(padKey(1)), bytes("small")), Status::Ok);
+  // In-place compute on an existing value does not allocate: always Ok,
+  // even when the arena is otherwise full.
+  Status st = Status::Ok;
+  for (int i = 0; i < 4000 && st == Status::Ok; ++i) {
+    st = map.tryPut(bytes(padKey(100 + i)), bytes(std::string(120, 'y')));
+  }
+  ASSERT_NE(st, Status::Ok);
+  bool computed = false;
+  ASSERT_NO_THROW(
+      st = map.tryCompute(bytes(padKey(1)),
+                          [](OakWBuffer& w) { w.putByte(0, 'S'); }, &computed));
+  EXPECT_EQ(st, Status::Ok);
+  EXPECT_TRUE(computed);
+  auto got = map.getCopy(bytes(padKey(1)));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(static_cast<char>((*got)[0]), 'S');
+  // Absent key: still a Status, not an exception.
+  computed = true;
+  ASSERT_NO_THROW(st = map.tryCompute(bytes(padKey(2)), [](OakWBuffer&) {}, &computed));
+  EXPECT_EQ(st, Status::Ok);
+  EXPECT_FALSE(computed);
+}
+
+TEST(OakDegraded, ShardedTryPutRoutesAndDegradesPerShard) {
+  fault::disarmAll();
+  mem::BlockPool pool({.blockBytes = 1u << 16, .budgetBytes = 2u << 16});
+  ShardedOakConfig cfg;
+  cfg.shard.chunkCapacity = 64;
+  cfg.shard.pool = &pool;
+  cfg.shard.emergencyReserveBytes = 1024;
+  cfg.layout = ShardLayout::at({toVec(bytes(padKey(1000))), toVec(bytes(padKey(2000))),
+                                toVec(bytes(padKey(3000)))});
+  ShardedOakCoreMap<> map(std::move(cfg));
+
+  const std::string value(120, 'x');
+  Status st = Status::Ok;
+  int inserted = 0;
+  ASSERT_NO_THROW({
+    for (int i = 0; i < 4000; ++i) {
+      st = map.tryPut(bytes(padKey(i)), bytes(value));
+      if (st != Status::Ok) break;
+      ++inserted;
+    }
+  });
+  ASSERT_NE(st, Status::Ok);
+  ASSERT_GT(inserted, 0);
+
+  // Exhaustion did not corrupt any shard, and reads still serve.
+  map.quiesce();
+  EXPECT_TRUE(ChunkWalker<BytesComparator>::validate(map).ok);
+  EXPECT_EQ(map.sizeSlow(), static_cast<std::size_t>(inserted));
+  EXPECT_TRUE(map.containsKey(bytes(padKey(0))));
+  const obs::Metrics m = map.stats();
+  EXPECT_GT(m.registry.counter(obs::Counter::OpRetries), 0u);
+}
+
+}  // namespace
+}  // namespace oak

@@ -4,6 +4,8 @@
 #include <map>
 #include <string>
 
+#include "mem/block_pool.hpp"
+#include "oak/chunk_walker.hpp"
 #include "oak/map.hpp"
 
 namespace oak {
@@ -170,6 +172,60 @@ TEST(OakMapBasic, DeletedViewThrowsConcurrentModification) {
   ASSERT_TRUE(view.has_value());
   m.zc().remove("k");
   EXPECT_THROW(view->getByte(0), ConcurrentModification);
+}
+
+TEST(OakMapBasic, MapStaysUsableAfterRealOffHeapOom) {
+  // No fault injection: genuinely exhaust a budget-capped arena, then prove
+  // the surviving map is fully serviceable — the OOM aborts one put, not
+  // the data structure.
+  mem::BlockPool pool({.blockBytes = 1u << 16, .budgetBytes = 1u << 16});
+  OakConfig cfg = smallChunks();
+  cfg.pool = &pool;
+  Map m(cfg);
+
+  const std::string value(100, 'v');
+  std::map<std::string, std::string> ref;
+  bool oom = false;
+  for (int i = 0; i < 4000 && !oom; ++i) {
+    const std::string k = "key" + std::to_string(i);
+    try {
+      m.zc().put(k, value);
+      ref[k] = value;
+    } catch (const OffHeapOutOfMemory&) {
+      oom = true;
+    }
+  }
+  ASSERT_TRUE(oom) << "a 64 KiB arena cannot hold 4000 x 100 B values";
+  ASSERT_FALSE(ref.empty());
+
+  // Reads, scans, and the structural validator all still work.
+  m.core().quiesce();
+  auto rep = ChunkWalker<BytesComparator>::validate(m.core());
+  for (const auto& p : rep.problems) ADD_FAILURE() << p;
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(m.size(), ref.size());
+  for (const auto& [k, v] : ref) {
+    auto got = m.get(k);
+    ASSERT_TRUE(got.has_value()) << k;
+    EXPECT_EQ(*got, v) << k;
+  }
+  std::size_t scanned = 0;
+  for (auto it = m.core().ascend(); it.valid(); it.next()) ++scanned;
+  EXPECT_EQ(scanned, ref.size());
+
+  // Removes free arena space, after which puts succeed again.
+  int removed = 0;
+  for (const auto& [k, v] : ref) {
+    if (removed == 20) break;
+    EXPECT_TRUE(m.remove(k).has_value()) << k;
+    ++removed;
+  }
+  m.core().quiesce();
+  m.zc().put("post-oom", value);
+  auto got = m.get(std::string("post-oom"));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, value);
+  EXPECT_TRUE(ChunkWalker<BytesComparator>::validate(m.core()).ok);
 }
 
 }  // namespace

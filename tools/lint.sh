@@ -12,6 +12,19 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 
+# Textual checks first: these need no toolchain, so they gate every CI shell.
+#
+# OOM signalling must go through the typed hierarchy in common/error.hpp
+# (OffHeapOutOfMemory / ManagedOutOfMemory) — a raw std::bad_alloc is
+# indistinguishable at catch sites and breaks the tryPut/tryCompute
+# degraded-path classification.
+if git grep -n 'throw std::bad_alloc' -- 'src/' ':!src/common/error.hpp'; then
+  echo "lint.sh: raw 'throw std::bad_alloc' in src/ (shown above);" >&2
+  echo "  throw OffHeapOutOfMemory or ManagedOutOfMemory from common/error.hpp instead." >&2
+  exit 1
+fi
+echo "lint.sh: no raw std::bad_alloc throws outside common/error.hpp"
+
 TIDY="$(command -v clang-tidy || true)"
 if [[ -z "${TIDY}" ]]; then
   echo "lint.sh: clang-tidy not found on PATH; skipping static analysis." >&2
