@@ -35,8 +35,12 @@ struct Options {
   std::size_t keySize = 100;
   std::size_t valueSize = 1024;
   unsigned updatePct = 0;    // -u : put percentage
+  unsigned removePct = 0;    // -r : remove percentage
   unsigned computePct = 0;   // -c with -s: in-place updates
   unsigned scanPct = 0;      // -s : scan percentage
+  bool valueJitter = false;  // --churn: puts draw jittered value sizes
+  unsigned offHeapSlackPct = 6;  // arena headroom over raw data
+  bool generationalValues = false;  // recycle value headers (churn preset)
   bool descending = false;   // -a 100 with scans
   bool zeroCopy = false;     // --buffer
   bool stream = false;       // --stream-iteration
@@ -56,6 +60,7 @@ void usage() {
       "  -i  <n>      key range (warm-up fills 50%)\n"
       "  -k/-v <n>    key/value size in bytes (default 100/1024)\n"
       "  -u  <pct>    put percentage (rest are gets)\n"
+      "  -r  <pct>    remove percentage\n"
       "  -s  <pct>    scan percentage\n"
       "  -c           make -s scans in-place computes instead\n"
       "  -a  <pct>    with -s: percentage of scans that run descending\n"
@@ -65,7 +70,11 @@ void usage() {
       "  --shards <list>      Oak shard counts to sweep, e.g. \"1 4 8\" (default 1)\n"
       "  --buffer             use the zero-copy API\n"
       "  --stream-iteration   use the Stream scan API\n"
-      "  --scenario <4a..4f>  canned paper scenario\n"
+      "  --churn              delete/resize churn preset (50%% put w/ jittered\n"
+      "                       values, 30%% remove, 20%% get) — the magazine\n"
+      "                       allocator's target workload\n"
+      "  --no-magazines       pre-PR first-fit slow path (A/B baseline)\n"
+      "  --scenario <4a..4f|churn>  canned scenario\n"
       "  --csv <file>         append rows as CSV\n");
 }
 
@@ -100,18 +109,35 @@ void applyScenario(Options& o) {
     o.scanPct = 100;
     o.descending = true;
     o.stream = true;
+  } else if (o.scenario == "churn") {
+    // Delete/resize churn: every put overwrites with a jittered value size
+    // (resize -> free + alloc) and removes keep the free path hot.  This is
+    // the workload whose recycled-slice traffic the size-class magazines
+    // absorb; compare with --no-magazines for the first-fit baseline.
+    o.zeroCopy = true;
+    o.updatePct = 50;
+    o.removePct = 30;
+    o.valueJitter = true;
+    // Deletes and resizes fragment the first-fit arenas; give the off-heap
+    // pool real headroom so the gate measures recycling, not OOM churn.
+    o.offHeapSlackPct = 50;
+    // Removes dominate this mix; immortal headers (the paper's evaluated
+    // default) would leak one slice per remove and drown the measurement.
+    o.generationalValues = true;
   }
 }
 
 Mix mixFor(const Options& o) {
   Mix m;
   m.putPct = o.updatePct;
+  m.removePct = o.removePct;
   if (o.scanPct > 0 && o.computePct > 0) {
     m.computePct = o.computePct;  // "-s 100 -c": in-place updates
   } else if (o.scanPct > 0) {
     (o.descending ? m.scanDescPct : m.scanAscPct) = o.scanPct;
   }
   m.streamScans = o.stream;
+  m.valueJitter = o.valueJitter;
   return m;
 }
 
@@ -130,6 +156,8 @@ void runBench(const Options& o, const std::string& bench,
       cfg.durationMs = o.durationMs;
       cfg.scanLength = o.scanLength;
       cfg.shards = sh;
+      cfg.offHeapSlackPct = o.offHeapSlackPct;
+      cfg.generationalValues = o.generationalValues;
       cfg.totalRamBytes = o.ramMb != 0 ? (o.ramMb << 20) : cfg.rawDataBytes() * 3;
       const RamSplit split = splitRam(cfg, bench != "JavaSkipListMap");
       std::string label = bench;
@@ -218,6 +246,8 @@ int main(int argc, char** argv) {
       o.valueSize = std::stoull(next());
     } else if (a == "-u") {
       o.updatePct = static_cast<unsigned>(std::stoul(next()));
+    } else if (a == "-r") {
+      o.removePct = static_cast<unsigned>(std::stoul(next()));
     } else if (a == "-s") {
       o.scanPct = static_cast<unsigned>(std::stoul(next()));
     } else if (a == "-c") {
@@ -238,6 +268,11 @@ int main(int argc, char** argv) {
       o.zeroCopy = true;
     } else if (a == "--stream-iteration") {
       o.stream = true;
+    } else if (a == "--churn") {
+      o.scenario = "churn";
+      applyScenario(o);
+    } else if (a == "--no-magazines") {
+      oak::mem::FirstFitAllocator::setMagazinesDefaultEnabled(false);
     } else if (a == "--scenario") {
       o.scenario = next();
       applyScenario(o);

@@ -12,10 +12,13 @@
 #include <optional>
 #include <string>
 
+#include <cstdio>
+
 #include "baselines/offheap_skiplist_map.hpp"
 #include "baselines/onheap_skiplist_map.hpp"
 #include "benchcore/workload.hpp"
 #include "mheap/managed_heap.hpp"
+#include "oak/chunk_walker.hpp"
 #include "oak/core_map.hpp"
 #include "oak/sharded_map.hpp"
 #include "obs/metrics.hpp"
@@ -36,15 +39,17 @@ inline mheap::ManagedHeap::Config heapConfig(std::size_t budget) {
   return hc;
 }
 
-/// Splits total RAM: off-heap pool just big enough for raw data (+20%
-/// slack for value headers, alignment, and free-list slack), rest to heap.
+/// Splits total RAM: off-heap pool just big enough for raw data plus
+/// cfg.offHeapSlackPct headroom (value headers, alignment, free-list and
+/// size-class fragmentation), rest to heap.
 struct RamSplit {
   std::size_t heapBytes;
   std::size_t offHeapBytes;
 };
 inline RamSplit splitRam(const BenchConfig& cfg, bool offHeapSolution) {
   if (!offHeapSolution) return {cfg.totalRamBytes, 0};
-  std::size_t off = cfg.rawDataBytes() + cfg.rawDataBytes() / 16 + (8u << 20);
+  std::size_t off = cfg.rawDataBytes() +
+                    cfg.rawDataBytes() / 100 * cfg.offHeapSlackPct + (8u << 20);
   // Keep at least 1/8 of the budget for the heap — metadata has to live
   // somewhere; if the raw data alone exceeds 7/8 of RAM, the off-heap pool
   // budget will enforce the capacity cap.
@@ -71,6 +76,7 @@ class OakAdapter {
     scfg.shard.chunkCapacity = 2048;
     scfg.shard.metaHeap = heap_.get();
     scfg.shard.pool = pool_.get();
+    if (cfg.generationalValues) scfg.shard.reclaim = ValueReclaim::Generational;
     // Bench ids are dense in [0, keyRange) behind an 8-byte BE prefix —
     // split that range, not the full u64 space.
     scfg.layout = ShardLayout::uniformRange(scfg.shards, cfg.keyRange);
@@ -81,6 +87,7 @@ class OakAdapter {
 
   bool ingest(ByteSpan key, ByteSpan value) { return map_->putIfAbsent(key, value); }
   void put(ByteSpan key, ByteSpan value) { map_->put(key, value); }
+  bool remove(ByteSpan key) { return map_->remove(key); }
 
   bool get(ByteSpan key, Blackhole& bh) {
     if (copyApi_) {
@@ -140,6 +147,21 @@ class OakAdapter {
   std::size_t offHeapFootprint() const { return map_->offHeapFootprintBytes(); }
   std::size_t finalSize() { return map_->sizeSlow(); }
 
+  /// ChunkWalker structural audit; returns the number of problems found
+  /// (the bench-smoke harness fails on non-zero).  Callers must quiesce
+  /// the map first — the driver runs this after joining its workers.
+  std::size_t validateStructure() {
+    const auto reports = ChunkWalker<BytesComparator>::validateShards(*map_);
+    std::size_t problems = 0;
+    for (const auto& rep : reports) {
+      problems += rep.problems.size();
+      for (const std::string& p : rep.problems) {
+        std::fprintf(stderr, "bench validate: %s\n", p.c_str());
+      }
+    }
+    return problems;
+  }
+
  private:
   bool copyApi_;
   std::unique_ptr<mheap::ManagedHeap> heap_;
@@ -162,6 +184,7 @@ class OnHeapAdapter {
 
   bool ingest(ByteSpan key, ByteSpan value) { return map_->putIfAbsent(key, value); }
   void put(ByteSpan key, ByteSpan value) { map_->put(key, value); }
+  bool remove(ByteSpan key) { return map_->remove(key); }
 
   bool get(ByteSpan key, Blackhole& bh) {
     // JDK semantics: a reference to the live object, no copy.
@@ -223,6 +246,7 @@ class OffHeapAdapter {
 
   bool ingest(ByteSpan key, ByteSpan value) { return map_->putIfAbsent(key, value); }
   void put(ByteSpan key, ByteSpan value) { map_->put(key, value); }
+  bool remove(ByteSpan key) { return map_->remove(key); }
 
   bool get(ByteSpan key, Blackhole& bh) {
     return map_->get(key, [&](ByteSpan s) { bh.consume(s); });

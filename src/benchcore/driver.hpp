@@ -44,6 +44,7 @@ struct PointResult {
   OomKind oomKind = OomKind::None;  ///< which resource capped the point
   mheap::GcStats gc{};
   std::size_t offHeapBytes = 0;
+  std::size_t validationErrors = 0;  ///< ChunkWalker problems (OAK_BENCH_VALIDATE)
   obs::Metrics metrics{};      ///< internal-counter snapshot (obs layer)
 };
 
@@ -53,6 +54,29 @@ template <class Adapter>
 concept HasMetrics = requires(Adapter& a) {
   { a.metrics() } -> std::convertible_to<obs::Metrics>;
 };
+
+/// Adapters may support point removals (all the KV adapters do); mixes with
+/// removePct > 0 fall back to gets on adapters that don't.
+template <class Adapter>
+concept HasRemove = requires(Adapter& a, ByteSpan k) {
+  { a.remove(k) } -> std::convertible_to<bool>;
+};
+
+/// Adapters may expose a structural validator (ChunkWalker); the smoke
+/// harness arms it with OAK_BENCH_VALIDATE=1 to fail on corruption that
+/// throughput numbers would hide.
+template <class Adapter>
+concept HasValidate = requires(Adapter& a) {
+  { a.validateStructure() } -> std::convertible_to<std::size_t>;
+};
+
+inline bool validationEnabled() {
+  static const bool on = [] {
+    const char* v = std::getenv("OAK_BENCH_VALIDATE");
+    return v != nullptr && v[0] != '0' && v[0] != '\0';
+  }();
+  return on;
+}
 
 template <class Adapter>
 obs::Metrics snapshotMetrics(Adapter& a) {
@@ -133,7 +157,13 @@ PointResult sustainedStage(Adapter& a, const BenchConfig& cfg, const Mix& mix) {
   auto worker = [&](unsigned t) {
     XorShift rng(cfg.seed * 7919 + t * 104729 + 1);
     std::vector<std::byte> key(cfg.keyBytes);
-    std::vector<std::byte> value(cfg.valueBytes, std::byte{0x22});
+    // Jittered puts need room for the largest drawn size (8 steps above
+    // valueBytes/2 — 3/2 of nominal once valueBytes >= 64).
+    const std::size_t jitterStep =
+        cfg.valueBytes / 8 < 8 ? 8 : cfg.valueBytes / 8;
+    const std::size_t maxValue =
+        mix.valueJitter ? cfg.valueBytes / 2 + 8 * jitterStep : cfg.valueBytes;
+    std::vector<std::byte> value(maxValue < 8 ? 8 : maxValue, std::byte{0x22});
     Blackhole bh;
     std::uint64_t ops = 0;
     while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
@@ -144,16 +174,34 @@ PointResult sustainedStage(Adapter& a, const BenchConfig& cfg, const Mix& mix) {
         makeKey({key.data(), key.size()}, id);
         const ByteSpan k{key.data(), key.size()};
         if (pct < mix.putPct) {
+          std::size_t vlen = cfg.valueBytes;
+          if (mix.valueJitter) {
+            // Resize churn: overwrites draw one of nine discrete sizes in
+            // [valueBytes/2, 3*valueBytes/2].  Discrete steps model real KV
+            // value populations (a few schema-driven sizes, not a continuum)
+            // and keep each step in its own allocator size class, so a freed
+            // value is recyclable for the next write of that size.
+            vlen = cfg.valueBytes / 2 + jitterStep * rng.nextBounded(9);
+            if (vlen < 8) vlen = 8;
+          }
           storeUnaligned<std::uint64_t>(value.data(), id);
-          a.put(k, {value.data(), value.size()});
+          a.put(k, {value.data(), vlen});
           ++ops;
-        } else if (pct < mix.putPct + mix.computePct) {
+        } else if (pct < mix.putPct + mix.removePct) {
+          if constexpr (HasRemove<Adapter>) {
+            a.remove(k);
+          } else {
+            a.get(k, bh);
+          }
+          ++ops;
+        } else if (pct < mix.putPct + mix.removePct + mix.computePct) {
           a.compute(k);
           ++ops;
-        } else if (pct < mix.putPct + mix.computePct + mix.scanAscPct) {
-          ops += a.scanAsc(k, cfg.scanLength, bh, mix.streamScans);
         } else if (pct <
-                   mix.putPct + mix.computePct + mix.scanAscPct + mix.scanDescPct) {
+                   mix.putPct + mix.removePct + mix.computePct + mix.scanAscPct) {
+          ops += a.scanAsc(k, cfg.scanLength, bh, mix.streamScans);
+        } else if (pct < mix.putPct + mix.removePct + mix.computePct +
+                             mix.scanAscPct + mix.scanDescPct) {
           ops += a.scanDesc(k, cfg.scanLength, bh, mix.streamScans);
         } else {
           a.get(k, bh);
@@ -192,6 +240,12 @@ PointResult sustainedStage(Adapter& a, const BenchConfig& cfg, const Mix& mix) {
   res.oomKind = static_cast<OomKind>(oomKind.load(std::memory_order_relaxed));
   res.gc = a.gcStats();
   res.offHeapBytes = a.offHeapFootprint();
+  if constexpr (HasValidate<Adapter>) {
+    // Post-stage structural audit (workers are joined, so the walk is
+    // quiescent).  The bench-smoke CI job runs with OAK_BENCH_VALIDATE=1
+    // and fails the build on a non-zero count.
+    if (validationEnabled()) res.validationErrors = a.validateStructure();
+  }
   res.metrics = snapshotMetrics(a);
   return res;
 }
@@ -296,11 +350,13 @@ inline void printMetricsLine(const char* name, double x, const PointResult& r) {
   std::printf("METRICS {\"solution\":\"%s\",\"x\":%g,\"shards\":%llu,"
               "\"kops\":%.1f,\"ingest_kops\":%.1f,\"oom\":%s,\"oom_kind\":\"%s\","
               "\"final_size\":%zu,"
-              "\"offheap_bytes\":%zu,\"metrics\":%s}\n",
+              "\"offheap_bytes\":%zu,\"mag_hit_rate\":%.4f,"
+              "\"validation_errors\":%zu,\"metrics\":%s}\n",
               name, x, static_cast<unsigned long long>(r.metrics.shards),
               r.kops, r.ingestKops, r.oom ? "true" : "false",
               oomKindName(r.oomKind),
-              r.finalSize, r.offHeapBytes, r.metrics.toJson().c_str());
+              r.finalSize, r.offHeapBytes, r.metrics.alloc.magHitRate(),
+              r.validationErrors, r.metrics.toJson().c_str());
 }
 
 inline void printRow(const char* name, double x, const PointResult& r) {

@@ -36,6 +36,15 @@ struct BenchConfig {
   /// off-heap pool per §5.1 ("allocating the former with just enough
   /// resources to host the raw data").
   std::size_t totalRamBytes = std::size_t{1} << 30;
+  /// Off-heap arena headroom over raw data, in percent (see splitRam).
+  /// Read-mostly workloads live fine on the default ~6%; delete/resize
+  /// churn fragments the first-fit arenas and needs real slack.
+  unsigned offHeapSlackPct = 6;
+  /// Run Oak with ValueReclaim::Generational (recycled value headers).
+  /// The paper's evaluated default keeps headers immortal, which is right
+  /// for the ingest/read figures but leaks one header per remove — a
+  /// delete-heavy mix must recycle them or the bench measures the leak.
+  bool generationalValues = false;
 
   std::size_t rawDataBytes() const {
     return keyRange * (keyBytes + valueBytes);
@@ -46,10 +55,15 @@ struct BenchConfig {
 /// the remainder is gets).
 struct Mix {
   unsigned putPct = 0;
+  unsigned removePct = 0;
   unsigned computePct = 0;
   unsigned scanAscPct = 0;
   unsigned scanDescPct = 0;
   bool streamScans = false;
+  /// Puts draw value sizes from [valueBytes/2, valueBytes*3/2] instead of a
+  /// fixed size, so overwrites resize across size-class boundaries — the
+  /// allocator-churn workload the magazine layer exists for.
+  bool valueJitter = false;
 };
 
 // ------------------------------------------------------------ env knobs

@@ -52,13 +52,27 @@
 // Poison granularity is 8 bytes — the allocator's kAlign — so slice
 // boundaries map exactly onto shadow granules.  Callers must keep region
 // bounds 8-aligned.
+//
+// Magazine discipline (mem/magazine.hpp): a freed slice that enters the
+// size-class cache keeps its payload fully poisoned while it sits in a
+// per-thread magazine (its Ref lives in the magazine's slot array, not in
+// the slice).  When it moves to a global class stack, exactly its leading
+// 8-byte link word is unpoisoned to hold the intrusive next pointer;
+// every byte beyond still traps.  In OAK_CHECKED builds the freed slice
+// header (state=kFreeMagic, generation, length) additionally survives the
+// whole cached lifetime, so OakSan diagnoses use-after-free on cached
+// slices exactly as it does for free-list residents.
 #if OAK_ASAN
 #include <sanitizer/asan_interface.h>
 #define OAK_ASAN_POISON(addr, size) __asan_poison_memory_region((addr), (size))
 #define OAK_ASAN_UNPOISON(addr, size) __asan_unpoison_memory_region((addr), (size))
+// First poisoned address in [addr, addr+size), or null — lets tests assert
+// the cached-slice poisoning contract above.
+#define OAK_ASAN_FIRST_POISONED(addr, size) __asan_region_is_poisoned((addr), (size))
 #else
 #define OAK_ASAN_POISON(addr, size) ((void)0)
 #define OAK_ASAN_UNPOISON(addr, size) ((void)0)
+#define OAK_ASAN_FIRST_POISONED(addr, size) (static_cast<void*>(nullptr))
 #endif
 
 // ------------------------------------------------------------- TSan interop

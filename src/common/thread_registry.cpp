@@ -3,12 +3,41 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+#include <vector>
 
 namespace oak {
 namespace {
 
 std::atomic<bool> gUsed[kMaxThreads];
 std::atomic<std::uint32_t> gHighWater{0};
+
+struct HookEntry {
+  ThreadRegistry::ExitHook fn;
+  void* ctx;
+};
+
+struct HookRegistry {
+  std::mutex mu;
+  std::vector<HookEntry> hooks;
+};
+
+// Leaked on purpose: worker threads can outlive main()'s static destructors,
+// and their exit hooks must still find a live registry.
+HookRegistry& hookRegistry() {
+  static HookRegistry* reg = new HookRegistry();
+  return *reg;
+}
+
+void runExitHooks(std::uint32_t id) {
+  // Hooks run under the registry lock: that is what lets removeExitHook
+  // promise "never invoked after return" (it simply waits the lock out).
+  // Hooks are required to be quick and non-reentrant, and magazine drains
+  // are — they only push refs onto the depot's own stacks.
+  HookRegistry& reg = hookRegistry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  for (const HookEntry& h : reg.hooks) h.fn(h.ctx, id);
+}
 
 std::uint32_t acquireSlot() {
   // First try to recycle a released slot, then extend the high-water mark.
@@ -41,7 +70,10 @@ std::uint32_t acquireSlot() {
 struct SlotHolder {
   std::uint32_t slot;
   SlotHolder() : slot(acquireSlot()) {}
-  ~SlotHolder() { gUsed[slot].store(false, std::memory_order_release); }
+  ~SlotHolder() {
+    runExitHooks(slot);
+    gUsed[slot].store(false, std::memory_order_release);
+  }
 };
 
 }  // namespace
@@ -53,6 +85,27 @@ std::uint32_t ThreadRegistry::id() {
 
 std::uint32_t ThreadRegistry::highWater() {
   return gHighWater.load(std::memory_order_acquire);
+}
+
+void ThreadRegistry::addExitHook(ExitHook fn, void* ctx) {
+  HookRegistry& reg = hookRegistry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  for (const HookEntry& h : reg.hooks) {
+    if (h.fn == fn && h.ctx == ctx) return;
+  }
+  reg.hooks.push_back({fn, ctx});
+}
+
+void ThreadRegistry::removeExitHook(ExitHook fn, void* ctx) {
+  HookRegistry& reg = hookRegistry();
+  std::lock_guard<std::mutex> lk(reg.mu);
+  auto& v = reg.hooks;
+  for (auto it = v.begin(); it != v.end(); ++it) {
+    if (it->fn == fn && it->ctx == ctx) {
+      v.erase(it);
+      return;
+    }
+  }
 }
 
 }  // namespace oak

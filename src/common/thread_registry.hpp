@@ -22,6 +22,20 @@ class ThreadRegistry {
 
   /// Highest id ever handed out + 1 (bound for slot scans).
   static std::uint32_t highWater();
+
+  /// Thread-exit hook: `fn(ctx, id)` runs on every registered thread's exit,
+  /// before the thread's slot is recycled.  The magazine allocator uses this
+  /// to drain the exiting thread's caches so no freed slice is stranded in a
+  /// dead slot.  Hooks must be noexcept-in-spirit and must not register or
+  /// remove hooks reentrantly.
+  using ExitHook = void (*)(void* ctx, std::uint32_t id);
+
+  /// Registers `fn(ctx, ...)`; duplicate (fn, ctx) pairs are registered once.
+  static void addExitHook(ExitHook fn, void* ctx);
+
+  /// Removes a previously registered hook.  After return, the hook is
+  /// guaranteed not to be invoked again (callers destroy `ctx` next).
+  static void removeExitHook(ExitHook fn, void* ctx);
 };
 
 }  // namespace oak

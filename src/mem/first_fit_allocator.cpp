@@ -1,11 +1,43 @@
 #include "mem/first_fit_allocator.hpp"
 
+#include <atomic>
 #include <cassert>
+#include <cstdlib>
 
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/thread_registry.hpp"
 
 namespace oak::mem {
+
+namespace {
+std::atomic<bool> gMagazinesDefault{true};
+}  // namespace
+
+void FirstFitAllocator::setMagazinesDefaultEnabled(bool on) {
+  gMagazinesDefault.store(on, std::memory_order_relaxed);
+}
+
+bool FirstFitAllocator::magazinesDefaultEnabled() {
+  static const bool envEnabled = [] {
+    const char* e = std::getenv("OAK_MAGAZINES");
+    return e == nullptr || e[0] != '0';
+  }();
+  return envEnabled && gMagazinesDefault.load(std::memory_order_relaxed);
+}
+
+void FirstFitAllocator::setMagazinesEnabled(bool on) {
+  // The class mapping decides how big a segment each allocation carves;
+  // flipping it after segments exist would make free() reconstitute sizes
+  // alloc never produced.
+  assert(allocCount_.load(std::memory_order_relaxed) == 0 &&
+         freeOps_.load(std::memory_order_relaxed) == 0);
+  magsEnabled_ = on;
+}
+
+void FirstFitAllocator::threadExitTrampoline(void* ctx, std::uint32_t tid) {
+  static_cast<FirstFitAllocator*>(ctx)->depot_.drainThread(tid);
+}
 
 namespace {
 constexpr std::uint64_t packCur(std::uint32_t block, std::uint64_t offset) {
@@ -34,12 +66,17 @@ FirstFitAllocator::FirstFitAllocator(BlockPool& pool,
     : pool_(pool),
       reserveBytes_(emergencyReserveBytes == 0
                         ? 0
-                        : roundUp(emergencyReserveBytes) + kSliceHeaderBytes) {
+                        : roundUp(emergencyReserveBytes) + kSliceHeaderBytes),
+      magsEnabled_(magazinesDefaultEnabled()) {
   for (auto& b : bases_) b.store(nullptr, std::memory_order_relaxed);
   for (auto& m : allocMap_) m.store(nullptr, std::memory_order_relaxed);
+  // Exiting threads flush their magazines so no freed slice is stranded in
+  // a dead per-thread slot (harmless no-op while magazines are disabled).
+  ThreadRegistry::addExitHook(&FirstFitAllocator::threadExitTrampoline, this);
 }
 
 FirstFitAllocator::~FirstFitAllocator() {
+  ThreadRegistry::removeExitHook(&FirstFitAllocator::threadExitTrampoline, this);
   for (std::uint32_t id : owned_) {
     delete[] allocMap_[id].load(std::memory_order_relaxed);
     pool_.release(id);
@@ -51,9 +88,36 @@ Ref FirstFitAllocator::alloc(std::uint32_t len) {
   // Internal bookkeeping is 8-byte-granular, but the returned reference
   // carries the *exact* requested length: callers (key comparisons, value
   // sizes) must never observe alignment padding.
-  const std::uint32_t need = roundUp(len) + kSliceHeaderBytes;
+  std::uint32_t need = roundUp(len) + kSliceHeaderBytes;
   if (need > pool_.blockBytes() || need >= Ref::kMaxLength) {
     throw OakUsageError("allocation larger than arena size");
+  }
+  // Magazine fast path: recycled segments of this size class, served from
+  // the calling thread's cache and, failing that, the class's global
+  // stack.  Eligible allocations are carved at the class size everywhere
+  // (including the first-fit fallback below) so free() can reconstitute
+  // the segment from the user length alone.
+  if (magsEnabled_ && SizeClasses::eligible(need)) {
+    const std::uint32_t cls = SizeClasses::classFor(need);
+    need = SizeClasses::bytesFor(cls);
+    const std::uint32_t tid = ThreadRegistry::id();
+    if (Ref seg = depot_.popLocal(cls, tid)) {
+#if OAK_CHECKED
+      validateCachedSegment(seg);
+#endif
+      return finishAlloc(seg, len, need);
+    }
+    // The refill itself can need host memory (first touch of a thread's
+    // magazines); chaos tests inject OOM here to prove doPut stays
+    // strongly exception-safe when the magazine layer fails mid-flight.
+    OAK_FAULT_POINT("alloc.magazine", OffHeapOutOfMemory);
+    if (Ref seg = depot_.popGlobal(cls, tid)) {
+#if OAK_CHECKED
+      validateCachedSegment(seg);
+#endif
+      return finishAlloc(seg, len, need);
+    }
+    depot_.noteMiss();
   }
   for (;;) {
     // §3.2: first fit from the flat free list; the bump pointer only serves
@@ -67,13 +131,31 @@ Ref FirstFitAllocator::alloc(std::uint32_t len) {
     // Re-check under the lock: another thread may have installed a new arena.
     const std::uint64_t cur = cur_.load(std::memory_order_acquire);
     if (curValid(cur) && curOffset(cur) + need <= pool_.blockBytes()) continue;
-    newBlockLocked(need);
+    try {
+      newBlockLocked(need);
+    } catch (const OffHeapOutOfMemory&) {
+      // Terminal pressure: slices parked in magazines are still free
+      // memory.  Recover them into the flat free list and retry before
+      // letting exhaustion escape, so cached slices never turn into a
+      // spurious ResourceExhausted for the degraded tryPut path.
+      if (!drainMagazinesToFreeList()) throw;
+    }
   }
+}
+
+bool FirstFitAllocator::drainMagazinesToFreeList() {
+  if (!magsEnabled_) return false;
+  std::vector<Ref> segs;
+  if (depot_.drainAll(segs) == 0) return false;
+  std::lock_guard<SpinLock> lk(freeMu_);
+  freeList_.insert(freeList_.end(), segs.begin(), segs.end());
+  freeCount_.fetch_add(segs.size(), std::memory_order_relaxed);
+  return true;
 }
 
 Ref FirstFitAllocator::finishAlloc(Ref seg, std::uint32_t len, std::uint32_t need) {
   const std::uint32_t block = seg.block();
-  std::byte* base = bases_[block].load(std::memory_order_acquire);
+  [[maybe_unused]] std::byte* base = bases_[block].load(std::memory_order_acquire);
   // The whole segment (header + rounded payload) becomes addressable; the
   // alignment slack past roundUp(len) stays inside the segment, while
   // everything beyond it remains poisoned arena slack.
@@ -220,19 +302,51 @@ bool FirstFitAllocator::free(Ref ref) {
             block, ref.offset(), h->length, ref.length(), loadU32(h->generation));
   storeU32(h->state, kFreeMagic);
 #endif
-  // Reconstitute the full (rounded) segment the allocation occupied.
-  const std::uint32_t whole = roundUp(ref.length());
+  // Reconstitute the full segment the allocation occupied.  Stats count
+  // only successful frees — every rejection above returned before touching
+  // freeOps_/freedBytes_.
+  const std::uint32_t need = roundUp(ref.length()) + kSliceHeaderBytes;
+  if (magsEnabled_ && SizeClasses::eligible(need)) {
+    // Magazine path: the allocation was carved at its class size, so the
+    // same mapping reconstitutes it exactly.  The entire payload
+    // (including class slack) is poisoned — cached slices trap under ASan
+    // until the depot recycles them; the freed header stays readable so
+    // OakSan can keep diagnosing use-after-free.
+    const std::uint32_t cls = SizeClasses::classFor(need);
+    const std::uint32_t segBytes = SizeClasses::bytesFor(cls);
+    OAK_ASAN_POISON(bases_[block].load(std::memory_order_acquire) + ref.offset(),
+                    segBytes - kSliceHeaderBytes);
+    outBytes_.fetch_sub(segBytes, std::memory_order_relaxed);
+    freeOps_.fetch_add(1, std::memory_order_relaxed);
+    freedBytes_.fetch_add(segBytes, std::memory_order_relaxed);
+    depot_.cache(Ref::make(block, ref.offset() - kSliceHeaderBytes, segBytes),
+                 cls, ThreadRegistry::id());
+    return true;
+  }
   OAK_ASAN_POISON(bases_[block].load(std::memory_order_acquire) + ref.offset(),
-                  whole);
-  outBytes_.fetch_sub(whole + kSliceHeaderBytes, std::memory_order_relaxed);
+                  need - kSliceHeaderBytes);
+  outBytes_.fetch_sub(need, std::memory_order_relaxed);
   freeOps_.fetch_add(1, std::memory_order_relaxed);
-  freedBytes_.fetch_add(whole + kSliceHeaderBytes, std::memory_order_relaxed);
+  freedBytes_.fetch_add(need, std::memory_order_relaxed);
   std::lock_guard<SpinLock> lk(freeMu_);
-  freeList_.push_back(Ref::make(block, ref.offset() - kSliceHeaderBytes,
-                                whole + kSliceHeaderBytes));
+  freeList_.push_back(Ref::make(block, ref.offset() - kSliceHeaderBytes, need));
   freeCount_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
+
+#if OAK_CHECKED
+void FirstFitAllocator::validateCachedSegment(Ref seg) const noexcept {
+  const auto* h = reinterpret_cast<const SliceHeader*>(
+      bases_[seg.block()].load(std::memory_order_acquire) + seg.offset());
+  const std::uint32_t state = loadU32(h->state);
+  if (state != kFreeMagic) {
+    oakCheckFail(__FILE__, __LINE__,
+                 "magazine cache corruption: cached segment {block=%u off=%u "
+                 "len=%u} header state=%#x (expected freed slice)",
+                 seg.block(), seg.offset(), seg.length(), state);
+  }
+}
+#endif
 
 #if OAK_CHECKED
 void FirstFitAllocator::validateLive(Ref ref, const char* what) const noexcept {

@@ -5,9 +5,20 @@
 //  or value resize."
 //
 // Fast path: an atomic bump pointer inside the instance's current arena.
-// Slow path: first-fit scan of the free list, then acquiring a fresh arena
-// from the shared pool.  All allocations are 8-byte aligned and never span
+// Recycling path: per-thread size-class magazines backed by global per-class
+// free stacks (mem/magazine.hpp) absorb the delete/resize churn that the
+// paper's flat free list would serialize behind one lock; only oversized
+// (> SizeClasses::kMaxSegBytes) or cold allocations fall through to the
+// first-fit scan and arena growth.  Magazine-eligible segments are carved at
+// their class size, so alloc and free agree on segment geometry from the
+// user length alone.  All allocations are 8-byte aligned and never span
 // arenas.
+//
+// Exhaustion: before OffHeapOutOfMemory can escape the grow path, every
+// magazine and global stack is drained back into the flat free list and the
+// allocation retried — cached slices can never cause a spurious
+// ResourceExhausted in the PR-4 degraded path.  Exiting threads drain their
+// magazines via a ThreadRegistry exit hook.
 //
 // OakSan hooks (common/checked.hpp):
 //  * An allocation-start bitmap (one bit per 8-byte granule, every build)
@@ -30,7 +41,9 @@
 #include "common/checked.hpp"
 #include "common/spin.hpp"
 #include "mem/block_pool.hpp"
+#include "mem/magazine.hpp"
 #include "mem/ref.hpp"
+#include "mem/size_classes.hpp"
 
 namespace oak::mem {
 
@@ -109,6 +122,45 @@ class FirstFitAllocator {
   }
   std::uint64_t freeListLength() const;
 
+  /// Per-instance magazine switch.  Must be flipped before the first
+  /// allocation (asserted): the class mapping decides segment geometry, so
+  /// toggling it mid-life would make free() reconstitute segments alloc
+  /// never carved.  Tests and A/B benchmarks use this to compare against
+  /// the bare first-fit path.
+  void setMagazinesEnabled(bool on);
+  bool magazinesEnabled() const noexcept { return magsEnabled_; }
+
+  /// Process-wide default for new instances (also overridable with the
+  /// OAK_MAGAZINES environment variable; "0" disables).  Benchmarks use it
+  /// to build whole maps on the pre-magazine path.
+  static void setMagazinesDefaultEnabled(bool on);
+  static bool magazinesDefaultEnabled();
+
+  /// True when `a`-byte and `b`-byte allocations are carved at different
+  /// segment sizes.  Value resize uses this as its reallocation policy
+  /// (§3.2 "return to the free list upon ... value resize"): a shrink that
+  /// stays inside the slice's size class keeps the slice; one that crosses
+  /// a class boundary frees and reallocates so the bytes recycle instead
+  /// of ratcheting every value up to its historical maximum.  Oversized
+  /// (magazine-ineligible) slices always shrink in place.
+  static bool classDiffers(std::uint32_t a, std::uint32_t b) noexcept {
+    const std::uint32_t na = roundUp(a) + kSliceHeaderBytes;
+    const std::uint32_t nb = roundUp(b) + kSliceHeaderBytes;
+    if (!SizeClasses::eligible(na) || !SizeClasses::eligible(nb)) return false;
+    return SizeClasses::classFor(na) != SizeClasses::classFor(nb);
+  }
+
+  /// Magazine counters + per-class occupancy (zeroed when disabled).
+  MagazineDepot::Stats magazineStats() const {
+    return magsEnabled_ ? depot_.stats() : MagazineDepot::Stats{};
+  }
+  std::uint64_t magazineHitCount() const noexcept {
+    return depot_.hitCount() + depot_.globalHitCount();
+  }
+  std::uint64_t magazineMissCount() const noexcept {
+    return depot_.missCount();
+  }
+
   /// Hands the carved emergency reserve to the free list.  Returns false
   /// when no reserve is held (never configured, not yet carved, or already
   /// released).  The reserve is released at most once.
@@ -153,8 +205,19 @@ class FirstFitAllocator {
   Ref tryFreeList(std::uint32_t need);
   void newBlockLocked(std::uint32_t need);
   /// Stamps the slice header, flips the bitmap bit, unpoisons, accounts.
-  /// `seg` is a raw segment of exactly `need` = roundUp(len) + header bytes.
+  /// `seg` is a raw segment of exactly `need` bytes (the class size for
+  /// magazine-eligible allocations, roundUp(len) + header otherwise).
   Ref finishAlloc(Ref seg, std::uint32_t len, std::uint32_t need);
+  /// Empties every magazine + global stack into the flat free list; the
+  /// grow path's last resort before letting OffHeapOutOfMemory escape.
+  /// Returns true when at least one segment was recovered.
+  bool drainMagazinesToFreeList();
+#if OAK_CHECKED
+  /// Aborts unless a magazine-served raw segment still carries the freed
+  /// header free() stamped — catches corruption of cached slices.
+  void validateCachedSegment(Ref seg) const noexcept;
+#endif
+  static void threadExitTrampoline(void* ctx, std::uint32_t tid);
 
   BlockPool& pool_;
 
@@ -181,6 +244,11 @@ class FirstFitAllocator {
   std::atomic<std::atomic<std::uint64_t>*> allocMap_[Ref::kMaxBlocks];
   std::vector<std::uint32_t> owned_;
   std::atomic<std::size_t> nOwned_{0};
+
+  // Size-class magazine front-end (mem/magazine.hpp).  magsEnabled_ is
+  // fixed before the first allocation; see setMagazinesEnabled().
+  MagazineDepot depot_{bases_, kSliceHeaderBytes};
+  bool magsEnabled_;
 
   std::atomic<std::size_t> outBytes_{0};
   std::atomic<std::uint64_t> allocCount_{0};

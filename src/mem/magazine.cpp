@@ -1,0 +1,204 @@
+#include "mem/magazine.hpp"
+
+#include <new>
+
+#include "common/checked.hpp"
+
+namespace oak::mem {
+
+// The global stacks are intrusive: a cached segment's payload holds the
+// bits of the next cached Ref in its first 8 bytes.  Pushes are lock-free
+// (a pusher only ever writes the link of its own, not-yet-published node).
+// Pops serialize per class behind a tiny spinlock: while the lock is held
+// nothing can *remove* the top node, so reading its link word can never
+// race the segment being recycled and rewritten by a new owner — the
+// failure mode that makes fully lock-free inline-linked pops unsound
+// under TSan and ABA.  Pop contention is negligible by construction: the
+// magazines absorb the per-op traffic and reach the stacks only in
+// refill/flush batches.
+
+MagazineDepot::~MagazineDepot() {
+  for (auto& slot : perThread_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t* MagazineDepot::linkWord(Ref seg) const noexcept {
+  std::byte* base = bases_[seg.block()].load(std::memory_order_acquire);
+  return reinterpret_cast<std::uint64_t*>(base + seg.offset() + headerBytes_);
+}
+
+void MagazineDepot::pushGlobal(Ref seg, std::uint32_t cls) {
+  GlobalStack& g = global_[cls];
+  std::uint64_t* link = linkWord(seg);
+  // The link word stays unpoisoned for as long as the segment sits on the
+  // stack; the other classBytes-8 payload bytes keep trapping under ASan.
+  OAK_ASAN_UNPOISON(link, sizeof(std::uint64_t));
+  std::atomic_ref<std::uint64_t> l(*link);
+  std::uint64_t head = g.head.load(std::memory_order_acquire);
+  do {
+    l.store(head, std::memory_order_relaxed);
+  } while (!g.head.compare_exchange_weak(head, seg.bits(),
+                                         std::memory_order_release,
+                                         std::memory_order_acquire));
+  g.count.fetch_add(1, std::memory_order_relaxed);
+}
+
+Ref MagazineDepot::popGlobalOne(std::uint32_t cls) noexcept {
+  GlobalStack& g = global_[cls];
+  if (g.head.load(std::memory_order_relaxed) == 0) return Ref{};  // fast empty
+  std::lock_guard<SpinLock> lk(g.popMu);
+  std::uint64_t head = g.head.load(std::memory_order_acquire);
+  for (;;) {
+    if (head == 0) return Ref{};
+    const Ref top{head};
+    std::uint64_t* link = linkWord(top);
+    OAK_ASAN_UNPOISON(link, sizeof(std::uint64_t));
+    const std::uint64_t next =
+        std::atomic_ref<std::uint64_t>(*link).load(std::memory_order_relaxed);
+    // Only a concurrent push can move the head while we hold popMu_; a
+    // failed CAS just means a fresher top to retry on.
+    if (g.head.compare_exchange_weak(head, next, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      OAK_ASAN_POISON(link, sizeof(std::uint64_t));  // cached invariant restored
+      g.count.fetch_sub(1, std::memory_order_relaxed);
+      return top;
+    }
+  }
+}
+
+MagazineDepot::ThreadMags* MagazineDepot::magsOfOrCreate(std::uint32_t tid) {
+  ThreadMags* tm = perThread_[tid].load(std::memory_order_acquire);
+  if (tm != nullptr) return tm;
+  // nothrow: a host-memory hiccup here must not leak the segment the
+  // caller is holding — it just degrades to the global stack.
+  ThreadMags* fresh = new (std::nothrow) ThreadMags();
+  if (fresh == nullptr) return nullptr;
+  ThreadMags* expected = nullptr;
+  if (perThread_[tid].compare_exchange_strong(expected, fresh,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+    return fresh;
+  }
+  delete fresh;
+  return expected;
+}
+
+Ref MagazineDepot::popLocal(std::uint32_t cls, std::uint32_t tid) noexcept {
+  ThreadMags* tm = magsOf(tid);
+  if (tm == nullptr) return Ref{};
+  Magazine& m = tm->mags[cls];
+  std::lock_guard<SpinLock> lk(m.mu);
+  const std::uint32_t n = m.n.load(std::memory_order_relaxed);
+  if (n == 0) return Ref{};
+  const Ref r = m.slots[n - 1];
+  m.n.store(n - 1, std::memory_order_release);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return r;
+}
+
+Ref MagazineDepot::popGlobal(std::uint32_t cls, std::uint32_t tid) {
+  const Ref first = popGlobalOne(cls);
+  if (first.isNull()) return first;
+  globalHits_.fetch_add(1, std::memory_order_relaxed);
+  // Refill: move a small batch into the caller's magazine so its next
+  // allocations of this class stay entirely thread-local.
+  if (ThreadMags* tm = magsOfOrCreate(tid)) {
+    Magazine& m = tm->mags[cls];
+    std::lock_guard<SpinLock> lk(m.mu);
+    std::uint32_t n = m.n.load(std::memory_order_relaxed);
+    for (std::uint32_t i = 1; i < kRefillBatch && n < kMagazineCapacity; ++i) {
+      const Ref extra = popGlobalOne(cls);
+      if (extra.isNull()) break;
+      m.slots[n++] = extra;
+    }
+    m.n.store(n, std::memory_order_release);
+  }
+  return first;
+}
+
+void MagazineDepot::flushLocked(Magazine& m, std::uint32_t cls, std::uint32_t k) {
+  std::uint32_t n = m.n.load(std::memory_order_relaxed);
+  if (k > n) k = n;
+  // Oldest first: the bottom of the stack is the coldest cache content.
+  for (std::uint32_t i = 0; i < k; ++i) pushGlobal(m.slots[i], cls);
+  for (std::uint32_t i = k; i < n; ++i) m.slots[i - k] = m.slots[i];
+  m.n.store(n - k, std::memory_order_release);
+}
+
+void MagazineDepot::cache(Ref seg, std::uint32_t cls, std::uint32_t tid) {
+  ThreadMags* tm = magsOfOrCreate(tid);
+  if (tm == nullptr) {
+    pushGlobal(seg, cls);
+    return;
+  }
+  Magazine& m = tm->mags[cls];
+  std::lock_guard<SpinLock> lk(m.mu);
+  std::uint32_t n = m.n.load(std::memory_order_relaxed);
+  if (n == kMagazineCapacity) {
+    flushLocked(m, cls, kMagazineCapacity / 2);
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+    n = m.n.load(std::memory_order_relaxed);
+  }
+  m.slots[n] = seg;
+  m.n.store(n + 1, std::memory_order_release);
+}
+
+void MagazineDepot::drainThread(std::uint32_t tid) noexcept {
+  ThreadMags* tm = magsOf(tid);
+  if (tm == nullptr) return;
+  for (std::uint32_t cls = 0; cls < SizeClasses::kNumClasses; ++cls) {
+    Magazine& m = tm->mags[cls];
+    std::lock_guard<SpinLock> lk(m.mu);
+    flushLocked(m, cls, m.n.load(std::memory_order_relaxed));
+  }
+  drains_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t MagazineDepot::drainAll(std::vector<Ref>& out) {
+  std::size_t moved = 0;
+  for (std::uint32_t t = 0; t < kMaxThreads; ++t) {
+    ThreadMags* tm = magsOf(t);
+    if (tm == nullptr) continue;
+    for (std::uint32_t cls = 0; cls < SizeClasses::kNumClasses; ++cls) {
+      Magazine& m = tm->mags[cls];
+      std::lock_guard<SpinLock> lk(m.mu);
+      const std::uint32_t n = m.n.load(std::memory_order_relaxed);
+      for (std::uint32_t i = 0; i < n; ++i) out.push_back(m.slots[i]);
+      moved += n;
+      m.n.store(0, std::memory_order_release);
+    }
+  }
+  for (std::uint32_t cls = 0; cls < SizeClasses::kNumClasses; ++cls) {
+    for (Ref r = popGlobalOne(cls); !r.isNull(); r = popGlobalOne(cls)) {
+      out.push_back(r);
+      ++moved;
+    }
+  }
+  if (moved != 0) drains_.fetch_add(1, std::memory_order_relaxed);
+  return moved;
+}
+
+MagazineDepot::Stats MagazineDepot::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.globalHits = globalHits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.flushes = flushes_.load(std::memory_order_relaxed);
+  s.drains = drains_.load(std::memory_order_relaxed);
+  for (std::uint32_t cls = 0; cls < SizeClasses::kNumClasses; ++cls) {
+    std::uint64_t cached = global_[cls].count.load(std::memory_order_relaxed);
+    for (std::uint32_t t = 0; t < kMaxThreads; ++t) {
+      if (const ThreadMags* tm = perThread_[t].load(std::memory_order_acquire)) {
+        cached += tm->mags[cls].n.load(std::memory_order_relaxed);
+      }
+    }
+    if (cached == 0) continue;
+    s.classes.push_back({SizeClasses::bytesFor(cls), cached});
+    s.cachedSlices += cached;
+    s.cachedBytes += cached * SizeClasses::bytesFor(cls);
+  }
+  return s;
+}
+
+}  // namespace oak::mem

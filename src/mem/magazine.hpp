@@ -1,0 +1,163 @@
+// Size-class magazine layer for the off-heap allocator slow path.
+//
+// The paper's flat free list (§3.2) keeps allocation off the critical path
+// only while the bump pointer serves; once deletes and value resizes start
+// recycling segments, every reuse serializes behind the free-list lock and
+// a linear first-fit scan.  The magazine layer segregates that traffic:
+//
+//   free -> per-thread magazine (bounded Ref cache, no sharing, one
+//           uncontended spinlock) -> overflow flushes half to the class's
+//           global stack
+//   alloc -> per-thread magazine pop -> global-stack pop (refilling a small
+//           batch into the magazine) -> first-fit fallback
+//
+// The global stacks are Treiber stacks, one per size class, intrusively
+// linked through the first 8 bytes of each cached segment's payload (the
+// slice is dead memory while cached; the checked-build slice header in
+// front of the payload is deliberately left intact so OakSan still traps
+// use-after-free on cached slices).  Pushes are lock-free; pops serialize
+// per class behind a tiny spinlock, which pins the top node so the
+// read-link/CAS window can never race the segment being recycled (the
+// soundness hole in fully lock-free inline-linked pops).
+//
+// ASan discipline: magazine-resident segments stay fully poisoned (their
+// refs live in the magazine's slot array, not in the segment).  Global-
+// stack residents have exactly their 8-byte link word unpoisoned while
+// cached; everything beyond it still traps.  See common/checked.hpp.
+//
+// Thread retirement: FirstFitAllocator registers a ThreadRegistry exit
+// hook and calls drainThread(id), which flushes the exiting thread's
+// magazines to the global stacks so no slice is stranded in a dead slot.
+// drainAll() empties every cache (the allocator's last step before it
+// would otherwise report off-heap exhaustion).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/spin.hpp"
+#include "common/thread_registry.hpp"
+#include "mem/ref.hpp"
+#include "mem/size_classes.hpp"
+
+namespace oak::mem {
+
+class MagazineDepot {
+ public:
+  /// Freed slices a magazine holds per class before flushing half.
+  static constexpr std::uint32_t kMagazineCapacity = 16;
+  /// Segments moved magazine-ward on one global-stack hit (1 for the
+  /// caller + up to kRefillBatch-1 cached for its next allocations).
+  static constexpr std::uint32_t kRefillBatch = 4;
+
+  struct ClassOccupancy {
+    std::uint32_t classBytes = 0;
+    std::uint64_t cachedSlices = 0;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;        ///< served from the caller's magazine
+    std::uint64_t globalHits = 0;  ///< served from a global free stack
+    std::uint64_t misses = 0;      ///< fell through to the first-fit path
+    std::uint64_t flushes = 0;     ///< magazine-overflow batches pushed global
+    std::uint64_t drains = 0;      ///< thread-retirement / emergency drains
+    std::uint64_t cachedSlices = 0;
+    std::size_t cachedBytes = 0;
+    std::vector<ClassOccupancy> classes;  ///< non-empty classes only
+  };
+
+  /// `bases` is the owning allocator's block-id -> arena-base table (read
+  /// with acquire loads); `headerBytes` is its slice-header prefix, so the
+  /// depot can address the payload link word of a raw segment.
+  MagazineDepot(const std::atomic<std::byte*>* bases, std::uint32_t headerBytes)
+      : bases_(bases), headerBytes_(headerBytes) {
+    for (auto& m : perThread_) m.store(nullptr, std::memory_order_relaxed);
+  }
+  ~MagazineDepot();
+
+  MagazineDepot(const MagazineDepot&) = delete;
+  MagazineDepot& operator=(const MagazineDepot&) = delete;
+
+  /// Pops a cached segment of `cls` from thread `tid`'s magazine.
+  /// Null when the thread has no magazines yet or the class is empty.
+  Ref popLocal(std::uint32_t cls, std::uint32_t tid) noexcept;
+
+  /// Pops from the class's global stack; on a hit, also refills up to
+  /// kRefillBatch-1 further segments into `tid`'s magazine.
+  Ref popGlobal(std::uint32_t cls, std::uint32_t tid);
+
+  /// Caches a freed raw segment (offset at the segment start, length the
+  /// full class size) in `tid`'s magazine, flushing half to the global
+  /// stack when the magazine is full.
+  void cache(Ref seg, std::uint32_t cls, std::uint32_t tid);
+
+  /// Flushes every magazine of `tid` to the global stacks (thread exit).
+  void drainThread(std::uint32_t tid) noexcept;
+
+  /// Empties every magazine and every global stack into `out` (raw
+  /// segments, free-list format).  Returns the number of segments moved.
+  /// The allocator calls this before giving up with OffHeapOutOfMemory so
+  /// cached slices can never cause a spurious ResourceExhausted.
+  std::size_t drainAll(std::vector<Ref>& out);
+
+  void noteMiss() noexcept { misses_.fetch_add(1, std::memory_order_relaxed); }
+
+  std::uint64_t hitCount() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t globalHitCount() const noexcept {
+    return globalHits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t missCount() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+  /// Counter + occupancy snapshot (racy sums; counters are monotone).
+  Stats stats() const;
+
+ private:
+  struct Magazine {
+    SpinLock mu;
+    /// Mirrors the slot count for lock-free occupancy reads in stats().
+    std::atomic<std::uint32_t> n{0};
+    Ref slots[kMagazineCapacity];
+  };
+  struct ThreadMags {
+    Magazine mags[SizeClasses::kNumClasses];
+  };
+
+  /// Per-class free stack: head holds the Ref bits of the top segment
+  /// (0 == empty).  popMu pins the top node for the read-link/CAS window.
+  struct GlobalStack {
+    std::atomic<std::uint64_t> head{0};
+    SpinLock popMu;
+    std::atomic<std::uint64_t> count{0};
+  };
+
+  ThreadMags* magsOf(std::uint32_t tid) noexcept {
+    return perThread_[tid].load(std::memory_order_acquire);
+  }
+  ThreadMags* magsOfOrCreate(std::uint32_t tid);
+
+  std::uint64_t* linkWord(Ref seg) const noexcept;
+  void pushGlobal(Ref seg, std::uint32_t cls);
+  Ref popGlobalOne(std::uint32_t cls) noexcept;
+  /// Moves the oldest `k` slots of a locked magazine to the global stack.
+  void flushLocked(Magazine& m, std::uint32_t cls, std::uint32_t k);
+
+  const std::atomic<std::byte*>* bases_;
+  const std::uint32_t headerBytes_;
+
+  GlobalStack global_[SizeClasses::kNumClasses];
+  std::atomic<ThreadMags*> perThread_[kMaxThreads];
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> globalHits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> flushes_{0};
+  std::atomic<std::uint64_t> drains_{0};
+};
+
+}  // namespace oak::mem

@@ -78,6 +78,18 @@ class MemoryManager {
     s.freeCount = alloc_.freeOpCount();
     s.freedBytes = alloc_.freedBytes();
     s.freeListLength = alloc_.freeListLength();
+    const mem::MagazineDepot::Stats mag = alloc_.magazineStats();
+    s.magHits = mag.hits;
+    s.magGlobalHits = mag.globalHits;
+    s.magMisses = mag.misses;
+    s.magFlushes = mag.flushes;
+    s.magDrains = mag.drains;
+    s.magCachedSlices = mag.cachedSlices;
+    s.magCachedBytes = mag.cachedBytes;
+    s.magClasses.reserve(mag.classes.size());
+    for (const auto& c : mag.classes) {
+      s.magClasses.push_back({c.classBytes, c.cachedSlices});
+    }
     return s;
   }
 

@@ -1,0 +1,86 @@
+// Segregated size classes for the magazine allocator front-end.
+//
+// The first-fit flat free list (§3.2) serializes every non-bump allocation
+// behind one lock and a linear scan.  The magazine layer in front of it
+// (mem/magazine.hpp) caches freed *segments* per size class, so the class
+// mapping below is the contract that makes alloc and free agree on segment
+// geometry without any per-segment metadata in release builds:
+//
+//   segment bytes = slice header (checked builds only) + roundUp(payload)
+//   classFor(segment) -> class index;  bytesFor(class) -> segment bytes
+//
+// Both sides derive the class from the user-visible length alone, so a
+// reference freed years after it was allocated reconstitutes exactly the
+// segment the allocator carved — nothing is ever lost to a mapping skew.
+//
+// Geometry: exact 8-byte-stride classes up to 256 B (zero internal
+// fragmentation where allocations are densest), then four power-of-two
+// bands whose stride is 1/16 of the band top, capping per-allocation waste
+// at ~6%.  Segments above kMaxSegBytes bypass the magazines entirely and
+// take the first-fit path.
+#pragma once
+
+#include <cstdint>
+
+namespace oak::mem {
+
+struct SizeClasses {
+  static constexpr std::uint32_t kAlign = 8;
+  /// Largest magazine-managed segment; bigger requests go straight to the
+  /// flat free list / bump pointer.
+  static constexpr std::uint32_t kMaxSegBytes = 4096;
+  static constexpr std::uint32_t kNumClasses = 96;
+
+  static constexpr bool eligible(std::uint32_t segBytes) noexcept {
+    return segBytes != 0 && segBytes <= kMaxSegBytes;
+  }
+
+  /// Class index for a segment of `segBytes` (must be eligible and a
+  /// multiple of kAlign — the allocator always rounds first).
+  static constexpr std::uint32_t classFor(std::uint32_t segBytes) noexcept {
+    if (segBytes <= 256) return segBytes / 8 - 1;            // stride 8:  [0, 32)
+    if (segBytes <= 512) return 32 + (segBytes - 257) / 16;  // stride 16: [32, 48)
+    if (segBytes <= 1024) return 48 + (segBytes - 513) / 32; // stride 32: [48, 64)
+    if (segBytes <= 2048) return 64 + (segBytes - 1025) / 64;// stride 64: [64, 80)
+    return 80 + (segBytes - 2049) / 128;                     // stride 128:[80, 96)
+  }
+
+  /// Segment bytes a class hands out (the inverse upper bound of classFor).
+  static constexpr std::uint32_t bytesFor(std::uint32_t cls) noexcept {
+    if (cls < 32) return (cls + 1) * 8;
+    if (cls < 48) return 256 + (cls - 31) * 16;
+    if (cls < 64) return 512 + (cls - 47) * 32;
+    if (cls < 80) return 1024 + (cls - 63) * 64;
+    return 2048 + (cls - 79) * 128;
+  }
+};
+
+// The mapping must be a rounding Galois pair: bytesFor(classFor(s)) is the
+// smallest class size >= s, and every class maps back to itself.
+static_assert(SizeClasses::classFor(8) == 0);
+static_assert(SizeClasses::bytesFor(0) == 8);
+static_assert(SizeClasses::classFor(256) == 31);
+static_assert(SizeClasses::classFor(264) == 32);
+static_assert(SizeClasses::bytesFor(32) == 272);
+static_assert(SizeClasses::classFor(512) == 47);
+static_assert(SizeClasses::classFor(520) == 48);
+static_assert(SizeClasses::classFor(1024) == 63);
+static_assert(SizeClasses::classFor(1040) == 64);
+static_assert(SizeClasses::bytesFor(64) == 1088);
+static_assert(SizeClasses::classFor(2048) == 79);
+static_assert(SizeClasses::classFor(4096) == 95);
+static_assert(SizeClasses::bytesFor(95) == 4096);
+static_assert([] {
+  for (std::uint32_t c = 0; c < SizeClasses::kNumClasses; ++c) {
+    const std::uint32_t b = SizeClasses::bytesFor(c);
+    if (SizeClasses::classFor(b) != c) return false;      // self-inverse
+    if (b % SizeClasses::kAlign != 0) return false;       // aligned sizes
+    if (c > 0 && SizeClasses::bytesFor(c - 1) >= b) return false;  // monotone
+  }
+  for (std::uint32_t s = 8; s <= SizeClasses::kMaxSegBytes; s += 8) {
+    if (SizeClasses::bytesFor(SizeClasses::classFor(s)) < s) return false;
+  }
+  return true;
+}());
+
+}  // namespace oak::mem

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/spin.hpp"
@@ -267,17 +268,26 @@ class Chunk {
 
   /// Collects live (non-⊥, non-deleted value) entries in ascending key
   /// order.  Must run after freeze(); entry fields are then stable.
+  ///
+  /// When `deadKeys` is non-null, the key refs of dead entries (not
+  /// migrated by the rebalance) are recorded for deferred reclamation —
+  /// §3.2 "return to the free list upon KV-pair deletion".  Each entry is
+  /// classified exactly once, off a single valRef read: a migrated value
+  /// that gets removed *through the replacement chunk* moments later must
+  /// not retroactively flip this entry to dead, or its key — still
+  /// referenced by the replacement — would be freed under a live entry.
   template <class Out>
-  void collectLive(mem::MemoryManager& mm, Out& out) const {
+  void collectLive(mem::MemoryManager& mm, Out& out,
+                   std::vector<mem::Ref>* deadKeys = nullptr) const {
     std::int32_t cur = head_.load(std::memory_order_acquire);
     while (cur != kNone) {
       const Entry& e = entries()[cur];
       const std::uint64_t v = e.valRef.load(std::memory_order_acquire);
-      if (v != 0) {
-        ValueCell cell(mm, VRef{v});
-        if (!cell.isDeleted()) {
-          out.push_back(LiveEntry{e.keyRef.load(std::memory_order_acquire), v});
-        }
+      if (v != 0 && !ValueCell(mm, VRef{v}).isDeleted()) {
+        out.push_back(LiveEntry{e.keyRef.load(std::memory_order_acquire), v});
+      } else if (deadKeys != nullptr) {
+        const mem::Ref k{e.keyRef.load(std::memory_order_acquire)};
+        if (!k.isNull()) deadKeys->push_back(k);
       }
       cur = e.next.load(std::memory_order_acquire);
     }

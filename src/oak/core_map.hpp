@@ -516,6 +516,10 @@ class OakCoreMap {
     m.alloc = mm_.stats();
     m.arenas = {m.alloc};  // one arena region per core map
     m.ebr = obs::EbrStats{ebr_.epochLag(), ebr_.retiredCount()};
+    if (headerPool_) {
+      m.hdrPoolFree = headerPool_->freeCount();
+      m.hdrCreated = headerPool_->createdCount();
+    }
     m.gc = metaHeap_.stats();
     m.faultInjected = fault::injectedCount();
     return m;
@@ -807,6 +811,9 @@ class OakCoreMap {
     // order.  The map is left exactly as before the rebalance started.
     std::vector<ChunkT*> engaged;
     std::vector<ChunkT*> fresh;
+    // Dead entries are not migrated; their key slices are recorded here and
+    // freed once no epoch-guarded reader can still compare against them.
+    auto deadKeys = std::make_unique<std::vector<mem::Ref>>();
     ChunkT* last = c;
     engaged.reserve(2);
     try {
@@ -815,7 +822,7 @@ class OakCoreMap {
       engaged.push_back(c);
       std::vector<typename ChunkT::LiveEntry> live;
       live.reserve(static_cast<std::size_t>(c->allocatedCount()));
-      c->collectLive(mm_, live);
+      c->collectLive(mm_, live, deadKeys.get());
 
       // Merge policy: engage the successor when this chunk is under-utilized
       // and the combined load still fits comfortably.
@@ -826,7 +833,7 @@ class OakCoreMap {
               cfg_.chunkCapacity / 2) {
         next->freeze();
         engaged.push_back(next);
-        next->collectLive(mm_, live);  // adjacent range: stays sorted
+        next->collectLive(mm_, live, deadKeys.get());  // adjacent: stays sorted
         last = next;
       }
 
@@ -912,6 +919,24 @@ class OakCoreMap {
             ChunkT::dispose(self->metaHeap_, static_cast<ChunkT*>(p));
           },
           this);
+    }
+    if (!deadKeys->empty()) {
+      try {
+        ebr_.retire(
+            deadKeys.get(),
+            [](void* p, void* ctx) {
+              auto* self = static_cast<OakCoreMap*>(ctx);
+              auto* keys = static_cast<std::vector<mem::Ref>*>(p);
+              for (const mem::Ref k : *keys) self->mm_.free(k);
+              delete keys;
+            },
+            this);
+        deadKeys.release();
+      } catch (const std::bad_alloc&) {
+        // Memory pressure past the point of no return: strand the dead
+        // keys (the pre-reclamation behavior) rather than fail a rebalance
+        // whose redirects are already live.
+      }
     }
   }
 

@@ -136,6 +136,7 @@ class HeaderPool {
     if (ref.isNull()) {
       ref = mm_->allocRaw(kValueHeaderBytes);
       new (mm_->translate(ref)) ValueHeader();
+      created_.fetch_add(1, std::memory_order_relaxed);
     }
     auto* hdr = reinterpret_cast<ValueHeader*>(mm_->translate(ref));
     const std::uint32_t v = nextGeneration();
@@ -160,10 +161,17 @@ class HeaderPool {
     return free_.size();
   }
 
+  /// Cumulative fresh header allocations (pool misses) — steady state
+  /// should plateau at the peak number of headers ever in flight.
+  std::uint64_t createdCount() const noexcept {
+    return created_.load(std::memory_order_relaxed);
+  }
+
  private:
   mem::MemoryManager* mm_;
   mutable SpinLock mu_;
   std::vector<mem::Ref> free_;
+  std::atomic<std::uint64_t> created_{0};
 };
 
 /// A handle pairing a (versioned) value reference with the memory manager
@@ -322,15 +330,19 @@ class ValueCell {
 
   /// Grows/shrinks the logical size; may move the payload.  Contents are
   /// preserved up to min(old, new) size.  Write lock must be held.
+  /// Shrinks that stay inside the slice's size class keep the slice; a
+  /// grow, or a shrink across a class boundary, reallocates so the old
+  /// bytes return to the allocator (§3.2 free-on-resize).
   void resizeLocked(std::uint32_t newSize) {
     const mem::Ref payload{hdr_->payloadRef.load(std::memory_order_relaxed)};
-    if (newSize <= payload.length()) {
+    if (newSize <= payload.length() &&
+        !mem::FirstFitAllocator::classDiffers(payload.length(), newSize)) {
       hdr_->size = newSize;
       return;
     }
     mem::Ref fresh = mm_->allocRaw(newSize);
-    copyBytes({mm_->translate(fresh), hdr_->size},
-              {mm_->translate(payload), hdr_->size});
+    const std::uint32_t keep = hdr_->size < newSize ? hdr_->size : newSize;
+    copyBytes({mm_->translate(fresh), keep}, {mm_->translate(payload), keep});
     hdr_->payloadRef.store(fresh.bits(), std::memory_order_relaxed);
     if (payload.length() != 0) mm_->free(payload);
     hdr_->size = newSize;
@@ -352,7 +364,11 @@ class ValueCell {
   void writeLocked(ByteSpan bytes) {
     const auto len = static_cast<std::uint32_t>(bytes.size());
     mem::Ref payload{hdr_->payloadRef.load(std::memory_order_relaxed)};
-    if (len > payload.length()) {
+    // Reallocate on grow, and on shrinks that cross a size-class boundary
+    // (§3.2 free-on-resize: without it every value ratchets up to its
+    // historical maximum and the freed-slice recycling loop starves).
+    if (len > payload.length() ||
+        mem::FirstFitAllocator::classDiffers(payload.length(), len)) {
       mem::Ref fresh = mm_->allocRaw(len);
       hdr_->payloadRef.store(fresh.bits(), std::memory_order_relaxed);
       if (payload.length() != 0) mm_->free(payload);

@@ -56,10 +56,24 @@ std::string Metrics::toJson() const {
           "\"alloc\":{\"footprint_bytes\":%zu,\"allocated_bytes\":%zu,"
           "\"fragmented_bytes\":%zu,\"alloc_count\":%" PRIu64
           ",\"free_count\":%" PRIu64 ",\"freed_bytes\":%" PRIu64
-          ",\"free_list_len\":%" PRIu64 "},",
+          ",\"free_list_len\":%" PRIu64 ",",
           alloc.footprintBytes, alloc.allocatedBytes, alloc.fragmentedBytes,
           alloc.allocCount, alloc.freeCount, alloc.freedBytes,
           alloc.freeListLength);
+  appendf(j,
+          "\"mag\":{\"hits\":%" PRIu64 ",\"global_hits\":%" PRIu64
+          ",\"misses\":%" PRIu64 ",\"hit_rate\":%.4f,\"flushes\":%" PRIu64
+          ",\"drains\":%" PRIu64 ",\"cached_slices\":%" PRIu64
+          ",\"cached_bytes\":%zu,\"classes\":[",
+          alloc.magHits, alloc.magGlobalHits, alloc.magMisses,
+          alloc.magHitRate(), alloc.magFlushes, alloc.magDrains,
+          alloc.magCachedSlices, alloc.magCachedBytes);
+  for (std::size_t i = 0; i < alloc.magClasses.size(); ++i) {
+    if (i != 0) j += ',';
+    appendf(j, "{\"class_bytes\":%u,\"cached\":%" PRIu64 "}",
+            alloc.magClasses[i].classBytes, alloc.magClasses[i].cachedSlices);
+  }
+  j += "]}},";
 
   j += "\"arenas\":[";
   for (std::size_t i = 0; i < arenas.size(); ++i) {
@@ -76,6 +90,10 @@ std::string Metrics::toJson() const {
 
   appendf(j, "\"ebr\":{\"epoch_lag\":%" PRIu64 ",\"retired\":%" PRIu64 "},",
           ebr.epochLag, ebr.retired);
+
+  appendf(j,
+          "\"hdr_pool\":{\"free\":%" PRIu64 ",\"created\":%" PRIu64 "},",
+          hdrPoolFree, hdrCreated);
 
   appendf(j,
           "\"gc\":{\"full_cycles\":%" PRIu64 ",\"young_cycles\":%" PRIu64
@@ -118,6 +136,16 @@ std::string Metrics::toText() const {
           "allocs=%" PRIu64 " frees=%" PRIu64 " free-list=%" PRIu64 "\n",
           alloc.footprintBytes, alloc.allocatedBytes, alloc.fragmentedBytes,
           alloc.allocCount, alloc.freeCount, alloc.freeListLength);
+  if (alloc.magHits + alloc.magGlobalHits + alloc.magMisses != 0) {
+    appendf(t,
+            "  magazines: hit-rate=%.1f%% (local=%" PRIu64 " global=%" PRIu64
+            " miss=%" PRIu64 ") flushes=%" PRIu64 " drains=%" PRIu64
+            " cached=%" PRIu64 " (%zuB over %zu classes)\n",
+            100.0 * alloc.magHitRate(), alloc.magHits, alloc.magGlobalHits,
+            alloc.magMisses, alloc.magFlushes, alloc.magDrains,
+            alloc.magCachedSlices, alloc.magCachedBytes,
+            alloc.magClasses.size());
+  }
   if (arenas.size() > 1) {
     for (std::size_t i = 0; i < arenas.size(); ++i) {
       appendf(t,

@@ -42,6 +42,14 @@ struct Metrics {
   EbrStats ebr;
   mheap::GcStats gc;
 
+  /// Value-header pool gauges (Generational reclaim mode; zero otherwise).
+  /// Headers are type-stable pooled storage — `hdrCreated` counts fresh
+  /// off-heap header allocations (pool misses), `hdrPoolFree` the current
+  /// recycled inventory.  A `hdrCreated` that keeps climbing in steady
+  /// state means headers are escaping the pool.
+  std::uint64_t hdrPoolFree = 0;
+  std::uint64_t hdrCreated = 0;
+
   bool statsCompiled = StatsRegistry::compiled();
 
   /// Folds a shard's snapshot into this whole-map view: counters and
@@ -54,6 +62,8 @@ struct Metrics {
     alloc.merge(s.alloc);
     arenas.insert(arenas.end(), s.arenas.begin(), s.arenas.end());
     ebr.merge(s.ebr);
+    hdrPoolFree += s.hdrPoolFree;
+    hdrCreated += s.hdrCreated;
     if (s.faultInjected > faultInjected) faultInjected = s.faultInjected;
     if (shards == 0) gc = s.gc;
     shards += s.shards;

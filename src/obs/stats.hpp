@@ -24,6 +24,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/thread_registry.hpp"
 
@@ -154,6 +155,12 @@ struct RegistrySnapshot {
 /// Allocator gauges (MemoryManager::stats()).  Lives here rather than in
 /// mem/ so the mem layer needs no extra header and the exporter sees one
 /// vocabulary.
+/// One size class's cached-slice occupancy (magazines + global stack).
+struct MagClassStats {
+  std::uint32_t classBytes = 0;
+  std::uint64_t cachedSlices = 0;
+};
+
 struct AllocStats {
   std::size_t footprintBytes = 0;   ///< whole arenas owned by the instance
   std::size_t allocatedBytes = 0;   ///< bytes handed out and not yet freed
@@ -163,8 +170,25 @@ struct AllocStats {
   std::uint64_t freedBytes = 0;     ///< cumulative bytes returned
   std::uint64_t freeListLength = 0; ///< current free-list segments
 
+  // Size-class magazine layer (zero when disabled).
+  std::uint64_t magHits = 0;        ///< allocations served from a magazine
+  std::uint64_t magGlobalHits = 0;  ///< served from a global class stack
+  std::uint64_t magMisses = 0;      ///< eligible sizes that hit first-fit
+  std::uint64_t magFlushes = 0;     ///< magazine-overflow flush batches
+  std::uint64_t magDrains = 0;      ///< thread-exit / emergency drains
+  std::uint64_t magCachedSlices = 0;///< slices currently cached
+  std::size_t magCachedBytes = 0;   ///< bytes currently cached
+  std::vector<MagClassStats> magClasses;  ///< per-class occupancy (non-empty)
+
+  /// Hit rate over magazine-eligible allocations, in [0,1].
+  double magHitRate() const noexcept {
+    const std::uint64_t hits = magHits + magGlobalHits;
+    const std::uint64_t total = hits + magMisses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+
   /// Accumulates another arena's gauges (whole-map view over shard arenas).
-  void merge(const AllocStats& o) noexcept {
+  void merge(const AllocStats& o) {
     footprintBytes += o.footprintBytes;
     allocatedBytes += o.allocatedBytes;
     fragmentedBytes += o.fragmentedBytes;
@@ -172,6 +196,24 @@ struct AllocStats {
     freeCount += o.freeCount;
     freedBytes += o.freedBytes;
     freeListLength += o.freeListLength;
+    magHits += o.magHits;
+    magGlobalHits += o.magGlobalHits;
+    magMisses += o.magMisses;
+    magFlushes += o.magFlushes;
+    magDrains += o.magDrains;
+    magCachedSlices += o.magCachedSlices;
+    magCachedBytes += o.magCachedBytes;
+    for (const MagClassStats& c : o.magClasses) {
+      bool found = false;
+      for (MagClassStats& mine : magClasses) {
+        if (mine.classBytes == c.classBytes) {
+          mine.cachedSlices += c.cachedSlices;
+          found = true;
+          break;
+        }
+      }
+      if (!found) magClasses.push_back(c);
+    }
   }
 };
 

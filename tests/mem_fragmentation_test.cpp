@@ -57,30 +57,73 @@ TEST_F(FragTest, MixedSizesBoundedGrowth) {
 }
 
 TEST_F(FragTest, FreeListDrainsOnExactFits) {
+  // Flat-free-list-specific behaviour: with magazines on, eligible frees
+  // never reach the free list at all.
+  FirstFitAllocator ff(pool_);
+  ff.setMagazinesEnabled(false);
   std::vector<Ref> refs;
-  for (int i = 0; i < 100; ++i) refs.push_back(alloc_.alloc(256));
-  for (Ref r : refs) alloc_.free(r);
-  EXPECT_EQ(alloc_.freeListLength(), 100u);
+  for (int i = 0; i < 100; ++i) refs.push_back(ff.alloc(256));
+  for (Ref r : refs) ff.free(r);
+  EXPECT_EQ(ff.freeListLength(), 100u);
   // Exact-fit reallocation consumes free-list segments one by one.
-  for (int i = 0; i < 100; ++i) refs[i] = alloc_.alloc(256);
-  EXPECT_EQ(alloc_.freeListLength(), 0u);
-  for (Ref r : refs) alloc_.free(r);
+  for (int i = 0; i < 100; ++i) refs[i] = ff.alloc(256);
+  EXPECT_EQ(ff.freeListLength(), 0u);
+  for (Ref r : refs) ff.free(r);
 }
 
 TEST_F(FragTest, SmallAllocationsSplitLargeHoles) {
-  const Ref big = alloc_.alloc(64 * 1024);
-  alloc_.free(big);
+  // First-fit splitting property; magazines would serve the 1 KiB requests
+  // at their class size, which does not tile the hole exactly.
+  FirstFitAllocator ff(pool_);
+  ff.setMagazinesEnabled(false);
+  const Ref big = ff.alloc(64 * 1024);
+  ff.free(big);
   // 64 KiB hole hosts 64 x 1 KiB without growing the arena set.
-  const auto blocks = alloc_.ownedBlocks();
+  const auto blocks = ff.ownedBlocks();
   std::vector<Ref> small;
-  for (int i = 0; i < 64; ++i) small.push_back(alloc_.alloc(1024));
-  EXPECT_EQ(alloc_.ownedBlocks(), blocks);
+  for (int i = 0; i < 64; ++i) small.push_back(ff.alloc(1024));
+  EXPECT_EQ(ff.ownedBlocks(), blocks);
   for (Ref r : small) {
     EXPECT_EQ(r.block(), big.block());
     EXPECT_GE(r.offset(), big.offset());
     EXPECT_LT(r.offset(), big.offset() + 64 * 1024);
-    alloc_.free(r);
+    ff.free(r);
   }
+}
+
+TEST_F(FragTest, MagazineChurnFootprintWithinTenPctOfFirstFit) {
+  // Size-class rounding and cached-but-idle slices cost some memory; the
+  // regression bound is that a KV-shaped churn workload's peak arena usage
+  // with magazines stays within 10% of the pre-magazine first-fit baseline
+  // (one block of slack for the 1 MiB granularity).
+  auto peakBlocks = [](bool magazines) {
+    BlockPool pool({.blockBytes = 1u << 20, .budgetBytes = SIZE_MAX});
+    FirstFitAllocator a(pool);
+    a.setMagazinesEnabled(magazines);
+    XorShift rng(7);
+    std::vector<Ref> live;
+    std::size_t peak = 0;
+    for (int i = 0; i < 60000; ++i) {
+      if (live.empty() || rng.nextBounded(100) < 55) {
+        // Value-resize jitter: 16 sizes straddling several class boundaries.
+        const auto len = static_cast<std::uint32_t>(512 + 64 * rng.nextBounded(16));
+        live.push_back(a.alloc(len));
+      } else {
+        const std::size_t victim = rng.nextBounded(live.size());
+        a.free(live[victim]);
+        live[victim] = live.back();
+        live.pop_back();
+      }
+      peak = std::max(peak, a.ownedBlocks());
+    }
+    for (Ref r : live) a.free(r);
+    return peak;
+  };
+  const std::size_t baseline = peakBlocks(false);
+  const std::size_t withMagazines = peakBlocks(true);
+  EXPECT_LE(withMagazines, baseline + std::max<std::size_t>(1, baseline / 10))
+      << "magazines=" << withMagazines << " blocks vs first-fit baseline="
+      << baseline << " blocks";
 }
 
 TEST_F(FragTest, ValueResizePatternReusesHoles) {

@@ -1,0 +1,295 @@
+// Size-class magazine allocator torture suite (mem/magazine.hpp).
+//
+// The magazine layer recycles freed slices through per-thread caches and
+// global per-class free stacks, bypassing the §3.2 flat free list for
+// eligible sizes.  These tests pound that path from many threads with a
+// shadow oracle of live slices, and pin down the safety properties the
+// layer must preserve: no overlapping handouts, double-free and foreign-
+// free rejection, drain on thread retirement, and drain-under-exhaustion
+// (cached slices must never cause a spurious OffHeapOutOfMemory).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/checked.hpp"
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "mem/first_fit_allocator.hpp"
+#include "mem/size_classes.hpp"
+
+#if defined(__SANITIZE_ADDRESS__)
+#define MAGTEST_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define MAGTEST_ASAN 1
+#endif
+#endif
+#ifndef MAGTEST_ASAN
+#define MAGTEST_ASAN 0
+#endif
+
+namespace oak::mem {
+namespace {
+
+class MagazineTest : public ::testing::Test {
+ protected:
+  BlockPool pool_{{.blockBytes = 1u << 20, .budgetBytes = SIZE_MAX}};
+  FirstFitAllocator alloc_{pool_};
+};
+
+// ------------------------------------------------------------ size classes
+TEST(SizeClasses, MappingIsSelfInverseAndAligned) {
+  for (std::uint32_t s = SizeClasses::kAlign; s <= SizeClasses::kMaxSegBytes;
+       s += SizeClasses::kAlign) {
+    ASSERT_TRUE(SizeClasses::eligible(s));
+    const std::uint32_t cls = SizeClasses::classFor(s);
+    ASSERT_LT(cls, SizeClasses::kNumClasses);
+    const std::uint32_t carve = SizeClasses::bytesFor(cls);
+    // The carved size serves the request, re-maps to the same class (so
+    // free() reconstitutes the segment alloc carved), stays aligned, and
+    // wastes at most ~1/16 of the request beyond the smallest classes.
+    ASSERT_GE(carve, s);
+    ASSERT_EQ(SizeClasses::classFor(carve), cls);
+    ASSERT_EQ(carve % SizeClasses::kAlign, 0u);
+    ASSERT_LE(carve - s, s / 8 + SizeClasses::kAlign);
+  }
+  EXPECT_FALSE(SizeClasses::eligible(0));
+  EXPECT_FALSE(SizeClasses::eligible(SizeClasses::kMaxSegBytes + 1));
+}
+
+// ---------------------------------------------------------- recycling path
+TEST_F(MagazineTest, RecycledSliceIsServedWhole) {
+  ASSERT_TRUE(alloc_.magazinesEnabled());
+  const Ref a = alloc_.alloc(512);
+  ASSERT_TRUE(alloc_.free(a));
+  const Ref b = alloc_.alloc(512);
+  EXPECT_EQ(b.block(), a.block());
+  EXPECT_EQ(b.offset(), a.offset());
+  EXPECT_EQ(alloc_.magazineHitCount(), 1u);
+  alloc_.free(b);
+}
+
+TEST_F(MagazineTest, CountersAndOccupancyTrackTheCache) {
+  constexpr int kN = 20;  // > kMagazineCapacity: forces an overflow flush
+  std::vector<Ref> refs;
+  for (int i = 0; i < kN; ++i) refs.push_back(alloc_.alloc(300));
+  EXPECT_EQ(alloc_.magazineHitCount(), 0u);
+  EXPECT_EQ(alloc_.magazineMissCount(), static_cast<std::uint64_t>(kN));
+
+  for (Ref r : refs) ASSERT_TRUE(alloc_.free(r));
+  MagazineDepot::Stats s = alloc_.magazineStats();
+  EXPECT_EQ(s.cachedSlices, static_cast<std::uint64_t>(kN));
+  EXPECT_GE(s.flushes, 1u) << "freeing past kMagazineCapacity must flush";
+  ASSERT_EQ(s.classes.size(), 1u) << "one size -> one occupied class";
+  EXPECT_EQ(s.classes[0].cachedSlices, static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(s.cachedBytes, static_cast<std::size_t>(kN) * s.classes[0].classBytes);
+
+  // Every re-allocation is served from the cache (local or global).
+  for (auto& r : refs) r = alloc_.alloc(300);
+  EXPECT_EQ(alloc_.magazineHitCount(), static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(alloc_.magazineMissCount(), static_cast<std::uint64_t>(kN));
+  s = alloc_.magazineStats();
+  EXPECT_EQ(s.cachedSlices, 0u);
+  EXPECT_GT(s.globalHits, 0u) << "flushed slices come back via the stack";
+  for (Ref r : refs) alloc_.free(r);
+}
+
+TEST_F(MagazineTest, StatsAreZeroWhenDisabled) {
+  FirstFitAllocator ff(pool_);
+  ff.setMagazinesEnabled(false);
+  const Ref r = ff.alloc(256);
+  ff.free(r);
+  const MagazineDepot::Stats s = ff.magazineStats();
+  EXPECT_EQ(s.hits + s.globalHits + s.misses, 0u);
+  EXPECT_EQ(s.cachedSlices, 0u);
+  EXPECT_EQ(ff.freeListLength(), 1u) << "frees bypass magazines when off";
+}
+
+// ------------------------------------------------------- rejection paths
+TEST_F(MagazineTest, DoubleFreeOfCachedSliceIsRejected) {
+  const Ref r = alloc_.alloc(512);
+  ASSERT_TRUE(alloc_.free(r));  // now cached in this thread's magazine
+#if OAK_CHECKED
+  EXPECT_DEATH(alloc_.free(r), "OakSan: double-free");
+#else
+  const std::uint64_t ops = alloc_.freeOpCount();
+  EXPECT_FALSE(alloc_.free(r)) << "second free must not re-cache the slice";
+  EXPECT_EQ(alloc_.freeOpCount(), ops);
+  // The slice is still cached exactly once: one hit, then a miss.
+  const Ref again = alloc_.alloc(512);
+  EXPECT_EQ(again.offset(), r.offset());
+  const Ref fresh = alloc_.alloc(512);
+  EXPECT_NE(fresh.offset(), r.offset());
+  alloc_.free(again);
+  alloc_.free(fresh);
+#endif
+}
+
+TEST_F(MagazineTest, ForeignFreeNeverReachesTheCache) {
+  const Ref forged = Ref::make(Ref::kMaxBlocks - 2, 128, 64);
+#if OAK_CHECKED
+  EXPECT_DEATH(alloc_.free(forged), "OakSan: free of foreign ref");
+#else
+  EXPECT_FALSE(alloc_.free(forged));
+  EXPECT_EQ(alloc_.magazineStats().cachedSlices, 0u);
+  // The class the forgery would map to still misses: nothing was cached.
+  const Ref r = alloc_.alloc(64);
+  EXPECT_EQ(alloc_.magazineHitCount(), 0u);
+  alloc_.free(r);
+#endif
+}
+
+#if MAGTEST_ASAN
+TEST_F(MagazineTest, CachedSlicePayloadIsPoisoned) {
+  const Ref r = alloc_.alloc(512);
+  std::byte* p = alloc_.translate(r);
+  ASSERT_EQ(OAK_ASAN_FIRST_POISONED(p, 512), nullptr) << "live slice poisoned";
+  ASSERT_TRUE(alloc_.free(r));
+  // Magazine-resident: the whole payload traps (refs live in the magazine's
+  // slot array, so not even a link word is unpoisoned).
+  EXPECT_NE(OAK_ASAN_FIRST_POISONED(p, 512), nullptr)
+      << "cached slice payload must stay poisoned";
+}
+#endif
+
+// --------------------------------------------------------- thread lifecycle
+TEST(MagazineLifecycle, ThreadExitDrainsToGlobalStacks) {
+  BlockPool pool({.blockBytes = 1u << 20, .budgetBytes = SIZE_MAX});
+  FirstFitAllocator a(pool);
+  constexpr int kN = 8;  // < kMagazineCapacity: stays local until exit
+  std::thread worker([&] {
+    std::vector<Ref> refs;
+    for (int i = 0; i < kN; ++i) refs.push_back(a.alloc(600));
+    for (Ref r : refs) ASSERT_TRUE(a.free(r));
+    // Exit with a warm magazine; the registry exit hook must flush it.
+  });
+  worker.join();
+
+  const MagazineDepot::Stats s = a.magazineStats();
+  EXPECT_GE(s.drains, 1u) << "thread retirement must drain";
+  EXPECT_EQ(s.cachedSlices, static_cast<std::uint64_t>(kN))
+      << "no slice may be stranded in the dead thread's slot";
+
+  // This thread can now consume the drained slices from the global stacks.
+  std::vector<Ref> refs;
+  for (int i = 0; i < kN; ++i) refs.push_back(a.alloc(600));
+  EXPECT_EQ(a.magazineHitCount(), static_cast<std::uint64_t>(kN));
+  EXPECT_EQ(a.magazineMissCount(), static_cast<std::uint64_t>(kN));
+  for (Ref r : refs) a.free(r);
+}
+
+TEST(MagazineLifecycle, ExhaustionDrainsCachesBeforeOom) {
+  // One 64 KiB arena, filled by sixteen 4096-byte class carves, all freed
+  // into magazines.  A different-class allocation then finds the arena
+  // full and the free list empty — the grow path must drain the caches
+  // back to the free list and serve by splitting, not throw.
+  BlockPool pool({.blockBytes = 1u << 16, .budgetBytes = 1u << 16});
+  FirstFitAllocator a(pool);
+  ASSERT_TRUE(a.magazinesEnabled());
+  std::vector<Ref> refs;
+  for (int i = 0; i < 16; ++i) refs.push_back(a.alloc(4000));
+  EXPECT_EQ(a.ownedBlocks(), 1u);
+  for (Ref r : refs) ASSERT_TRUE(a.free(r));
+  EXPECT_EQ(a.magazineStats().cachedSlices, 16u);
+  EXPECT_EQ(a.freeListLength(), 0u);
+
+  // A 2560-byte class carve: each drained 4096 segment serves exactly one
+  // (the 1536-byte split remainder cannot serve another).
+  Ref got{};
+  ASSERT_NO_THROW(got = a.alloc(2500)) << "cached slices must be drained, "
+                                          "not reported as exhaustion";
+  EXPECT_FALSE(got.isNull());
+  EXPECT_EQ(a.ownedBlocks(), 1u) << "served from the drained arena";
+  EXPECT_GE(a.magazineStats().drains, 1u);
+  EXPECT_EQ(a.magazineStats().cachedSlices, 0u);
+  EXPECT_GT(a.freeListLength(), 0u) << "drained segments land on the free list";
+  // Service continues out of the drained segments until they are really gone.
+  std::vector<Ref> more;
+  ASSERT_NO_THROW({
+    for (int i = 0; i < 15; ++i) more.push_back(a.alloc(2500));
+  });
+  EXPECT_THROW(a.alloc(4000), OffHeapOutOfMemory)
+      << "with everything live again, exhaustion is real";
+  a.free(got);
+  for (Ref r : more) a.free(r);
+}
+
+// ------------------------------------------------------------ torture suite
+// Multi-thread churn across size-class boundaries with a shadow oracle:
+// every live slice is stamped with a thread-unique pattern and re-verified
+// before its free.  A magazine bug that hands one slice to two owners (ABA
+// on the global stack, a stale magazine slot, a drain/free race) shows up
+// as a stamp mismatch; the allocation-start bitmap cross-checks liveness.
+TEST(MagazineTorture, ConcurrentChurnKeepsSlicesDisjoint) {
+  BlockPool pool({.blockBytes = 1u << 20, .budgetBytes = SIZE_MAX});
+  FirstFitAllocator a(pool);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 4000;
+  std::atomic<int> stampErrors{0};
+  std::atomic<int> livenessErrors{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      XorShift rng(static_cast<std::uint64_t>(t) * 7919 + 13);
+      struct Live {
+        Ref ref;
+        std::byte stamp;
+      };
+      std::vector<Live> live;
+      for (int i = 0; i < kOps; ++i) {
+        const bool doAlloc = live.empty() || rng.nextBounded(100) < 55;
+        if (doAlloc) {
+          // Jitter across the whole eligible range (several class bands).
+          const auto len = static_cast<std::uint32_t>(8 + rng.nextBounded(3500));
+          const Ref r = a.alloc(len);
+          const auto stamp =
+              static_cast<std::byte>(1 + ((t * kOps + i) % 251));
+          std::memset(a.translate(r), static_cast<int>(stamp), len);
+          if (!a.isLive(r)) livenessErrors.fetch_add(1);
+          live.push_back({r, stamp});
+        } else {
+          const std::size_t v = rng.nextBounded(live.size());
+          const Live lv = live[v];
+          const std::byte* p = a.translate(lv.ref);
+          for (std::uint32_t j = 0; j < lv.ref.length(); ++j) {
+            if (p[j] != lv.stamp) {
+              stampErrors.fetch_add(1);
+              break;
+            }
+          }
+          if (!a.free(lv.ref)) livenessErrors.fetch_add(1);
+          if (a.isLive(lv.ref)) livenessErrors.fetch_add(1);
+          live[v] = live.back();
+          live.pop_back();
+        }
+      }
+      // Final sweep: everything still live must carry its stamp.
+      for (const Live& lv : live) {
+        const std::byte* p = a.translate(lv.ref);
+        for (std::uint32_t j = 0; j < lv.ref.length(); ++j) {
+          if (p[j] != lv.stamp) {
+            stampErrors.fetch_add(1);
+            break;
+          }
+        }
+        a.free(lv.ref);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(stampErrors.load(), 0) << "overlapping handout through magazines";
+  EXPECT_EQ(livenessErrors.load(), 0);
+  EXPECT_EQ(a.allocatedBytes(), 0u) << "alloc/free accounting must balance";
+
+  // Every allocation was magazine-eligible, so the counters partition them;
+  // with a 55/45 mix the recycle traffic must mostly hit the caches.
+  const MagazineDepot::Stats s = a.magazineStats();
+  EXPECT_EQ(s.hits + s.globalHits + s.misses, a.allocCount());
+  EXPECT_GT(s.hits + s.globalHits, a.allocCount() / 4);
+}
+
+}  // namespace
+}  // namespace oak::mem

@@ -95,15 +95,37 @@ TEST_F(AllocatorTest, FreeEnablesReuse) {
 }
 
 TEST_F(AllocatorTest, FirstFitSplitsLargerSegment) {
-  const Ref big = alloc_.alloc(1024);
-  alloc_.free(big);
-  const Ref small = alloc_.alloc(100);
+  // Exercises the flat first-fit split specifically: with magazines on, a
+  // freed eligible slice is recycled whole from its size class instead.
+  FirstFitAllocator ff(pool_);
+  ff.setMagazinesEnabled(false);
+  const Ref big = ff.alloc(1024);
+  ff.free(big);
+  const Ref small = ff.alloc(100);
   EXPECT_EQ(small.offset(), big.offset());  // prefix of the freed segment
-  const Ref rest = alloc_.alloc(900);
+  const Ref rest = ff.alloc(900);
   // Rounded prefix split; checked builds interpose a 16-byte slice header
   // between neighbouring allocations.
   const std::uint32_t header = OAK_CHECKED ? 16u : 0u;
   EXPECT_EQ(rest.offset(), big.offset() + 104 + header);
+}
+
+TEST_F(AllocatorTest, RejectedFreesLeaveStatsUntouched) {
+  const Ref r = alloc_.alloc(64);
+  ASSERT_TRUE(alloc_.free(r));
+  const std::uint64_t ops = alloc_.freeOpCount();
+  const std::uint64_t bytes = alloc_.freedBytes();
+  EXPECT_EQ(ops, 1u);
+  EXPECT_GE(bytes, 64u);
+#if !OAK_CHECKED
+  // Rejected frees (double, foreign, null) return false in release builds;
+  // the free counters must record only the successful ones.
+  EXPECT_FALSE(alloc_.free(r));
+  EXPECT_FALSE(alloc_.free(Ref::make(Ref::kMaxBlocks - 2, 128, 64)));
+  EXPECT_FALSE(alloc_.free(Ref{}));
+  EXPECT_EQ(alloc_.freeOpCount(), ops);
+  EXPECT_EQ(alloc_.freedBytes(), bytes);
+#endif
 }
 
 TEST_F(AllocatorTest, DoubleFreeIsRejected) {

@@ -67,6 +67,7 @@ std::uint64_t chaosSeed() {
 const char* const kThrowingSites[] = {
     "mheap.alloc",      // chunk metadata / index nodes (ManagedOutOfMemory)
     "alloc.offheap",    // key/value slices (OffHeapOutOfMemory)
+    "alloc.magazine",   // between magazine miss and global-stack refill
     "chunk.link",       // between key allocation and entry linkage
     "rebalance.split",  // start of the freeze/collect/build protocol
 };
@@ -266,6 +267,64 @@ TEST(OakChaos, ShardedMapSurvivesInjectedOom) {
                                        : reports[s].problems.front());
   }
   fault::disarmAll();
+}
+
+TEST(OakChaos, MagazineRefillOomMidPutKeepsStrongExceptionSafety) {
+  // Delete/resize churn keeps the size-class magazines hot; the armed site
+  // sits between a magazine miss and the global-stack refill, so the OOM
+  // lands mid-doPut with recycled-slice traffic in flight.  The usual
+  // contract must hold: aborted operations leave no trace.
+  SKIP_UNLESS_CHECKED();
+  fault::disarmAll();
+  const std::uint64_t seed = chaosSeed();
+  ASSERT_TRUE(fault::armFromSpec(
+      ("alloc.magazine=prob:0.05:" + std::to_string(seed)).c_str()));
+
+  OakConfig cfg;
+  cfg.chunkCapacity = 64;
+  OakCoreMap<> map(cfg);
+  std::map<std::string, std::string> oracle;
+  XorShift rng(seed);
+  for (int op = 0; op < 3000; ++op) {
+    const int id = static_cast<int>(rng.nextBounded(300));
+    const std::string k = padKey(id);
+    if (rng.nextBounded(10) < 3) {
+      try {
+        if (map.remove(bytes(k))) oracle.erase(k);
+      } catch (const std::bad_alloc&) {
+      }
+    } else {
+      // Jittered value sizes: overwrites resize, so the old slice is freed
+      // into a magazine and later allocations pull from the caches.
+      const std::string v(16 + rng.nextBounded(200),
+                          static_cast<char>('a' + op % 26));
+      try {
+        map.put(bytes(k), bytes(v));
+        oracle[k] = v;
+      } catch (const std::bad_alloc&) {
+      }
+    }
+  }
+  const std::uint64_t injected = fault::injectedCount("alloc.magazine");
+  fault::disarmAll();
+  EXPECT_GT(injected, 0u) << "the magazine refill site never fired";
+
+  map.quiesce();
+  auto rep = ChunkWalker<BytesComparator>::validate(map);
+  for (const auto& p : rep.problems) ADD_FAILURE() << p;
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(map.sizeSlow(), oracle.size());
+  for (const auto& [k, v] : oracle) {
+    auto got = map.getCopy(bytes(k));
+    ASSERT_TRUE(got.has_value()) << "lost key " << k;
+    EXPECT_EQ(asString(ByteSpan{got->data(), got->size()}), v);
+  }
+  // The churn must actually have exercised the recycling path.
+  const obs::Metrics m = map.stats();
+  EXPECT_GT(m.alloc.magHits + m.alloc.magGlobalHits, 0u)
+      << "workload never hit a magazine — the drill proves nothing";
+  map.put(bytes(padKey(1000)), bytes("post-chaos"));
+  EXPECT_TRUE(map.containsKey(bytes(padKey(1000))));
 }
 
 TEST(OakChaos, StalledEbrDegradesThenRecovers) {

@@ -259,7 +259,13 @@ TEST(ObsGauges, MemoryManagerStats) {
   EXPECT_EQ(s.freeCount, 50u);
   EXPECT_EQ(s.allocatedBytes, 0u);
   EXPECT_GE(s.freedBytes, 50u * 100u);
-  EXPECT_GT(s.freeListLength, 0u);
+  // Magazine-eligible frees are cached in the size-class layer, not on the
+  // flat free list; the gauges must show where the slices went.
+  EXPECT_EQ(s.freeListLength, 0u);
+  EXPECT_EQ(s.magCachedSlices, 50u);
+  EXPECT_GE(s.magCachedBytes, 50u * 100u);
+  ASSERT_FALSE(s.magClasses.empty());
+  EXPECT_EQ(s.magClasses[0].cachedSlices, 50u);
 }
 
 TEST(ObsGauges, EbrEpochLag) {

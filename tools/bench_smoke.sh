@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# bench_smoke.sh BUILD_DIR [DURATION_MS]
+#
+# CI smoke gate for the delete/resize churn workload (the size-class
+# magazine allocator's target traffic).  Runs synchrobench's churn
+# scenario on the Oak map for ~5s with post-stage structural validation
+# enabled, then fails if any METRICS line reports
+#   * resource_exhausted > 0  — churn at this scale must never exhaust
+#     the arena budget (cached slices draining back is part of that), or
+#   * validation_errors > 0   — the quiesced ChunkWalker audit found a
+#     structural problem.
+# Also prints the observed magazine hit rate so perf regressions in the
+# recycling path are visible in the job log.
+set -euo pipefail
+
+build_dir=${1:?usage: bench_smoke.sh BUILD_DIR [DURATION_MS]}
+duration_ms=${2:-5000}
+
+bench="$build_dir/bench/synchrobench"
+[[ -x "$bench" ]] || { echo "bench_smoke: $bench not built" >&2; exit 2; }
+
+log=$(mktemp)
+trap 'rm -f "$log"' EXIT
+
+OAK_BENCH_VALIDATE=1 "$bench" --churn -b OakMap -t "16" -i 50000 \
+    -d "$duration_ms" | tee "$log"
+
+metrics=$(grep -c '^METRICS ' "$log") || {
+  echo "bench_smoke: no METRICS lines produced" >&2
+  exit 1
+}
+
+fail=0
+while IFS= read -r line; do
+  exhausted=$(sed -n 's/.*"resource_exhausted":\([0-9]*\).*/\1/p' <<<"$line")
+  verrors=$(sed -n 's/.*"validation_errors":\([0-9]*\).*/\1/p' <<<"$line")
+  hitrate=$(sed -n 's/.*"mag_hit_rate":\([0-9.]*\).*/\1/p' <<<"$line")
+  if [[ -n "$exhausted" && "$exhausted" != 0 ]]; then
+    echo "bench_smoke: FAIL resource_exhausted=$exhausted" >&2
+    fail=1
+  fi
+  if [[ -n "$verrors" && "$verrors" != 0 ]]; then
+    echo "bench_smoke: FAIL validation_errors=$verrors" >&2
+    fail=1
+  fi
+  echo "bench_smoke: mag_hit_rate=${hitrate:-n/a}"
+done < <(grep '^METRICS ' "$log")
+
+if [[ "$fail" != 0 ]]; then
+  exit 1
+fi
+echo "bench_smoke: OK ($metrics points, ${duration_ms}ms churn)"
