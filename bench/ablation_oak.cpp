@@ -27,11 +27,10 @@ class TunedOakAdapter {
     heap_ = std::make_unique<mheap::ManagedHeap>(heapConfig(split.heapBytes));
     pool_ = std::make_unique<mem::BlockPool>(mem::BlockPool::Config{
         .blockBytes = 8u << 20, .budgetBytes = split.offHeapBytes});
-    OakConfig ocfg;
-    ocfg.chunkCapacity = chunkCapacity;
-    ocfg.maxUnsortedRatio = unsortedRatio;
-    ocfg.metaHeap = heap_.get();
-    ocfg.pool = pool_.get();
+    auto ocfg = OakConfig{}
+                   .withChunkCapacity(chunkCapacity)
+                   .withMaxUnsortedRatio(unsortedRatio)
+                   .withMem(MemConfig{}.withMetaHeap(heap_.get()).withPool(pool_.get()));
     map_ = std::make_unique<OakCoreMap<>>(ocfg);
   }
 
@@ -140,10 +139,8 @@ int main() {
     mheap::ManagedHeap heap(heapConfig(splitRam(c, true).heapBytes));
     mem::BlockPool pool(mem::BlockPool::Config{
         .blockBytes = 8u << 20, .budgetBytes = splitRam(c, true).offHeapBytes});
-    OakConfig ocfg;
-    ocfg.metaHeap = &heap;
-    ocfg.pool = &pool;
-    ocfg.reclaim = mode == 0 ? ValueReclaim::KeepHeaders : ValueReclaim::Generational;
+    auto ocfg = OakConfig{}
+                   .withMem(MemConfig{}.withMetaHeap(&heap).withPool(&pool).withReclaim(mode == 0 ? ValueReclaim::KeepHeaders : ValueReclaim::Generational));
     OakCoreMap<> map(ocfg);
     // put+remove churn over a small range: KeepHeaders leaks a header per
     // remove; Generational recycles them.

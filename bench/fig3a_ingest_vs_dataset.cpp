@@ -17,7 +17,7 @@ int main() {
   const std::size_t ramMb = envSize("OAK_BENCH_FIG3_RAM_MB", 384);
   std::vector<std::size_t> sizes{12'500, 25'000, 50'000, 100'000, 150'000, 200'000,
                                  225'000, 250'000, 275'000, 300'000, 325'000};
-  if (const char* s = std::getenv("OAK_BENCH_FIG3_SIZES")) {
+  if (const char* s = oak::env::raw("OAK_BENCH_FIG3_SIZES")) {
     sizes.clear();
     for (const char* p = s; *p != '\0';) {
       sizes.push_back(std::strtoull(p, const_cast<char**>(&p), 10));

@@ -98,10 +98,9 @@ inline DruidPoint runOakDruid(const PreparedTuples& in, std::size_t totalRamByte
       mheap::ManagedHeap::Config{.budgetBytes = totalRamBytes - off});
   mem::BlockPool pool(
       mem::BlockPool::Config{.blockBytes = 8u << 20, .budgetBytes = off});
-  OakConfig ocfg;
-  ocfg.chunkCapacity = 2048;
-  ocfg.metaHeap = &heap;
-  ocfg.pool = &pool;
+  auto ocfg = OakConfig{}
+                 .withChunkCapacity(2048)
+                 .withMem(MemConfig{}.withMetaHeap(&heap).withPool(&pool));
   try {
     druid::OakIncrementalIndex idx(druidSpec(), 2, /*rollup=*/true, heap, ocfg);
     return ingestTuples(idx, in, heap);

@@ -39,6 +39,8 @@ struct Options {
   unsigned computePct = 0;   // -c with -s: in-place updates
   unsigned scanPct = 0;      // -s : scan percentage
   bool valueJitter = false;  // --churn: puts draw jittered value sizes
+  double zipfTheta = 0;      // --zipf: skewed key choice (0 = uniform)
+  int maintThreads = -1;     // --maint-threads: background rebalance workers
   unsigned offHeapSlackPct = 6;  // arena headroom over raw data
   bool generationalValues = false;  // recycle value headers (churn preset)
   bool descending = false;   // -a 100 with scans
@@ -74,7 +76,10 @@ void usage() {
       "                       values, 30%% remove, 20%% get) — the magazine\n"
       "                       allocator's target workload\n"
       "  --no-magazines       pre-PR first-fit slow path (A/B baseline)\n"
-      "  --scenario <4a..4f|churn>  canned scenario\n"
+      "  --zipf <theta>       zipfian key skew (YCSB formula; 0.99 typical)\n"
+      "  --maint-threads <n>  background maintenance workers for Oak\n"
+      "                       (0 = inline rebalance on mutators, -1 = env/auto)\n"
+      "  --scenario <4a..4f|churn|zipf>  canned scenario\n"
       "  --csv <file>         append rows as CSV\n");
 }
 
@@ -124,6 +129,22 @@ void applyScenario(Options& o) {
     // Removes dominate this mix; immortal headers (the paper's evaluated
     // default) would leak one slice per remove and drown the measurement.
     o.generationalValues = true;
+  } else if (o.scenario == "zipf") {
+    // Skewed put-heavy mix for the maintenance A/B: zipfian key choice
+    // concentrates writes on the low end of the range, so rebalance (and,
+    // when sharded, split/merge) pressure lands on a few hot chunks.  The
+    // remove leg matters — pure overwrites reuse the sorted prefix and
+    // stop triggering rebalances once the range is populated; remove +
+    // reinsert keeps every hot chunk accumulating unsorted entries, which
+    // is exactly the work the background pool exists to absorb.  Compare
+    // --maint-threads 0 (inline, the seed's behavior) against N > 0 and
+    // watch the put p99 in the METRICS line.
+    o.zeroCopy = true;
+    o.updatePct = 40;
+    o.removePct = 20;
+    o.zipfTheta = 0.99;
+    o.offHeapSlackPct = 50;
+    o.generationalValues = true;
   }
 }
 
@@ -138,6 +159,7 @@ Mix mixFor(const Options& o) {
   }
   m.streamScans = o.stream;
   m.valueJitter = o.valueJitter;
+  m.zipfTheta = o.zipfTheta;
   return m;
 }
 
@@ -158,6 +180,7 @@ void runBench(const Options& o, const std::string& bench,
       cfg.shards = sh;
       cfg.offHeapSlackPct = o.offHeapSlackPct;
       cfg.generationalValues = o.generationalValues;
+      cfg.maintThreads = o.maintThreads;
       cfg.totalRamBytes = o.ramMb != 0 ? (o.ramMb << 20) : cfg.rawDataBytes() * 3;
       const RamSplit split = splitRam(cfg, bench != "JavaSkipListMap");
       std::string label = bench;
@@ -273,6 +296,10 @@ int main(int argc, char** argv) {
       applyScenario(o);
     } else if (a == "--no-magazines") {
       oak::mem::FirstFitAllocator::setMagazinesDefaultEnabled(false);
+    } else if (a == "--zipf") {
+      o.zipfTheta = std::stod(next());
+    } else if (a == "--maint-threads") {
+      o.maintThreads = std::stoi(next());
     } else if (a == "--scenario") {
       o.scenario = next();
       applyScenario(o);

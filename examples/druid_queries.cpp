@@ -16,8 +16,7 @@ using namespace oak::druid;
 int main() {
   AggregatorSpec spec({AggType::Count, AggType::DoubleSum, AggType::HllUnique,
                        AggType::Quantiles});
-  OakConfig cfg;
-  cfg.chunkCapacity = 1024;
+  auto cfg = OakConfig{}.withChunkCapacity(1024);
   OakIncrementalIndex index(spec, /*dims=*/2, /*rollup=*/true,
                             mheap::ManagedHeap::unlimited(), cfg);
 

@@ -19,8 +19,7 @@ int main() {
   AggregatorSpec spec({AggType::Count, AggType::DoubleSum, AggType::DoubleMax,
                        AggType::HllUnique, AggType::Quantiles});
 
-  OakConfig cfg;
-  cfg.chunkCapacity = 1024;
+  auto cfg = OakConfig{}.withChunkCapacity(1024);
   OakIncrementalIndex index(spec, /*dims=*/2, /*rollup=*/true,
                             mheap::ManagedHeap::unlimited(), cfg);
 

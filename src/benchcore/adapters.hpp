@@ -71,15 +71,22 @@ class OakAdapter {
     heap_ = std::make_unique<mheap::ManagedHeap>(heapConfig(split.heapBytes));
     pool_ = std::make_unique<mem::BlockPool>(mem::BlockPool::Config{
         .blockBytes = 8u << 20, .budgetBytes = split.offHeapBytes});
-    ShardedOakConfig scfg;
-    scfg.shards = cfg.shards < 1 ? 1 : cfg.shards;
-    scfg.shard.chunkCapacity = 2048;
-    scfg.shard.metaHeap = heap_.get();
-    scfg.shard.pool = pool_.get();
-    if (cfg.generationalValues) scfg.shard.reclaim = ValueReclaim::Generational;
+    auto mem = MemConfig{}.withMetaHeap(heap_.get()).withPool(pool_.get());
+    if (cfg.generationalValues) mem.withReclaim(ValueReclaim::Generational);
+    auto scfg =
+        ShardedOakConfig{}
+            .withShards(cfg.shards < 1 ? 1 : cfg.shards)
+            .withShard(OakConfig{}
+                           .withChunkCapacity(2048)
+                           .withMem(mem)
+                           .withMaintenance(
+                               maint::MaintenanceConfig{}
+                                   .withThreads(cfg.maintThreads)
+                                   .withRateLimit(cfg.maintRateLimitBytesPerSec)
+                                   .withQueueDepth(cfg.maintQueueDepth)));
     // Bench ids are dense in [0, keyRange) behind an 8-byte BE prefix —
     // split that range, not the full u64 space.
-    scfg.layout = ShardLayout::uniformRange(scfg.shards, cfg.keyRange);
+    scfg.withLayout(ShardLayout::uniformRange(scfg.shards, cfg.keyRange));
     map_ = std::make_unique<ShardedOakCoreMap<>>(std::move(scfg));
   }
 
@@ -151,6 +158,10 @@ class OakAdapter {
   /// (the bench-smoke harness fails on non-zero).  Callers must quiesce
   /// the map first — the driver runs this after joining its workers.
   std::size_t validateStructure() {
+    // Let queued background rebalances finish so the walk sees a settled
+    // structure (walker handles mid-rebalance states too, but a drained
+    // map makes validation failures deterministic).
+    map_->drainMaintenance();
     const auto reports = ChunkWalker<BytesComparator>::validateShards(*map_);
     std::size_t problems = 0;
     for (const auto& rep : reports) {

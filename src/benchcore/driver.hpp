@@ -8,11 +8,13 @@
 #include <cmath>
 #include <concepts>
 #include <cstdio>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "benchcore/adapters.hpp"
 #include "benchcore/workload.hpp"
+#include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/random.hpp"
 #include "mheap/managed_heap.hpp"
@@ -71,10 +73,7 @@ concept HasValidate = requires(Adapter& a) {
 };
 
 inline bool validationEnabled() {
-  static const bool on = [] {
-    const char* v = std::getenv("OAK_BENCH_VALIDATE");
-    return v != nullptr && v[0] != '0' && v[0] != '\0';
-  }();
+  static const bool on = env::flag("OAK_BENCH_VALIDATE", false);
   return on;
 }
 
@@ -156,6 +155,11 @@ PointResult sustainedStage(Adapter& a, const BenchConfig& cfg, const Mix& mix) {
 
   auto worker = [&](unsigned t) {
     XorShift rng(cfg.seed * 7919 + t * 104729 + 1);
+    // Skewed key choice (YCSB zipfian) when the mix asks for it; the zeta
+    // precompute is per worker and runs before the start barrier, so it
+    // never eats into the timed window.
+    std::optional<ZipfGenerator> zipf;
+    if (mix.zipfTheta > 0) zipf.emplace(cfg.keyRange, mix.zipfTheta);
     std::vector<std::byte> key(cfg.keyBytes);
     // Jittered puts need room for the largest drawn size (8 steps above
     // valueBytes/2 — 3/2 of nominal once valueBytes >= 64).
@@ -170,7 +174,8 @@ PointResult sustainedStage(Adapter& a, const BenchConfig& cfg, const Mix& mix) {
     try {
       while (!stop.load(std::memory_order_acquire)) {
         const auto pct = static_cast<unsigned>(rng.nextBounded(100));
-        const std::uint64_t id = rng.nextBounded(cfg.keyRange);
+        const std::uint64_t id =
+            zipf ? zipf->next(rng) : rng.nextBounded(cfg.keyRange);
         makeKey({key.data(), key.size()}, id);
         const ByteSpan k{key.data(), key.size()};
         if (pct < mix.putPct) {
@@ -338,10 +343,7 @@ inline void printSeriesHeader(const char* xLabel) {
 /// OAK_BENCH_METRICS=0 to silence.  The "METRICS " prefix keeps the human
 /// tables greppable; everything after it is one JSON object.
 inline bool metricsLinesEnabled() {
-  static const bool on = [] {
-    const char* v = std::getenv("OAK_BENCH_METRICS");
-    return v == nullptr || (v[0] != '0' && v[0] != '\0');
-  }();
+  static const bool on = env::flag("OAK_BENCH_METRICS", true);
   return on;
 }
 
@@ -351,11 +353,22 @@ inline void printMetricsLine(const char* name, double x, const PointResult& r) {
               "\"kops\":%.1f,\"ingest_kops\":%.1f,\"oom\":%s,\"oom_kind\":\"%s\","
               "\"final_size\":%zu,"
               "\"offheap_bytes\":%zu,\"mag_hit_rate\":%.4f,"
+              "\"maint_queued\":%llu,\"maint_executed\":%llu,"
+              "\"maint_inline_fallback\":%llu,\"maint_throttled_ms\":%llu,"
+              "\"pending_maintenance\":%llu,"
               "\"validation_errors\":%zu,\"metrics\":%s}\n",
               name, x, static_cast<unsigned long long>(r.metrics.shards),
               r.kops, r.ingestKops, r.oom ? "true" : "false",
               oomKindName(r.oomKind),
               r.finalSize, r.offHeapBytes, r.metrics.alloc.magHitRate(),
+              static_cast<unsigned long long>(
+                  r.metrics.registry.counter(obs::Counter::MaintQueued)),
+              static_cast<unsigned long long>(
+                  r.metrics.registry.counter(obs::Counter::MaintExecuted)),
+              static_cast<unsigned long long>(
+                  r.metrics.registry.counter(obs::Counter::MaintInlineFallback)),
+              static_cast<unsigned long long>(r.metrics.maintThrottledMs),
+              static_cast<unsigned long long>(r.metrics.maintPending),
               r.validationErrors, r.metrics.toJson().c_str());
 }
 

@@ -12,12 +12,15 @@
 // variables for a real multicore run.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/env.hpp"
+#include "common/random.hpp"
 
 namespace oak::bench {
 
@@ -46,6 +49,14 @@ struct BenchConfig {
   /// delete-heavy mix must recycle them or the bench measures the leak.
   bool generationalValues = false;
 
+  /// Background maintenance workers for the Oak adapter (MaintenanceConfig
+  /// precedence applies: -1 resolves through OAK_MAINT_THREADS, 0 runs
+  /// rebalance inline on the mutators — the seed's behavior).
+  int maintThreads = -1;
+  /// Maintenance rate limit in bytes/sec (0 = unthrottled) and queue depth.
+  std::size_t maintRateLimitBytesPerSec = 0;
+  std::size_t maintQueueDepth = 256;
+
   std::size_t rawDataBytes() const {
     return keyRange * (keyBytes + valueBytes);
   }
@@ -64,17 +75,61 @@ struct Mix {
   /// fixed size, so overwrites resize across size-class boundaries — the
   /// allocator-churn workload the magazine layer exists for.
   bool valueJitter = false;
+  /// Zipfian skew for key selection (0 = uniform).  theta ~0.99 is the YCSB
+  /// default; ranks map to ids identically, so the heat concentrates at the
+  /// low end of the key range (one hot shard under range partitioning).
+  double zipfTheta = 0;
 };
 
-// ------------------------------------------------------------ env knobs
+/// YCSB-style Zipfian id generator over [0, n).  Rank r is drawn with
+/// probability proportional to 1/(r+1)^theta and mapped to id r directly —
+/// the skew therefore lands on the numerically smallest keys, which under
+/// range sharding makes shard 0 hot (exactly the case online split exists
+/// for).  The zeta sum is precomputed once per generator; construction is
+/// O(n) and done per worker before the timed stage starts.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::size_t n, double theta) : n_(n), theta_(theta) {
+    double zetan = 0, zeta2 = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      const double z = 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+      zetan += z;
+      if (i < 2) zeta2 += z;
+    }
+    zetan_ = zetan;
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  std::uint64_t next(XorShift& rng) const {
+    const double u = rng.nextDouble();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto r = static_cast<std::uint64_t>(
+        static_cast<double>(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return r >= n_ ? n_ - 1 : r;
+  }
+
+ private:
+  std::size_t n_;
+  double theta_;
+  double zetan_ = 0;
+  double alpha_ = 0;
+  double eta_ = 0;
+};
+
+// ---------------------------------------------------------- env knobs
+// Thin wrappers over oak::env (the single getenv gateway) with the
+// bench-friendly signatures the figure runners use.
 inline std::size_t envSize(const char* name, std::size_t def) {
-  const char* v = std::getenv(name);
-  return v != nullptr ? static_cast<std::size_t>(std::strtoull(v, nullptr, 10)) : def;
+  return static_cast<std::size_t>(env::u64(name, def));
 }
 
 inline std::vector<unsigned> envThreadList(const char* name,
                                            std::vector<unsigned> def) {
-  const char* v = std::getenv(name);
+  const char* v = env::raw(name);
   if (v == nullptr) return def;
   std::vector<unsigned> out;
   std::string s(v);

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hpp"
+
 namespace oak::fault {
 namespace {
 
@@ -44,7 +46,7 @@ class Registry {
   Registry() {
     // Environment arming happens exactly once, before any site can fire,
     // because every public entry point routes through instance().
-    const char* spec = std::getenv("OAK_FAULT_SPEC");
+    const char* spec = env::raw("OAK_FAULT_SPEC");
     if (spec != nullptr && spec[0] != '\0' && !armFromSpecLocked(spec)) {
       std::fprintf(stderr, "oak: malformed OAK_FAULT_SPEC: \"%s\"\n", spec);
     }

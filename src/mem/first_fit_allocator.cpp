@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdlib>
 
+#include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/thread_registry.hpp"
@@ -19,10 +20,7 @@ void FirstFitAllocator::setMagazinesDefaultEnabled(bool on) {
 }
 
 bool FirstFitAllocator::magazinesDefaultEnabled() {
-  static const bool envEnabled = [] {
-    const char* e = std::getenv("OAK_MAGAZINES");
-    return e == nullptr || e[0] != '0';
-  }();
+  static const bool envEnabled = env::flag("OAK_MAGAZINES", true);
   return envEnabled && gMagazinesDefault.load(std::memory_order_relaxed);
 }
 

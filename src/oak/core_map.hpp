@@ -15,15 +15,18 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "common/checked.hpp"
+#include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/spin.hpp"
+#include "maint/maintenance.hpp"
 #include "mem/memory_manager.hpp"
 #include "mheap/managed_heap.hpp"
 #include "oak/buffer.hpp"
@@ -37,19 +40,97 @@
 
 namespace oak {
 
-struct OakConfig {
-  std::int32_t chunkCapacity = 2048;    ///< paper: 4K entries per chunk
-  double maxUnsortedRatio = 0.5;        ///< rebalance when bypasses exceed this
-  mheap::ManagedHeap* metaHeap = nullptr;  ///< for on-heap metadata; default: unlimited
+/// Memory knob group nested inside OakConfig.  Overridable fields are
+/// optionals so the deprecated flat OakConfig fields keep working: an unset
+/// optional defers to the flat field (then to the env/default rung where one
+/// exists).  All setters are fluent.
+struct MemConfig {
+  mheap::ManagedHeap* metaHeap = nullptr;  ///< on-heap metadata; default: unlimited
   mem::BlockPool* pool = nullptr;          ///< off-heap arena pool; default: global
-  std::size_t ephemeralViewBytes = 48;  ///< modelled size of a Java buffer view
   /// Value-header reclamation (§3.3): the paper's evaluated default keeps
   /// headers immortal; Generational recycles them through a versioned pool.
-  ValueReclaim reclaim = ValueReclaim::KeepHeaders;
+  std::optional<ValueReclaim> reclaim;
   /// Bytes withheld from the arena as an emergency reserve for the
   /// non-throwing tryPut/tryCompute degraded path (0 = no reserve).  See
   /// DESIGN.md "Failure model & degraded operation" for sizing guidance.
-  std::size_t emergencyReserveBytes = 0;
+  std::optional<std::size_t> emergencyReserveBytes;
+  /// Size-class magazine layer for this instance's allocator.  Unset defers
+  /// to the OAK_MAGAZINES environment gate (default on).
+  std::optional<bool> magazines;
+
+  MemConfig& withMetaHeap(mheap::ManagedHeap* h) { metaHeap = h; return *this; }
+  MemConfig& withPool(mem::BlockPool* p) { pool = p; return *this; }
+  MemConfig& withReclaim(ValueReclaim r) { reclaim = r; return *this; }
+  MemConfig& withEmergencyReserve(std::size_t bytes) {
+    emergencyReserveBytes = bytes;
+    return *this;
+  }
+  MemConfig& withMagazines(bool on) { magazines = on; return *this; }
+};
+
+/// Map configuration: structure knobs at the top level, memory and
+/// maintenance grouped into nested configs, all composable through fluent
+/// setters:
+///
+///   auto cfg = OakConfig{}
+///                  .withChunkCapacity(256)
+///                  .withMem(MemConfig{}.withMetaHeap(&heap).withPool(&pool))
+///                  .withMaintenance(MaintenanceConfig{}.withThreads(2));
+///
+/// Every knob resolves with one precedence rule: explicit config > oak::env
+/// environment variable > compiled default (see common/env.hpp for the
+/// recognized variables).  The effective*() accessors below implement it.
+struct OakConfig {
+  std::int32_t chunkCapacity = 2048;    ///< paper: 4K entries per chunk
+  double maxUnsortedRatio = 0.5;        ///< rebalance when bypasses exceed this
+  std::size_t ephemeralViewBytes = 48;  ///< modelled size of a Java buffer view
+
+  /// Memory knobs (arena, managed heap, reclamation, magazines).
+  MemConfig mem;
+  /// Background maintenance pool + online shard management thresholds
+  /// (maint/maintenance.hpp).  Default: no workers — rebalance runs inline
+  /// on the mutator, exactly the paper's (and the seed's) behavior.
+  maint::MaintenanceConfig maintenance;
+
+  // ---- DEPRECATED flat fields ------------------------------------------
+  // One release of grace for out-of-tree aggregate initializers: these keep
+  // compiling and behaving, but new code should set the nested MemConfig
+  // (the nested group wins when both are set).  Scheduled for removal.
+  mheap::ManagedHeap* metaHeap = nullptr;            ///< DEPRECATED → mem.metaHeap
+  mem::BlockPool* pool = nullptr;                    ///< DEPRECATED → mem.pool
+  ValueReclaim reclaim = ValueReclaim::KeepHeaders;  ///< DEPRECATED → mem.reclaim
+  std::size_t emergencyReserveBytes = 0;  ///< DEPRECATED → mem.emergencyReserveBytes
+
+  // ---- effective values (explicit > env > default) ---------------------
+  mheap::ManagedHeap* effectiveMetaHeap() const noexcept {
+    return mem.metaHeap != nullptr ? mem.metaHeap : metaHeap;
+  }
+  mem::BlockPool* effectivePool() const noexcept {
+    return mem.pool != nullptr ? mem.pool : pool;
+  }
+  ValueReclaim effectiveReclaim() const noexcept {
+    return mem.reclaim.value_or(reclaim);
+  }
+  std::size_t effectiveEmergencyReserve() const noexcept {
+    return mem.emergencyReserveBytes.value_or(emergencyReserveBytes);
+  }
+  bool effectiveMagazines() const noexcept {
+    if (mem.magazines.has_value()) return *mem.magazines;
+    return env::flag("OAK_MAGAZINES", true);
+  }
+
+  // ---- fluent setters --------------------------------------------------
+  OakConfig& withChunkCapacity(std::int32_t c) { chunkCapacity = c; return *this; }
+  OakConfig& withMaxUnsortedRatio(double r) { maxUnsortedRatio = r; return *this; }
+  OakConfig& withEphemeralViewBytes(std::size_t b) {
+    ephemeralViewBytes = b;
+    return *this;
+  }
+  OakConfig& withMem(MemConfig m) { mem = std::move(m); return *this; }
+  OakConfig& withMaintenance(maint::MaintenanceConfig m) {
+    maintenance = std::move(m);
+    return *this;
+  }
 };
 
 template <class Compare = BytesComparator>
@@ -75,22 +156,43 @@ class OakCoreMap {
   explicit OakCoreMap(OakConfig cfg = OakConfig{}, Compare cmp = Compare{})
       : cfg_(cfg),
         cmp_(cmp),
-        metaHeap_(cfg.metaHeap != nullptr ? *cfg.metaHeap : mheap::ManagedHeap::unlimited()),
-        pool_(cfg.pool != nullptr ? *cfg.pool : mem::BlockPool::global()),
-        mm_(pool_, static_cast<std::uint32_t>(cfg.emergencyReserveBytes)),
+        metaHeap_(cfg.effectiveMetaHeap() != nullptr ? *cfg.effectiveMetaHeap()
+                                                     : mheap::ManagedHeap::unlimited()),
+        pool_(cfg.effectivePool() != nullptr ? *cfg.effectivePool()
+                                             : mem::BlockPool::global()),
+        mm_(pool_, static_cast<std::uint32_t>(cfg.effectiveEmergencyReserve())),
         indexMem_(metaHeap_),
         index_(IndexCmp{cmp}, indexMem_) {
     // OakSan: chunk metadata (and the off-heap keys it references) is
     // reclaimed through ebr_, so key reads must happen under its guards.
     mm_.bindGuardDomain(&ebr_);
-    if (cfg_.reclaim == ValueReclaim::Generational) headerPool_.emplace(mm_);
+    // The magazine switch must land before the arena's first allocation.
+    if (cfg_.mem.magazines.has_value()) {
+      mm_.allocator().setMagazinesEnabled(*cfg_.mem.magazines);
+    }
+    if (cfg_.effectiveReclaim() == ValueReclaim::Generational) headerPool_.emplace(mm_);
     ChunkT* head = ChunkT::make(metaHeap_, mm_, cmp_, ByteVec{}, cfg_.chunkCapacity);
     head_.store(head, std::memory_order_release);
     index_.put(ByteVec{}, head);
     chunkCount_.store(1, std::memory_order_relaxed);
+    // Background maintenance: share an external service when given one,
+    // otherwise own a pool when the effective thread count is non-zero.
+    maintSvc_ = cfg_.maintenance.service;
+    if (maintSvc_ == nullptr) {
+      const unsigned t = cfg_.maintenance.effectiveThreads();
+      if (t > 0) {
+        ownedSvc_ = std::make_unique<maint::MaintenanceService>(
+            t, cfg_.maintenance.rateLimitBytesPerSec, cfg_.maintenance.queueDepth);
+        maintSvc_ = ownedSvc_.get();
+      }
+    }
   }
 
   ~OakCoreMap() {
+    // First cut the maintenance service loose: cancel queued jobs naming
+    // this map and wait out in-flight ones — after detach no worker can
+    // touch the chunks we are about to free.
+    if (maintSvc_ != nullptr) maintSvc_->detach(this);
     // Quiescent teardown: reclaim chunks (live chain + retired) directly.
     ebr_.drainAll();
     ChunkT* c = head_.load(std::memory_order_relaxed);
@@ -522,9 +624,60 @@ class OakCoreMap {
     }
     m.gc = metaHeap_.stats();
     m.faultInjected = fault::injectedCount();
+    if (maintSvc_ != nullptr) {
+      const maint::MaintenanceStats ms = maintSvc_->stats();
+      m.maintPending = ms.pending;
+      m.maintInFlight = ms.inFlight;
+      m.maintThrottledMs = ms.throttledMs;
+      m.maintThreads = ms.threads;
+    }
     return m;
   }
   obs::StatsRegistry& statsRegistry() noexcept { return stats_; }
+
+  // ================================================ maintenance lifecycle
+  /// Stops background workers from picking up new jobs (in-flight ones
+  /// finish).  No-op without a configured pool.
+  void pauseMaintenance() {
+    if (maintSvc_ != nullptr) maintSvc_->pause();
+  }
+  void resumeMaintenance() {
+    if (maintSvc_ != nullptr) maintSvc_->resume();
+  }
+  /// Deterministic barrier: every queued maintenance job has run when this
+  /// returns (the caller executes them if workers are paused or throttled).
+  /// Tests and benchmarks use this as their fixed point.
+  void drainMaintenance() {
+    if (maintSvc_ != nullptr) maintSvc_->drain();
+  }
+  /// Service-level gauge snapshot (all zero without a configured pool).
+  maint::MaintenanceStats maintenanceStats() const {
+    return maintSvc_ != nullptr ? maintSvc_->stats() : maint::MaintenanceStats{};
+  }
+  /// The service this map submits to (owned or shared); null when
+  /// maintenance is inline.
+  maint::MaintenanceService* maintenanceService() noexcept { return maintSvc_; }
+
+  /// A key that splits this map's population roughly in half — the online
+  /// shard-split policy's boundary candidate.  Chunk granularity: the
+  /// middle chunk's minKey, or the middle of a lone chunk's sorted prefix.
+  /// Empty when the map is too small to split meaningfully.
+  ByteVec midKeyHint() {
+    sync::Ebr::Guard g(ebr_);
+    std::vector<ChunkT*> chain;
+    for (ChunkT* c = firstChunk(); c != nullptr;
+         c = c->nextChunk().load(std::memory_order_acquire)) {
+      chain.push_back(c);
+    }
+    if (chain.size() >= 2) {
+      // chain[size/2] is never index 0, so never the head's -inf sentinel.
+      return toVec(chain[chain.size() / 2]->minKey());
+    }
+    ChunkT* c = chain.front();
+    const std::int32_t sorted = c->sortedCount();
+    if (sorted >= 2) return toVec(c->keyAt(sorted / 2));
+    return ByteVec{};
+  }
   /// Drains deferred reclamation (retired chunks) — call from a quiescent
   /// state when precise footprint numbers matter (§3.2 footprint API).
   void quiesce() {
@@ -782,14 +935,73 @@ class OakCoreMap {
     }
   }
 
-  void maybeRebalanceAfterInsert(ChunkT* c) {
+  /// The advisory compaction policy (§3): too many linked-list bypasses
+  /// relative to the sorted prefix.  Floor of capacity/8 keeps append-heavy
+  /// chunks (fresh tails with a tiny sorted prefix) from compacting after
+  /// every handful of inserts.
+  bool wantsCompaction(ChunkT* c) const noexcept {
     const std::int32_t sorted = c->sortedCount();
     const std::int32_t unsorted = c->unsortedCount();
-    // Floor of capacity/8 keeps append-heavy chunks (fresh tails with a tiny
-    // sorted prefix) from compacting after every handful of inserts.
     const double base = std::max<double>(sorted, cfg_.chunkCapacity / 8.0);
-    if (unsorted > 8 && static_cast<double>(unsorted) > cfg_.maxUnsortedRatio * base) {
+    return unsorted > 8 &&
+           static_cast<double>(unsorted) > cfg_.maxUnsortedRatio * base;
+  }
+
+  void maybeRebalanceAfterInsert(ChunkT* c) {
+    if (!wantsCompaction(c)) return;
+    // Advisory compactions are maintenance, not correctness: with a
+    // background pool configured the mutator only *enqueues* the request
+    // and keeps going.  (kFull/kFrozen rebalances stay inline — there the
+    // chunk is blocking this writer's own progress.)
+    if (maintSvc_ == nullptr) {
       rebalance(c);
+      return;
+    }
+    scheduleRebalance(c);
+  }
+
+  /// Hands a compaction request to the maintenance service, deduped per
+  /// chunk by minKey.  A saturated queue falls back to the seed's inline
+  /// path (unless configured to drop).
+  void scheduleRebalance(ChunkT* c) {
+    const bool queued = maintSvc_->submit(
+        this, toVec(c->minKey()), c->footprintBytes(),
+        [](void* owner, const ByteVec& key) {
+          static_cast<OakCoreMap*>(owner)->backgroundRebalance(key);
+        });
+    if (queued) {
+      stats_.incCounter(obs::Counter::MaintQueued);
+    } else if (cfg_.maintenance.inlineFallback) {
+      stats_.incCounter(obs::Counter::MaintInlineFallback);
+      rebalance(c);
+    }
+  }
+
+  /// Worker-side rebalance.  Jobs name chunks by minKey because the queued
+  /// chunk may be retired (by a racing writer's kFull rebalance) before the
+  /// worker runs: re-locate under an epoch guard, skip if already
+  /// redirected, and re-check the policy against the chunk's current shape.
+  void backgroundRebalance(const ByteVec& key) {
+    sync::Ebr::Guard g(ebr_);
+    ChunkT* c = locateChunk(asBytes(key));
+    if (c->rebalancedTo().load(std::memory_order_acquire) != nullptr) return;
+    if (!wantsCompaction(c)) return;  // stale request
+    try {
+      // Chaos site: an OOM in a *worker* must roll back exactly like an
+      // inline one (walker-clean chain) and the request must survive to
+      // retry — no writer is waiting to re-trigger it.
+      OAK_FAULT_POINT("maint.worker", ManagedOutOfMemory);
+      rebalance(c);
+      stats_.incCounter(obs::Counter::MaintExecuted);
+    } catch (const std::bad_alloc&) {
+      try {
+        maintSvc_->submit(this, ByteVec(key), c->footprintBytes(),
+                          [](void* owner, const ByteVec& k) {
+                            static_cast<OakCoreMap*>(owner)->backgroundRebalance(k);
+                          });
+      } catch (const std::bad_alloc&) {
+        // Re-queueing failed under pressure; the next insert re-triggers.
+      }
     }
   }
 
@@ -1001,6 +1213,8 @@ class OakCoreMap {
   std::atomic<std::int64_t> chunkCount_{0};
   std::atomic<std::uint64_t> rebalances_{0};
   mutable obs::StatsRegistry stats_;
+  std::unique_ptr<maint::MaintenanceService> ownedSvc_;
+  maint::MaintenanceService* maintSvc_ = nullptr;  // owned or shared; null = inline
 
   friend class AscendIter;
   friend class DescendIter;

@@ -440,6 +440,18 @@ class BasicOakMap {
   std::size_t chunkCount() const { return core_.chunkCount(); }
   std::uint64_t rebalanceCount() const { return core_.rebalanceCount(); }
 
+  // --------------------------------------------------------- maintenance
+  /// Background-maintenance control (no-ops when the map runs without a
+  /// worker pool).  pause() parks the workers after their current job;
+  /// drain() runs every queued job on the calling thread and returns with
+  /// an empty queue — the usual pre-snapshot / pre-validation barrier.
+  void pauseMaintenance() { core_.pauseMaintenance(); }
+  void resumeMaintenance() { core_.resumeMaintenance(); }
+  void drainMaintenance() { core_.drainMaintenance(); }
+  maint::MaintenanceStats maintenanceStats() const {
+    return core_.maintenanceStats();
+  }
+
   Core& core() { return core_; }
 
  private:

@@ -1,36 +1,73 @@
 // ShardedOakCoreMap — a range-partitioned front-end over N independent
-// OakCoreMap instances.
+// OakCoreMap instances, with *online* shard management.
 //
 // Each shard is a full Oak core: its own chunk list, skiplist index, its
 // own MemoryManager arena region (carved from the shared BlockPool), and
 // its own EBR domain.  Rebalance serialization, allocator free lists, and
 // epoch advancement therefore stay local to a shard — contention and GC
-// pressure do not cross shard boundaries, which is the structural step the
-// ROADMAP's scaling trajectory (per-shard rebalance throttling, NUMA
-// pinning, async batching) builds on.
+// pressure do not cross shard boundaries.
 //
 //   * Point operations route by key through a ShardRouter binary search
 //     and keep the exact single-map linearization points (§4.5): one op
 //     touches exactly one shard, so per-shard linearizability composes to
 //     whole-map linearizability for point ops.
-//   * Ordered scans run a k-way merge over per-shard iterators: every
-//     intersecting shard contributes its stream, and the merge yields the
-//     globally smallest (resp. greatest) key next, zero-copy.  Each merged
-//     step's linearization point is the underlying shard iterator's entry
-//     read; the scan as a whole keeps the paper's non-atomic §4.2
+//   * Ordered scans run a k-way merge over per-shard iterators, each
+//     clamped to its shard's owned range, so cross-shard output is totally
+//     ordered and free of duplicates even after splits (see "migration
+//     leftovers" below).  The scan keeps the paper's non-atomic §4.2
 //     guarantees, exactly as a single-shard scan does.
-//   * stats() aggregates per-shard oak::Metrics into one whole-map
-//     snapshot that still carries the per-arena gauge vector.
+//
+// Online shard management (split/merge) follows the paper's publish/freeze
+// discipline (§4.1), lifted from chunks to shards:
+//
+//   The routing state lives in an immutable, epoch-published Table
+//   {version, router, cores, sealed-range}.  Every operation pins the
+//   current table through a per-thread hazard slot (store-then-recheck, the
+//   same shape as Chunk's publish array); the management thread publishes a
+//   new table and waits until no slot references an older one before it
+//   frees it.  Point ops therefore never block on a split or merge — at
+//   worst a *writer* into the sealed range spins for the copy window.
+//
+//   SPLIT(i) at key M:   v+1 publishes the same layout with [M, hi_i)
+//   sealed (writers to that range spin; readers proceed).  After the seal
+//   is quiescent the range is write-quiescent, so its entries are copied
+//   into a fresh core without locks.  v+2 publishes boundary M with the
+//   fresh core owning [M, hi_i).  The source core keeps the migrated
+//   entries as inert "migration leftovers": range clamping hides them from
+//   every post-split operation, and in-flight pre-split readers observing
+//   them is exactly the stale-read §4.2 already allows.  Leftovers are
+//   reclaimed with the core.
+//
+//   MERGE(i):   shard i is absorbed into shard i+1 (always leftward, so a
+//   core never receives keys below its owned range — that direction is
+//   what keeps leftovers from ever aliasing live entries).  v+1 seals
+//   shard i's whole range, the copy lands in shard i+1, and v+2 drops the
+//   boundary.  The absorbed core moves to a zombie list so outstanding
+//   zero-copy views (OakRBuffer) stay valid for the map's lifetime.
+//
+// Hot/cold detection (manageShardsOnce) compares per-shard op-count deltas
+// from the obs registries; with autoShardManage the check is submitted to
+// the shared MaintenanceService, so splits and merges run on background
+// workers, deduplicated like any other maintenance job.
 //
 // The typed facade is oak::ShardedOakMap<K, V, ...> (oak/map.hpp), the
 // same BasicOakMap body the plain OakMap uses — only the core differs.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "common/spin.hpp"
+#include "common/thread_registry.hpp"
+#include "maint/maintenance.hpp"
 #include "oak/core_map.hpp"
 #include "oak/shard_router.hpp"
 
@@ -41,10 +78,17 @@ struct ShardedOakConfig {
   /// carries explicit boundaries (then layout.shards() wins).
   std::size_t shards = 1;
   /// Per-shard core configuration (every shard gets an identical copy; the
-  /// BlockPool inside is shared, the arena regions are not).
+  /// BlockPool inside is shared, the arena regions are not).  Its nested
+  /// `maintenance` group also configures the *shared* service and the
+  /// shard-management policy (split/merge thresholds, autoShardManage).
   OakConfig shard;
   /// Boundary keys; empty => ShardLayout::uniformU64(shards).
   ShardLayout layout;
+
+  // ---- fluent setters (mirror OakConfig's builder style) ----
+  ShardedOakConfig& withShards(std::size_t n) { shards = n; return *this; }
+  ShardedOakConfig& withShard(OakConfig c) { shard = std::move(c); return *this; }
+  ShardedOakConfig& withLayout(ShardLayout l) { layout = std::move(l); return *this; }
 };
 
 template <class Compare = BytesComparator>
@@ -58,126 +102,185 @@ class ShardedOakCoreMap {
 
   explicit ShardedOakCoreMap(ShardedOakConfig cfg = ShardedOakConfig{},
                              Compare cmp = Compare{})
-      : router_(cfg.layout.boundaries.empty()
-                    ? ShardLayout::uniformU64(cfg.shards < 1 ? 1 : cfg.shards)
-                    : std::move(cfg.layout),
-                cmp),
-        cmp_(cmp) {
-    shards_.reserve(router_.shards());
-    for (std::size_t i = 0; i < router_.shards(); ++i) {
-      shards_.push_back(std::make_unique<Core>(cfg.shard, cmp));
+      : cmp_(cmp) {
+    ShardLayout layout = cfg.layout.boundaries.empty()
+                             ? ShardLayout::uniformU64(cfg.shards < 1 ? 1 : cfg.shards)
+                             : std::move(cfg.layout);
+    shardCfg_ = cfg.shard;
+    // One maintenance service for every shard (and for our own
+    // shard-management jobs): adopt the caller's, or own a pool when the
+    // config (or OAK_MAINT_THREADS) asks for workers.
+    svc_ = shardCfg_.maintenance.service;
+    if (svc_ == nullptr) {
+      const unsigned t = shardCfg_.maintenance.effectiveThreads();
+      if (t > 0) {
+        ownedSvc_ = std::make_unique<maint::MaintenanceService>(
+            t, shardCfg_.maintenance.rateLimitBytesPerSec,
+            shardCfg_.maintenance.queueDepth);
+        svc_ = ownedSvc_.get();
+      }
     }
+    shardCfg_.maintenance.service = svc_;
+    autoManage_ = shardCfg_.maintenance.autoShardManage;
+    checkOps_ = shardCfg_.maintenance.manageCheckOps < 1
+                    ? 1
+                    : shardCfg_.maintenance.manageCheckOps;
+    gate_ = std::make_unique<GateSlot[]>(kMaxThreads);
+    opTick_ = std::make_unique<OpTick[]>(kMaxThreads);
+
+    auto t0 = std::make_unique<Table>(ShardRouter<Compare>(std::move(layout), cmp_));
+    t0->cores.reserve(t0->router.shards());
+    for (std::size_t i = 0; i < t0->router.shards(); ++i) {
+      t0->cores.push_back(std::make_shared<Core>(shardCfg_, cmp_));
+    }
+    std::lock_guard<std::mutex> lk(mgmtMu_);
+    publishLocked(std::move(t0));
+  }
+
+  ~ShardedOakCoreMap() {
+    // Cancel queued shard-management jobs naming this map and wait out
+    // in-flight ones; each core then detaches itself in its own destructor.
+    if (svc_ != nullptr) svc_->detach(this);
   }
 
   ShardedOakCoreMap(const ShardedOakCoreMap&) = delete;
   ShardedOakCoreMap& operator=(const ShardedOakCoreMap&) = delete;
 
-  std::size_t shardCount() const noexcept { return shards_.size(); }
-  Core& shard(std::size_t i) noexcept { return *shards_[i]; }
-  const Core& shard(std::size_t i) const noexcept { return *shards_[i]; }
-  const ShardRouter<Compare>& router() const noexcept { return router_; }
+  // ================================================= shard accessors ==
+  // These read the current table without pinning it: the returned
+  // references are stable only while no concurrent shard management runs
+  // (tests and tooling call them at quiescent points; the data path never
+  // does).
+  std::size_t shardCount() const noexcept {
+    return table_.load(std::memory_order_acquire)->cores.size();
+  }
+  Core& shard(std::size_t i) noexcept {
+    return *table_.load(std::memory_order_acquire)->cores[i];
+  }
+  const Core& shard(std::size_t i) const noexcept {
+    return *table_.load(std::memory_order_acquire)->cores[i];
+  }
+  const ShardRouter<Compare>& router() const noexcept {
+    return table_.load(std::memory_order_acquire)->router;
+  }
   const Compare& comparator() const noexcept { return cmp_; }
 
   /// Shard a key routes to (exposed for tests and placement-aware callers).
   std::size_t shardFor(ByteSpan key) const noexcept {
-    return router_.shardFor(key);
+    return table_.load(std::memory_order_acquire)->router.shardFor(key);
   }
 
   // ====================================================== point ops ==
-  // Exactly the OakCoreMap surface; each call touches one shard.
-  std::optional<OakRBuffer> get(ByteSpan key) { return route(key).get(key); }
-  std::optional<ByteVec> getCopy(ByteSpan key) { return route(key).getCopy(key); }
-  bool containsKey(ByteSpan key) { return route(key).containsKey(key); }
+  // Exactly the OakCoreMap surface; each call pins the current table,
+  // routes to one shard, and (for writes) spins out of a sealed range.
+  std::optional<OakRBuffer> get(ByteSpan key) {
+    return readOp(key, [&](Core& c) { return c.get(key); });
+  }
+  std::optional<ByteVec> getCopy(ByteSpan key) {
+    return readOp(key, [&](Core& c) { return c.getCopy(key); });
+  }
+  bool containsKey(ByteSpan key) {
+    return readOp(key, [&](Core& c) { return c.containsKey(key); });
+  }
 
   bool put(ByteSpan key, ByteSpan value, ByteVec* old = nullptr) {
-    return route(key).put(key, value, old);
+    return writeOp(key, [&](Core& c) { return c.put(key, value, old); });
   }
   bool putIfAbsent(ByteSpan key, ByteSpan value) {
-    return route(key).putIfAbsent(key, value);
+    return writeOp(key, [&](Core& c) { return c.putIfAbsent(key, value); });
   }
   template <class F>
   void putIfAbsentComputeIfPresent(ByteSpan key, ByteSpan value, F&& func) {
-    route(key).putIfAbsentComputeIfPresent(key, value, std::forward<F>(func));
+    writeOp(key, [&](Core& c) {
+      c.putIfAbsentComputeIfPresent(key, value, std::forward<F>(func));
+      return true;
+    });
   }
   template <class F>
   bool computeIfPresent(ByteSpan key, F&& func) {
-    return route(key).computeIfPresent(key, std::forward<F>(func));
+    return writeOp(key, [&](Core& c) {
+      return c.computeIfPresent(key, std::forward<F>(func));
+    });
   }
   bool remove(ByteSpan key, ByteVec* old = nullptr) {
-    return route(key).remove(key, old);
+    return writeOp(key, [&](Core& c) { return c.remove(key, old); });
   }
   bool replace(ByteSpan key, ByteSpan value, ByteVec* old = nullptr) {
-    return route(key).replace(key, value, old);
+    return writeOp(key, [&](Core& c) { return c.replace(key, value, old); });
   }
   bool replaceIf(ByteSpan key, ByteSpan expected, ByteSpan desired) {
-    return route(key).replaceIf(key, expected, desired);
+    return writeOp(key, [&](Core& c) { return c.replaceIf(key, expected, desired); });
   }
 
   /// Degraded-path ops (Status instead of OOM exceptions); one shard each,
   /// so the retry ladder and emergency reserve are the owning shard's.
   Status tryPut(ByteSpan key, ByteSpan value) {
-    return route(key).tryPut(key, value);
+    return writeOp(key, [&](Core& c) { return c.tryPut(key, value); });
   }
   template <class F>
   Status tryCompute(ByteSpan key, F&& func, bool* computed = nullptr) {
-    return route(key).tryCompute(key, std::forward<F>(func), computed);
+    return writeOp(key, [&](Core& c) {
+      return c.tryCompute(key, std::forward<F>(func), computed);
+    });
   }
 
   // ==================================================== navigation ==
-  // Range partitioning makes navigation a shard-local query plus a walk
-  // towards the neighbors until one answers.
+  // Expressed through the clamped merged scans, exactly like the plain
+  // core expresses them through its own iterators — which makes range
+  // clamping (migration leftovers!) a single-point concern.
   std::optional<KeyedEntry> firstEntry() {
-    for (auto& s : shards_) {
-      if (auto e = s->firstEntry()) return e;
-    }
-    return std::nullopt;
+    AscendIter it = ascend();
+    return takeFirst(it);
   }
   std::optional<KeyedEntry> lastEntry() {
-    for (std::size_t i = shards_.size(); i-- > 0;) {
-      if (auto e = shards_[i]->lastEntry()) return e;
-    }
-    return std::nullopt;
+    DescendIter it = descend();
+    return takeFirst(it);
   }
   std::optional<KeyedEntry> ceilingEntry(ByteSpan key) {
-    for (std::size_t i = router_.shardFor(key); i < shards_.size(); ++i) {
-      if (auto e = shards_[i]->ceilingEntry(key)) return e;
-    }
-    return std::nullopt;
+    AscendIter it = ascend(toVec(key));
+    return takeFirst(it);
   }
   std::optional<KeyedEntry> higherEntry(ByteSpan key) {
-    for (std::size_t i = router_.shardFor(key); i < shards_.size(); ++i) {
-      if (auto e = shards_[i]->higherEntry(key)) return e;
-    }
-    return std::nullopt;
+    AscendIter it = ascend(toVec(key));
+    if (it.valid() && bytesEqual(it.entry().key, key)) it.next();
+    return takeFirst(it);
   }
   std::optional<KeyedEntry> floorEntry(ByteSpan key) {
-    for (std::size_t i = router_.shardFor(key) + 1; i-- > 0;) {
-      if (auto e = shards_[i]->floorEntry(key)) return e;
-    }
-    return std::nullopt;
+    ByteVec hi = toVec(key);
+    hi.push_back(std::byte{0});  // probe's exclusive successor in byte order
+    DescendIter it = descend(std::nullopt, std::move(hi));
+    return takeFirst(it);
   }
   std::optional<KeyedEntry> lowerEntry(ByteSpan key) {
-    for (std::size_t i = router_.shardFor(key) + 1; i-- > 0;) {
-      if (auto e = shards_[i]->lowerEntry(key)) return e;
-    }
-    return std::nullopt;
+    DescendIter it = descend(std::nullopt, toVec(key));
+    return takeFirst(it);
   }
 
   // =================================================== merged scans ==
-  /// Ascending k-way merge over per-shard stream iterators.  Each shard
-  /// iterator pins its own shard's epoch; the merge picks the globally
-  /// least key next, so cross-shard output is totally ordered without any
-  /// shard-to-shard synchronization.
+  /// Ascending k-way merge over per-shard stream iterators, each clamped
+  /// to [shard lower bound, shard upper bound) so migration leftovers in a
+  /// split source core never surface.  Iterators hold shared ownership of
+  /// the cores they read: a concurrent merge retiring a core never
+  /// invalidates a running scan.
   class AscendIter {
    public:
     AscendIter(ShardedOakCoreMap& m, std::optional<ByteVec> lo,
                std::optional<ByteVec> hi, ScanOptions opts)
         : map_(&m) {
-      const std::size_t first = m.router_.lowerShard(lo);
-      const std::size_t last = m.router_.upperShard(hi);
-      for (std::size_t i = first; i <= last && i < m.shards_.size(); ++i) {
+      TableRef tr(m);
+      const Table& t = *tr;
+      const std::size_t n = t.cores.size();
+      const std::size_t first = t.router.lowerShard(lo);
+      const std::size_t last = std::min(t.router.upperShard(hi), n - 1);
+      for (std::size_t i = first; i <= last; ++i) {
+        std::optional<ByteVec> effHi = hi;
+        if (i + 1 < n) {
+          ByteVec ub = toVec(t.router.boundary(i));
+          if (!effHi || m.cmp_(asBytes(ub), asBytes(*effHi)) < 0) effHi = std::move(ub);
+        }
+        cores_.push_back(t.cores[i]);
         iters_.push_back(std::make_unique<typename Core::AscendIter>(
-            *m.shards_[i], lo, hi, opts));
+            *t.cores[i], lo, std::move(effHi), opts));
       }
       pick();
     }
@@ -204,21 +307,32 @@ class ShardedOakCoreMap {
     }
 
     ShardedOakCoreMap* map_;
+    std::vector<std::shared_ptr<Core>> cores_;  // keepalive across merges
     std::vector<std::unique_ptr<typename Core::AscendIter>> iters_;
     std::size_t cur_ = kNoneIdx;
   };
 
-  /// Descending k-way merge: picks the globally greatest key next.
+  /// Descending k-way merge: picks the globally greatest key next.  Same
+  /// clamping and core keepalive as AscendIter.
   class DescendIter {
    public:
     DescendIter(ShardedOakCoreMap& m, std::optional<ByteVec> lo,
                 std::optional<ByteVec> hi, ScanOptions opts)
         : map_(&m) {
-      const std::size_t first = m.router_.lowerShard(lo);
-      const std::size_t last = m.router_.upperShard(hi);
-      for (std::size_t i = first; i <= last && i < m.shards_.size(); ++i) {
+      TableRef tr(m);
+      const Table& t = *tr;
+      const std::size_t n = t.cores.size();
+      const std::size_t first = t.router.lowerShard(lo);
+      const std::size_t last = std::min(t.router.upperShard(hi), n - 1);
+      for (std::size_t i = first; i <= last; ++i) {
+        std::optional<ByteVec> effHi = hi;
+        if (i + 1 < n) {
+          ByteVec ub = toVec(t.router.boundary(i));
+          if (!effHi || m.cmp_(asBytes(ub), asBytes(*effHi)) < 0) effHi = std::move(ub);
+        }
+        cores_.push_back(t.cores[i]);
         iters_.push_back(std::make_unique<typename Core::DescendIter>(
-            *m.shards_[i], lo, hi, opts));
+            *t.cores[i], lo, std::move(effHi), opts));
       }
       pick();
     }
@@ -245,6 +359,7 @@ class ShardedOakCoreMap {
     }
 
     ShardedOakCoreMap* map_;
+    std::vector<std::shared_ptr<Core>> cores_;
     std::vector<std::unique_ptr<typename Core::DescendIter>> iters_;
     std::size_t cur_ = kNoneIdx;
   };
@@ -260,63 +375,520 @@ class ShardedOakCoreMap {
     return DescendIter(*this, std::move(lo), std::move(hi), opts);
   }
 
+  // ============================================ online shard management ==
+  /// Splits shard `idx` at the median of its owned range.  Returns false
+  /// when the shard is too small to pick a split key (or `idx` is out of
+  /// range, or the copy hit OOM and rolled back).
+  bool splitShard(std::size_t idx) {
+    std::lock_guard<std::mutex> lk(mgmtMu_);
+    return splitLocked(idx, ByteVec{});
+  }
+  /// Splits shard `idx` at an explicit key, which must lie strictly inside
+  /// the shard's owned range.
+  bool splitShardAt(std::size_t idx, ByteVec midKey) {
+    std::lock_guard<std::mutex> lk(mgmtMu_);
+    return splitLocked(idx, std::move(midKey));
+  }
+  /// Merges shard `idx` into its right neighbor `idx + 1` (the absorbed
+  /// core is kept as a zombie so outstanding views stay valid).
+  bool mergeShards(std::size_t idx) {
+    std::lock_guard<std::mutex> lk(mgmtMu_);
+    return mergeLocked(idx);
+  }
+
+  /// One hot/cold policy check: splits the hottest shard when its share of
+  /// recent point ops exceeds splitLoadFactor times an even share (and it
+  /// has at least minSplitChunks chunks), else merges the coldest adjacent
+  /// pair when their combined share falls below mergeLoadFactor of even.
+  /// Reads per-shard op counts from the obs registries, so with OAK_STATS=0
+  /// it is a no-op.  Returns true iff a layout change was published.
+  bool manageShardsOnce() {
+    std::lock_guard<std::mutex> lk(mgmtMu_);
+    return manageLocked();
+  }
+
+  // ==================================================== maintenance ==
+  void pauseMaintenance() {
+    if (svc_ != nullptr) svc_->pause();
+  }
+  void resumeMaintenance() {
+    if (svc_ != nullptr) svc_->resume();
+  }
+  void drainMaintenance() {
+    if (svc_ != nullptr) svc_->drain();
+  }
+  maint::MaintenanceStats maintenanceStats() const {
+    return svc_ != nullptr ? svc_->stats() : maint::MaintenanceStats{};
+  }
+  maint::MaintenanceService* maintenanceService() noexcept { return svc_; }
+
   // ========================================================= stats ==
   std::size_t sizeSlow() {
     std::size_t n = 0;
-    for (auto& s : shards_) n += s->sizeSlow();
+    for (AscendIter it = ascend(); it.valid(); it.next()) ++n;
     return n;
   }
-  std::size_t offHeapFootprintBytes() const noexcept {
+  std::size_t offHeapFootprintBytes() const {
+    std::lock_guard<std::mutex> lk(mgmtMu_);
     std::size_t n = 0;
-    for (const auto& s : shards_) n += s->offHeapFootprintBytes();
+    forEachCoreLocked([&](const Core& c) { n += c.offHeapFootprintBytes(); });
     return n;
   }
-  std::size_t offHeapAllocatedBytes() const noexcept {
+  std::size_t offHeapAllocatedBytes() const {
+    std::lock_guard<std::mutex> lk(mgmtMu_);
     std::size_t n = 0;
-    for (const auto& s : shards_) n += s->offHeapAllocatedBytes();
+    forEachCoreLocked([&](const Core& c) { n += c.offHeapAllocatedBytes(); });
     return n;
   }
-  std::size_t chunkCount() const noexcept {
+  std::size_t chunkCount() const {
+    std::lock_guard<std::mutex> lk(mgmtMu_);
     std::size_t n = 0;
-    for (const auto& s : shards_) n += s->chunkCount();
+    forEachCoreLocked([&](const Core& c) { n += c.chunkCount(); });
     return n;
   }
-  std::uint64_t rebalanceCount() const noexcept {
+  /// Rebalances across current shards *and* zombies — monotone across
+  /// merges, and includes background-executed rebalances (the core's
+  /// counter does not care who ran the protocol).
+  std::uint64_t rebalanceCount() const {
+    std::lock_guard<std::mutex> lk(mgmtMu_);
     std::uint64_t n = 0;
-    for (const auto& s : shards_) n += s->rebalanceCount();
+    forEachCoreLocked([&](const Core& c) { n += c.rebalanceCount(); });
     return n;
   }
 
   /// Whole-map observability snapshot: per-shard Metrics folded into one
-  /// (counter/gauge sums, max EBR lag) that keeps the per-arena vector so
-  /// the obs layer reports both per-shard and whole-map views.
+  /// (counter/gauge sums, max EBR lag, maintenance gauges absorbed with
+  /// max since every shard reports the same shared service).  Zombie cores
+  /// are folded in too, so op and rebalance counters never step backwards
+  /// across a merge — but only live shards count toward `shards`.
   obs::Metrics stats() const {
+    std::lock_guard<std::mutex> lk(mgmtMu_);
+    const Table* t = table_.load(std::memory_order_acquire);
     std::vector<obs::Metrics> per;
-    per.reserve(shards_.size());
-    for (const auto& s : shards_) per.push_back(s->stats());
-    return obs::Metrics::aggregate(per);
+    per.reserve(t->cores.size() + zombies_.size());
+    for (const auto& c : t->cores) per.push_back(c->stats());
+    for (const auto& z : zombies_) per.push_back(z->stats());
+    obs::Metrics m = obs::Metrics::aggregate(per);
+    m.shards = t->cores.size();
+    return m;
   }
-  /// Per-shard snapshots (one oak::Metrics per shard, unaggregated).
+  /// Per-shard snapshots (one oak::Metrics per live shard, unaggregated).
   std::vector<obs::Metrics> shardStats() const {
+    std::lock_guard<std::mutex> lk(mgmtMu_);
+    const Table* t = table_.load(std::memory_order_acquire);
     std::vector<obs::Metrics> per;
-    per.reserve(shards_.size());
-    for (const auto& s : shards_) per.push_back(s->stats());
+    per.reserve(t->cores.size());
+    for (const auto& c : t->cores) per.push_back(c->stats());
     return per;
   }
 
   /// Drains deferred reclamation in every shard's EBR domain.
   void quiesce() {
-    for (auto& s : shards_) s->quiesce();
+    std::lock_guard<std::mutex> lk(mgmtMu_);
+    forEachCoreLocked([&](const Core& c) { const_cast<Core&>(c).quiesce(); });
   }
 
  private:
-  Core& route(ByteSpan key) noexcept {
-    return *shards_[router_.shardFor(key)];
+  // ------------------------------------------------- published tables --
+  // Immutable routing state.  A new Table is built off-path under mgmtMu_,
+  // published with one seq_cst store, and freed only after every hazard
+  // slot has moved past it.
+  struct Table {
+    std::uint64_t version = 0;
+    ShardRouter<Compare> router;
+    std::vector<std::shared_ptr<Core>> cores;
+    // Sealed write range [sealLo, sealHi) — writers spin, readers proceed.
+    // nullopt bounds mean -inf / +inf.
+    bool sealed = false;
+    std::optional<ByteVec> sealLo;
+    std::optional<ByteVec> sealHi;
+
+    explicit Table(ShardRouter<Compare> r) : router(std::move(r)) {}
+  };
+
+  struct alignas(64) GateSlot {
+    std::atomic<Table*> t{nullptr};
+    std::atomic<std::uint32_t> depth{0};
+  };
+  struct alignas(64) OpTick {
+    std::atomic<std::uint64_t> n{0};
+  };
+
+  /// Hazard-slot pin on the current table (store-then-recheck, the same
+  /// shape as Chunk's publish array and classic hazard pointers).  Nested
+  /// acquisitions on one thread reuse the outer pin.
+  class TableRef {
+   public:
+    explicit TableRef(const ShardedOakCoreMap& m)
+        : m_(&m), tid_(ThreadRegistry::id()) {
+      GateSlot& s = m.gate_[tid_];
+      const std::uint32_t d = s.depth.load(std::memory_order_relaxed);
+      s.depth.store(d + 1, std::memory_order_relaxed);
+      if (d > 0) {
+        t_ = s.t.load(std::memory_order_relaxed);
+        return;
+      }
+      for (;;) {
+        Table* t = m.table_.load(std::memory_order_acquire);
+        s.t.store(t, std::memory_order_seq_cst);
+        if (m.table_.load(std::memory_order_seq_cst) == t) {
+          t_ = t;
+          return;
+        }
+      }
+    }
+    ~TableRef() {
+      GateSlot& s = m_->gate_[tid_];
+      const std::uint32_t d = s.depth.load(std::memory_order_relaxed) - 1;
+      s.depth.store(d, std::memory_order_relaxed);
+      if (d == 0) s.t.store(nullptr, std::memory_order_release);
+    }
+    TableRef(const TableRef&) = delete;
+    TableRef& operator=(const TableRef&) = delete;
+
+    Table& operator*() const noexcept { return *t_; }
+    Table* operator->() const noexcept { return t_; }
+
+   private:
+    const ShardedOakCoreMap* m_;
+    std::uint32_t tid_;
+    Table* t_;
+  };
+  friend class TableRef;
+
+  bool writeSealed(const Table& t, ByteSpan key) const {
+    if (!t.sealed) return false;
+    if (t.sealLo && cmp_(key, asBytes(*t.sealLo)) < 0) return false;
+    if (t.sealHi && cmp_(key, asBytes(*t.sealHi)) >= 0) return false;
+    return true;
   }
 
-  ShardRouter<Compare> router_;
+  template <class F>
+  auto readOp(ByteSpan key, F&& f) {
+    noteOp();
+    TableRef t(*this);
+    return f(*t->cores[t->router.shardFor(key)]);
+  }
+
+  template <class F>
+  auto writeOp(ByteSpan key, F&& f) {
+    noteOp();
+    Backoff b;
+    for (;;) {
+      {
+        TableRef t(*this);
+        if (!writeSealed(*t, key)) {
+          return f(*t->cores[t->router.shardFor(key)]);
+        }
+      }  // release the pin while spinning: the publisher must make progress
+      b.pause();
+    }
+  }
+
+  template <class It>
+  std::optional<KeyedEntry> takeFirst(It& it) {
+    if (!it.valid()) return std::nullopt;
+    auto e = it.entry();
+    return KeyedEntry{toVec(e.key), OakRBuffer::forValue(e.value)};
+  }
+
+  // -------------------------------------------------- publish / prune --
+  Table* publishLocked(std::unique_ptr<Table> t) {
+    t->version = tables_.empty()
+                     ? 1
+                     : table_.load(std::memory_order_relaxed)->version + 1;
+    Table* p = t.get();
+    tables_.push_back(std::move(t));
+    table_.store(p, std::memory_order_seq_cst);
+    return p;
+  }
+
+  /// Waits until no hazard slot references a table other than `current`.
+  /// Transient older stores from the acquire loop retract on their own
+  /// (the re-check fails once table_ has moved), so this terminates.
+  void awaitQuiescentLocked(const Table* current) const {
+    for (std::uint32_t i = 0; i < kMaxThreads; ++i) {
+      Backoff b;
+      for (;;) {
+        Table* t = gate_[i].t.load(std::memory_order_seq_cst);
+        if (t == nullptr || t == current) break;
+        b.pause();
+      }
+    }
+  }
+
+  /// Frees superseded tables; cores that left the layout move to the
+  /// zombie list so outstanding OakRBuffer views stay valid for the map's
+  /// lifetime (scans hold their own shared_ptr and do not need this).
+  void pruneLocked() {
+    Table* cur = table_.load(std::memory_order_relaxed);
+    awaitQuiescentLocked(cur);
+    for (const auto& up : tables_) {
+      if (up.get() == cur) continue;
+      for (const auto& c : up->cores) {
+        bool live = false;
+        for (const auto& cc : cur->cores) {
+          if (cc == c) { live = true; break; }
+        }
+        if (live) continue;
+        bool seen = false;
+        for (const auto& z : zombies_) {
+          if (z == c) { seen = true; break; }
+        }
+        if (!seen) zombies_.push_back(c);
+      }
+    }
+    tables_.erase(std::remove_if(tables_.begin(), tables_.end(),
+                                 [cur](const std::unique_ptr<Table>& t) {
+                                   return t.get() != cur;
+                                 }),
+                  tables_.end());
+  }
+
+  // --------------------------------------------------- owned ranges --
+  static std::optional<ByteVec> ownedLower(const Table& t, std::size_t i) {
+    if (i == 0) return std::nullopt;
+    return toVec(t.router.boundary(i - 1));
+  }
+  static std::optional<ByteVec> ownedUpper(const Table& t, std::size_t i) {
+    if (i + 1 >= t.cores.size()) return std::nullopt;
+    return toVec(t.router.boundary(i));
+  }
+  static std::vector<ByteVec> boundsOf(const Table& t) {
+    std::vector<ByteVec> b;
+    b.reserve(t.router.shards() - 1);
+    for (std::size_t i = 0; i + 1 < t.router.shards(); ++i) {
+      b.push_back(toVec(t.router.boundary(i)));
+    }
+    return b;
+  }
+
+  template <class F>
+  void forEachCoreLocked(F&& f) const {
+    const Table* t = table_.load(std::memory_order_acquire);
+    for (const auto& c : t->cores) f(*c);
+    for (const auto& z : zombies_) f(*z);
+  }
+
+  // ---------------------------------------------------- split / merge --
+  /// Median key of the shard's *owned* range (leftovers excluded), via two
+  /// clamped passes.  Empty result: too few live entries to split.
+  ByteVec pickSplitKey(Core& src, const std::optional<ByteVec>& lo,
+                       const std::optional<ByteVec>& hi) {
+    std::size_t n = 0;
+    for (auto it = src.ascend(lo, hi); it.valid(); it.next()) ++n;
+    if (n < 2) return ByteVec{};
+    auto it = src.ascend(lo, hi);
+    for (std::size_t i = 0; i < n / 2; ++i) it.next();
+    return toVec(it.entry().key);
+  }
+
+  bool splitLocked(std::size_t idx, ByteVec mid) {
+    Table& cur = *table_.load(std::memory_order_relaxed);
+    const std::size_t n = cur.cores.size();
+    if (idx >= n) return false;
+    const std::optional<ByteVec> lo = ownedLower(cur, idx);
+    const std::optional<ByteVec> hi = ownedUpper(cur, idx);
+    if (mid.empty()) mid = pickSplitKey(*cur.cores[idx], lo, hi);
+    if (mid.empty()) return false;
+    if (lo && cmp_(asBytes(mid), asBytes(*lo)) <= 0) return false;
+    if (hi && cmp_(asBytes(mid), asBytes(*hi)) >= 0) return false;
+
+    std::shared_ptr<Core> src = cur.cores[idx];
+
+    // Phase 1: seal [mid, hi) for writers and wait until every thread sees
+    // the seal — after that the range is write-quiescent in `src`.
+    {
+      auto v = std::make_unique<Table>(cur.router);
+      v->cores = cur.cores;
+      v->sealed = true;
+      v->sealLo = mid;
+      v->sealHi = hi;
+      awaitQuiescentLocked(publishLocked(std::move(v)));
+    }
+
+    // Phase 2: copy the sealed range into a fresh core.  Values are
+    // write-quiescent, so plain reads + puts are a consistent snapshot.
+    std::shared_ptr<Core> fresh;
+    try {
+      fresh = std::make_shared<Core>(shardCfg_, cmp_);
+      ByteVec val;
+      for (auto it = src->ascend(mid, hi); it.valid(); it.next()) {
+        auto e = it.entry();
+        val.clear();
+        if (!e.value.read([&](ByteSpan s) { val.assign(s.begin(), s.end()); })) {
+          continue;  // deleted-but-linked: nothing to migrate
+        }
+        fresh->put(e.key, asBytes(val));
+      }
+    } catch (const std::bad_alloc&) {
+      // Roll back: unseal under the old layout; the split never happened.
+      auto v = std::make_unique<Table>(cur.router);
+      v->cores = cur.cores;
+      publishLocked(std::move(v));
+      pruneLocked();
+      return false;
+    }
+
+    // Phase 3: publish boundary `mid` with the fresh core owning [mid, hi).
+    // `src` keeps the migrated entries as inert leftovers (see file header).
+    std::vector<ByteVec> bounds = boundsOf(cur);
+    bounds.insert(bounds.begin() + static_cast<std::ptrdiff_t>(idx), mid);
+    auto v = std::make_unique<Table>(
+        ShardRouter<Compare>(ShardLayout::at(std::move(bounds)), cmp_));
+    v->cores = cur.cores;
+    v->cores.insert(v->cores.begin() + static_cast<std::ptrdiff_t>(idx) + 1, fresh);
+    publishLocked(std::move(v));
+    pruneLocked();
+    src->statsRegistry().incCounter(obs::Counter::ShardSplit);
+    return true;
+  }
+
+  bool mergeLocked(std::size_t idx) {
+    Table& cur = *table_.load(std::memory_order_relaxed);
+    const std::size_t n = cur.cores.size();
+    if (n < 2 || idx + 1 >= n) return false;
+    const std::optional<ByteVec> lo = ownedLower(cur, idx);
+    const ByteVec b = toVec(cur.router.boundary(idx));
+    std::shared_ptr<Core> absorbed = cur.cores[idx];
+    std::shared_ptr<Core> into = cur.cores[idx + 1];
+
+    // Phase 1: seal the absorbed shard's whole range [lo, b).
+    {
+      auto v = std::make_unique<Table>(cur.router);
+      v->cores = cur.cores;
+      v->sealed = true;
+      v->sealLo = lo;
+      v->sealHi = b;
+      awaitQuiescentLocked(publishLocked(std::move(v)));
+    }
+
+    // Phase 2: copy into the right neighbor.  Leftward absorption only:
+    // `into` never held keys below its owned range, so these puts cannot
+    // alias stale leftovers (which sit *above* a core's owned range).
+    try {
+      ByteVec val;
+      for (auto it = absorbed->ascend(lo, b); it.valid(); it.next()) {
+        auto e = it.entry();
+        val.clear();
+        if (!e.value.read([&](ByteSpan s) { val.assign(s.begin(), s.end()); })) {
+          continue;
+        }
+        into->put(e.key, asBytes(val));
+      }
+    } catch (const std::bad_alloc&) {
+      auto v = std::make_unique<Table>(cur.router);
+      v->cores = cur.cores;
+      publishLocked(std::move(v));
+      pruneLocked();
+      return false;
+    }
+
+    // Phase 3: drop boundary idx; the absorbed core becomes a zombie.
+    std::vector<ByteVec> bounds = boundsOf(cur);
+    bounds.erase(bounds.begin() + static_cast<std::ptrdiff_t>(idx));
+    auto v = std::make_unique<Table>(
+        ShardRouter<Compare>(ShardLayout::at(std::move(bounds)), cmp_));
+    v->cores = cur.cores;
+    v->cores.erase(v->cores.begin() + static_cast<std::ptrdiff_t>(idx));
+    publishLocked(std::move(v));
+    pruneLocked();
+    into->statsRegistry().incCounter(obs::Counter::ShardMerge);
+    return true;
+  }
+
+  // ---------------------------------------------------- hot/cold policy --
+  static constexpr std::uint64_t kManageMinOps = 1024;
+
+  bool manageLocked() {
+    const Table* t = table_.load(std::memory_order_relaxed);
+    const std::size_t n = t->cores.size();
+    const maint::MaintenanceConfig& mc = shardCfg_.maintenance;
+
+    // Per-shard point-op deltas since the last check (counters are
+    // monotone; cores are keyed by address so fresh cores start at 0).
+    std::vector<std::uint64_t> load(n, 0);
+    std::uint64_t total = 0;
+    std::map<const void*, std::uint64_t> now;
+    for (std::size_t i = 0; i < n; ++i) {
+      const obs::RegistrySnapshot s = t->cores[i]->statsRegistry().snapshot();
+      std::uint64_t ops = 0;
+      for (const obs::Op o :
+           {obs::Op::Get, obs::Op::GetCopy, obs::Op::Put, obs::Op::PutIfAbsent,
+            obs::Op::PutIfAbsentCompute, obs::Op::Compute, obs::Op::Remove}) {
+        ops += s.op(o).count;
+      }
+      const void* key = t->cores[i].get();
+      const auto prev = lastOps_.find(key);
+      load[i] = ops - (prev != lastOps_.end() ? prev->second : 0);
+      total += load[i];
+      now[key] = ops;
+    }
+    lastOps_.swap(now);
+    if (total < kManageMinOps) return false;
+
+    std::size_t hot = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (load[i] > load[hot]) hot = i;
+    }
+    if (n < mc.maxShards &&
+        static_cast<double>(load[hot]) * static_cast<double>(n) >
+            mc.splitLoadFactor * static_cast<double>(total) &&
+        t->cores[hot]->chunkCount() >= mc.minSplitChunks) {
+      if (splitLocked(hot, ByteVec{})) return true;
+    }
+
+    if (n >= 2) {
+      std::size_t cold = 0;
+      std::uint64_t best = ~std::uint64_t{0};
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        if (load[i] + load[i + 1] < best) {
+          best = load[i] + load[i + 1];
+          cold = i;
+        }
+      }
+      if (static_cast<double>(best) * static_cast<double>(n) <
+          mc.mergeLoadFactor * static_cast<double>(total)) {
+        return mergeLocked(cold);
+      }
+    }
+    return false;
+  }
+
+  void noteOp() {
+    if (!autoManage_) return;
+    OpTick& slot = opTick_[ThreadRegistry::id()];
+    const std::uint64_t k = slot.n.load(std::memory_order_relaxed) + 1;
+    slot.n.store(k, std::memory_order_relaxed);
+    if (k % checkOps_ != 0) return;
+    if (svc_ != nullptr) {
+      // Deduped like any chunk job; the empty key tags "shard management".
+      svc_->submit(this, ByteVec{}, 0, [](void* self, const ByteVec&) {
+        static_cast<ShardedOakCoreMap*>(self)->manageShardsOnce();
+      });
+    } else {
+      manageShardsOnce();
+    }
+  }
+
+  // Declaration order is destruction-critical: tables_/zombies_ (the
+  // cores) must be destroyed before ownedSvc_ — each core's destructor
+  // detaches from the service.
   Compare cmp_;
-  std::vector<std::unique_ptr<Core>> shards_;
+  OakConfig shardCfg_;  // per-core config with the shared service injected
+  std::unique_ptr<maint::MaintenanceService> ownedSvc_;
+  maint::MaintenanceService* svc_ = nullptr;
+
+  mutable std::mutex mgmtMu_;
+  std::vector<std::unique_ptr<Table>> tables_;  // current + not-yet-pruned
+  std::vector<std::shared_ptr<Core>> zombies_;  // merged-away cores
+  std::atomic<Table*> table_{nullptr};
+  mutable std::unique_ptr<GateSlot[]> gate_;
+
+  bool autoManage_ = false;
+  std::uint64_t checkOps_ = 1 << 16;
+  std::unique_ptr<OpTick[]> opTick_;
+  std::map<const void*, std::uint64_t> lastOps_;  // op counts at last check
 };
 
 }  // namespace oak

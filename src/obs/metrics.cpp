@@ -45,12 +45,24 @@ std::string Metrics::toJson() const {
           "\"counters\":{\"rebalance\":%" PRIu64 ",\"chunk_split\":%" PRIu64
           ",\"chunk_merge\":%" PRIu64 ",\"op_retries\":%" PRIu64
           ",\"resource_exhausted\":%" PRIu64 ",\"fault_injected\":%" PRIu64
+          ",\"shard_split\":%" PRIu64 ",\"shard_merge\":%" PRIu64
           "},\"chunks\":%" PRIu64 ",\"shards\":%" PRIu64 ",",
           rebalances, registry.counter(Counter::ChunkSplit),
           registry.counter(Counter::ChunkMerge),
           registry.counter(Counter::OpRetries),
           registry.counter(Counter::ResourceExhausted), faultInjected,
-          chunkCount, shards);
+          registry.counter(Counter::ShardSplit),
+          registry.counter(Counter::ShardMerge), chunkCount, shards);
+
+  appendf(j,
+          "\"maint\":{\"queued\":%" PRIu64 ",\"executed\":%" PRIu64
+          ",\"inline_fallback\":%" PRIu64 ",\"pending\":%" PRIu64
+          ",\"in_flight\":%" PRIu64 ",\"throttled_ms\":%" PRIu64
+          ",\"threads\":%" PRIu64 "},",
+          registry.counter(Counter::MaintQueued),
+          registry.counter(Counter::MaintExecuted),
+          registry.counter(Counter::MaintInlineFallback), maintPending,
+          maintInFlight, maintThrottledMs, maintThreads);
 
   appendf(j,
           "\"alloc\":{\"footprint_bytes\":%zu,\"allocated_bytes\":%zu,"
@@ -131,6 +143,18 @@ std::string Metrics::toText() const {
           " faults-injected=%" PRIu64 "\n",
           registry.counter(Counter::OpRetries),
           registry.counter(Counter::ResourceExhausted), faultInjected);
+  if (maintThreads != 0 || registry.counter(Counter::MaintQueued) != 0) {
+    appendf(t,
+            "  maintenance: threads=%" PRIu64 " queued=%" PRIu64
+            " executed=%" PRIu64 " inline-fallback=%" PRIu64
+            " pending=%" PRIu64 " throttled=%" PRIu64 "ms shard-splits=%" PRIu64
+            " shard-merges=%" PRIu64 "\n",
+            maintThreads, registry.counter(Counter::MaintQueued),
+            registry.counter(Counter::MaintExecuted),
+            registry.counter(Counter::MaintInlineFallback), maintPending,
+            maintThrottledMs, registry.counter(Counter::ShardSplit),
+            registry.counter(Counter::ShardMerge));
+  }
   appendf(t,
           "  off-heap: footprint=%zuB in-use=%zuB fragmented=%zuB "
           "allocs=%" PRIu64 " frees=%" PRIu64 " free-list=%" PRIu64 "\n",

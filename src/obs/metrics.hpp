@@ -31,6 +31,16 @@ struct Metrics {
   /// the underlying counter is global rather than per-shard.
   std::uint64_t faultInjected = 0;
 
+  /// Maintenance-service gauges (zero when no background pool is
+  /// configured).  Per-map maintenance *counters* (queued / executed /
+  /// inline-fallback) live in the registry; these four describe the service
+  /// itself.  A sharded map's shards share one service, so — like
+  /// faultInjected — they absorb with max rather than sum.
+  std::uint64_t maintPending = 0;      ///< jobs queued, not yet picked up
+  std::uint64_t maintInFlight = 0;     ///< jobs currently executing
+  std::uint64_t maintThrottledMs = 0;  ///< cumulative rate-limit stall time
+  std::uint64_t maintThreads = 0;      ///< background worker count
+
   /// Aggregated allocator gauges: the sum over `arenas`.
   AllocStats alloc;
   /// Per-arena gauges, one entry per MemoryManager arena region.  A plain
@@ -65,6 +75,10 @@ struct Metrics {
     hdrPoolFree += s.hdrPoolFree;
     hdrCreated += s.hdrCreated;
     if (s.faultInjected > faultInjected) faultInjected = s.faultInjected;
+    if (s.maintPending > maintPending) maintPending = s.maintPending;
+    if (s.maintInFlight > maintInFlight) maintInFlight = s.maintInFlight;
+    if (s.maintThrottledMs > maintThrottledMs) maintThrottledMs = s.maintThrottledMs;
+    if (s.maintThreads > maintThreads) maintThreads = s.maintThreads;
     if (shards == 0) gc = s.gc;
     shards += s.shards;
   }

@@ -69,6 +69,11 @@ enum class Counter : std::uint32_t {
   ChunkMerge,         ///< rebalance engaged the successor chunk
   OpRetries,          ///< tryPut/tryCompute attempts retried after an OOM
   ResourceExhausted,  ///< tryPut/tryCompute gave up: Status::ResourceExhausted
+  MaintQueued,        ///< rebalance requests handed to the maintenance service
+  MaintExecuted,      ///< background rebalances a worker actually performed
+  MaintInlineFallback,///< queue-full (or blocking) requests run inline instead
+  ShardSplit,         ///< online shard split published a new layout
+  ShardMerge,         ///< online shard merge retired a boundary
   kCount
 };
 inline constexpr std::size_t kCounterCount = static_cast<std::size_t>(Counter::kCount);
@@ -79,6 +84,11 @@ inline const char* counterName(Counter c) noexcept {
     case Counter::ChunkMerge: return "chunk_merge";
     case Counter::OpRetries: return "op_retries";
     case Counter::ResourceExhausted: return "resource_exhausted";
+    case Counter::MaintQueued: return "maint_queued";
+    case Counter::MaintExecuted: return "maint_executed";
+    case Counter::MaintInlineFallback: return "maint_inline_fallback";
+    case Counter::ShardSplit: return "shard_split";
+    case Counter::ShardMerge: return "shard_merge";
     case Counter::kCount: break;
   }
   return "?";

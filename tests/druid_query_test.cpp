@@ -140,8 +140,7 @@ void runQuerySuite(MakeIndex makeIndex) {
 
 TEST(DruidQuery, OakBackend) {
   runQuerySuite<OakIncrementalIndex>([] {
-    OakConfig cfg;
-    cfg.chunkCapacity = 128;
+    auto cfg = OakConfig{}.withChunkCapacity(128);
     return std::make_unique<OakIncrementalIndex>(spec3(), 2, true,
                                                  mheap::ManagedHeap::unlimited(), cfg);
   });
@@ -155,8 +154,7 @@ TEST(DruidQuery, LegacyBackend) {
 }
 
 TEST(DruidQuery, EmptyRangeAndNoMatches) {
-  OakConfig cfg;
-  cfg.chunkCapacity = 128;
+  auto cfg = OakConfig{}.withChunkCapacity(128);
   OakIncrementalIndex idx(spec3(), 2, true, mheap::ManagedHeap::unlimited(), cfg);
   ingest(idx, makeWorkload(100, 7));
   EXPECT_TRUE(timeseries(idx, 5000, 6000, 100).empty());

@@ -141,8 +141,7 @@ void exerciseRollup(Index& idx) {
 }
 
 TEST(IncrementalIndex, OakRollup) {
-  OakConfig cfg;
-  cfg.chunkCapacity = 64;
+  auto cfg = OakConfig{}.withChunkCapacity(64);
   OakIncrementalIndex idx(basicSpec(), 2, /*rollup=*/true,
                           mheap::ManagedHeap::unlimited(), cfg);
   exerciseRollup(idx);
@@ -155,8 +154,7 @@ TEST(IncrementalIndex, LegacyRollup) {
 }
 
 TEST(IncrementalIndex, PlainModeKeepsEveryTuple) {
-  OakConfig cfg;
-  cfg.chunkCapacity = 64;
+  auto cfg = OakConfig{}.withChunkCapacity(64);
   OakIncrementalIndex idx(basicSpec(), 2, /*rollup=*/false,
                           mheap::ManagedHeap::unlimited(), cfg);
   for (int i = 0; i < 100; ++i) idx.add(tupleOf(100, "us", "web", 1.0, 7));
@@ -164,8 +162,7 @@ TEST(IncrementalIndex, PlainModeKeepsEveryTuple) {
 }
 
 TEST(IncrementalIndex, BothBackendsAgreeOnAggregates) {
-  OakConfig cfg;
-  cfg.chunkCapacity = 128;
+  auto cfg = OakConfig{}.withChunkCapacity(128);
   auto& heap = mheap::ManagedHeap::unlimited();
   OakIncrementalIndex oakIdx(basicSpec(), 2, true, heap, cfg);
   LegacyIncrementalIndex legIdx(basicSpec(), 2, true, heap, heap);
@@ -200,8 +197,7 @@ TEST(IncrementalIndex, BothBackendsAgreeOnAggregates) {
 }
 
 TEST(IncrementalIndex, ConcurrentIngestCountsEverything) {
-  OakConfig cfg;
-  cfg.chunkCapacity = 128;
+  auto cfg = OakConfig{}.withChunkCapacity(128);
   OakIncrementalIndex idx(basicSpec(), 2, true, mheap::ManagedHeap::unlimited(), cfg);
   std::vector<std::thread> ts;
   constexpr int kThreads = 6, kPer = 4000;

@@ -17,8 +17,7 @@ namespace {
 using Map = OakMap<std::string, std::string, StringSerializer, StringSerializer>;
 
 OakConfig smallChunks() {
-  OakConfig cfg;
-  cfg.chunkCapacity = 64;
+  auto cfg = OakConfig{}.withChunkCapacity(64);
   return cfg;
 }
 
@@ -338,6 +337,58 @@ TEST(OakApi, SizeAndContains) {
   EXPECT_TRUE(m.containsKey("a"));
   EXPECT_TRUE(m.zc().containsKey("b"));
   EXPECT_FALSE(m.containsKey("c"));
+}
+
+// ------------------------------------------------------------- config API
+// Contract of the nested-config redesign: the deprecated flat fields keep
+// compiling (one release of grace for aggregate initializers), the nested
+// group wins when both are set, and unset optionals fall through to the
+// flat field.
+TEST(OakApi, FlatConfigFieldsStillResolve) {
+  OakConfig cfg;
+  cfg.reclaim = ValueReclaim::Generational;  // deprecated flat field
+  cfg.emergencyReserveBytes = 4096;
+  EXPECT_EQ(cfg.effectiveReclaim(), ValueReclaim::Generational);
+  EXPECT_EQ(cfg.effectiveEmergencyReserve(), 4096u);
+
+  // Nested group beats the flat field once explicitly set.
+  cfg.mem.withReclaim(ValueReclaim::KeepHeaders).withEmergencyReserve(128);
+  EXPECT_EQ(cfg.effectiveReclaim(), ValueReclaim::KeepHeaders);
+  EXPECT_EQ(cfg.effectiveEmergencyReserve(), 128u);
+}
+
+TEST(OakApi, BuilderComposesNestedGroups) {
+  const auto cfg =
+      OakConfig{}
+          .withChunkCapacity(256)
+          .withMem(MemConfig{}.withReclaim(ValueReclaim::Generational))
+          .withMaintenance(maint::MaintenanceConfig{}.withThreads(0).withQueueDepth(7));
+  EXPECT_EQ(cfg.chunkCapacity, 256);
+  EXPECT_EQ(cfg.effectiveReclaim(), ValueReclaim::Generational);
+  EXPECT_EQ(cfg.maintenance.effectiveThreads(), 0u);
+  EXPECT_EQ(cfg.maintenance.queueDepth, 7u);
+}
+
+TEST(OakApi, MaintenanceFacadePassthroughs) {
+  // A map without a worker pool: the control surface must still be safe to
+  // call (pause/resume/drain no-op, stats come back empty).
+  Map m(smallChunks());
+  m.pauseMaintenance();
+  m.resumeMaintenance();
+  m.drainMaintenance();
+  const auto ms = m.maintenanceStats();
+  EXPECT_EQ(ms.threads, 0u);
+  EXPECT_EQ(ms.pending, 0u);
+
+  // With a pool: jobs queued behind pause are visible in stats and drain
+  // leaves the queue empty.
+  Map bg(smallChunks().withMaintenance(maint::MaintenanceConfig{}.withThreads(1)));
+  for (int i = 0; i < 64; ++i) {
+    bg.put("key-" + std::to_string(i), std::string(64, 'v'));
+  }
+  bg.drainMaintenance();
+  EXPECT_EQ(bg.maintenanceStats().pending, 0u);
+  EXPECT_EQ(bg.maintenanceStats().threads, 1u);
 }
 
 }  // namespace

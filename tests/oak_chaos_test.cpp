@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
 #include "common/random.hpp"
@@ -47,12 +48,8 @@ std::string valueFor(int i, char tag) {
 }
 
 std::uint64_t chaosSeed() {
-  if (const char* v = std::getenv("OAK_CHAOS_SEED")) {
-    char* end = nullptr;
-    const unsigned long long s = std::strtoull(v, &end, 10);
-    if (end != v && s != 0) return s;
-  }
-  return 7;
+  const std::uint64_t s = oak::env::u64("OAK_CHAOS_SEED", 7);
+  return s != 0 ? s : 7;
 }
 
 #define SKIP_UNLESS_CHECKED()                                       \
@@ -212,8 +209,7 @@ TEST(OakChaos, PointOpsSurviveInjectedOomEverySite) {
   for (const char* site : kThrowingSites) {
     for (const std::uint64_t nth : {1ull, 7ull, 40ull}) {
       SCOPED_TRACE(std::string(site) + " nth:" + std::to_string(nth));
-      OakConfig cfg;
-      cfg.chunkCapacity = 64;  // small chunks force frequent rebalances
+      auto cfg = OakConfig{}.withChunkCapacity(64);  // small chunks force frequent rebalances
       OakCoreMap<> map(cfg);
       chaosDrill(map, {{site, fault::Schedule::nth(nth)}}, 600, seed, 400);
     }
@@ -228,8 +224,7 @@ TEST(OakChaos, ProbabilisticMultiSiteStorm) {
   SKIP_UNLESS_CHECKED();
   fault::disarmAll();
   const std::uint64_t seed = chaosSeed();
-  OakConfig cfg;
-  cfg.chunkCapacity = 64;
+  auto cfg = OakConfig{}.withChunkCapacity(64);
   OakCoreMap<> map(cfg);
   // Arm several sites at once at low probability: faults land at arbitrary
   // protocol depths, in arbitrary combinations.
@@ -246,10 +241,10 @@ TEST(OakChaos, ShardedMapSurvivesInjectedOom) {
   SKIP_UNLESS_CHECKED();
   fault::disarmAll();
   const std::uint64_t seed = chaosSeed();
-  ShardedOakConfig cfg;
-  cfg.shard.chunkCapacity = 64;
-  cfg.layout = ShardLayout::at({toVec(bytes(padKey(150))), toVec(bytes(padKey(300))),
-                                toVec(bytes(padKey(450)))});
+  auto cfg = ShardedOakConfig{}
+                 .withShard(OakConfig{}.withChunkCapacity(64));
+  cfg.withLayout(ShardLayout::at({toVec(bytes(padKey(150))), toVec(bytes(padKey(300))),
+                                  toVec(bytes(padKey(450)))}));
   ShardedOakCoreMap<> map(std::move(cfg));
   chaosDrill(map,
              {{"mheap.alloc", fault::Schedule::probability(0.01, seed)},
@@ -280,8 +275,7 @@ TEST(OakChaos, MagazineRefillOomMidPutKeepsStrongExceptionSafety) {
   ASSERT_TRUE(fault::armFromSpec(
       ("alloc.magazine=prob:0.05:" + std::to_string(seed)).c_str()));
 
-  OakConfig cfg;
-  cfg.chunkCapacity = 64;
+  auto cfg = OakConfig{}.withChunkCapacity(64);
   OakCoreMap<> map(cfg);
   std::map<std::string, std::string> oracle;
   XorShift rng(seed);
@@ -330,8 +324,7 @@ TEST(OakChaos, MagazineRefillOomMidPutKeepsStrongExceptionSafety) {
 TEST(OakChaos, StalledEbrDegradesThenRecovers) {
   SKIP_UNLESS_CHECKED();
   fault::disarmAll();
-  OakConfig cfg;
-  cfg.chunkCapacity = 32;
+  auto cfg = OakConfig{}.withChunkCapacity(32);
   OakCoreMap<> map(cfg);
 
   // A permanently failing advance models a stalled reclaimer: retirement
@@ -372,10 +365,9 @@ TEST(OakChaos, MetricsReportInjectedFaults) {
 TEST(OakDegraded, TryPutReportsExhaustionWithoutThrowing) {
   fault::disarmAll();
   mem::BlockPool pool({.blockBytes = 1u << 16, .budgetBytes = 1u << 16});
-  OakConfig cfg;
-  cfg.chunkCapacity = 64;
-  cfg.pool = &pool;
-  cfg.emergencyReserveBytes = 2048;
+  auto cfg = OakConfig{}
+                 .withChunkCapacity(64)
+                 .withMem(MemConfig{}.withPool(&pool).withEmergencyReserve(2048));
   OakCoreMap<> map(cfg);
 
   const std::string value(120, 'x');
@@ -425,9 +417,9 @@ TEST(OakDegraded, TryPutReportsExhaustionWithoutThrowing) {
 TEST(OakDegraded, TryComputeNeverThrowsOnExhaustion) {
   fault::disarmAll();
   mem::BlockPool pool({.blockBytes = 1u << 16, .budgetBytes = 1u << 16});
-  OakConfig cfg;
-  cfg.chunkCapacity = 64;
-  cfg.pool = &pool;
+  auto cfg = OakConfig{}
+                 .withChunkCapacity(64)
+                 .withMem(MemConfig{}.withPool(&pool));
   OakCoreMap<> map(cfg);
 
   ASSERT_EQ(map.tryPut(bytes(padKey(1)), bytes("small")), Status::Ok);
@@ -457,12 +449,10 @@ TEST(OakDegraded, TryComputeNeverThrowsOnExhaustion) {
 TEST(OakDegraded, ShardedTryPutRoutesAndDegradesPerShard) {
   fault::disarmAll();
   mem::BlockPool pool({.blockBytes = 1u << 16, .budgetBytes = 2u << 16});
-  ShardedOakConfig cfg;
-  cfg.shard.chunkCapacity = 64;
-  cfg.shard.pool = &pool;
-  cfg.shard.emergencyReserveBytes = 1024;
-  cfg.layout = ShardLayout::at({toVec(bytes(padKey(1000))), toVec(bytes(padKey(2000))),
-                                toVec(bytes(padKey(3000)))});
+  auto cfg = ShardedOakConfig{}
+                 .withShard(OakConfig{}.withChunkCapacity(64).withMem(MemConfig{}.withPool(&pool).withEmergencyReserve(1024)));
+  cfg.withLayout(ShardLayout::at({toVec(bytes(padKey(1000))), toVec(bytes(padKey(2000))),
+                                  toVec(bytes(padKey(3000)))}));
   ShardedOakCoreMap<> map(std::move(cfg));
 
   const std::string value(120, 'x');

@@ -129,9 +129,9 @@ TEST(OakSanDeath, CrossShardForeignRefFree) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   mem::BlockPool pool(
       mem::BlockPool::Config{.blockBytes = 1u << 20, .budgetBytes = SIZE_MAX});
-  ShardedOakConfig cfg;
-  cfg.shard.pool = &pool;
-  cfg.layout = ShardLayout::uniformBytes(2);  // split at first byte 0x80
+  auto cfg = ShardedOakConfig{}
+                 .withLayout(ShardLayout::uniformBytes(2))  // split at first byte 0x80
+                 .withShard(OakConfig{}.withMem(MemConfig{}.withPool(&pool)));
   ShardedOakCoreMap<> map(std::move(cfg));
   map.put(bytes("key-000001"), bytes("v"));   // 'k' < 0x80: shard 0
   map.put(bytes("\xF0zzz"), bytes("w"));      // 0xF0 >= 0x80: shard 1
@@ -184,8 +184,7 @@ TEST(OakSan, GuardProbeTracksDepth) {
 
 // ------------------------------------------------------------ ChunkWalker
 TEST_F(ChunkWalkerTest, CleanMapValidates) {
-  OakConfig cfg;
-  cfg.chunkCapacity = 64;  // force splits so the walker sees a real chain
+  auto cfg = OakConfig{}.withChunkCapacity(64);  // force splits so the walker sees a real chain
   OakCoreMap<> map(cfg);
   constexpr int kN = 2000;
   for (int i = 0; i < kN; ++i) {
@@ -204,8 +203,7 @@ TEST_F(ChunkWalkerTest, CleanMapValidates) {
 }
 
 TEST_F(ChunkWalkerTest, DetectsEntryPointingAtFreedKeySlice) {
-  OakConfig cfg;
-  cfg.chunkCapacity = 128;
+  auto cfg = OakConfig{}.withChunkCapacity(128);
   OakCoreMap<> map(cfg);
   for (int i = 0; i < 200; ++i) {
     map.put(bytes(padKey(i)), bytes("v"));
@@ -234,10 +232,10 @@ TEST_F(ChunkWalkerTest, DetectsEntryPointingAtFreedKeySlice) {
 TEST_F(ChunkWalkerTest, ShardedFaultLocalizesToFaultyShard) {
   // Corrupt exactly one shard; per-shard validation must implicate that
   // shard alone, and the whole-map rollup must name it.
-  ShardedOakConfig cfg;
-  cfg.shard.chunkCapacity = 32;
-  cfg.layout = ShardLayout::at({toVec(bytes(padKey(50))), toVec(bytes(padKey(100))),
-                                toVec(bytes(padKey(150)))});
+  auto cfg = ShardedOakConfig{}
+                 .withShard(OakConfig{}.withChunkCapacity(32));
+  cfg.withLayout(ShardLayout::at({toVec(bytes(padKey(50))), toVec(bytes(padKey(100))),
+                                  toVec(bytes(padKey(150)))}));
   ShardedOakCoreMap<> map(std::move(cfg));
   for (int i = 0; i < 200; ++i) {
     map.put(bytes(padKey(i)), bytes("v"));
@@ -280,8 +278,7 @@ TEST_F(ChunkWalkerTest, ShardedFaultLocalizesToFaultyShard) {
 }
 
 TEST_F(ChunkWalkerTest, ValidatesAfterConcurrentChurn) {
-  OakConfig cfg;
-  cfg.chunkCapacity = 64;
+  auto cfg = OakConfig{}.withChunkCapacity(64);
   OakCoreMap<> map(cfg);
   constexpr int kThreads = 4;
   constexpr int kOps = 3000;
@@ -315,9 +312,9 @@ TEST_F(ChunkWalkerTest, ValidatesAfterConcurrentChurn) {
 }
 
 TEST_F(ChunkWalkerTest, GenerationalModeValidates) {
-  OakConfig cfg;
-  cfg.chunkCapacity = 64;
-  cfg.reclaim = ValueReclaim::Generational;
+  auto cfg = OakConfig{}
+                 .withChunkCapacity(64)
+                 .withMem(MemConfig{}.withReclaim(ValueReclaim::Generational));
   OakCoreMap<> map(cfg);
   for (int round = 0; round < 5; ++round) {
     for (int i = 0; i < 400; ++i) map.put(bytes(padKey(i)), bytes("r"));

@@ -31,8 +31,7 @@ ByteVec valOf(std::uint64_t x) {
 }
 
 OakConfig smallChunks(std::int32_t cap = 128) {
-  OakConfig cfg;
-  cfg.chunkCapacity = cap;
+  auto cfg = OakConfig{}.withChunkCapacity(cap);
   return cfg;
 }
 

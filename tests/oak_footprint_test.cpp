@@ -20,9 +20,9 @@ ByteVec keyOf(std::uint64_t i) {
 
 TEST(OakFootprint, GrowsWithDataAndIsCheapToRead) {
   mem::BlockPool pool({.blockBytes = 1u << 20, .budgetBytes = SIZE_MAX});
-  OakConfig cfg;
-  cfg.chunkCapacity = 256;
-  cfg.pool = &pool;
+  auto cfg = OakConfig{}
+                 .withChunkCapacity(256)
+                 .withMem(MemConfig{}.withPool(&pool));
   OakCoreMap<> m(cfg);
 
   const auto empty = m.offHeapAllocatedBytes();
@@ -38,9 +38,9 @@ TEST(OakFootprint, GrowsWithDataAndIsCheapToRead) {
 
 TEST(OakFootprint, RemoveReturnsPayloadBytes) {
   mem::BlockPool pool({.blockBytes = 1u << 20, .budgetBytes = SIZE_MAX});
-  OakConfig cfg;
-  cfg.chunkCapacity = 256;
-  cfg.pool = &pool;
+  auto cfg = OakConfig{}
+                 .withChunkCapacity(256)
+                 .withMem(MemConfig{}.withPool(&pool));
   OakCoreMap<> m(cfg);
   ByteVec value(4096, std::byte{0x7});
   for (int i = 0; i < 100; ++i) m.put(asBytes(keyOf(i)), asBytes(value));
@@ -54,9 +54,9 @@ TEST(OakFootprint, RemoveReturnsPayloadBytes) {
 
 TEST(OakFootprint, FreedPayloadsAreReusedNotAccumulated) {
   mem::BlockPool pool({.blockBytes = 1u << 20, .budgetBytes = 8u << 20});
-  OakConfig cfg;
-  cfg.chunkCapacity = 256;
-  cfg.pool = &pool;
+  auto cfg = OakConfig{}
+                 .withChunkCapacity(256)
+                 .withMem(MemConfig{}.withPool(&pool));
   OakCoreMap<> m(cfg);
   ByteVec value(16 * 1024, std::byte{0x7});
   // 2000 x 16KB = 32 MB of traffic through an 8 MB pool: only possible if
@@ -71,9 +71,9 @@ TEST(OakFootprint, FreedPayloadsAreReusedNotAccumulated) {
 TEST(OakFootprint, ArenasReturnToPoolOnDispose) {
   mem::BlockPool pool({.blockBytes = 1u << 20, .budgetBytes = 64u << 20});
   {
-    OakConfig cfg;
-    cfg.chunkCapacity = 256;
-    cfg.pool = &pool;
+    auto cfg = OakConfig{}
+                   .withChunkCapacity(256)
+                   .withMem(MemConfig{}.withPool(&pool));
     OakCoreMap<> m(cfg);
     ByteVec value(1024, std::byte{0x7});
     for (int i = 0; i < 5000; ++i) m.put(asBytes(keyOf(i)), asBytes(value));
@@ -86,10 +86,9 @@ TEST(OakFootprint, ArenasReturnToPoolOnDispose) {
 TEST(OakFootprint, MetadataStaysOnHeapAndSmall) {
   mheap::ManagedHeap heap({.budgetBytes = 512u << 20});
   mem::BlockPool pool({.blockBytes = 1u << 20, .budgetBytes = SIZE_MAX});
-  OakConfig cfg;
-  cfg.chunkCapacity = 1024;
-  cfg.metaHeap = &heap;
-  cfg.pool = &pool;
+  auto cfg = OakConfig{}
+                 .withChunkCapacity(1024)
+                 .withMem(MemConfig{}.withMetaHeap(&heap).withPool(&pool));
   OakCoreMap<> m(cfg);
   ByteVec value(1024, std::byte{0x7});
   for (int i = 0; i < 20000; ++i) m.put(asBytes(keyOf(i)), asBytes(value));

@@ -27,9 +27,9 @@ ByteVec valOf(std::uint64_t x) {
 }
 
 OakConfig genConfig() {
-  OakConfig cfg;
-  cfg.chunkCapacity = 64;
-  cfg.reclaim = ValueReclaim::Generational;
+  auto cfg = OakConfig{}
+                 .withChunkCapacity(64)
+                 .withMem(MemConfig{}.withReclaim(ValueReclaim::Generational));
   return cfg;
 }
 
@@ -110,14 +110,12 @@ TEST(Generational, ViewsThrowAfterRemoveAndReuse) {
 
 TEST(Generational, ChurnActuallyReclaimsSpace) {
   // KeepHeaders leaks one header per remove; Generational must stay flat.
-  OakConfig keepCfg;
-  keepCfg.chunkCapacity = 256;
-  OakConfig genCfg = genConfig();
-  genCfg.chunkCapacity = 256;
+  auto keepCfg = OakConfig{}.withChunkCapacity(256);
+  auto genCfg = genConfig().withChunkCapacity(256);
   mem::BlockPool keepPool({.blockBytes = 1u << 20, .budgetBytes = SIZE_MAX});
   mem::BlockPool genPool({.blockBytes = 1u << 20, .budgetBytes = SIZE_MAX});
-  keepCfg.pool = &keepPool;
-  genCfg.pool = &genPool;
+  keepCfg.mem.withPool(&keepPool);
+  genCfg.mem.withPool(&genPool);
   OakCoreMap<> keep(keepCfg);
   OakCoreMap<> gen(genCfg);
   constexpr int kChurn = 30000;

@@ -14,8 +14,7 @@ namespace {
 using Map = OakMap<std::string, std::string, StringSerializer, StringSerializer>;
 
 OakConfig smallChunks(std::int32_t cap = 64) {
-  OakConfig cfg;
-  cfg.chunkCapacity = cap;
+  auto cfg = OakConfig{}.withChunkCapacity(cap);
   return cfg;
 }
 

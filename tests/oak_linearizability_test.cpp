@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/env.hpp"
 #include "common/random.hpp"
 #include "linearizability.hpp"
 #include "oak/core_map.hpp"
@@ -237,9 +238,9 @@ RoundResult recordRoundOn(Map& map, unsigned threads, int opsPer, int keys,
 /// One recorded round against a fresh single-core map.
 std::vector<Operation> recordRound(unsigned threads, int opsPer, int keys,
                                    std::uint64_t seed, ValueReclaim reclaim) {
-  OakConfig cfg;
-  cfg.chunkCapacity = 16;  // tiny chunks: rebalances join the party
-  cfg.reclaim = reclaim;
+  auto cfg = OakConfig{}
+                 .withChunkCapacity(16)  // tiny chunks: rebalances join the party
+                 .withMem(MemConfig{}.withReclaim(reclaim));
   OakCoreMap<> map(cfg);
   return recordRoundOn(map, threads, opsPer, keys, seed, /*scanThreads=*/0,
                        /*withCompute=*/true)
@@ -250,9 +251,9 @@ std::vector<Operation> recordRound(unsigned threads, int opsPer, int keys,
 RoundResult recordShardedRound(std::size_t shards, unsigned threads, int opsPer,
                                int keys, std::uint64_t seed,
                                unsigned scanThreads, bool withCompute) {
-  ShardedOakConfig cfg;
-  cfg.shard.chunkCapacity = 16;
-  cfg.layout = straddlingLayout(shards, keys);
+  auto cfg = ShardedOakConfig{}
+                 .withLayout(straddlingLayout(shards, keys))
+                 .withShard(OakConfig{}.withChunkCapacity(16));
   ShardedOakCoreMap<> map(std::move(cfg));
   return recordRoundOn(map, threads, opsPer, keys, seed, scanThreads,
                        withCompute);
@@ -261,8 +262,8 @@ RoundResult recordShardedRound(std::size_t shards, unsigned threads, int opsPer,
 /// Shard counts under test: OAK_SHARDS pins one (the CI sanitizer legs use
 /// this); default sweeps 1, 4 and 7.
 std::vector<std::size_t> shardCounts() {
-  if (const char* v = std::getenv("OAK_SHARDS")) {
-    return {static_cast<std::size_t>(std::strtoull(v, nullptr, 10))};
+  if (oak::env::raw("OAK_SHARDS") != nullptr) {
+    return {static_cast<std::size_t>(oak::env::u64("OAK_SHARDS", 1))};
   }
   return {1, 4, 7};
 }

@@ -14,8 +14,7 @@ namespace {
 using Map = OakMap<std::string, std::string, StringSerializer, StringSerializer>;
 
 OakConfig smallChunks() {
-  OakConfig cfg;
-  cfg.chunkCapacity = 64;  // force frequent rebalances in unit tests
+  auto cfg = OakConfig{}.withChunkCapacity(64);  // force frequent rebalances in unit tests
   return cfg;
 }
 
@@ -179,8 +178,7 @@ TEST(OakMapBasic, MapStaysUsableAfterRealOffHeapOom) {
   // the surviving map is fully serviceable — the OOM aborts one put, not
   // the data structure.
   mem::BlockPool pool({.blockBytes = 1u << 16, .budgetBytes = 1u << 16});
-  OakConfig cfg = smallChunks();
-  cfg.pool = &pool;
+  auto cfg = smallChunks().withMem(MemConfig{}.withPool(&pool));
   Map m(cfg);
 
   const std::string value(100, 'v');

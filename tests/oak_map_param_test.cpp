@@ -30,9 +30,9 @@ std::string caseName(const ::testing::TestParamInfo<ParamCase>& info) {
 class MapSweep : public ::testing::TestWithParam<ParamCase> {
  protected:
   MapSweep() {
-    OakConfig cfg;
-    cfg.chunkCapacity = GetParam().chunkCapacity;
-    cfg.reclaim = GetParam().reclaim;
+    auto cfg = OakConfig{}
+                   .withChunkCapacity(GetParam().chunkCapacity)
+                   .withMem(MemConfig{}.withReclaim(GetParam().reclaim));
     map_ = std::make_unique<OakCoreMap<>>(cfg);
   }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/env.hpp"
 #include "common/random.hpp"
 #include "oak/sharded_map.hpp"
 
@@ -126,10 +127,10 @@ void runModel(std::size_t shards, std::uint64_t seed, int ops) {
   SCOPED_TRACE("shards=" + std::to_string(shards) + " seed=" +
                std::to_string(seed) + " (replay: OAK_MODEL_SEED=" +
                std::to_string(seed) + ")");
-  ShardedOakConfig cfg;
-  cfg.shards = shards;
-  cfg.shard.chunkCapacity = 16;  // tiny chunks keep rebalance in play
-  cfg.layout = ShardLayout::uniformRange(shards, kKeySpace);
+  auto cfg = ShardedOakConfig{}
+                 .withShards(shards)
+                 .withLayout(ShardLayout::uniformRange(shards, kKeySpace))
+                 .withShard(OakConfig{}.withChunkCapacity(16));  // tiny chunks keep rebalance in play
   ShardedOakCoreMap<> map(std::move(cfg));
   Oracle oracle;
   XorShift rng(seed);
@@ -220,15 +221,15 @@ void runModel(std::size_t shards, std::uint64_t seed, int ops) {
 }
 
 std::vector<std::size_t> shardCounts() {
-  if (const char* v = std::getenv("OAK_SHARDS")) {
-    return {static_cast<std::size_t>(std::strtoull(v, nullptr, 10))};
+  if (oak::env::raw("OAK_SHARDS") != nullptr) {
+    return {static_cast<std::size_t>(oak::env::u64("OAK_SHARDS", 1))};
   }
   return {1, 4, 7};
 }
 
 std::vector<std::uint64_t> modelSeeds() {
-  if (const char* v = std::getenv("OAK_MODEL_SEED")) {
-    return {std::strtoull(v, nullptr, 10)};
+  if (oak::env::raw("OAK_MODEL_SEED") != nullptr) {
+    return {oak::env::u64("OAK_MODEL_SEED", 1)};
   }
   return {1, 2026, 0xDEADBEEF};
 }
@@ -247,10 +248,10 @@ TEST(OakModel, BoundaryKeysRouteAndSurvive) {
   for (std::size_t shards : shardCounts()) {
     if (shards < 2) continue;
     SCOPED_TRACE("shards=" + std::to_string(shards));
-    ShardedOakConfig cfg;
-    cfg.shards = shards;
-    cfg.shard.chunkCapacity = 16;
-    cfg.layout = ShardLayout::uniformRange(shards, kKeySpace);
+    auto cfg = ShardedOakConfig{}
+                   .withShards(shards)
+                   .withLayout(ShardLayout::uniformRange(shards, kKeySpace))
+                   .withShard(OakConfig{}.withChunkCapacity(16));
     ShardedOakCoreMap<> map(std::move(cfg));
     const std::uint64_t step = kKeySpace / shards;
     for (std::size_t s = 1; s < shards; ++s) {

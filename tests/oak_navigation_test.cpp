@@ -23,8 +23,7 @@ ByteVec valOf(std::uint64_t x) {
 }
 
 OakConfig smallChunks() {
-  OakConfig cfg;
-  cfg.chunkCapacity = 64;
+  auto cfg = OakConfig{}.withChunkCapacity(64);
   return cfg;
 }
 

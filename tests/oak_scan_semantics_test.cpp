@@ -27,8 +27,7 @@ ByteVec valOf(std::uint64_t x) {
 }
 
 OakConfig tinyChunks() {
-  OakConfig cfg;
-  cfg.chunkCapacity = 16;  // constant splitting
+  auto cfg = OakConfig{}.withChunkCapacity(16);  // constant splitting
   return cfg;
 }
 

@@ -81,10 +81,10 @@ TEST(ShardRouter, RoutesKeysAndRanges) {
 
 // ------------------------------------------------------- core-level map
 ShardedOakCoreMap<> smallMap(std::size_t shards, std::uint64_t range = 64) {
-  ShardedOakConfig cfg;
-  cfg.shards = shards;
-  cfg.shard.chunkCapacity = 16;
-  cfg.layout = ShardLayout::uniformRange(shards, range);
+  auto cfg = ShardedOakConfig{}
+                 .withShards(shards)
+                 .withLayout(ShardLayout::uniformRange(shards, range))
+                 .withShard(OakConfig{}.withChunkCapacity(16));
   return ShardedOakCoreMap<>(std::move(cfg));
 }
 
@@ -225,10 +225,10 @@ using U64ShardedMap =
     ShardedOakMap<std::uint64_t, std::uint64_t, U64Serializer, U64Serializer>;
 
 ShardedOakConfig typedCfg(std::size_t shards) {
-  ShardedOakConfig cfg;
-  cfg.shards = shards;
-  cfg.shard.chunkCapacity = 16;
-  cfg.layout = ShardLayout::uniformRange(shards, 64);
+  auto cfg = ShardedOakConfig{}
+                 .withShards(shards)
+                 .withLayout(ShardLayout::uniformRange(shards, 64))
+                 .withShard(OakConfig{}.withChunkCapacity(16));
   return cfg;
 }
 

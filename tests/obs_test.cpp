@@ -92,8 +92,7 @@ TEST(ObsRegistry, OpTimerSamplesOneInSixteen) {
 
 TEST(ObsCoreMap, OpCountsMatchAndStructureCountersMove) {
   OakCoreMap<> m([] {
-    OakConfig cfg;
-    cfg.chunkCapacity = 64;
+    auto cfg = OakConfig{}.withChunkCapacity(64);
     return cfg;
   }());
   std::vector<std::byte> key(16), val(32, std::byte{1});
@@ -187,9 +186,9 @@ TEST(ObsExport, PerArenaGaugesAndShardedAggregation) {
   // gauges, concatenated arena vector, max for EBR lag.
   ShardedOakMap<std::string, std::string, StringSerializer, StringSerializer>
       sharded([] {
-        ShardedOakConfig cfg;
-        cfg.shards = 4;
-        cfg.layout = ShardLayout::uniformBytes(4);
+        auto cfg = ShardedOakConfig{}
+                       .withShards(4)
+                       .withLayout(ShardLayout::uniformBytes(4));
         return cfg;
       }());
   for (int i = 0; i < 100; ++i) {

@@ -1,16 +1,25 @@
 #!/usr/bin/env bash
 # bench_smoke.sh BUILD_DIR [DURATION_MS]
 #
-# CI smoke gate for the delete/resize churn workload (the size-class
-# magazine allocator's target traffic).  Runs synchrobench's churn
-# scenario on the Oak map for ~5s with post-stage structural validation
-# enabled, then fails if any METRICS line reports
-#   * resource_exhausted > 0  — churn at this scale must never exhaust
-#     the arena budget (cached slices draining back is part of that), or
-#   * validation_errors > 0   — the quiesced ChunkWalker audit found a
-#     structural problem.
-# Also prints the observed magazine hit rate so perf regressions in the
-# recycling path are visible in the job log.
+# CI smoke gate, two legs:
+#
+# 1. Churn: the delete/resize workload (the size-class magazine
+#    allocator's target traffic).  Fails if any METRICS line reports
+#    * resource_exhausted > 0  — churn at this scale must never exhaust
+#      the arena budget (cached slices draining back is part of that), or
+#    * validation_errors > 0   — the quiesced ChunkWalker audit found a
+#      structural problem.
+#    Also prints the observed magazine hit rate so perf regressions in the
+#    recycling path are visible in the job log.
+#
+# 2. Zipfian maintenance A/B: the skewed put-heavy scenario run twice —
+#    --maint-threads 0 (inline rebalance, the seed's behavior) vs
+#    --maint-threads 2 (background pool).  Fails if the background run's
+#    put p99 regresses past OAK_BENCH_MAINT_TOLERANCE (default 1.25x) of
+#    the inline run's — moving rebalance off the hot path must not make
+#    tail latency worse.  The observed pair is written to
+#    BUILD_DIR/BENCH_maint.json (the repo's checked-in BENCH_maint.json is
+#    a snapshot of this output).
 set -euo pipefail
 
 build_dir=${1:?usage: bench_smoke.sh BUILD_DIR [DURATION_MS]}
@@ -50,3 +59,89 @@ if [[ "$fail" != 0 ]]; then
   exit 1
 fi
 echo "bench_smoke: OK ($metrics points, ${duration_ms}ms churn)"
+
+# ------------------------------------------------ zipfian maintenance A/B
+tolerance=${OAK_BENCH_MAINT_TOLERANCE:-1.25}
+zipf_threads=${OAK_BENCH_MAINT_AB_THREADS:-4}
+zipf_size=${OAK_BENCH_MAINT_AB_SIZE:-50000}
+repeats=${OAK_BENCH_MAINT_AB_REPEATS:-3}
+
+run_zipf() {  # $1 = maint thread count; prints the METRICS line
+  OAK_BENCH_VALIDATE=1 "$bench" --scenario zipf -b OakMap \
+      -t "$zipf_threads" -i "$zipf_size" -d "$duration_ms" --shards 2 \
+      --maint-threads "$1" | grep '^METRICS ' | head -1
+}
+
+extract() {  # $1 = METRICS line, $2 = sed pattern
+  sed -n "s/.*$2.*/\1/p" <<<"$1"
+}
+
+# Latency percentiles come from a power-of-two bucketed histogram, so a
+# single run can jump a whole 2x bucket on scheduler noise.  Run each leg
+# $repeats times and keep the run with the median put p99.
+median_run() {  # $1 = maint thread count; prints the median-p99 METRICS line
+  local lines=() p99s=() line p99
+  for ((i = 0; i < repeats; ++i)); do
+    line=$(run_zipf "$1")
+    p99=$(extract "$line" '"put":{[^}]*"p99_ns":\([0-9]*\)')
+    [[ -n "$p99" ]] || continue
+    lines+=("$line"); p99s+=("$p99")
+  done
+  [[ ${#lines[@]} -gt 0 ]] || return 1
+  local mid
+  mid=$(printf '%s\n' "${p99s[@]}" | sort -n | awk -v n=${#p99s[@]} \
+        'NR == int((n + 1) / 2) { print; exit }')
+  for i in "${!lines[@]}"; do
+    if [[ "${p99s[$i]}" == "$mid" ]]; then printf '%s\n' "${lines[$i]}"; return 0; fi
+  done
+}
+
+echo "bench_smoke: zipf A/B (inline vs background maintenance, $repeats runs/leg)..."
+inline_line=$(median_run 0)
+bg_line=$(median_run 2)
+
+inline_p99=$(extract "$inline_line" '"put":{[^}]*"p99_ns":\([0-9]*\)')
+bg_p99=$(extract "$bg_line" '"put":{[^}]*"p99_ns":\([0-9]*\)')
+inline_kops=$(extract "$inline_line" '"kops":\([0-9.]*\)')
+bg_kops=$(extract "$bg_line" '"kops":\([0-9.]*\)')
+bg_executed=$(extract "$bg_line" '"maint_executed":\([0-9]*\)')
+
+for line in "$inline_line" "$bg_line"; do
+  verrors=$(extract "$line" '"validation_errors":\([0-9]*\)')
+  if [[ -n "$verrors" && "$verrors" != 0 ]]; then
+    echo "bench_smoke: FAIL zipf validation_errors=$verrors" >&2
+    fail=1
+  fi
+done
+if [[ -z "$inline_p99" || -z "$bg_p99" ]]; then
+  echo "bench_smoke: FAIL could not extract put p99 from zipf METRICS" >&2
+  exit 1
+fi
+if [[ "${bg_executed:-0}" == 0 ]]; then
+  echo "bench_smoke: FAIL background run executed no maintenance jobs" >&2
+  fail=1
+fi
+# Gate: background put p99 must stay within tolerance of inline.
+if ! awk -v bg="$bg_p99" -v inl="$inline_p99" -v tol="$tolerance" \
+      'BEGIN { exit !(bg <= inl * tol) }'; then
+  echo "bench_smoke: FAIL put p99 regression with background maintenance:" \
+       "inline=${inline_p99}ns background=${bg_p99}ns (tolerance ${tolerance}x)" >&2
+  fail=1
+fi
+
+ab_json="$build_dir/BENCH_maint.json"
+cat > "$ab_json" <<JSON
+{
+  "bench": "synchrobench --scenario zipf -b OakMap -t $zipf_threads -i $zipf_size -d $duration_ms --shards 2",
+  "gate": "median-of-$repeats background put p99 <= inline put p99 * $tolerance",
+  "inline": {"maint_threads": 0, "put_p99_ns": $inline_p99, "kops": ${inline_kops:-0}},
+  "background": {"maint_threads": 2, "put_p99_ns": $bg_p99, "kops": ${bg_kops:-0}, "maint_executed": ${bg_executed:-0}}
+}
+JSON
+echo "bench_smoke: zipf put p99 inline=${inline_p99}ns background=${bg_p99}ns" \
+     "(kops ${inline_kops:-?} -> ${bg_kops:-?}); wrote $ab_json"
+
+if [[ "$fail" != 0 ]]; then
+  exit 1
+fi
+echo "bench_smoke: OK (zipf A/B gate passed)"
