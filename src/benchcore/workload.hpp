@@ -12,6 +12,7 @@
 // variables for a real multicore run.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -89,7 +90,11 @@ struct Mix {
 /// O(n) and done per worker before the timed stage starts.
 class ZipfGenerator {
  public:
-  ZipfGenerator(std::size_t n, double theta) : n_(n), theta_(theta) {
+  // The Gray et al. rejection-free formulation below needs 0 <= theta < 1
+  // (alpha = 1/(1-theta)); --zipf-theta is user input, so clamp instead of
+  // dividing by zero and casting inf to uint64_t (UB) in next().
+  ZipfGenerator(std::size_t n, double theta)
+      : n_(n), theta_(std::clamp(theta, 0.0, kMaxTheta)) {
     double zetan = 0, zeta2 = 0;
     for (std::size_t i = 0; i < n_; ++i) {
       const double z = 1.0 / std::pow(static_cast<double>(i + 1), theta_);
@@ -113,6 +118,8 @@ class ZipfGenerator {
   }
 
  private:
+  static constexpr double kMaxTheta = 0.9999;
+
   std::size_t n_;
   double theta_;
   double zetan_ = 0;

@@ -42,7 +42,7 @@ bool MaintenanceService::submit(void* owner, ByteVec key, std::size_t costBytes,
                                 JobFn fn) {
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (stop_) return false;
+    if (stop_ || detaching_.count(owner) != 0) return false;
     if (!queuedKeys_.emplace(owner, key).second) {
       coalesced_.fetch_add(1, std::memory_order_relaxed);
       submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -62,6 +62,10 @@ bool MaintenanceService::submit(void* owner, ByteVec key, std::size_t costBytes,
 
 void MaintenanceService::detach(void* owner) {
   std::unique_lock<std::mutex> lk(mu_);
+  // Block resubmission first: an in-flight job may re-enqueue itself (the
+  // worker OOM-retry path) between our queue sweep and the running_ wait,
+  // and a job left queued past detach is a use-after-free when it runs.
+  detaching_.insert(owner);
   for (auto it = queue_.begin(); it != queue_.end();) {
     if (it->owner == owner) {
       queuedKeys_.erase({it->owner, it->key});
@@ -73,6 +77,8 @@ void MaintenanceService::detach(void* owner) {
   idleCv_.wait(lk, [&] {
     return std::find(running_.begin(), running_.end(), owner) == running_.end();
   });
+  // Lift the gate so a future object reusing this address can submit again.
+  detaching_.erase(owner);
 }
 
 void MaintenanceService::pause() {

@@ -194,6 +194,7 @@ class MaintenanceService {
   std::deque<Job> queue_;
   std::set<std::pair<void*, ByteVec>> queuedKeys_;  // dedupe index
   std::vector<void*> running_;       // owners of in-flight jobs
+  std::set<void*> detaching_;        // owners mid-detach: submit() rejects
   bool paused_ = false;
   bool stop_ = false;
 

@@ -273,6 +273,14 @@ class ShardedOakCoreMap {
       const std::size_t first = t.router.lowerShard(lo);
       const std::size_t last = std::min(t.router.upperShard(hi), n - 1);
       for (std::size_t i = first; i <= last; ++i) {
+        std::optional<ByteVec> effLo = lo;
+        if (i > 0) {
+          // Clamp below as well as above: during a merge the absorbing core
+          // transiently holds keys under its published lower boundary, and
+          // an unclamped iterator would yield them from both shards.
+          ByteVec lb = toVec(t.router.boundary(i - 1));
+          if (!effLo || m.cmp_(asBytes(lb), asBytes(*effLo)) > 0) effLo = std::move(lb);
+        }
         std::optional<ByteVec> effHi = hi;
         if (i + 1 < n) {
           ByteVec ub = toVec(t.router.boundary(i));
@@ -280,7 +288,7 @@ class ShardedOakCoreMap {
         }
         cores_.push_back(t.cores[i]);
         iters_.push_back(std::make_unique<typename Core::AscendIter>(
-            *t.cores[i], lo, std::move(effHi), opts));
+            *t.cores[i], std::move(effLo), std::move(effHi), opts));
       }
       pick();
     }
@@ -325,6 +333,13 @@ class ShardedOakCoreMap {
       const std::size_t first = t.router.lowerShard(lo);
       const std::size_t last = std::min(t.router.upperShard(hi), n - 1);
       for (std::size_t i = first; i <= last; ++i) {
+        std::optional<ByteVec> effLo = lo;
+        if (i > 0) {
+          // Same lower-bound clamp as AscendIter: merge leftovers below the
+          // shard's published range must not surface twice.
+          ByteVec lb = toVec(t.router.boundary(i - 1));
+          if (!effLo || m.cmp_(asBytes(lb), asBytes(*effLo)) > 0) effLo = std::move(lb);
+        }
         std::optional<ByteVec> effHi = hi;
         if (i + 1 < n) {
           ByteVec ub = toVec(t.router.boundary(i));
@@ -332,7 +347,7 @@ class ShardedOakCoreMap {
         }
         cores_.push_back(t.cores[i]);
         iters_.push_back(std::make_unique<typename Core::DescendIter>(
-            *t.cores[i], lo, std::move(effHi), opts));
+            *t.cores[i], std::move(effLo), std::move(effHi), opts));
       }
       pick();
     }

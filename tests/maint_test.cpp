@@ -160,6 +160,53 @@ TEST(MaintService, DetachCancelsQueuedJobsForThatOwnerOnly) {
   EXPECT_EQ(keep.runs.load(), 1);
 }
 
+/// Job that re-enqueues itself once mid-run — the shape of the worker
+/// OOM-retry path in backgroundRebalance.
+struct Resubmitter {
+  MaintenanceService* svc = nullptr;
+  std::atomic<int> runs{0};
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+
+  static void run(void* owner, const ByteVec& key) {
+    auto* self = static_cast<Resubmitter*>(owner);
+    const int n = self->runs.fetch_add(1) + 1;
+    self->started.store(true, std::memory_order_release);
+    while (!self->release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    if (n == 1) self->svc->submit(owner, ByteVec(key), 0, &Resubmitter::run);
+  }
+};
+
+TEST(MaintService, DetachRejectsResubmissionFromInFlightJob) {
+  // Regression: an in-flight job that resubmits itself while detach() waits
+  // it out must not leave a queued job behind — a worker running it after
+  // detach returned would call into a destroyed owner.
+  MaintenanceService svc(/*threads=*/1);
+  Resubmitter job;
+  job.svc = &svc;
+  ASSERT_TRUE(svc.submit(&job, keyOf(1), 0, &Resubmitter::run));
+  while (!job.started.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  // Pause so a worker cannot helpfully run the resubmitted job before
+  // detach() observes it — the leak is a job still queued at detach return.
+  svc.pause();
+  std::thread detacher([&] { svc.detach(&job); });
+  // Give detach time to cancel the (empty) queue and park on the in-flight
+  // wait before the job resubmits.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  job.release.store(true, std::memory_order_release);
+  detacher.join();
+  EXPECT_EQ(svc.stats().pending, 0u)
+      << "resubmitted job survived detach — would run against a dead owner";
+  const int runsAtDetach = job.runs.load();
+  svc.drain();  // drain works while paused: it would run any leaked job
+  EXPECT_EQ(job.runs.load(), runsAtDetach)
+      << "service called into the owner after detach returned";
+}
+
 TEST(MaintService, DrainBypassesRateLimiter) {
   // 1 byte/sec with a megabyte-cost job: a worker would stall for ages, but
   // drain() must execute it immediately on the caller.
@@ -461,6 +508,48 @@ TEST(MaintSharded, ExplicitSplitMergeRoundtripPreservesData) {
   const auto rep = ChunkWalker<BytesComparator>::validate(map);
   EXPECT_TRUE(rep.problems.empty())
       << "first problem: " << (rep.problems.empty() ? "" : rep.problems[0]);
+}
+
+TEST(MaintSharded, ConcurrentScansSeeNoDuplicatesAcrossMerge) {
+  // Regression: during mergeShards phase 2 the absorbing core transiently
+  // holds copies below its published lower boundary; the merged scans must
+  // clamp each shard's lower bound or those keys surface from both the
+  // absorbed and the absorbing shard.  No writers run, so every scan must
+  // see each key exactly once, in order.
+  // The race window is merge phase 2 (copying the absorbed shard into its
+  // neighbor), so most keys live below the boundary to keep it wide.
+  constexpr std::uint64_t kKeys = 2200;
+  constexpr std::uint64_t kBoundary = 2000;
+  auto cfg = ShardedOakConfig{}
+                 .withShards(2)
+                 .withLayout(ShardLayout::at({keyOf(kBoundary)}))
+                 .withShard(OakConfig{}.withChunkCapacity(64));
+  ShardedOakCoreMap<> map(std::move(cfg));
+  for (std::uint64_t i = 0; i < kKeys; ++i) {
+    map.put(asBytes(keyOf(i)), asBytes(valOf(i)));
+  }
+
+  std::atomic<bool> done{false};
+  std::thread surgeon([&] {
+    for (int round = 0; round < 60; ++round) {
+      map.mergeShards(0);
+      map.splitShardAt(0, keyOf(kBoundary));
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  bool ok = true;
+  while (ok && !done.load(std::memory_order_acquire)) {
+    std::uint64_t expect = 0;
+    for (auto it = map.ascend(); ok && it.valid(); it.next(), ++expect) {
+      const std::uint64_t k = loadU64BE(it.entry().key.data());
+      EXPECT_EQ(k, expect) << "duplicate or out-of-order key mid-merge";
+      ok = (k == expect);
+    }
+    EXPECT_EQ(expect, kKeys);
+    ok = ok && expect == kKeys;
+  }
+  surgeon.join();
 }
 
 TEST(MaintSharded, AutoManageSplitsHotShard) {
