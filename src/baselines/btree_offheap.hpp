@@ -16,10 +16,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/bytes.hpp"
+#include "common/mutex.hpp"
 #include "mem/memory_manager.hpp"
 
 namespace oak::bl {
@@ -43,7 +44,7 @@ class OffHeapBTree {
 
   /// Inserts or replaces.  Returns true if a new key was inserted.
   bool put(ByteSpan key, ByteSpan value) {
-    std::unique_lock lk(mu_);
+    WriterLock lk(mu_);
     const std::uint64_t v = writeBuf(value).bits();
     Node* r = root_.get();
     if (static_cast<int>(r->keys.size()) == 2 * kOrder - 1) {
@@ -58,10 +59,10 @@ class OffHeapBTree {
 
   bool putIfAbsent(ByteSpan key, ByteSpan value) {
     {
-      std::shared_lock lk(mu_);
+      ReaderLock lk(mu_);
       if (findLeafValue(key) != 0) return false;
     }
-    std::unique_lock lk(mu_);
+    WriterLock lk(mu_);
     if (findLeafValue(key) != 0) return false;
     const std::uint64_t v = writeBuf(value).bits();
     Node* r = root_.get();
@@ -78,7 +79,7 @@ class OffHeapBTree {
 
   template <class F>
   bool get(ByteSpan key, F&& f) const {
-    std::shared_lock lk(mu_);
+    ReaderLock lk(mu_);
     const std::uint64_t v = findLeafValue(key);
     if (v == 0) return false;
     const mem::Ref r{v};
@@ -96,7 +97,7 @@ class OffHeapBTree {
   /// the key stays until compaction (which we never run — §3.2's "deletions
   /// are infrequent" workloads).
   bool remove(ByteSpan key) {
-    std::unique_lock lk(mu_);
+    WriterLock lk(mu_);
     Node* n = root_.get();
     while (!n->leaf) n = n->children[childIndex(n, key)].get();
     const int i = lowerBound(n, key);
@@ -111,7 +112,7 @@ class OffHeapBTree {
 
   template <class F>
   std::size_t scanAscend(ByteSpan from, std::size_t maxEntries, F&& f) const {
-    std::shared_lock lk(mu_);
+    ReaderLock lk(mu_);
     const Node* n = root_.get();
     while (!n->leaf) n = n->children[childIndex(n, from)].get();
     std::size_t count = 0;
@@ -132,7 +133,7 @@ class OffHeapBTree {
   }
 
   std::size_t size() const {
-    std::shared_lock lk(mu_);
+    ReaderLock lk(mu_);
     std::size_t n = 0;
     for (const Node* leaf = leftmost(); leaf != nullptr; leaf = leaf->nextLeaf) {
       for (std::uint64_t v : leaf->values) {
@@ -178,7 +179,7 @@ class OffHeapBTree {
     return i;
   }
 
-  std::uint64_t findLeafValue(ByteSpan key) const {
+  std::uint64_t findLeafValue(ByteSpan key) const OAK_REQUIRES_SHARED(mu_) {
     const Node* n = root_.get();
     while (!n->leaf) n = n->children[childIndex(n, key)].get();
     const int i = lowerBound(n, key);
@@ -186,13 +187,13 @@ class OffHeapBTree {
     return n->values[i];
   }
 
-  const Node* leftmost() const {
+  const Node* leftmost() const OAK_REQUIRES_SHARED(mu_) {
     const Node* n = root_.get();
     while (!n->leaf) n = n->children.front().get();
     return n;
   }
 
-  void splitChild(Node* parent, int idx) {
+  void splitChild(Node* parent, int idx) OAK_REQUIRES(mu_) {
     Node* child = parent->children[idx].get();
     auto right = std::make_unique<Node>();
     right->leaf = child->leaf;
@@ -220,7 +221,7 @@ class OffHeapBTree {
   }
 
   /// Returns true if a NEW key was inserted (false: replaced in place).
-  bool insertNonFull(Node* n, ByteSpan key, std::uint64_t v) {
+  bool insertNonFull(Node* n, ByteSpan key, std::uint64_t v) OAK_REQUIRES(mu_) {
     while (!n->leaf) {
       int i = childIndex(n, key);
       Node* child = n->children[i].get();
@@ -243,9 +244,9 @@ class OffHeapBTree {
     return true;
   }
 
-  mutable std::shared_mutex mu_;
+  mutable SharedMutex mu_;
   mutable mem::MemoryManager mm_;
-  std::unique_ptr<Node> root_;
+  std::unique_ptr<Node> root_ OAK_GUARDED_BY(mu_);
 };
 
 }  // namespace oak::bl

@@ -1,0 +1,80 @@
+// Clang thread-safety capability annotations (the compile-time half of the
+// concurrency contract; DESIGN.md §10).
+//
+// Oak's correctness argument rests on locking discipline the compiler never
+// used to see: the flat free list behind freeMu_, chunk-list surgery behind
+// rebalanceMu_, the maintenance queue behind its mutex, shard-layout
+// publication behind mgmtMu_.  These macros expose that discipline to
+// Clang's `-Wthread-safety` analysis so a guarded field accessed without its
+// lock — or a *Locked() helper called lock-free — is a build error in the
+// `thread-safety` preset, not a seed-303 chaos finding.
+//
+// Under any non-Clang compiler every macro expands to nothing, so the
+// annotations cost zero in the tier-1 gcc builds.  The vocabulary mirrors
+// the official Clang mutex.h idiom (capability / scoped_lockable /
+// guarded_by / acquire / release / try_acquire):
+//
+//   class OAK_CAPABILITY("mutex") SpinLock { ... };
+//   std::vector<Ref> freeList_ OAK_GUARDED_BY(freeMu_);
+//   void newBlockLocked(std::uint32_t need) OAK_REQUIRES(growMu_);
+//
+// Enforcement: `cmake --preset thread-safety` (clang++, -Wthread-safety
+// -Werror=thread-safety) and the CI `thread-safety` job.  The negative
+// compile test (tools/thread_safety_check.sh) proves the preset actually
+// rejects an unguarded access.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define OAK_TSA_ATTR(x) __attribute__((x))
+#else
+#define OAK_TSA_ATTR(x)  // no-op: gcc/msvc do not implement the analysis
+#endif
+
+/// A type whose instances are lockable capabilities ("mutex", "spinlock").
+#define OAK_CAPABILITY(x) OAK_TSA_ATTR(capability(x))
+
+/// An RAII type that acquires a capability in its constructor and releases
+/// it in its destructor (std::lock_guard shape).
+#define OAK_SCOPED_CAPABILITY OAK_TSA_ATTR(scoped_lockable)
+
+/// Field/var readable+writable only while holding the given capability.
+#define OAK_GUARDED_BY(x) OAK_TSA_ATTR(guarded_by(x))
+
+/// Pointer field whose *pointee* is guarded by the given capability.
+#define OAK_PT_GUARDED_BY(x) OAK_TSA_ATTR(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock detection).
+#define OAK_ACQUIRED_BEFORE(...) OAK_TSA_ATTR(acquired_before(__VA_ARGS__))
+#define OAK_ACQUIRED_AFTER(...) OAK_TSA_ATTR(acquired_after(__VA_ARGS__))
+
+/// The caller must hold the capability (exclusively / shared) on entry; the
+/// function does not release it.  This is the annotation for *Locked()
+/// helpers.
+#define OAK_REQUIRES(...) OAK_TSA_ATTR(requires_capability(__VA_ARGS__))
+#define OAK_REQUIRES_SHARED(...) OAK_TSA_ATTR(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability and holds it past return.
+#define OAK_ACQUIRE(...) OAK_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#define OAK_ACQUIRE_SHARED(...) OAK_TSA_ATTR(acquire_shared_capability(__VA_ARGS__))
+
+/// The function releases a held capability.
+#define OAK_RELEASE(...) OAK_TSA_ATTR(release_capability(__VA_ARGS__))
+#define OAK_RELEASE_SHARED(...) OAK_TSA_ATTR(release_shared_capability(__VA_ARGS__))
+
+/// tryLock shape: acquires only when returning `ret` (usually true).
+#define OAK_TRY_ACQUIRE(...) OAK_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+#define OAK_TRY_ACQUIRE_SHARED(...) OAK_TSA_ATTR(try_acquire_shared_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the capability (non-reentrancy / deadlock guard).
+#define OAK_EXCLUDES(...) OAK_TSA_ATTR(locks_excluded(__VA_ARGS__))
+
+/// Runtime-checked assertion that the capability is held (no acquire).
+#define OAK_ASSERT_CAPABILITY(x) OAK_TSA_ATTR(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define OAK_RETURN_CAPABILITY(x) OAK_TSA_ATTR(lock_returned(x))
+
+/// Escape hatch for protocols the analysis cannot express (destructor-time
+/// exclusive access, lock-free publication).  Every use carries a comment
+/// saying why the analysis is wrong, not merely inconvenient.
+#define OAK_NO_THREAD_SAFETY_ANALYSIS OAK_TSA_ATTR(no_thread_safety_analysis)

@@ -32,20 +32,22 @@
 namespace oak::env {
 
 /// Raw variable text, or nullptr when unset.  Prefer the typed readers.
-inline const char* raw(const char* name) noexcept { return std::getenv(name); }
+inline const char* raw(const char* name) noexcept {
+  return std::getenv(name);  // NOLINT(concurrency-mt-unsafe) — the gateway
+}
 
 /// Boolean gate.  Unset or empty → `def`; a value whose first character is
 /// '0' → false; anything else → true.  ("OAK_X=0" is the documented way to
 /// turn a default-on gate off.)
 inline bool flag(const char* name, bool def) noexcept {
-  const char* v = std::getenv(name);
+  const char* v = std::getenv(name);  // NOLINT(concurrency-mt-unsafe) — the gateway
   if (v == nullptr || v[0] == '\0') return def;
   return v[0] != '0';
 }
 
 /// Unsigned integer knob.  Unset, empty, or unparsable → `def`.
 inline std::uint64_t u64(const char* name, std::uint64_t def) noexcept {
-  const char* v = std::getenv(name);
+  const char* v = std::getenv(name);  // NOLINT(concurrency-mt-unsafe) — the gateway
   if (v == nullptr || v[0] == '\0') return def;
   char* end = nullptr;
   const unsigned long long parsed = std::strtoull(v, &end, 10);
@@ -55,7 +57,7 @@ inline std::uint64_t u64(const char* name, std::uint64_t def) noexcept {
 
 /// String knob.  Unset → nullopt (empty string is a real, set value).
 inline std::optional<std::string> str(const char* name) {
-  const char* v = std::getenv(name);
+  const char* v = std::getenv(name);  // NOLINT(concurrency-mt-unsafe) — the gateway
   if (v == nullptr) return std::nullopt;
   return std::string(v);
 }

@@ -6,11 +6,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/env.hpp"
+#include "common/mutex.hpp"
 
 namespace oak::fault {
 namespace {
@@ -45,7 +46,9 @@ class Registry {
 
   Registry() {
     // Environment arming happens exactly once, before any site can fire,
-    // because every public entry point routes through instance().
+    // because every public entry point routes through instance().  The lock
+    // is uncontended here; taking it keeps the *Locked contracts uniform.
+    MutexLock g(mu_);
     const char* spec = env::raw("OAK_FAULT_SPEC");
     if (spec != nullptr && spec[0] != '\0' && !armFromSpecLocked(spec)) {
       std::fprintf(stderr, "oak: malformed OAK_FAULT_SPEC: \"%s\"\n", spec);
@@ -54,7 +57,7 @@ class Registry {
 
   bool shouldInject(const char* site) noexcept {
     if (armedCount_.load(std::memory_order_relaxed) == 0) return false;
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     Site* s = find(site);
     if (s == nullptr || !s->armed) return false;
     ++s->hits;
@@ -84,18 +87,18 @@ class Registry {
   }
 
   void arm(const char* site, Schedule sched) {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     armLocked(site, sched);
   }
 
   void disarm(const char* site) {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     Site* s = find(site);
     if (s != nullptr && s->armed) disarmLocked(*s);
   }
 
   void disarmAll() {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     for (Site& s : sites_) {
       if (s.armed) disarmLocked(s);
     }
@@ -106,31 +109,31 @@ class Registry {
   }
 
   std::uint64_t injectedAt(const char* site) {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     const Site* s = find(site);
     return s == nullptr ? 0 : s->injected;
   }
 
   std::uint64_t hitsAt(const char* site) {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     const Site* s = find(site);
     return s == nullptr ? 0 : s->hits;
   }
 
   bool armFromSpec(const char* spec) {
-    std::lock_guard<std::mutex> g(mu_);
+    MutexLock g(mu_);
     return armFromSpecLocked(spec);
   }
 
  private:
-  Site* find(const char* name) {
+  Site* find(const char* name) OAK_REQUIRES(mu_) {
     for (Site& s : sites_) {
       if (s.name == name) return &s;
     }
     return nullptr;
   }
 
-  void armLocked(const char* site, Schedule sched) {
+  void armLocked(const char* site, Schedule sched) OAK_REQUIRES(mu_) {
     Site* s = find(site);
     if (s == nullptr) {
       sites_.emplace_back();
@@ -150,14 +153,14 @@ class Registry {
     s->rng = sched.seed == 0 ? 1 : sched.seed;
   }
 
-  void disarmLocked(Site& s) {
+  void disarmLocked(Site& s) OAK_REQUIRES(mu_) {
     s.armed = false;
     s.sched.mode = Schedule::Mode::Off;
     armedCount_.fetch_sub(1, std::memory_order_relaxed);
   }
 
   // One `site=clause` at a time; clauses separated by ';' (or ',').
-  bool armFromSpecLocked(const char* spec) {
+  bool armFromSpecLocked(const char* spec) OAK_REQUIRES(mu_) {
     const char* p = spec;
     while (*p != '\0') {
       const char* end = p;
@@ -168,7 +171,7 @@ class Registry {
     return true;
   }
 
-  bool armClause(const std::string& clause) {
+  bool armClause(const std::string& clause) OAK_REQUIRES(mu_) {
     const std::size_t eq = clause.find('=');
     if (eq == std::string::npos || eq == 0) return false;
     const std::string site = clause.substr(0, eq);
@@ -201,8 +204,8 @@ class Registry {
     return true;
   }
 
-  std::mutex mu_;
-  std::vector<Site> sites_;
+  Mutex mu_;
+  std::vector<Site> sites_ OAK_GUARDED_BY(mu_);
   std::atomic<std::uint32_t> armedCount_{0};
   std::atomic<std::uint64_t> injectedTotal_{0};
 };

@@ -1,0 +1,111 @@
+// Capability-annotated mutex wrappers (DESIGN.md §10).
+//
+// libstdc++'s std::mutex / std::lock_guard carry no thread-safety
+// annotations, so code locking through them is invisible to Clang's
+// `-Wthread-safety` analysis.  These thin wrappers restore visibility:
+//
+//   oak::Mutex mu_;                               // a capability
+//   int x_ OAK_GUARDED_BY(mu_);                   // checked access
+//   oak::MutexLock lk(mu_);                       // scoped acquire
+//   cv_.wait(lk.native(), pred);                  // condition waits
+//
+// MutexLock is deliberately *relockable* (annotated lock()/unlock()), the
+// std::unique_lock shape: MaintenanceService::drain() drops the queue lock
+// around each job body and the analysis tracks the gap.  Condition waits go
+// through native(); std::condition_variable reacquires before returning, so
+// treating the capability as held across the wait is sound.
+//
+// Zero-cost: both wrappers compile to exactly the std types they hold.
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/annotations.hpp"
+
+namespace oak {
+
+/// std::mutex as a Clang thread-safety capability.
+class OAK_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() OAK_ACQUIRE() { mu_.lock(); }
+  void unlock() OAK_RELEASE() { mu_.unlock(); }
+  bool tryLock() OAK_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The raw std::mutex, for std::condition_variable plumbing only.  Lock
+  /// state must always be manipulated through the annotated surface.
+  std::mutex& raw() noexcept { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::unique_lock<std::mutex> over an oak::Mutex, visible to the analysis.
+/// Constructed locked; destructor releases if held; lock()/unlock() make
+/// drop-the-lock-around-work loops checkable.
+class OAK_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) OAK_ACQUIRE(mu) : lk_(mu.raw()) {}
+  ~MutexLock() OAK_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() OAK_ACQUIRE() { lk_.lock(); }
+  void unlock() OAK_RELEASE() { lk_.unlock(); }
+
+  /// For std::condition_variable::wait(...): the wait reacquires before it
+  /// returns, so the capability is held again when control comes back.
+  std::unique_lock<std::mutex>& native() noexcept { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// std::shared_mutex as a capability (baseline B-tree's reader/writer lock).
+class OAK_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() OAK_ACQUIRE() { mu_.lock(); }
+  void unlock() OAK_RELEASE() { mu_.unlock(); }
+  void lockShared() OAK_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlockShared() OAK_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Exclusive scoped hold on a SharedMutex.
+class OAK_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) OAK_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~WriterLock() OAK_RELEASE() { mu_.unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Shared scoped hold on a SharedMutex.
+class OAK_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) OAK_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lockShared();
+  }
+  ~ReaderLock() OAK_RELEASE() { mu_.unlockShared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace oak

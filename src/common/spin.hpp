@@ -4,6 +4,8 @@
 #include <atomic>
 #include <thread>
 
+#include "common/annotations.hpp"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
 #endif
@@ -42,20 +44,43 @@ class Backoff {
 };
 
 /// Tiny test-and-test-and-set spinlock for cold paths (free lists, pools).
-class SpinLock {
+/// A Clang thread-safety capability: fields it protects carry
+/// OAK_GUARDED_BY(mu), and the `thread-safety` preset rejects unguarded
+/// access at compile time (DESIGN.md §10).
+class OAK_CAPABILITY("spinlock") SpinLock {
  public:
-  void lock() noexcept {
+  void lock() noexcept OAK_ACQUIRE() {
     Backoff b;
     for (;;) {
       if (!locked_.exchange(true, std::memory_order_acquire)) return;
       while (locked_.load(std::memory_order_relaxed)) b.pause();
     }
   }
-  bool try_lock() noexcept { return !locked_.exchange(true, std::memory_order_acquire); }
-  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+  bool try_lock() noexcept OAK_TRY_ACQUIRE(true) {
+    return !locked_.exchange(true, std::memory_order_acquire);
+  }
+  void unlock() noexcept OAK_RELEASE() {
+    locked_.store(false, std::memory_order_release);
+  }
 
  private:
   std::atomic<bool> locked_{false};
+};
+
+/// Scoped SpinLock hold.  Use this instead of a std lock adapter over a
+/// SpinLock: the std adapters carry no annotations, so the analysis (and
+/// oaklint R3, which bans allocation under a spinlock) would lose track of
+/// the critical section.  tools/lint.sh greps the std adapters out.
+class OAK_SCOPED_CAPABILITY SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock& l) noexcept OAK_ACQUIRE(l) : l_(l) { l_.lock(); }
+  ~SpinGuard() OAK_RELEASE() { l_.unlock(); }
+
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+ private:
+  SpinLock& l_;
 };
 
 }  // namespace oak

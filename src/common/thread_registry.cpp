@@ -3,8 +3,10 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace oak {
 namespace {
@@ -18,8 +20,8 @@ struct HookEntry {
 };
 
 struct HookRegistry {
-  std::mutex mu;
-  std::vector<HookEntry> hooks;
+  Mutex mu;
+  std::vector<HookEntry> hooks OAK_GUARDED_BY(mu);
 };
 
 // Leaked on purpose: worker threads can outlive main()'s static destructors,
@@ -35,7 +37,7 @@ void runExitHooks(std::uint32_t id) {
   // Hooks are required to be quick and non-reentrant, and magazine drains
   // are — they only push refs onto the depot's own stacks.
   HookRegistry& reg = hookRegistry();
-  std::lock_guard<std::mutex> lk(reg.mu);
+  MutexLock lk(reg.mu);
   for (const HookEntry& h : reg.hooks) h.fn(h.ctx, id);
 }
 
@@ -89,7 +91,7 @@ std::uint32_t ThreadRegistry::highWater() {
 
 void ThreadRegistry::addExitHook(ExitHook fn, void* ctx) {
   HookRegistry& reg = hookRegistry();
-  std::lock_guard<std::mutex> lk(reg.mu);
+  MutexLock lk(reg.mu);
   for (const HookEntry& h : reg.hooks) {
     if (h.fn == fn && h.ctx == ctx) return;
   }
@@ -98,7 +100,7 @@ void ThreadRegistry::addExitHook(ExitHook fn, void* ctx) {
 
 void ThreadRegistry::removeExitHook(ExitHook fn, void* ctx) {
   HookRegistry& reg = hookRegistry();
-  std::lock_guard<std::mutex> lk(reg.mu);
+  MutexLock lk(reg.mu);
   auto& v = reg.hooks;
   for (auto it = v.begin(); it != v.end(); ++it) {
     if (it->fn == fn && it->ctx == ctx) {

@@ -3,11 +3,12 @@
 namespace oak::druid {
 
 Dictionary::~Dictionary() {
+  MutexLock lk(mu_);  // destructor is exclusive, but keeps the analysis exact
   for (auto* s : strings_) mheap::ManagedBytes::dispose(heap_, s);
 }
 
 std::int32_t Dictionary::encode(std::string_view s) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = codes_.find(s);
   if (it != codes_.end()) return it->second;
   auto* copy = mheap::ManagedBytes::make(
@@ -22,14 +23,14 @@ std::int32_t Dictionary::encode(std::string_view s) {
 }
 
 std::string_view Dictionary::decode(std::int32_t code) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (code < 0 || static_cast<std::size_t>(code) >= strings_.size()) return {};
   const auto* s = strings_[static_cast<std::size_t>(code)];
   return {reinterpret_cast<const char*>(s->data()), s->size()};
 }
 
 std::size_t Dictionary::size() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return strings_.size();
 }
 

@@ -9,12 +9,13 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "mheap/managed_heap.hpp"
 
 namespace oak::druid {
@@ -37,9 +38,10 @@ class Dictionary {
 
  private:
   mheap::ManagedHeap& heap_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string_view, std::int32_t> codes_;
-  std::vector<mheap::ManagedBytes*> strings_;  // managed copies, code-indexed
+  mutable Mutex mu_;
+  std::unordered_map<std::string_view, std::int32_t> codes_ OAK_GUARDED_BY(mu_);
+  /// Managed copies, code-indexed.
+  std::vector<mheap::ManagedBytes*> strings_ OAK_GUARDED_BY(mu_);
 };
 
 }  // namespace oak::druid

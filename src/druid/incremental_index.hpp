@@ -145,7 +145,7 @@ class LegacyIndexBackend {
       node = existing;
     }
     Row* row = node->loadValue();
-    std::lock_guard<SpinLock> lk(row->lock);
+    SpinGuard lk(row->lock);
     for (std::size_t i = 0; i < spec_->columnCount(); ++i) {
       MB* col = row->cols()[i];
       spec_->foldColumn(MutByteSpan{col->data(), col->size()}, i, metrics);
@@ -177,7 +177,7 @@ class LegacyIndexBackend {
       if (hi && compareBytes(k, asBytes(*hi)) >= 0) break;
       Row* row = node->loadValue();
       if (row != nullptr) {
-        std::lock_guard<SpinLock> lk(row->lock);
+        SpinGuard lk(row->lock);
         for (std::size_t i = 0; i < spec_->columnCount(); ++i) {
           const MB* col = row->cols()[i];
           copyBytes({flat.data() + spec_->offset(i), col->size()},

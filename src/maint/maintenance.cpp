@@ -16,10 +16,10 @@ MaintenanceService::MaintenanceService(unsigned threads,
                                        std::size_t queueDepth)
     : rate_(rateLimitBytesPerSec),
       queueDepth_(queueDepth == 0 ? 1 : queueDepth),
+      // A full second of burst: short spikes ride the bucket, sustained load
+      // converges to the configured rate.
+      tokens_(static_cast<double>(rateLimitBytesPerSec)),
       lastRefill_(Clock::now()) {
-  // A full second of burst: short spikes ride the bucket, sustained load
-  // converges to the configured rate.
-  tokens_ = static_cast<double>(rate_);
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { workerLoop(); });
@@ -28,7 +28,7 @@ MaintenanceService::MaintenanceService(unsigned threads,
 
 MaintenanceService::~MaintenanceService() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   workCv_.notify_all();
@@ -41,7 +41,7 @@ MaintenanceService::~MaintenanceService() {
 bool MaintenanceService::submit(void* owner, ByteVec key, std::size_t costBytes,
                                 JobFn fn) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (stop_ || detaching_.count(owner) != 0) return false;
     if (!queuedKeys_.emplace(owner, key).second) {
       coalesced_.fetch_add(1, std::memory_order_relaxed);
@@ -61,7 +61,7 @@ bool MaintenanceService::submit(void* owner, ByteVec key, std::size_t costBytes,
 }
 
 void MaintenanceService::detach(void* owner) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   // Block resubmission first: an in-flight job may re-enqueue itself (the
   // worker OOM-retry path) between our queue sweep and the running_ wait,
   // and a job left queued past detach is a use-after-free when it runs.
@@ -74,21 +74,24 @@ void MaintenanceService::detach(void* owner) {
       ++it;
     }
   }
-  idleCv_.wait(lk, [&] {
-    return std::find(running_.begin(), running_.end(), owner) == running_.end();
-  });
+  // Open-coded wait (not a predicate lambda) so the analysis sees the
+  // guarded running_ reads happen with mu_ held; the cv reacquires before
+  // each predicate evaluation.
+  while (std::find(running_.begin(), running_.end(), owner) != running_.end()) {
+    idleCv_.wait(lk.native());
+  }
   // Lift the gate so a future object reusing this address can submit again.
   detaching_.erase(owner);
 }
 
 void MaintenanceService::pause() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   paused_ = true;
 }
 
 void MaintenanceService::resume() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     paused_ = false;
   }
   workCv_.notify_all();
@@ -97,7 +100,7 @@ void MaintenanceService::resume() {
 void MaintenanceService::drain() {
   drainers_.fetch_add(1, std::memory_order_relaxed);
   rateCv_.notify_all();
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (;;) {
     if (!queue_.empty()) {
       Job j = takeFrontLocked();
@@ -108,7 +111,7 @@ void MaintenanceService::drain() {
       continue;
     }
     if (running_.empty()) break;
-    idleCv_.wait(lk);
+    idleCv_.wait(lk.native());
   }
   drainers_.fetch_sub(1, std::memory_order_relaxed);
 }
@@ -116,7 +119,7 @@ void MaintenanceService::drain() {
 MaintenanceStats MaintenanceService::stats() const {
   MaintenanceStats s;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     s.pending = queue_.size();
     s.inFlight = running_.size();
     s.paused = paused_;
@@ -161,7 +164,7 @@ void MaintenanceService::throttle(std::size_t costBytes) {
   // second's worth.
   const double cost = std::min<double>(static_cast<double>(costBytes),
                                        static_cast<double>(rate_));
-  std::unique_lock<std::mutex> lk(rateMu_);
+  MutexLock lk(rateMu_);
   for (;;) {
     const auto now = Clock::now();
     const std::chrono::duration<double> dt = now - lastRefill_;
@@ -174,11 +177,11 @@ void MaintenanceService::throttle(std::size_t costBytes) {
     }
     if (drainers_.load(std::memory_order_relaxed) > 0) return;
     {
-      std::lock_guard<std::mutex> g(mu_);
+      MutexLock g(mu_);
       if (stop_) return;
     }
     const auto t0 = Clock::now();
-    rateCv_.wait_for(lk, kThrottleSlice);
+    rateCv_.wait_for(lk.native(), kThrottleSlice);
     const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
         Clock::now() - t0);
     throttledMs_.fetch_add(static_cast<std::uint64_t>(waited.count()),
@@ -187,9 +190,11 @@ void MaintenanceService::throttle(std::size_t costBytes) {
 }
 
 void MaintenanceService::workerLoop() {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (;;) {
-    workCv_.wait(lk, [&] { return stop_ || (!queue_.empty() && !paused_); });
+    // Open-coded predicate: the guarded reads stay in this function's body,
+    // where the analysis knows mu_ is held across each evaluation.
+    while (!stop_ && (queue_.empty() || paused_)) workCv_.wait(lk.native());
     if (stop_) return;
     Job j = takeFrontLocked();
     lk.unlock();

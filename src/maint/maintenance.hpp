@@ -38,14 +38,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/bytes.hpp"
 #include "common/env.hpp"
+#include "common/mutex.hpp"
 
 namespace oak::maint {
 
@@ -179,30 +180,31 @@ class MaintenanceService {
   void workerLoop();
   /// Pops the front job under `mu_` (caller holds the lock) and marks it
   /// running.
-  Job takeFrontLocked();
-  void finishJobLocked(const Job& j);
+  Job takeFrontLocked() OAK_REQUIRES(mu_);
+  void finishJobLocked(const Job& j) OAK_REQUIRES(mu_);
   static void runJobNoexcept(const Job& j) noexcept;
   /// Blocks until the token bucket covers `costBytes` (or stop/drain).
-  void throttle(std::size_t costBytes);
+  void throttle(std::size_t costBytes) OAK_EXCLUDES(rateMu_, mu_);
 
   const std::size_t rate_;        // bytes/sec; 0 = unthrottled
   const std::size_t queueDepth_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable workCv_;   // queue non-empty / unpaused / stop
   std::condition_variable idleCv_;   // job finished or queue emptied
-  std::deque<Job> queue_;
-  std::set<std::pair<void*, ByteVec>> queuedKeys_;  // dedupe index
-  std::vector<void*> running_;       // owners of in-flight jobs
-  std::set<void*> detaching_;        // owners mid-detach: submit() rejects
-  bool paused_ = false;
-  bool stop_ = false;
+  std::deque<Job> queue_ OAK_GUARDED_BY(mu_);
+  /// Dedupe index over queue_.
+  std::set<std::pair<void*, ByteVec>> queuedKeys_ OAK_GUARDED_BY(mu_);
+  std::vector<void*> running_ OAK_GUARDED_BY(mu_);  // owners of in-flight jobs
+  std::set<void*> detaching_ OAK_GUARDED_BY(mu_);   // mid-detach: submit() rejects
+  bool paused_ OAK_GUARDED_BY(mu_) = false;
+  bool stop_ OAK_GUARDED_BY(mu_) = false;
 
   // Token bucket (own lock: throttling must not block submit/drain).
-  std::mutex rateMu_;
+  Mutex rateMu_ OAK_ACQUIRED_BEFORE(mu_);
   std::condition_variable rateCv_;
-  double tokens_ = 0;
-  std::chrono::steady_clock::time_point lastRefill_;
+  double tokens_ OAK_GUARDED_BY(rateMu_) = 0;
+  std::chrono::steady_clock::time_point lastRefill_ OAK_GUARDED_BY(rateMu_);
 
   // Gauges (relaxed; read via stats()).
   std::atomic<std::uint64_t> submitted_{0};

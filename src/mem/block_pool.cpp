@@ -9,11 +9,15 @@ BlockPool::BlockPool(Config cfg) : cfg_(cfg) {
   if (cfg_.blockBytes > (std::size_t{1} << Ref::kOffsetBits)) {
     throw OakUsageError("block size exceeds Ref offset range (64 MiB)");
   }
+  // Full capacity up front (kMaxBlocks pointers ≈ 32 KiB) so arena(id) can
+  // read the vector without mu_: growth can never reallocate the buffer out
+  // from under a concurrent reader.
+  arenas_.reserve(Ref::kMaxBlocks);
 }
 
 std::uint32_t BlockPool::acquire() {
   OAK_FAULT_POINT("pool.acquire", OffHeapOutOfMemory);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (!freeIds_.empty()) {
     const std::uint32_t id = freeIds_.back();
     freeIds_.pop_back();
@@ -28,13 +32,13 @@ std::uint32_t BlockPool::acquire() {
 }
 
 void BlockPool::release(std::uint32_t id) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   freeIds_.push_back(id);
   acquired_ -= cfg_.blockBytes;
 }
 
 std::size_t BlockPool::acquiredBytes() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return acquired_;
 }
 

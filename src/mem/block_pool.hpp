@@ -12,9 +12,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "mem/arena.hpp"
 #include "mem/ref.hpp"
 
@@ -52,10 +53,15 @@ class BlockPool {
 
  private:
   Config cfg_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
+  /// Not OAK_GUARDED_BY(mu_): arena(id) reads without the lock from hot
+  /// paths, which is safe only because the constructor reserves full
+  /// Ref::kMaxBlocks capacity — push_back under mu_ never reallocates, and
+  /// an id is handed to a reader only after its slot was published by
+  /// acquire()'s release of mu_.
   std::vector<std::unique_ptr<Arena>> arenas_;
-  std::vector<std::uint32_t> freeIds_;
-  std::size_t acquired_ = 0;
+  std::vector<std::uint32_t> freeIds_ OAK_GUARDED_BY(mu_);
+  std::size_t acquired_ OAK_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace oak::mem

@@ -35,10 +35,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/checked.hpp"
+#include "common/mutex.hpp"
 #include "common/spin.hpp"
 #include "mem/block_pool.hpp"
 #include "mem/magazine.hpp"
@@ -202,8 +203,8 @@ class FirstFitAllocator {
   }
 
   Ref tryBump(std::uint32_t need);
-  Ref tryFreeList(std::uint32_t need);
-  void newBlockLocked(std::uint32_t need);
+  Ref tryFreeList(std::uint32_t need) OAK_EXCLUDES(freeMu_);
+  void newBlockLocked(std::uint32_t need) OAK_REQUIRES(growMu_);
   /// Stamps the slice header, flips the bitmap bit, unpoisons, accounts.
   /// `seg` is a raw segment of exactly `need` bytes (the class size for
   /// magazine-eligible allocations, roundUp(len) + header otherwise).
@@ -224,25 +225,25 @@ class FirstFitAllocator {
   // Packed current-arena cursor: [block:20 | offset:40] (offset is bounded by
   // the 26-bit Ref range anyway).
   std::atomic<std::uint64_t> cur_{0};
-  std::mutex growMu_;
+  Mutex growMu_ OAK_ACQUIRED_BEFORE(freeMu_);
 
   // Flat free list: vector of free segments scanned first-fit.
   mutable SpinLock freeMu_;
-  std::vector<Ref> freeList_;
+  std::vector<Ref> freeList_ OAK_GUARDED_BY(freeMu_);
   std::atomic<std::uint64_t> freeCount_{0};
 
   // Emergency reserve: a raw segment (same format as free-list entries)
   // withheld from allocation until releaseEmergencyReserve().  reserveSeg_
   // is guarded by freeMu_; the carve itself happens under growMu_.
   const std::uint32_t reserveBytes_;
-  bool reserveCarved_ = false;
-  Ref reserveSeg_{};
+  bool reserveCarved_ OAK_GUARDED_BY(freeMu_) = false;
+  Ref reserveSeg_ OAK_GUARDED_BY(freeMu_){};
 
   // block id -> base pointer (written once per acquired block).
   std::atomic<std::byte*> bases_[Ref::kMaxBlocks];
   // block id -> allocation-start bitmap (one bit per kAlign granule).
   std::atomic<std::atomic<std::uint64_t>*> allocMap_[Ref::kMaxBlocks];
-  std::vector<std::uint32_t> owned_;
+  std::vector<std::uint32_t> owned_ OAK_GUARDED_BY(growMu_);
   std::atomic<std::size_t> nOwned_{0};
 
   // Size-class magazine front-end (mem/magazine.hpp).  magsEnabled_ is

@@ -47,7 +47,7 @@ void MagazineDepot::pushGlobal(Ref seg, std::uint32_t cls) {
 Ref MagazineDepot::popGlobalOne(std::uint32_t cls) noexcept {
   GlobalStack& g = global_[cls];
   if (g.head.load(std::memory_order_relaxed) == 0) return Ref{};  // fast empty
-  std::lock_guard<SpinLock> lk(g.popMu);
+  SpinGuard lk(g.popMu);
   std::uint64_t head = g.head.load(std::memory_order_acquire);
   for (;;) {
     if (head == 0) return Ref{};
@@ -88,7 +88,7 @@ Ref MagazineDepot::popLocal(std::uint32_t cls, std::uint32_t tid) noexcept {
   ThreadMags* tm = magsOf(tid);
   if (tm == nullptr) return Ref{};
   Magazine& m = tm->mags[cls];
-  std::lock_guard<SpinLock> lk(m.mu);
+  SpinGuard lk(m.mu);
   const std::uint32_t n = m.n.load(std::memory_order_relaxed);
   if (n == 0) return Ref{};
   const Ref r = m.slots[n - 1];
@@ -105,7 +105,7 @@ Ref MagazineDepot::popGlobal(std::uint32_t cls, std::uint32_t tid) {
   // allocations of this class stay entirely thread-local.
   if (ThreadMags* tm = magsOfOrCreate(tid)) {
     Magazine& m = tm->mags[cls];
-    std::lock_guard<SpinLock> lk(m.mu);
+    SpinGuard lk(m.mu);
     std::uint32_t n = m.n.load(std::memory_order_relaxed);
     for (std::uint32_t i = 1; i < kRefillBatch && n < kMagazineCapacity; ++i) {
       const Ref extra = popGlobalOne(cls);
@@ -133,7 +133,7 @@ void MagazineDepot::cache(Ref seg, std::uint32_t cls, std::uint32_t tid) {
     return;
   }
   Magazine& m = tm->mags[cls];
-  std::lock_guard<SpinLock> lk(m.mu);
+  SpinGuard lk(m.mu);
   std::uint32_t n = m.n.load(std::memory_order_relaxed);
   if (n == kMagazineCapacity) {
     flushLocked(m, cls, kMagazineCapacity / 2);
@@ -149,7 +149,7 @@ void MagazineDepot::drainThread(std::uint32_t tid) noexcept {
   if (tm == nullptr) return;
   for (std::uint32_t cls = 0; cls < SizeClasses::kNumClasses; ++cls) {
     Magazine& m = tm->mags[cls];
-    std::lock_guard<SpinLock> lk(m.mu);
+    SpinGuard lk(m.mu);
     flushLocked(m, cls, m.n.load(std::memory_order_relaxed));
   }
   drains_.fetch_add(1, std::memory_order_relaxed);
@@ -162,8 +162,9 @@ std::size_t MagazineDepot::drainAll(std::vector<Ref>& out) {
     if (tm == nullptr) continue;
     for (std::uint32_t cls = 0; cls < SizeClasses::kNumClasses; ++cls) {
       Magazine& m = tm->mags[cls];
-      std::lock_guard<SpinLock> lk(m.mu);
+      SpinGuard lk(m.mu);
       const std::uint32_t n = m.n.load(std::memory_order_relaxed);
+      // oaklint: allow(R3, emergency drain before OffHeapOutOfMemory — cold)
       for (std::uint32_t i = 0; i < n; ++i) out.push_back(m.slots[i]);
       moved += n;
       m.n.store(0, std::memory_order_release);

@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/spin.hpp"
 #include "common/thread_registry.hpp"
 #include "mem/ref.hpp"
@@ -122,7 +123,7 @@ class MagazineDepot {
     SpinLock mu;
     /// Mirrors the slot count for lock-free occupancy reads in stats().
     std::atomic<std::uint32_t> n{0};
-    Ref slots[kMagazineCapacity];
+    Ref slots[kMagazineCapacity] OAK_GUARDED_BY(mu);
   };
   struct ThreadMags {
     Magazine mags[SizeClasses::kNumClasses];
@@ -130,6 +131,8 @@ class MagazineDepot {
 
   /// Per-class free stack: head holds the Ref bits of the top segment
   /// (0 == empty).  popMu pins the top node for the read-link/CAS window.
+  /// head is deliberately *not* OAK_GUARDED_BY(popMu): pushes CAS it
+  /// lock-free; the lock only serializes removals (DESIGN.md §10).
   struct GlobalStack {
     std::atomic<std::uint64_t> head{0};
     SpinLock popMu;
@@ -145,7 +148,8 @@ class MagazineDepot {
   void pushGlobal(Ref seg, std::uint32_t cls);
   Ref popGlobalOne(std::uint32_t cls) noexcept;
   /// Moves the oldest `k` slots of a locked magazine to the global stack.
-  void flushLocked(Magazine& m, std::uint32_t cls, std::uint32_t k);
+  void flushLocked(Magazine& m, std::uint32_t cls, std::uint32_t k)
+      OAK_REQUIRES(m.mu);
 
   const std::atomic<std::byte*>* bases_;
   const std::uint32_t headerBytes_;

@@ -202,7 +202,7 @@ void ManagedHeap::free(void* p) noexcept {
 }
 
 void ManagedHeap::fullGc() {
-  std::unique_lock<std::mutex> lk(gcMu_);
+  MutexLock lk(gcMu_);
   // A racing thread may have collected while we waited for the lock; if the
   // heap is comfortably under trigger again, skip.
   const std::size_t committed = committed_.load(std::memory_order_acquire);
@@ -265,7 +265,7 @@ void ManagedHeap::fullGc() {
 }
 
 void ManagedHeap::collectNow() {
-  std::unique_lock<std::mutex> lk(gcMu_);
+  MutexLock lk(gcMu_);
   const std::uint64_t t0 = nowNanos();
   stw_.store(true, std::memory_order_seq_cst);
   const std::uint32_t hw = slotHighWater_.load(std::memory_order_acquire);

@@ -41,10 +41,11 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <new>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 #include "common/error.hpp"
 
@@ -175,7 +176,9 @@ class ManagedHeap {
   std::atomic<std::size_t> bytesSinceGc_{0};
 
   std::atomic<bool> stw_{false};
-  std::mutex gcMu_;
+  /// Serializes collectors; the swept state itself is atomic slots, so
+  /// nothing is OAK_GUARDED_BY(gcMu_) — the lock is pure mutual exclusion.
+  Mutex gcMu_;
 
   std::atomic<std::uint64_t> fullGcCycles_{0};
   std::atomic<std::uint64_t> youngGcCycles_{0};

@@ -16,15 +16,16 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/bytes.hpp"
 #include "common/checked.hpp"
 #include "common/env.hpp"
 #include "common/error.hpp"
 #include "common/fault.hpp"
+#include "common/mutex.hpp"
 #include "common/spin.hpp"
 #include "maint/maintenance.hpp"
 #include "mem/memory_manager.hpp"
@@ -1010,7 +1011,10 @@ class OakCoreMap {
   /// by a mutex (mutators stay concurrent; see DESIGN.md §4.2) which keeps
   /// the chunk-list surgery single-writer.
   void rebalance(ChunkT* c) {
-    std::lock_guard<std::mutex> lk(rebalanceMu_);
+    // oaklint: allow(R5, callers hold an EBR guard by design — the chunk
+    // pointer must stay pinned across the surgery; the lock serializes
+    // rebalancers only and is never taken on the read path)
+    MutexLock lk(rebalanceMu_);
     if (c->rebalancedTo().load(std::memory_order_acquire) != nullptr) return;
     rebalances_.fetch_add(1, std::memory_order_relaxed);
 
@@ -1209,7 +1213,9 @@ class OakCoreMap {
   sl::ManagedMem indexMem_;
   Index index_;
   std::atomic<ChunkT*> head_{nullptr};
-  std::mutex rebalanceMu_;
+  /// Serializes chunk-list surgery; the list itself is atomic redirects, so
+  /// nothing is OAK_GUARDED_BY it (pure mutual exclusion, like gcMu_).
+  Mutex rebalanceMu_;
   std::atomic<std::int64_t> chunkCount_{0};
   std::atomic<std::uint64_t> rebalances_{0};
   mutable obs::StatsRegistry stats_;

@@ -60,11 +60,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "common/spin.hpp"
 #include "common/thread_registry.hpp"
 #include "maint/maintenance.hpp"
@@ -133,7 +134,7 @@ class ShardedOakCoreMap {
     for (std::size_t i = 0; i < t0->router.shards(); ++i) {
       t0->cores.push_back(std::make_shared<Core>(shardCfg_, cmp_));
     }
-    std::lock_guard<std::mutex> lk(mgmtMu_);
+    MutexLock lk(mgmtMu_);
     publishLocked(std::move(t0));
   }
 
@@ -395,19 +396,19 @@ class ShardedOakCoreMap {
   /// when the shard is too small to pick a split key (or `idx` is out of
   /// range, or the copy hit OOM and rolled back).
   bool splitShard(std::size_t idx) {
-    std::lock_guard<std::mutex> lk(mgmtMu_);
+    MutexLock lk(mgmtMu_);
     return splitLocked(idx, ByteVec{});
   }
   /// Splits shard `idx` at an explicit key, which must lie strictly inside
   /// the shard's owned range.
   bool splitShardAt(std::size_t idx, ByteVec midKey) {
-    std::lock_guard<std::mutex> lk(mgmtMu_);
+    MutexLock lk(mgmtMu_);
     return splitLocked(idx, std::move(midKey));
   }
   /// Merges shard `idx` into its right neighbor `idx + 1` (the absorbed
   /// core is kept as a zombie so outstanding views stay valid).
   bool mergeShards(std::size_t idx) {
-    std::lock_guard<std::mutex> lk(mgmtMu_);
+    MutexLock lk(mgmtMu_);
     return mergeLocked(idx);
   }
 
@@ -418,7 +419,7 @@ class ShardedOakCoreMap {
   /// Reads per-shard op counts from the obs registries, so with OAK_STATS=0
   /// it is a no-op.  Returns true iff a layout change was published.
   bool manageShardsOnce() {
-    std::lock_guard<std::mutex> lk(mgmtMu_);
+    MutexLock lk(mgmtMu_);
     return manageLocked();
   }
 
@@ -444,19 +445,19 @@ class ShardedOakCoreMap {
     return n;
   }
   std::size_t offHeapFootprintBytes() const {
-    std::lock_guard<std::mutex> lk(mgmtMu_);
+    MutexLock lk(mgmtMu_);
     std::size_t n = 0;
     forEachCoreLocked([&](const Core& c) { n += c.offHeapFootprintBytes(); });
     return n;
   }
   std::size_t offHeapAllocatedBytes() const {
-    std::lock_guard<std::mutex> lk(mgmtMu_);
+    MutexLock lk(mgmtMu_);
     std::size_t n = 0;
     forEachCoreLocked([&](const Core& c) { n += c.offHeapAllocatedBytes(); });
     return n;
   }
   std::size_t chunkCount() const {
-    std::lock_guard<std::mutex> lk(mgmtMu_);
+    MutexLock lk(mgmtMu_);
     std::size_t n = 0;
     forEachCoreLocked([&](const Core& c) { n += c.chunkCount(); });
     return n;
@@ -465,7 +466,7 @@ class ShardedOakCoreMap {
   /// merges, and includes background-executed rebalances (the core's
   /// counter does not care who ran the protocol).
   std::uint64_t rebalanceCount() const {
-    std::lock_guard<std::mutex> lk(mgmtMu_);
+    MutexLock lk(mgmtMu_);
     std::uint64_t n = 0;
     forEachCoreLocked([&](const Core& c) { n += c.rebalanceCount(); });
     return n;
@@ -477,7 +478,7 @@ class ShardedOakCoreMap {
   /// are folded in too, so op and rebalance counters never step backwards
   /// across a merge — but only live shards count toward `shards`.
   obs::Metrics stats() const {
-    std::lock_guard<std::mutex> lk(mgmtMu_);
+    MutexLock lk(mgmtMu_);
     const Table* t = table_.load(std::memory_order_acquire);
     std::vector<obs::Metrics> per;
     per.reserve(t->cores.size() + zombies_.size());
@@ -489,7 +490,7 @@ class ShardedOakCoreMap {
   }
   /// Per-shard snapshots (one oak::Metrics per live shard, unaggregated).
   std::vector<obs::Metrics> shardStats() const {
-    std::lock_guard<std::mutex> lk(mgmtMu_);
+    MutexLock lk(mgmtMu_);
     const Table* t = table_.load(std::memory_order_acquire);
     std::vector<obs::Metrics> per;
     per.reserve(t->cores.size());
@@ -499,7 +500,7 @@ class ShardedOakCoreMap {
 
   /// Drains deferred reclamation in every shard's EBR domain.
   void quiesce() {
-    std::lock_guard<std::mutex> lk(mgmtMu_);
+    MutexLock lk(mgmtMu_);
     forEachCoreLocked([&](const Core& c) { const_cast<Core&>(c).quiesce(); });
   }
 
@@ -608,7 +609,7 @@ class ShardedOakCoreMap {
   }
 
   // -------------------------------------------------- publish / prune --
-  Table* publishLocked(std::unique_ptr<Table> t) {
+  Table* publishLocked(std::unique_ptr<Table> t) OAK_REQUIRES(mgmtMu_) {
     t->version = tables_.empty()
                      ? 1
                      : table_.load(std::memory_order_relaxed)->version + 1;
@@ -621,7 +622,7 @@ class ShardedOakCoreMap {
   /// Waits until no hazard slot references a table other than `current`.
   /// Transient older stores from the acquire loop retract on their own
   /// (the re-check fails once table_ has moved), so this terminates.
-  void awaitQuiescentLocked(const Table* current) const {
+  void awaitQuiescentLocked(const Table* current) const OAK_REQUIRES(mgmtMu_) {
     for (std::uint32_t i = 0; i < kMaxThreads; ++i) {
       Backoff b;
       for (;;) {
@@ -635,7 +636,7 @@ class ShardedOakCoreMap {
   /// Frees superseded tables; cores that left the layout move to the
   /// zombie list so outstanding OakRBuffer views stay valid for the map's
   /// lifetime (scans hold their own shared_ptr and do not need this).
-  void pruneLocked() {
+  void pruneLocked() OAK_REQUIRES(mgmtMu_) {
     Table* cur = table_.load(std::memory_order_relaxed);
     awaitQuiescentLocked(cur);
     for (const auto& up : tables_) {
@@ -679,7 +680,7 @@ class ShardedOakCoreMap {
   }
 
   template <class F>
-  void forEachCoreLocked(F&& f) const {
+  void forEachCoreLocked(F&& f) const OAK_REQUIRES(mgmtMu_) {
     const Table* t = table_.load(std::memory_order_acquire);
     for (const auto& c : t->cores) f(*c);
     for (const auto& z : zombies_) f(*z);
@@ -698,7 +699,7 @@ class ShardedOakCoreMap {
     return toVec(it.entry().key);
   }
 
-  bool splitLocked(std::size_t idx, ByteVec mid) {
+  bool splitLocked(std::size_t idx, ByteVec mid) OAK_REQUIRES(mgmtMu_) {
     Table& cur = *table_.load(std::memory_order_relaxed);
     const std::size_t n = cur.cores.size();
     if (idx >= n) return false;
@@ -759,7 +760,7 @@ class ShardedOakCoreMap {
     return true;
   }
 
-  bool mergeLocked(std::size_t idx) {
+  bool mergeLocked(std::size_t idx) OAK_REQUIRES(mgmtMu_) {
     Table& cur = *table_.load(std::memory_order_relaxed);
     const std::size_t n = cur.cores.size();
     if (n < 2 || idx + 1 >= n) return false;
@@ -815,7 +816,7 @@ class ShardedOakCoreMap {
   // ---------------------------------------------------- hot/cold policy --
   static constexpr std::uint64_t kManageMinOps = 1024;
 
-  bool manageLocked() {
+  bool manageLocked() OAK_REQUIRES(mgmtMu_) {
     const Table* t = table_.load(std::memory_order_relaxed);
     const std::size_t n = t->cores.size();
     const maint::MaintenanceConfig& mc = shardCfg_.maintenance;
@@ -894,9 +895,11 @@ class ShardedOakCoreMap {
   std::unique_ptr<maint::MaintenanceService> ownedSvc_;
   maint::MaintenanceService* svc_ = nullptr;
 
-  mutable std::mutex mgmtMu_;
-  std::vector<std::unique_ptr<Table>> tables_;  // current + not-yet-pruned
-  std::vector<std::shared_ptr<Core>> zombies_;  // merged-away cores
+  mutable Mutex mgmtMu_;
+  std::vector<std::unique_ptr<Table>> tables_
+      OAK_GUARDED_BY(mgmtMu_);  // current + not-yet-pruned
+  std::vector<std::shared_ptr<Core>> zombies_
+      OAK_GUARDED_BY(mgmtMu_);  // merged-away cores
   std::atomic<Table*> table_{nullptr};
   mutable std::unique_ptr<GateSlot[]> gate_;
 

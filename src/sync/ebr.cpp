@@ -47,7 +47,7 @@ void Ebr::retire(void* ptr, void (*deleter)(void*, void*), void* ctx) {
   OAK_TSAN_RELEASE(this);
   const std::uint64_t epoch = globalEpoch_.load(std::memory_order_seq_cst);
   {
-    std::lock_guard<std::mutex> lk(retMu_);
+    MutexLock lk(retMu_);
 #if OAK_CHECKED
     const bool fresh = pendingSet_.insert(ptr).second;
     OAK_CHECK(fresh, "double-retire of %p (already pending reclamation)", ptr);
@@ -80,7 +80,7 @@ void Ebr::tryAdvanceAndReclaim() {
   const std::uint64_t cur = globalEpoch_.load(std::memory_order_seq_cst);
   std::vector<Retired> ready;
   {
-    std::lock_guard<std::mutex> lk(retMu_);
+    MutexLock lk(retMu_);
     std::size_t w = 0;
     for (std::size_t r = 0; r < retired_.size(); ++r) {
       if (retired_[r].epoch + 2 <= cur) {
@@ -118,7 +118,7 @@ std::uint64_t Ebr::epochLag() const noexcept {
 void Ebr::drainAll() {
   std::vector<Retired> all;
   {
-    std::lock_guard<std::mutex> lk(retMu_);
+    MutexLock lk(retMu_);
     all.swap(retired_);
 #if OAK_CHECKED
     pendingSet_.clear();

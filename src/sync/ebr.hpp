@@ -17,10 +17,11 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/checked.hpp"
+#include "common/mutex.hpp"
 #include "common/thread_registry.hpp"
 
 #if OAK_CHECKED
@@ -107,12 +108,12 @@ class Ebr {
   };
   Slot slots_[kMaxThreads];
 
-  std::mutex retMu_;
-  std::vector<Retired> retired_;
+  Mutex retMu_;
+  std::vector<Retired> retired_ OAK_GUARDED_BY(retMu_);
   std::atomic<std::uint64_t> pendingRetired_{0};
   std::atomic<std::uint64_t> retireTicks_{0};
 #if OAK_CHECKED
-  std::unordered_set<void*> pendingSet_;  // guarded by retMu_; double-retire trap
+  std::unordered_set<void*> pendingSet_ OAK_GUARDED_BY(retMu_);  // double-retire trap
 #endif
 };
 

@@ -1,0 +1,54 @@
+// oaklint fixture — negative control: protocol-respecting code plus one
+// justified suppression.  The self-test asserts oaklint reports nothing
+// here (no oaklint-expect marker).
+#include <cstddef>
+#include <vector>
+
+namespace oak {
+class SpinLock {
+ public:
+  void lock();
+  void unlock();
+};
+class SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock&);
+  ~SpinGuard();
+};
+namespace sync {
+class Ebr {
+ public:
+  class Guard {
+   public:
+    explicit Guard(Ebr&);
+    ~Guard();
+  };
+};
+}  // namespace sync
+}  // namespace oak
+
+// Allocation happens before the lock window; the guard only covers the swap.
+int recordStaged(std::vector<int>& out, oak::SpinLock& mu) {
+  std::vector<int> staged;
+  staged.push_back(42);
+  oak::SpinGuard lk(mu);
+  out.swap(staged);
+  return 1;
+}
+
+// A justified suppression: the allow comment names the rule and the reason.
+void coldPath(std::vector<int>& out, oak::SpinLock& mu) {
+  oak::SpinGuard lk(mu);
+  // oaklint: allow(R3, fixture demonstrating a documented cold-path waiver)
+  out.push_back(7);
+}
+
+// Guard scopes that end before the blocking call are fine.
+void pinThenWork(oak::sync::Ebr& ebr, std::vector<int>& out) {
+  int observed = 0;
+  {
+    oak::sync::Ebr::Guard g(ebr);
+    observed = 1;
+  }
+  out.push_back(observed);
+}

@@ -1,0 +1,41 @@
+// oaklint fixture — R1: a translated slice pointer is only valid while the
+// EBR guard pins the epoch; storing it to a member lets it outlive the pin
+// and dangle after reclamation.  Self-contained mocks so libclang can parse
+// this file without the real tree's compile flags.
+//
+// oaklint-expect: R1
+#include <cstddef>
+
+namespace oak {
+namespace sync {
+class Ebr {
+ public:
+  class Guard {
+   public:
+    explicit Guard(Ebr&);
+    ~Guard();
+  };
+};
+}  // namespace sync
+
+namespace mem {
+struct Ref {};
+class MemoryManager {
+ public:
+  std::byte* translate(Ref) noexcept;
+};
+}  // namespace mem
+}  // namespace oak
+
+class ViewCache {
+ public:
+  const std::byte* lookup(oak::mem::MemoryManager& mm, oak::mem::Ref r,
+                          oak::sync::Ebr& ebr) {
+    oak::sync::Ebr::Guard g(ebr);
+    cached_ = mm.translate(r);  // BAD: the member outlives the guard scope
+    return cached_;
+  }
+
+ private:
+  const std::byte* cached_ = nullptr;
+};

@@ -1,0 +1,10 @@
+// oaklint fixture — R2: environment reads must go through the single
+// gateway in src/common/env.hpp (typed parsing, one audit point, OakSan
+// interception); raw std::getenv anywhere else is a contract violation.
+//
+// oaklint-expect: R2
+#include <cstdlib>
+
+const char* shardCountFromEnv() {
+  return std::getenv("OAK_SHARDS");  // BAD: bypasses oak::env
+}

@@ -1,0 +1,26 @@
+// oaklint fixture — R3: a SpinLock holder that allocates makes every
+// contending thread burn CPU for the full duration of the malloc; growth
+// must happen outside the lock window (or carry an explicit allow with a
+// cold-path justification).
+//
+// oaklint-expect: R3
+#include <vector>
+
+namespace oak {
+class SpinLock {
+ public:
+  void lock();
+  void unlock();
+};
+class SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock&);
+  ~SpinGuard();
+};
+}  // namespace oak
+
+int record(std::vector<int>& out, oak::SpinLock& mu) {
+  oak::SpinGuard lk(mu);
+  out.push_back(42);  // BAD: vector growth while spinners burn cycles
+  return 1;
+}

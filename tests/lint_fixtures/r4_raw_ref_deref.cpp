@@ -1,0 +1,21 @@
+// oaklint fixture — R4: packed refs {block:12|offset:26|length:26} may only
+// be turned into pointers by MemoryManager::translate (which validates the
+// block table and honors OakSan poisoning); open-coded base+offset math
+// outside src/mem/ silently breaks when the block table is remapped.
+//
+// oaklint-expect: R4
+#include <cstddef>
+#include <cstdint>
+
+namespace oak {
+namespace mem {
+struct Ref {
+  std::uint32_t block() const;
+  std::uint32_t offset() const;
+};
+}  // namespace mem
+}  // namespace oak
+
+std::byte* derefRaw(std::byte** bases, oak::mem::Ref r) {
+  return bases[r.block()] + r.offset();  // BAD: deref outside MemoryManager
+}

@@ -1,0 +1,25 @@
+// oaklint fixture — R5: a thread that blocks while holding an EBR guard
+// pins its epoch indefinitely, so retired chunks pile up on every other
+// thread's retire list; guards must cover only straight-line, non-blocking
+// read sections.
+//
+// oaklint-expect: R5
+#include <mutex>
+
+namespace oak {
+namespace sync {
+class Ebr {
+ public:
+  class Guard {
+   public:
+    explicit Guard(Ebr&);
+    ~Guard();
+  };
+};
+}  // namespace sync
+}  // namespace oak
+
+void unlinkNode(oak::sync::Ebr& ebr, std::mutex& mu) {
+  oak::sync::Ebr::Guard g(ebr);
+  std::lock_guard<std::mutex> lk(mu);  // BAD: blocking acquire under the pin
+}

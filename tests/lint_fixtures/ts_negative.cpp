@@ -1,0 +1,30 @@
+// Thread-safety fixture (negative): reads a field declared
+// OAK_GUARDED_BY(mu_) without holding mu_.  Legal C++ — it compiles under
+// any compiler without the analysis — but tools/thread_safety_check.sh
+// asserts Clang REJECTS it under `-Wthread-safety -Werror=thread-safety`,
+// proving the annotations in src/common are live, not decorative.
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    oak::MutexLock lk(mu_);
+    ++n_;
+  }
+  long peek() const { return n_; }  // BAD: unguarded read of n_
+
+ private:
+  mutable oak::Mutex mu_;
+  long n_ OAK_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.peek() == 1 ? 0 : 1;
+}

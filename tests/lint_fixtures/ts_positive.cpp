@@ -1,0 +1,31 @@
+// Thread-safety fixture (positive): correctly guarded access.  Must compile
+// under any compiler, and cleanly under Clang with
+// `-Wthread-safety -Werror=thread-safety` (tools/thread_safety_check.sh).
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    oak::MutexLock lk(mu_);
+    ++n_;
+  }
+  long peek() const {
+    oak::MutexLock lk(mu_);
+    return n_;
+  }
+
+ private:
+  mutable oak::Mutex mu_;
+  long n_ OAK_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  return c.peek() == 1 ? 0 : 1;
+}
