@@ -40,6 +40,7 @@ struct Options {
   unsigned scanPct = 0;      // -s : scan percentage
   bool valueJitter = false;  // --churn: puts draw jittered value sizes
   double zipfTheta = 0;      // --zipf: skewed key choice (0 = uniform)
+  bool snapshotScans = false;  // snapshot-churn: scans pin an MVCC version
   int maintThreads = -1;     // --maint-threads: background rebalance workers
   unsigned offHeapSlackPct = 6;  // arena headroom over raw data
   bool generationalValues = false;  // recycle value headers (churn preset)
@@ -79,7 +80,9 @@ void usage() {
       "  --zipf <theta>       zipfian key skew (YCSB formula; 0.99 typical)\n"
       "  --maint-threads <n>  background maintenance workers for Oak\n"
       "                       (0 = inline rebalance on mutators, -1 = env/auto)\n"
-      "  --scenario <4a..4f|churn|zipf>  canned scenario\n"
+      "  --scenario <4a..4f|churn|zipf|snapshot-churn>  canned scenario\n"
+      "  --no-snapshot-scans  snapshot-churn baseline: same mix, scans\n"
+      "                       don't pin a version (A/B for the p99 gate)\n"
       "  --csv <file>         append rows as CSV\n");
 }
 
@@ -145,6 +148,24 @@ void applyScenario(Options& o) {
     o.zipfTheta = 0.99;
     o.offHeapSlackPct = 50;
     o.generationalValues = true;
+  } else if (o.scenario == "snapshot-churn") {
+    // Long snapshot scans racing zipfian writers (ISSUE 8).  Each scan pins
+    // an MVCC read version for its whole walk, so every overwrite of a
+    // scanned key chains the superseded value until version GC catches up —
+    // the worst case for both the write path (chain pushes) and the arena
+    // (retained versions).  The METRICS line carries the writer's put p99
+    // and the whole-scan p50/p99; bench_smoke gates the put p99 against a
+    // --no-snapshot-scans baseline of the same mix.
+    o.zeroCopy = true;
+    o.updatePct = 40;
+    o.removePct = 10;
+    o.scanPct = 10;
+    o.zipfTheta = 0.99;
+    o.snapshotScans = true;
+    // Retained version chains live in the same arena as the data; give
+    // them real headroom on top of the churn slack.
+    o.offHeapSlackPct = 75;
+    o.generationalValues = true;
   }
 }
 
@@ -160,6 +181,7 @@ Mix mixFor(const Options& o) {
   m.streamScans = o.stream;
   m.valueJitter = o.valueJitter;
   m.zipfTheta = o.zipfTheta;
+  m.snapshotScans = o.snapshotScans;
   return m;
 }
 
@@ -296,6 +318,8 @@ int main(int argc, char** argv) {
       applyScenario(o);
     } else if (a == "--no-magazines") {
       oak::mem::FirstFitAllocator::setMagazinesDefaultEnabled(false);
+    } else if (a == "--no-snapshot-scans") {
+      o.snapshotScans = false;  // after --scenario snapshot-churn
     } else if (a == "--zipf") {
       o.zipfTheta = std::stod(next());
     } else if (a == "--maint-threads") {

@@ -148,6 +148,23 @@ class OakAdapter {
     return cnt;
   }
 
+  /// Snapshot scan (snapshot-churn scenario): pins one read version across
+  /// every shard and walks the frozen world — superseded values resolve
+  /// through the version chain, so reads go through readValue().
+  std::size_t scanSnapshotAsc(ByteSpan from, std::size_t n, Blackhole& bh) {
+    std::size_t cnt = 0;
+    std::optional<ByteVec> lo;
+    if (!from.empty()) lo = toVec(from);
+    for (auto it = map_->ascend(std::move(lo), std::nullopt, ScanOptions::snapshot());
+         it.valid() && cnt < n; it.next()) {
+      auto e = it.entry();
+      bh.consume(e.key);
+      e.readValue([&](ByteSpan s) { bh.consume(s); });
+      ++cnt;
+    }
+    return cnt;
+  }
+
   mheap::GcStats gcStats() const { return heap_->stats(); }
   /// Full internal-counter snapshot for the metrics line the driver emits.
   obs::Metrics metrics() const { return map_->stats(); }

@@ -48,6 +48,12 @@ struct PointResult {
   std::size_t offHeapBytes = 0;
   std::size_t validationErrors = 0;  ///< ChunkWalker problems (OAK_BENCH_VALIDATE)
   obs::Metrics metrics{};      ///< internal-counter snapshot (obs layer)
+
+  /// Snapshot-scan latency (Mix::snapshotScans): whole-scan wall time,
+  /// aggregated over every worker's scans.  Zero when the mix ran none.
+  std::uint64_t snapScans = 0;
+  double snapScanP50Ns = 0;
+  double snapScanP99Ns = 0;
 };
 
 /// Adapters may expose a `metrics()` snapshot (the oak/offheap ones do);
@@ -62,6 +68,14 @@ concept HasMetrics = requires(Adapter& a) {
 template <class Adapter>
 concept HasRemove = requires(Adapter& a, ByteSpan k) {
   { a.remove(k) } -> std::convertible_to<bool>;
+};
+
+/// Adapters may support MVCC snapshot scans (the oak one does); mixes with
+/// snapshotScans fall back to plain ascending scans on adapters that don't.
+template <class Adapter>
+concept HasSnapshotScan = requires(Adapter& a, ByteSpan k, std::size_t n,
+                                   Blackhole& bh) {
+  { a.scanSnapshotAsc(k, n, bh) } -> std::convertible_to<std::size_t>;
 };
 
 /// Adapters may expose a structural validator (ChunkWalker); the smoke
@@ -152,6 +166,9 @@ PointResult sustainedStage(Adapter& a, const BenchConfig& cfg, const Mix& mix) {
   std::atomic<bool> oom{false};
   std::atomic<std::uint8_t> oomKind{0};  // first worker's OomKind wins
   std::atomic<std::uint64_t> totalOps{0};
+  // Per-worker snapshot-scan latency samples, merged after the join (no
+  // synchronization on the hot path).
+  std::vector<std::vector<double>> snapNs(cfg.threads);
 
   auto worker = [&](unsigned t) {
     XorShift rng(cfg.seed * 7919 + t * 104729 + 1);
@@ -204,7 +221,17 @@ PointResult sustainedStage(Adapter& a, const BenchConfig& cfg, const Mix& mix) {
           ++ops;
         } else if (pct <
                    mix.putPct + mix.removePct + mix.computePct + mix.scanAscPct) {
-          ops += a.scanAsc(k, cfg.scanLength, bh, mix.streamScans);
+          if constexpr (HasSnapshotScan<Adapter>) {
+            if (mix.snapshotScans) {
+              const double s0 = nowSeconds();
+              ops += a.scanSnapshotAsc(k, cfg.scanLength, bh);
+              snapNs[t].push_back((nowSeconds() - s0) * 1e9);
+            } else {
+              ops += a.scanAsc(k, cfg.scanLength, bh, mix.streamScans);
+            }
+          } else {
+            ops += a.scanAsc(k, cfg.scanLength, bh, mix.streamScans);
+          }
         } else if (pct < mix.putPct + mix.removePct + mix.computePct +
                              mix.scanAscPct + mix.scanDescPct) {
           ops += a.scanDesc(k, cfg.scanLength, bh, mix.streamScans);
@@ -241,6 +268,16 @@ PointResult sustainedStage(Adapter& a, const BenchConfig& cfg, const Mix& mix) {
   const double dt = nowSeconds() - t0;
 
   res.kops = static_cast<double>(totalOps.load()) / dt / 1e3;
+  {
+    std::vector<double> all;
+    for (auto& v : snapNs) all.insert(all.end(), v.begin(), v.end());
+    if (!all.empty()) {
+      std::sort(all.begin(), all.end());
+      res.snapScans = all.size();
+      res.snapScanP50Ns = all[all.size() / 2];
+      res.snapScanP99Ns = all[std::min(all.size() - 1, all.size() * 99 / 100)];
+    }
+  }
   res.oom = oom.load();
   res.oomKind = static_cast<OomKind>(oomKind.load(std::memory_order_relaxed));
   res.gc = a.gcStats();
@@ -356,6 +393,8 @@ inline void printMetricsLine(const char* name, double x, const PointResult& r) {
               "\"maint_queued\":%llu,\"maint_executed\":%llu,"
               "\"maint_inline_fallback\":%llu,\"maint_throttled_ms\":%llu,"
               "\"pending_maintenance\":%llu,"
+              "\"snap_scans\":%llu,\"snap_scan_p50_ns\":%.0f,"
+              "\"snap_scan_p99_ns\":%.0f,"
               "\"validation_errors\":%zu,\"metrics\":%s}\n",
               name, x, static_cast<unsigned long long>(r.metrics.shards),
               r.kops, r.ingestKops, r.oom ? "true" : "false",
@@ -369,6 +408,8 @@ inline void printMetricsLine(const char* name, double x, const PointResult& r) {
                   r.metrics.registry.counter(obs::Counter::MaintInlineFallback)),
               static_cast<unsigned long long>(r.metrics.maintThrottledMs),
               static_cast<unsigned long long>(r.metrics.maintPending),
+              static_cast<unsigned long long>(r.snapScans), r.snapScanP50Ns,
+              r.snapScanP99Ns,
               r.validationErrors, r.metrics.toJson().c_str());
 }
 

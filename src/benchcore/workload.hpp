@@ -80,6 +80,10 @@ struct Mix {
   /// default; ranks map to ids identically, so the heat concentrates at the
   /// low end of the key range (one hot shard under range partitioning).
   double zipfTheta = 0;
+  /// Ascending scans pin an MVCC snapshot and walk the frozen world
+  /// (ScanOptions::snapshot()); the driver times each such scan and reports
+  /// p50/p99 in the METRICS line.  The snapshot-churn scenario's knob.
+  bool snapshotScans = false;
 };
 
 /// YCSB-style Zipfian id generator over [0, n).  Rank r is drawn with

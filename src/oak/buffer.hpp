@@ -37,6 +37,17 @@ class OakRBuffer {
     return b;
   }
 
+  /// Snapshot value view: every read resolves the payload visible at
+  /// `version` in the cell's version chain, not the live head.  With
+  /// version == 0 this is identical to forValue().
+  static OakRBuffer forValueAt(detail::ValueCell cell,
+                               std::uint64_t version) noexcept {
+    OakRBuffer b;
+    b.cell_ = cell;
+    b.atVersion_ = version;
+    return b;
+  }
+
   bool isValueView() const noexcept { return cell_.has_value(); }
 
   /// Logical size in bytes.
@@ -112,7 +123,9 @@ class OakRBuffer {
   template <class F>
   void readOrThrow(F&& f) const {
     detail::ValueCell cell = *cell_;
-    if (!cell.read(std::forward<F>(f))) throw ConcurrentModification();
+    const bool ok = atVersion_ != 0 ? cell.readAt(atVersion_, std::forward<F>(f))
+                                    : cell.read(std::forward<F>(f));
+    if (!ok) throw ConcurrentModification();
   }
 
   // Key view state.
@@ -120,6 +133,7 @@ class OakRBuffer {
   std::size_t keySize_ = 0;
   // Value view state.
   mutable std::optional<detail::ValueCell> cell_;
+  std::uint64_t atVersion_ = 0;  ///< snapshot read version (0 = live head)
 };
 
 /// Writable view over a value; only constructed inside compute lambdas while

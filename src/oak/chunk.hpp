@@ -92,20 +92,42 @@ class Chunk {
 
   // ---------------------------------------------------------------- search
   /// Greatest sorted-prefix index whose key is <= probe, or kNone.
+  ///
+  /// Branchless binary search: both updates below are ternaries over the
+  /// comparator sign, which the compiler lowers to conditional moves — the
+  /// hard-to-predict "which half" branch disappears, and a software
+  /// prefetch of the next midpoint's entry cell hides the dependent load.
+  /// Semantically identical to the classic branchy form (oak_iterator_test
+  /// cross-checks it against a reference implementation).
   std::int32_t prefixFloor(ByteSpan probe) const noexcept {
-    std::int32_t lo = 0;
-    std::int32_t hi = sortedCount_;  // exclusive
-    std::int32_t ans = kNone;
-    while (lo < hi) {
-      const std::int32_t mid = lo + (hi - lo) / 2;
-      if (cmp_(keyAt(mid), probe) <= 0) {
-        ans = mid;
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
+    std::int32_t lo = 0;          // number of prefix keys known <= probe
+    std::int32_t len = sortedCount_;
+    const Entry* cells = entries();
+    while (len > 0) {
+      const std::int32_t half = len / 2;
+#if defined(__GNUC__) || defined(__clang__)
+      __builtin_prefetch(&cells[lo + half / 2], 0, 1);
+      __builtin_prefetch(&cells[lo + half + (len - half) / 2], 0, 1);
+#endif
+      const bool le = cmp_(keyAt(lo + half), probe) <= 0;
+      lo = le ? lo + half + 1 : lo;
+      len = le ? len - half - 1 : half;
     }
-    return ans;
+    return lo == 0 ? kNone : lo - 1;
+  }
+
+  /// Software prefetch of entry i's cell and key bytes — iterator lookahead
+  /// along the in-chunk linked list (no-op out of range).
+  void prefetchEntry(std::int32_t i) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    if (i < 0 || i >= capacity_) return;
+    const Entry& e = entries()[i];
+    __builtin_prefetch(&e, 0, 1);
+    const mem::Ref r{e.keyRef.load(std::memory_order_acquire)};
+    if (!r.isNull()) __builtin_prefetch(mm_->keyBytes(r).data(), 0, 1);
+#else
+    (void)i;
+#endif
   }
 
   /// Best linked starting point with key <= probe: the sorted-prefix floor,

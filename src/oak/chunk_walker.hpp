@@ -298,6 +298,9 @@ class ChunkWalker {
     }
     detail::ValueCell cell(m.mm_, vref);
     if (cell.isDeleted()) return;  // deleted-but-unlinked is legal (§4.4)
+    // A tombstone is absent *now* but its header (and version chain) is
+    // retained for pinned snapshots — legal, and not a live value.
+    if (cell.livenessProbe() != detail::Liveness::Live) return;
     ++rep.liveValues;
     bool payloadOk = true;
     const bool readOk = cell.read([&](ByteSpan payload) {

@@ -34,6 +34,7 @@
 #include "oak/chunk.hpp"
 #include "oak/scan_options.hpp"
 #include "oak/serializer.hpp"
+#include "oak/snapshot.hpp"
 #include "oak/value.hpp"
 #include "obs/metrics.hpp"
 #include "skiplist/skiplist.hpp"
@@ -92,6 +93,10 @@ struct OakConfig {
   /// (maint/maintenance.hpp).  Default: no workers — rebalance runs inline
   /// on the mutator, exactly the paper's (and the seed's) behavior.
   maint::MaintenanceConfig maintenance;
+  /// Shared MVCC clock/pin table for snapshot scans (snapshot.hpp).  The
+  /// sharded map injects one domain into every shard so a merged cross-shard
+  /// scan pins a single version; a plain map left null owns a private one.
+  SnapshotDomain* snapshotDomain = nullptr;
 
   // ---- DEPRECATED flat fields ------------------------------------------
   // One release of grace for out-of-tree aggregate initializers: these keep
@@ -130,6 +135,10 @@ struct OakConfig {
   OakConfig& withMem(MemConfig m) { mem = std::move(m); return *this; }
   OakConfig& withMaintenance(maint::MaintenanceConfig m) {
     maintenance = std::move(m);
+    return *this;
+  }
+  OakConfig& withSnapshotDomain(SnapshotDomain* d) {
+    snapshotDomain = d;
     return *this;
   }
 };
@@ -187,6 +196,14 @@ class OakCoreMap {
         maintSvc_ = ownedSvc_.get();
       }
     }
+    // MVCC snapshot substrate: share the injected domain (sharded maps pin
+    // one version across shards) or own a private one.
+    snapDomain_ = cfg_.snapshotDomain;
+    if (snapDomain_ == nullptr) {
+      ownedSnapDomain_ = std::make_unique<SnapshotDomain>();
+      snapDomain_ = ownedSnapDomain_.get();
+    }
+    snapCtx_ = detail::SnapCtx{snapDomain_, this, &OakCoreMap::vgcFeedThunk};
   }
 
   ~OakCoreMap() {
@@ -215,7 +232,10 @@ class OakCoreMap {
     const std::uint64_t v = findValueRef(key);
     if (v == 0) return std::nullopt;
     detail::ValueCell cell(mm_, detail::VRef{v});
-    if (cell.isDeleted()) return std::nullopt;
+    // The no-op read validates liveness (deleted/tombstone/stale) under the
+    // read lock and help-stamps a pending value, so any snapshot opened
+    // after this get returns observes the value too (value.hpp helpStamp).
+    if (!cell.read([](ByteSpan) {}, &snapCtx_)) return std::nullopt;
     metaHeap_.ephemeralObject(cfg_.ephemeralViewBytes);
     return OakRBuffer::forValue(cell);
   }
@@ -229,10 +249,12 @@ class OakCoreMap {
     if (v == 0) return std::nullopt;
     detail::ValueCell cell(mm_, detail::VRef{v});
     std::optional<ByteVec> out;
-    const bool ok = cell.read([&](ByteSpan s) {
-      metaHeap_.ephemeralObject(s.size() + cfg_.ephemeralViewBytes);
-      out.emplace(s.begin(), s.end());
-    });
+    const bool ok = cell.read(
+        [&](ByteSpan s) {
+          metaHeap_.ephemeralObject(s.size() + cfg_.ephemeralViewBytes);
+          out.emplace(s.begin(), s.end());
+        },
+        &snapCtx_);
     if (!ok) return std::nullopt;
     return out;
   }
@@ -241,7 +263,10 @@ class OakCoreMap {
     sync::Ebr::Guard g(ebr_);
     const std::uint64_t v = findValueRef(key);
     if (v == 0) return false;
-    return !detail::ValueCell(mm_, detail::VRef{v}).isDeleted();
+    // Locked no-op read: tombstones report absent, pending values are
+    // help-stamped (see get()).
+    return detail::ValueCell(mm_, detail::VRef{v})
+        .read([](ByteSpan) {}, &snapCtx_);
   }
 
   // ==================================================== navigation queries
@@ -322,13 +347,16 @@ class OakCoreMap {
     obs::OpTimer t(stats_, obs::Op::Put);
     bool replaced = false;
     doPut(key, value, nullptr, PutOp::Put, old, &replaced);
+    maybeCollectVersions();
     return replaced;
   }
 
   /// putIfAbsent (§4.3): true iff the key was absent and the value inserted.
   bool putIfAbsent(ByteSpan key, ByteSpan value) {
     obs::OpTimer t(stats_, obs::Op::PutIfAbsent);
-    return doPut(key, value, nullptr, PutOp::PutIfAbsent, nullptr, nullptr);
+    const bool ok = doPut(key, value, nullptr, PutOp::PutIfAbsent, nullptr, nullptr);
+    maybeCollectVersions();
+    return ok;
   }
 
   /// putIfAbsentComputeIfPresent (§4.3): inserts `value` if absent,
@@ -338,6 +366,7 @@ class OakCoreMap {
     obs::OpTimer t(stats_, obs::Op::PutIfAbsentCompute);
     ComputeFn fn = makeComputeFn(func);
     doPut(key, value, &fn, PutOp::PutIfAbsentComputeIfPresent, nullptr, nullptr);
+    maybeCollectVersions();
   }
 
   /// computeIfPresent (§4.4): true iff a live value existed and `func` ran.
@@ -345,14 +374,18 @@ class OakCoreMap {
   bool computeIfPresent(ByteSpan key, F&& func) {
     obs::OpTimer t(stats_, obs::Op::Compute);
     ComputeFn fn = makeComputeFn(func);
-    return doIfPresent(key, &fn, IfPresentOp::Compute, nullptr);
+    const bool ok = doIfPresent(key, &fn, IfPresentOp::Compute, nullptr);
+    maybeCollectVersions();
+    return ok;
   }
 
   /// remove (§4.4); optionally copies the removed value.  Returns true iff
   /// this call removed a live mapping.
   bool remove(ByteSpan key, ByteVec* old = nullptr) {
     obs::OpTimer t(stats_, obs::Op::Remove);
-    return doIfPresent(key, nullptr, IfPresentOp::Remove, old);
+    const bool ok = doIfPresent(key, nullptr, IfPresentOp::Remove, old);
+    maybeCollectVersions();
+    return ok;
   }
 
   // ================================================== degraded operation
@@ -380,17 +413,44 @@ class OakCoreMap {
   struct EntryView {
     ByteSpan key;  ///< valid while the iterator's epoch guard is held
     detail::ValueCell value;
+    /// Non-zero on snapshot scans: the pinned read version.  Value reads
+    /// must then go through readValue() so chained versions resolve.
+    std::uint64_t snapshotVersion = 0;
+
+    /// Reads the value as of the scan's view: the chain version at
+    /// snapshotVersion for snapshot scans, the live payload otherwise.
+    template <class F>
+    bool readValue(F&& f) const {
+      return snapshotVersion != 0
+                 ? value.readAt(snapshotVersion, std::forward<F>(f))
+                 : value.read(std::forward<F>(f));
+    }
   };
 
   /// Ascending iterator (§4.2).  Non-atomic; guarantees (1)-(3) of §4.2.
   /// opts.stream reuses the caller-visible view object (paper's Stream
   /// API) — the difference is modelled by ephemeral-churn charging.
-  /// opts.direction is ignored: the direction is this type.
+  /// opts.snapshotMode pins a read version V at construction: the scan then
+  /// observes exactly the map state at V (tombstones and chained versions
+  /// resolve through visibleAt/readAt).  opts.direction is ignored: the
+  /// direction is this type.
   class AscendIter {
    public:
     AscendIter(OakCoreMap& m, std::optional<ByteVec> lo, std::optional<ByteVec> hi,
                ScanOptions opts)
-        : map_(&m), guard_(m.ebr_), hi_(std::move(hi)), stream_(opts.stream) {
+        // Member order matters: the snapshot pin (a short mutex section)
+        // happens BEFORE guard_ pins an epoch — never block inside EBR.
+        : map_(&m),
+          snap_(opts.isSnapshot() && opts.snapshotVersion == 0
+                    ? Snapshot(*m.snapDomain_)
+                    : Snapshot{}),
+          snapV_(!opts.isSnapshot()        ? 0
+                 : opts.snapshotVersion != 0 ? opts.snapshotVersion
+                                             : snap_.version()),
+          guard_(m.ebr_),
+          hi_(std::move(hi)),
+          stream_(opts.stream) {
+      if (snap_.valid()) m.stats_.incCounter(obs::Counter::SnapshotOpened);
       if (stream_) m.metaHeap_.ephemeralObject(m.cfg_.ephemeralViewBytes);
       chunk_ = lo ? m.locateChunk(asBytes(*lo)) : m.firstChunk();
       cur_ = lo ? chunk_->lowerBound(asBytes(*lo)) : chunk_->headEntry();
@@ -399,10 +459,14 @@ class OakCoreMap {
 
     bool valid() const noexcept { return chunk_ != nullptr; }
 
+    /// The pinned read version (0 on non-snapshot scans).
+    std::uint64_t snapshotVersion() const noexcept { return snapV_; }
+
     /// Current entry; call only while valid().
     EntryView entry() const {
       return EntryView{chunk_->keyAt(cur_),
-                       detail::ValueCell(map_->mm_, detail::VRef{curVal_})};
+                       detail::ValueCell(map_->mm_, detail::VRef{curVal_}),
+                       snapV_};
     }
 
     void next() {
@@ -411,11 +475,34 @@ class OakCoreMap {
       advanceToLive();
     }
 
+    /// Warm seek: repositions at the first key >= probe, reusing the
+    /// current chunk when the probe falls inside it (skips the index floor
+    /// query + list walk) and falling back to a cold locate otherwise.
+    /// Identical post-state to a freshly constructed iterator at `probe`
+    /// with the same options (oak_iterator_test cross-checks).
+    void seek(ByteSpan probe) {
+      ChunkT* c = chunk_;
+      if (c != nullptr &&
+          c->rebalancedTo().load(std::memory_order_acquire) == nullptr &&
+          map_->cmp_(c->minKey(), probe) <= 0) {
+        ChunkT* nx = c->nextChunk().load(std::memory_order_acquire);
+        if (nx == nullptr || map_->cmp_(nx->minKey(), probe) > 0) {
+          cur_ = c->lowerBound(probe);
+          advanceToLive();
+          return;
+        }
+      }
+      chunk_ = map_->locateChunk(probe);
+      cur_ = chunk_->lowerBound(probe);
+      advanceToLive();
+    }
+
    private:
     void advanceToLive() {
       for (;;) {
         while (cur_ == ChunkT::kNone) {
-          chunk_ = chunk_->nextChunk().load(std::memory_order_acquire);
+          ChunkT* nx = chunk_->nextChunk().load(std::memory_order_acquire);
+          chunk_ = nx;
           if (chunk_ == nullptr) return;
           cur_ = chunk_->headEntry();
         }
@@ -425,8 +512,13 @@ class OakCoreMap {
         }
         const std::uint64_t v =
             chunk_->entry(cur_).valRef.load(std::memory_order_acquire);
-        if (v != 0 && !detail::ValueCell(map_->mm_, detail::VRef{v}).isDeleted()) {
+        if (v != 0 && entryLive(v)) {
           curVal_ = v;
+          // Pull the successor's cache lines while the caller consumes this
+          // entry (chunk-chain software prefetch).
+          const std::int32_t nx =
+              chunk_->entry(cur_).next.load(std::memory_order_acquire);
+          if (nx != ChunkT::kNone) chunk_->prefetchEntry(nx);
           // Set-style scans create a fresh ephemeral view per entry (§2.2).
           if (!stream_) map_->metaHeap_.ephemeralObject(map_->cfg_.ephemeralViewBytes);
           return;
@@ -435,7 +527,19 @@ class OakCoreMap {
       }
     }
 
+    /// Liveness under the scan's view: at the pinned version for snapshot
+    /// scans, the current instant otherwise.
+    bool entryLive(std::uint64_t v) const {
+      detail::ValueCell cell(map_->mm_, detail::VRef{v});
+      // Live scans must skip tombstones too: a removed key whose header is
+      // retained for older pinned versions is still absent *now*.
+      return snapV_ != 0 ? cell.visibleAt(snapV_)
+                         : cell.livenessProbe() == detail::Liveness::Live;
+    }
+
     OakCoreMap* map_;
+    Snapshot snap_;  ///< owned pin; empty when sharing the caller's pin
+    std::uint64_t snapV_ = 0;
     sync::Ebr::Guard guard_;
     ChunkT* chunk_ = nullptr;
     std::int32_t cur_ = ChunkT::kNone;
@@ -451,7 +555,18 @@ class OakCoreMap {
    public:
     DescendIter(OakCoreMap& m, std::optional<ByteVec> lo, std::optional<ByteVec> hi,
                 ScanOptions opts)
-        : map_(&m), guard_(m.ebr_), lo_(std::move(lo)), stream_(opts.stream) {
+        // Snapshot pin before the epoch guard — see AscendIter.
+        : map_(&m),
+          snap_(opts.isSnapshot() && opts.snapshotVersion == 0
+                    ? Snapshot(*m.snapDomain_)
+                    : Snapshot{}),
+          snapV_(!opts.isSnapshot()        ? 0
+                 : opts.snapshotVersion != 0 ? opts.snapshotVersion
+                                             : snap_.version()),
+          guard_(m.ebr_),
+          lo_(std::move(lo)),
+          stream_(opts.stream) {
+      if (snap_.valid()) m.stats_.incCounter(obs::Counter::SnapshotOpened);
       if (stream_) m.metaHeap_.ephemeralObject(m.cfg_.ephemeralViewBytes);
       if (hi) {
         // hi is exclusive: start from the chunk containing keys < hi.
@@ -466,9 +581,12 @@ class OakCoreMap {
 
     bool valid() const noexcept { return chunk_ != nullptr; }
 
+    std::uint64_t snapshotVersion() const noexcept { return snapV_; }
+
     EntryView entry() const {
       return EntryView{chunk_->keyAt(cur_),
-                       detail::ValueCell(map_->mm_, detail::VRef{curVal_})};
+                       detail::ValueCell(map_->mm_, detail::VRef{curVal_}),
+                       snapV_};
     }
 
     void next() {
@@ -542,15 +660,26 @@ class OakCoreMap {
           return;
         }
         const std::uint64_t v = chunk_->entry(e).valRef.load(std::memory_order_acquire);
-        if (v == 0 || detail::ValueCell(map_->mm_, detail::VRef{v}).isDeleted()) continue;
+        if (v == 0 || !entryLive(v)) continue;
         cur_ = e;
         curVal_ = v;
+        if (!stack_.empty()) chunk_->prefetchEntry(stack_.back());
         if (!stream_) map_->metaHeap_.ephemeralObject(map_->cfg_.ephemeralViewBytes);
         return;
       }
     }
 
+    bool entryLive(std::uint64_t v) const {
+      detail::ValueCell cell(map_->mm_, detail::VRef{v});
+      // Live scans must skip tombstones too: a removed key whose header is
+      // retained for older pinned versions is still absent *now*.
+      return snapV_ != 0 ? cell.visibleAt(snapV_)
+                         : cell.livenessProbe() == detail::Liveness::Live;
+    }
+
     OakCoreMap* map_;
+    Snapshot snap_;
+    std::uint64_t snapV_ = 0;
     sync::Ebr::Guard guard_;
     ChunkT* chunk_ = nullptr;
     std::vector<std::int32_t> stack_;
@@ -632,6 +761,9 @@ class OakCoreMap {
       m.maintThrottledMs = ms.throttledMs;
       m.maintThreads = ms.threads;
     }
+    m.snapshotsActive = snapDomain_->activeSnapshots();
+    m.snapshotPinMs = snapDomain_->pinnedMsTotal();
+    m.versionFeedDepth = versionFeedDepth();
     return m;
   }
   obs::StatsRegistry& statsRegistry() noexcept { return stats_; }
@@ -658,6 +790,60 @@ class OakCoreMap {
   /// The service this map submits to (owned or shared); null when
   /// maintenance is inline.
   maint::MaintenanceService* maintenanceService() noexcept { return maintSvc_; }
+
+  // ==================================================== snapshot lifecycle
+  /// The MVCC clock/pin table this map stamps against (owned or shared).
+  SnapshotDomain& snapshotDomain() noexcept { return *snapDomain_; }
+
+  /// Pins a read version; scans opened with ScanOptions::snapshot() pin
+  /// their own — this handle is for callers that want to hold one across
+  /// several scans (pass its version via ScanOptions::snapshotVersion).
+  Snapshot openSnapshot() { return Snapshot(*snapDomain_); }
+
+  /// Attribution hook for pins opened outside this map's own iterators —
+  /// the sharded merged scan opens ONE pin for all shards (per-shard
+  /// iterators then see a pre-pinned version and don't count it).
+  void noteSnapshotOpened() { stats_.incCounter(obs::Counter::SnapshotOpened); }
+
+  /// Drains the version-GC feed once: prunes chain nodes no pinned snapshot
+  /// can reach and hard-deletes expired tombstones.  Returns the number of
+  /// versions retired.  Runs inline (deterministic — tests and quiescent
+  /// teardown call it directly); the hot path feeds it through the
+  /// maintenance service instead.
+  std::uint64_t collectVersionsNow() {
+    std::vector<std::uint64_t> batch;
+    {
+      SpinGuard lk(vgcMu_);
+      batch.swap(vgcFeed_);
+    }
+    if (batch.empty()) return 0;
+    const std::uint64_t minPinned = snapDomain_->minPinned();
+    std::uint64_t retired = 0;
+    std::vector<std::uint64_t> requeue;
+    for (const std::uint64_t bits : batch) {
+      detail::ValueCell cell(mm_, detail::VRef{bits});
+      const detail::ValueCell::GcOutcome out =
+          cell.collect(minPinned, headerPool());
+      retired += out.retired;
+      if (!out.clean) requeue.push_back(bits);
+    }
+    if (!requeue.empty()) {
+      SpinGuard lk(vgcMu_);
+      // oaklint: allow(R3, re-queue reuses the capacity the feed swap just
+      // released; growth is bounded by the in-flight chained-cell peak)
+      vgcFeed_.insert(vgcFeed_.end(), requeue.begin(), requeue.end());
+    }
+    if (retired != 0) {
+      stats_.incCounter(obs::Counter::VersionsRetired, retired);
+    }
+    return retired;
+  }
+
+  /// Cells currently waiting on the version GC (pinned chains/tombstones).
+  std::size_t versionFeedDepth() const {
+    SpinGuard lk(vgcMu_);
+    return vgcFeed_.size();
+  }
 
   /// A key that splits this map's population roughly in half — the online
   /// shard-split policy's boundary candidate.  Chunk granularity: the
@@ -791,22 +977,34 @@ class OakCoreMap {
 
       if (v != 0) {
         detail::ValueCell cell(mm_, detail::VRef{v});
-        if (!cell.isDeleted()) {
+        const detail::Liveness live = cell.livenessProbe();
+        if (live == detail::Liveness::Live) {
           // ---- Case 1: key present ----
           if (op == PutOp::PutIfAbsent) return false;
           bool succ;
           if (op == PutOp::Put) {
-            succ = (old != nullptr) ? cell.exchange(value, old) : cell.put(value);
+            succ = (old != nullptr) ? cell.exchange(value, old, &snapCtx_)
+                                    : cell.put(value, &snapCtx_);
           } else {  // PutIfAbsentComputeIfPresent
-            succ = cell.compute([&](detail::ValueCell& vc) {
-              OakWBuffer w(vc);
-              (*func)(w);
-            });
+            succ = cell.compute(
+                [&](detail::ValueCell& vc) {
+                  OakWBuffer w(vc);
+                  (*func)(w);
+                },
+                &snapCtx_);
           }
-          if (!succ) continue;  // deleted underneath us — retry
+          if (!succ) continue;  // deleted/tombstoned underneath us — retry
           if (replaced != nullptr) *replaced = true;
           return true;
         }
+        if (live == detail::Liveness::Tombstone) {
+          // ---- Case 1b: logically absent, header pinned by snapshots ----
+          // Re-insert in place over the tombstone so the version chain
+          // stays attached to the key (a fresh insert, not a replace).
+          if (cell.resurrect(value, snapCtx_)) return true;
+          continue;  // raced: no longer a tombstone — re-route
+        }
+        // Dead (stale/deleted): fall through to case 2.
       }
 
       // ---- Case 2: key absent (no entry, ⊥ reference, or deleted value) --
@@ -859,6 +1057,14 @@ class OakCoreMap {
         detail::ValueCell::disposeUnpublished(mm_, newV, headerPool());
         continue;  // §4.3: retry — cannot linearize before the racing update
       }
+      // Stamp before returning: snapshots treat a pending (writeVersion 0)
+      // value as absent, so an insert left unstamped would stay invisible
+      // to every later snapshot.  Stamp-before-return keeps real-time
+      // order — any snapshot opened after this put returns has a version
+      // at or above the stamp and therefore observes the insert; readers
+      // racing the window between the CAS and this stamp help-stamp
+      // themselves (value.hpp).
+      detail::ValueCell(mm_, newV).helpStamp(snapCtx_);
       // The CAS above is this put's linearization point; the compaction that
       // follows is opportunistic maintenance.  If it fails on OOM (rebalance
       // rolled itself back), the put still succeeded — reporting the failure
@@ -882,22 +1088,37 @@ class OakCoreMap {
       if (v == 0) return false;  // key not found (l.p.: this read)
 
       detail::ValueCell cell(mm_, detail::VRef{v});
-      if (!cell.isDeleted()) {
+      const detail::Liveness live = cell.livenessProbe();
+      // Tombstones are logically absent; the header (and chain) must stay
+      // for open snapshots, so do NOT clear the entry.
+      if (live == detail::Liveness::Tombstone) return false;
+      if (live == detail::Liveness::Live) {
         // ---- Case 1: live value ----
         if (op == IfPresentOp::Compute) {
-          const bool ok = cell.compute([&](detail::ValueCell& vc) {
-            OakWBuffer w(vc);
-            (*func)(w);
-          });
+          const bool ok = cell.compute(
+              [&](detail::ValueCell& vc) {
+                OakWBuffer w(vc);
+                (*func)(w);
+              },
+              &snapCtx_);
           if (ok) return true;
-          // fall through to case 2: the value was deleted meanwhile
+          // fall through: the value was deleted or tombstoned meanwhile
         } else {  // Remove
-          if (cell.remove(old, headerPool())) {
-            finalizeRemove(key, v);
-            return true;
+          switch (cell.removeAt(snapCtx_, old, headerPool())) {
+            case detail::RemoveOutcome::Removed:
+              // Hard delete (no snapshot could need it): clear the entry.
+              finalizeRemove(key, v);
+              return true;
+            case detail::RemoveOutcome::Tombstoned:
+              // Logical delete; the version GC finishes it once unpinned.
+              return true;
+            case detail::RemoveOutcome::Absent:
+              break;  // raced — re-probe below
           }
-          // fall through to case 2
         }
+        // A concurrent remove may have tombstoned rather than deleted;
+        // clearing the entry then would orphan pinned versions.
+        if (cell.livenessProbe() == detail::Liveness::Tombstone) return false;
       }
 
       // ---- Case 2: deleted value — make sure the entry is cleared ----
@@ -906,8 +1127,13 @@ class OakCoreMap {
         continue;
       }
       std::uint64_t expected = v;
-      const bool ok = c->entry(ei).valRef.compare_exchange_strong(
-          expected, 0, std::memory_order_acq_rel);
+      bool ok = false;
+      // Guard like doPut: only a DELETED value may be cleared — a tombstone
+      // can be resurrected, so clearing on a stale probe would lose a put.
+      if (detail::ValueCell(mm_, detail::VRef{v}).isDeleted()) {
+        ok = c->entry(ei).valRef.compare_exchange_strong(
+            expected, 0, std::memory_order_acq_rel);
+      }
       c->unpublish();
       if (!ok) continue;
       return false;  // l.p.: the successful CAS to ⊥ (§4.5)
@@ -1203,6 +1429,51 @@ class OakCoreMap {
     return headerPool_ ? &*headerPool_ : nullptr;
   }
 
+  // --------------------------------------------------------- version GC
+  /// SnapCtx feed hook: a writer that chained a superseded version (or laid
+  /// a tombstone) registers the cell for the off-hot-path version GC.
+  /// Called under the value write lock — a spin lock (not a mutex) keeps
+  /// the feed legal there and under EBR guards.
+  static void vgcFeedThunk(void* owner, std::uint64_t vrefBits) {
+    static_cast<OakCoreMap*>(owner)->vgcEnqueue(vrefBits);
+  }
+  void vgcEnqueue(std::uint64_t vrefBits) {
+    SpinGuard lk(vgcMu_);
+    // oaklint: allow(R3, feed grows to the chained-cell peak then reuses
+    // capacity; kEnqueued dedupe bounds it by the number of live headers)
+    vgcFeed_.push_back(vrefBits);
+  }
+
+  /// Amortized version-GC trigger, called from update wrappers AFTER their
+  /// EBR guard is released.  With a maintenance pool the collection is
+  /// handed to a worker (deduped by a self-owned flag — the service's
+  /// (owner,key) dedupe also covers rebalance jobs, so a collision there
+  /// must not strand the flag); inline otherwise.
+  void maybeCollectVersions() {
+    if ((vgcTick_.fetch_add(1, std::memory_order_relaxed) & 1023u) != 0) return;
+    {
+      SpinGuard lk(vgcMu_);
+      if (vgcFeed_.empty()) return;
+    }
+    if (maintSvc_ == nullptr) {
+      collectVersionsNow();
+      return;
+    }
+    if (vgcJobQueued_.exchange(true, std::memory_order_acq_rel)) return;
+    const bool queued = maintSvc_->submit(
+        this, ByteVec{std::byte{0}}, 4096, [](void* owner, const ByteVec&) {
+          auto* self = static_cast<OakCoreMap*>(owner);
+          self->vgcJobQueued_.store(false, std::memory_order_release);
+          self->collectVersionsNow();
+        });
+    if (!queued) {
+      // Saturated queue or deduped against a same-key job: run inline so
+      // the backlog cannot wedge behind a stuck flag.
+      vgcJobQueued_.store(false, std::memory_order_release);
+      collectVersionsNow();
+    }
+  }
+
   OakConfig cfg_;
   Compare cmp_;
   mheap::ManagedHeap& metaHeap_;
@@ -1221,6 +1492,13 @@ class OakCoreMap {
   mutable obs::StatsRegistry stats_;
   std::unique_ptr<maint::MaintenanceService> ownedSvc_;
   maint::MaintenanceService* maintSvc_ = nullptr;  // owned or shared; null = inline
+  std::unique_ptr<SnapshotDomain> ownedSnapDomain_;
+  SnapshotDomain* snapDomain_ = nullptr;  // owned or shared, never null
+  detail::SnapCtx snapCtx_{};             // stable; handed to every ValueCell op
+  mutable SpinLock vgcMu_;
+  std::vector<std::uint64_t> vgcFeed_ OAK_GUARDED_BY(vgcMu_);  // VRef bits
+  std::atomic<std::uint32_t> vgcTick_{0};
+  std::atomic<bool> vgcJobQueued_{false};
 
   friend class AscendIter;
   friend class DescendIter;

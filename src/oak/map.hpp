@@ -170,14 +170,19 @@ class BasicOakMap {
         return OakRBuffer::forKey(rawEntry().key);
       }
       /// Value view (read-locked; may throw ConcurrentModification later).
+      /// Snapshot scans hand out snapshot views: the buffer keeps resolving
+      /// the version pinned at cursor-open time even after later overwrites.
       OakRBuffer valueBuffer() const {
-        return OakRBuffer::forValue(rawEntry().value);
+        const auto e = rawEntry();
+        return e.snapshotVersion != 0
+                   ? OakRBuffer::forValueAt(e.value, e.snapshotVersion)
+                   : OakRBuffer::forValue(e.value);
       }
       K key() const { return KSer::deserialize(rawEntry().key); }
       /// Deserializing convenience (copies — prefer valueBuffer()).
       std::optional<V> value() const {
         std::optional<V> out;
-        rawEntry().value.read([&](ByteSpan s) { out.emplace(VSer::deserialize(s)); });
+        rawEntry().readValue([&](ByteSpan s) { out.emplace(VSer::deserialize(s)); });
         return out;
       }
 
@@ -451,6 +456,18 @@ class BasicOakMap {
   maint::MaintenanceStats maintenanceStats() const {
     return core_.maintenanceStats();
   }
+
+  // ----------------------------------------------------------- snapshots
+  /// Pins the current map state and returns the RAII pin.  Scans opened
+  /// with `ScanOptions::snapshot()` pin (and release) their own version
+  /// automatically; an explicit pin is only needed to read the same
+  /// version from several cursors.
+  Snapshot openSnapshot() { return core_.openSnapshot(); }
+  SnapshotDomain& snapshotDomain() noexcept { return core_.snapshotDomain(); }
+  /// Drains the version-GC feed once; returns chain nodes + tombstones
+  /// retired.  Normally unnecessary — version GC runs amortized on the
+  /// write path (or on the maintenance pool when one is configured).
+  std::uint64_t collectVersionsNow() { return core_.collectVersionsNow(); }
 
   Core& core() { return core_; }
 

@@ -6,6 +6,10 @@
 //     stack-of-bypass-runs algorithm (§4.2, Figure 2).
 //   * stream: the paper's Stream API — reuse one ephemeral view object per
 //     scan instead of one per entry (§2.2).
+//   * snapshotMode: pin a read version V at iterator-open time so the whole
+//     scan observes exactly the map state at V — unblocked by and not
+//     blocking writers (snapshot.hpp; DESIGN.md §11).  On the sharded map
+//     the merged cross-shard iterator pins ONE version for all shards.
 #pragma once
 
 #include <cstdint>
@@ -17,10 +21,16 @@ struct ScanOptions {
 
   Direction direction = Direction::Ascending;
   bool stream = false;
+  bool snapshotMode = false;
+  /// Internal plumbing: a pre-pinned read version handed by the sharded
+  /// merged iterator to its per-shard iterators (0 = open a fresh pin).
+  /// Callers leave this 0 and set snapshotMode via snapshot().
+  std::uint64_t snapshotVersion = 0;
 
   constexpr bool isDescending() const noexcept {
     return direction == Direction::Descending;
   }
+  constexpr bool isSnapshot() const noexcept { return snapshotMode; }
 
   static constexpr ScanOptions ascending(bool stream = false) noexcept {
     return ScanOptions{Direction::Ascending, stream};
@@ -31,6 +41,25 @@ struct ScanOptions {
   /// Ascending stream scan (the common Druid ingestion shape).
   static constexpr ScanOptions streaming() noexcept {
     return ScanOptions{Direction::Ascending, true};
+  }
+  /// Point-in-time scan at the version current when the iterator opens.
+  static constexpr ScanOptions snapshot(
+      Direction dir = Direction::Ascending, bool stream = false) noexcept {
+    return ScanOptions{dir, stream, /*snapshotMode=*/true};
+  }
+  /// Point-in-time scan at an explicitly held pin (Snapshot::version()):
+  /// several iterators can then observe the same map state.  The caller's
+  /// Snapshot must stay alive for the duration of every such scan.
+  static constexpr ScanOptions snapshotAt(
+      std::uint64_t version, Direction dir = Direction::Ascending,
+      bool stream = false) noexcept {
+    return ScanOptions{dir, stream, /*snapshotMode=*/true, version};
+  }
+
+  constexpr ScanOptions withSnapshot(bool on = true) const noexcept {
+    ScanOptions o = *this;
+    o.snapshotMode = on;
+    return o;
   }
 };
 

@@ -30,9 +30,12 @@ concept ByteComparator = requires(const C& c, ByteSpan a, ByteSpan b) {
   { c(a, b) } -> std::convertible_to<int>;
 };
 
-/// Default comparator: lexicographic byte order.
+/// Default comparator: lexicographic byte order, via the word-at-a-time
+/// fast path (sign-identical to compareBytes; see common/bytes.hpp).
 struct BytesComparator {
-  int operator()(ByteSpan a, ByteSpan b) const noexcept { return compareBytes(a, b); }
+  int operator()(ByteSpan a, ByteSpan b) const noexcept {
+    return compareBytesFast(a, b);
+  }
 };
 
 /// std::string <-> raw bytes.

@@ -122,6 +122,16 @@ class ShardedOakCoreMap {
       }
     }
     shardCfg_.maintenance.service = svc_;
+    // One snapshot domain shared by every shard (adopt the caller's when
+    // injected): a merged cross-shard scan then pins a single read version
+    // that is consistent across the whole key space, and writers on any
+    // shard stamp against the same clock.
+    snapDomain_ = shardCfg_.snapshotDomain;
+    if (snapDomain_ == nullptr) {
+      ownedSnapDomain_ = std::make_unique<SnapshotDomain>();
+      snapDomain_ = ownedSnapDomain_.get();
+    }
+    shardCfg_.snapshotDomain = snapDomain_;
     autoManage_ = shardCfg_.maintenance.autoShardManage;
     checkOps_ = shardCfg_.maintenance.manageCheckOps < 1
                     ? 1
@@ -268,33 +278,69 @@ class ShardedOakCoreMap {
     AscendIter(ShardedOakCoreMap& m, std::optional<ByteVec> lo,
                std::optional<ByteVec> hi, ScanOptions opts)
         : map_(&m) {
-      TableRef tr(m);
-      const Table& t = *tr;
-      const std::size_t n = t.cores.size();
-      const std::size_t first = t.router.lowerShard(lo);
-      const std::size_t last = std::min(t.router.upperShard(hi), n - 1);
-      for (std::size_t i = first; i <= last; ++i) {
-        std::optional<ByteVec> effLo = lo;
-        if (i > 0) {
-          // Clamp below as well as above: during a merge the absorbing core
-          // transiently holds keys under its published lower boundary, and
-          // an unclamped iterator would yield them from both shards.
-          ByteVec lb = toVec(t.router.boundary(i - 1));
-          if (!effLo || m.cmp_(asBytes(lb), asBytes(*effLo)) > 0) effLo = std::move(lb);
+      if (opts.isSnapshot() && opts.snapshotVersion == 0) {
+        // ONE pin for all shards: the merged scan observes a single version
+        // consistent across the whole key space; per-shard iterators reuse
+        // it through opts.snapshotVersion instead of pinning their own.
+        snap_ = Snapshot(*m.snapDomain_);
+        opts.snapshotVersion = snap_.version();
+      }
+      snapV_ = opts.isSnapshot() ? opts.snapshotVersion : 0;
+      const auto build = [&](const ShardRouter<Compare>& router,
+                             const std::vector<std::shared_ptr<Core>>& cores) {
+        if (snap_.valid() && !cores.empty()) cores.front()->noteSnapshotOpened();
+        const std::size_t n = cores.size();
+        const std::size_t first = router.lowerShard(lo);
+        const std::size_t last = std::min(router.upperShard(hi), n - 1);
+        for (std::size_t i = first; i <= last; ++i) {
+          std::optional<ByteVec> effLo = lo;
+          if (i > 0) {
+            // Clamp below as well as above: during a merge the absorbing
+            // core transiently holds keys under its published lower
+            // boundary, and an unclamped iterator would yield them from
+            // both shards.
+            ByteVec lb = toVec(router.boundary(i - 1));
+            if (!effLo || m.cmp_(asBytes(lb), asBytes(*effLo)) > 0) effLo = std::move(lb);
+          }
+          std::optional<ByteVec> effHi = hi;
+          if (i + 1 < n) {
+            ByteVec ub = toVec(router.boundary(i));
+            if (!effHi || m.cmp_(asBytes(ub), asBytes(*effHi)) < 0) effHi = std::move(ub);
+          }
+          cores_.push_back(cores[i]);
+          iters_.push_back(std::make_unique<typename Core::AscendIter>(
+              *cores[i], std::move(effLo), std::move(effHi), opts));
         }
-        std::optional<ByteVec> effHi = hi;
-        if (i + 1 < n) {
-          ByteVec ub = toVec(t.router.boundary(i));
-          if (!effHi || m.cmp_(asBytes(ub), asBytes(*effHi)) < 0) effHi = std::move(ub);
+      };
+      // Snapshot scans must route through the layout that was current AT
+      // the read version: shard migration restamps moved values, so the
+      // published layout may not serve versions older than the last
+      // split/merge (the originals survive as sealed leftovers in the
+      // pre-migration cores).  When no superseded table is retained the
+      // published layout serves every pinned version, so the common path
+      // stays the plain hazard pin; the flag re-check AFTER pinning closes
+      // the race with a concurrent migration publish (see historyRetained_).
+      bool useHistory = snapV_ != 0 && m.historyRetained();
+      if (!useHistory) {
+        TableRef tr(m);
+        if (snapV_ != 0 && m.historyRetained()) {
+          useHistory = true;  // raced a migration; drop the pin, use history
+        } else {
+          build(tr->router, tr->cores);
         }
-        cores_.push_back(t.cores[i]);
-        iters_.push_back(std::make_unique<typename Core::AscendIter>(
-            *t.cores[i], std::move(effLo), std::move(effHi), opts));
+      }
+      if (useHistory) {
+        // Taken WITHOUT a hazard pin held: snapshotScanView blocks on
+        // mgmtMu_, and a migration holding mgmtMu_ awaits hazard
+        // quiescence.
+        const auto view = m.snapshotScanView(snapV_);
+        build(view.router, view.cores);
       }
       pick();
     }
 
     bool valid() const noexcept { return cur_ != kNoneIdx; }
+    std::uint64_t snapshotVersion() const noexcept { return snapV_; }
     EntryView entry() const { return iters_[cur_]->entry(); }
     void next() {
       iters_[cur_]->next();
@@ -316,6 +362,8 @@ class ShardedOakCoreMap {
     }
 
     ShardedOakCoreMap* map_;
+    Snapshot snap_;  ///< the one cross-shard pin (snapshot mode only)
+    std::uint64_t snapV_ = 0;
     std::vector<std::shared_ptr<Core>> cores_;  // keepalive across merges
     std::vector<std::unique_ptr<typename Core::AscendIter>> iters_;
     std::size_t cur_ = kNoneIdx;
@@ -328,32 +376,57 @@ class ShardedOakCoreMap {
     DescendIter(ShardedOakCoreMap& m, std::optional<ByteVec> lo,
                 std::optional<ByteVec> hi, ScanOptions opts)
         : map_(&m) {
-      TableRef tr(m);
-      const Table& t = *tr;
-      const std::size_t n = t.cores.size();
-      const std::size_t first = t.router.lowerShard(lo);
-      const std::size_t last = std::min(t.router.upperShard(hi), n - 1);
-      for (std::size_t i = first; i <= last; ++i) {
-        std::optional<ByteVec> effLo = lo;
-        if (i > 0) {
-          // Same lower-bound clamp as AscendIter: merge leftovers below the
-          // shard's published range must not surface twice.
-          ByteVec lb = toVec(t.router.boundary(i - 1));
-          if (!effLo || m.cmp_(asBytes(lb), asBytes(*effLo)) > 0) effLo = std::move(lb);
+      if (opts.isSnapshot() && opts.snapshotVersion == 0) {
+        // Same single-pin protocol as the merged AscendIter.
+        snap_ = Snapshot(*m.snapDomain_);
+        opts.snapshotVersion = snap_.version();
+      }
+      snapV_ = opts.isSnapshot() ? opts.snapshotVersion : 0;
+      const auto build = [&](const ShardRouter<Compare>& router,
+                             const std::vector<std::shared_ptr<Core>>& cores) {
+        if (snap_.valid() && !cores.empty()) cores.front()->noteSnapshotOpened();
+        const std::size_t n = cores.size();
+        const std::size_t first = router.lowerShard(lo);
+        const std::size_t last = std::min(router.upperShard(hi), n - 1);
+        for (std::size_t i = first; i <= last; ++i) {
+          std::optional<ByteVec> effLo = lo;
+          if (i > 0) {
+            // Same lower-bound clamp as AscendIter: merge leftovers below
+            // the shard's published range must not surface twice.
+            ByteVec lb = toVec(router.boundary(i - 1));
+            if (!effLo || m.cmp_(asBytes(lb), asBytes(*effLo)) > 0) effLo = std::move(lb);
+          }
+          std::optional<ByteVec> effHi = hi;
+          if (i + 1 < n) {
+            ByteVec ub = toVec(router.boundary(i));
+            if (!effHi || m.cmp_(asBytes(ub), asBytes(*effHi)) < 0) effHi = std::move(ub);
+          }
+          cores_.push_back(cores[i]);
+          iters_.push_back(std::make_unique<typename Core::DescendIter>(
+              *cores[i], std::move(effLo), std::move(effHi), opts));
         }
-        std::optional<ByteVec> effHi = hi;
-        if (i + 1 < n) {
-          ByteVec ub = toVec(t.router.boundary(i));
-          if (!effHi || m.cmp_(asBytes(ub), asBytes(*effHi)) < 0) effHi = std::move(ub);
+      };
+      // Same version-resolved layout selection as the merged AscendIter:
+      // hazard-pin fast path unless superseded tables are retained, flag
+      // re-checked after pinning, history path entered with no pin held.
+      bool useHistory = snapV_ != 0 && m.historyRetained();
+      if (!useHistory) {
+        TableRef tr(m);
+        if (snapV_ != 0 && m.historyRetained()) {
+          useHistory = true;
+        } else {
+          build(tr->router, tr->cores);
         }
-        cores_.push_back(t.cores[i]);
-        iters_.push_back(std::make_unique<typename Core::DescendIter>(
-            *t.cores[i], std::move(effLo), std::move(effHi), opts));
+      }
+      if (useHistory) {
+        const auto view = m.snapshotScanView(snapV_);
+        build(view.router, view.cores);
       }
       pick();
     }
 
     bool valid() const noexcept { return cur_ != kNoneIdx; }
+    std::uint64_t snapshotVersion() const noexcept { return snapV_; }
     EntryView entry() const { return iters_[cur_]->entry(); }
     void next() {
       iters_[cur_]->next();
@@ -375,6 +448,8 @@ class ShardedOakCoreMap {
     }
 
     ShardedOakCoreMap* map_;
+    Snapshot snap_;  ///< the one cross-shard pin (snapshot mode only)
+    std::uint64_t snapV_ = 0;
     std::vector<std::shared_ptr<Core>> cores_;
     std::vector<std::unique_ptr<typename Core::DescendIter>> iters_;
     std::size_t cur_ = kNoneIdx;
@@ -437,6 +512,22 @@ class ShardedOakCoreMap {
     return svc_ != nullptr ? svc_->stats() : maint::MaintenanceStats{};
   }
   maint::MaintenanceService* maintenanceService() noexcept { return svc_; }
+
+  // ====================================================== snapshots ==
+  /// The version clock + pin table every shard stamps against.
+  SnapshotDomain& snapshotDomain() noexcept { return *snapDomain_; }
+  /// Pins the current map state; scans opened with
+  /// `ScanOptions::snapshot()` pin their own version automatically.
+  Snapshot openSnapshot() { return Snapshot(*snapDomain_); }
+  /// Drains every shard's version-GC feed once (tests / quiescent points).
+  /// Returns the number of version-chain nodes and tombstones retired.
+  std::uint64_t collectVersionsNow() {
+    MutexLock lk(mgmtMu_);
+    std::uint64_t n = 0;
+    forEachCoreLocked(
+        [&](const Core& c) { n += const_cast<Core&>(c).collectVersionsNow(); });
+    return n;
+  }
 
   // ========================================================= stats ==
   std::size_t sizeSlow() {
@@ -511,6 +602,12 @@ class ShardedOakCoreMap {
   // slot has moved past it.
   struct Table {
     std::uint64_t version = 0;
+    /// Snapshot-clock value when this table was published.  Shard migration
+    /// restamps moved values at copy time, so a snapshot pinned at V must
+    /// route through the layout that was current at V: the last table with
+    /// born <= V (see snapshotScanView).  Monotone in publish order because
+    /// the clock never goes backwards.
+    std::uint64_t born = 0;
     ShardRouter<Compare> router;
     std::vector<std::shared_ptr<Core>> cores;
     // Sealed write range [sealLo, sealHi) — writers spin, readers proceed.
@@ -613,6 +710,14 @@ class ShardedOakCoreMap {
     t->version = tables_.empty()
                      ? 1
                      : table_.load(std::memory_order_relaxed)->version + 1;
+    t->born = snapDomain_->now();
+    // Raise the history flag BEFORE the new table becomes reachable: a
+    // snapshot scan that hazard-pins the new table and then loads the flag
+    // (both seq_cst) is therefore guaranteed to see it raised and divert to
+    // the version-resolved path while superseded layouts may still matter.
+    if (!tables_.empty()) {
+      historyRetained_.store(true, std::memory_order_seq_cst);
+    }
     Table* p = t.get();
     tables_.push_back(std::move(t));
     table_.store(p, std::memory_order_seq_cst);
@@ -636,6 +741,13 @@ class ShardedOakCoreMap {
   /// Frees superseded tables; cores that left the layout move to the
   /// zombie list so outstanding OakRBuffer views stay valid for the map's
   /// lifetime (scans hold their own shared_ptr and do not need this).
+  ///
+  /// Superseded tables are NOT freed while a snapshot pin may still resolve
+  /// to them: table T's validity window is [T.born, successor.born), so T
+  /// stays until successor.born <= minPinned() — i.e. every open snapshot
+  /// already reads a version the successor layout serves correctly.  The
+  /// freed set is always a prefix of `tables_` (born is monotone in publish
+  /// order), so the publish-ordered vector survives intact.
   void pruneLocked() OAK_REQUIRES(mgmtMu_) {
     Table* cur = table_.load(std::memory_order_relaxed);
     awaitQuiescentLocked(cur);
@@ -654,11 +766,58 @@ class ShardedOakCoreMap {
         if (!seen) zombies_.push_back(c);
       }
     }
-    tables_.erase(std::remove_if(tables_.begin(), tables_.end(),
-                                 [cur](const std::unique_ptr<Table>& t) {
-                                   return t.get() != cur;
-                                 }),
-                  tables_.end());
+    const std::uint64_t minPin = snapDomain_->minPinned();
+    std::size_t freeUpTo = 0;  // exclusive end of the freeable prefix
+    while (freeUpTo + 1 < tables_.size() &&
+           tables_[freeUpTo + 1]->born <= minPin) {
+      ++freeUpTo;
+    }
+    tables_.erase(tables_.begin(),
+                  tables_.begin() + static_cast<std::ptrdiff_t>(freeUpTo));
+    // Safe to drop the flag once only the published table remains: every
+    // pin that still needed an older layout kept it retained (minPinned
+    // gate above), so reaching size 1 means all open pins — and any pin
+    // opened from here on, whose version is at least the survivor's born —
+    // resolve to the published table.
+    if (tables_.size() == 1) {
+      historyRetained_.store(false, std::memory_order_seq_cst);
+    }
+  }
+
+  // ------------------------------------------------------ scan views --
+  /// Value-copy of one table's routing state: the merged iterators build
+  /// from this so they never dangle on a pruned Table (cores stay alive via
+  /// the shared_ptrs, boundaries via the router copy).
+  struct ScanTableView {
+    ShardRouter<Compare> router;
+    std::vector<std::shared_ptr<Core>> cores;
+  };
+
+  /// True while a superseded table is retained for open snapshot pins.
+  /// Snapshot scan opens check this (seq_cst) after hazard-pinning the
+  /// published table; false means the published layout serves every pinned
+  /// version, so the open avoids mgmtMu_ and the view copies entirely.
+  bool historyRetained() const noexcept {
+    return historyRetained_.load(std::memory_order_seq_cst);
+  }
+
+  /// The layout that was current at snapshot version `v`.  Shard migration
+  /// (split/merge) restamps moved values at copy time, which makes them
+  /// invisible to pins older than the migration — those pins must keep
+  /// routing through the pre-migration layout, whose cores retain the
+  /// originals as sealed leftovers.  pruneLocked() retains superseded
+  /// tables exactly as long as a pin can resolve to them.
+  ScanTableView snapshotScanView(std::uint64_t v) const {
+    MutexLock lk(mgmtMu_);
+    const Table* best = nullptr;
+    for (const auto& up : tables_) {  // publish order, born monotone
+      if (up->born <= v) best = up.get();
+    }
+    // A pin older than every retained table can only happen when the
+    // caller broke the snapshotAt contract (pin released); the oldest
+    // retained layout is the best remaining approximation.
+    if (best == nullptr) best = tables_.front().get();
+    return ScanTableView{best->router, best->cores};
   }
 
   // --------------------------------------------------- owned ranges --
@@ -894,6 +1053,10 @@ class ShardedOakCoreMap {
   OakConfig shardCfg_;  // per-core config with the shared service injected
   std::unique_ptr<maint::MaintenanceService> ownedSvc_;
   maint::MaintenanceService* svc_ = nullptr;
+  // Likewise declared before the cores: a shard's version GC reads the
+  // domain's pin floor, so the shared SnapshotDomain must outlive them.
+  std::unique_ptr<SnapshotDomain> ownedSnapDomain_;
+  SnapshotDomain* snapDomain_ = nullptr;
 
   mutable Mutex mgmtMu_;
   std::vector<std::unique_ptr<Table>> tables_
@@ -901,6 +1064,10 @@ class ShardedOakCoreMap {
   std::vector<std::shared_ptr<Core>> zombies_
       OAK_GUARDED_BY(mgmtMu_);  // merged-away cores
   std::atomic<Table*> table_{nullptr};
+  /// Raised (before publish) whenever a publish supersedes a table, lowered
+  /// by pruneLocked once history is down to the published table alone.
+  /// seq_cst pairs with the pin-then-check in the merged iterator ctors.
+  std::atomic<bool> historyRetained_{false};
   mutable std::unique_ptr<GateSlot[]> gate_;
 
   bool autoManage_ = false;

@@ -108,6 +108,14 @@ std::string Metrics::toJson() const {
           hdrPoolFree, hdrCreated);
 
   appendf(j,
+          "\"snapshot\":{\"opened\":%" PRIu64 ",\"active\":%" PRIu64
+          ",\"snapshot_pin_ms\":%" PRIu64 ",\"versions_retired\":%" PRIu64
+          ",\"feed_depth\":%" PRIu64 "},",
+          registry.counter(Counter::SnapshotOpened), snapshotsActive,
+          snapshotPinMs, registry.counter(Counter::VersionsRetired),
+          versionFeedDepth);
+
+  appendf(j,
           "\"gc\":{\"full_cycles\":%" PRIu64 ",\"young_cycles\":%" PRIu64
           ",\"pause_ns_total\":%" PRIu64 ",\"allocations\":%" PRIu64
           ",\"oom_throws\":%" PRIu64 ",\"gc_last_ditch\":%" PRIu64
@@ -179,6 +187,16 @@ std::string Metrics::toText() const {
               arenas[i].fragmentedBytes, arenas[i].allocCount,
               arenas[i].freeCount);
     }
+  }
+  if (registry.counter(Counter::SnapshotOpened) != 0 || snapshotsActive != 0 ||
+      versionFeedDepth != 0) {
+    appendf(t,
+            "  snapshot: opened=%" PRIu64 " active=%" PRIu64
+            " pinned=%" PRIu64 "ms versions-retired=%" PRIu64
+            " feed-depth=%" PRIu64 "\n",
+            registry.counter(Counter::SnapshotOpened), snapshotsActive,
+            snapshotPinMs, registry.counter(Counter::VersionsRetired),
+            versionFeedDepth);
   }
   appendf(t, "  ebr: epoch-lag=%" PRIu64 " retired=%" PRIu64 "\n", ebr.epochLag,
           ebr.retired);

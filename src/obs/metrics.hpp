@@ -60,6 +60,14 @@ struct Metrics {
   std::uint64_t hdrPoolFree = 0;
   std::uint64_t hdrCreated = 0;
 
+  /// MVCC snapshot gauges (snapshot.hpp).  A sharded map's shards share one
+  /// SnapshotDomain, so — like the maintenance gauges — snapshotsActive and
+  /// snapshotPinMs absorb with max rather than sum; the version-GC feed is
+  /// per-shard and sums.
+  std::uint64_t snapshotsActive = 0;   ///< snapshots currently pinning a version
+  std::uint64_t snapshotPinMs = 0;     ///< cumulative wall time versions were pinned
+  std::uint64_t versionFeedDepth = 0;  ///< cells waiting on the version GC
+
   bool statsCompiled = StatsRegistry::compiled();
 
   /// Folds a shard's snapshot into this whole-map view: counters and
@@ -79,6 +87,9 @@ struct Metrics {
     if (s.maintInFlight > maintInFlight) maintInFlight = s.maintInFlight;
     if (s.maintThrottledMs > maintThrottledMs) maintThrottledMs = s.maintThrottledMs;
     if (s.maintThreads > maintThreads) maintThreads = s.maintThreads;
+    if (s.snapshotsActive > snapshotsActive) snapshotsActive = s.snapshotsActive;
+    if (s.snapshotPinMs > snapshotPinMs) snapshotPinMs = s.snapshotPinMs;
+    versionFeedDepth += s.versionFeedDepth;
     if (shards == 0) gc = s.gc;
     shards += s.shards;
   }

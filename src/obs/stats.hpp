@@ -74,6 +74,8 @@ enum class Counter : std::uint32_t {
   MaintInlineFallback,///< queue-full (or blocking) requests run inline instead
   ShardSplit,         ///< online shard split published a new layout
   ShardMerge,         ///< online shard merge retired a boundary
+  SnapshotOpened,     ///< snapshot scans that pinned a fresh read version
+  VersionsRetired,    ///< chain nodes + tombstones reclaimed by version GC
   kCount
 };
 inline constexpr std::size_t kCounterCount = static_cast<std::size_t>(Counter::kCount);
@@ -89,6 +91,8 @@ inline const char* counterName(Counter c) noexcept {
     case Counter::MaintInlineFallback: return "maint_inline_fallback";
     case Counter::ShardSplit: return "shard_split";
     case Counter::ShardMerge: return "shard_merge";
+    case Counter::SnapshotOpened: return "snapshot_opened";
+    case Counter::VersionsRetired: return "versions_retired";
     case Counter::kCount: break;
   }
   return "?";

@@ -99,23 +99,56 @@ struct SeqMap {
   }
 };
 
-/// Returns true iff `history` (complete operations only) is linearizable
-/// w.r.t. the sequential map specification.
-inline bool isLinearizable(std::vector<Operation> history) {
-  const std::size_t n = history.size();
+/// A snapshot scan observation: the FULL entry set a `ScanOptions::snapshot()`
+/// scan reported, stamped with the open() window.  Unlike plain Oak scans
+/// (§4.2), a snapshot scan is atomic — it must equal the whole map state at
+/// one instant inside [invokeNs, responseNs], so it participates in the
+/// linearizability search as a single giant read.
+struct SnapshotScanObservation {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;  // key, value (ascending)
+  std::uint64_t invokeNs = 0;    // open() invocation
+  std::uint64_t responseNs = 0;  // open() response: the pin exists by now
+};
+
+/// Returns true iff `history` plus the atomic snapshot scans admit one legal
+/// sequential witness consistent with real-time order.  Each scan linearizes
+/// at a single point (its pin) and must observe EXACTLY the sequential map
+/// state there: every op linearized before it, none after.
+inline bool isLinearizableWithSnapshots(
+    const std::vector<Operation>& history,
+    const std::vector<SnapshotScanObservation>& snapshots) {
+  struct Event {
+    const Operation* op = nullptr;               // point op, or
+    const SnapshotScanObservation* snap = nullptr;  // atomic full-state read
+    std::uint64_t invokeNs = 0;
+    std::uint64_t responseNs = 0;
+  };
+  std::vector<Event> ev;
+  ev.reserve(history.size() + snapshots.size());
+  for (const Operation& op : history) {
+    ev.push_back({&op, nullptr, op.invokeNs, op.responseNs});
+  }
+  for (const SnapshotScanObservation& s : snapshots) {
+    ev.push_back({nullptr, &s, s.invokeNs, s.responseNs});
+  }
+  const std::size_t n = ev.size();
   if (n == 0) return true;
   if (n > 64) return false;  // caller should keep histories small
 
-  // DFS over "next operation to linearize": an op is eligible if every
-  // still-pending op's invocation is not strictly after this op's response
-  // (i.e., no completed-before op remains unlinearized).
-  std::vector<bool> done(n, false);
-  std::set<std::pair<std::uint64_t, std::string>> visited;  // (doneMask, state)
-
-  struct Frame {
-    SeqMap state;
-    std::uint64_t mask;
+  auto matches = [](const SeqMap& state, const SnapshotScanObservation& s) {
+    if (state.m.size() != s.entries.size()) return false;
+    std::size_t i = 0;
+    for (const auto& [k, v] : state.m) {
+      if (s.entries[i].first != k || s.entries[i].second != v) return false;
+      ++i;
+    }
+    return true;
   };
+
+  // DFS over "next event to linearize": an event is eligible if every
+  // still-pending event's invocation is not strictly after its response
+  // (i.e., no completed-before event remains unlinearized).
+  std::set<std::pair<std::uint64_t, std::string>> visited;  // (doneMask, state)
 
   // Iterative DFS with explicit stack of (state, mask, next candidate idx).
   struct StackEntry {
@@ -130,7 +163,7 @@ inline bool isLinearizable(std::vector<Operation> history) {
     std::uint64_t lo = UINT64_MAX;
     for (std::size_t i = 0; i < n; ++i) {
       if ((mask >> i) & 1) continue;
-      lo = std::min(lo, history[i].responseNs);
+      lo = std::min(lo, ev[i].responseNs);
     }
     return lo;
   };
@@ -138,17 +171,21 @@ inline bool isLinearizable(std::vector<Operation> history) {
   while (!stack.empty()) {
     StackEntry& top = stack.back();
     if (top.mask == ((n == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1))) {
-      return true;  // all operations linearized
+      return true;  // all events linearized
     }
     const std::uint64_t frontier = minPendingResponse(top.mask);
     bool descended = false;
     for (std::size_t i = top.next; i < n; ++i) {
       if ((top.mask >> i) & 1) continue;
       // Real-time constraint: `i` may linearize next only if it was invoked
-      // before every pending operation's response.
-      if (history[i].invokeNs > frontier) continue;
+      // before every pending event's response.
+      if (ev[i].invokeNs > frontier) continue;
       SeqMap nextState = top.state;
-      if (!nextState.step(history[i])) continue;
+      if (ev[i].op != nullptr) {
+        if (!nextState.step(*ev[i].op)) continue;
+      } else if (!matches(nextState, *ev[i].snap)) {
+        continue;  // the snapshot cannot pin here — state mismatch
+      }
       const std::uint64_t nextMask = top.mask | (std::uint64_t{1} << i);
       const auto key = std::make_pair(nextMask, nextState.encode());
       if (!visited.insert(key).second) continue;
@@ -160,6 +197,12 @@ inline bool isLinearizable(std::vector<Operation> history) {
     if (!descended) stack.pop_back();
   }
   return false;
+}
+
+/// Returns true iff `history` (complete operations only) is linearizable
+/// w.r.t. the sequential map specification.
+inline bool isLinearizable(const std::vector<Operation>& history) {
+  return isLinearizableWithSnapshots(history, {});
 }
 
 // ---------------------------------------------------------------- scans --

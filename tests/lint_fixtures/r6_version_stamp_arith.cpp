@@ -1,0 +1,25 @@
+// oaklint fixture — R6: MVCC version stamps are opaque tickets.  Client
+// code gets one from Snapshot::version() and hands it back verbatim to
+// ScanOptions::snapshotAt(); the raw writeVersion/dataVersion header fields
+// belong to value.hpp.  A forged stamp (V+1, V-1, direct field stores)
+// names a version the pin table never registered, so the version GC is
+// free to reclaim it mid-scan — a use-after-free with no sanitizer trace.
+//
+// oaklint-expect: R6
+#include <cstdint>
+
+struct FakeHeader {
+  std::uint64_t writeVersion = 0;
+  std::uint64_t dataVersion = 0;
+};
+
+struct FakeSnapshot {
+  std::uint64_t version() const { return v_; }
+  std::uint64_t v_ = 42;
+};
+
+std::uint64_t forgeStamp(FakeHeader* hdr, const FakeSnapshot& snap) {
+  hdr->writeVersion = 7;        // BAD: raw stamp store outside value.hpp
+  hdr->dataVersion = 6;         // BAD: chain-node stamp rewrite
+  return snap.version() + 1;    // BAD: arithmetic forges an unpinned version
+}

@@ -18,9 +18,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/env.hpp"
@@ -475,6 +477,185 @@ TEST(OakDegraded, ShardedTryPutRoutesAndDegradesPerShard) {
   EXPECT_TRUE(map.containsKey(bytes(padKey(0))));
   const obs::Metrics m = map.stats();
   EXPECT_GT(m.registry.counter(obs::Counter::OpRetries), 0u);
+}
+
+// ----------------------------------------------------- chaos: snapshots
+// MVCC drills (DESIGN.md §11): injected OOMs must never tear an open
+// snapshot's world, and the version GC must never reclaim a pinned version
+// — not even when the maintenance workers that run it are the ones faulting.
+
+/// Drains one snapshot scan into sorted (key, value) string pairs.
+template <class MapT>
+std::vector<std::pair<std::string, std::string>> drainSnapshot(
+    MapT& map, const Snapshot& snap) {
+  std::vector<std::pair<std::string, std::string>> out;
+  auto opts = ScanOptions::snapshotAt(snap.version());
+  for (auto it = map.ascend({}, {}, opts); it.valid(); it.next()) {
+    auto e = it.entry();
+    std::string v;
+    EXPECT_TRUE(e.readValue([&](ByteSpan s) { v = asString(s); }))
+        << "pinned entry vanished";
+    out.emplace_back(asString(e.key), std::move(v));
+  }
+  return out;
+}
+
+template <class MapT>
+void expectSnapshotWorld(MapT& map, const Snapshot& snap,
+                         const std::map<std::string, std::string>& world,
+                         const char* what) {
+  auto got = drainSnapshot(map, snap);
+  ASSERT_EQ(got.size(), world.size()) << what;
+  std::size_t i = 0;
+  for (const auto& [k, v] : world) {
+    EXPECT_EQ(got[i].first, k) << what << " pos " << i;
+    EXPECT_EQ(got[i].second, v) << what << " key " << k;
+    ++i;
+  }
+}
+
+TEST(OakChaos, SnapshotsSurviveOffheapOomStorm) {
+  SKIP_UNLESS_CHECKED();
+  fault::disarmAll();
+  const std::uint64_t seed = chaosSeed();
+  auto cfg = OakConfig{}.withChunkCapacity(64);
+  OakCoreMap<> map(cfg);
+  std::map<std::string, std::string> oracle;
+  for (int i = 0; i < 150; ++i) {
+    const std::string k = padKey(i);
+    const std::string v = valueFor(i, 'p');
+    map.put(bytes(k), bytes(v));
+    oracle[k] = v;
+  }
+
+  struct Held {
+    Snapshot snap;
+    std::map<std::string, std::string> world;
+  };
+  std::vector<Held> held;
+  held.push_back({map.openSnapshot(), oracle});
+
+  // Storm the write path: version-chain pushes allocate off-heap nodes, so
+  // alloc.offheap faults land mid-push — the strong guarantee must leave
+  // both the live value and the pinned chain intact.
+  fault::arm("alloc.offheap", fault::Schedule::probability(0.02, seed));
+  fault::arm("mheap.alloc", fault::Schedule::probability(0.01, seed + 1));
+  XorShift rng(seed);
+  int injected = 0;
+  for (int op = 0; op < 1500; ++op) {
+    const std::string k = padKey(static_cast<int>(rng.nextBounded(300)));
+    try {
+      if (rng.nextBounded(4) == 0) {
+        if (map.remove(bytes(k))) oracle.erase(k);
+      } else {
+        const std::string v = valueFor(op, 'c');
+        map.put(bytes(k), bytes(v));
+        oracle[k] = v;
+      }
+    } catch (const std::bad_alloc&) {
+      ++injected;  // op aborted; oracle untouched
+    }
+    if (op % 400 == 399 && held.size() < 4) {
+      held.push_back({map.openSnapshot(), oracle});
+    }
+    if (op % 500 == 499) map.collectVersionsNow();  // GC under fire
+  }
+  fault::disarm("alloc.offheap");
+  fault::disarm("mheap.alloc");
+  EXPECT_GT(injected, 0) << "storm never injected — drill proves nothing";
+
+  // Every pinned world survived the storm verbatim...
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    expectSnapshotWorld(map, held[i].snap, held[i].world,
+                        ("held pin " + std::to_string(i)).c_str());
+  }
+  // ...and the structure underneath is walker-clean.
+  map.quiesce();
+  auto rep = ChunkWalker<BytesComparator>::validate(map);
+  for (const auto& p : rep.problems) ADD_FAILURE() << p;
+  EXPECT_TRUE(rep.ok);
+  // Contents agree with the oracle now that pins are released.
+  held.clear();
+  map.collectVersionsNow();
+  EXPECT_EQ(map.sizeSlow(), oracle.size());
+  fault::disarmAll();
+}
+
+TEST(OakChaos, VersionGcUnderMaintWorkerFaultsKeepsPinnedVersions) {
+  SKIP_UNLESS_CHECKED();
+  fault::disarmAll();
+  const std::uint64_t seed = chaosSeed();
+  auto cfg = OakConfig{}
+                 .withChunkCapacity(64)
+                 .withMaintenance(maint::MaintenanceConfig{}.withThreads(1));
+  OakCoreMap<> map(cfg);
+  const std::string key = padKey(1);
+  map.put(bytes(key), bytes(std::string("v-genesis")));
+  Snapshot snap = map.openSnapshot();
+  const std::map<std::string, std::string> world{{key, "v-genesis"}};
+
+  // Queue real background work while the worker is paused (maint_test's
+  // deterministic arming shape), burying the pinned version under a long
+  // chain of overwrites at the same time.
+  map.pauseMaintenance();
+  for (int s = 0; s < 3000; ++s) {
+    map.put(bytes(key), bytes(valueFor(s, 'w')));           // chain feed
+    map.put(bytes(padKey(s % 800)), bytes(valueFor(s, 'f')));  // rebalance feed
+  }
+  ASSERT_GT(map.maintenanceStats().pending, 0u) << "no background work queued";
+
+  // Every worker execution now faults.  Nothing may touch the pinned
+  // version while the pool thrashes.
+  fault::arm("maint.worker", fault::Schedule::probability(1.0, seed));
+  map.resumeMaintenance();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  map.collectVersionsNow();  // inline GC pass while the workers still fault
+  EXPECT_GT(fault::injectedCount("maint.worker"), 0u)
+      << "workers never reached the chaos site";
+  expectSnapshotWorld(map, snap, world, "pinned while workers fault");
+  // A faulted worker job re-queues itself (see maint_test), so the queue
+  // only drains once the site is disarmed.
+  fault::disarm("maint.worker");
+  map.drainMaintenance();
+
+  expectSnapshotWorld(map, snap, world, "pinned after drain");
+  // Releasing the pin lets the next pass retire the buried chain.
+  snap = Snapshot{};
+  map.collectVersionsNow();
+  EXPECT_GT(map.stats().registry.counter(obs::Counter::VersionsRetired), 0u);
+  map.quiesce();
+  EXPECT_TRUE(ChunkWalker<BytesComparator>::validate(map).ok);
+  fault::disarmAll();
+}
+
+// Runs in every build (no injection): a mid-scan OOM from *real* exhaustion
+// aborts the writer, not the open snapshot walker.
+TEST(OakChaos, RealOomMidSnapshotLeavesWalkerClean) {
+  fault::disarmAll();
+  mem::BlockPool pool({.blockBytes = 1u << 16, .budgetBytes = 2u << 16});
+  auto cfg = OakConfig{}.withChunkCapacity(64).withMem(
+      MemConfig{}.withPool(&pool).withEmergencyReserve(1024));
+  OakCoreMap<> map(cfg);
+  std::map<std::string, std::string> world;
+  for (int i = 0; i < 50; ++i) {
+    map.put(bytes(padKey(i)), bytes(valueFor(i, 'p')));
+    world[padKey(i)] = valueFor(i, 'p');
+  }
+  Snapshot snap = map.openSnapshot();
+  // Push the arena to genuine exhaustion: overwrites chain old versions
+  // (the pin forces pushes) until allocation fails for real.
+  const std::string fat(200, 'x');
+  bool exhausted = false;
+  for (int i = 0; i < 4000 && !exhausted; ++i) {
+    exhausted = map.tryPut(bytes(padKey(i % 50)), bytes(fat)) != Status::Ok;
+  }
+  EXPECT_TRUE(exhausted);
+  // The pinned world is whole — no half-pushed chain, no torn entries.
+  expectSnapshotWorld(map, snap, world, "post-exhaustion pin");
+  map.quiesce();
+  auto rep = ChunkWalker<BytesComparator>::validate(map);
+  for (const auto& p : rep.problems) ADD_FAILURE() << p;
+  EXPECT_TRUE(rep.ok);
 }
 
 }  // namespace

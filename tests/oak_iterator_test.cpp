@@ -5,8 +5,13 @@
 #include <string>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/random.hpp"
+#include "mem/block_pool.hpp"
+#include "oak/chunk.hpp"
+#include "oak/core_map.hpp"
 #include "oak/map.hpp"
+#include "oak/value.hpp"
 
 namespace oak {
 namespace {
@@ -193,6 +198,273 @@ TEST_P(ScanSweep, MatchesReferenceModel) {
 
 INSTANTIATE_TEST_SUITE_P(Capacities, ScanSweep,
                          ::testing::Values(16, 32, 64, 128, 512, 2048));
+
+// ------------------------------------------------------ acceleration layers
+// (ISSUE 8) The scan hot path leans on three accelerations — word-at-a-time
+// key comparison, branchless prefix binary search with software prefetch,
+// and warm-iterator seek shortcuts.  Each must be observationally identical
+// to its scalar / cold twin; these suites are the cross-checks the headers
+// (common/bytes.hpp, oak/chunk.hpp, oak/core_map.hpp) point at.
+
+int sign(int c) { return c < 0 ? -1 : (c > 0 ? 1 : 0); }
+
+/// Key sizes straddling every compareBytesFast regime: empty (-inf
+/// sentinel), sub-word, exactly one word, word+tail, multi-word.
+class CompareSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CompareSweep, FastCompareSignMatchesScalar) {
+  const std::size_t len = GetParam();
+  XorShift rng(0x5eed + len);
+  auto randKey = [&](std::size_t n) {
+    ByteVec v(n);
+    for (auto& b : v) b = static_cast<std::byte>(rng.nextBounded(256));
+    return v;
+  };
+  for (int round = 0; round < 400; ++round) {
+    ByteVec a = randKey(len);
+    ByteVec b;
+    switch (round % 4) {
+      case 0:  // independent random, random length
+        b = randKey(rng.nextBounded(len + 9));
+        break;
+      case 1:  // equal
+        b = a;
+        break;
+      case 2: {  // shared prefix, diverge at one byte
+        b = a;
+        if (!b.empty()) {
+          const std::size_t at = rng.nextBounded(b.size());
+          b[at] = static_cast<std::byte>(static_cast<unsigned>(b[at]) ^ 0x80u);
+        }
+        break;
+      }
+      default:  // proper prefix (tests the length tiebreak)
+        b = a;
+        b.resize(rng.nextBounded(b.size() + 1));
+        break;
+    }
+    const ByteSpan sa = asBytes(a), sb = asBytes(b);
+    EXPECT_EQ(sign(compareBytesFast(sa, sb)), sign(compareBytes(sa, sb)))
+        << "len=" << len << " round=" << round;
+    EXPECT_EQ(sign(compareBytesFast(sb, sa)), sign(compareBytes(sb, sa)));
+    EXPECT_EQ(sign(compareBytesFast(sa, sa)), 0);
+  }
+  // The empty span is the head chunk's -inf minKey: it must sort first
+  // through both paths.
+  const ByteVec k = randKey(len);
+  EXPECT_EQ(sign(compareBytesFast({}, asBytes(k))),
+            sign(compareBytes({}, asBytes(k))));
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, CompareSweep,
+                         ::testing::Values(0, 1, 3, 7, 8, 9, 15, 16, 17, 31,
+                                           64, 200));
+
+/// Builds a raw chunk with a chosen sorted prefix plus optional bypass
+/// inserts, so the branchless prefixFloor can be checked against a branchy
+/// reference over the public keyAt()/sortedCount() surface.
+class ChunkSearchTest : public ::testing::Test {
+ protected:
+  using ChunkT = detail::Chunk<BytesComparator>;
+
+  ChunkSearchTest() : pool_({.blockBytes = 1u << 20, .budgetBytes = SIZE_MAX}), mm_(pool_) {}
+  ~ChunkSearchTest() override {
+    if (chunk_ != nullptr) ChunkT::dispose(mheap::ManagedHeap::unlimited(), chunk_);
+  }
+
+  void build(const std::vector<std::string>& sortedKeys,
+             const std::vector<std::string>& bypassKeys = {},
+             std::int32_t capacity = 128) {
+    chunk_ = ChunkT::make(mheap::ManagedHeap::unlimited(), mm_,
+                          BytesComparator{}, ByteVec{}, capacity);
+    std::vector<ChunkT::LiveEntry> live;
+    for (const auto& k : sortedKeys) {
+      const mem::Ref keyRef = mm_.allocateKey(asBytes(std::string_view(k)));
+      const detail::VRef vref =
+          detail::ValueCell::allocate(mm_, asBytes(std::string_view("v")));
+      live.push_back({keyRef.bits(), vref.bits()});
+    }
+    chunk_->fillSorted(live.data(), static_cast<std::int32_t>(live.size()));
+    for (const auto& k : bypassKeys) {
+      const mem::Ref keyRef = mm_.allocateKey(asBytes(std::string_view(k)));
+      const std::int32_t cell = chunk_->allocateEntry(keyRef);
+      ASSERT_GE(cell, 0);
+      const std::int32_t ei = chunk_->entriesLLPutIfAbsent(cell);
+      ASSERT_GE(ei, 0);
+      const detail::VRef vref =
+          detail::ValueCell::allocate(mm_, asBytes(std::string_view("v")));
+      chunk_->entry(ei).valRef.store(vref.bits(), std::memory_order_release);
+    }
+  }
+
+  /// Classic branchy twin of prefixFloor: greatest sorted index <= probe.
+  std::int32_t referenceFloor(ByteSpan probe) const {
+    std::int32_t best = ChunkT::kNone;
+    for (std::int32_t i = 0; i < chunk_->sortedCount(); ++i) {
+      if (compareBytes(chunk_->keyAt(i), probe) <= 0) best = i;
+    }
+    return best;
+  }
+
+  mem::BlockPool pool_;
+  mem::MemoryManager mm_;
+  ChunkT* chunk_ = nullptr;
+};
+
+TEST_F(ChunkSearchTest, PrefixFloorMatchesBranchyReference) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 48; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "p%04d", i * 3 + 1);  // gaps between keys
+    keys.push_back(buf);
+  }
+  build(keys);
+  auto check = [&](const std::string& probe) {
+    const ByteSpan p = asBytes(std::string_view(probe));
+    EXPECT_EQ(chunk_->prefixFloor(p), referenceFloor(p)) << "probe=" << probe;
+  };
+  for (const auto& k : keys) {
+    check(k);              // exact hit
+    check(k + "\x01");     // just above (shared prefix, longer)
+    check(k.substr(0, 3)); // truncated (shared prefix, shorter)
+  }
+  check("p0000");  // below the first key
+  check("a");      // below via first byte
+  check("zzzz");   // above the last key
+  check("");       // -inf sentinel probe
+  XorShift rng(99);
+  for (int i = 0; i < 500; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "p%04d", static_cast<int>(rng.nextBounded(200)));
+    check(buf);
+  }
+}
+
+TEST_F(ChunkSearchTest, PrefixFloorEdgesAndPrefetchNoop) {
+  build({});  // empty sorted prefix
+  EXPECT_EQ(chunk_->prefixFloor(asBytes(std::string_view("x"))), ChunkT::kNone);
+  // prefetchEntry is a pure hint: out-of-range indices must be no-ops.
+  chunk_->prefetchEntry(-1);
+  chunk_->prefetchEntry(0);
+  chunk_->prefetchEntry(1 << 20);
+  ChunkT::dispose(mheap::ManagedHeap::unlimited(), chunk_);
+  chunk_ = nullptr;
+
+  build({"only"});  // single-element prefix
+  EXPECT_EQ(chunk_->prefixFloor(asBytes(std::string_view("a"))), ChunkT::kNone);
+  EXPECT_EQ(chunk_->prefixFloor(asBytes(std::string_view("only"))), 0);
+  EXPECT_EQ(chunk_->prefixFloor(asBytes(std::string_view("z"))), 0);
+}
+
+TEST_F(ChunkSearchTest, LookUpAndLowerBoundUnaffectedByBypasses) {
+  // Sorted prefix of even keys, bypass inserts of odd keys: search must see
+  // one coherent sorted world regardless of which region a key lives in.
+  std::vector<std::string> sorted, bypass, all;
+  for (int i = 0; i < 40; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "q%04d", i);
+    (i % 2 == 0 ? sorted : bypass).push_back(buf);
+    all.push_back(buf);
+  }
+  build(sorted, bypass);
+  for (const auto& k : all) {
+    const ByteSpan p = asBytes(std::string_view(k));
+    const std::int32_t ei = chunk_->lookUp(p);
+    ASSERT_NE(ei, ChunkT::kNone) << k;
+    EXPECT_EQ(asString(chunk_->keyAt(ei)), k);
+    EXPECT_EQ(chunk_->lowerBound(p), ei) << k;  // exact hit: same entry
+  }
+  EXPECT_EQ(chunk_->lookUp(asBytes(std::string_view("q0040"))), ChunkT::kNone);
+  EXPECT_EQ(chunk_->lowerBound(asBytes(std::string_view("r"))), ChunkT::kNone);
+  // lowerBound between keys lands on the successor.
+  const std::int32_t ei = chunk_->lowerBound(asBytes(std::string_view("q0010x")));
+  ASSERT_NE(ei, ChunkT::kNone);
+  EXPECT_EQ(asString(chunk_->keyAt(ei)), "q0011");
+}
+
+// Warm-iterator seek shortcuts: after any mix of forward/backward seeks on a
+// reused iterator, the observable tail must equal a freshly constructed
+// (cold) iterator at the same probe — including across removals and in
+// snapshot mode (core_map.hpp seek() contract).
+using CoreMap = OakCoreMap<>;
+
+ByteVec bkey(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "s%05d", i);
+  return toVec(asBytes(std::string_view(buf)));
+}
+
+std::vector<std::string> tailKeys(CoreMap::AscendIter& it, int limit = 8) {
+  std::vector<std::string> out;
+  for (int n = 0; it.valid() && n < limit; it.next(), ++n) {
+    out.emplace_back(asString(it.entry().key));
+  }
+  return out;
+}
+
+TEST(IteratorAccel, WarmSeekMatchesColdSeek) {
+  auto cfg = OakConfig{}.withChunkCapacity(32);
+  CoreMap map(cfg);
+  XorShift rng(4242);
+  for (int i = 0; i < 600; ++i) {
+    map.put(asBytes(bkey(static_cast<int>(rng.nextBounded(2000)))),
+            asBytes(std::string_view("v")));
+  }
+  for (int i = 0; i < 2000; i += 5) map.remove(asBytes(bkey(i)));
+
+  auto warm = map.ascend();
+  for (int round = 0; round < 300; ++round) {
+    // Mix of localities: near-current forward probes (warm path), far
+    // jumps and backward probes (cold fallback), exact, removed, and
+    // past-the-end keys.
+    const int target = static_cast<int>(rng.nextBounded(2200));
+    const ByteVec probe = bkey(target);
+    warm.seek(asBytes(probe));
+    auto cold = map.ascend(probe);
+    EXPECT_EQ(tailKeys(warm), tailKeys(cold)) << "round " << round
+                                              << " probe s" << target;
+    // tailKeys consumed the warm iterator past the probe — the next seek
+    // starts from wherever that left it, exercising both shortcut arms.
+  }
+  // Seeking an exhausted iterator must come back cold, not crash.
+  warm.seek(asBytes(bkey(3000)));
+  EXPECT_FALSE(warm.valid());
+  warm.seek(asBytes(bkey(0)));
+  auto cold = map.ascend(bkey(0));
+  EXPECT_EQ(tailKeys(warm), tailKeys(cold));
+}
+
+TEST(IteratorAccel, WarmSeekRespectsSnapshotPin) {
+  auto cfg = OakConfig{}.withChunkCapacity(32);
+  CoreMap map(cfg);
+  for (int i = 0; i < 200; ++i) {
+    map.put(asBytes(bkey(i)), asBytes(std::string_view("old")));
+  }
+  Snapshot snap = map.openSnapshot();
+  // Mutate the live world after the pin: removals and inserts the pinned
+  // iterator must not observe.
+  for (int i = 0; i < 200; i += 2) map.remove(asBytes(bkey(i)));
+  for (int i = 200; i < 260; ++i) {
+    map.put(asBytes(bkey(i)), asBytes(std::string_view("new")));
+  }
+
+  const auto opts = ScanOptions::snapshotAt(snap.version());
+  auto warm = map.ascend({}, {}, opts);
+  XorShift rng(7);
+  for (int round = 0; round < 120; ++round) {
+    const ByteVec probe = bkey(static_cast<int>(rng.nextBounded(270)));
+    warm.seek(asBytes(probe));
+    auto cold = map.ascend(probe, {}, opts);
+    EXPECT_EQ(tailKeys(warm), tailKeys(cold)) << "round " << round;
+  }
+  // The pinned world is the pre-mutation one: seek to a removed key still
+  // finds it, seek past the old tail sees none of the new inserts.
+  warm.seek(asBytes(bkey(100)));
+  ASSERT_TRUE(warm.valid());
+  EXPECT_EQ(asString(warm.entry().key), asString(asBytes(bkey(100))));
+  warm.seek(asBytes(bkey(200)));
+  EXPECT_FALSE(warm.valid());
+}
 
 }  // namespace
 }  // namespace oak

@@ -169,6 +169,40 @@ class ScanRecorder {
   Map* m_;
 };
 
+/// Records atomic snapshot scans: the open() window is the linearization
+/// interval; the walk itself can take arbitrarily long afterwards — the pin
+/// freezes the observed world.
+template <class Map>
+class SnapshotScanRecorder {
+ public:
+  explicit SnapshotScanRecorder(Map& m) : m_(&m) {}
+
+  void scan() {
+    lin::SnapshotScanObservation obs;
+    obs.invokeNs = lin::nowNs();
+    Snapshot snap = m_->openSnapshot();
+    obs.responseNs = lin::nowNs();
+    auto opts = ScanOptions::snapshotAt(snap.version());
+    for (auto it = m_->ascend({}, {}, opts); it.valid(); it.next()) {
+      auto e = it.entry();
+      const std::uint64_t k = loadU64BE(e.key.data());
+      std::uint64_t v = 0;
+      // The iterator yielded this entry, so the pinned version MUST still
+      // resolve it: a false here is itself a consistency violation.
+      ASSERT_TRUE(e.readValue(
+          [&](ByteSpan s) { v = loadUnaligned<std::uint64_t>(s.data()); }))
+          << "pinned entry vanished for key " << k;
+      obs.entries.emplace_back(k, v);
+    }
+    scans_.push_back(std::move(obs));
+  }
+
+  std::vector<lin::SnapshotScanObservation> scans_;
+
+ private:
+  Map* m_;
+};
+
 /// Shard layouts whose boundaries land INSIDE the tiny test key space, so
 /// point ops and scans constantly straddle shard edges.  Shard counts
 /// beyond the key space leave trailing shards empty — also worth testing.
@@ -186,22 +220,28 @@ ShardLayout straddlingLayout(std::size_t shards, int keys) {
 struct RoundResult {
   std::vector<Operation> ops;
   std::vector<lin::ScanObservation> scans;
+  std::vector<lin::SnapshotScanObservation> snapScans;
 };
 
 /// One recorded round against an already-built map: `threads` point-op
 /// workers (`opsPer` ops each over `keys`), plus `scanThreads` workers
-/// interleaving whole-map ascending/descending scans.
+/// interleaving whole-map ascending/descending scans and `snapScanThreads`
+/// workers recording atomic snapshot scans.
 template <class Map>
 RoundResult recordRoundOn(Map& map, unsigned threads, int opsPer, int keys,
                           std::uint64_t seed, unsigned scanThreads,
-                          bool withCompute) {
+                          bool withCompute, unsigned snapScanThreads = 0) {
   std::vector<Recorder<Map>> recs;
   recs.reserve(threads);
   for (unsigned t = 0; t < threads; ++t) recs.emplace_back(map);
   std::vector<ScanRecorder<Map>> scanRecs;
   scanRecs.reserve(scanThreads);
   for (unsigned t = 0; t < scanThreads; ++t) scanRecs.emplace_back(map);
-  std::barrier gate(static_cast<std::ptrdiff_t>(threads + scanThreads));
+  std::vector<SnapshotScanRecorder<Map>> snapRecs;
+  snapRecs.reserve(snapScanThreads);
+  for (unsigned t = 0; t < snapScanThreads; ++t) snapRecs.emplace_back(map);
+  std::barrier gate(
+      static_cast<std::ptrdiff_t>(threads + scanThreads + snapScanThreads));
   std::vector<std::thread> ts;
   for (unsigned t = 0; t < threads; ++t) {
     ts.emplace_back([&, t] {
@@ -226,11 +266,20 @@ RoundResult recordRoundOn(Map& map, unsigned threads, int opsPer, int keys,
       for (int i = 0; i < 3; ++i) scanRecs[t].scan(rng.nextBounded(2) == 1);
     });
   }
+  for (unsigned t = 0; t < snapScanThreads; ++t) {
+    ts.emplace_back([&, t] {
+      gate.arrive_and_wait();
+      for (int i = 0; i < 3; ++i) snapRecs[t].scan();
+    });
+  }
   for (auto& t : ts) t.join();
   RoundResult out;
   for (auto& r : recs) out.ops.insert(out.ops.end(), r.ops_.begin(), r.ops_.end());
   for (auto& r : scanRecs) {
     out.scans.insert(out.scans.end(), r.scans_.begin(), r.scans_.end());
+  }
+  for (auto& r : snapRecs) {
+    out.snapScans.insert(out.snapScans.end(), r.scans_.begin(), r.scans_.end());
   }
   return out;
 }
@@ -250,13 +299,14 @@ std::vector<Operation> recordRound(unsigned threads, int opsPer, int keys,
 /// One recorded round against a fresh sharded map with straddling layout.
 RoundResult recordShardedRound(std::size_t shards, unsigned threads, int opsPer,
                                int keys, std::uint64_t seed,
-                               unsigned scanThreads, bool withCompute) {
+                               unsigned scanThreads, bool withCompute,
+                               unsigned snapScanThreads = 0) {
   auto cfg = ShardedOakConfig{}
                  .withLayout(straddlingLayout(shards, keys))
                  .withShard(OakConfig{}.withChunkCapacity(16));
   ShardedOakCoreMap<> map(std::move(cfg));
   return recordRoundOn(map, threads, opsPer, keys, seed, scanThreads,
-                       withCompute);
+                       withCompute, snapScanThreads);
 }
 
 /// Shard counts under test: OAK_SHARDS pins one (the CI sanitizer legs use
@@ -384,6 +434,141 @@ TEST(ShardedLinearizability, CrossShardScansConsistent) {
             << "shards " << shards << " round " << round << ": " << why;
       }
     }
+  }
+}
+
+// ---- snapshot-scan checker self-tests -------------------------------------
+TEST(SnapshotLinChecker, AcceptsExactCut) {
+  std::vector<Operation> h;
+  h.push_back({OpType::Put, 1, 5, std::nullopt, true, 0, 1});
+  h.push_back({OpType::Put, 2, 7, std::nullopt, true, 2, 3});
+  lin::SnapshotScanObservation s;
+  s.invokeNs = 4;
+  s.responseNs = 5;
+  s.entries = {{1, 5}, {2, 7}};
+  EXPECT_TRUE(lin::isLinearizableWithSnapshots(h, {s}));
+}
+
+TEST(SnapshotLinChecker, RejectsTornCut) {
+  // put(1) completed BEFORE put(2) was invoked: no single instant shows
+  // key 2 without key 1 — a torn snapshot must be rejected.
+  std::vector<Operation> h;
+  h.push_back({OpType::Put, 1, 5, std::nullopt, true, 0, 1});
+  h.push_back({OpType::Put, 2, 7, std::nullopt, true, 2, 3});
+  lin::SnapshotScanObservation s;
+  s.invokeNs = 4;
+  s.responseNs = 5;
+  s.entries = {{2, 7}};  // saw the later write but not the earlier one
+  EXPECT_FALSE(lin::isLinearizableWithSnapshots(h, {s}));
+}
+
+TEST(SnapshotLinChecker, RejectsFutureRead) {
+  // The scan's open window closed before the put was invoked: observing
+  // that write means the scan saw the future.
+  std::vector<Operation> h;
+  h.push_back({OpType::Put, 1, 5, std::nullopt, true, 10, 11});
+  lin::SnapshotScanObservation s;
+  s.invokeNs = 0;
+  s.responseNs = 1;
+  s.entries = {{1, 5}};
+  EXPECT_FALSE(lin::isLinearizableWithSnapshots(h, {s}));
+}
+
+TEST(SnapshotLinChecker, RejectsMissedPastWrite) {
+  // The put responded before the scan opened: its effect is in the past of
+  // every legal pin point and must be visible.
+  std::vector<Operation> h;
+  h.push_back({OpType::Put, 1, 5, std::nullopt, true, 0, 1});
+  lin::SnapshotScanObservation s;
+  s.invokeNs = 10;
+  s.responseNs = 11;
+  s.entries = {};
+  EXPECT_FALSE(lin::isLinearizableWithSnapshots(h, {s}));
+}
+
+TEST(SnapshotLinChecker, AcceptsEitherSideOfOverlap) {
+  // put overlaps the open window: both worlds are legal pins.
+  std::vector<Operation> h;
+  h.push_back({OpType::Put, 1, 5, std::nullopt, true, 0, 10});
+  lin::SnapshotScanObservation s;
+  s.invokeNs = 1;
+  s.responseNs = 9;
+  s.entries = {};
+  EXPECT_TRUE(lin::isLinearizableWithSnapshots(h, {s}));
+  s.entries = {{1, 5}};
+  EXPECT_TRUE(lin::isLinearizableWithSnapshots(h, {s}));
+}
+
+TEST(SnapshotLinChecker, TwoPinsMustAgreeWithOneWitness) {
+  // Two sequential snapshots with contradicting worlds for one history.
+  std::vector<Operation> h;
+  h.push_back({OpType::Put, 1, 5, std::nullopt, true, 0, 1});
+  lin::SnapshotScanObservation s1;  // sees the key...
+  s1.invokeNs = 2;
+  s1.responseNs = 3;
+  s1.entries = {{1, 5}};
+  lin::SnapshotScanObservation s2;  // ...then a LATER pin un-sees it
+  s2.invokeNs = 4;
+  s2.responseNs = 5;
+  s2.entries = {};
+  EXPECT_FALSE(lin::isLinearizableWithSnapshots(h, {s1, s2}));
+}
+
+// ---- snapshot rounds against the real map ---------------------------------
+// The tentpole claim, tested end to end: a snapshot scan at version V
+// reflects every operation linearized at or before V and none after, with
+// the scan participating in the search as one atomic read.
+TEST(SnapshotLinearizability, SingleCoreRounds) {
+  for (std::uint64_t round = 0; round < 80; ++round) {
+    auto cfg = OakConfig{}.withChunkCapacity(16);
+    OakCoreMap<> map(cfg);
+    auto r = recordRoundOn(map, 3, 5, 3, round + 5000, /*scanThreads=*/0,
+                           /*withCompute=*/true, /*snapScanThreads=*/2);
+    ASSERT_TRUE(lin::isLinearizableWithSnapshots(r.ops, r.snapScans))
+        << "round " << round;
+  }
+}
+
+TEST(SnapshotLinearizability, ShardedRounds) {
+  for (std::size_t shards : shardCounts()) {
+    for (std::uint64_t round = 0; round < 40; ++round) {
+      auto r = recordShardedRound(shards, 3, 5, 4, round + 6000,
+                                  /*scanThreads=*/0, /*withCompute=*/true,
+                                  /*snapScanThreads=*/2);
+      ASSERT_TRUE(lin::isLinearizableWithSnapshots(r.ops, r.snapScans))
+          << "shards " << shards << " round " << round;
+    }
+  }
+}
+
+// Snapshot atomicity must survive concurrent shard splits and merges: the
+// cross-shard pin is taken once, before the router is consulted, so a
+// repartition mid-scan must never tear the cut.
+TEST(SnapshotLinearizability, RoundsUnderShardSplitMerge) {
+  for (std::uint64_t round = 0; round < 25; ++round) {
+    auto cfg = ShardedOakConfig{}
+                   .withLayout(straddlingLayout(2, 4))
+                   .withShard(OakConfig{}.withChunkCapacity(16));
+    ShardedOakCoreMap<> map(std::move(cfg));
+    std::atomic<bool> stop{false};
+    std::thread churn([&] {
+      XorShift rng(round ^ 0xFEED);
+      while (!stop.load(std::memory_order_acquire)) {
+        if (map.shardCount() < 4) {
+          map.splitShardAt(rng.nextBounded(map.shardCount()),
+                           keyOf(1 + rng.nextBounded(3)));
+        }
+        if (map.shardCount() > 1 && rng.nextBounded(2) == 0) {
+          map.mergeShards(rng.nextBounded(map.shardCount() - 1));
+        }
+      }
+    });
+    auto r = recordRoundOn(map, 3, 5, 4, round + 7000, /*scanThreads=*/0,
+                           /*withCompute=*/true, /*snapScanThreads=*/2);
+    stop.store(true, std::memory_order_release);
+    churn.join();
+    ASSERT_TRUE(lin::isLinearizableWithSnapshots(r.ops, r.snapScans))
+        << "round " << round;
   }
 }
 

@@ -20,6 +20,16 @@
 #    tail latency worse.  The observed pair is written to
 #    BUILD_DIR/BENCH_maint.json (the repo's checked-in BENCH_maint.json is
 #    a snapshot of this output).
+#
+# 3. Snapshot-churn A/B (ISSUE 8): long MVCC snapshot scans racing zipfian
+#    writers, run twice — --no-snapshot-scans (plain scans, same mix) vs
+#    snapshot scans pinning a read version per walk.  Fails if the snapshot
+#    run's writer put p99 regresses past OAK_BENCH_SNAP_TOLERANCE (default
+#    1.15x) of the baseline's — version chaining must stay off the writer's
+#    tail — or if the snapshot leg retired no versions / ran no snapshot
+#    scans (the workload didn't exercise MVCC at all).  Written to
+#    BUILD_DIR/BENCH_snapshot.json; the checked-in BENCH_snapshot.json is a
+#    snapshot of this output.
 set -euo pipefail
 
 build_dir=${1:?usage: bench_smoke.sh BUILD_DIR [DURATION_MS]}
@@ -145,3 +155,90 @@ if [[ "$fail" != 0 ]]; then
   exit 1
 fi
 echo "bench_smoke: OK (zipf A/B gate passed)"
+
+# ------------------------------------------------ snapshot-churn A/B
+snap_tolerance=${OAK_BENCH_SNAP_TOLERANCE:-1.15}
+
+run_snap() {  # $1 = extra flags ("" or --no-snapshot-scans); prints METRICS
+  # shellcheck disable=SC2086  # $1 is deliberately word-split
+  OAK_BENCH_VALIDATE=1 "$bench" --scenario snapshot-churn -b OakMap \
+      -t "$zipf_threads" -i "$zipf_size" -d "$duration_ms" --shards 2 \
+      --maint-threads 2 $1 | grep '^METRICS ' | head -1
+}
+
+median_snap_run() {  # $1 = extra flags; prints the median-put-p99 METRICS line
+  local lines=() p99s=() line p99
+  for ((i = 0; i < repeats; ++i)); do
+    line=$(run_snap "$1")
+    p99=$(extract "$line" '"put":{[^}]*"p99_ns":\([0-9]*\)')
+    [[ -n "$p99" ]] || continue
+    lines+=("$line"); p99s+=("$p99")
+  done
+  [[ ${#lines[@]} -gt 0 ]] || return 1
+  local mid
+  mid=$(printf '%s\n' "${p99s[@]}" | sort -n | awk -v n=${#p99s[@]} \
+        'NR == int((n + 1) / 2) { print; exit }')
+  for i in "${!lines[@]}"; do
+    if [[ "${p99s[$i]}" == "$mid" ]]; then printf '%s\n' "${lines[$i]}"; return 0; fi
+  done
+}
+
+echo "bench_smoke: snapshot A/B (plain vs pinned scans, $repeats runs/leg)..."
+base_line=$(median_snap_run "--no-snapshot-scans")
+snap_line=$(median_snap_run "")
+
+base_p99=$(extract "$base_line" '"put":{[^}]*"p99_ns":\([0-9]*\)')
+snap_p99=$(extract "$snap_line" '"put":{[^}]*"p99_ns":\([0-9]*\)')
+base_kops=$(extract "$base_line" '"kops":\([0-9.]*\)')
+snap_kops=$(extract "$snap_line" '"kops":\([0-9.]*\)')
+snap_scans=$(extract "$snap_line" '"snap_scans":\([0-9]*\)')
+snap_scan_p99=$(extract "$snap_line" '"snap_scan_p99_ns":\([0-9]*\)')
+snap_retired=$(extract "$snap_line" '"versions_retired":\([0-9]*\)')
+
+for line in "$base_line" "$snap_line"; do
+  verrors=$(extract "$line" '"validation_errors":\([0-9]*\)')
+  if [[ -n "$verrors" && "$verrors" != 0 ]]; then
+    echo "bench_smoke: FAIL snapshot-churn validation_errors=$verrors" >&2
+    fail=1
+  fi
+done
+if [[ -z "$base_p99" || -z "$snap_p99" ]]; then
+  echo "bench_smoke: FAIL could not extract put p99 from snapshot METRICS" >&2
+  exit 1
+fi
+# The snapshot leg must actually exercise MVCC: pinned scans ran, and the
+# GC retired superseded versions once their pins released.
+if [[ "${snap_scans:-0}" == 0 ]]; then
+  echo "bench_smoke: FAIL snapshot run performed no snapshot scans" >&2
+  fail=1
+fi
+if [[ "${snap_retired:-0}" == 0 ]]; then
+  echo "bench_smoke: FAIL snapshot run retired no versions" >&2
+  fail=1
+fi
+# Gate (ISSUE 8): writer put p99 with snapshot scans must stay within
+# tolerance of the same mix without pinning.
+if ! awk -v sn="$snap_p99" -v base="$base_p99" -v tol="$snap_tolerance" \
+      'BEGIN { exit !(sn <= base * tol) }'; then
+  echo "bench_smoke: FAIL put p99 regression with snapshot scans:" \
+       "baseline=${base_p99}ns snapshot=${snap_p99}ns (tolerance ${snap_tolerance}x)" >&2
+  fail=1
+fi
+
+snap_json="$build_dir/BENCH_snapshot.json"
+cat > "$snap_json" <<JSON
+{
+  "bench": "synchrobench --scenario snapshot-churn -b OakMap -t $zipf_threads -i $zipf_size -d $duration_ms --shards 2 --maint-threads 2",
+  "gate": "median-of-$repeats snapshot put p99 <= baseline put p99 * $snap_tolerance",
+  "baseline": {"snapshot_scans": false, "put_p99_ns": $base_p99, "kops": ${base_kops:-0}},
+  "snapshot": {"snapshot_scans": true, "put_p99_ns": $snap_p99, "kops": ${snap_kops:-0}, "snap_scans": ${snap_scans:-0}, "snap_scan_p99_ns": ${snap_scan_p99:-0}, "versions_retired": ${snap_retired:-0}}
+}
+JSON
+echo "bench_smoke: snapshot put p99 baseline=${base_p99}ns pinned=${snap_p99}ns" \
+     "(kops ${base_kops:-?} -> ${snap_kops:-?}, scans ${snap_scans:-0});" \
+     "wrote $snap_json"
+
+if [[ "$fail" != 0 ]]; then
+  exit 1
+fi
+echo "bench_smoke: OK (snapshot A/B gate passed)"

@@ -13,6 +13,10 @@ oaklint enforces the *protocol* rules layered on top of it:
       (dereference goes through MemoryManager::translate)
   R5  no blocking call (mutex acquire, condition wait, sleep, join) inside
       an EBR guard — a blocked pinned thread stalls reclamation everywhere
+  R6  no raw MVCC version-stamp manipulation outside src/oak/ + src/mem/ —
+      stamps are opaque tickets (Snapshot::version() -> snapshotAt());
+      touching writeVersion/dataVersion fields or doing +/- arithmetic on a
+      stamp forges a read version the GC never promised to keep alive
 
 Engines:
   * libclang — AST-accurate; used when python3-clang is importable
@@ -45,6 +49,7 @@ RULES = {
     "R3": "allocation while holding a SpinLock",
     "R4": "packed-ref arithmetic outside MemoryManager",
     "R5": "blocking call inside an EBR guard",
+    "R6": "raw version-stamp manipulation outside the MVCC layer",
 }
 
 DEFAULT_ROOTS = ["src", "tests", "bench"]
@@ -53,9 +58,12 @@ ENV_GATEWAY = os.path.join("src", "common", "env.hpp")
 # The allocator/memory layer *is* the implementation below MemoryManager:
 # R1/R4 do not apply to it (it manufactures the refs and the pointers).
 MEM_LAYER = os.path.join("src", "mem") + os.sep
+# The map core owns the version clock and the per-value chains: R6 does not
+# apply to src/oak/ (or src/mem/, which stores the stamped headers).
+OAK_LAYER = os.path.join("src", "oak") + os.sep
 
-ALLOW_RE = re.compile(r"oaklint:\s*allow\((R[1-5])\b")
-EXPECT_RE = re.compile(r"oaklint-expect:\s*(R[1-5])\b")
+ALLOW_RE = re.compile(r"oaklint:\s*allow\((R[1-6])\b")
+EXPECT_RE = re.compile(r"oaklint-expect:\s*(R[1-6])\b")
 
 SOURCE_EXTS = (".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h")
 
@@ -119,6 +127,11 @@ def is_env_gateway(path):
     return os.path.relpath(path, REPO) == ENV_GATEWAY
 
 
+def is_version_layer(path):
+    rel = os.path.relpath(path, REPO)
+    return rel.startswith(MEM_LAYER) or rel.startswith(OAK_LAYER)
+
+
 ASSERTION_RE = re.compile(r"\b(?:EXPECT_|ASSERT_)[A-Z]+\w*\s*\(")
 
 
@@ -151,6 +164,15 @@ VIEW_RETURN_RE = re.compile(r"\breturn\b.*(?:\.|->)translate\s*\(")
 REF_ARITH_RE = re.compile(
     r"(?:(?:\.|->)offset\s*\(\s*\)\s*[+\-]|[+\-]\s*\w+(?:\.|->)offset\s*\(\s*\)|"
     r"reinterpret_cast<[^>]*>\s*\([^;]*(?:\.|->)offset\s*\(\s*\))"
+)
+# R6: the raw stamp fields are an implementation detail of value.hpp; any
+# member access to them outside the MVCC layer is a protocol break.
+VERSION_FIELD_RE = re.compile(r"(?:\.|->)\s*(?:writeVersion|dataVersion)\b")
+# R6: +/- (or bit-twiddling) on an opaque stamp forges a version.  Covers
+# `snap.version() + 1`, `1 + s.version()`, and direct snapshotVersion math.
+VERSION_ARITH_RE = re.compile(
+    r"(?:(?:\.|->)version\s*\(\s*\)\s*[+\-^&|]|[+\-]\s*\w*(?:\.|->)version\s*\(\s*\)|"
+    r"(?:\.|->)?snapshotVersion\s*(?:[+\-^&|]|[+\-^&|]?=\s*[^=]))"
 )
 
 
@@ -199,6 +221,7 @@ def textual_scan_file(path):
     guards = []  # (kind, depth-at-declaration)
     mem_layer = is_mem_layer(path)
     env_gateway = is_env_gateway(path)
+    version_layer = is_version_layer(path)
 
     def active(kind):
         return any(g[0] == kind for g in guards)
@@ -224,6 +247,14 @@ def textual_scan_file(path):
         if not mem_layer and REF_ARITH_RE.search(code) and \
                 not ASSERTION_RE.search(code):
             flag("R4", "dereference refs via MemoryManager::translate")
+        if not version_layer:
+            if VERSION_FIELD_RE.search(code):
+                flag("R6", "raw writeVersion/dataVersion access — stamps are "
+                           "owned by value.hpp")
+            elif VERSION_ARITH_RE.search(code) and \
+                    not ASSERTION_RE.search(code):
+                flag("R6", "version stamps are opaque — pass Snapshot::version()"
+                           " to snapshotAt() unmodified")
         if active("spin"):
             m = ALLOC_RE.search(code)
             if m:
@@ -318,6 +349,7 @@ def libclang_scan_file_scoped(path, args_db):
     findings = []
     mem_layer = is_mem_layer(path)
     env_gateway = is_env_gateway(path)
+    version_layer = is_version_layer(path)
 
     def flag(cursor, rule, detail):
         line = cursor.location.line
@@ -350,6 +382,10 @@ def libclang_scan_file_scoped(path, args_db):
                 flag(node, "R5", f"'{name}()' while pinning an epoch")
         elif kind == ci.CursorKind.CXX_NEW_EXPR and spin:
             flag(node, "R3", "operator new inside a SpinLock window")
+        elif kind == ci.CursorKind.MEMBER_REF_EXPR and not version_layer and \
+                node.spelling in ("writeVersion", "dataVersion"):
+            flag(node, "R6", "raw writeVersion/dataVersion access — stamps are "
+                             "owned by value.hpp")
         elif kind == ci.CursorKind.BINARY_OPERATOR:
             kids = list(node.get_children())
             if ebr and not mem_layer and len(kids) == 2 and \
@@ -366,6 +402,16 @@ def libclang_scan_file_scoped(path, args_db):
                         any(c.kind == ci.CursorKind.CALL_EXPR and
                             callee_name(c) == "offset" for c in node.walk_preorder()):
                     flag(node, "R4", "dereference refs via MemoryManager::translate")
+            if not version_layer and \
+                    not line_is_assertion(lines, node.location.line):
+                toks = [t.spelling for t in node.get_tokens()]
+                if any(op in toks for op in ("+", "-", "^", "&", "|")) and \
+                        any(c.kind == ci.CursorKind.CALL_EXPR and
+                            callee_name(c) == "version"
+                            for c in node.walk_preorder()):
+                    flag(node, "R6", "version stamps are opaque — pass "
+                                     "Snapshot::version() to snapshotAt() "
+                                     "unmodified")
         elif kind == ci.CursorKind.RETURN_STMT and ebr and not mem_layer:
             if subtree_has_translate(node):
                 flag(node, "R1", "raw translated pointer returned past the guard")
