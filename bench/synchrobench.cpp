@@ -15,10 +15,16 @@
 //
 // With no arguments it runs a quick sweep of all canned scenarios over all
 // competitors.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "benchcore/adapters.hpp"
@@ -53,6 +59,8 @@ struct Options {
   std::vector<std::size_t> shards{1};  // --shards: Oak range-partition sweep
   std::string scenario = "custom";
   std::string csvPath;
+  std::string storageDir;    // --storage-dir: Oak runs durable (WAL + mmap)
+  std::string fsyncPolicy = "never";  // --fsync: never | interval | every-commit
 };
 
 void usage() {
@@ -80,10 +88,19 @@ void usage() {
       "  --zipf <theta>       zipfian key skew (YCSB formula; 0.99 typical)\n"
       "  --maint-threads <n>  background maintenance workers for Oak\n"
       "                       (0 = inline rebalance on mutators, -1 = env/auto)\n"
-      "  --scenario <4a..4f|churn|zipf|snapshot-churn>  canned scenario\n"
+      "  --scenario <4a..4f|churn|zipf|snapshot-churn|recovery>  canned scenario\n"
       "  --no-snapshot-scans  snapshot-churn baseline: same mix, scans\n"
       "                       don't pin a version (A/B for the p99 gate)\n"
-      "  --csv <file>         append rows as CSV\n");
+      "  --storage-dir <dir>  Oak runs durable: mmap arenas + WAL + checkpoints\n"
+      "                       under <dir> (wiped per point; sweeps reuse it)\n"
+      "  --fsync <policy>     WAL sync for durable runs: never (default),\n"
+      "                       interval, every-commit\n"
+      "  --csv <file>         append rows as CSV\n"
+      "\n"
+      "  --scenario recovery runs the durability A/B instead of a mix sweep:\n"
+      "  in-memory vs WAL-on put latency, then checkpoint + tail + in-process\n"
+      "  reopen, emitting one machine-readable RECOVERY line (bench_smoke's\n"
+      "  cold-restart and put-p99 gates read it).\n");
 }
 
 void applyScenario(Options& o) {
@@ -204,6 +221,16 @@ void runBench(const Options& o, const std::string& bench,
       cfg.generationalValues = o.generationalValues;
       cfg.maintThreads = o.maintThreads;
       cfg.totalRamBytes = o.ramMb != 0 ? (o.ramMb << 20) : cfg.rawDataBytes() * 3;
+      if (!o.storageDir.empty() && bench == "OakMap") {
+        // Each point gets a fresh subtree so a sweep never recovers the
+        // previous point's data (repeats inside one point still share it —
+        // use repeats 1 for clean durable numbers).
+        cfg.storageDir = o.storageDir + "/" + bench + "-x" + std::to_string(sh) +
+                         "-t" + std::to_string(t);
+        std::error_code ec;
+        std::filesystem::remove_all(cfg.storageDir, ec);
+        cfg.fsyncPolicy = o.fsyncPolicy;
+      }
       const RamSplit split = splitRam(cfg, bench != "JavaSkipListMap");
       std::string label = bench;
       if (sh > 1) label += "-x" + std::to_string(sh);
@@ -240,6 +267,207 @@ void runAll(const Options& o) {
       std::fprintf(stderr, "unknown bench: %s\n", b.c_str());
     }
   }
+}
+
+// ------------------------------------------------- recovery scenario
+// Durability A/B + cold-restart measurement (ISSUE 9).  Not a mix sweep:
+// one in-memory leg for the baseline put latency, then a durable leg that
+// ingests the full range, checkpoints, writes a WAL tail (the same timed
+// put stage that yields the with-WAL latency), closes the map, and times
+// an in-process reopen.  Emits one RECOVERY line; bench_smoke gates
+// put-p99-with-WAL against the baseline and the reopen against re-ingest.
+
+struct PutLat {
+  double p50Ns = 0;
+  double p99Ns = 0;
+  std::uint64_t ops = 0;
+};
+
+/// cfg.threads workers, `total` overwrite puts of random in-range keys,
+/// every op latency sampled (these are exact percentiles, unlike the
+/// bucketed histogram in the METRICS line — the A/B gate wants the two
+/// legs measured identically and precisely).
+PutLat timedPutStage(OakAdapter& a, const BenchConfig& cfg, std::size_t total) {
+  const unsigned nThreads = cfg.threads == 0 ? 1 : cfg.threads;
+  const std::size_t perThread = (total + nThreads - 1) / nThreads;
+  std::vector<std::vector<double>> ns(nThreads);
+  std::atomic<bool> start{false};
+  auto worker = [&](unsigned t) {
+    oak::XorShift rng(cfg.seed * 31337 + t * 7919 + 13);
+    std::vector<std::byte> key(cfg.keyBytes);
+    std::vector<std::byte> value(cfg.valueBytes < 8 ? 8 : cfg.valueBytes,
+                                 std::byte{0x33});
+    ns[t].reserve(perThread);
+    while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+    for (std::size_t i = 0; i < perThread; ++i) {
+      const std::uint64_t id = rng.nextBounded(cfg.keyRange);
+      makeKey({key.data(), key.size()}, id);
+      oak::storeUnaligned<std::uint64_t>(value.data(), id);
+      const auto t0 = std::chrono::steady_clock::now();
+      a.put({key.data(), key.size()}, {value.data(), value.size()});
+      ns[t].push_back(std::chrono::duration<double, std::nano>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(nThreads);
+  for (unsigned t = 0; t < nThreads; ++t) threads.emplace_back(worker, t);
+  start.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  std::vector<double> all;
+  for (auto& v : ns) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  PutLat r;
+  r.ops = all.size();
+  if (!all.empty()) {
+    r.p50Ns = all[all.size() / 2];
+    r.p99Ns = all[std::min(all.size() - 1, all.size() * 99 / 100)];
+  }
+  return r;
+}
+
+int runRecovery(const Options& o) {
+  namespace fs = std::filesystem;
+  using Clock = std::chrono::steady_clock;
+  auto msSince = [](Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  };
+
+  BenchConfig cfg;
+  cfg.keyRange = o.size;
+  cfg.keyBytes = o.keySize;
+  cfg.valueBytes = o.valueSize;
+  cfg.threads = o.threads.empty() ? 1 : o.threads.front();
+  cfg.shards = o.shards.empty() ? 1 : o.shards.front();
+  // Checkpoints retain a pinned snapshot while overwrites keep landing, so
+  // the arena briefly holds both versions of the hottest values.
+  cfg.offHeapSlackPct = o.offHeapSlackPct < 50 ? 50 : o.offHeapSlackPct;
+  cfg.generationalValues = true;
+  cfg.maintThreads = o.maintThreads;
+  // Auto budget: 3x raw, floored so the heap share (splitRam keeps >= 1/8
+  // for metadata) still fits the GC's committed headroom at small -i.
+  cfg.totalRamBytes = o.ramMb != 0
+                          ? (o.ramMb << 20)
+                          : std::max(cfg.rawDataBytes() * 3,
+                                     std::size_t{256} << 20);
+
+  const std::size_t pairs = cfg.keyRange;
+  // The WAL tail doubles as the timed put stage; keep it a strict subset of
+  // the range so recovery provably replays less than it bulk-loads.
+  std::size_t tail = envSize("OAK_BENCH_RECOVERY_TAIL", pairs / 20);
+  if (tail < 1000) tail = 1000;
+  if (tail >= pairs) tail = pairs / 2 + 1;
+
+  std::string dir = o.storageDir;
+  if (dir.empty()) {
+    dir = (fs::temp_directory_path() / "oak-synchrobench-recovery").string();
+  }
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  std::printf("recovery bench: %zu pairs (%zuB keys, %zuB values), "
+              "%u threads, %zu shard(s), fsync=%s, dir=%s\n",
+              pairs, cfg.keyBytes, cfg.valueBytes, cfg.threads, cfg.shards,
+              o.fsyncPolicy.c_str(), dir.c_str());
+
+  // ---- leg 1: in-memory baseline put latency
+  PutLat base;
+  double memIngestKops = 0;
+  {
+    OakAdapter a(cfg);
+    OomKind kind = OomKind::None;
+    if (!ingestStage(a, cfg, pairs, &memIngestKops, &kind)) {
+      std::fprintf(stderr, "recovery bench: baseline ingest OOM (%s)\n",
+                   oomKindName(kind));
+      return 1;
+    }
+    base = timedPutStage(a, cfg, tail);
+  }
+  std::printf("recovery bench: baseline ingest %.1f Kops, put p50 %.0fns p99 %.0fns\n",
+              memIngestKops, base.p50Ns, base.p99Ns);
+
+  // ---- leg 2: durable — ingest, checkpoint, WAL tail, close
+  BenchConfig dcfg = cfg;
+  dcfg.storageDir = dir;
+  dcfg.fsyncPolicy = o.fsyncPolicy;
+  double ingestKops = 0, ingestMs = 0, checkpointMs = 0, closeMs = 0;
+  std::uint64_t cpPairs = 0, walAppends = 0, walBytes = 0, checkpoints = 0;
+  PutLat wal;
+  std::size_t verrors = 0;
+  {
+    auto a = std::make_unique<OakAdapter>(dcfg);
+    auto t0 = Clock::now();
+    OomKind kind = OomKind::None;
+    if (!ingestStage(*a, dcfg, pairs, &ingestKops, &kind)) {
+      std::fprintf(stderr, "recovery bench: durable ingest OOM (%s)\n",
+                   oomKindName(kind));
+      return 1;
+    }
+    ingestMs = msSince(t0);
+    t0 = Clock::now();
+    cpPairs = a->checkpointNow();
+    checkpointMs = msSince(t0);
+    wal = timedPutStage(*a, dcfg, tail);
+    a->syncWal();
+    const oak::obs::Metrics m = a->metrics();
+    walAppends = m.walAppends;
+    walBytes = m.walBytes;
+    checkpoints = m.checkpoints;
+    if (validationEnabled()) verrors += a->validateStructure();
+    t0 = Clock::now();
+    a.reset();  // destructor unmaps the arenas and closes the WAL fd
+    closeMs = msSince(t0);
+  }
+  std::printf("recovery bench: durable ingest %.1f Kops (%.0fms), checkpoint "
+              "%llu pairs in %.0fms, tail %llu puts p50 %.0fns p99 %.0fns\n",
+              ingestKops, ingestMs,
+              static_cast<unsigned long long>(cpPairs), checkpointMs,
+              static_cast<unsigned long long>(wal.ops), wal.p50Ns, wal.p99Ns);
+
+  // ---- leg 3: cold restart — reopen the same directory in-process
+  double reopenMs = 0;
+  std::uint64_t replayed = 0, recoveryMs = 0;
+  std::size_t finalSize = 0;
+  {
+    const auto t0 = Clock::now();
+    OakAdapter a(dcfg);
+    reopenMs = msSince(t0);
+    replayed = a.recoveryReplayedRecords();
+    recoveryMs = a.recoveryMillis();
+    finalSize = a.finalSize();
+    if (validationEnabled()) verrors += a.validateStructure();
+  }
+  const double ratio = base.p99Ns > 0 ? wal.p99Ns / base.p99Ns : 0;
+  std::printf("recovery bench: reopen %.0fms (recovery %llums, %llu WAL "
+              "records replayed), final size %zu, p99 ratio %.3f\n",
+              reopenMs, static_cast<unsigned long long>(recoveryMs),
+              static_cast<unsigned long long>(replayed), finalSize, ratio);
+
+  std::printf(
+      "RECOVERY {\"pairs\":%zu,\"tail_puts\":%llu,\"threads\":%u,"
+      "\"shards\":%zu,\"value_bytes\":%zu,\"fsync\":\"%s\","
+      "\"base_ingest_kops\":%.1f,\"base_put_p50_ns\":%.0f,"
+      "\"base_put_p99_ns\":%.0f,"
+      "\"wal_ingest_kops\":%.1f,\"wal_ingest_ms\":%.0f,"
+      "\"wal_put_p50_ns\":%.0f,\"wal_put_p99_ns\":%.0f,"
+      "\"put_p99_ratio\":%.4f,"
+      "\"checkpoint_pairs\":%llu,\"checkpoint_ms\":%.0f,"
+      "\"checkpoints\":%llu,\"wal_appends\":%llu,\"wal_bytes\":%llu,"
+      "\"close_ms\":%.0f,\"reopen_ms\":%.0f,\"recovery_ms\":%llu,"
+      "\"replayed_records\":%llu,\"final_size\":%zu,"
+      "\"validation_errors\":%zu}\n",
+      pairs, static_cast<unsigned long long>(wal.ops), cfg.threads, cfg.shards,
+      cfg.valueBytes, o.fsyncPolicy.c_str(), memIngestKops, base.p50Ns,
+      base.p99Ns, ingestKops, ingestMs, wal.p50Ns, wal.p99Ns, ratio,
+      static_cast<unsigned long long>(cpPairs), checkpointMs,
+      static_cast<unsigned long long>(checkpoints),
+      static_cast<unsigned long long>(walAppends),
+      static_cast<unsigned long long>(walBytes), closeMs, reopenMs,
+      static_cast<unsigned long long>(recoveryMs),
+      static_cast<unsigned long long>(replayed), finalSize, verrors);
+  std::fflush(stdout);
+  return verrors == 0 ? 0 : 1;
 }
 
 std::vector<std::string> splitList(const char* s) {
@@ -327,6 +555,10 @@ int main(int argc, char** argv) {
     } else if (a == "--scenario") {
       o.scenario = next();
       applyScenario(o);
+    } else if (a == "--storage-dir") {
+      o.storageDir = next();
+    } else if (a == "--fsync") {
+      o.fsyncPolicy = next();
     } else if (a == "--csv") {
       o.csvPath = next();
     } else if (a == "-h" || a == "--help") {
@@ -338,6 +570,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  if (o.scenario == "recovery") return runRecovery(o);
 
   if (!anyArg) {
     // Quick sweep of all canned scenarios (CI-friendly defaults).

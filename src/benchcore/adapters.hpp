@@ -17,6 +17,7 @@
 #include "baselines/offheap_skiplist_map.hpp"
 #include "baselines/onheap_skiplist_map.hpp"
 #include "benchcore/workload.hpp"
+#include "dur/wal.hpp"
 #include "mheap/managed_heap.hpp"
 #include "oak/chunk_walker.hpp"
 #include "oak/core_map.hpp"
@@ -69,21 +70,33 @@ class OakAdapter {
       : copyApi_(copyApi) {
     const RamSplit split = splitRam(cfg, true);
     heap_ = std::make_unique<mheap::ManagedHeap>(heapConfig(split.heapBytes));
+    // Durable runs keep the budgeted pool but back its arenas with files
+    // under <storageDir>/arenas, the same layout ShardedOakCoreMap would
+    // pick for an owned pool.
     pool_ = std::make_unique<mem::BlockPool>(mem::BlockPool::Config{
-        .blockBytes = 8u << 20, .budgetBytes = split.offHeapBytes});
+        .blockBytes = 8u << 20,
+        .budgetBytes = split.offHeapBytes,
+        .storageDir =
+            cfg.storageDir.empty() ? std::string{} : cfg.storageDir + "/arenas"});
     auto mem = MemConfig{}.withMetaHeap(heap_.get()).withPool(pool_.get());
     if (cfg.generationalValues) mem.withReclaim(ValueReclaim::Generational);
-    auto scfg =
-        ShardedOakConfig{}
-            .withShards(cfg.shards < 1 ? 1 : cfg.shards)
-            .withShard(OakConfig{}
-                           .withChunkCapacity(2048)
-                           .withMem(mem)
-                           .withMaintenance(
-                               maint::MaintenanceConfig{}
-                                   .withThreads(cfg.maintThreads)
-                                   .withRateLimit(cfg.maintRateLimitBytesPerSec)
-                                   .withQueueDepth(cfg.maintQueueDepth)));
+    auto shard = OakConfig{}
+                     .withChunkCapacity(2048)
+                     .withMem(mem)
+                     .withMaintenance(
+                         maint::MaintenanceConfig{}
+                             .withThreads(cfg.maintThreads)
+                             .withRateLimit(cfg.maintRateLimitBytesPerSec)
+                             .withQueueDepth(cfg.maintQueueDepth));
+    if (!cfg.storageDir.empty()) {
+      auto dcfg = DurConfig{};
+      if (auto p = dur::parseFsyncPolicy(cfg.fsyncPolicy)) dcfg.withFsyncPolicy(*p);
+      shard.withDur(dcfg);
+    }
+    auto scfg = ShardedOakConfig{}
+                    .withShards(cfg.shards < 1 ? 1 : cfg.shards)
+                    .withShard(std::move(shard));
+    if (!cfg.storageDir.empty()) scfg.withStorageDir(cfg.storageDir);
     // Bench ids are dense in [0, keyRange) behind an 8-byte BE prefix —
     // split that range, not the full u64 space.
     scfg.withLayout(ShardLayout::uniformRange(scfg.shards, cfg.keyRange));
@@ -164,6 +177,14 @@ class OakAdapter {
     }
     return cnt;
   }
+
+  // Durability controls for the recovery bench (no-ops when the config
+  // carried no storageDir).
+  bool durable() const noexcept { return map_->durable(); }
+  std::uint64_t checkpointNow() { return map_->checkpointNow(); }
+  void syncWal() { map_->syncWal(); }
+  std::uint64_t recoveryReplayedRecords() const { return map_->recoveryReplayedRecords(); }
+  std::uint64_t recoveryMillis() const { return map_->recoveryMillis(); }
 
   mheap::GcStats gcStats() const { return heap_->stats(); }
   /// Full internal-counter snapshot for the metrics line the driver emits.
@@ -266,7 +287,9 @@ class OffHeapAdapter {
     const RamSplit split = splitRam(cfg, true);
     heap_ = std::make_unique<mheap::ManagedHeap>(heapConfig(split.heapBytes));
     pool_ = std::make_unique<mem::BlockPool>(mem::BlockPool::Config{
-        .blockBytes = 8u << 20, .budgetBytes = split.offHeapBytes});
+        .blockBytes = 8u << 20,
+        .budgetBytes = split.offHeapBytes,
+        .storageDir = {}});
     map_ = std::make_unique<bl::OffHeapSkipListMap>(*heap_, *pool_);
   }
 

@@ -58,6 +58,12 @@ struct BenchConfig {
   std::size_t maintRateLimitBytesPerSec = 0;
   std::size_t maintQueueDepth = 256;
 
+  /// Non-empty → the Oak adapter runs durable: mmap-backed arenas under
+  /// <storageDir>/arenas plus a WAL + checkpoints in <storageDir> (--storage-dir).
+  std::string storageDir;
+  /// WAL sync policy for durable runs: "never" | "interval" | "every-commit".
+  std::string fsyncPolicy = "never";
+
   std::size_t rawDataBytes() const {
     return keyRange * (keyBytes + valueBytes);
   }

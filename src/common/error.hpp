@@ -36,6 +36,15 @@ class OakUsageError : public std::logic_error {
   explicit OakUsageError(const std::string& msg) : std::logic_error("oak: " + msg) {}
 };
 
+/// Durability-layer I/O failures (WAL append, checkpoint write, recovery
+/// read).  Unlike the OOM types these are environmental, not memory
+/// pressure — callers of a durable map should treat one as "storage is
+/// broken", not retry.
+class OakIoError : public std::runtime_error {
+ public:
+  explicit OakIoError(const std::string& msg) : std::runtime_error("oak: " + msg) {}
+};
+
 /// Outcome of the non-throwing degraded mutation path (tryPut/tryCompute).
 /// The throwing API signals exhaustion with the exceptions above; the try-
 /// API reports it as a value so callers under memory pressure can shed load

@@ -1,0 +1,403 @@
+#include "dur/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "dur/crc32c.hpp"
+#include "dur/wal.hpp"
+
+namespace oak::dur {
+
+namespace {
+
+constexpr std::size_t kFlushThreshold = 64u << 10;
+
+void writeAllFd(int fd, const std::byte* p, std::size_t n, const char* what) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      throw OakIoError(std::string(what) + ": write failed: " +
+                       std::strerror(errno));
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+std::optional<ByteVec> readWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::fseek(f, 0, SEEK_END);
+  const long sz = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (sz < 0) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  ByteVec buf(static_cast<std::size_t>(sz));
+  if (!buf.empty() && std::fread(buf.data(), 1, buf.size(), f) != buf.size()) {
+    std::fclose(f);
+    return std::nullopt;
+  }
+  std::fclose(f);
+  return buf;
+}
+
+}  // namespace
+
+std::string checkpointPath(const std::string& dir, std::uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "cp-%08llu.oakcp",
+                static_cast<unsigned long long>(seq));
+  return dir + "/" + buf;
+}
+
+std::string hexEncode(ByteSpan s) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size() * 2);
+  for (const std::byte b : s) {
+    const auto v = static_cast<unsigned>(b);
+    out.push_back(kHex[v >> 4]);
+    out.push_back(kHex[v & 0xf]);
+  }
+  return out;
+}
+
+std::optional<ByteVec> hexDecode(std::string_view s) {
+  if (s.size() % 2 != 0) return std::nullopt;
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  ByteVec out(s.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const int hi = nibble(s[2 * i]);
+    const int lo = nibble(s[2 * i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out[i] = static_cast<std::byte>((hi << 4) | lo);
+  }
+  return out;
+}
+
+void fsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir fds
+  ::fsync(fd);
+  ::close(fd);
+}
+
+// --------------------------------------------------------------- manifest
+
+void Manifest::store(const std::string& dir) const {
+  std::string body;
+  body += "oakmanifest=1\n";
+  body += "cp=" + std::to_string(cpSeq) + "\n";
+  body += "cp_version=" + std::to_string(cpVersion) + "\n";
+  body += "wal_start=" + std::to_string(walStart) + "\n";
+  body += "pairs=" + std::to_string(pairs) + "\n";
+  if (!shardBounds.empty()) {
+    body += "shards=";
+    for (std::size_t i = 0; i < shardBounds.size(); ++i) {
+      if (i > 0) body += ",";
+      body += hexEncode(asBytes(shardBounds[i]));
+    }
+    body += "\n";
+  }
+  body += "prev_cp=" + std::to_string(prevCpSeq) + "\n";
+  body += "prev_wal_start=" + std::to_string(prevWalStart) + "\n";
+  char crcLine[24];
+  std::snprintf(crcLine, sizeof(crcLine), "crc=%08x\n",
+                crc32c(body.data(), body.size()));
+  body += crcLine;
+
+  const std::string tmp = dir + "/" + kManifestName + ".tmp";
+  const std::string fin = dir + "/" + kManifestName;
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    throw OakIoError("manifest: cannot create " + tmp + ": " +
+                     std::strerror(errno));
+  }
+  writeAllFd(fd, reinterpret_cast<const std::byte*>(body.data()), body.size(),
+             "manifest");
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw OakIoError(std::string("manifest: fsync failed: ") +
+                     std::strerror(errno));
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), fin.c_str()) != 0) {
+    throw OakIoError(std::string("manifest: rename failed: ") +
+                     std::strerror(errno));
+  }
+  fsyncDir(dir);
+}
+
+std::optional<Manifest> Manifest::load(const std::string& dir) {
+  const auto buf = readWholeFile(dir + "/" + kManifestName);
+  if (!buf) return std::nullopt;
+  const std::string_view text(reinterpret_cast<const char*>(buf->data()),
+                              buf->size());
+  // Split off the trailing crc line and verify it covers the body.
+  const std::size_t crcPos = text.rfind("crc=");
+  if (crcPos == std::string_view::npos || crcPos == 0) return std::nullopt;
+  unsigned long long stored = 0;
+  const std::string crcLine(text.substr(crcPos));
+  if (std::sscanf(crcLine.c_str(), "crc=%llx", &stored) != 1) {
+    return std::nullopt;
+  }
+  if (crc32c(text.data(), crcPos) != static_cast<std::uint32_t>(stored)) {
+    return std::nullopt;
+  }
+
+  Manifest m;
+  bool sawHeader = false;
+  std::size_t pos = 0;
+  while (pos < crcPos) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos || eol > crcPos) eol = crcPos;
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) continue;
+    const std::string_view k = line.substr(0, eq);
+    const std::string v(line.substr(eq + 1));
+    if (k == "oakmanifest") {
+      sawHeader = (v == "1");
+    } else if (k == "cp") {
+      m.cpSeq = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (k == "cp_version") {
+      m.cpVersion = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (k == "wal_start") {
+      m.walStart = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (k == "pairs") {
+      m.pairs = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (k == "prev_cp") {
+      m.prevCpSeq = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (k == "prev_wal_start") {
+      m.prevWalStart = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (k == "shards") {
+      std::size_t p = 0;
+      while (p <= v.size()) {
+        std::size_t comma = v.find(',', p);
+        if (comma == std::string::npos) comma = v.size();
+        auto bytes = hexDecode(std::string_view(v).substr(p, comma - p));
+        if (!bytes) return std::nullopt;
+        m.shardBounds.push_back(std::move(*bytes));
+        p = comma + 1;
+        if (comma == v.size()) break;
+      }
+    }
+  }
+  if (!sawHeader) return std::nullopt;
+  return m;
+}
+
+// ------------------------------------------------------------ checkpoint
+
+CheckpointWriter::CheckpointWriter(const std::string& dir, std::uint64_t seq,
+                                   std::uint64_t snapshotVersion)
+    : path_(checkpointPath(dir, seq)) {
+  fd_ = ::open(path_.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd_ < 0) {
+    throw OakIoError("checkpoint: cannot create " + path_ + ": " +
+                     std::strerror(errno));
+  }
+  buf_.reserve(kFlushThreshold + 4096);
+  std::byte hdr[24];
+  std::memcpy(hdr, kCheckpointMagic, 8);
+  storeU64BE(hdr + 8, snapshotVersion);
+  storeU64BE(hdr + 16, 0);  // pair count backpatched by finish()
+  // The count placeholder is excluded from the CRC stream; finish() folds
+  // the real count in, so a truncated header also fails verification.
+  crc_ = crc32cExtend(crc_, hdr, 16);
+  write(hdr, sizeof(hdr));
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  if (fd_ >= 0) abort();
+}
+
+void CheckpointWriter::write(const std::byte* p, std::size_t n) {
+  buf_.insert(buf_.end(), p, p + n);
+  if (buf_.size() >= kFlushThreshold) {
+    writeAllFd(fd_, buf_.data(), buf_.size(), "checkpoint");
+    buf_.clear();
+  }
+}
+
+void CheckpointWriter::append(ByteSpan key, ByteSpan value) {
+  std::byte hdr[8];
+  storeU32BE(hdr, static_cast<std::uint32_t>(key.size()));
+  storeU32BE(hdr + 4, static_cast<std::uint32_t>(value.size()));
+  crc_ = crc32cExtend(crc_, hdr, sizeof(hdr));
+  crc_ = crc32cExtend(crc_, key.data(), key.size());
+  crc_ = crc32cExtend(crc_, value.data(), value.size());
+  write(hdr, sizeof(hdr));
+  write(key.data(), key.size());
+  write(value.data(), value.size());
+  ++pairs_;
+}
+
+std::uint64_t CheckpointWriter::finish() {
+  std::byte countBE[8];
+  storeU64BE(countBE, pairs_);
+  crc_ = crc32cExtend(crc_, countBE, 8);
+  std::byte crcBE[4];
+  storeU32BE(crcBE, crc_);
+  write(crcBE, sizeof(crcBE));
+  if (!buf_.empty()) {
+    writeAllFd(fd_, buf_.data(), buf_.size(), "checkpoint");
+    buf_.clear();
+  }
+  // Backpatch the pair count at offset 16.
+  if (::pwrite(fd_, countBE, 8, 16) != 8) {
+    throw OakIoError(std::string("checkpoint: pwrite failed: ") +
+                     std::strerror(errno));
+  }
+  if (::fsync(fd_) != 0) {
+    throw OakIoError(std::string("checkpoint: fsync failed: ") +
+                     std::strerror(errno));
+  }
+  ::close(fd_);
+  fd_ = -1;
+  return pairs_;
+}
+
+void CheckpointWriter::abort() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    ::unlink(path_.c_str());
+  }
+}
+
+std::optional<CheckpointReader> CheckpointReader::open(const std::string& dir,
+                                                       std::uint64_t seq) {
+  auto buf = readWholeFile(checkpointPath(dir, seq));
+  if (!buf || buf->size() < 28) return std::nullopt;
+  if (std::memcmp(buf->data(), kCheckpointMagic, 8) != 0) return std::nullopt;
+  const std::uint64_t version = loadU64BE(buf->data() + 8);
+  const std::uint64_t pairs = loadU64BE(buf->data() + 16);
+  // Recompute the CRC the writer streamed: header sans count, then the pair
+  // bytes, then the count itself.
+  const std::size_t body = buf->size() - 4;
+  std::uint32_t crc = crc32cExtend(0, buf->data(), 16);
+  crc = crc32cExtend(crc, buf->data() + 24, body - 24);
+  std::byte countBE[8];
+  storeU64BE(countBE, pairs);
+  crc = crc32cExtend(crc, countBE, 8);
+  if (crc != loadU32BE(buf->data() + body)) return std::nullopt;
+
+  // Walk the pairs once up front so a lying count or truncated pair can
+  // never surprise the loader mid-recovery.
+  std::size_t off = 24;
+  for (std::uint64_t i = 0; i < pairs; ++i) {
+    if (off + 8 > body) return std::nullopt;
+    const std::uint32_t klen = loadU32BE(buf->data() + off);
+    const std::uint32_t vlen = loadU32BE(buf->data() + off + 4);
+    off += 8;
+    if (off + klen + static_cast<std::uint64_t>(vlen) > body) return std::nullopt;
+    off += klen + vlen;
+  }
+  if (off != body) return std::nullopt;
+
+  CheckpointReader r;
+  r.buf_ = std::move(*buf);
+  r.off_ = 24;
+  r.version_ = version;
+  r.pairs_ = pairs;
+  return r;
+}
+
+bool CheckpointReader::next(ByteSpan& key, ByteSpan& value) noexcept {
+  if (yielded_ >= pairs_) return false;
+  const std::uint32_t klen = loadU32BE(buf_.data() + off_);
+  const std::uint32_t vlen = loadU32BE(buf_.data() + off_ + 4);
+  key = ByteSpan{buf_.data() + off_ + 8, klen};
+  value = ByteSpan{buf_.data() + off_ + 8 + klen, vlen};
+  off_ += 8 + klen + vlen;
+  ++yielded_;
+  return true;
+}
+
+// -------------------------------------------------------------- recovery
+
+RecoveryPlan planRecovery(const std::string& dir) {
+  RecoveryPlan plan;
+  const auto segs = listWalSegments(dir);
+  auto m = Manifest::load(dir);
+  if (!m) {
+    // Fresh directory (or a destroyed manifest: with it gone there is no
+    // record of which checkpoint was live, so only an empty start is safe).
+    plan.nextWalSeq = segs.empty() ? 1 : segs.back() + 1;
+    return plan;
+  }
+  plan.haveManifest = true;
+
+  std::uint64_t cpSeq = m->cpSeq;
+  std::uint64_t cpVersion = m->cpVersion;
+  std::uint64_t walStart = m->walStart;
+  if (cpSeq != 0 && !CheckpointReader::open(dir, cpSeq)) {
+    // Live checkpoint is damaged: degrade to the previous generation,
+    // whose checkpoint + WAL chain the two-generation retention kept.
+    plan.degraded = true;
+    cpSeq = m->prevCpSeq;
+    cpVersion = 0;
+    walStart = m->prevWalStart != 0 ? m->prevWalStart : m->walStart;
+    if (cpSeq != 0) {
+      if (auto prev = CheckpointReader::open(dir, cpSeq)) {
+        cpVersion = prev->snapshotVersion();
+      } else {
+        cpSeq = 0;  // both generations gone; WAL tail is all that's left
+      }
+    }
+  }
+  plan.cpSeq = cpSeq;
+  plan.cpVersion = cpVersion;
+  plan.shardBounds = m->shardBounds;
+  plan.pairs = m->pairs;
+
+  // Replayable tail: the gap-free run of segments starting at walStart.
+  std::uint64_t expect = walStart;
+  for (const std::uint64_t s : segs) {
+    if (s < walStart) continue;
+    if (s != expect) break;  // a gap means later segments are orphans
+    plan.walSegments.push_back(s);
+    ++expect;
+  }
+  plan.nextWalSeq = segs.empty() ? walStart : segs.back() + 1;
+  if (plan.nextWalSeq < walStart) plan.nextWalSeq = walStart;
+  return plan;
+}
+
+void purgeObsolete(const std::string& dir, const Manifest& m) {
+  // Keep the live and previous generations; everything older is garbage.
+  const std::uint64_t keepWalFrom =
+      m.prevWalStart != 0 ? std::min(m.prevWalStart, m.walStart) : m.walStart;
+  std::error_code ec;
+  for (const auto& e : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = e.path().filename().string();
+    unsigned long long seq = 0;
+    if (std::sscanf(name.c_str(), "wal-%llu.oaklog", &seq) == 1) {
+      if (seq < keepWalFrom) std::filesystem::remove(e.path(), ec);
+    } else if (std::sscanf(name.c_str(), "cp-%llu.oakcp", &seq) == 1) {
+      if (seq != m.cpSeq && seq != m.prevCpSeq) {
+        std::filesystem::remove(e.path(), ec);
+      }
+    }
+  }
+}
+
+}  // namespace oak::dur

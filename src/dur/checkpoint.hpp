@@ -1,0 +1,147 @@
+// Checkpoints and the recovery manifest (DESIGN.md §12).
+//
+// A checkpoint is a snapshot-consistent serialized pair stream — the
+// "serialization" pole of the GC-vs-serialization trade-off: recovery
+// bulk-loads sorted pairs into fresh chunks instead of replaying the whole
+// history or trusting raw arena images (whose on-heap index would be gone
+// anyway).  File `cp-<seq>.oakcp`:
+//
+//   [8B magic "OAKCKP01"] [u64 snapshotVersion] [u64 pairCount]
+//   pairCount × [u32 klen] [u32 vlen] [key] [value]
+//   [u32 crc32c over everything before it]
+//
+// The manifest (`MANIFEST`, plain key=value text with a trailing crc line)
+// names the live checkpoint, the first WAL segment to replay on top of it,
+// and — two-generation retention — the previous pair, which recovery falls
+// back to when the current checkpoint fails its CRC.  It is committed by
+// write-to-temp + fsync + rename + fsync(dir), so a crash leaves either the
+// old or the new manifest, never a torn one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace oak::dur {
+
+inline constexpr char kCheckpointMagic[8] = {'O', 'A', 'K', 'C', 'K', 'P', '0', '1'};
+inline constexpr const char* kManifestName = "MANIFEST";
+
+std::string checkpointPath(const std::string& dir, std::uint64_t seq);
+
+std::string hexEncode(ByteSpan s);
+std::optional<ByteVec> hexDecode(std::string_view s);
+
+/// fsync on the directory itself, making a rename durable.
+void fsyncDir(const std::string& dir);
+
+// --------------------------------------------------------------- manifest
+
+struct Manifest {
+  std::uint64_t cpSeq = 0;      ///< live checkpoint file seq; 0 = none yet
+  std::uint64_t cpVersion = 0;  ///< its snapshot version
+  std::uint64_t walStart = 1;   ///< first WAL segment to replay on top
+  std::uint64_t pairs = 0;      ///< pair count in the checkpoint
+  /// Sharded maps: upper boundaries of shards 0..n-2 (n-1 is unbounded);
+  /// empty for single-core maps.  Recovery rebuilds the router from these.
+  std::vector<ByteVec> shardBounds;
+  /// Previous generation, retained until the next checkpoint commits.
+  std::uint64_t prevCpSeq = 0;
+  std::uint64_t prevWalStart = 0;
+
+  /// Atomic commit (temp + fsync + rename + fsync dir).  Throws OakIoError.
+  void store(const std::string& dir) const;
+  /// nullopt when absent or its CRC line fails (treated as no manifest).
+  static std::optional<Manifest> load(const std::string& dir);
+};
+
+// ------------------------------------------------------------ checkpoint
+
+/// Streams pairs (ascending key order, as the snapshot scan yields them)
+/// into cp-<seq>.oakcp.  finish() seals the trailing CRC and fsyncs.
+class CheckpointWriter {
+ public:
+  CheckpointWriter(const std::string& dir, std::uint64_t seq,
+                   std::uint64_t snapshotVersion);
+  ~CheckpointWriter();
+
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
+
+  void append(ByteSpan key, ByteSpan value);
+  /// Seals and fsyncs the file; returns the pair count.
+  std::uint64_t finish();
+  /// Deletes the partial file (error paths; destructor calls it if finish()
+  /// never ran).
+  void abort() noexcept;
+
+ private:
+  void write(const std::byte* p, std::size_t n);
+
+  std::string path_;
+  int fd_ = -1;
+  std::uint64_t pairs_ = 0;
+  std::uint32_t crc_ = 0;
+  ByteVec buf_;  ///< write coalescing; flushed at ~64 KiB
+};
+
+/// Whole-file reader: loads and CRC-verifies the checkpoint up front, then
+/// iterates pairs as spans into the retained buffer — no per-pair
+/// allocation, so a million-pair recovery walks one contiguous buffer.
+class CheckpointReader {
+ public:
+  /// nullopt when the file is missing, truncated, or fails its CRC.
+  static std::optional<CheckpointReader> open(const std::string& dir,
+                                              std::uint64_t seq);
+
+  std::uint64_t snapshotVersion() const noexcept { return version_; }
+  std::uint64_t pairs() const noexcept { return pairs_; }
+
+  /// Yields the next pair; false at the end.  Spans point into the
+  /// reader's buffer and stay valid for the reader's lifetime.
+  bool next(ByteSpan& key, ByteSpan& value) noexcept;
+
+ private:
+  CheckpointReader() = default;
+
+  ByteVec buf_;
+  std::size_t off_ = 0;
+  std::uint64_t version_ = 0;
+  std::uint64_t pairs_ = 0;
+  std::uint64_t yielded_ = 0;
+};
+
+// -------------------------------------------------------------- recovery
+
+/// What open() should do with an existing storage directory.
+struct RecoveryPlan {
+  /// False on a fresh directory: nothing to load, start at walStart=1.
+  bool haveManifest = false;
+  /// True when the live checkpoint failed validation and the plan fell
+  /// back to the previous generation (satellite: corruption degrades, not
+  /// crashes).
+  bool degraded = false;
+  std::uint64_t cpSeq = 0;  ///< checkpoint to bulk-load; 0 = none
+  std::uint64_t cpVersion = 0;
+  std::vector<ByteVec> shardBounds;
+  std::uint64_t pairs = 0;
+  /// WAL segments to replay, ascending, gap-free from the chosen walStart.
+  std::vector<std::uint64_t> walSegments;
+  /// Seq for the segment the reopened map appends to (past everything
+  /// on disk, so replayable history is never overwritten).
+  std::uint64_t nextWalSeq = 1;
+};
+
+/// Reads the manifest, validates the named checkpoint (falling back to the
+/// previous generation on CRC failure), and lists the WAL tail.
+RecoveryPlan planRecovery(const std::string& dir);
+
+/// Deletes checkpoints and WAL segments older than the manifest's previous
+/// generation.  Called after a successful checkpoint commit.
+void purgeObsolete(const std::string& dir, const Manifest& m);
+
+}  // namespace oak::dur

@@ -1,0 +1,108 @@
+// CRC32C (Castagnoli) — the checksum guarding WAL records and checkpoint
+// files (DESIGN.md §12).  Reflected polynomial 0x82F63B78; the same
+// polynomial RocksDB and ext4 use, so external tooling can cross-check
+// Oak's files.  On x86-64 with SSE4.2 (detected once at startup) the hot
+// loop runs on the CRC32 instruction — 8 bytes/cycle versus the software
+// slice-by-4 fallback's ~0.5, which matters because every WAL append
+// checksums its whole record on the put path.  Header-only: tables and the
+// CPU probe are initialized once per process on first use.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace oak::dur {
+
+namespace detail {
+
+struct Crc32cTables {
+  std::array<std::array<std::uint32_t, 256>, 4> t;
+
+  Crc32cTables() noexcept {
+    constexpr std::uint32_t kPoly = 0x82F63B78u;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? (c >> 1) ^ kPoly : c >> 1;
+      t[0][i] = c;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xffu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xffu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xffu];
+    }
+  }
+};
+
+inline const Crc32cTables& crcTables() noexcept {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+/// Hardware loop (reflected CRC32C is exactly what the x86 CRC32
+/// instruction computes).  Only called when the runtime probe below says
+/// SSE4.2 exists; the target attribute lets this single function use the
+/// intrinsic without raising the whole build's -m baseline.
+__attribute__((target("sse4.2"))) inline std::uint32_t crc32cHw(
+    std::uint32_t c, const unsigned char* p, std::size_t len) noexcept {
+  std::uint64_t c64 = c;
+  while (len >= 8) {
+    std::uint64_t w;
+    __builtin_memcpy(&w, p, 8);
+    c64 = __builtin_ia32_crc32di(c64, w);
+    p += 8;
+    len -= 8;
+  }
+  c = static_cast<std::uint32_t>(c64);
+  while (len-- > 0) c = __builtin_ia32_crc32qi(c, *p++);
+  return c;
+}
+
+inline bool crc32cHwAvailable() noexcept {
+  static const bool ok = __builtin_cpu_supports("sse4.2");
+  return ok;
+}
+#else
+inline bool crc32cHwAvailable() noexcept { return false; }
+#endif
+
+}  // namespace detail
+
+/// Extends a running CRC32C with `data`.  Start from 0 (the helpers below
+/// handle the standard init/final inversion internally).
+inline std::uint32_t crc32cExtend(std::uint32_t crc, const void* data,
+                                  std::size_t len) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = crc ^ 0xffffffffu;
+#if defined(__x86_64__) && defined(__GNUC__)
+  if (detail::crc32cHwAvailable()) {
+    return detail::crc32cHw(c, p, len) ^ 0xffffffffu;
+  }
+#endif
+  const auto& t = detail::crcTables().t;
+  while (len >= 4) {
+    c ^= static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+    c = t[3][c & 0xffu] ^ t[2][(c >> 8) & 0xffu] ^ t[1][(c >> 16) & 0xffu] ^
+        t[0][c >> 24];
+    p += 4;
+    len -= 4;
+  }
+  while (len-- > 0) c = (c >> 8) ^ t[0][(c ^ *p++) & 0xffu];
+  return c ^ 0xffffffffu;
+}
+
+inline std::uint32_t crc32c(const void* data, std::size_t len) noexcept {
+  return crc32cExtend(0, data, len);
+}
+
+inline std::uint32_t crc32c(ByteSpan s) noexcept {
+  return crc32c(s.data(), s.size());
+}
+
+}  // namespace oak::dur

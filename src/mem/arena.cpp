@@ -1,6 +1,8 @@
 #include "mem/arena.hpp"
 
+#include <fcntl.h>
 #include <sys/mman.h>
+#include <unistd.h>
 
 #include <cstdlib>
 #include <new>
@@ -17,6 +19,22 @@ Arena::Arena(std::size_t bytes) : size_(bytes) {
   OAK_FAULT_POINT("arena.alloc", OffHeapOutOfMemory);
   void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) throw OffHeapOutOfMemory();
+  base_ = static_cast<std::byte*>(p);
+}
+
+// File-backed variant: the fd is closed right after mmap (the mapping keeps
+// the file open), so arenas hold no descriptors.
+Arena::Arena(const std::string& path, std::size_t bytes) : size_(bytes) {
+  OAK_FAULT_POINT("arena.alloc", OffHeapOutOfMemory);
+  const int fd = ::open(path.c_str(), O_CREAT | O_RDWR, 0644);
+  if (fd < 0) throw OakIoError("arena: cannot create " + path);
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    ::close(fd);
+    throw OakIoError("arena: cannot size " + path);
+  }
+  void* p = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
   if (p == MAP_FAILED) throw OffHeapOutOfMemory();
   base_ = static_cast<std::byte*>(p);
 }

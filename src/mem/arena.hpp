@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "common/bytes.hpp"
 
@@ -13,6 +14,14 @@ namespace oak::mem {
 class Arena {
  public:
   explicit Arena(std::size_t bytes);
+
+  /// File-backed arena (durable maps): MAP_SHARED over `path`, created and
+  /// sized with ftruncate.  A substrate detail only — recovery rebuilds
+  /// state from checkpoint + WAL, never by trusting these bytes — but the
+  /// shared mapping keeps the paper's zero-copy reads while letting the OS
+  /// write pages back instead of swapping them.
+  Arena(const std::string& path, std::size_t bytes);
+
   ~Arena();
 
   Arena(const Arena&) = delete;

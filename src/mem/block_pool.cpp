@@ -1,11 +1,14 @@
 #include "mem/block_pool.hpp"
 
+#include <cstdio>
+#include <filesystem>
+
 #include "common/error.hpp"
 #include "common/fault.hpp"
 
 namespace oak::mem {
 
-BlockPool::BlockPool(Config cfg) : cfg_(cfg) {
+BlockPool::BlockPool(Config cfg) : cfg_(std::move(cfg)) {
   if (cfg_.blockBytes > (std::size_t{1} << Ref::kOffsetBits)) {
     throw OakUsageError("block size exceeds Ref offset range (64 MiB)");
   }
@@ -13,6 +16,20 @@ BlockPool::BlockPool(Config cfg) : cfg_(cfg) {
   // read the vector without mu_: growth can never reallocate the buffer out
   // from under a concurrent reader.
   arenas_.reserve(Ref::kMaxBlocks);
+  if (!cfg_.storageDir.empty()) {
+    // Arena files never outlive the process usefully (checkpoint + WAL are
+    // the source of truth), so stale ones from a previous run are removed —
+    // keeping them would only resurrect garbage bytes under fresh arenas.
+    std::error_code ec;
+    std::filesystem::create_directories(cfg_.storageDir, ec);
+    for (const auto& e : std::filesystem::directory_iterator(cfg_.storageDir, ec)) {
+      unsigned long long id = 0;
+      if (std::sscanf(e.path().filename().string().c_str(),
+                      "arena-%llu.oakblk", &id) == 1) {
+        std::filesystem::remove(e.path(), ec);
+      }
+    }
+  }
 }
 
 std::uint32_t BlockPool::acquire() {
@@ -26,7 +43,15 @@ std::uint32_t BlockPool::acquire() {
   }
   if (acquired_ + cfg_.blockBytes > cfg_.budgetBytes) throw OffHeapOutOfMemory();
   if (arenas_.size() >= Ref::kMaxBlocks) throw OffHeapOutOfMemory();
-  arenas_.push_back(std::make_unique<Arena>(cfg_.blockBytes));
+  if (cfg_.storageDir.empty()) {
+    arenas_.push_back(std::make_unique<Arena>(cfg_.blockBytes));
+  } else {
+    char name[32];
+    std::snprintf(name, sizeof(name), "arena-%llu.oakblk",
+                  static_cast<unsigned long long>(arenas_.size()));
+    arenas_.push_back(std::make_unique<Arena>(cfg_.storageDir + "/" + name,
+                                              cfg_.blockBytes));
+  }
   acquired_ += cfg_.blockBytes;
   return static_cast<std::uint32_t>(arenas_.size() - 1);
 }

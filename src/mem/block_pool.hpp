@@ -26,6 +26,10 @@ class BlockPool {
   struct Config {
     std::size_t blockBytes = 8u << 20;        ///< arena size (paper: 100 MB; scaled)
     std::size_t budgetBytes = SIZE_MAX;       ///< total off-heap budget
+    /// Non-empty → arenas are file-backed (`<storageDir>/arena-<id>.oakblk`,
+    /// MAP_SHARED).  Durable maps point this at `<dir>/arenas`; the files
+    /// are a paging substrate, recovery rebuilds from checkpoint + WAL.
+    std::string storageDir;
   };
 
   BlockPool() : BlockPool(Config{}) {}

@@ -14,9 +14,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
+#include <filesystem>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/annotations.hpp"
@@ -27,6 +30,8 @@
 #include "common/fault.hpp"
 #include "common/mutex.hpp"
 #include "common/spin.hpp"
+#include "dur/checkpoint.hpp"
+#include "dur/wal.hpp"
 #include "maint/maintenance.hpp"
 #include "mem/memory_manager.hpp"
 #include "mheap/managed_heap.hpp"
@@ -59,6 +64,12 @@ struct MemConfig {
   /// Size-class magazine layer for this instance's allocator.  Unset defers
   /// to the OAK_MAGAZINES environment gate (default on).
   std::optional<bool> magazines;
+  /// Storage directory for durability (DESIGN.md §12).  Set → the map is
+  /// durable: file-backed arenas under <dir>/arenas, a WAL, checkpoints and
+  /// crash recovery in <dir>.  One map per directory.  Unset defers to
+  /// OAK_STORAGE_DIR; an explicit empty string disables durability even
+  /// when the environment variable is set.
+  std::optional<std::string> storageDir;
 
   MemConfig& withMetaHeap(mheap::ManagedHeap* h) { metaHeap = h; return *this; }
   MemConfig& withPool(mem::BlockPool* p) { pool = p; return *this; }
@@ -68,6 +79,26 @@ struct MemConfig {
     return *this;
   }
   MemConfig& withMagazines(bool on) { magazines = on; return *this; }
+  MemConfig& withStorageDir(std::string dir) {
+    storageDir = std::move(dir);
+    return *this;
+  }
+};
+
+/// Durability knob group nested inside OakConfig (active only when a
+/// storage directory is configured — see MemConfig::storageDir).
+struct DurConfig {
+  /// WAL fsync policy.  Unset defers to OAK_FSYNC_POLICY, then Interval.
+  std::optional<dur::FsyncPolicy> fsyncPolicy;
+  /// Interval policy's window: at most one fdatasync per this many ms.
+  std::uint32_t fsyncIntervalMs = 50;
+  /// WAL bytes that trigger an automatic checkpoint.  Unset defers to
+  /// OAK_WAL_BYTES, then 64 MiB.
+  std::optional<std::size_t> walBytes;
+
+  DurConfig& withFsyncPolicy(dur::FsyncPolicy p) { fsyncPolicy = p; return *this; }
+  DurConfig& withFsyncIntervalMs(std::uint32_t ms) { fsyncIntervalMs = ms; return *this; }
+  DurConfig& withWalBytes(std::size_t b) { walBytes = b; return *this; }
 };
 
 /// Map configuration: structure knobs at the top level, memory and
@@ -87,8 +118,11 @@ struct OakConfig {
   double maxUnsortedRatio = 0.5;        ///< rebalance when bypasses exceed this
   std::size_t ephemeralViewBytes = 48;  ///< modelled size of a Java buffer view
 
-  /// Memory knobs (arena, managed heap, reclamation, magazines).
+  /// Memory knobs (arena, managed heap, reclamation, magazines, storage).
   MemConfig mem;
+  /// Durability knobs (WAL fsync policy, checkpoint trigger); only
+  /// meaningful when mem.storageDir (or OAK_STORAGE_DIR) is set.
+  DurConfig dur;
   /// Background maintenance pool + online shard management thresholds
   /// (maint/maintenance.hpp).  Default: no workers — rebalance runs inline
   /// on the mutator, exactly the paper's (and the seed's) behavior.
@@ -124,6 +158,28 @@ struct OakConfig {
     if (mem.magazines.has_value()) return *mem.magazines;
     return env::flag("OAK_MAGAZINES", true);
   }
+  /// Resolved storage directory; nullopt = in-memory map.  An explicitly
+  /// set empty string disables durability, overriding OAK_STORAGE_DIR.
+  std::optional<std::string> effectiveStorageDir() const {
+    if (mem.storageDir.has_value()) {
+      if (mem.storageDir->empty()) return std::nullopt;
+      return mem.storageDir;
+    }
+    auto e = env::str("OAK_STORAGE_DIR");
+    if (e.has_value() && !e->empty()) return e;
+    return std::nullopt;
+  }
+  dur::FsyncPolicy effectiveFsyncPolicy() const {
+    if (dur.fsyncPolicy.has_value()) return *dur.fsyncPolicy;
+    if (auto s = env::str("OAK_FSYNC_POLICY")) {
+      if (auto p = dur::parseFsyncPolicy(*s)) return *p;
+    }
+    return dur::FsyncPolicy::Interval;
+  }
+  std::size_t effectiveWalBytes() const {
+    if (dur.walBytes.has_value()) return *dur.walBytes;
+    return static_cast<std::size_t>(env::u64("OAK_WAL_BYTES", 64u << 20));
+  }
 
   // ---- fluent setters --------------------------------------------------
   OakConfig& withChunkCapacity(std::int32_t c) { chunkCapacity = c; return *this; }
@@ -133,6 +189,12 @@ struct OakConfig {
     return *this;
   }
   OakConfig& withMem(MemConfig m) { mem = std::move(m); return *this; }
+  OakConfig& withDur(DurConfig d) { dur = std::move(d); return *this; }
+  /// Convenience: durability in one call (same as mem.withStorageDir).
+  OakConfig& withStorageDir(std::string dir) {
+    mem.storageDir = std::move(dir);
+    return *this;
+  }
   OakConfig& withMaintenance(maint::MaintenanceConfig m) {
     maintenance = std::move(m);
     return *this;
@@ -168,8 +230,7 @@ class OakCoreMap {
         cmp_(cmp),
         metaHeap_(cfg.effectiveMetaHeap() != nullptr ? *cfg.effectiveMetaHeap()
                                                      : mheap::ManagedHeap::unlimited()),
-        pool_(cfg.effectivePool() != nullptr ? *cfg.effectivePool()
-                                             : mem::BlockPool::global()),
+        pool_(resolvePool(cfg, ownedPool_)),
         mm_(pool_, static_cast<std::uint32_t>(cfg.effectiveEmergencyReserve())),
         indexMem_(metaHeap_),
         index_(IndexCmp{cmp}, indexMem_) {
@@ -204,6 +265,12 @@ class OakCoreMap {
       snapDomain_ = ownedSnapDomain_.get();
     }
     snapCtx_ = detail::SnapCtx{snapDomain_, this, &OakCoreMap::vgcFeedThunk};
+    // Durability last: recovery drives the normal bulk-load and put paths,
+    // so every other subsystem must already be wired.  wal_ stays null
+    // until replay finishes — the mutation wrappers' log hooks check it,
+    // which is what keeps replayed operations from re-logging themselves.
+    durDir_ = cfg_.effectiveStorageDir();
+    if (durDir_.has_value()) initDurable();
   }
 
   ~OakCoreMap() {
@@ -347,6 +414,7 @@ class OakCoreMap {
     obs::OpTimer t(stats_, obs::Op::Put);
     bool replaced = false;
     doPut(key, value, nullptr, PutOp::Put, old, &replaced);
+    walLogPut(key, value);
     maybeCollectVersions();
     return replaced;
   }
@@ -355,6 +423,7 @@ class OakCoreMap {
   bool putIfAbsent(ByteSpan key, ByteSpan value) {
     obs::OpTimer t(stats_, obs::Op::PutIfAbsent);
     const bool ok = doPut(key, value, nullptr, PutOp::PutIfAbsent, nullptr, nullptr);
+    if (ok) walLogPut(key, value);
     maybeCollectVersions();
     return ok;
   }
@@ -366,6 +435,7 @@ class OakCoreMap {
     obs::OpTimer t(stats_, obs::Op::PutIfAbsentCompute);
     ComputeFn fn = makeComputeFn(func);
     doPut(key, value, &fn, PutOp::PutIfAbsentComputeIfPresent, nullptr, nullptr);
+    walLogPostImage(key);
     maybeCollectVersions();
   }
 
@@ -375,6 +445,7 @@ class OakCoreMap {
     obs::OpTimer t(stats_, obs::Op::Compute);
     ComputeFn fn = makeComputeFn(func);
     const bool ok = doIfPresent(key, &fn, IfPresentOp::Compute, nullptr);
+    if (ok) walLogPostImage(key);
     maybeCollectVersions();
     return ok;
   }
@@ -384,6 +455,7 @@ class OakCoreMap {
   bool remove(ByteSpan key, ByteVec* old = nullptr) {
     obs::OpTimer t(stats_, obs::Op::Remove);
     const bool ok = doIfPresent(key, nullptr, IfPresentOp::Remove, old);
+    if (ok) walLogRemove(key);
     maybeCollectVersions();
     return ok;
   }
@@ -764,6 +836,16 @@ class OakCoreMap {
     m.snapshotsActive = snapDomain_->activeSnapshots();
     m.snapshotPinMs = snapDomain_->pinnedMsTotal();
     m.versionFeedDepth = versionFeedDepth();
+    if (wal_ != nullptr) {
+      m.durable = true;
+      const dur::WalStats ws = wal_->stats();
+      m.walAppends = ws.appends;
+      m.walFsyncs = ws.fsyncs;
+      m.walBytes = ws.bytes;
+      m.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+    }
+    m.recoveryReplayed = recoveryReplayed_.load(std::memory_order_relaxed);
+    m.recoveryMs = recoveryMs_.load(std::memory_order_relaxed);
     return m;
   }
   obs::StatsRegistry& statsRegistry() noexcept { return stats_; }
@@ -790,6 +872,112 @@ class OakCoreMap {
   /// The service this map submits to (owned or shared); null when
   /// maintenance is inline.
   maint::MaintenanceService* maintenanceService() noexcept { return maintSvc_; }
+
+  // ================================================= durability lifecycle
+  /// True when this map persists to a storage directory (DESIGN.md §12).
+  bool durable() const noexcept { return wal_ != nullptr; }
+
+  /// Synchronous checkpoint: snapshots the map at one version, streams the
+  /// pairs to a new checkpoint file, commits the manifest, and truncates
+  /// the WAL to the rotation point.  Concurrent mutations proceed (only
+  /// the WAL-rotation instant is serialized with appends).  Returns the
+  /// pair count written, or 0 on a non-durable map.  The auto-trigger
+  /// (OAK_WAL_BYTES) routes here through the maintenance service.
+  std::uint64_t checkpointNow() {
+    if (wal_ == nullptr) return 0;
+    MutexLock lk(cpMu_);
+    // Rotate-and-pin under the WAL append mutex: every record already in
+    // the closed segments was appended — hence version-stamped — before
+    // the snapshot opened, so its effect is at or below V and lands in the
+    // checkpoint.  Anything after the rotation goes to the new segment and
+    // replays on top.  (§12.3 has the full argument.)
+    std::optional<Snapshot> snap;
+    const std::uint64_t newWalSeq =
+        wal_->rotate([&] { snap.emplace(*snapDomain_); });
+    const std::uint64_t v = snap->version();
+    const std::uint64_t newCpSeq = std::max(cpSeq_, prevCpSeq_) + 1;
+    dur::CheckpointWriter w(*durDir_, newCpSeq, v);
+    for (auto it = ascend(std::nullopt, std::nullopt,
+                          ScanOptions::snapshotAt(v));
+         it.valid(); it.next()) {
+      auto e = it.entry();
+      e.readValue([&](ByteSpan val) { w.append(e.key, val); });
+    }
+    const std::uint64_t pairs = w.finish();
+    dur::Manifest m;
+    m.cpSeq = newCpSeq;
+    m.cpVersion = v;
+    m.walStart = newWalSeq;
+    m.pairs = pairs;
+    m.prevCpSeq = cpSeq_;
+    m.prevWalStart = walStartSeq_;
+    m.store(*durDir_);
+    dur::purgeObsolete(*durDir_, m);
+    cpSeq_ = newCpSeq;
+    walStartSeq_ = newWalSeq;
+    prevCpSeq_ = m.prevCpSeq;
+    prevWalStart_ = m.prevWalStart;
+    checkpoints_.fetch_add(1, std::memory_order_relaxed);
+    return pairs;
+  }
+
+  /// Forces everything appended to the WAL so far onto disk (used by tests
+  /// and by callers that batch under FsyncPolicy::Never/Interval).
+  void syncWal() {
+    if (wal_ != nullptr) wal_->sync();
+  }
+
+  /// Records replayed from the WAL tail by the last open (0 = none).
+  std::uint64_t recoveryReplayedRecords() const noexcept {
+    return recoveryReplayed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t recoveryMillis() const noexcept {
+    return recoveryMs_.load(std::memory_order_relaxed);
+  }
+
+  /// RECOVERY ONLY — bulk-loads ascending (key, value) pairs into fresh
+  /// chunks without touching the put path; single-threaded, map must be
+  /// empty.  The sharded front-end routes each shard's slice of a
+  /// checkpoint stream here.  `source(key, value)` yields pairs; returns
+  /// false when exhausted.
+  template <class Source>
+  void bulkLoadSorted(Source&& source) {
+    sync::Ebr::Guard g(ebr_);
+    const auto per =
+        static_cast<std::size_t>(std::max(cfg_.chunkCapacity / 2, 1));
+    std::vector<typename ChunkT::LiveEntry> batch;
+    batch.reserve(per);
+    ChunkT* tail = head_.load(std::memory_order_relaxed);
+    bool first = true;
+    ByteSpan key, value;
+    bool more = source(key, value);
+    while (more) {
+      batch.clear();
+      ByteVec batchMin = toVec(key);
+      while (more && batch.size() < per) {
+        const mem::Ref keyRef = mm_.allocateKey(key);
+        const detail::VRef vref =
+            detail::ValueCell::allocate(mm_, value, headerPool());
+        // Stamp now: the domain clock starts at 1, so loaded values are
+        // visible to every snapshot — never "pending".
+        detail::ValueCell(mm_, vref).helpStamp(snapCtx_);
+        batch.push_back({keyRef.bits(), vref.bits()});
+        more = source(key, value);
+      }
+      if (first) {
+        tail->fillSorted(batch.data(), static_cast<std::int32_t>(batch.size()));
+        first = false;
+      } else {
+        ChunkT* nc = ChunkT::make(metaHeap_, mm_, cmp_, std::move(batchMin),
+                                  cfg_.chunkCapacity);
+        nc->fillSorted(batch.data(), static_cast<std::int32_t>(batch.size()));
+        tail->nextChunk().store(nc, std::memory_order_release);
+        index_.put(toVec(nc->minKey()), nc);
+        chunkCount_.fetch_add(1, std::memory_order_relaxed);
+        tail = nc;
+      }
+    }
+  }
 
   // ==================================================== snapshot lifecycle
   /// The MVCC clock/pin table this map stamps against (owned or shared).
@@ -1429,6 +1617,137 @@ class OakCoreMap {
     return headerPool_ ? &*headerPool_ : nullptr;
   }
 
+  // ----------------------------------------------------------- durability
+  /// Owned file-backed pool for durable maps without an explicit pool; the
+  /// global anonymous pool otherwise.  A helper (not ctor-body code) so the
+  /// `pool_` reference member can bind to it in the init list.
+  static mem::BlockPool& resolvePool(const OakConfig& cfg,
+                                     std::unique_ptr<mem::BlockPool>& owned) {
+    if (cfg.effectivePool() != nullptr) return *cfg.effectivePool();
+    if (auto dir = cfg.effectiveStorageDir()) {
+      owned = std::make_unique<mem::BlockPool>(
+          mem::BlockPool::Config{.storageDir = *dir + "/arenas"});
+      return *owned;
+    }
+    return mem::BlockPool::global();
+  }
+
+  /// WAL hooks, called from the public mutation wrappers after the
+  /// operation's in-memory linearization (and version stamp) but before
+  /// the call returns — the append IS the commit point.  Appends are
+  /// serialized by the WAL mutex, so two non-concurrent same-key ops log
+  /// in linearization order; truly concurrent same-key writes may log in
+  /// either order, both valid linearizations (DESIGN.md §12.2).  No-ops on
+  /// non-durable maps and during recovery replay (wal_ still null).
+  void walLogPut(ByteSpan key, ByteSpan value) {
+    if (wal_ == nullptr) return;
+    wal_->appendPut(key, value);
+    maybeCheckpoint();
+  }
+  void walLogRemove(ByteSpan key) {
+    if (wal_ == nullptr) return;
+    wal_->appendRemove(key);
+    maybeCheckpoint();
+  }
+  /// Compute-style ops mutate in place, so the record is the post-image
+  /// read back after the fact.  A racing writer can interleave between the
+  /// compute and this read; the record then carries the racer's bytes —
+  /// a later, equally valid state for this key (and the racer logs its own
+  /// record too).  A read finding the key gone means a concurrent remove
+  /// won; its remove record covers the key, so logging nothing is exact.
+  void walLogPostImage(ByteSpan key) {
+    if (wal_ == nullptr) return;
+    if (auto v = getCopy(key)) {
+      wal_->appendPut(key, asBytes(*v));
+      maybeCheckpoint();
+    }
+  }
+
+  /// Auto-checkpoint trigger: when the current WAL segment outgrows the
+  /// configured budget, hand a checkpoint job to the maintenance service
+  /// (deduped by a self-owned flag, mirroring the version-GC job) or run
+  /// inline without one.
+  void maybeCheckpoint() {
+    if (wal_->bytesSinceRotate() < walBytesBudget_) return;
+    if (maintSvc_ == nullptr) {
+      checkpointNow();
+      return;
+    }
+    if (cpJobQueued_.exchange(true, std::memory_order_acq_rel)) return;
+    const bool queued = maintSvc_->submit(
+        this, ByteVec{std::byte{1}}, 1u << 20, [](void* owner, const ByteVec&) {
+          auto* self = static_cast<OakCoreMap*>(owner);
+          self->cpJobQueued_.store(false, std::memory_order_release);
+          self->checkpointNow();
+        });
+    if (!queued) {
+      cpJobQueued_.store(false, std::memory_order_release);
+      checkpointNow();
+    }
+  }
+
+  /// Opens the storage directory: plan recovery, bulk-load the checkpoint,
+  /// replay the WAL tail through the normal mutation paths (wal_ is still
+  /// null, so nothing re-logs), then start a fresh WAL segment past all
+  /// replayable history.  Old segments stay on disk until the next
+  /// checkpoint — the replayed records' durability still lives there.
+  void initDurable() {
+    const std::string& dir = *durDir_;
+    std::filesystem::create_directories(dir);
+    const auto t0 = std::chrono::steady_clock::now();
+    const dur::RecoveryPlan plan = dur::planRecovery(dir);
+
+    std::uint64_t replayed = 0;
+    if (plan.cpSeq != 0) {
+      auto reader = dur::CheckpointReader::open(dir, plan.cpSeq);
+      if (reader.has_value()) {
+        bulkLoadSorted([&](ByteSpan& k, ByteSpan& v) {
+          return reader->next(k, v);
+        });
+      }
+    }
+    for (const std::uint64_t seq : plan.walSegments) {
+      const auto st = dur::replayWalSegment(
+          dur::walSegmentPath(dir, seq),
+          [&](std::uint8_t type, ByteSpan k, ByteSpan v) {
+            if (type == dur::kWalPut) {
+              doPut(k, v, nullptr, PutOp::Put, nullptr, nullptr);
+            } else if (type == dur::kWalRemove) {
+              doIfPresent(k, nullptr, IfPresentOp::Remove, nullptr);
+            }
+          });
+      if (st.has_value()) replayed += st->records;
+    }
+    recoveryReplayed_.store(replayed, std::memory_order_relaxed);
+    {
+      MutexLock lk(cpMu_);
+      cpSeq_ = plan.cpSeq;
+      walStartSeq_ =
+          plan.walSegments.empty() ? plan.nextWalSeq : plan.walSegments.front();
+    }
+
+    walBytesBudget_ = cfg_.effectiveWalBytes();
+    wal_ = std::make_unique<dur::Wal>(
+        dir, plan.nextWalSeq,
+        dur::Wal::Options{.policy = cfg_.effectiveFsyncPolicy(),
+                          .intervalMs = cfg_.dur.fsyncIntervalMs});
+    if (!plan.haveManifest) {
+      // First open: commit an empty-checkpoint manifest so a crash before
+      // the first checkpoint still finds its WAL start on reopen.
+      MutexLock lk(cpMu_);
+      dur::Manifest m;
+      m.cpSeq = 0;
+      m.walStart = plan.nextWalSeq;
+      m.store(dir);
+    }
+    recoveryMs_.store(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()),
+        std::memory_order_relaxed);
+  }
+
   // --------------------------------------------------------- version GC
   /// SnapCtx feed hook: a writer that chained a superseded version (or laid
   /// a tombstone) registers the cell for the off-hot-path version GC.
@@ -1477,6 +1796,9 @@ class OakCoreMap {
   OakConfig cfg_;
   Compare cmp_;
   mheap::ManagedHeap& metaHeap_;
+  /// Declared before pool_ so resolvePool can fill it while the reference
+  /// binds (file-backed pool for durable maps without an explicit one).
+  std::unique_ptr<mem::BlockPool> ownedPool_;
   mem::BlockPool& pool_;
   mem::MemoryManager mm_;
   std::optional<detail::HeaderPool> headerPool_;
@@ -1499,6 +1821,20 @@ class OakCoreMap {
   std::vector<std::uint64_t> vgcFeed_ OAK_GUARDED_BY(vgcMu_);  // VRef bits
   std::atomic<std::uint32_t> vgcTick_{0};
   std::atomic<bool> vgcJobQueued_{false};
+
+  // Durability (src/dur): all null/zero for in-memory maps.
+  std::optional<std::string> durDir_;   // storage dir; engaged = durable
+  std::unique_ptr<dur::Wal> wal_;       // created after recovery replay
+  std::size_t walBytesBudget_ = 64u << 20;
+  Mutex cpMu_;  // serializes checkpoints and the manifest generation state
+  std::uint64_t cpSeq_ OAK_GUARDED_BY(cpMu_) = 0;
+  std::uint64_t walStartSeq_ OAK_GUARDED_BY(cpMu_) = 1;
+  std::uint64_t prevCpSeq_ OAK_GUARDED_BY(cpMu_) = 0;
+  std::uint64_t prevWalStart_ OAK_GUARDED_BY(cpMu_) = 0;
+  std::atomic<bool> cpJobQueued_{false};
+  std::atomic<std::uint64_t> checkpoints_{0};
+  std::atomic<std::uint64_t> recoveryReplayed_{0};
+  std::atomic<std::uint64_t> recoveryMs_{0};
 
   friend class AscendIter;
   friend class DescendIter;

@@ -43,6 +43,18 @@ class BasicOakMap {
   explicit BasicOakMap(typename Core::Config cfg = {}, Compare cmp = Compare{})
       : core_(std::move(cfg), cmp) {}
 
+  /// Named constructor for durable maps (DESIGN.md §12): opens (or creates)
+  /// the storage directory, recovers the last checkpoint plus the WAL tail,
+  /// and returns a map ready for traffic.  Equivalent to constructing with
+  /// cfg.mem.storageDir = dir — this spelling just makes recovery explicit
+  /// at the call site.
+  static BasicOakMap open(const std::string& dir,
+                          typename Core::Config cfg = {},
+                          Compare cmp = Compare{}) {
+    cfg.withStorageDir(dir);
+    return BasicOakMap(std::move(cfg), cmp);
+  }
+
   /// Typed navigation result: the entry's key (deserialized — it identifies
   /// the entry) plus a zero-copy view of its value.
   struct KeyedEntry {
@@ -456,6 +468,19 @@ class BasicOakMap {
   maint::MaintenanceStats maintenanceStats() const {
     return core_.maintenanceStats();
   }
+
+  // ---------------------------------------------------------- durability
+  /// True when this map persists to a storage directory (DESIGN.md §12).
+  bool durable() const noexcept { return core_.durable(); }
+  /// Synchronous checkpoint; returns pairs written (0 on in-memory maps).
+  std::uint64_t checkpointNow() { return core_.checkpointNow(); }
+  /// Forces all WAL appends so far to disk (FsyncPolicy::Never/Interval).
+  void syncWal() { core_.syncWal(); }
+  /// WAL records replayed by the last open (0 = clean or in-memory).
+  std::uint64_t recoveryReplayedRecords() const noexcept {
+    return core_.recoveryReplayedRecords();
+  }
+  std::uint64_t recoveryMillis() const noexcept { return core_.recoveryMillis(); }
 
   // ----------------------------------------------------------- snapshots
   /// Pins the current map state and returns the RAII pin.  Scans opened

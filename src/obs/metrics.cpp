@@ -116,6 +116,14 @@ std::string Metrics::toJson() const {
           versionFeedDepth);
 
   appendf(j,
+          "\"wal\":{\"durable\":%s,\"appends\":%" PRIu64 ",\"fsyncs\":%" PRIu64
+          ",\"bytes\":%" PRIu64 ",\"checkpoints\":%" PRIu64
+          "},\"recovery\":{\"replayed_records\":%" PRIu64
+          ",\"recovery_ms\":%" PRIu64 "},",
+          durable ? "true" : "false", walAppends, walFsyncs, walBytes,
+          checkpoints, recoveryReplayed, recoveryMs);
+
+  appendf(j,
           "\"gc\":{\"full_cycles\":%" PRIu64 ",\"young_cycles\":%" PRIu64
           ",\"pause_ns_total\":%" PRIu64 ",\"allocations\":%" PRIu64
           ",\"oom_throws\":%" PRIu64 ",\"gc_last_ditch\":%" PRIu64
@@ -197,6 +205,14 @@ std::string Metrics::toText() const {
             registry.counter(Counter::SnapshotOpened), snapshotsActive,
             snapshotPinMs, registry.counter(Counter::VersionsRetired),
             versionFeedDepth);
+  }
+  if (durable || recoveryReplayed != 0) {
+    appendf(t,
+            "  wal: appends=%" PRIu64 " fsyncs=%" PRIu64 " bytes=%" PRIu64
+            " checkpoints=%" PRIu64 "\n",
+            walAppends, walFsyncs, walBytes, checkpoints);
+    appendf(t, "  recovery: replayed=%" PRIu64 " records in %" PRIu64 "ms\n",
+            recoveryReplayed, recoveryMs);
   }
   appendf(t, "  ebr: epoch-lag=%" PRIu64 " retired=%" PRIu64 "\n", ebr.epochLag,
           ebr.retired);

@@ -68,6 +68,17 @@ struct Metrics {
   std::uint64_t snapshotPinMs = 0;     ///< cumulative wall time versions were pinned
   std::uint64_t versionFeedDepth = 0;  ///< cells waiting on the version GC
 
+  /// Durability gauges (src/dur; all zero for in-memory maps).  A sharded
+  /// durable map logs through ONE WAL at the sharded level, so its cores
+  /// report zeros here and the sums stay whole-map-accurate.
+  bool durable = false;                  ///< map persists to a storage dir
+  std::uint64_t walAppends = 0;          ///< records appended to the WAL
+  std::uint64_t walFsyncs = 0;           ///< fsync/fdatasync calls issued
+  std::uint64_t walBytes = 0;            ///< bytes appended (records only)
+  std::uint64_t checkpoints = 0;         ///< checkpoints committed
+  std::uint64_t recoveryReplayed = 0;    ///< WAL records replayed by open()
+  std::uint64_t recoveryMs = 0;          ///< wall time the last open() spent
+
   bool statsCompiled = StatsRegistry::compiled();
 
   /// Folds a shard's snapshot into this whole-map view: counters and
@@ -90,6 +101,13 @@ struct Metrics {
     if (s.snapshotsActive > snapshotsActive) snapshotsActive = s.snapshotsActive;
     if (s.snapshotPinMs > snapshotPinMs) snapshotPinMs = s.snapshotPinMs;
     versionFeedDepth += s.versionFeedDepth;
+    durable = durable || s.durable;
+    walAppends += s.walAppends;
+    walFsyncs += s.walFsyncs;
+    walBytes += s.walBytes;
+    checkpoints += s.checkpoints;
+    recoveryReplayed += s.recoveryReplayed;
+    if (s.recoveryMs > recoveryMs) recoveryMs = s.recoveryMs;
     if (shards == 0) gc = s.gc;
     shards += s.shards;
   }

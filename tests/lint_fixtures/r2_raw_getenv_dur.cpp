@@ -1,0 +1,15 @@
+// oaklint fixture — R2, durability flavor: the src/dur knobs
+// (OAK_STORAGE_DIR / OAK_FSYNC_POLICY / OAK_WAL_BYTES) resolve through
+// OakConfig's effective*() accessors, which call oak::env.  Reading them
+// with raw std::getenv — the obvious shortcut when wiring a WAL or
+// recovery path — bypasses the explicit > env > default precedence rule
+// and the single audit point.
+//
+// oaklint-expect: R2
+#include <cstdlib>
+#include <string>
+
+std::string walDirFromEnv() {
+  const char* dir = std::getenv("OAK_STORAGE_DIR");  // BAD: bypasses oak::env
+  return dir != nullptr ? std::string(dir) : std::string{};
+}

@@ -30,6 +30,20 @@
 #    scans (the workload didn't exercise MVCC at all).  Written to
 #    BUILD_DIR/BENCH_snapshot.json; the checked-in BENCH_snapshot.json is a
 #    snapshot of this output.
+#
+# 4. Durability / recovery (ISSUE 9): `--scenario recovery` ingests the
+#    range durable (WAL + mmap arenas on a tmpfs dir), checkpoints, writes
+#    a WAL tail, closes, and reopens in-process.  Fails if
+#    * the WAL-on put p99 exceeds OAK_BENCH_WAL_TOLERANCE (default 1.25x)
+#      of the same-process in-memory baseline,
+#    * the cold restart (reopen) is slower than the original durable ingest
+#      times OAK_BENCH_RECOVERY_TOLERANCE (default 1.0 — bulk-loading a
+#      checkpoint must beat re-ingesting),
+#    * recovery replayed nothing, replayed the whole dataset (the
+#      checkpoint didn't truncate the WAL), or lost pairs, or
+#    * validation_errors > 0.
+#    Written to BUILD_DIR/BENCH_recovery.json; the checked-in
+#    BENCH_recovery.json is a 1M-pair snapshot of this output.
 set -euo pipefail
 
 build_dir=${1:?usage: bench_smoke.sh BUILD_DIR [DURATION_MS]}
@@ -242,3 +256,107 @@ if [[ "$fail" != 0 ]]; then
   exit 1
 fi
 echo "bench_smoke: OK (snapshot A/B gate passed)"
+
+# ------------------------------------------------ durability / recovery
+wal_tolerance=${OAK_BENCH_WAL_TOLERANCE:-1.25}
+rec_tolerance=${OAK_BENCH_RECOVERY_TOLERANCE:-1.0}
+rec_size=${OAK_BENCH_RECOVERY_SIZE:-200000}
+rec_value=${OAK_BENCH_RECOVERY_VALUE_BYTES:-256}
+rec_threads=${OAK_BENCH_RECOVERY_THREADS:-2}
+rec_dir=${OAK_BENCH_RECOVERY_DIR:-}
+if [[ -z "$rec_dir" ]]; then
+  # mmap page-fault cost on a disk-backed filesystem would dominate the put
+  # latencies; the gate measures Oak, not the host's block layer.
+  if [[ -d /dev/shm && -w /dev/shm ]]; then
+    rec_dir="/dev/shm/oak-bench-recovery-$$"
+  else
+    rec_dir="$build_dir/oak-bench-recovery"
+  fi
+fi
+
+echo "bench_smoke: recovery leg ($rec_size pairs, dir $rec_dir)..."
+rec_log=$(mktemp)
+OAK_BENCH_VALIDATE=1 "$bench" --scenario recovery -t "$rec_threads" \
+    -i "$rec_size" -v "$rec_value" --shards 2 --maint-threads 2 \
+    --storage-dir "$rec_dir" | tee "$rec_log"
+rec_line=$(grep '^RECOVERY ' "$rec_log" | head -1)
+rm -f "$rec_log"
+rm -rf "$rec_dir"
+
+if [[ -z "$rec_line" ]]; then
+  echo "bench_smoke: FAIL recovery run produced no RECOVERY line" >&2
+  exit 1
+fi
+
+rec_pairs=$(extract "$rec_line" '"pairs":\([0-9]*\)')
+rec_replayed=$(extract "$rec_line" '"replayed_records":\([0-9]*\)')
+rec_final=$(extract "$rec_line" '"final_size":\([0-9]*\)')
+base_put_p99=$(extract "$rec_line" '"base_put_p99_ns":\([0-9]*\)')
+wal_put_p99=$(extract "$rec_line" '"wal_put_p99_ns":\([0-9]*\)')
+rec_ingest_ms=$(extract "$rec_line" '"wal_ingest_ms":\([0-9]*\)')
+rec_reopen_ms=$(extract "$rec_line" '"reopen_ms":\([0-9]*\)')
+rec_recovery_ms=$(extract "$rec_line" '"recovery_ms":\([0-9]*\)')
+rec_checkpoint_ms=$(extract "$rec_line" '"checkpoint_ms":\([0-9]*\)')
+rec_verrors=$(extract "$rec_line" '"validation_errors":\([0-9]*\)')
+
+if [[ -z "$rec_pairs" || -z "$base_put_p99" || -z "$wal_put_p99" ]]; then
+  echo "bench_smoke: FAIL could not parse RECOVERY line" >&2
+  exit 1
+fi
+if [[ "${rec_verrors:-0}" != 0 ]]; then
+  echo "bench_smoke: FAIL recovery validation_errors=$rec_verrors" >&2
+  fail=1
+fi
+# Recovery must replay a WAL tail — but only the tail: a replay count of 0
+# means the WAL hooks are dead, a count == pairs means the checkpoint never
+# truncated the log.
+if [[ "${rec_replayed:-0}" == 0 ]]; then
+  echo "bench_smoke: FAIL recovery replayed no WAL records" >&2
+  fail=1
+fi
+if (( ${rec_replayed:-0} >= ${rec_pairs:-0} )); then
+  echo "bench_smoke: FAIL recovery replayed the whole dataset" \
+       "(replayed=$rec_replayed pairs=$rec_pairs — checkpoint not used)" >&2
+  fail=1
+fi
+if [[ "$rec_final" != "$rec_pairs" ]]; then
+  echo "bench_smoke: FAIL recovered size $rec_final != ingested $rec_pairs" >&2
+  fail=1
+fi
+# Gate: WAL on the put path must stay within tolerance of in-memory puts.
+if ! awk -v w="$wal_put_p99" -v b="$base_put_p99" -v tol="$wal_tolerance" \
+      'BEGIN { exit !(w <= b * tol) }'; then
+  echo "bench_smoke: FAIL put p99 regression with WAL:" \
+       "in-memory=${base_put_p99}ns wal=${wal_put_p99}ns (tolerance ${wal_tolerance}x)" >&2
+  fail=1
+fi
+# Gate: the cold restart (checkpoint bulk load + tail replay) must beat
+# re-ingesting the same data.
+if ! awk -v r="$rec_reopen_ms" -v i="$rec_ingest_ms" -v tol="$rec_tolerance" \
+      'BEGIN { exit !(r <= i * tol) }'; then
+  echo "bench_smoke: FAIL cold restart too slow:" \
+       "reopen=${rec_reopen_ms}ms ingest=${rec_ingest_ms}ms (tolerance ${rec_tolerance}x)" >&2
+  fail=1
+fi
+
+rec_json="$build_dir/BENCH_recovery.json"
+cat > "$rec_json" <<JSON
+{
+  "bench": "synchrobench --scenario recovery -t $rec_threads -i $rec_size -v $rec_value --shards 2 --maint-threads 2",
+  "gates": [
+    "wal put p99 <= in-memory put p99 * $wal_tolerance",
+    "reopen_ms <= durable ingest_ms * $rec_tolerance",
+    "0 < replayed_records < pairs",
+    "final_size == pairs"
+  ],
+  "result": ${rec_line#RECOVERY }
+}
+JSON
+echo "bench_smoke: recovery put p99 in-memory=${base_put_p99}ns wal=${wal_put_p99}ns;" \
+     "reopen ${rec_reopen_ms}ms (recovery ${rec_recovery_ms}ms, checkpoint ${rec_checkpoint_ms}ms," \
+     "replayed ${rec_replayed}/${rec_pairs}); wrote $rec_json"
+
+if [[ "$fail" != 0 ]]; then
+  exit 1
+fi
+echo "bench_smoke: OK (recovery gate passed)"
