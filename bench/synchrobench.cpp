@@ -88,7 +88,8 @@ void usage() {
       "  --zipf <theta>       zipfian key skew (YCSB formula; 0.99 typical)\n"
       "  --maint-threads <n>  background maintenance workers for Oak\n"
       "                       (0 = inline rebalance on mutators, -1 = env/auto)\n"
-      "  --scenario <4a..4f|churn|zipf|snapshot-churn|recovery>  canned scenario\n"
+      "  --scenario <4a..4f|churn|zipf|snapshot-churn|recovery|compaction>\n"
+      "                       canned scenario\n"
       "  --no-snapshot-scans  snapshot-churn baseline: same mix, scans\n"
       "                       don't pin a version (A/B for the p99 gate)\n"
       "  --storage-dir <dir>  Oak runs durable: mmap arenas + WAL + checkpoints\n"
@@ -100,7 +101,12 @@ void usage() {
       "  --scenario recovery runs the durability A/B instead of a mix sweep:\n"
       "  in-memory vs WAL-on put latency, then checkpoint + tail + in-process\n"
       "  reopen, emitting one machine-readable RECOVERY line (bench_smoke's\n"
-      "  cold-restart and put-p99 gates read it).\n");
+      "  cold-restart and put-p99 gates read it).\n"
+      "\n"
+      "  --scenario compaction runs the relocation A/B: wave-shaped churn\n"
+      "  carves sparse arenas, then the same timed put stage runs with and\n"
+      "  without a continuous relocator, emitting one COMPACTION line\n"
+      "  (bench_smoke gates the put p99 ratio and the arena reclaim).\n");
 }
 
 void applyScenario(Options& o) {
@@ -470,6 +476,313 @@ int runRecovery(const Options& o) {
   return verrors == 0 ? 0 : 1;
 }
 
+// ------------------------------------------------- compaction scenario
+// Relocation A/B (DESIGN.md §13).  Not a mix sweep: both legs run the same
+// wave-shaped churn — bulk put the whole range with jittered sizes, bulk
+// remove 4/5.  That is the shape that actually carves arenas below the
+// occupancy threshold; steady interleaved churn never does, because
+// first-fit refills the holes as fast as removes open them.  The final
+// wave's puts are latency-sampled (exact percentiles, like the recovery
+// A/B).  Leg A runs with relocation off — the put baseline and the
+// no-evacuation arena high-water mark.  Leg B runs the identical workload
+// with background compaction enabled, so the sampled puts race the
+// evacuation passes the earlier waves' garbage triggers; afterwards it
+// settles with explicit compactNow() rounds and reports the reclaimed
+// arena count.  Emits one COMPACTION line; bench_smoke gates the put p99
+// ratio and that evacuation really moved slices and retired arenas.
+
+struct CompactionLeg {
+  PutLat put;                           ///< sampled steady-state churn
+  std::uint64_t arenaBlocksAfter = 0;   ///< after settling
+  std::uint64_t footprintAfter = 0;
+  std::size_t retired = 0;              ///< arenas retired by compactNow
+  std::uint64_t evacRuns = 0;
+  std::uint64_t arenasEvacuated = 0;
+  std::uint64_t slicesRelocated = 0;
+  std::uint64_t bytesRelocated = 0;
+  std::size_t verrors = 0;
+};
+
+// One leg's full lifecycle: ingest, churn waves, sampled stage reps,
+// settle.  Both legs are constructed up-front and their sampled reps
+// interleave A/B/A/B so host-load drift lands on both alike — the
+// sequential design (all of A, then all of B, seconds apart) showed 2x
+// ratio swings that were nothing but the box changing gear between legs.
+class CompactionRun {
+ public:
+  CompactionRun(const BenchConfig& cfg, int waves)
+      : cfg_(cfg),
+        waves_(waves),
+        a_(cfg),
+        key_(cfg.keyBytes),
+        jitterStep_(cfg.valueBytes / 8 < 8 ? 8 : cfg.valueBytes / 8),
+        value_(cfg.valueBytes / 2 + 8 * jitterStep_, std::byte{0x44}),
+        rng_(cfg.seed * 104729 + 17) {}
+
+  CompactionLeg leg;
+
+  // Ingest + churn waves: every id gets a fresh jittered-size value
+  // (resize = free + alloc), then 4/5 of the range is bulk-removed.  The
+  // version-GC drain matters: removed values stay live in their chains
+  // until collected, and slices the collector hasn't freed don't count
+  // against occupancy.
+  bool prepare() {
+    double ingestKops = 0;
+    OomKind kind = OomKind::None;
+    if (!ingestStage(a_, cfg_, cfg_.keyRange / 2, &ingestKops, &kind)) {
+      std::fprintf(stderr, "compaction bench: ingest OOM (%s)\n",
+                   oomKindName(kind));
+      leg.verrors = 1;
+      return false;
+    }
+    for (int w = 0; w < waves_; ++w) {
+      for (std::uint64_t id = 0; id < cfg_.keyRange; ++id) {
+        makeKey({key_.data(), key_.size()}, id);
+        std::size_t vlen =
+            cfg_.valueBytes / 2 + jitterStep_ * rng_.nextBounded(9);
+        if (vlen < 8) vlen = 8;
+        oak::storeUnaligned<std::uint64_t>(value_.data(), id);
+        a_.put({key_.data(), key_.size()}, {value_.data(), vlen});
+      }
+      for (std::uint64_t id = 0; id < cfg_.keyRange; ++id) {
+        if ((id + static_cast<std::uint64_t>(w)) % 5 == 0) continue;
+        makeKey({key_.data(), key_.size()}, id);
+        a_.remove({key_.data(), key_.size()});
+      }
+      drain(true);
+    }
+    return true;
+  }
+
+  // Sampled stage: steady-state churn (put/remove/get, jittered sizes) on
+  // cfg.threads mutators with the relocator still armed.  Steady churn
+  // keeps arenas dense — first-fit refills holes as fast as removes open
+  // them — so the armed trigger mostly declines after its occupancy probe
+  // and only occasionally finds a real victim; the sampled puts measure
+  // that product steady state, against leg A's identical mix on a
+  // fragmented, never-compacted map.  The first quarter of each worker's
+  // ops is warm-up: evacuation flushed the size-class magazines, and the
+  // refill transient is not the cost the gate is after.
+  PutLat stageRep(int rep) {
+    PutLat put;
+    const unsigned nThreads = cfg_.threads == 0 ? 1 : cfg_.threads;
+    const std::uint64_t opsPerThread = 4 * cfg_.keyRange / nThreads;
+    std::vector<std::vector<double>> ns(nThreads);
+    std::atomic<bool> start{false};
+    auto mutator = [&](unsigned t) {
+      oak::XorShift trng(cfg_.seed * 7919 + t * 104729 +
+                         static_cast<std::uint64_t>(rep) * 15485863 + 31);
+      std::vector<std::byte> tkey(cfg_.keyBytes);
+      std::vector<std::byte> tvalue(value_.size(), std::byte{0x44});
+      ns[t].reserve(opsPerThread / 2);
+      const std::uint64_t warm = opsPerThread / 4;
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::uint64_t i = 0; i < opsPerThread; ++i) {
+        const std::uint64_t id = trng.nextBounded(cfg_.keyRange);
+        makeKey({tkey.data(), tkey.size()}, id);
+        const oak::ByteSpan k{tkey.data(), tkey.size()};
+        const auto pct = trng.nextBounded(100);
+        if (pct < 50) {
+          std::size_t vlen =
+              cfg_.valueBytes / 2 + jitterStep_ * trng.nextBounded(9);
+          if (vlen < 8) vlen = 8;
+          oak::storeUnaligned<std::uint64_t>(tvalue.data(), id);
+          if (i >= warm) {
+            const auto t0 = std::chrono::steady_clock::now();
+            a_.put(k, {tvalue.data(), vlen});
+            ns[t].push_back(std::chrono::duration<double, std::nano>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count());
+          } else {
+            a_.put(k, {tvalue.data(), vlen});
+          }
+        } else if (pct < 80) {
+          a_.remove(k);
+        } else {
+          Blackhole bh;
+          a_.get(k, bh);
+        }
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(nThreads);
+    for (unsigned t = 0; t < nThreads; ++t) threads.emplace_back(mutator, t);
+    start.store(true, std::memory_order_release);
+    for (auto& th : threads) th.join();
+    std::vector<double> sampleNs;
+    for (auto& v : ns) sampleNs.insert(sampleNs.end(), v.begin(), v.end());
+    std::sort(sampleNs.begin(), sampleNs.end());
+    put.ops = sampleNs.size();
+    if (!sampleNs.empty()) {
+      put.p50Ns = sampleNs[sampleNs.size() / 2];
+      put.p99Ns =
+          sampleNs[std::min(sampleNs.size() - 1, sampleNs.size() * 99 / 100)];
+    }
+    drain(true);
+    return put;
+  }
+
+  // Leg B catches up at quiescent points — the off-hot-path slot the
+  // background service targets.  The bulk of the relocation work happens
+  // here, between waves and stage reps, exactly as deployed: evacuation
+  // fires when occupancy probes find whole arenas of slack, not raced
+  // head-to-head against every put.
+  void drain(bool catchUp) {
+    a_.collectVersionsNow();
+    a_.quiesce();
+    if (catchUp && cfg_.compaction) {
+      for (int r = 0; r < 2; ++r) leg.retired += a_.compactNow();
+    }
+  }
+
+  void settleAndSnapshot() {
+    if (cfg_.compaction) {
+      // Settle: quiescent relocation passes so the final footprint is
+      // deterministic (the background trigger is amortized and may not
+      // have caught the last rep's garbage yet).
+      for (int r = 0; r < 4; ++r) leg.retired += a_.compactNow();
+    }
+    a_.quiesce();
+    const oak::obs::Metrics m = a_.metrics();
+    leg.arenaBlocksAfter = m.alloc.arenaBlocks;
+    leg.footprintAfter = m.alloc.footprintBytes;
+    leg.evacRuns = m.registry.counter(oak::obs::Counter::EvacuationRuns);
+    leg.arenasEvacuated =
+        m.registry.counter(oak::obs::Counter::ArenasEvacuated);
+    leg.slicesRelocated =
+        m.registry.counter(oak::obs::Counter::SlicesRelocated);
+    leg.bytesRelocated = m.registry.counter(oak::obs::Counter::BytesRelocated);
+    if (validationEnabled()) leg.verrors += a_.validateStructure();
+  }
+
+ private:
+  BenchConfig cfg_;
+  int waves_;
+  OakAdapter a_;
+  std::vector<std::byte> key_;
+  std::size_t jitterStep_;
+  std::vector<std::byte> value_;
+  oak::XorShift rng_;
+};
+
+/// Median-p99 rep of a leg's stage measurements.
+PutLat medianByP99(std::vector<PutLat> lats) {
+  std::sort(lats.begin(), lats.end(),
+            [](const PutLat& x, const PutLat& y) { return x.p99Ns < y.p99Ns; });
+  return lats[lats.size() / 2];
+}
+
+int runCompaction(const Options& o) {
+  BenchConfig cfg;
+  cfg.keyRange = o.size;
+  cfg.keyBytes = o.keySize;
+  cfg.valueBytes = o.valueSize;
+  cfg.threads = o.threads.empty() ? 2 : o.threads.front();
+  cfg.shards = o.shards.empty() ? 1 : o.shards.front();
+  cfg.maintThreads = o.maintThreads;
+  cfg.generationalValues = true;
+  // Pace background evacuation through the maintenance rate limiter (each
+  // queued evacuation run declares 1 MiB): the gate certifies the armed,
+  // paced relocator the product ships, not an unthrottled storm racing the
+  // sampled wave.  Catch-up and settle passes call compactNow() directly
+  // and stay unthrottled.
+  cfg.maintRateLimitBytesPerSec = envSize("OAK_BENCH_COMPACTION_RATE", 1u << 20);
+  // Evacuation scores whole blocks; 1 MiB arenas give it real granularity
+  // at smoke scale (an 8 MiB block hosts the entire surviving live set and
+  // never drops below the threshold).
+  cfg.blockBytes = 1u << 20;
+  cfg.compactionOccupancy = 0.6;
+  // The wave high-water mark holds the full range live at once plus the
+  // pre-remove copies; budget the pool for that, not the surviving 1/5.
+  cfg.offHeapSlackPct = 150;
+  cfg.totalRamBytes = std::max(cfg.rawDataBytes() * 4, std::size_t{256} << 20);
+
+  const int waves = static_cast<int>(envSize("OAK_BENCH_COMPACTION_WAVES", 3));
+
+  std::printf("compaction bench: %zu keys (%zuB keys, %zuB values), %d waves "
+              "(last one latency-sampled), %zu shard(s), %zuKiB blocks\n",
+              cfg.keyRange, cfg.keyBytes, cfg.valueBytes, waves, cfg.shards,
+              cfg.blockBytes >> 10);
+
+  // Leg A: relocation off — the put-latency baseline and the
+  // no-evacuation arena high-water mark.  Leg B: identical churn with
+  // background compaction on.  Both maps are prepared first, then the
+  // sampled reps alternate A/B so a host-load shift hits both legs.
+  BenchConfig base = cfg;
+  base.compaction = false;
+  BenchConfig on = cfg;
+  on.compaction = true;
+  CompactionRun runA(base, waves);
+  CompactionRun runB(on, waves);
+  double pairedRatio = 0;
+  if (runA.prepare() && runB.prepare()) {
+    const int reps =
+        static_cast<int>(envSize("OAK_BENCH_COMPACTION_REPS", 5));
+    std::vector<PutLat> latsA, latsB;
+    std::vector<double> repRatios;
+    for (int rep = 0; rep < reps; ++rep) {
+      latsA.push_back(runA.stageRep(rep));
+      latsB.push_back(runB.stageRep(rep));
+      if (latsA.back().p99Ns > 0) {
+        repRatios.push_back(latsB.back().p99Ns / latsA.back().p99Ns);
+      }
+    }
+    runA.leg.put = medianByP99(std::move(latsA));
+    runB.leg.put = medianByP99(std::move(latsB));
+    if (!repRatios.empty()) {
+      // Gate on the median of the per-rep ratios: each rep's A and B
+      // stages run back-to-back, so a host-load shift cancels within the
+      // pair instead of skewing one leg's whole median.
+      std::sort(repRatios.begin(), repRatios.end());
+      pairedRatio = repRatios[repRatios.size() / 2];
+    }
+    runA.settleAndSnapshot();
+    runB.settleAndSnapshot();
+  }
+  const CompactionLeg& a = runA.leg;
+  const CompactionLeg& b = runB.leg;
+  std::printf("compaction bench: baseline put p50 %.0fns p99 %.0fns, "
+              "%llu arena blocks after churn\n",
+              a.put.p50Ns, a.put.p99Ns,
+              static_cast<unsigned long long>(a.arenaBlocksAfter));
+  const double ratio = pairedRatio;
+  std::printf("compaction bench: relocating put p50 %.0fns p99 %.0fns "
+              "(ratio %.3f), arenas %llu -> %llu, %zu retired in settle, "
+              "%llu slices / %llu bytes moved\n",
+              b.put.p50Ns, b.put.p99Ns, ratio,
+              static_cast<unsigned long long>(a.arenaBlocksAfter),
+              static_cast<unsigned long long>(b.arenaBlocksAfter), b.retired,
+              static_cast<unsigned long long>(b.slicesRelocated),
+              static_cast<unsigned long long>(b.bytesRelocated));
+
+  std::printf(
+      "COMPACTION {\"pairs\":%zu,\"waves\":%d,\"sampled_puts\":%llu,"
+      "\"threads\":%u,\"shards\":%zu,\"value_bytes\":%zu,\"block_bytes\":%zu,"
+      "\"base_put_p50_ns\":%.0f,\"base_put_p99_ns\":%.0f,"
+      "\"base_arena_blocks\":%llu,\"base_footprint_bytes\":%llu,"
+      "\"compact_put_p50_ns\":%.0f,\"compact_put_p99_ns\":%.0f,"
+      "\"put_p99_ratio\":%.4f,"
+      "\"arena_blocks_after\":%llu,\"footprint_after\":%llu,"
+      "\"arenas_retired\":%zu,\"evacuation_runs\":%llu,"
+      "\"arenas_evacuated\":%llu,\"slices_relocated\":%llu,"
+      "\"bytes_relocated\":%llu,\"validation_errors\":%zu}\n",
+      cfg.keyRange, waves, static_cast<unsigned long long>(b.put.ops),
+      cfg.threads, cfg.shards, cfg.valueBytes, cfg.blockBytes,
+      a.put.p50Ns, a.put.p99Ns,
+      static_cast<unsigned long long>(a.arenaBlocksAfter),
+      static_cast<unsigned long long>(a.footprintAfter),
+      b.put.p50Ns, b.put.p99Ns, ratio,
+      static_cast<unsigned long long>(b.arenaBlocksAfter),
+      static_cast<unsigned long long>(b.footprintAfter),
+      b.retired, static_cast<unsigned long long>(b.evacRuns),
+      static_cast<unsigned long long>(b.arenasEvacuated),
+      static_cast<unsigned long long>(b.slicesRelocated),
+      static_cast<unsigned long long>(b.bytesRelocated),
+      a.verrors + b.verrors);
+  std::fflush(stdout);
+  return a.verrors + b.verrors == 0 ? 0 : 1;
+}
+
 std::vector<std::string> splitList(const char* s) {
   std::vector<std::string> out;
   std::string cur;
@@ -572,6 +885,7 @@ int main(int argc, char** argv) {
   }
 
   if (o.scenario == "recovery") return runRecovery(o);
+  if (o.scenario == "compaction") return runCompaction(o);
 
   if (!anyArg) {
     // Quick sweep of all canned scenarios (CI-friendly defaults).

@@ -74,12 +74,15 @@ class OakAdapter {
     // under <storageDir>/arenas, the same layout ShardedOakCoreMap would
     // pick for an owned pool.
     pool_ = std::make_unique<mem::BlockPool>(mem::BlockPool::Config{
-        .blockBytes = 8u << 20,
+        .blockBytes = cfg.blockBytes,
         .budgetBytes = split.offHeapBytes,
         .storageDir =
             cfg.storageDir.empty() ? std::string{} : cfg.storageDir + "/arenas"});
     auto mem = MemConfig{}.withMetaHeap(heap_.get()).withPool(pool_.get());
     if (cfg.generationalValues) mem.withReclaim(ValueReclaim::Generational);
+    if (cfg.compaction) {
+      mem.withCompaction(true).withCompactionOccupancy(cfg.compactionOccupancy);
+    }
     auto shard = OakConfig{}
                      .withChunkCapacity(2048)
                      .withMem(mem)
@@ -177,6 +180,13 @@ class OakAdapter {
     }
     return cnt;
   }
+
+  // Evacuation controls for the compaction bench: explicit relocation
+  // passes, version-GC drain (removed values stay live until their chains
+  // retire), and a write-quiescent barrier between churn waves.
+  std::size_t compactNow() { return map_->compactNow(); }
+  std::uint64_t collectVersionsNow() { return map_->collectVersionsNow(); }
+  void quiesce() { map_->quiesce(); }
 
   // Durability controls for the recovery bench (no-ops when the config
   // carried no storageDir).

@@ -58,6 +58,16 @@ struct BenchConfig {
   std::size_t maintRateLimitBytesPerSec = 0;
   std::size_t maintQueueDepth = 256;
 
+  /// Arena block size for the off-heap pools.  The compaction scenario
+  /// shrinks this: evacuation scores whole blocks, and at smoke scale an
+  /// 8 MiB block never drops below the occupancy threshold.
+  std::size_t blockBytes = 8u << 20;
+  /// Run the Oak adapter with background arena evacuation enabled
+  /// (MemConfig compaction knobs); the A leg of --scenario compaction
+  /// leaves it off for the put-p99 baseline.
+  bool compaction = false;
+  double compactionOccupancy = 0.25;
+
   /// Non-empty → the Oak adapter runs durable: mmap-backed arenas under
   /// <storageDir>/arenas plus a WAL + checkpoints in <storageDir> (--storage-dir).
   std::string storageDir;

@@ -63,6 +63,15 @@ class FirstFitAllocator {
   /// Allocates `len` bytes off-heap. Thread-safe. Throws OffHeapOutOfMemory.
   Ref alloc(std::uint32_t len);
 
+  /// Allocates `len` bytes in the *pinned* domain: dedicated arenas that are
+  /// never evacuation victims, so the returned slice's physical address is
+  /// stable for the allocation's whole life.  Value headers live here —
+  /// OakRBuffer escapes EBR guards holding raw header pointers, so headers
+  /// must never move (DESIGN.md §13).  Pinned slices are freed through the
+  /// ordinary free(); routing is by block.  Thread-safe; throws
+  /// OffHeapOutOfMemory.
+  Ref allocPinned(std::uint32_t len);
+
   /// Returns a previously allocated reference to the free list. Thread-safe.
   /// Returns false (checked builds: aborts) when `ref` is null, not owned by
   /// this allocator, or already free — the free list is left untouched, so a
@@ -162,6 +171,75 @@ class FirstFitAllocator {
     return depot_.missCount();
   }
 
+  // ── Arena evacuation (DESIGN.md §13) ────────────────────────────────────
+  //
+  // The relocation pass marks sparse arenas with beginEvacuate(), copies
+  // every live slice out (the map layer owns that walk), and calls
+  // finishEvacuate() once the arena provably holds no live slice.  While a
+  // block is marked:
+  //  * tryFreeList() skips its segments, so no new allocation lands in it;
+  //  * free() bypasses the magazines for its slices (straight to the flat
+  //    free list), and magazine pops that surface one of its cached
+  //    segments park it on the free list instead of handing it out.
+  // finishEvacuate() succeeds only when the block's free-list segments plus
+  // its recorded waste bytes tile the whole arena — an in-flight allocation
+  // holds its segment *out* of the list, so the tiling check cannot pass
+  // while any slice is live or being carved.
+
+  /// Per-block occupancy snapshot for evacuation scoring.
+  struct BlockOccupancy {
+    std::uint32_t block;
+    std::uint64_t liveBytes;  ///< bytes handed out of this block, not yet freed
+    bool pinned;              ///< pinned domain (never an evacuation victim)
+    bool evacuating;          ///< beginEvacuate() marked, not yet finished
+    bool current;             ///< hosts a bump cursor (data or pinned)
+  };
+  std::vector<BlockOccupancy> blockOccupancy();
+
+  /// Marks `block` as an evacuation victim.  Refuses (returns false) blocks
+  /// this allocator does not own, pinned blocks, the current bump block, the
+  /// block hosting the un-released emergency reserve, and blocks already
+  /// marked.  After marking victims the caller must flushMagazines() so
+  /// previously-cached victim segments return to the free list.
+  bool beginEvacuate(std::uint32_t block);
+  /// Clears the victim mark; the block becomes allocatable again.
+  void abortEvacuate(std::uint32_t block);
+  /// Releases a fully-evacuated victim back to the pool: verifies the
+  /// free-segment tiling, purges the block's free-list entries, poisons the
+  /// arena, and returns its id (and budget) to the BlockPool.  Returns false
+  /// when the block still holds live (or in-flight) slices — the caller
+  /// retries next pass or aborts.
+  bool finishEvacuate(std::uint32_t block);
+  bool isEvacuating(std::uint32_t block) const noexcept {
+    return block < Ref::kMaxBlocks &&
+           evacuating_[block].load(std::memory_order_acquire);
+  }
+
+  /// Releases every owned arena whose free segments + waste tile the whole
+  /// block (no live slice).  Called from the grow path under terminal
+  /// pressure so fully-dead-but-unreleased arenas don't count toward the
+  /// budget and trip ResourceExhausted prematurely; also callable directly.
+  /// Returns the number of arenas released.
+  std::size_t releaseDeadArenas();
+
+  /// Empties every magazine + global stack into the flat free list (public
+  /// face of the grow path's terminal-pressure drain; evacuation uses it to
+  /// flush cached victim segments).
+  void flushMagazines() { (void)drainMagazinesToFreeList(); }
+
+  /// Evacuation gauges.
+  std::size_t pinnedBlocks() const noexcept {
+    return nPinned_.load(std::memory_order_relaxed);
+  }
+  std::size_t evacuatingBlocks() const noexcept {
+    return nEvacuating_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t liveBytesInBlock(std::uint32_t block) const noexcept {
+    return block < Ref::kMaxBlocks
+               ? liveBytes_[block].load(std::memory_order_relaxed)
+               : 0;
+  }
+
   /// Hands the carved emergency reserve to the free list.  Returns false
   /// when no reserve is held (never configured, not yet carved, or already
   /// released).  The reserve is released at most once.
@@ -202,9 +280,20 @@ class FirstFitAllocator {
     return n < kAlign ? kAlign : ((n + kAlign - 1) & ~(kAlign - 1));
   }
 
-  Ref tryBump(std::uint32_t need);
+  Ref tryBump(std::uint32_t need) { return tryBumpOn(cur_, need); }
+  Ref tryBumpOn(std::atomic<std::uint64_t>& cursor, std::uint32_t need);
   Ref tryFreeList(std::uint32_t need) OAK_EXCLUDES(freeMu_);
-  void newBlockLocked(std::uint32_t need) OAK_REQUIRES(growMu_);
+  Ref tryPinnedFreeList(std::uint32_t need) OAK_EXCLUDES(freeMu_);
+  void newBlockLocked(std::uint32_t need, bool pinned) OAK_REQUIRES(growMu_);
+  /// Magazine pops route evacuating-block segments back to the flat free
+  /// list (returns true) instead of handing them out.
+  bool parkIfEvacuating(Ref seg);
+  std::size_t releaseDeadArenasLocked() OAK_REQUIRES(growMu_);
+  /// Drops every free-list entry belonging to `id` (both domains).
+  void purgeFreeSegmentsLocked(std::uint32_t id) OAK_REQUIRES(freeMu_);
+  /// Poisons, forgets, and returns `id` to the pool.  The block must hold no
+  /// live slice and no free-list entry.
+  void releaseBlockLocked(std::uint32_t id) OAK_REQUIRES(growMu_);
   /// Stamps the slice header, flips the bitmap bit, unpoisons, accounts.
   /// `seg` is a raw segment of exactly `need` bytes (the class size for
   /// magazine-eligible allocations, roundUp(len) + header otherwise).
@@ -223,13 +312,18 @@ class FirstFitAllocator {
   BlockPool& pool_;
 
   // Packed current-arena cursor: [block:20 | offset:40] (offset is bounded by
-  // the 26-bit Ref range anyway).
+  // the 26-bit Ref range anyway).  pinnedCur_ is the same thing for the
+  // pinned domain.
   std::atomic<std::uint64_t> cur_{0};
+  std::atomic<std::uint64_t> pinnedCur_{0};
   Mutex growMu_ OAK_ACQUIRED_BEFORE(freeMu_);
 
-  // Flat free list: vector of free segments scanned first-fit.
+  // Flat free list: vector of free segments scanned first-fit.  The pinned
+  // domain keeps its own list so data-domain allocations can never be
+  // served from (and thereby un-tile) a pinned arena.
   mutable SpinLock freeMu_;
   std::vector<Ref> freeList_ OAK_GUARDED_BY(freeMu_);
+  std::vector<Ref> pinnedFree_ OAK_GUARDED_BY(freeMu_);
   std::atomic<std::uint64_t> freeCount_{0};
 
   // Emergency reserve: a raw segment (same format as free-list entries)
@@ -245,6 +339,18 @@ class FirstFitAllocator {
   std::atomic<std::atomic<std::uint64_t>*> allocMap_[Ref::kMaxBlocks];
   std::vector<std::uint32_t> owned_ OAK_GUARDED_BY(growMu_);
   std::atomic<std::size_t> nOwned_{0};
+
+  // Per-block accounting for evacuation: bytes handed out and not yet freed
+  // (occupancy scoring), bytes dropped without a free-list entry (arena-
+  // switch tails too small to salvage — so the tiling check can still close),
+  // and the pinned / evacuating flags that drive alloc- and free-path
+  // routing.
+  std::atomic<std::uint64_t> liveBytes_[Ref::kMaxBlocks] = {};
+  std::atomic<std::uint32_t> wasteBytes_[Ref::kMaxBlocks] = {};
+  std::atomic<bool> pinned_[Ref::kMaxBlocks] = {};
+  std::atomic<bool> evacuating_[Ref::kMaxBlocks] = {};
+  std::atomic<std::size_t> nPinned_{0};
+  std::atomic<std::size_t> nEvacuating_{0};
 
   // Size-class magazine front-end (mem/magazine.hpp).  magsEnabled_ is
   // fixed before the first allocation; see setMagazinesEnabled().

@@ -41,8 +41,13 @@ class MemoryManager {
     return r;
   }
 
-  /// Raw allocation (value headers/payloads, baseline cells).
+  /// Raw allocation (value payloads, version nodes, baseline cells).
   Ref allocRaw(std::uint32_t len) { return alloc_.alloc(len); }
+
+  /// Pinned allocation: the slice's physical address is stable for its whole
+  /// life (never an evacuation victim).  Value headers — which escape EBR
+  /// guards as raw pointers inside OakRBuffer — live here.
+  Ref allocPinned(std::uint32_t len) { return alloc_.allocPinned(len); }
 
   /// Returns false (or aborts in checked builds) when `r` was already freed
   /// or never allocated — see FirstFitAllocator::free.
@@ -78,6 +83,9 @@ class MemoryManager {
     s.freeCount = alloc_.freeOpCount();
     s.freedBytes = alloc_.freedBytes();
     s.freeListLength = alloc_.freeListLength();
+    s.arenaBlocks = alloc_.ownedBlocks();
+    s.pinnedBlocks = alloc_.pinnedBlocks();
+    s.evacuatingBlocks = alloc_.evacuatingBlocks();
     const mem::MagazineDepot::Stats mag = alloc_.magazineStats();
     s.magHits = mag.hits;
     s.magGlobalHits = mag.globalHits;

@@ -285,8 +285,7 @@ class ChunkWalker {
     const std::uint64_t v = c->entry(ei).valRef.load(std::memory_order_acquire);
     if (v == 0) return;  // ⊥ — legal (insert in flight or cleared remove)
     const detail::VRef vref{v};
-    const mem::Ref headerRef = mem::Ref::make(vref.block(), vref.byteOffset(),
-                                              detail::kValueHeaderBytes);
+    const mem::Ref headerRef = detail::headerRef(vref);
     // Probe liveness BEFORE building a ValueCell: its constructor translates
     // the header reference, which checked builds validate (and abort on).
     if (!alloc.isLive(headerRef)) {

@@ -64,6 +64,14 @@ struct MemConfig {
   /// Size-class magazine layer for this instance's allocator.  Unset defers
   /// to the OAK_MAGAZINES environment gate (default on).
   std::optional<bool> magazines;
+  /// Background arena evacuation (slice relocation + compaction).  Unset
+  /// defers to the OAK_COMPACTION environment gate (default off — opt-in;
+  /// compactNow() always works regardless).
+  std::optional<bool> compaction;
+  /// Occupancy threshold for victim selection: an arena whose live bytes
+  /// are at or below this fraction of the block is evacuation-eligible.
+  /// Unset defers to OAK_COMPACTION_OCCUPANCY (percent), then 25%.
+  std::optional<double> compactionOccupancy;
   /// Storage directory for durability (DESIGN.md §12).  Set → the map is
   /// durable: file-backed arenas under <dir>/arenas, a WAL, checkpoints and
   /// crash recovery in <dir>.  One map per directory.  Unset defers to
@@ -79,6 +87,11 @@ struct MemConfig {
     return *this;
   }
   MemConfig& withMagazines(bool on) { magazines = on; return *this; }
+  MemConfig& withCompaction(bool on) { compaction = on; return *this; }
+  MemConfig& withCompactionOccupancy(double frac) {
+    compactionOccupancy = frac;
+    return *this;
+  }
   MemConfig& withStorageDir(std::string dir) {
     storageDir = std::move(dir);
     return *this;
@@ -157,6 +170,14 @@ struct OakConfig {
   bool effectiveMagazines() const noexcept {
     if (mem.magazines.has_value()) return *mem.magazines;
     return env::flag("OAK_MAGAZINES", true);
+  }
+  bool effectiveCompaction() const noexcept {
+    if (mem.compaction.has_value()) return *mem.compaction;
+    return env::flag("OAK_COMPACTION", false);
+  }
+  double effectiveCompactionOccupancy() const noexcept {
+    if (mem.compactionOccupancy.has_value()) return *mem.compactionOccupancy;
+    return static_cast<double>(env::u64("OAK_COMPACTION_OCCUPANCY", 25)) / 100.0;
   }
   /// Resolved storage directory; nullopt = in-memory map.  An explicitly
   /// set empty string disables durability, overriding OAK_STORAGE_DIR.
@@ -242,6 +263,8 @@ class OakCoreMap {
       mm_.allocator().setMagazinesEnabled(*cfg_.mem.magazines);
     }
     if (cfg_.effectiveReclaim() == ValueReclaim::Generational) headerPool_.emplace(mm_);
+    compactionEnabled_ = cfg_.effectiveCompaction();
+    compactionOccupancy_ = cfg_.effectiveCompactionOccupancy();
     ChunkT* head = ChunkT::make(metaHeap_, mm_, cmp_, ByteVec{}, cfg_.chunkCapacity);
     head_.store(head, std::memory_order_release);
     index_.put(ByteVec{}, head);
@@ -416,6 +439,7 @@ class OakCoreMap {
     doPut(key, value, nullptr, PutOp::Put, old, &replaced);
     walLogPut(key, value);
     maybeCollectVersions();
+    maybeEvacuate();
     return replaced;
   }
 
@@ -425,6 +449,7 @@ class OakCoreMap {
     const bool ok = doPut(key, value, nullptr, PutOp::PutIfAbsent, nullptr, nullptr);
     if (ok) walLogPut(key, value);
     maybeCollectVersions();
+    maybeEvacuate();
     return ok;
   }
 
@@ -437,6 +462,7 @@ class OakCoreMap {
     doPut(key, value, &fn, PutOp::PutIfAbsentComputeIfPresent, nullptr, nullptr);
     walLogPostImage(key);
     maybeCollectVersions();
+    maybeEvacuate();
   }
 
   /// computeIfPresent (§4.4): true iff a live value existed and `func` ran.
@@ -447,6 +473,7 @@ class OakCoreMap {
     const bool ok = doIfPresent(key, &fn, IfPresentOp::Compute, nullptr);
     if (ok) walLogPostImage(key);
     maybeCollectVersions();
+    maybeEvacuate();
     return ok;
   }
 
@@ -457,6 +484,7 @@ class OakCoreMap {
     const bool ok = doIfPresent(key, nullptr, IfPresentOp::Remove, old);
     if (ok) walLogRemove(key);
     maybeCollectVersions();
+    maybeEvacuate();
     return ok;
   }
 
@@ -872,6 +900,82 @@ class OakCoreMap {
   /// The service this map submits to (owned or shared); null when
   /// maintenance is inline.
   maint::MaintenanceService* maintenanceService() noexcept { return maintSvc_; }
+
+  // ==================================================== arena evacuation
+  /// Evacuates sparse arenas (DESIGN.md §13): marks blocks whose live-byte
+  /// occupancy is at or below the configured threshold, copies every live
+  /// slice they still host into fresh arenas — keys via a publish-protected
+  /// entry CAS (old slices EBR-retired for in-flight readers), payloads and
+  /// version nodes under the value write lock; value headers are pinned and
+  /// never move — then returns the emptied blocks to the pool.  Serialized
+  /// against itself; readers and mutators stay fully concurrent.  Returns
+  /// the number of arenas retired.  The OAK_COMPACTION background trigger
+  /// routes here through the maintenance service.
+  std::size_t compactNow() {
+    // oaklint: allow(R5, serializes whole evacuation runs against each
+    // other only; never taken under an EBR guard or on any read path)
+    MutexLock lk(compactMu_);
+    stats_.incCounter(obs::Counter::EvacuationRuns);
+    mem::FirstFitAllocator& alloc = mm_.allocator();
+    const auto blockBytes = static_cast<double>(pool_.blockBytes());
+    // Score sparsest-first and cap the victim set so one run cannot hold
+    // whole arenas out of circulation for long.
+    std::vector<mem::FirstFitAllocator::BlockOccupancy> occ = alloc.blockOccupancy();
+    std::sort(occ.begin(), occ.end(), [](const auto& a, const auto& b) {
+      return a.liveBytes < b.liveBytes;
+    });
+    constexpr std::size_t kMaxVictimsPerRun = 8;
+    std::vector<std::uint32_t> victims;
+    for (const auto& b : occ) {
+      if (victims.size() >= kMaxVictimsPerRun) break;
+      if (b.pinned || b.evacuating || b.current) continue;
+      if (static_cast<double>(b.liveBytes) > compactionOccupancy_ * blockBytes) {
+        break;  // sorted ascending: nothing sparser follows
+      }
+      if (alloc.beginEvacuate(b.block)) victims.push_back(b.block);
+    }
+    if (victims.empty()) return 0;
+    // Victim slices cached in magazines must reach the flat free list (any
+    // free AFTER the mark above already bypasses the magazines); one drain
+    // covers every victim marked this run.
+    alloc.flushMagazines();
+
+    bool victimSet[mem::Ref::kMaxBlocks] = {};
+    for (const std::uint32_t b : victims) victimSet[b] = true;
+    const auto isVictim = [&victimSet](std::uint32_t block) {
+      return block < mem::Ref::kMaxBlocks && victimSet[block];
+    };
+
+    bool aborted = false;
+    try {
+      // A sweep can miss entries a concurrent rebalance re-homes mid-walk;
+      // repeat until a pass moves nothing.  Convergence: frees into a
+      // marked block never re-enter circulation (tryFreeList skips it,
+      // magazine pops park), so the set of victim-resident slices only
+      // shrinks.
+      for (int pass = 0; pass < 3; ++pass) {
+        const std::uint64_t moved = relocatePass(isVictim);
+        quiesce();  // let EBR-retired old key slices reach the free list
+        if (moved == 0) break;
+      }
+    } catch (const std::bad_alloc&) {
+      // OOM mid-evacuation: every slice already moved is individually
+      // consistent (each moves atomically under its own fence), so just
+      // stop and unmark — the next run picks up where this one left off.
+      aborted = true;
+    }
+    quiesce();
+    std::size_t retired = 0;
+    for (const std::uint32_t b : victims) {
+      if (!aborted && alloc.finishEvacuate(b)) {
+        ++retired;
+        stats_.incCounter(obs::Counter::ArenasEvacuated);
+      } else {
+        alloc.abortEvacuate(b);
+      }
+    }
+    return retired;
+  }
 
   // ================================================= durability lifecycle
   /// True when this map persists to a storage directory (DESIGN.md §12).
@@ -1793,6 +1897,119 @@ class OakCoreMap {
     }
   }
 
+  // ----------------------------------------------------- arena evacuation
+  /// One relocation sweep: walks every reachable chunk and re-homes the
+  /// live slices victim blocks still host.  Returns the slices moved.
+  template <class IsVictim>
+  std::uint64_t relocatePass(const IsVictim& isVictim) {
+    sync::Ebr::Guard g(ebr_);
+    std::uint64_t movedSlices = 0;
+    std::uint64_t movedBytes = 0;
+    // Old key slices cannot be freed inline: an in-guard reader may have
+    // loaded the old bits before our CAS, so they go through EBR — exactly
+    // the rebalancer's dead-key protocol.
+    auto deadKeys = std::make_unique<std::vector<mem::Ref>>();
+    const auto retireDeadKeys = [&] {
+      if (deadKeys->empty()) return;
+      ebr_.retire(
+          deadKeys.get(),
+          [](void* p, void* ctx) {
+            auto* self = static_cast<OakCoreMap*>(ctx);
+            auto* keys = static_cast<std::vector<mem::Ref>*>(p);
+            for (const mem::Ref k : *keys) self->mm_.free(k);
+            delete keys;
+          },
+          this);
+      deadKeys.release();
+    };
+    try {
+      for (ChunkT* c = firstChunk(); c != nullptr;
+           c = c->nextChunk().load(std::memory_order_acquire)) {
+        if (c->rebalancedTo().load(std::memory_order_acquire) != nullptr) {
+          continue;  // retired: its live entries reappear in the fresh chunk
+        }
+        // Chaos site: an allocation failure mid-evacuation must leave every
+        // already-moved slice consistent and the run abortable.
+        OAK_FAULT_POINT("mem.evacuate", OffHeapOutOfMemory);
+        // Walk linked entries only: an allocated-but-unlinked cell is owned
+        // by an in-flight doPut that may still free its local keyRef.
+        for (std::int32_t ei = c->headEntry(); ei != ChunkT::kNone;
+             ei = c->entry(ei).next.load(std::memory_order_acquire)) {
+          auto& e = c->entry(ei);
+          const std::uint64_t kbits = e.keyRef.load(std::memory_order_acquire);
+          const mem::Ref kref{kbits};
+          if (kbits != 0 && isVictim(kref.block())) {
+            mem::Ref fresh = mm_.allocateKey(mm_.keyBytes(kref));
+            // publish() fences against freeze: collectLive must not run
+            // between our load and CAS, or the fresh slice could miss the
+            // migration while the old one is retired under us.
+            if (!c->publish()) {
+              mm_.free(fresh);
+              break;  // frozen: the rebalancer re-homes these entries
+            }
+            std::uint64_t expected = kbits;
+            const bool swung = e.keyRef.compare_exchange_strong(
+                expected, fresh.bits(), std::memory_order_acq_rel);
+            c->unpublish();
+            if (swung) {
+              deadKeys->push_back(kref);
+              ++movedSlices;
+              movedBytes += kref.length();
+            } else {
+              mm_.free(fresh);  // raced — the next pass retries
+            }
+          }
+          const std::uint64_t v = e.valRef.load(std::memory_order_acquire);
+          if (v != 0) {
+            const detail::ValueCell::RelocOutcome out =
+                detail::ValueCell(mm_, detail::VRef{v}).relocateSlices(isVictim);
+            movedSlices += out.slices;
+            movedBytes += out.bytes;
+          }
+        }
+      }
+    } catch (...) {
+      retireDeadKeys();  // already-swung keys' old slices must still reclaim
+      throw;
+    }
+    retireDeadKeys();
+    if (movedSlices != 0) {
+      stats_.incCounter(obs::Counter::SlicesRelocated, movedSlices);
+      stats_.incCounter(obs::Counter::BytesRelocated, movedBytes);
+    }
+    return movedSlices;
+  }
+
+  /// Amortized evacuation trigger, called from the update wrappers AFTER
+  /// their EBR guard is released (compactNow quiesces, so it must never run
+  /// under a guard).  Cheap tick gate, then a footprint probe — scanning
+  /// occupancy is only worth it when whole arenas of slack exist — then the
+  /// checkpoint job's dedupe-flag pattern.
+  void maybeEvacuate() {
+    if (!compactionEnabled_) return;
+    if ((evacTick_.fetch_add(1, std::memory_order_relaxed) & 4095u) != 0) return;
+    const std::size_t blockBytes = pool_.blockBytes();
+    const std::size_t footprint = mm_.footprintBytes();
+    const std::size_t live = mm_.allocatedBytes();
+    if (footprint < 3 * blockBytes) return;
+    if (footprint - std::min(live, footprint) < 2 * blockBytes) return;
+    if (maintSvc_ == nullptr) {
+      compactNow();
+      return;
+    }
+    if (evacJobQueued_.exchange(true, std::memory_order_acq_rel)) return;
+    const bool queued = maintSvc_->submit(
+        this, ByteVec{std::byte{2}}, 1u << 20, [](void* owner, const ByteVec&) {
+          auto* self = static_cast<OakCoreMap*>(owner);
+          self->evacJobQueued_.store(false, std::memory_order_release);
+          self->compactNow();
+        });
+    if (!queued) {
+      evacJobQueued_.store(false, std::memory_order_release);
+      compactNow();
+    }
+  }
+
   OakConfig cfg_;
   Compare cmp_;
   mheap::ManagedHeap& metaHeap_;
@@ -1821,6 +2038,14 @@ class OakCoreMap {
   std::vector<std::uint64_t> vgcFeed_ OAK_GUARDED_BY(vgcMu_);  // VRef bits
   std::atomic<std::uint32_t> vgcTick_{0};
   std::atomic<bool> vgcJobQueued_{false};
+
+  // Arena evacuation (DESIGN.md §13).  compactMu_ serializes whole runs
+  // (pure mutual exclusion — victim state lives in the allocator).
+  Mutex compactMu_;
+  std::atomic<std::uint32_t> evacTick_{0};
+  std::atomic<bool> evacJobQueued_{false};
+  bool compactionEnabled_ = false;
+  double compactionOccupancy_ = 0.25;
 
   // Durability (src/dur): all null/zero for in-memory maps.
   std::optional<std::string> durDir_;   // storage dir; engaged = durable

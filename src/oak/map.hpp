@@ -468,6 +468,9 @@ class BasicOakMap {
   maint::MaintenanceStats maintenanceStats() const {
     return core_.maintenanceStats();
   }
+  /// Evacuates sparse arenas now (see OakCoreMap::compactNow); returns the
+  /// arenas retired to the pool.
+  std::size_t compactNow() { return core_.compactNow(); }
 
   // ---------------------------------------------------------- durability
   /// True when this map persists to a storage directory (DESIGN.md §12).

@@ -576,6 +576,15 @@ class ShardedOakCoreMap {
   }
   maint::MaintenanceService* maintenanceService() noexcept { return svc_; }
 
+  /// Evacuates sparse arenas in every shard (core_map.hpp compactNow);
+  /// returns the total arenas retired to the pool.
+  std::size_t compactNow() {
+    MutexLock lk(mgmtMu_);
+    std::size_t n = 0;
+    forEachCoreLocked([&](const Core& c) { n += const_cast<Core&>(c).compactNow(); });
+    return n;
+  }
+
   // ====================================================== snapshots ==
   /// The version clock + pin table every shard stamps against.
   SnapshotDomain& snapshotDomain() noexcept { return *snapDomain_; }

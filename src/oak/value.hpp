@@ -167,6 +167,14 @@ class VRef {
   std::uint64_t bits_;
 };
 
+/// Physical ref of the 40-byte header a VRef names.  The ONE place outside
+/// mem/ that materializes a {block, offset} — safe because headers live in
+/// the allocator's pinned domain and never relocate (DESIGN.md §13).
+// oaklint: allow(R7, pinned-domain value headers never relocate)
+inline mem::Ref headerRef(VRef ref) noexcept {
+  return mem::Ref::make(ref.block(), ref.byteOffset(), kValueHeaderBytes);
+}
+
 /// Monotonic generation source (global: collisions would additionally
 /// require identical header addresses, so cross-map sharing is harmless).
 inline std::uint32_t nextGeneration() noexcept {
@@ -197,7 +205,10 @@ class HeaderPool {
       }
     }
     if (ref.isNull()) {
-      ref = mm_->allocRaw(kValueHeaderBytes);
+      // Pinned domain: OakRBuffer escapes EBR guards holding a raw header
+      // pointer, so headers must keep their physical address for life —
+      // they are never evacuation victims (DESIGN.md §13).
+      ref = mm_->allocPinned(kValueHeaderBytes);
       new (mm_->translate(ref)) ValueHeader();
       created_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -249,8 +260,7 @@ class ValueCell {
  public:
   ValueCell(mem::MemoryManager& mm, VRef ref) noexcept
       : mm_(&mm),
-        hdr_(reinterpret_cast<ValueHeader*>(mm.translate(
-            mem::Ref::make(ref.block(), ref.byteOffset(), kValueHeaderBytes)))),
+        hdr_(reinterpret_cast<ValueHeader*>(mm.translate(headerRef(ref)))),
         ref_(ref) {}
 
   /// Allocates and initializes a value holding `bytes`.  Header and payload
@@ -270,7 +280,7 @@ class ValueCell {
     if (pool != nullptr) {
       h = pool->acquire(&version);
     } else {
-      h = mm.allocRaw(kValueHeaderBytes);
+      h = mm.allocPinned(kValueHeaderBytes);
       new (mm.translate(h)) ValueHeader();
       version = nextGeneration();
       reinterpret_cast<ValueHeader*>(mm.translate(h))
@@ -301,17 +311,16 @@ class ValueCell {
   /// reference it, so both header and payload are returned.
   static void disposeUnpublished(mem::MemoryManager& mm, VRef ref,
                                  HeaderPool* pool = nullptr) {
-    const mem::Ref headerRef =
-        mem::Ref::make(ref.block(), ref.byteOffset(), kValueHeaderBytes);
-    auto* hdr = reinterpret_cast<ValueHeader*>(mm.translate(headerRef));
+    const mem::Ref href = headerRef(ref);
+    auto* hdr = reinterpret_cast<ValueHeader*>(mm.translate(href));
     const mem::Ref payload{hdr->payloadRef.load(std::memory_order_relaxed)};
     if (payload.length() != 0) mm.free(payload);
     if (pool != nullptr) {
       // Mark deleted so stale probes fail fast, then recycle.
       hdr->lock.markDeletedRaw();
-      pool->release(headerRef);
+      pool->release(href);
     } else {
-      mm.free(headerRef);
+      mm.free(href);
     }
   }
 
@@ -426,10 +435,7 @@ class ValueCell {
     }
     // Past this point every accessor fails on the deleted bit; with a pool
     // the header storage is immediately reusable (type-stable + versioned).
-    if (pool != nullptr) {
-      pool->release(
-          mem::Ref::make(ref_.block(), ref_.byteOffset(), kValueHeaderBytes));
-    }
+    if (pool != nullptr) pool->release(headerRef(ref_));
     return true;
   }
 
@@ -469,10 +475,7 @@ class ValueCell {
         hard = true;
       }
     }
-    if (hard && pool != nullptr) {
-      pool->release(
-          mem::Ref::make(ref_.block(), ref_.byteOffset(), kValueHeaderBytes));
-    }
+    if (hard && pool != nullptr) pool->release(headerRef(ref_));
     return hard ? RemoveOutcome::Removed : RemoveOutcome::Tombstoned;
   }
 
@@ -622,9 +625,62 @@ class ValueCell {
         }
       }
     }
-    if (died && pool != nullptr) {
-      pool->release(
-          mem::Ref::make(ref_.block(), ref_.byteOffset(), kValueHeaderBytes));
+    if (died && pool != nullptr) pool->release(headerRef(ref_));
+    return out;
+  }
+
+  /// What one relocateSlices() call moved.
+  struct RelocOutcome {
+    std::uint32_t slices = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  /// Evacuation support (DESIGN.md §13): moves this value's payload and any
+  /// chained version nodes whose block `isVictim(block)` into fresh slices.
+  /// Runs under the write lock — the same fence every reader (read/readAt)
+  /// and writer takes — so the old slices can be freed immediately: nobody
+  /// can hold a payload pointer across the lock.  The header itself is
+  /// pinned and never moves.  May throw OffHeapOutOfMemory; every slice
+  /// moved before the throw is fully swung and its old copy freed, so the
+  /// cell stays consistent and the evacuation pass simply aborts.
+  template <class IsVictim>
+  RelocOutcome relocateSlices(const IsVictim& isVictim) {
+    RelocOutcome out;
+    sync::WriteGuard g(hdr_->lock);
+    if (!g.acquired() || stale()) return out;  // dead header: chain freed at remove
+    const mem::Ref payload{hdr_->payloadRef.load(std::memory_order_relaxed)};
+    if (!payload.isNull() && payload.length() != 0 && isVictim(payload.block())) {
+      const mem::Ref fresh = mm_->allocRaw(payload.length());
+      copyBytes({mm_->translate(fresh), payload.length()},
+                {mm_->translate(payload), payload.length()});
+      hdr_->payloadRef.store(fresh.bits(), std::memory_order_release);
+      mm_->free(payload);
+      ++out.slices;
+      out.bytes += payload.length();
+    }
+    // Version chain: nodes are self-contained [VersionNode | payload] slices
+    // mutated only under the write lock, so copy + relink + free is safe.
+    std::uint64_t bits = hdr_->chainRef.load(std::memory_order_relaxed);
+    VersionNode* newer = nullptr;
+    while (bits != 0) {
+      const mem::Ref node{bits};
+      VersionNode* n = nodeAt(bits);
+      if (isVictim(node.block())) {
+        const mem::Ref fresh = mm_->allocRaw(node.length());
+        copyBytes({mm_->translate(fresh), node.length()},
+                  {reinterpret_cast<const std::byte*>(n), node.length()});
+        if (newer == nullptr) {
+          hdr_->chainRef.store(fresh.bits(), std::memory_order_release);
+        } else {
+          newer->prevBits = fresh.bits();
+        }
+        mm_->free(node);
+        ++out.slices;
+        out.bytes += node.length();
+        n = nodeAt(fresh.bits());
+      }
+      newer = n;
+      bits = n->prevBits;
     }
     return out;
   }

@@ -68,10 +68,12 @@ std::string Metrics::toJson() const {
           "\"alloc\":{\"footprint_bytes\":%zu,\"allocated_bytes\":%zu,"
           "\"fragmented_bytes\":%zu,\"alloc_count\":%" PRIu64
           ",\"free_count\":%" PRIu64 ",\"freed_bytes\":%" PRIu64
-          ",\"free_list_len\":%" PRIu64 ",",
+          ",\"free_list_len\":%" PRIu64 ",\"arena_blocks\":%" PRIu64
+          ",\"pinned_blocks\":%" PRIu64 ",\"evacuating_blocks\":%" PRIu64 ",",
           alloc.footprintBytes, alloc.allocatedBytes, alloc.fragmentedBytes,
           alloc.allocCount, alloc.freeCount, alloc.freedBytes,
-          alloc.freeListLength);
+          alloc.freeListLength, alloc.arenaBlocks, alloc.pinnedBlocks,
+          alloc.evacuatingBlocks);
   appendf(j,
           "\"mag\":{\"hits\":%" PRIu64 ",\"global_hits\":%" PRIu64
           ",\"misses\":%" PRIu64 ",\"hit_rate\":%.4f,\"flushes\":%" PRIu64
@@ -173,9 +175,11 @@ std::string Metrics::toText() const {
   }
   appendf(t,
           "  off-heap: footprint=%zuB in-use=%zuB fragmented=%zuB "
-          "allocs=%" PRIu64 " frees=%" PRIu64 " free-list=%" PRIu64 "\n",
+          "allocs=%" PRIu64 " frees=%" PRIu64 " free-list=%" PRIu64
+          " arenas=%" PRIu64 " (pinned=%" PRIu64 " evacuating=%" PRIu64 ")\n",
           alloc.footprintBytes, alloc.allocatedBytes, alloc.fragmentedBytes,
-          alloc.allocCount, alloc.freeCount, alloc.freeListLength);
+          alloc.allocCount, alloc.freeCount, alloc.freeListLength,
+          alloc.arenaBlocks, alloc.pinnedBlocks, alloc.evacuatingBlocks);
   if (alloc.magHits + alloc.magGlobalHits + alloc.magMisses != 0) {
     appendf(t,
             "  magazines: hit-rate=%.1f%% (local=%" PRIu64 " global=%" PRIu64

@@ -76,6 +76,10 @@ enum class Counter : std::uint32_t {
   ShardMerge,         ///< online shard merge retired a boundary
   SnapshotOpened,     ///< snapshot scans that pinned a fresh read version
   VersionsRetired,    ///< chain nodes + tombstones reclaimed by version GC
+  EvacuationRuns,     ///< compactNow() passes (triggered or explicit)
+  ArenasEvacuated,    ///< arenas emptied by relocation and returned to the pool
+  SlicesRelocated,    ///< key / payload / version-node slices moved
+  BytesRelocated,     ///< bytes copied by the relocator
   kCount
 };
 inline constexpr std::size_t kCounterCount = static_cast<std::size_t>(Counter::kCount);
@@ -93,6 +97,10 @@ inline const char* counterName(Counter c) noexcept {
     case Counter::ShardMerge: return "shard_merge";
     case Counter::SnapshotOpened: return "snapshot_opened";
     case Counter::VersionsRetired: return "versions_retired";
+    case Counter::EvacuationRuns: return "evacuation_runs";
+    case Counter::ArenasEvacuated: return "arenas_evacuated";
+    case Counter::SlicesRelocated: return "slices_relocated";
+    case Counter::BytesRelocated: return "bytes_relocated";
     case Counter::kCount: break;
   }
   return "?";
@@ -184,6 +192,11 @@ struct AllocStats {
   std::uint64_t freedBytes = 0;     ///< cumulative bytes returned
   std::uint64_t freeListLength = 0; ///< current free-list segments
 
+  // Evacuation gauges (relocatable-slice compaction, DESIGN.md §13).
+  std::uint64_t arenaBlocks = 0;      ///< arenas currently owned
+  std::uint64_t pinnedBlocks = 0;     ///< pinned-domain arenas (value headers)
+  std::uint64_t evacuatingBlocks = 0; ///< arenas mid-evacuation
+
   // Size-class magazine layer (zero when disabled).
   std::uint64_t magHits = 0;        ///< allocations served from a magazine
   std::uint64_t magGlobalHits = 0;  ///< served from a global class stack
@@ -210,6 +223,9 @@ struct AllocStats {
     freeCount += o.freeCount;
     freedBytes += o.freedBytes;
     freeListLength += o.freeListLength;
+    arenaBlocks += o.arenaBlocks;
+    pinnedBlocks += o.pinnedBlocks;
+    evacuatingBlocks += o.evacuatingBlocks;
     magHits += o.magHits;
     magGlobalHits += o.magGlobalHits;
     magMisses += o.magMisses;

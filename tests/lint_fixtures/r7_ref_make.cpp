@@ -1,0 +1,21 @@
+// oaklint fixture — R7: packed refs are minted by the allocator alone.
+// Slices relocate under the background evacuator, so a hand-built
+// {block, offset} outside src/mem/ bypasses the liveness accounting and can
+// name bytes that have since moved to another arena.  Value-header refs go
+// through detail::headerRef (headers live in the pinned domain and never
+// relocate); everything else uses the Ref the allocator returned.
+//
+// oaklint-expect: R7
+#include <cstdint>
+
+namespace oak {
+namespace mem {
+struct Ref {
+  static Ref make(std::uint32_t block, std::uint32_t offset, std::uint32_t len);
+};
+}  // namespace mem
+}  // namespace oak
+
+oak::mem::Ref forgeHeaderRef(std::uint32_t block, std::uint32_t off) {
+  return oak::mem::Ref::make(block, off, 40);  // BAD: hand-built physical ref
+}

@@ -3,10 +3,14 @@
 // deletion or value resize").
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/random.hpp"
 #include "mem/first_fit_allocator.hpp"
+#include "oak/chunk_walker.hpp"
+#include "oak/core_map.hpp"
 
 namespace oak::mem {
 namespace {
@@ -151,3 +155,81 @@ TEST_F(FragTest, ValueResizePatternReusesHoles) {
 
 }  // namespace
 }  // namespace oak::mem
+
+// ==================================================== compaction regression
+//
+// Map-level ceiling: a KV churn workload that repeatedly bulk-loads and
+// bulk-deletes must end — after evacuation — with the arena count and
+// resident footprint below a fixed ceiling sized from the surviving live
+// set, not from the churn's high-water mark.  Without relocation, first-fit
+// keeps every high-water arena alive off one surviving slice each.
+namespace oak {
+namespace {
+
+TEST(CompactionRegression, ChurnedMapShrinksBelowCeilingAfterEvacuation) {
+  mem::BlockPool pool({.blockBytes = 64u << 10, .budgetBytes = SIZE_MAX});
+  auto cfg = OakConfig{}
+                 .withChunkCapacity(64)
+                 .withMem(MemConfig{}.withPool(&pool).withCompactionOccupancy(0.6));
+  OakCoreMap<> map(cfg);
+
+  const auto key = [](int w, int j) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "w%02d-%04d", w, j);
+    return std::string(buf);
+  };
+  const auto value = [](int w, int j) {
+    return std::string(600, static_cast<char>('a' + (w * 7 + j) % 26));
+  };
+  const auto put = [&](int w, int j) {
+    const std::string k = key(w, j);
+    const std::string v = value(w, j);
+    map.put(asBytes(std::string_view(k)), asBytes(std::string_view(v)));
+  };
+
+  // Churn: each wave loads 400 ~600-byte values and deletes 7/8 of them.
+  // The walker must stay clean at every wave boundary, not just at the end.
+  for (int w = 0; w < 5; ++w) {
+    for (int j = 0; j < 400; ++j) put(w, j);
+    for (int j = 0; j < 400; ++j) {
+      if (j % 8 != 0) {
+        const std::string k = key(w, j);
+        map.remove(asBytes(std::string_view(k)));
+      }
+    }
+    ASSERT_TRUE(ChunkWalker<BytesComparator>::validate(map).ok) << "wave " << w;
+  }
+
+  map.quiesce();
+  const obs::Metrics before = map.stats();
+  std::size_t retired = 0;
+  for (int round = 0; round < 4; ++round) retired += map.compactNow();
+  map.quiesce();
+  const obs::Metrics after = map.stats();
+  EXPECT_GT(retired, 0u);
+
+  // Survivors: 5 waves x 50 keys x ~600 B ≈ 150 KiB live.  The ceiling
+  // allows for bump waste, pinned header arenas, and one unevacuatable
+  // current block — but NOT for the ~12-arena churn high-water mark.
+  EXPECT_LE(after.alloc.arenaBlocks, 8u)
+      << "high-water arenas survived evacuation (was " << before.alloc.arenaBlocks
+      << " before compaction)";
+  EXPECT_LE(after.alloc.footprintBytes, 8u * (64u << 10));
+  EXPECT_EQ(after.alloc.evacuatingBlocks, 0u);
+
+  // Every survivor still reads back bit-exact, and the structure is clean.
+  for (int w = 0; w < 5; ++w) {
+    for (int j = 0; j < 400; j += 8) {
+      const std::string k = key(w, j);
+      auto got = map.getCopy(asBytes(std::string_view(k)));
+      ASSERT_TRUE(got.has_value()) << k;
+      EXPECT_EQ(asString(asBytes(*got)), value(w, j)) << k;
+    }
+  }
+  auto rep = ChunkWalker<BytesComparator>::validate(map);
+  for (const auto& p : rep.problems) ADD_FAILURE() << p;
+  EXPECT_TRUE(rep.ok);
+}
+
+}  // namespace
+}  // namespace oak

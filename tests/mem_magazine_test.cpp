@@ -129,6 +129,7 @@ TEST_F(MagazineTest, DoubleFreeOfCachedSliceIsRejected) {
 }
 
 TEST_F(MagazineTest, ForeignFreeNeverReachesTheCache) {
+  // oaklint: allow(R7, forged ref exercises the foreign-free rejection)
   const Ref forged = Ref::make(Ref::kMaxBlocks - 2, 128, 64);
 #if OAK_CHECKED
   EXPECT_DEATH(alloc_.free(forged), "OakSan: free of foreign ref");

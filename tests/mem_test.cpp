@@ -15,6 +15,7 @@ namespace oak::mem {
 namespace {
 
 TEST(Ref, PackUnpackRoundTrip) {
+  // oaklint: allow(R7, pack/unpack unit test of the ref encoding itself)
   const Ref r = Ref::make(17, 123456, 789);
   EXPECT_EQ(r.block(), 17u);
   EXPECT_EQ(r.offset(), 123456u);
@@ -24,10 +25,12 @@ TEST(Ref, PackUnpackRoundTrip) {
 
 TEST(Ref, NullIsDistinct) {
   EXPECT_TRUE(Ref{}.isNull());
+  // oaklint: allow(R7, null-encoding unit test)
   EXPECT_FALSE(Ref::make(0, 0, 0).isNull());  // block 0/offset 0/len 0 != null
 }
 
 TEST(Ref, Extremes) {
+  // oaklint: allow(R7, field-width unit test)
   const Ref r = Ref::make(Ref::kMaxBlocks - 1, Ref::kMaxOffset - 1, Ref::kMaxLength - 1);
   EXPECT_EQ(r.block(), Ref::kMaxBlocks - 1);  // 4094: one id reserved for null
   EXPECT_EQ(r.offset(), Ref::kMaxOffset - 1);
@@ -121,6 +124,7 @@ TEST_F(AllocatorTest, RejectedFreesLeaveStatsUntouched) {
   // Rejected frees (double, foreign, null) return false in release builds;
   // the free counters must record only the successful ones.
   EXPECT_FALSE(alloc_.free(r));
+  // oaklint: allow(R7, forged ref exercises the foreign-free rejection)
   EXPECT_FALSE(alloc_.free(Ref::make(Ref::kMaxBlocks - 2, 128, 64)));
   EXPECT_FALSE(alloc_.free(Ref{}));
   EXPECT_EQ(alloc_.freeOpCount(), ops);
@@ -146,6 +150,7 @@ TEST_F(AllocatorTest, DoubleFreeIsRejected) {
 
 TEST_F(AllocatorTest, FreeingForeignRefIsRejected) {
   // A reference into a block this allocator never owned must be refused.
+  // oaklint: allow(R7, forged ref exercises the foreign-free rejection)
   const Ref forged = Ref::make(Ref::kMaxBlocks - 2, 128, 64);
 #if OAK_CHECKED
   EXPECT_DEATH(alloc_.free(forged), "OakSan: free of foreign ref");

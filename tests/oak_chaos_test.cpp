@@ -348,6 +348,69 @@ TEST(OakChaos, StalledEbrDegradesThenRecovers) {
   fault::disarmAll();
 }
 
+TEST(OakChaos, EvacuationOomMidRelocationLeavesMapIntact) {
+  // Arm the mem.evacuate site so OOMs land mid-relocation — after some
+  // slices of a victim arena have moved and others have not.  The contract:
+  // an aborted evacuation leaves no victim marked, loses no key, and a later
+  // un-faulted run still reclaims the sparse arenas.
+  SKIP_UNLESS_CHECKED();
+  fault::disarmAll();
+  const std::uint64_t seed = chaosSeed();
+  mem::BlockPool pool({.blockBytes = 64u << 10, .budgetBytes = SIZE_MAX});
+  auto cfg = OakConfig{}
+                 .withChunkCapacity(64)
+                 .withMem(MemConfig{}.withPool(&pool).withCompactionOccupancy(0.6));
+  OakCoreMap<> map(cfg);
+
+  std::map<std::string, std::string> oracle;
+  for (int i = 0; i < 600; ++i) {
+    const std::string k = padKey(i);
+    const std::string v(700, static_cast<char>('a' + i % 26));
+    map.put(bytes(k), bytes(v));
+    oracle[k] = v;
+  }
+  for (int i = 0; i < 600; ++i) {
+    if (i % 5 != 0) {
+      const std::string k = padKey(i);
+      map.remove(bytes(k));
+      oracle.erase(k);
+    }
+  }
+  map.quiesce();
+
+  // Faulted phase: every compaction run hits injected OOMs partway through
+  // its chunk walk (compactNow absorbs them and aborts the run).
+  fault::arm("mem.evacuate", fault::Schedule::probability(0.3, seed));
+  for (int round = 0; round < 6; ++round) map.compactNow();
+  const std::uint64_t injected = fault::injectedCount("mem.evacuate");
+  fault::disarmAll();
+  EXPECT_GT(injected, 0u) << "the mem.evacuate site never fired";
+
+  // No victim left marked, structure clean, contents exact.
+  map.quiesce();
+  EXPECT_EQ(map.stats().alloc.evacuatingBlocks, 0u);
+  auto rep = ChunkWalker<BytesComparator>::validate(map);
+  for (const auto& p : rep.problems) ADD_FAILURE() << p;
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(map.sizeSlow(), oracle.size());
+  for (const auto& [k, v] : oracle) {
+    auto got = map.getCopy(bytes(k));
+    ASSERT_TRUE(got.has_value()) << "lost key " << k;
+    EXPECT_EQ(asString(ByteSpan{got->data(), got->size()}), v);
+  }
+
+  // Un-faulted phase: evacuation still completes and reclaims arenas.
+  const std::uint64_t arenasBefore = map.stats().alloc.arenaBlocks;
+  std::size_t retired = 0;
+  for (int round = 0; round < 4; ++round) retired += map.compactNow();
+  EXPECT_GT(retired, 0u) << "post-chaos evacuation must still reclaim";
+  map.quiesce();
+  EXPECT_LT(map.stats().alloc.arenaBlocks, arenasBefore);
+  EXPECT_TRUE(ChunkWalker<BytesComparator>::validate(map).ok);
+  map.put(bytes(padKey(1000)), bytes("post-chaos"));
+  EXPECT_TRUE(map.containsKey(bytes(padKey(1000))));
+}
+
 TEST(OakChaos, MetricsReportInjectedFaults) {
   SKIP_UNLESS_CHECKED();
   fault::disarmAll();

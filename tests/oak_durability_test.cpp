@@ -469,5 +469,139 @@ TEST(KillDrill, SigkillMidCheckpointLosesNoAcknowledgedWrite) {
   expectAckedWritesRecovered(dir.str(), lastAck);
 }
 
+// ================================================ kill-mid-compaction drill
+//
+// Same acknowledged-writes oracle, but the child interleaves its acked
+// stream with churn waves that force real evacuations: each wave bulk-loads
+// 300 ~700-byte churn values, removes 4/5 of them (carving whole arenas far
+// below the occupancy threshold — steady-state removal alone never gets
+// there, first-fit refills the holes), then runs compactNow() with slices
+// actually moving.  The parent's kill lands at an arbitrary protocol depth —
+// the pipe buffers acks, so the child routinely dies inside a later wave's
+// compaction or checkpoint.  Relocations are never WAL-logged (DESIGN.md
+// §13): recovery replays checkpoint + WAL only, so it must see each value at
+// its pre- or post-move location, never a torn mix.
+constexpr std::uint32_t kCompactedSentinel = 0xFFFFFFFFu;
+constexpr int kStreamPerWave = 50;
+constexpr int kChurnPerWave = 300;
+
+std::string streamValue(int i) {
+  return valueFor(i, 'm') + std::string(700, static_cast<char>('a' + i % 26));
+}
+std::string churnKey(int w, int j) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "c%03d-%04d", w, j);
+  return buf;
+}
+std::string churnValue(int w, int j) {
+  return valueFor(w * kChurnPerWave + j, 'n') +
+         std::string(700, static_cast<char>('a' + (w + j) % 26));
+}
+
+[[noreturn]] void compactionDrillChild(const std::string& dir, int pipeFd) {
+  mem::BlockPool pool({.blockBytes = 64u << 10, .budgetBytes = SIZE_MAX});
+  // withMem() replaces the whole mem block, so it must come BEFORE
+  // withStorageDir() (which records the directory inside MemConfig).
+  auto cfg = OakConfig{}
+                 .withChunkCapacity(64)
+                 .withMem(MemConfig{}.withPool(&pool).withCompactionOccupancy(0.6))
+                 .withStorageDir(dir)
+                 .withDur(DurConfig{}.withFsyncPolicy(dur::FsyncPolicy::EveryCommit));
+  OakCoreMap<> map(cfg);
+  int stream = 0;
+  for (int w = 0;; ++w) {
+    for (int j = 0; j < kChurnPerWave; ++j) {
+      map.put(bytes(churnKey(w, j)), bytes(churnValue(w, j)));
+    }
+    for (int j = 0; j < kChurnPerWave; ++j) {
+      if (j % 5 != 0) map.remove(bytes(churnKey(w, j)));
+    }
+    // Drain dead versions so the removed values' slices hit the free list
+    // and their arenas drop below the occupancy threshold.
+    map.collectVersionsNow();
+    map.quiesce();
+    if (map.compactNow() > 0) {
+      const std::uint32_t s = kCompactedSentinel;
+      if (::write(pipeFd, &s, sizeof s) != static_cast<ssize_t>(sizeof s)) {
+        _exit(3);
+      }
+    }
+    if (w > 0 && w % 2 == 0) map.checkpointNow();
+    for (int k = 0; k < kStreamPerWave; ++k, ++stream) {
+      map.put(bytes(padKey(stream)), bytes(streamValue(stream)));
+      const std::uint32_t id = static_cast<std::uint32_t>(stream);
+      if (::write(pipeFd, &id, sizeof id) != static_cast<ssize_t>(sizeof id)) {
+        _exit(3);
+      }
+    }
+  }
+}
+
+TEST(KillDrill, SigkillMidCompactionRecoversPreOrPostMoveNeverTorn) {
+  TempDir dir;
+  XorShift rng(chaosSeed() ^ 0x5bf03635ull);
+  // 3-8 churn waves (each one a full evacuation) before the kill lands.
+  const int killAfter =
+      3 * kStreamPerWave + static_cast<int>(rng.next() % (5 * kStreamPerWave));
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::close(fds[0]);
+    compactionDrillChild(dir.str(), fds[1]);
+  }
+  ::close(fds[1]);
+  int lastAck = -1;
+  int compactions = 0;
+  std::uint32_t id = 0;
+  while (lastAck + 1 < killAfter &&
+         ::read(fds[0], &id, sizeof id) == static_cast<ssize_t>(sizeof id)) {
+    if (id == kCompactedSentinel) {
+      ++compactions;
+    } else {
+      lastAck = static_cast<int>(id);
+    }
+  }
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  ::close(fds[0]);
+  ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+  ASSERT_GE(lastAck, 0);
+  EXPECT_GT(compactions, 0) << "no evacuation retired an arena before the "
+                               "kill — the drill proved nothing";
+
+  OakCoreMap<> map(durableCfg(dir.str()));
+  // Acknowledged stream keys are never removed: each must survive bit-exact,
+  // whichever arena its slice sat in when checkpoint or replay saw it.
+  for (int i = 0; i <= lastAck; ++i) {
+    auto v = map.getCopy(bytes(padKey(i)));
+    ASSERT_TRUE(v.has_value()) << "acknowledged write lost: " << padKey(i);
+    EXPECT_EQ(*v, toVec(bytes(streamValue(i)))) << padKey(i);
+  }
+  // Wave w's churn (and removes) are fully on disk before stream key
+  // 50*w is put, so an ack at or past that id confirms the whole wave.
+  const int confirmedWaves = lastAck / kStreamPerWave + 1;
+  for (int w = 0; w < confirmedWaves + 2; ++w) {
+    const bool confirmed = w < confirmedWaves;
+    for (int j = 0; j < kChurnPerWave; ++j) {
+      auto v = map.getCopy(bytes(churnKey(w, j)));
+      if (confirmed && j % 5 == 0) {
+        ASSERT_TRUE(v.has_value()) << "churn survivor lost: " << churnKey(w, j);
+        EXPECT_EQ(*v, toVec(bytes(churnValue(w, j)))) << churnKey(w, j);
+      } else if (confirmed) {
+        EXPECT_FALSE(v.has_value()) << "removed key resurrected: " << churnKey(w, j);
+      } else if (v.has_value()) {
+        // Unconfirmed trailing wave: presence is seed-dependent, but any
+        // recovered value must be exactly what the child wrote — never torn.
+        EXPECT_EQ(*v, toVec(bytes(churnValue(w, j)))) << churnKey(w, j);
+      }
+    }
+  }
+  EXPECT_TRUE(ChunkWalker<BytesComparator>::validate(map).ok);
+  map.put(bytes(std::string("post-recovery")), bytes(std::string("ok")));
+  EXPECT_TRUE(map.containsKey(bytes(std::string("post-recovery"))));
+}
+
 }  // namespace
 }  // namespace oak

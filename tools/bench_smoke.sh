@@ -44,6 +44,20 @@
 #    * validation_errors > 0.
 #    Written to BUILD_DIR/BENCH_recovery.json; the checked-in
 #    BENCH_recovery.json is a 1M-pair snapshot of this output.
+#
+# 5. Relocation / compaction A/B (DESIGN.md §13): `--scenario compaction`
+#    runs wave-shaped churn twice over paired maps — relocation off vs
+#    background arena evacuation armed — interleaving the latency-sampled
+#    stages so host noise cancels within each pair.  Fails if
+#    * the armed leg's put p99 exceeds OAK_BENCH_COMPACTION_TOLERANCE
+#      (default 1.15x) of the baseline's (median paired ratio),
+#    * evacuation moved no slices or retired no arenas (the trigger or the
+#      relocator is dead),
+#    * the armed leg did not end with fewer arena blocks than the baseline
+#      (relocation exists to shrink the footprint), or
+#    * validation_errors > 0.
+#    Written to BUILD_DIR/BENCH_compaction.json; the checked-in
+#    BENCH_compaction.json is a snapshot of this output.
 set -euo pipefail
 
 build_dir=${1:?usage: bench_smoke.sh BUILD_DIR [DURATION_MS]}
@@ -274,14 +288,35 @@ if [[ -z "$rec_dir" ]]; then
   fi
 fi
 
-echo "bench_smoke: recovery leg ($rec_size pairs, dir $rec_dir)..."
-rec_log=$(mktemp)
-OAK_BENCH_VALIDATE=1 "$bench" --scenario recovery -t "$rec_threads" \
-    -i "$rec_size" -v "$rec_value" --shards 2 --maint-threads 2 \
-    --storage-dir "$rec_dir" | tee "$rec_log"
-rec_line=$(grep '^RECOVERY ' "$rec_log" | head -1)
-rm -f "$rec_log"
-rm -rf "$rec_dir"
+run_recovery() {  # prints the RECOVERY line; storage dir is fresh per run
+  rm -rf "$rec_dir"
+  OAK_BENCH_VALIDATE=1 "$bench" --scenario recovery -t "$rec_threads" \
+      -i "$rec_size" -v "$rec_value" --shards 2 --maint-threads 2 \
+      --storage-dir "$rec_dir" | grep '^RECOVERY ' | head -1
+  rm -rf "$rec_dir"
+}
+
+# Like the other A/B legs, a single run's p99 ratio can double on host
+# noise alone; keep the run with the median WAL-vs-baseline put ratio.
+median_recovery_run() {  # prints the median-ratio RECOVERY line
+  local lines=() ratios=() line ratio
+  for ((i = 0; i < repeats; ++i)); do
+    line=$(run_recovery)
+    ratio=$(extract "$line" '"put_p99_ratio":\([0-9.]*\)')
+    [[ -n "$ratio" ]] || continue
+    lines+=("$line"); ratios+=("$ratio")
+  done
+  [[ ${#lines[@]} -gt 0 ]] || return 1
+  local mid
+  mid=$(printf '%s\n' "${ratios[@]}" | sort -g | awk -v n=${#ratios[@]} \
+        'NR == int((n + 1) / 2) { print; exit }')
+  for i in "${!lines[@]}"; do
+    if [[ "${ratios[$i]}" == "$mid" ]]; then printf '%s\n' "${lines[$i]}"; return 0; fi
+  done
+}
+
+echo "bench_smoke: recovery leg ($rec_size pairs, $repeats runs, dir $rec_dir)..."
+rec_line=$(median_recovery_run)
 
 if [[ -z "$rec_line" ]]; then
   echo "bench_smoke: FAIL recovery run produced no RECOVERY line" >&2
@@ -344,7 +379,7 @@ cat > "$rec_json" <<JSON
 {
   "bench": "synchrobench --scenario recovery -t $rec_threads -i $rec_size -v $rec_value --shards 2 --maint-threads 2",
   "gates": [
-    "wal put p99 <= in-memory put p99 * $wal_tolerance",
+    "median-of-$repeats wal put p99 <= in-memory put p99 * $wal_tolerance",
     "reopen_ms <= durable ingest_ms * $rec_tolerance",
     "0 < replayed_records < pairs",
     "final_size == pairs"
@@ -360,3 +395,109 @@ if [[ "$fail" != 0 ]]; then
   exit 1
 fi
 echo "bench_smoke: OK (recovery gate passed)"
+
+# ------------------------------------------------ relocation / compaction A/B
+comp_tolerance=${OAK_BENCH_COMPACTION_TOLERANCE:-1.15}
+# The sampled stage needs enough puts for a meaningful exact p99; the
+# churn leg's pair count (5000 at smoke scale) gives ~2k samples per rep,
+# too coarse, so the compaction leg runs its own larger range.
+comp_size=${OAK_BENCH_COMPACTION_SIZE:-20000}
+comp_threads=${OAK_BENCH_COMPACTION_THREADS:-4}
+
+run_compaction() {  # prints the COMPACTION line
+  OAK_BENCH_VALIDATE=1 "$bench" --scenario compaction -t "$comp_threads" \
+      -i "$comp_size" --shards 2 --maint-threads 2 | grep '^COMPACTION ' | head -1
+}
+
+# The scenario already medians interleaved stage reps internally; the
+# script-level median-of-$repeats (keyed on the paired p99 ratio) absorbs
+# whole-run regime shifts on a busy host.
+median_compaction_run() {  # prints the median-ratio COMPACTION line
+  local lines=() ratios=() line ratio
+  for ((i = 0; i < repeats; ++i)); do
+    line=$(run_compaction)
+    ratio=$(extract "$line" '"put_p99_ratio":\([0-9.]*\)')
+    [[ -n "$ratio" ]] || continue
+    lines+=("$line"); ratios+=("$ratio")
+  done
+  [[ ${#lines[@]} -gt 0 ]] || return 1
+  local mid
+  mid=$(printf '%s\n' "${ratios[@]}" | sort -g | awk -v n=${#ratios[@]} \
+        'NR == int((n + 1) / 2) { print; exit }')
+  for i in "${!lines[@]}"; do
+    if [[ "${ratios[$i]}" == "$mid" ]]; then printf '%s\n' "${lines[$i]}"; return 0; fi
+  done
+}
+
+echo "bench_smoke: compaction A/B ($comp_size pairs, $repeats runs)..."
+comp_line=$(median_compaction_run)
+
+if [[ -z "$comp_line" ]]; then
+  echo "bench_smoke: FAIL compaction run produced no COMPACTION line" >&2
+  exit 1
+fi
+
+comp_ratio=$(extract "$comp_line" '"put_p99_ratio":\([0-9.]*\)')
+comp_base_p99=$(extract "$comp_line" '"base_put_p99_ns":\([0-9]*\)')
+comp_p99=$(extract "$comp_line" '"compact_put_p99_ns":\([0-9]*\)')
+comp_base_blocks=$(extract "$comp_line" '"base_arena_blocks":\([0-9]*\)')
+comp_blocks=$(extract "$comp_line" '"arena_blocks_after":\([0-9]*\)')
+comp_evacuated=$(extract "$comp_line" '"arenas_evacuated":\([0-9]*\)')
+comp_slices=$(extract "$comp_line" '"slices_relocated":\([0-9]*\)')
+comp_bytes=$(extract "$comp_line" '"bytes_relocated":\([0-9]*\)')
+comp_verrors=$(extract "$comp_line" '"validation_errors":\([0-9]*\)')
+
+if [[ -z "$comp_ratio" || -z "$comp_base_blocks" || -z "$comp_blocks" ]]; then
+  echo "bench_smoke: FAIL could not parse COMPACTION line" >&2
+  exit 1
+fi
+if [[ "${comp_verrors:-0}" != 0 ]]; then
+  echo "bench_smoke: FAIL compaction validation_errors=$comp_verrors" >&2
+  fail=1
+fi
+# Evacuation must actually run: slices moved, whole arenas retired.
+if [[ "${comp_slices:-0}" == 0 ]]; then
+  echo "bench_smoke: FAIL compaction relocated no slices" >&2
+  fail=1
+fi
+if [[ "${comp_evacuated:-0}" == 0 ]]; then
+  echo "bench_smoke: FAIL compaction evacuated no arenas" >&2
+  fail=1
+fi
+# Gate: the armed leg must end smaller — reclaiming arenas is the point.
+if (( ${comp_blocks:-0} >= ${comp_base_blocks:-0} )); then
+  echo "bench_smoke: FAIL compaction did not shrink the arena footprint:" \
+       "baseline=$comp_base_blocks blocks, compacted=$comp_blocks" >&2
+  fail=1
+fi
+# Gate: armed put p99 must stay within tolerance of the baseline (median
+# of the per-rep paired ratios, so both sides saw the same host weather).
+if ! awk -v r="$comp_ratio" -v tol="$comp_tolerance" \
+      'BEGIN { exit !(r <= tol) }'; then
+  echo "bench_smoke: FAIL put p99 regression with evacuation armed:" \
+       "baseline=${comp_base_p99}ns armed=${comp_p99}ns ratio=$comp_ratio" \
+       "(tolerance ${comp_tolerance}x)" >&2
+  fail=1
+fi
+
+comp_json="$build_dir/BENCH_compaction.json"
+cat > "$comp_json" <<JSON
+{
+  "bench": "synchrobench --scenario compaction -t $comp_threads -i $comp_size --shards 2 --maint-threads 2",
+  "gates": [
+    "median-of-$repeats paired put p99 ratio <= $comp_tolerance",
+    "slices_relocated > 0 and arenas_evacuated > 0",
+    "arena_blocks_after < base_arena_blocks",
+    "validation_errors == 0"
+  ],
+  "result": ${comp_line#COMPACTION }
+}
+JSON
+echo "bench_smoke: compaction put p99 baseline=${comp_base_p99}ns armed=${comp_p99}ns" \
+     "(ratio $comp_ratio); arenas $comp_base_blocks -> $comp_blocks," \
+     "${comp_slices} slices / ${comp_bytes} bytes moved; wrote $comp_json"
+
+if [[ "$fail" != 0 ]]; then
+  exit 1
+fi
+echo "bench_smoke: OK (compaction A/B gate passed)"

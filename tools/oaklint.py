@@ -17,6 +17,11 @@ oaklint enforces the *protocol* rules layered on top of it:
       stamps are opaque tickets (Snapshot::version() -> snapshotAt());
       touching writeVersion/dataVersion fields or doing +/- arithmetic on a
       stamp forges a read version the GC never promised to keep alive
+  R7  no direct {block, offset} ref materialization (Ref::make) outside
+      src/mem/ — slices relocate under the evacuator, so a hand-built ref
+      bypasses the allocator's liveness accounting and can name bytes that
+      have since moved (detail::headerRef is the one blessed helper:
+      pinned-domain value headers never relocate)
 
 Engines:
   * libclang — AST-accurate; used when python3-clang is importable
@@ -50,6 +55,7 @@ RULES = {
     "R4": "packed-ref arithmetic outside MemoryManager",
     "R5": "blocking call inside an EBR guard",
     "R6": "raw version-stamp manipulation outside the MVCC layer",
+    "R7": "packed-ref materialization outside the mem layer",
 }
 
 DEFAULT_ROOTS = ["src", "tests", "bench"]
@@ -62,8 +68,8 @@ MEM_LAYER = os.path.join("src", "mem") + os.sep
 # apply to src/oak/ (or src/mem/, which stores the stamped headers).
 OAK_LAYER = os.path.join("src", "oak") + os.sep
 
-ALLOW_RE = re.compile(r"oaklint:\s*allow\((R[1-6])\b")
-EXPECT_RE = re.compile(r"oaklint-expect:\s*(R[1-6])\b")
+ALLOW_RE = re.compile(r"oaklint:\s*allow\((R[1-7])\b")
+EXPECT_RE = re.compile(r"oaklint-expect:\s*(R[1-7])\b")
 
 SOURCE_EXTS = (".cpp", ".hpp", ".cc", ".hh", ".cxx", ".h")
 
@@ -174,6 +180,9 @@ VERSION_ARITH_RE = re.compile(
     r"(?:(?:\.|->)version\s*\(\s*\)\s*[+\-^&|]|[+\-]\s*\w*(?:\.|->)version\s*\(\s*\)|"
     r"(?:\.|->)?snapshotVersion\s*(?:[+\-^&|]|[+\-^&|]?=\s*[^=]))"
 )
+# R7: Ref::make (but not VRef::make — the value layer owns VRef) forges a
+# {block, offset} the allocator never handed out.
+REF_MAKE_RE = re.compile(r"(?<!V)\bRef::make\s*\(")
 
 
 def strip_code(line, in_block_comment):
@@ -247,6 +256,9 @@ def textual_scan_file(path):
         if not mem_layer and REF_ARITH_RE.search(code) and \
                 not ASSERTION_RE.search(code):
             flag("R4", "dereference refs via MemoryManager::translate")
+        if not mem_layer and REF_MAKE_RE.search(code):
+            flag("R7", "only the allocator mints refs — use the slice refs it"
+                       " returned (or detail::headerRef for value headers)")
         if not version_layer:
             if VERSION_FIELD_RE.search(code):
                 flag("R6", "raw writeVersion/dataVersion access — stamps are "
@@ -446,6 +458,18 @@ def libclang_scan_file_scoped(path, args_db):
         if top.location.file and \
                 os.path.abspath(top.location.file.name) == os.path.abspath(path):
             visit(top, 0, 0)
+
+    # R7 is a naming-boundary rule, not a dataflow property — the lexical
+    # check is exact, so both engines share it.
+    if not mem_layer:
+        in_block = False
+        for lineno, rawline in enumerate(lines, 1):
+            code, in_block = strip_code(rawline, in_block)
+            if REF_MAKE_RE.search(code) and "R7" not in allowed_rules(lines, lineno):
+                findings.append(Finding(
+                    path, lineno, "R7",
+                    "only the allocator mints refs — use the slice refs it"
+                    " returned (or detail::headerRef for value headers)"))
     return findings
 
 
